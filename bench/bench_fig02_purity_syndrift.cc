@@ -1,0 +1,13 @@
+// Figure 2: accuracy with progression of the stream, SynDrift(0.5).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace umicro::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv, 200000);
+  const umicro::stream::Dataset dataset =
+      MakeSynDrift(args.points, args.eta);
+  RunPurityProgressionFigure("Figure 2", "SynDrift(0.5)", dataset,
+                             args.num_micro_clusters, "fig02.csv");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 7: accuracy with increasing error level, Forest Cover.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace umicro::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv, 60000);
+  RunErrorLevelFigure(
+      "Figure 7", "ForestCover",
+      [](std::size_t n, double eta) { return MakeForest(n, eta); },
+      args.points, args.num_micro_clusters, "fig07.csv");
+  return 0;
+}

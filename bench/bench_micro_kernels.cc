@@ -1,0 +1,214 @@
+// A5: google-benchmark micro-benchmarks of the hot kernels.
+//
+// The paper stresses that the expected distance costs O(d) -- the same
+// asymptotic cost as the deterministic distance -- because it is the most
+// repeated operation of the algorithm. These kernels measure exactly
+// that, plus ECF maintenance and the end-to-end per-point cost.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/clustream.h"
+#include "core/cluster_feature.h"
+#include "core/expected_distance.h"
+#include "core/umicro.h"
+#include "stream/point.h"
+#include "util/random.h"
+
+namespace {
+
+using umicro::core::ErrorClusterFeature;
+using umicro::stream::UncertainPoint;
+
+UncertainPoint MakePoint(umicro::util::Rng& rng, std::size_t dims) {
+  std::vector<double> values(dims);
+  std::vector<double> errors(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    values[j] = rng.Uniform(-1.0, 1.0);
+    errors[j] = rng.Uniform(0.0, 0.3);
+  }
+  return UncertainPoint(std::move(values), std::move(errors), 0.0);
+}
+
+void BM_EcfAddPoint(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  umicro::util::Rng rng(1);
+  const UncertainPoint point = MakePoint(rng, dims);
+  ErrorClusterFeature ecf(dims);
+  for (auto _ : state) {
+    ecf.AddPoint(point);
+    benchmark::DoNotOptimize(ecf);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcfAddPoint)->Arg(10)->Arg(20)->Arg(34)->Arg(64);
+
+void BM_EcfMerge(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  umicro::util::Rng rng(2);
+  ErrorClusterFeature a(dims);
+  ErrorClusterFeature b(dims);
+  for (int i = 0; i < 100; ++i) {
+    a.AddPoint(MakePoint(rng, dims));
+    b.AddPoint(MakePoint(rng, dims));
+  }
+  for (auto _ : state) {
+    ErrorClusterFeature merged = a;
+    merged.Merge(b);
+    benchmark::DoNotOptimize(merged);
+  }
+}
+BENCHMARK(BM_EcfMerge)->Arg(20)->Arg(64);
+
+void BM_EcfDecayScale(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  umicro::util::Rng rng(3);
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < 100; ++i) ecf.AddPoint(MakePoint(rng, dims));
+  for (auto _ : state) {
+    ecf.Scale(0.999999);
+    benchmark::DoNotOptimize(ecf);
+  }
+}
+BENCHMARK(BM_EcfDecayScale)->Arg(20)->Arg(64);
+
+void BM_ExpectedDistance(benchmark::State& state) {
+  // The paper's O(d) claim: time should scale linearly with d.
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  umicro::util::Rng rng(4);
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < 50; ++i) ecf.AddPoint(MakePoint(rng, dims));
+  const UncertainPoint x = MakePoint(rng, dims);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        umicro::core::ExpectedSquaredDistance(x, ecf));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpectedDistance)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DimensionCountingSimilarity(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  umicro::util::Rng rng(5);
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < 50; ++i) ecf.AddPoint(MakePoint(rng, dims));
+  const UncertainPoint x = MakePoint(rng, dims);
+  const std::vector<double> variances(dims, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(umicro::core::DimensionCountingSimilarity(
+        x, ecf, variances, 3.0));
+  }
+}
+BENCHMARK(BM_DimensionCountingSimilarity)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_UMicroProcessPoint(benchmark::State& state) {
+  // End-to-end per-point cost at the paper's configuration (d=20,
+  // q=100 micro-clusters).
+  const std::size_t dims = 20;
+  umicro::core::UMicroOptions options;
+  options.num_micro_clusters = static_cast<std::size_t>(state.range(0));
+  umicro::core::UMicro algorithm(dims, options);
+  umicro::util::Rng rng(6);
+  // Warm up so the cluster set is full.
+  for (int i = 0; i < 2000; ++i) {
+    UncertainPoint p = MakePoint(rng, dims);
+    p.timestamp = i;
+    algorithm.Process(p);
+  }
+  double ts = 2000.0;
+  for (auto _ : state) {
+    UncertainPoint p = MakePoint(rng, dims);
+    p.timestamp = ts;
+    ts += 1.0;
+    algorithm.Process(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UMicroProcessPoint)->Arg(25)->Arg(100)->Arg(200);
+
+void BM_UMicroProcessPointWithDecay(benchmark::State& state) {
+  const std::size_t dims = 20;
+  umicro::core::UMicroOptions options;
+  options.num_micro_clusters = 100;
+  options.decay_lambda = 1.0 / 5000.0;
+  umicro::core::UMicro algorithm(dims, options);
+  umicro::util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    UncertainPoint p = MakePoint(rng, dims);
+    p.timestamp = i;
+    algorithm.Process(p);
+  }
+  double ts = 2000.0;
+  for (auto _ : state) {
+    UncertainPoint p = MakePoint(rng, dims);
+    p.timestamp = ts;
+    ts += 1.0;
+    algorithm.Process(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UMicroProcessPointWithDecay);
+
+void BM_CluStreamProcessPoint(benchmark::State& state) {
+  // The "optimistic baseline" per-point cost, for the UMicro/CluStream
+  // relative-throughput claim of Figures 8-10.
+  const std::size_t dims = 20;
+  umicro::baseline::CluStreamOptions options;
+  options.num_micro_clusters = static_cast<std::size_t>(state.range(0));
+  umicro::baseline::CluStream algorithm(dims, options);
+  umicro::util::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    UncertainPoint p = MakePoint(rng, dims);
+    p.timestamp = i;
+    algorithm.Process(p);
+  }
+  double ts = 2000.0;
+  for (auto _ : state) {
+    UncertainPoint p = MakePoint(rng, dims);
+    p.timestamp = ts;
+    ts += 1.0;
+    algorithm.Process(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CluStreamProcessPoint)->Arg(25)->Arg(100)->Arg(200);
+
+void BM_UncertainRadius(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  umicro::util::Rng rng(9);
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < 100; ++i) ecf.AddPoint(MakePoint(rng, dims));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecf.UncertainRadiusSquared());
+  }
+}
+BENCHMARK(BM_UncertainRadius)->Arg(20)->Arg(64);
+
+void BM_SnapshotSubtract(benchmark::State& state) {
+  // Horizon extraction cost at the paper's scale (100 micro-clusters).
+  const std::size_t dims = 20;
+  umicro::util::Rng rng(10);
+  umicro::core::Snapshot older;
+  umicro::core::Snapshot current;
+  older.time = 100.0;
+  current.time = 200.0;
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    umicro::core::MicroClusterState state_a;
+    state_a.id = id;
+    ErrorClusterFeature ecf(dims);
+    for (int p = 0; p < 10; ++p) ecf.AddPoint(MakePoint(rng, dims));
+    state_a.ecf = ecf;
+    older.clusters.push_back(state_a);
+    for (int p = 0; p < 10; ++p) ecf.AddPoint(MakePoint(rng, dims));
+    umicro::core::MicroClusterState state_b;
+    state_b.id = id;
+    state_b.ecf = std::move(ecf);
+    current.clusters.push_back(std::move(state_b));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        umicro::core::SubtractSnapshot(current, older));
+  }
+}
+BENCHMARK(BM_SnapshotSubtract);
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Network intrusion monitoring: cluster a noisy connection stream and
+// compare UMicro against the deterministic CluStream baseline.
+//
+// Mirrors the paper's Network Intrusion experiment: connection records
+// with 34 continuous attributes, mostly normal traffic with bursts of
+// attacks, perturbed with the eta noise model. Also demonstrates loading
+// a real KDD'99-style CSV through the same code path (if one is given on
+// the command line).
+
+#include <cstdio>
+
+#include "baseline/clustream.h"
+#include "core/anomaly.h"
+#include "core/umicro.h"
+#include "eval/classification.h"
+#include "eval/experiment.h"
+#include "io/csv_dataset.h"
+#include "stream/perturbation.h"
+#include "stream/stream_stats.h"
+#include "synth/intrusion_generator.h"
+
+int main(int argc, char** argv) {
+  umicro::stream::Dataset dataset;
+  if (argc > 1) {
+    // Optional: a real CSV export (values..., label as last column).
+    umicro::io::CsvReadOptions read_options;
+    read_options.has_header = false;
+    const auto loaded = umicro::io::ReadCsvDataset(argv[1], read_options);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "failed to load %s\n", argv[1]);
+      return 1;
+    }
+    dataset = loaded->dataset;
+    std::printf("loaded %zu records x %zu attributes from %s\n",
+                dataset.size(), dataset.dimensions(), argv[1]);
+  } else {
+    umicro::synth::IntrusionStreamGenerator generator(
+        umicro::synth::IntrusionOptions{});
+    dataset = generator.Generate(100000);
+    std::printf("generated %zu synthetic connection records "
+                "(34 attributes, 5 classes)\n",
+                dataset.size());
+  }
+
+  // Perturb with the paper's noise model at eta = 0.5 and attach the
+  // resulting error vectors.
+  umicro::stream::StreamStats stats(dataset.dimensions());
+  stats.AddAll(dataset);
+  umicro::stream::PerturbationOptions perturb;
+  perturb.eta = 0.5;
+  umicro::stream::Perturber perturber(stats.Stddevs(), perturb);
+  perturber.PerturbDataset(dataset);
+
+  const std::size_t interval = dataset.size() / 8;
+
+  umicro::core::UMicroOptions uopt;
+  uopt.num_micro_clusters = 100;
+  umicro::core::UMicro umicro_algo(dataset.dimensions(), uopt);
+  const auto umicro_series =
+      umicro::eval::RunPurityExperiment(umicro_algo, dataset, interval);
+
+  umicro::baseline::CluStreamOptions copt;
+  copt.num_micro_clusters = 100;
+  umicro::baseline::CluStream clustream_algo(dataset.dimensions(), copt);
+  const auto clustream_series =
+      umicro::eval::RunPurityExperiment(clustream_algo, dataset, interval);
+
+  std::printf("\ncluster purity with stream progression (eta = 0.5):\n");
+  std::printf("%14s %12s %12s\n", "points", "UMicro", "CluStream");
+  for (std::size_t i = 0; i < umicro_series.samples.size(); ++i) {
+    std::printf("%14zu %12.4f %12.4f\n",
+                umicro_series.samples[i].points_processed,
+                umicro_series.samples[i].purity,
+                clustream_series.samples[i].purity);
+  }
+  std::printf("\nmean purity: UMicro %.4f vs CluStream %.4f\n",
+              umicro_series.MeanPurity(), clustream_series.MeanPurity());
+  std::printf("(the gap is modest here: normal connections dominate, as "
+              "the paper notes)\n");
+
+  // Treat the clustering as a classifier: per-attack-class recall tells
+  // an analyst whether the rare attack types were actually isolated.
+  const auto report = umicro::eval::EvaluateClusterer(umicro_algo, dataset);
+  std::printf("\nclassification view (clusters mapped to majority "
+              "labels): accuracy %.4f\n",
+              report.accuracy);
+  static const char* kClassNames[] = {"normal", "dos", "r2l", "u2r",
+                                      "probing"};
+  for (const auto& [cls, metrics] : report.per_class) {
+    const char* name = cls >= 0 && cls < 5 ? kClassNames[cls] : "?";
+    std::printf("  %-8s support %7zu  precision %.3f  recall %.3f\n",
+                name, metrics.support, metrics.Precision(),
+                metrics.Recall());
+  }
+
+  // Online burst detection: a fresh anomaly detector replays the stream
+  // and counts novelty bursts (the attack waves).
+  umicro::core::AnomalyOptions aopt;
+  aopt.umicro.num_micro_clusters = 100;
+  aopt.rate_smoothing = 0.02;
+  aopt.burst_rate_threshold = 0.15;
+  umicro::core::AnomalyDetector detector(dataset.dimensions(), aopt);
+  std::size_t attack_bursts = 0;
+  std::size_t normal_bursts = 0;
+  for (const auto& point : dataset.points()) {
+    const auto verdict = detector.Process(point);
+    if (verdict.burst) {
+      if (point.label == umicro::synth::kNormal) {
+        ++normal_bursts;
+      } else {
+        ++attack_bursts;
+      }
+    }
+  }
+  std::printf("\nnovelty-burst detector: %zu burst records flagged "
+              "(%zu during attacks, %zu on normal traffic)\n",
+              detector.burst_count(), attack_bursts, normal_bursts);
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "baseline/stream_kmeans.h"
+
+#include <limits>
+
+#include "core/macro_cluster.h"
+#include "util/check.h"
+#include "util/math_utils.h"
+
+namespace umicro::baseline {
+
+StreamKMeans::StreamKMeans(std::size_t dimensions,
+                           StreamKMeansOptions options)
+    : dimensions_(dimensions),
+      options_(options),
+      reduction_seed_(options.seed) {
+  UMICRO_CHECK(dimensions > 0);
+  UMICRO_CHECK(options_.k > 0);
+  UMICRO_CHECK(options_.chunk_size > options_.k);
+  chunk_.reserve(options_.chunk_size);
+}
+
+std::vector<WeightedCenter> StreamKMeans::Reduce(
+    const std::vector<WeightedCenter>& input) {
+  std::vector<std::vector<double>> points;
+  std::vector<double> weights;
+  points.reserve(input.size());
+  weights.reserve(input.size());
+  for (const auto& center : input) {
+    points.push_back(center.position);
+    weights.push_back(center.weight);
+  }
+  core::MacroClusteringOptions kmeans;
+  kmeans.k = options_.k;
+  kmeans.seed = reduction_seed_++;
+  const core::MacroClustering clustering =
+      core::WeightedKMeans(points, weights, kmeans);
+
+  std::vector<WeightedCenter> reduced(clustering.centroids.size());
+  for (std::size_t c = 0; c < reduced.size(); ++c) {
+    reduced[c].position = clustering.centroids[c];
+  }
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    WeightedCenter& target =
+        reduced[static_cast<std::size_t>(clustering.assignment[i])];
+    target.weight += input[i].weight;
+    for (const auto& [label, weight] : input[i].labels) {
+      target.labels[label] += weight;
+    }
+  }
+  // Drop centers that attracted no mass (k-means re-seeding edge case).
+  std::vector<WeightedCenter> alive;
+  alive.reserve(reduced.size());
+  for (auto& center : reduced) {
+    if (center.weight > 0.0) alive.push_back(std::move(center));
+  }
+  return alive;
+}
+
+void StreamKMeans::Flush() {
+  if (chunk_.empty()) return;
+  std::vector<WeightedCenter> chunk_points;
+  chunk_points.reserve(chunk_.size());
+  for (const auto& point : chunk_) {
+    WeightedCenter center;
+    center.position = point.values;
+    center.weight = 1.0;
+    if (point.label != stream::kUnlabeled) {
+      center.labels[point.label] = 1.0;
+    }
+    chunk_points.push_back(std::move(center));
+  }
+  chunk_.clear();
+
+  std::vector<WeightedCenter> reduced = Reduce(chunk_points);
+  centers_.insert(centers_.end(),
+                  std::make_move_iterator(reduced.begin()),
+                  std::make_move_iterator(reduced.end()));
+  if (centers_.size() > options_.chunk_size) {
+    centers_ = Reduce(centers_);
+  }
+}
+
+void StreamKMeans::Process(const stream::UncertainPoint& point) {
+  UMICRO_CHECK(point.dimensions() == dimensions_);
+  ++points_processed_;
+  chunk_.push_back(point);
+  if (chunk_.size() >= options_.chunk_size) Flush();
+}
+
+std::vector<stream::LabelHistogram> StreamKMeans::ClusterLabelHistograms()
+    const {
+  std::vector<stream::LabelHistogram> histograms;
+  histograms.reserve(centers_.size());
+  for (const auto& center : centers_) histograms.push_back(center.labels);
+  return histograms;
+}
+
+std::vector<std::vector<double>> StreamKMeans::ClusterCentroids() const {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(centers_.size());
+  for (const auto& center : centers_) centroids.push_back(center.position);
+  return centroids;
+}
+
+}  // namespace umicro::baseline

@@ -1,0 +1,76 @@
+// STREAM-style chunked k-means baseline (O'Callaghan, Meyerson, Motwani,
+// Mishra, Guha -- "Streaming-Data Algorithms for High-Quality Clustering",
+// ICDE 2002; reference [6] of the paper).
+//
+// The stream is consumed in fixed-size chunks. Each chunk is reduced to k
+// weighted centers by (weighted) k-means; the retained centers accumulate
+// across chunks and are themselves re-clustered to k weighted centers
+// whenever their number exceeds the chunk size, yielding the classic
+// hierarchical divide-and-conquer guarantee structure. This is a second,
+// purely deterministic baseline: it also ignores error vectors, and
+// unlike CluStream it has no recency bias at all.
+
+#ifndef UMICRO_BASELINE_STREAM_KMEANS_H_
+#define UMICRO_BASELINE_STREAM_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/clusterer.h"
+#include "stream/point.h"
+
+namespace umicro::baseline {
+
+/// Tunables of the STREAM baseline.
+struct StreamKMeansOptions {
+  /// Number of centers retained per reduction.
+  std::size_t k = 20;
+  /// Points per chunk.
+  std::size_t chunk_size = 2000;
+  /// RNG seed for the k-means++ seeding inside reductions.
+  std::uint64_t seed = 5;
+};
+
+/// One weighted center retained by the STREAM baseline.
+struct WeightedCenter {
+  std::vector<double> position;
+  double weight = 0.0;
+  stream::LabelHistogram labels;  ///< evaluation-only
+};
+
+/// The STREAM chunked k-means algorithm.
+class StreamKMeans : public stream::StreamClusterer {
+ public:
+  StreamKMeans(std::size_t dimensions, StreamKMeansOptions options);
+
+  // StreamClusterer interface.
+  void Process(const stream::UncertainPoint& point) override;
+  std::string name() const override { return "STREAM-kmeans"; }
+  std::size_t points_processed() const override { return points_processed_; }
+  std::vector<stream::LabelHistogram> ClusterLabelHistograms() const override;
+  std::vector<std::vector<double>> ClusterCentroids() const override;
+
+  /// Flushes a partially filled chunk (call at end of stream).
+  void Flush();
+
+  /// Currently retained weighted centers.
+  const std::vector<WeightedCenter>& centers() const { return centers_; }
+
+ private:
+  /// Reduces `input` to at most k weighted centers via weighted k-means.
+  std::vector<WeightedCenter> Reduce(
+      const std::vector<WeightedCenter>& input);
+
+  const std::size_t dimensions_;
+  const StreamKMeansOptions options_;
+  std::vector<stream::UncertainPoint> chunk_;
+  std::vector<WeightedCenter> centers_;
+  std::size_t points_processed_ = 0;
+  std::uint64_t reduction_seed_;
+};
+
+}  // namespace umicro::baseline
+
+#endif  // UMICRO_BASELINE_STREAM_KMEANS_H_

@@ -1,0 +1,147 @@
+#include "baseline/uk_means.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math_utils.h"
+#include "util/random.h"
+
+namespace umicro::baseline {
+
+double ExpectedSquaredDistanceToCentroid(
+    const stream::UncertainPoint& point,
+    const std::vector<double>& centroid) {
+  UMICRO_DCHECK(point.dimensions() == centroid.size());
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < centroid.size(); ++j) {
+    const double diff = point.values[j] - centroid[j];
+    d2 += diff * diff;
+  }
+  return d2 + point.SquaredErrorNorm();
+}
+
+namespace {
+
+UkMeansResult RunOnce(const stream::Dataset& dataset,
+                      const UkMeansOptions& options, util::Rng& rng) {
+  const std::size_t n = dataset.size();
+  const std::size_t dims = dataset.dimensions();
+  const std::size_t k = std::min(options.k, n);
+
+  // k-means++ seeding on the instantiations.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(dataset[rng.NextBounded(n)].values);
+  std::vector<double> min_dist2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    std::vector<double> sampling(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist2[i] = std::min(
+          min_dist2[i],
+          util::SquaredDistance(dataset[i].values, centroids.back()));
+      sampling[i] = min_dist2[i];
+      total += sampling[i];
+    }
+    if (total <= 0.0) {
+      centroids.push_back(dataset[rng.NextBounded(n)].values);
+    } else {
+      centroids.push_back(dataset[rng.Categorical(sampling)].values);
+    }
+  }
+
+  UkMeansResult result;
+  result.assignment.assign(n, 0);
+  double previous = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  for (; iterations < options.max_iterations; ++iterations) {
+    // Assignment by minimum expected squared distance.
+    double essq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d2 =
+            ExpectedSquaredDistanceToCentroid(dataset[i], centroids[c]);
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.assignment[i] = best_c;
+      essq += best;
+    }
+    result.expected_ssq = essq;
+
+    // Update step (optionally reliability-weighted).
+    std::vector<std::vector<double>> sums(centroids.size(),
+                                          std::vector<double>(dims, 0.0));
+    std::vector<double> mass(centroids.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w =
+          options.reliability_weighting
+              ? 1.0 / (1.0 + dataset[i].SquaredErrorNorm())
+              : 1.0;
+      const int c = result.assignment[i];
+      mass[c] += w;
+      for (std::size_t j = 0; j < dims; ++j) {
+        sums[c][j] += w * dataset[i].values[j];
+      }
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (mass[c] <= 0.0) {
+        centroids[c] = dataset[rng.NextBounded(n)].values;
+        continue;
+      }
+      for (std::size_t j = 0; j < dims; ++j) {
+        centroids[c][j] = sums[c][j] / mass[c];
+      }
+    }
+
+    if (previous - essq <= options.tolerance * std::max(1.0, previous)) {
+      break;
+    }
+    previous = essq;
+  }
+
+  // Final assignment against the final centroids.
+  double final_essq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      const double d2 =
+          ExpectedSquaredDistanceToCentroid(dataset[i], centroids[c]);
+      if (d2 < best) {
+        best = d2;
+        best_c = static_cast<int>(c);
+      }
+    }
+    result.assignment[i] = best_c;
+    final_essq += best;
+  }
+  result.expected_ssq = final_essq;
+  result.iterations = iterations + 1;
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+UkMeansResult UkMeans(const stream::Dataset& dataset,
+                      const UkMeansOptions& options) {
+  UMICRO_CHECK(!dataset.empty());
+  UMICRO_CHECK(options.k > 0);
+  util::Rng rng(options.seed);
+  UkMeansResult best;
+  best.expected_ssq = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(1, options.num_restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    UkMeansResult run = RunOnce(dataset, options, rng);
+    if (run.expected_ssq < best.expected_ssq) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace umicro::baseline

@@ -1,0 +1,74 @@
+// UK-means: expected-distance k-means over static uncertain data
+// (Ngai, Kao, Chui, Cheng, Chau, Yip -- "Efficient Clustering of
+// Uncertain Data", ICDM 2006; reference [22] of the paper).
+//
+// The paper cites this family of methods as the static counterpart of
+// its streaming problem ("neither of the two methods can be easily
+// extended to the case of data streams"). It is included both as a
+// quality reference for window-at-a-time clustering and to demonstrate
+// why a one-pass algorithm is needed: UK-means stores the whole window
+// and iterates over it.
+//
+// Under the paper's uncertainty model (independent zero-mean errors with
+// known per-dimension stddev psi), the expected squared distance between
+// uncertain point X and a fixed centroid c is
+//     E[||X - c||^2] = ||x - c||^2 + sum_j psi_j(X)^2,
+// so the assignment step of UK-means coincides with assigning the
+// instantiations -- but the *objective* and the reported expected SSQ
+// include the error mass, and centroid updates can weight points by
+// reliability (inverse total error), which is where UK-means differs
+// from plain k-means on noisy data.
+
+#ifndef UMICRO_BASELINE_UK_MEANS_H_
+#define UMICRO_BASELINE_UK_MEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "stream/point.h"
+
+namespace umicro::baseline {
+
+/// Tunables of UK-means.
+struct UkMeansOptions {
+  /// Number of clusters.
+  std::size_t k = 5;
+  /// Lloyd iteration cap.
+  std::size_t max_iterations = 100;
+  /// Relative expected-SSQ improvement below which iteration stops.
+  double tolerance = 1e-7;
+  /// Independent restarts; best run (lowest expected SSQ) wins.
+  std::size_t num_restarts = 3;
+  /// When true, centroid updates weight each point by 1/(1 + sum psi^2)
+  /// so unreliable records pull centroids less. When false, plain means
+  /// (the original UK-means update).
+  bool reliability_weighting = false;
+  /// RNG seed.
+  std::uint64_t seed = 17;
+};
+
+/// Result of a UK-means run.
+struct UkMeansResult {
+  /// Cluster centroids.
+  std::vector<std::vector<double>> centroids;
+  /// Per-point cluster index.
+  std::vector<int> assignment;
+  /// Expected SSQ: sum over points of E[||X - c(X)||^2].
+  double expected_ssq = 0.0;
+  /// Lloyd iterations executed by the winning restart.
+  std::size_t iterations = 0;
+};
+
+/// Runs UK-means over all points of `dataset`.
+UkMeansResult UkMeans(const stream::Dataset& dataset,
+                      const UkMeansOptions& options);
+
+/// Expected squared distance between an uncertain point and a fixed
+/// (deterministic) centroid: ||x - c||^2 + sum_j psi_j^2.
+double ExpectedSquaredDistanceToCentroid(const stream::UncertainPoint& point,
+                                         const std::vector<double>& centroid);
+
+}  // namespace umicro::baseline
+
+#endif  // UMICRO_BASELINE_UK_MEANS_H_

@@ -1,0 +1,106 @@
+#include "baseline/uncertain_dbscan.h"
+
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+#include "util/math_utils.h"
+
+namespace umicro::baseline {
+
+double NeighborProbability(const stream::UncertainPoint& a,
+                           const stream::UncertainPoint& b, double eps) {
+  UMICRO_DCHECK(a.dimensions() == b.dimensions());
+  UMICRO_DCHECK(eps > 0.0);
+  double g2 = 0.0;        // squared geometric distance
+  double mean_extra = 0.0;  // sum of error variances
+  double var_d2 = 0.0;    // variance of the squared distance
+  for (std::size_t j = 0; j < a.dimensions(); ++j) {
+    const double d = a.values[j] - b.values[j];
+    const double pa = a.ErrorAt(j);
+    const double pb = b.ErrorAt(j);
+    const double v = pa * pa + pb * pb;
+    g2 += d * d;
+    mean_extra += v;
+    var_d2 += 4.0 * d * d * v + 2.0 * v * v;
+  }
+  const double eps2 = eps * eps;
+  if (var_d2 <= 0.0) {
+    return g2 <= eps2 ? 1.0 : 0.0;  // deterministic limit
+  }
+  // Patnaik two-moment approximation: D2 ~ c * chi^2_nu with c and nu
+  // matched to the mean and variance. Unlike a plain normal
+  // approximation it respects D2 >= 0, which matters in the left tail
+  // (small eps with large errors).
+  const double mean = g2 + mean_extra;
+  const double c = var_d2 / (2.0 * mean);
+  const double nu = 2.0 * mean * mean / var_d2;
+  return umicro::util::RegularizedGammaP(nu / 2.0, eps2 / (2.0 * c));
+}
+
+UncertainDbscanResult UncertainDbscan(
+    const stream::Dataset& dataset, const UncertainDbscanOptions& options) {
+  UMICRO_CHECK(!dataset.empty());
+  UMICRO_CHECK(options.eps > 0.0);
+  UMICRO_CHECK(options.min_points > 0.0);
+  UMICRO_CHECK(options.reachability_probability > 0.0 &&
+               options.reachability_probability <= 1.0);
+
+  const std::size_t n = dataset.size();
+
+  // Precompute neighbor probabilities above the reachability threshold
+  // (sparse adjacency) and the fuzzy core mass of every point.
+  std::vector<std::vector<std::size_t>> reachable(n);
+  std::vector<double> core_mass(n, 1.0);  // each point eps-reaches itself
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double p = NeighborProbability(dataset[i], dataset[j],
+                                           options.eps);
+      core_mass[i] += p;
+      core_mass[j] += p;
+      if (p >= options.reachability_probability) {
+        reachable[i].push_back(j);
+        reachable[j].push_back(i);
+      }
+    }
+  }
+
+  UncertainDbscanResult result;
+  result.assignment.assign(n, kDbscanNoise);
+  std::vector<bool> is_core(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (core_mass[i] >= options.min_points) {
+      is_core[i] = true;
+      ++result.num_core;
+    }
+  }
+
+  // BFS expansion from unassigned core points, DBSCAN-style: border
+  // points join a cluster but do not expand it.
+  int next_cluster = 0;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!is_core[seed] || result.assignment[seed] != kDbscanNoise) {
+      continue;
+    }
+    const int cluster = next_cluster++;
+    std::queue<std::size_t> frontier;
+    result.assignment[seed] = cluster;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      const std::size_t current = frontier.front();
+      frontier.pop();
+      for (std::size_t neighbor : reachable[current]) {
+        if (result.assignment[neighbor] != kDbscanNoise) continue;
+        result.assignment[neighbor] = cluster;
+        if (is_core[neighbor]) frontier.push(neighbor);
+      }
+    }
+  }
+  result.num_clusters = static_cast<std::size_t>(next_cluster);
+  for (int label : result.assignment) {
+    if (label == kDbscanNoise) ++result.num_noise;
+  }
+  return result;
+}
+
+}  // namespace umicro::baseline

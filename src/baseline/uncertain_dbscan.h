@@ -1,0 +1,74 @@
+// Density-based clustering of uncertain data (after Kriegel & Pfeifle,
+// "Density-Based Clustering of Uncertain Data", KDD 2005 -- reference
+// [16] of the paper).
+//
+// The paper's related work cites fuzzy-distance density clustering as
+// the other major static approach to uncertain data, and argues that it
+// too "cannot be easily extended to the case of data streams". This
+// implementation provides that comparison point for window-at-a-time
+// use: DBSCAN where the binary eps-neighborhood predicate is replaced by
+// the *probability* that two uncertain points lie within eps, and core
+// points are those whose expected number of eps-neighbors reaches
+// min_points (fuzzy core condition).
+//
+// Distance-probability model: with independent Gaussian errors, the
+// squared distance D2 between X and Y has
+//   E[D2]   = g2 + s2,            g2 = ||x - y||^2,
+//   s2      = sum_j (psi_j(X)^2 + psi_j(Y)^2),
+//   Var[D2] = 4 sum_j d_j^2 v_j + 2 sum_j v_j^2,  v_j = psi_x_j^2+psi_y_j^2.
+// P(D2 <= eps^2) is evaluated with the Patnaik two-moment chi-square
+// approximation of D2 (exact in the deterministic limit; respects the
+// non-negativity of D2, unlike a plain normal approximation).
+
+#ifndef UMICRO_BASELINE_UNCERTAIN_DBSCAN_H_
+#define UMICRO_BASELINE_UNCERTAIN_DBSCAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "stream/point.h"
+
+namespace umicro::baseline {
+
+/// Label given to points not assigned to any cluster.
+inline constexpr int kDbscanNoise = -1;
+
+/// Tunables of uncertain DBSCAN.
+struct UncertainDbscanOptions {
+  /// Neighborhood radius.
+  double eps = 1.0;
+  /// Fuzzy core condition: sum over points of P(dist <= eps) >= this.
+  double min_points = 5.0;
+  /// Edge threshold: Y is reachable from core X when
+  /// P(dist(X,Y) <= eps) >= reachability_probability.
+  double reachability_probability = 0.5;
+};
+
+/// Result of a clustering run.
+struct UncertainDbscanResult {
+  /// Per-point cluster index, or kDbscanNoise.
+  std::vector<int> assignment;
+  /// Number of clusters found.
+  std::size_t num_clusters = 0;
+  /// Number of noise points.
+  std::size_t num_noise = 0;
+  /// Number of core points.
+  std::size_t num_core = 0;
+};
+
+/// Probability that the (uncertain) distance between `a` and `b` is at
+/// most `eps`, under the normal approximation documented above. Exact
+/// 0/1 answer in the fully deterministic case.
+double NeighborProbability(const stream::UncertainPoint& a,
+                           const stream::UncertainPoint& b, double eps);
+
+/// Runs uncertain DBSCAN over all points of `dataset`. O(n^2 d) -- a
+/// static-window algorithm, which is precisely the paper's point about
+/// why it does not extend to streams.
+UncertainDbscanResult UncertainDbscan(const stream::Dataset& dataset,
+                                      const UncertainDbscanOptions& options);
+
+}  // namespace umicro::baseline
+
+#endif  // UMICRO_BASELINE_UNCERTAIN_DBSCAN_H_

@@ -1,0 +1,56 @@
+#include "baseline/windowed_uk_means.h"
+
+#include "stream/dataset.h"
+#include "util/check.h"
+
+namespace umicro::baseline {
+
+WindowedUkMeans::WindowedUkMeans(std::size_t dimensions,
+                                 WindowedUkMeansOptions options)
+    : dimensions_(dimensions), options_(options) {
+  UMICRO_CHECK(dimensions > 0);
+  UMICRO_CHECK(options_.window_size > 0);
+  UMICRO_CHECK(options_.recluster_every > 0);
+}
+
+void WindowedUkMeans::Recluster() {
+  if (window_.empty()) return;
+  stream::Dataset dataset(dimensions_);
+  for (const auto& point : window_) dataset.Add(point);
+  // Vary the seed across re-clusterings for independent restarts while
+  // keeping the whole run reproducible.
+  UkMeansOptions uk = options_.uk_means;
+  uk.seed = options_.uk_means.seed + reclusterings_;
+  current_ = UkMeans(dataset, uk);
+  ++reclusterings_;
+
+  current_histograms_.assign(current_.centroids.size(),
+                             stream::LabelHistogram{});
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (window_[i].label == stream::kUnlabeled) continue;
+    current_histograms_[static_cast<std::size_t>(current_.assignment[i])]
+                       [window_[i].label] += 1.0;
+  }
+}
+
+void WindowedUkMeans::Process(const stream::UncertainPoint& point) {
+  UMICRO_CHECK(point.dimensions() == dimensions_);
+  ++points_processed_;
+  window_.push_back(point);
+  if (window_.size() > options_.window_size) window_.pop_front();
+  if (++since_recluster_ >= options_.recluster_every) {
+    Recluster();
+    since_recluster_ = 0;
+  }
+}
+
+std::vector<stream::LabelHistogram> WindowedUkMeans::ClusterLabelHistograms()
+    const {
+  return current_histograms_;
+}
+
+std::vector<std::vector<double>> WindowedUkMeans::ClusterCentroids() const {
+  return current_.centroids;
+}
+
+}  // namespace umicro::baseline

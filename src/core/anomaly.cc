@@ -1,0 +1,34 @@
+#include "core/anomaly.h"
+
+#include "util/check.h"
+
+namespace umicro::core {
+
+AnomalyDetector::AnomalyDetector(std::size_t dimensions,
+                                 AnomalyOptions options)
+    : options_(options), clusterer_(dimensions, options.umicro) {
+  UMICRO_CHECK(options_.rate_smoothing > 0.0 &&
+               options_.rate_smoothing <= 1.0);
+  UMICRO_CHECK(options_.burst_rate_threshold >= 0.0 &&
+               options_.burst_rate_threshold <= 1.0);
+}
+
+AnomalyVerdict AnomalyDetector::Process(
+    const stream::UncertainPoint& point) {
+  const UMicro::ProcessOutcome outcome =
+      clusterer_.ProcessAndExplain(point);
+  AnomalyVerdict verdict;
+  verdict.novel = !outcome.absorbed;
+  verdict.expected_distance = outcome.expected_distance;
+
+  novelty_rate_ += options_.rate_smoothing *
+                   ((verdict.novel ? 1.0 : 0.0) - novelty_rate_);
+  verdict.novelty_rate = novelty_rate_;
+  verdict.burst = verdict.novel &&
+                  novelty_rate_ > options_.burst_rate_threshold &&
+                  clusterer_.points_processed() > options_.warmup_points;
+  if (verdict.burst) ++burst_count_;
+  return verdict;
+}
+
+}  // namespace umicro::core

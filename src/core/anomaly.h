@@ -1,0 +1,73 @@
+// Streaming anomaly detection on top of UMicro.
+//
+// A record that cannot be absorbed by any existing micro-cluster is a
+// novelty; a sustained burst of novelties signals a new pattern (e.g.
+// the attack bursts of the intrusion scenario). This wrapper drives a
+// UMicro instance, tracks the recent novelty rate with an exponential
+// moving average, and scores each record by how far it fell outside its
+// nearest cluster's uncertainty boundary.
+
+#ifndef UMICRO_CORE_ANOMALY_H_
+#define UMICRO_CORE_ANOMALY_H_
+
+#include <cstddef>
+
+#include "core/umicro.h"
+#include "stream/point.h"
+
+namespace umicro::core {
+
+/// Configuration of the anomaly layer.
+struct AnomalyOptions {
+  /// The underlying clusterer's configuration.
+  UMicroOptions umicro;
+  /// EMA factor for the novelty-rate estimate (per record).
+  double rate_smoothing = 0.01;
+  /// A record is flagged anomalous when it is a novelty and the recent
+  /// novelty rate exceeds this threshold (bursts, not lone outliers).
+  double burst_rate_threshold = 0.2;
+  /// Records processed before burst flagging starts: the cold-start
+  /// phase creates micro-clusters for everything and is inherently
+  /// "bursty" without being anomalous.
+  std::size_t warmup_points = 200;
+};
+
+/// Verdict for one record.
+struct AnomalyVerdict {
+  /// True when the record created a new micro-cluster (novelty).
+  bool novel = false;
+  /// True when the record is part of a novelty burst.
+  bool burst = false;
+  /// Expected distance to the chosen cluster (0 for the first record).
+  double expected_distance = 0.0;
+  /// Smoothed recent novelty rate after this record.
+  double novelty_rate = 0.0;
+};
+
+/// UMicro-backed streaming anomaly detector.
+class AnomalyDetector {
+ public:
+  AnomalyDetector(std::size_t dimensions, AnomalyOptions options);
+
+  /// Processes one record and returns its verdict.
+  AnomalyVerdict Process(const stream::UncertainPoint& point);
+
+  /// The underlying clusterer (inspection).
+  const UMicro& clusterer() const { return clusterer_; }
+
+  /// Smoothed novelty rate right now.
+  double novelty_rate() const { return novelty_rate_; }
+
+  /// Total records flagged as burst anomalies.
+  std::size_t burst_count() const { return burst_count_; }
+
+ private:
+  AnomalyOptions options_;
+  UMicro clusterer_;
+  double novelty_rate_ = 0.0;
+  std::size_t burst_count_ = 0;
+};
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_ANOMALY_H_

@@ -1,0 +1,30 @@
+#include "core/engine.h"
+
+#include "util/check.h"
+
+namespace umicro::core {
+
+UMicroEngine::UMicroEngine(std::size_t dimensions, EngineOptions options)
+    : options_(options),
+      online_(dimensions, options.umicro),
+      store_(options.pyramid_alpha, options.pyramid_l) {
+  UMICRO_CHECK(options_.snapshot_every > 0);
+}
+
+void UMicroEngine::Process(const stream::UncertainPoint& point) {
+  online_.Process(point);
+  last_timestamp_ = point.timestamp;
+  if (++since_snapshot_ >= options_.snapshot_every) {
+    store_.Insert(next_tick_++, online_.TakeSnapshot(point.timestamp));
+    since_snapshot_ = 0;
+  }
+}
+
+std::optional<HorizonClustering> UMicroEngine::ClusterRecent(
+    double horizon, const MacroClusteringOptions& options) const {
+  if (online_.points_processed() == 0) return std::nullopt;
+  const Snapshot current = online_.TakeSnapshot(last_timestamp_);
+  return ClusterOverHorizon(store_, current, horizon, options);
+}
+
+}  // namespace umicro::core

@@ -1,0 +1,73 @@
+// UMicroEngine: the paper's full online/interactive analysis stack in
+// one object.
+//
+// Section II-D: "as in [CluStream], the approach can be used to perform
+// interactive and online clustering in a data stream environment". The
+// engine owns the UMicro online component and the pyramidal snapshot
+// store, takes snapshots automatically at a fixed cadence, and answers
+// horizon queries ("what did the stream look like over the last h time
+// units, as k clusters?") at any moment.
+
+#ifndef UMICRO_CORE_ENGINE_H_
+#define UMICRO_CORE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "core/horizon.h"
+#include "core/snapshot.h"
+#include "core/umicro.h"
+#include "stream/point.h"
+
+namespace umicro::core {
+
+/// Configuration of the combined engine.
+struct EngineOptions {
+  /// Online component configuration.
+  UMicroOptions umicro;
+  /// Stream points between automatic snapshots.
+  std::size_t snapshot_every = 100;
+  /// Pyramidal geometric base alpha (>= 2).
+  std::size_t pyramid_alpha = 2;
+  /// Pyramidal precision l (>= 1): alpha^l + 1 snapshots kept per order.
+  std::size_t pyramid_l = 3;
+};
+
+/// Online uncertain-stream clustering with historical horizon queries.
+class UMicroEngine {
+ public:
+  /// Creates an engine for `dimensions`-dimensional streams.
+  UMicroEngine(std::size_t dimensions, EngineOptions options);
+
+  /// Feeds the next stream record; snapshots automatically every
+  /// `snapshot_every` points.
+  void Process(const stream::UncertainPoint& point);
+
+  /// Online component (current micro-clusters, diagnostics).
+  const UMicro& online() const { return online_; }
+
+  /// Snapshot store (inspection / persistence).
+  const SnapshotStore& store() const { return store_; }
+
+  /// Clusters the most recent `horizon` time units into
+  /// `options.k` macro-clusters. Returns std::nullopt before the first
+  /// snapshot or when the window is empty.
+  std::optional<HorizonClustering> ClusterRecent(
+      double horizon, const MacroClusteringOptions& options) const;
+
+  /// Total records processed.
+  std::size_t points_processed() const { return online_.points_processed(); }
+
+ private:
+  EngineOptions options_;
+  UMicro online_;
+  SnapshotStore store_;
+  std::uint64_t next_tick_ = 1;
+  std::size_t since_snapshot_ = 0;
+  double last_timestamp_ = 0.0;
+};
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_ENGINE_H_

@@ -1,0 +1,85 @@
+// Cluster-evolution analysis across horizons.
+//
+// The CluStream framework the paper extends exists precisely to support
+// "analysis of clustering trends": compare the macro-structure of two
+// time windows and report what appeared, vanished, drifted, or changed
+// mass. This module implements that comparison over the uncertain
+// micro-cluster substrate: macro-cluster both windows, greedily match
+// macro-clusters across windows by centroid distance, and classify each
+// as stable / drifted / born / died.
+
+#ifndef UMICRO_CORE_EVOLUTION_H_
+#define UMICRO_CORE_EVOLUTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/macro_cluster.h"
+#include "core/snapshot.h"
+
+namespace umicro::core {
+
+/// Options for the evolution comparison.
+struct EvolutionOptions {
+  /// Macro-clustering applied to each window.
+  MacroClusteringOptions macro;
+  /// A matched pair whose centroid moved at most this many times the
+  /// earlier cluster's RMS radius counts as stable; farther = drifted.
+  double drift_radius_factor = 1.0;
+  /// Matches farther than this many earlier-RMS-radii are rejected
+  /// entirely (the earlier cluster died, the later one was born).
+  double match_radius_factor = 4.0;
+};
+
+/// Evolution verdict for one macro-cluster.
+enum class ClusterFate {
+  kStable,   ///< matched, small centroid movement
+  kDrifted,  ///< matched, centroid moved materially
+  kBorn,     ///< present only in the later window
+  kDied,     ///< present only in the earlier window
+};
+
+/// One entry of the evolution report.
+struct ClusterEvolution {
+  ClusterFate fate = ClusterFate::kStable;
+  /// Centroid in the earlier window (empty for kBorn).
+  std::vector<double> earlier_centroid;
+  /// Centroid in the later window (empty for kDied).
+  std::vector<double> later_centroid;
+  /// Mass in each window (0 where absent).
+  double earlier_mass = 0.0;
+  double later_mass = 0.0;
+  /// Centroid displacement (0 for born/died).
+  double drift_distance = 0.0;
+};
+
+/// Full report of a two-window comparison.
+struct EvolutionReport {
+  std::vector<ClusterEvolution> clusters;
+
+  /// Convenience counts.
+  std::size_t stable() const { return Count(ClusterFate::kStable); }
+  std::size_t drifted() const { return Count(ClusterFate::kDrifted); }
+  std::size_t born() const { return Count(ClusterFate::kBorn); }
+  std::size_t died() const { return Count(ClusterFate::kDied); }
+
+ private:
+  std::size_t Count(ClusterFate fate) const {
+    std::size_t n = 0;
+    for (const auto& entry : clusters) {
+      if (entry.fate == fate) ++n;
+    }
+    return n;
+  }
+};
+
+/// Compares the macro-structure of two micro-cluster windows (typically
+/// two horizon extractions). Both windows must be non-empty.
+EvolutionReport CompareWindows(
+    const std::vector<MicroClusterState>& earlier,
+    const std::vector<MicroClusterState>& later,
+    const EvolutionOptions& options);
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_EVOLUTION_H_

@@ -1,0 +1,23 @@
+#include "core/horizon.h"
+
+#include "util/check.h"
+
+namespace umicro::core {
+
+std::optional<HorizonClustering> ClusterOverHorizon(
+    const SnapshotStore& store, const Snapshot& current, double horizon,
+    const MacroClusteringOptions& options) {
+  UMICRO_CHECK(horizon > 0.0);
+  const auto older = store.FindNearest(current.time - horizon);
+  if (!older.has_value()) return std::nullopt;
+  if (older->time > current.time) return std::nullopt;
+
+  HorizonClustering result;
+  result.realized_horizon = current.time - older->time;
+  result.window = SubtractSnapshot(current, *older);
+  if (result.window.empty()) return std::nullopt;
+  result.macro = ClusterMicroClusters(result.window, options);
+  return result;
+}
+
+}  // namespace umicro::core

@@ -1,0 +1,36 @@
+// Horizon-scoped clustering: combine the pyramidal snapshot store, ECF
+// subtractivity, and offline macro-clustering into one query.
+
+#ifndef UMICRO_CORE_HORIZON_H_
+#define UMICRO_CORE_HORIZON_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/macro_cluster.h"
+#include "core/snapshot.h"
+
+namespace umicro::core {
+
+/// Result of a horizon query.
+struct HorizonClustering {
+  /// The horizon actually realized, h' (closest stored snapshot).
+  double realized_horizon = 0.0;
+  /// Micro-cluster statistics covering exactly (t_c - h', t_c].
+  std::vector<MicroClusterState> window;
+  /// Macro-clustering of the window (k centroids + assignment).
+  MacroClustering macro;
+};
+
+/// Answers "cluster the last `horizon` time units into `k` groups":
+/// finds the stored snapshot nearest to `current.time - horizon`,
+/// subtracts it from `current`, and macro-clusters the residual window.
+/// Returns std::nullopt when the store holds no usable snapshot or the
+/// window is empty.
+std::optional<HorizonClustering> ClusterOverHorizon(
+    const SnapshotStore& store, const Snapshot& current, double horizon,
+    const MacroClusteringOptions& options);
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_HORIZON_H_

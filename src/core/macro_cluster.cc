@@ -1,0 +1,152 @@
+#include "core/macro_cluster.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/math_utils.h"
+#include "util/random.h"
+
+namespace umicro::core {
+
+namespace {
+
+/// One k-means++ seeded Lloyd run; returns its weighted SSQ result.
+MacroClustering RunOnce(const std::vector<std::vector<double>>& points,
+                        const std::vector<double>& weights, std::size_t k,
+                        std::size_t max_iterations, double tolerance,
+                        util::Rng& rng) {
+  const std::size_t n = points.size();
+  const std::size_t dims = points[0].size();
+
+  // k-means++ seeding with point weights folded into the D^2 sampling.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.Categorical(weights)]);
+  std::vector<double> min_dist2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    std::vector<double> sampling(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist2[i] = std::min(
+          min_dist2[i], util::SquaredDistance(points[i], centroids.back()));
+      sampling[i] = weights[i] * min_dist2[i];
+      total += sampling[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[rng.NextBounded(n)]);
+    } else {
+      centroids.push_back(points[rng.Categorical(sampling)]);
+    }
+  }
+
+  MacroClustering result;
+  result.assignment.assign(n, 0);
+  double previous_ssq = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Assignment step.
+    double ssq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d2 = util::SquaredDistance(points[i], centroids[c]);
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.assignment[i] = best_c;
+      ssq += weights[i] * best;
+    }
+    result.weighted_ssq = ssq;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(centroids.size(),
+                                          std::vector<double>(dims, 0.0));
+    std::vector<double> mass(centroids.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      mass[c] += weights[i];
+      for (std::size_t j = 0; j < dims; ++j) {
+        sums[c][j] += weights[i] * points[i][j];
+      }
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (mass[c] <= 0.0) {
+        // Empty macro-cluster: re-seed at the heaviest pseudo-point.
+        centroids[c] = points[rng.Categorical(weights)];
+        continue;
+      }
+      for (std::size_t j = 0; j < dims; ++j) {
+        centroids[c][j] = sums[c][j] / mass[c];
+      }
+    }
+
+    if (previous_ssq - ssq <= tolerance * std::max(1.0, previous_ssq)) break;
+    previous_ssq = ssq;
+  }
+
+  // Final assignment pass so the returned assignment/SSQ are consistent
+  // with the returned (post-update) centroids.
+  double final_ssq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      const double d2 = util::SquaredDistance(points[i], centroids[c]);
+      if (d2 < best) {
+        best = d2;
+        best_c = static_cast<int>(c);
+      }
+    }
+    result.assignment[i] = best_c;
+    final_ssq += weights[i] * best;
+  }
+  result.weighted_ssq = final_ssq;
+
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+MacroClustering WeightedKMeans(const std::vector<std::vector<double>>& points,
+                               const std::vector<double>& weights,
+                               const MacroClusteringOptions& options) {
+  UMICRO_CHECK(!points.empty());
+  UMICRO_CHECK(points.size() == weights.size());
+  UMICRO_CHECK(options.k > 0);
+  for (double w : weights) UMICRO_CHECK(w > 0.0);
+
+  const std::size_t k = std::min(options.k, points.size());
+  util::Rng rng(options.seed);
+  MacroClustering best;
+  best.weighted_ssq = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(1, options.num_restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    MacroClustering run = RunOnce(points, weights, k, options.max_iterations,
+                                  options.tolerance, rng);
+    if (run.weighted_ssq < best.weighted_ssq) best = std::move(run);
+  }
+  return best;
+}
+
+MacroClustering ClusterMicroClusters(
+    const std::vector<MicroClusterState>& states,
+    const MacroClusteringOptions& options) {
+  UMICRO_CHECK(!states.empty());
+  std::vector<std::vector<double>> points;
+  std::vector<double> weights;
+  points.reserve(states.size());
+  weights.reserve(states.size());
+  for (const auto& state : states) {
+    UMICRO_CHECK(!state.ecf.empty());
+    points.push_back(state.ecf.Centroid());
+    weights.push_back(state.ecf.weight());
+  }
+  return WeightedKMeans(points, weights, options);
+}
+
+}  // namespace umicro::core

@@ -1,0 +1,57 @@
+// Offline macro-clustering over micro-clusters (the "higher level
+// macro-clusters" of Section II-D).
+//
+// Micro-clusters act as weighted pseudo-points (centroid, weight); a
+// weighted k-means with k-means++ seeding groups them into the
+// user-requested number of macro-clusters, typically over a horizon
+// extracted from the pyramidal snapshot store.
+
+#ifndef UMICRO_CORE_MACRO_CLUSTER_H_
+#define UMICRO_CORE_MACRO_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace umicro::core {
+
+/// Tunables of the offline weighted k-means.
+struct MacroClusteringOptions {
+  /// Number of macro-clusters to produce.
+  std::size_t k = 5;
+  /// Lloyd iteration cap.
+  std::size_t max_iterations = 100;
+  /// Relative SSQ improvement below which iteration stops.
+  double tolerance = 1e-7;
+  /// Independent restarts; the best (lowest weighted SSQ) run wins.
+  std::size_t num_restarts = 3;
+  /// RNG seed.
+  std::uint64_t seed = 11;
+};
+
+/// Result of a macro-clustering run.
+struct MacroClustering {
+  /// Macro-cluster centroids (k of them, possibly fewer if inputs < k).
+  std::vector<std::vector<double>> centroids;
+  /// For each input pseudo-point, the index of its macro-cluster.
+  std::vector<int> assignment;
+  /// Weighted sum of squared distances at convergence.
+  double weighted_ssq = 0.0;
+};
+
+/// Weighted k-means over explicit pseudo-points. `points` and `weights`
+/// must have equal size; weights must be positive.
+MacroClustering WeightedKMeans(const std::vector<std::vector<double>>& points,
+                               const std::vector<double>& weights,
+                               const MacroClusteringOptions& options);
+
+/// Convenience: macro-clusters a set of micro-cluster states (e.g. the
+/// output of SubtractSnapshot) using centroid/weight pseudo-points.
+MacroClustering ClusterMicroClusters(
+    const std::vector<MicroClusterState>& states,
+    const MacroClusteringOptions& options);
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_MACRO_CLUSTER_H_

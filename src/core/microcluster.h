@@ -1,0 +1,58 @@
+// A live micro-cluster: ECF statistics plus bookkeeping the algorithm
+// needs (identity, creation time) and evaluation-only label histograms.
+
+#ifndef UMICRO_CORE_MICROCLUSTER_H_
+#define UMICRO_CORE_MICROCLUSTER_H_
+
+#include <cstdint>
+
+#include "core/cluster_feature.h"
+#include "stream/clusterer.h"
+#include "stream/point.h"
+
+namespace umicro::core {
+
+/// One micro-cluster maintained by the UMicro algorithm.
+///
+/// `labels` accumulates ground-truth label weights for evaluation (cluster
+/// purity); it never influences clustering decisions. Under time decay the
+/// histogram is scaled together with the ECF so purity reflects the same
+/// weighting as the statistics.
+struct MicroCluster {
+  /// Stable identity, used to match clusters across snapshots for the
+  /// subtractive horizon computation.
+  std::uint64_t id = 0;
+  /// Timestamp of the point that created this cluster.
+  double creation_time = 0.0;
+  /// The additive error-based statistics.
+  ErrorClusterFeature ecf;
+  /// Evaluation-only ground-truth histogram.
+  stream::LabelHistogram labels;
+
+  MicroCluster() = default;
+
+  /// Creates a singleton cluster from `point`.
+  MicroCluster(std::uint64_t cluster_id, const stream::UncertainPoint& point,
+               double weight = 1.0)
+      : id(cluster_id),
+        creation_time(point.timestamp),
+        ecf(ErrorClusterFeature::FromPoint(point, weight)) {
+    if (point.label != stream::kUnlabeled) labels[point.label] += weight;
+  }
+
+  /// Folds `point` into the statistics and the label histogram.
+  void AddPoint(const stream::UncertainPoint& point, double weight = 1.0) {
+    ecf.AddPoint(point, weight);
+    if (point.label != stream::kUnlabeled) labels[point.label] += weight;
+  }
+
+  /// Applies one decay step to statistics and histogram alike.
+  void Decay(double factor) {
+    ecf.Scale(factor);
+    for (auto& [label, w] : labels) w *= factor;
+  }
+};
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_MICROCLUSTER_H_

@@ -1,0 +1,109 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace umicro::core {
+
+namespace {
+/// Weight below which a subtracted cluster is considered empty.
+constexpr double kMinResidualWeight = 1e-9;
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::size_t alpha, std::size_t l)
+    : alpha_(alpha) {
+  UMICRO_CHECK(alpha >= 2);
+  UMICRO_CHECK(l >= 1);
+  double capacity = 1.0;
+  for (std::size_t i = 0; i < l; ++i) capacity *= static_cast<double>(alpha);
+  UMICRO_CHECK_MSG(capacity <= 1e9, "alpha^l too large to retain");
+  capacity_per_order_ = static_cast<std::size_t>(capacity) + 1;
+}
+
+std::size_t SnapshotStore::OrderOf(std::uint64_t tick) const {
+  UMICRO_CHECK(tick >= 1);
+  std::size_t order = 0;
+  while (tick % alpha_ == 0) {
+    tick /= alpha_;
+    ++order;
+  }
+  return order;
+}
+
+void SnapshotStore::Insert(std::uint64_t tick, Snapshot snapshot) {
+  UMICRO_CHECK_MSG(tick > last_tick_, "ticks must be strictly increasing");
+  last_tick_ = tick;
+  const std::size_t order = OrderOf(tick);
+  if (order >= orders_.size()) orders_.resize(order + 1);
+  auto& ring = orders_[order];
+  ring.push_back(std::move(snapshot));
+  if (ring.size() > capacity_per_order_) ring.pop_front();
+}
+
+std::optional<Snapshot> SnapshotStore::FindAtOrBefore(double time) const {
+  const Snapshot* best = nullptr;
+  for (const auto& ring : orders_) {
+    for (const auto& snapshot : ring) {
+      if (snapshot.time <= time &&
+          (best == nullptr || snapshot.time > best->time)) {
+        best = &snapshot;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<Snapshot> SnapshotStore::FindNearest(double time) const {
+  const Snapshot* best = nullptr;
+  double best_diff = 0.0;
+  for (const auto& ring : orders_) {
+    for (const auto& snapshot : ring) {
+      const double diff = std::abs(snapshot.time - time);
+      if (best == nullptr || diff < best_diff) {
+        best = &snapshot;
+        best_diff = diff;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::size_t SnapshotStore::TotalStored() const {
+  std::size_t total = 0;
+  for (const auto& ring : orders_) total += ring.size();
+  return total;
+}
+
+std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
+                                                const Snapshot& older) {
+  UMICRO_CHECK(older.time <= current.time);
+  std::unordered_map<std::uint64_t, const MicroClusterState*> older_by_id;
+  older_by_id.reserve(older.clusters.size());
+  for (const auto& state : older.clusters) {
+    older_by_id.emplace(state.id, &state);
+  }
+
+  std::vector<MicroClusterState> result;
+  result.reserve(current.clusters.size());
+  for (const auto& state : current.clusters) {
+    auto it = older_by_id.find(state.id);
+    if (it == older_by_id.end()) {
+      // Created inside the horizon: keep whole.
+      result.push_back(state);
+      continue;
+    }
+    MicroClusterState window = state;
+    window.ecf.Subtract(it->second->ecf);
+    if (window.ecf.weight() > kMinResidualWeight) {
+      result.push_back(std::move(window));
+    }
+  }
+  return result;
+}
+
+}  // namespace umicro::core

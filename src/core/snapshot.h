@@ -1,0 +1,98 @@
+// Pyramidal time frame storage (Section II-D).
+//
+// Micro-cluster statistics are saved at snapshot instants. Snapshots are
+// classified into orders: a clock tick t belongs to order i when t is
+// divisible by alpha^i (we store it at its highest such order, as in the
+// CluStream framework), and at most alpha^l + 1 snapshots are retained
+// per order. For any user horizon h there then exists a stored snapshot
+// at h' close to h (Eq. 7 states |h - h'| / h <= 1/alpha^l; the bound
+// provable for this retention policy -- and the one CluStream's Property
+// 1 actually establishes -- is 2/alpha^(l-1), with the 1/alpha^l figure
+// holding for alpha = 2 and empirically for small alpha), and the
+// additive/subtractive ECF properties recover the statistics of exactly
+// the window (t_c - h', t_c].
+
+#ifndef UMICRO_CORE_SNAPSHOT_H_
+#define UMICRO_CORE_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/cluster_feature.h"
+
+namespace umicro::core {
+
+/// Frozen state of one micro-cluster inside a snapshot.
+struct MicroClusterState {
+  std::uint64_t id = 0;
+  double creation_time = 0.0;
+  ErrorClusterFeature ecf;
+};
+
+/// Frozen state of the whole micro-cluster set at one instant.
+struct Snapshot {
+  /// Stream time at which the snapshot was taken.
+  double time = 0.0;
+  /// All live micro-clusters at that time.
+  std::vector<MicroClusterState> clusters;
+};
+
+/// Pyramidal retention store for snapshots.
+class SnapshotStore {
+ public:
+  /// `alpha` >= 2 is the geometric base; `l` >= 1 controls precision:
+  /// each order keeps alpha^l + 1 snapshots and horizons are then
+  /// approximable within a factor 1/alpha^l.
+  SnapshotStore(std::size_t alpha, std::size_t l);
+
+  /// Stores `snapshot`, which was taken at integer clock `tick` >= 1.
+  /// Ticks must be inserted in increasing order.
+  void Insert(std::uint64_t tick, Snapshot snapshot);
+
+  /// Highest-order snapshot classification of `tick` (largest i with
+  /// alpha^i dividing tick); exposed for tests.
+  std::size_t OrderOf(std::uint64_t tick) const;
+
+  /// Snapshot whose time is closest to `time` from below (<= time).
+  std::optional<Snapshot> FindAtOrBefore(double time) const;
+
+  /// Snapshot whose time is nearest to `time` in absolute difference.
+  std::optional<Snapshot> FindNearest(double time) const;
+
+  /// Total number of snapshots currently retained (storage-cost metric).
+  std::size_t TotalStored() const;
+
+  /// Number of order levels currently in use.
+  std::size_t NumOrders() const { return orders_.size(); }
+
+  /// Per-order retention capacity: alpha^l + 1.
+  std::size_t CapacityPerOrder() const { return capacity_per_order_; }
+
+  /// Geometric base alpha.
+  std::size_t alpha() const { return alpha_; }
+
+ private:
+  std::size_t alpha_;
+  std::size_t capacity_per_order_;
+  std::uint64_t last_tick_ = 0;
+  /// orders_[i] holds the most recent snapshots of order i, oldest first.
+  std::vector<std::deque<Snapshot>> orders_;
+};
+
+/// Horizon extraction via subtractivity: returns the micro-cluster
+/// statistics covering the window (older.time, current.time].
+///
+/// Clusters present in both snapshots have the older statistics
+/// subtracted; clusters created after the older snapshot are retained in
+/// their current form; clusters that vanished in between are discarded
+/// (they live only in `older`). Entries whose subtracted weight drops to
+/// (near) zero are dropped.
+std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
+                                                const Snapshot& older);
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_SNAPSHOT_H_

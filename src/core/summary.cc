@@ -1,0 +1,73 @@
+#include "core/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace umicro::core {
+
+std::string SummarizeClusters(const std::vector<MicroCluster>& clusters,
+                              const SummaryOptions& options) {
+  // Sort indices by weight, heaviest first.
+  std::vector<std::size_t> order(clusters.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return clusters[a].ecf.weight() > clusters[b].ecf.weight();
+            });
+  const std::size_t shown =
+      options.top == 0 ? order.size()
+                       : std::min(options.top, order.size());
+
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%6s %10s %10s %10s %8s  %s\n", "id",
+                "weight", "radius", "mean-err", "label", "centroid");
+  out << line;
+  for (std::size_t rank = 0; rank < shown; ++rank) {
+    const MicroCluster& cluster = clusters[order[rank]];
+    if (cluster.ecf.empty()) continue;
+    const std::size_t d = cluster.ecf.dimensions();
+    // Mean per-dimension error stddev from EF2: sqrt(mean EF2_j / n).
+    double ef2_sum = 0.0;
+    for (double e : cluster.ecf.ef2()) ef2_sum += e;
+    const double mean_error = std::sqrt(
+        ef2_sum / (static_cast<double>(d) * cluster.ecf.weight()));
+
+    int dominant = stream::kUnlabeled;
+    double best = 0.0;
+    for (const auto& [label, weight] : cluster.labels) {
+      if (weight > best) {
+        best = weight;
+        dominant = label;
+      }
+    }
+    std::string label_text =
+        dominant == stream::kUnlabeled ? "-" : std::to_string(dominant);
+
+    std::snprintf(line, sizeof(line), "%6llu %10.1f %10.3f %10.3f %8s  ",
+                  static_cast<unsigned long long>(cluster.id),
+                  cluster.ecf.weight(), cluster.ecf.UncertainRadius(),
+                  mean_error, label_text.c_str());
+    out << line;
+    out << '(';
+    const std::size_t dims_shown = std::min(options.max_dims, d);
+    for (std::size_t j = 0; j < dims_shown; ++j) {
+      if (j > 0) out << ", ";
+      std::snprintf(line, sizeof(line), "%.3g",
+                    cluster.ecf.CentroidAt(j));
+      out << line;
+    }
+    if (dims_shown < d) out << ", ...";
+    out << ")\n";
+  }
+  if (shown < order.size()) {
+    std::snprintf(line, sizeof(line), "... and %zu more clusters\n",
+                  order.size() - shown);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace umicro::core

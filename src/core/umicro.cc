@@ -1,0 +1,396 @@
+#include "core/umicro.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/expected_distance.h"
+#include "util/check.h"
+
+namespace umicro::core {
+
+UMicro::UMicro(std::size_t dimensions, UMicroOptions options)
+    : dimensions_(dimensions),
+      options_(options),
+      welford_(dimensions),
+      global_variances_(dimensions, 0.0),
+      scaled_inverse_variances_(dimensions, 0.0) {
+  UMICRO_CHECK(dimensions > 0);
+  UMICRO_CHECK(options_.num_micro_clusters > 0);
+  UMICRO_CHECK(options_.boundary_factor > 0.0);
+  UMICRO_CHECK(options_.dimension_threshold > 0.0);
+  UMICRO_CHECK(options_.decay_lambda >= 0.0);
+  UMICRO_CHECK(options_.eviction_horizon >= 0.0);
+  UMICRO_CHECK(options_.variance_refresh_interval > 0);
+  clusters_.reserve(options_.num_micro_clusters + 1);
+}
+
+std::string UMicro::name() const {
+  return options_.decay_lambda > 0.0 ? "UMicro(decay)" : "UMicro";
+}
+
+void UMicro::ApplyDecay(double now) {
+  if (options_.decay_lambda <= 0.0) return;
+  if (!decay_clock_started_) {
+    decay_clock_started_ = true;
+    last_decay_time_ = now;
+    return;
+  }
+  const double dt = now - last_decay_time_;
+  if (dt <= 0.0) return;
+  // All statistics decay at the shared rate 2^(-lambda) per time unit
+  // (Section II-E); one factor therefore applies to every cluster.
+  const double factor = std::exp2(-options_.decay_lambda * dt);
+  for (auto& cluster : clusters_) cluster.Decay(factor);
+  last_decay_time_ = now;
+}
+
+void UMicro::UpdateGlobalVariances(const stream::UncertainPoint& point) {
+  switch (options_.variance_source) {
+    case VarianceSource::kStreamWelford: {
+      for (std::size_t j = 0; j < dimensions_; ++j) {
+        welford_[j].Add(point.values[j]);
+        global_variances_[j] = welford_[j].PopulationVariance();
+      }
+      break;
+    }
+    case VarianceSource::kClusterAggregate: {
+      if (points_processed_ % options_.variance_refresh_interval != 0 &&
+          !clusters_.empty()) {
+        return;
+      }
+      // Sum every micro-cluster's CF vector into one global feature
+      // vector and apply the BIRCH variance formula (the paper's recipe).
+      ErrorClusterFeature global(dimensions_);
+      for (const auto& cluster : clusters_) global.Merge(cluster.ecf);
+      if (global.empty()) return;
+      for (std::size_t j = 0; j < dimensions_; ++j) {
+        global_variances_[j] = global.VarianceAt(j);
+      }
+      break;
+    }
+  }
+  for (std::size_t j = 0; j < dimensions_; ++j) {
+    const double scaled = options_.dimension_threshold * global_variances_[j];
+    scaled_inverse_variances_[j] = scaled > 0.0 ? 1.0 / scaled : 0.0;
+  }
+}
+
+std::size_t UMicro::FindClosest(const stream::UncertainPoint& point) const {
+  UMICRO_DCHECK(!clusters_.empty());
+  if (options_.similarity == SimilarityMode::kDimensionCounting) {
+    // Inline replica of core::DimensionCountingSimilarity using the
+    // cached 1/(thresh*sigma^2) vector: this scan runs per point per
+    // cluster per dimension and is the algorithm's hottest loop, so it
+    // is written branchless (std::max instead of conditional adds; a
+    // zero-variance dimension has inv_scaled == 0 and must contribute
+    // nothing, handled by pre-folding the point-constant psi^2 term:
+    // psi2_scaled[j] == 0 there, and the vote reduces to
+    // max(0, 1*mask - geometric*0) with mask in {0,1}).
+    const double* x = point.values.data();
+    const double* inv_scaled = scaled_inverse_variances_.data();
+    const bool paper_form =
+        options_.distance_form == DistanceForm::kPaperExpected;
+
+    // Per-point precomputation: mask[j] = 1 if the dimension counts,
+    // base[j] = mask[j] - psi_j^2 * inv_scaled[j] (the vote an exact
+    // centroid match would get). One pass of O(d), reused q times.
+    similarity_scratch_.resize(2 * dimensions_);
+    double* mask = similarity_scratch_.data();
+    double* base = similarity_scratch_.data() + dimensions_;
+    for (std::size_t j = 0; j < dimensions_; ++j) {
+      mask[j] = inv_scaled[j] > 0.0 ? 1.0 : 0.0;
+      const double psi = point.ErrorAt(j);
+      base[j] = mask[j] - psi * psi * inv_scaled[j];
+    }
+
+    double best_similarity = -1.0;
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      const ErrorClusterFeature& ecf = clusters_[i].ecf;
+      const double inv_n = 1.0 / ecf.weight();
+      const double inv_n2 = inv_n * inv_n;
+      const double* cf1 = ecf.cf1().data();
+      const double* ef2 = ecf.ef2().data();
+      double s = 0.0;
+      if (paper_form) {
+        for (std::size_t j = 0; j < dimensions_; ++j) {
+          const double diff = x[j] - cf1[j] * inv_n;
+          const double dist2 = diff * diff + ef2[j] * inv_n2;
+          s += std::max(0.0, base[j] - dist2 * inv_scaled[j]);
+        }
+      } else {
+        for (std::size_t j = 0; j < dimensions_; ++j) {
+          const double diff = x[j] - cf1[j] * inv_n;
+          s += std::max(0.0, base[j] - diff * diff * inv_scaled[j]);
+        }
+      }
+      if (s > best_similarity) {
+        best_similarity = s;
+        best = i;
+      }
+    }
+    if (best_similarity > 0.0) return best;
+    // Every dimension of every cluster was pruned (all expected
+    // distances beyond thresh*sigma^2): the vote is uninformative, so
+    // fall back to the distance to break the tie.
+  }
+  double best_distance = std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const double v =
+        options_.distance_form == DistanceForm::kPaperExpected
+            ? ExpectedSquaredDistance(point, clusters_[i].ecf)
+            : GeometricSquaredDistance(point, clusters_[i].ecf);
+    if (v < best_distance) {
+      best_distance = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double UMicro::UncertaintyBoundary(std::size_t index) const {
+  const MicroCluster& cluster = clusters_[index];
+  if (cluster.ecf.weight() >= 2.0) {
+    const double own_radius =
+        options_.boundary_factor * cluster.ecf.UncertainRadius();
+    if (own_radius > 0.0) return own_radius;
+  }
+
+  // (Near-)singleton cluster: its own deviation statistics are not yet
+  // meaningful (a lone point's uncertain radius reflects only its
+  // measurement error, which under heavy noise spans the whole data
+  // space and would make the first micro-cluster swallow the entire
+  // stream), so use half the distance to the nearest other micro-cluster
+  // centroid instead -- the CluStream convention, halved so the boundary
+  // stays inside this cluster's Voronoi cell. With no other cluster to
+  // measure against the boundary is 0: a lone singleton absorbs only
+  // exact duplicates and the cluster set can grow from the start.
+  double nearest = 0.0;
+  if (clusters_.size() > 1) {
+    double nearest_d2 = std::numeric_limits<double>::infinity();
+    const double n_self = cluster.ecf.weight();
+    const double* cf1_self = cluster.ecf.cf1().data();
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      if (i == index) continue;
+      const double n_other = clusters_[i].ecf.weight();
+      const double* cf1_other = clusters_[i].ecf.cf1().data();
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < dimensions_; ++j) {
+        const double diff = cf1_self[j] / n_self - cf1_other[j] / n_other;
+        d2 += diff * diff;
+      }
+      nearest_d2 = std::min(nearest_d2, d2);
+    }
+    nearest = 0.5 * std::sqrt(nearest_d2);
+  }
+  return nearest;
+}
+
+bool UMicro::ShouldAbsorb(const stream::UncertainPoint& point,
+                          std::size_t index) const {
+  const MicroCluster& cluster = clusters_[index];
+  const double boundary = UncertaintyBoundary(index);
+
+  if (options_.distance_form == DistanceForm::kPaperExpected) {
+    // Paper-literal: the expected distance (Lemma 2.2) against t
+    // standard deviations of the expected point-to-centroid distances
+    // (Eq. 6). Under strong noise this over-absorbs, since the boundary
+    // carries t^2 times the error mass the distance does.
+    return std::sqrt(ExpectedSquaredDistance(point, cluster.ecf)) <=
+           boundary;
+  }
+
+  // Bias-corrected (default): the geometric distance between the
+  // instantiation and the expected centroid against the boundary. The
+  // mature-cluster boundary is still the paper's uncertain radius (t*U,
+  // Eq. 6), which is error-aware: heavily uncertain clusters accept a
+  // wider neighborhood, but the acceptance test itself cannot be gamed
+  // by the point's or the cluster's error mass.
+  return std::sqrt(GeometricSquaredDistance(point, cluster.ecf)) <=
+         boundary;
+}
+
+void UMicro::Process(const stream::UncertainPoint& point) {
+  ProcessAndExplain(point);
+}
+
+UMicro::ProcessOutcome UMicro::ProcessAndExplain(
+    const stream::UncertainPoint& point) {
+  UMICRO_CHECK_MSG(point.dimensions() == dimensions_,
+                   "point has %zu dimensions, algorithm expects %zu",
+                   point.dimensions(), dimensions_);
+  ++points_processed_;
+  ApplyDecay(point.timestamp);
+  UpdateGlobalVariances(point);
+
+  ProcessOutcome outcome;
+  if (!clusters_.empty()) {
+    const std::size_t closest = FindClosest(point);
+    outcome.expected_distance =
+        std::sqrt(ExpectedSquaredDistance(point, clusters_[closest].ecf));
+    if (ShouldAbsorb(point, closest)) {
+      clusters_[closest].AddPoint(point);
+      outcome.absorbed = true;
+      outcome.cluster_id = clusters_[closest].id;
+      return outcome;
+    }
+  }
+
+  clusters_.emplace_back(next_cluster_id_++, point);
+  ++clusters_created_;
+  outcome.absorbed = false;
+  outcome.cluster_id = clusters_.back().id;
+  if (clusters_.size() > options_.num_micro_clusters) {
+    RetireOneCluster(point.timestamp);
+  }
+  return outcome;
+}
+
+void UMicro::RetireOneCluster(double now) {
+  // The paper's rule: evict the least recently updated micro-cluster --
+  // applied when that cluster is actually stale. When every cluster is
+  // fresh, evicting would just churn through singletons, so the two
+  // closest micro-clusters are merged instead (the consolidation step of
+  // the CluStream framework this algorithm extends); the additive
+  // property makes the merge exact.
+  std::size_t lru = 0;
+  for (std::size_t i = 1; i < clusters_.size(); ++i) {
+    if (clusters_[i].ecf.last_update_time() <
+        clusters_[lru].ecf.last_update_time()) {
+      lru = i;
+    }
+  }
+  if (clusters_[lru].ecf.last_update_time() <
+      now - options_.eviction_horizon) {
+    clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(lru));
+    ++clusters_evicted_;
+    return;
+  }
+
+  // Materialize all centroids once (q*d divisions) so the closest-pair
+  // search below is pure multiply-adds.
+  const std::size_t q = clusters_.size();
+  centroid_scratch_.resize(q * dimensions_);
+  for (std::size_t i = 0; i < q; ++i) {
+    const double inv_n = 1.0 / clusters_[i].ecf.weight();
+    const double* cf1 = clusters_[i].ecf.cf1().data();
+    double* row = &centroid_scratch_[i * dimensions_];
+    for (std::size_t j = 0; j < dimensions_; ++j) row[j] = cf1[j] * inv_n;
+  }
+  std::size_t best_a = 0;
+  std::size_t best_b = 1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a + 1 < q; ++a) {
+    const double* row_a = &centroid_scratch_[a * dimensions_];
+    for (std::size_t b = a + 1; b < q; ++b) {
+      const double* row_b = &centroid_scratch_[b * dimensions_];
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < dimensions_; ++j) {
+        const double diff = row_a[j] - row_b[j];
+        d2 += diff * diff;
+      }
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  MicroCluster& into = clusters_[best_a];
+  MicroCluster& from = clusters_[best_b];
+  // The merged cluster continues under the heavier constituent's
+  // identity; the lighter id disappears, which horizon subtraction
+  // treats as a removed cluster (documented approximation).
+  if (from.ecf.weight() > into.ecf.weight()) {
+    std::swap(into.id, from.id);
+    std::swap(into.creation_time, from.creation_time);
+  }
+  into.creation_time = std::min(into.creation_time, from.creation_time);
+  into.ecf.Merge(from.ecf);
+  for (const auto& [label, weight] : from.labels) {
+    into.labels[label] += weight;
+  }
+  clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(best_b));
+  ++clusters_merged_;
+}
+
+UMicroState UMicro::ExportState() const {
+  UMicroState state;
+  state.clusters = clusters_;
+  state.welford.reserve(welford_.size());
+  for (const auto& acc : welford_) {
+    state.welford.push_back({acc.count(), acc.Mean(), acc.m2()});
+  }
+  state.global_variances = global_variances_;
+  state.next_cluster_id = next_cluster_id_;
+  state.points_processed = points_processed_;
+  state.clusters_created = clusters_created_;
+  state.clusters_evicted = clusters_evicted_;
+  state.clusters_merged = clusters_merged_;
+  state.last_decay_time = last_decay_time_;
+  state.decay_clock_started = decay_clock_started_;
+  return state;
+}
+
+void UMicro::RestoreState(const UMicroState& state) {
+  UMICRO_CHECK_MSG(state.welford.size() == dimensions_,
+                   "state has %zu dimensions, algorithm expects %zu",
+                   state.welford.size(), dimensions_);
+  UMICRO_CHECK(state.global_variances.size() == dimensions_);
+  for (const auto& cluster : state.clusters) {
+    UMICRO_CHECK(cluster.ecf.dimensions() == dimensions_);
+  }
+  clusters_ = state.clusters;
+  welford_.clear();
+  welford_.reserve(state.welford.size());
+  for (const auto& raw : state.welford) {
+    welford_.push_back(
+        util::WelfordAccumulator::FromRaw(raw.count, raw.mean, raw.m2));
+  }
+  global_variances_ = state.global_variances;
+  for (std::size_t j = 0; j < dimensions_; ++j) {
+    const double scaled = options_.dimension_threshold * global_variances_[j];
+    scaled_inverse_variances_[j] = scaled > 0.0 ? 1.0 / scaled : 0.0;
+  }
+  next_cluster_id_ = state.next_cluster_id;
+  points_processed_ = state.points_processed;
+  clusters_created_ = state.clusters_created;
+  clusters_evicted_ = state.clusters_evicted;
+  clusters_merged_ = state.clusters_merged;
+  last_decay_time_ = state.last_decay_time;
+  decay_clock_started_ = state.decay_clock_started;
+}
+
+std::vector<stream::LabelHistogram> UMicro::ClusterLabelHistograms() const {
+  std::vector<stream::LabelHistogram> histograms;
+  histograms.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) histograms.push_back(cluster.labels);
+  return histograms;
+}
+
+std::vector<std::vector<double>> UMicro::ClusterCentroids() const {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    if (!cluster.ecf.empty()) centroids.push_back(cluster.ecf.Centroid());
+  }
+  return centroids;
+}
+
+Snapshot UMicro::TakeSnapshot(double time) const {
+  Snapshot snapshot;
+  snapshot.time = time;
+  snapshot.clusters.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    MicroClusterState state;
+    state.id = cluster.id;
+    state.creation_time = cluster.creation_time;
+    state.ecf = cluster.ecf;
+    snapshot.clusters.push_back(std::move(state));
+  }
+  return snapshot;
+}
+
+}  // namespace umicro::core

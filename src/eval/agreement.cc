@@ -1,0 +1,103 @@
+#include "eval/agreement.h"
+
+#include <cmath>
+#include <map>
+
+namespace umicro::eval {
+
+namespace {
+
+/// "n choose 2" generalized to real-valued mass.
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+/// Row sums (per cluster), column sums (per class), and total mass.
+struct Marginals {
+  std::vector<double> cluster_mass;
+  std::map<int, double> class_mass;
+  double total = 0.0;
+};
+
+Marginals ComputeMarginals(
+    const std::vector<stream::LabelHistogram>& histograms) {
+  Marginals m;
+  m.cluster_mass.reserve(histograms.size());
+  for (const auto& histogram : histograms) {
+    double row = 0.0;
+    for (const auto& [label, weight] : histogram) {
+      row += weight;
+      m.class_mass[label] += weight;
+    }
+    m.cluster_mass.push_back(row);
+    m.total += row;
+  }
+  return m;
+}
+
+}  // namespace
+
+double AdjustedRandIndex(
+    const std::vector<stream::LabelHistogram>& histograms) {
+  const Marginals m = ComputeMarginals(histograms);
+  if (m.total < 2.0) return 0.0;
+
+  double sum_cells = 0.0;
+  for (const auto& histogram : histograms) {
+    for (const auto& [label, weight] : histogram) {
+      sum_cells += Choose2(weight);
+    }
+  }
+  double sum_rows = 0.0;
+  for (double row : m.cluster_mass) sum_rows += Choose2(row);
+  double sum_cols = 0.0;
+  for (const auto& [label, mass] : m.class_mass) sum_cols += Choose2(mass);
+
+  const double expected = sum_rows * sum_cols / Choose2(m.total);
+  const double maximum = 0.5 * (sum_rows + sum_cols);
+  if (maximum - expected == 0.0) {
+    // Degenerate table (e.g. one cluster == one class): perfect
+    // agreement by convention.
+    return 1.0;
+  }
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+double NormalizedMutualInformation(
+    const std::vector<stream::LabelHistogram>& histograms) {
+  const Marginals m = ComputeMarginals(histograms);
+  if (m.total <= 0.0) return 0.0;
+
+  double mutual_information = 0.0;
+  for (std::size_t c = 0; c < histograms.size(); ++c) {
+    for (const auto& [label, weight] : histograms[c]) {
+      if (weight <= 0.0) continue;
+      const double p_joint = weight / m.total;
+      const double p_cluster = m.cluster_mass[c] / m.total;
+      const double p_class = m.class_mass.at(label) / m.total;
+      mutual_information +=
+          p_joint * std::log(p_joint / (p_cluster * p_class));
+    }
+  }
+
+  double h_cluster = 0.0;
+  for (double row : m.cluster_mass) {
+    if (row <= 0.0) continue;
+    const double p = row / m.total;
+    h_cluster -= p * std::log(p);
+  }
+  double h_class = 0.0;
+  for (const auto& [label, mass] : m.class_mass) {
+    if (mass <= 0.0) continue;
+    const double p = mass / m.total;
+    h_class -= p * std::log(p);
+  }
+
+  const double normalizer = 0.5 * (h_cluster + h_class);
+  if (normalizer <= 0.0) return 0.0;
+  // Clamp tiny floating-point overshoot.
+  const double nmi = mutual_information / normalizer;
+  if (nmi < 0.0) return 0.0;
+  if (nmi > 1.0) return 1.0;
+  return nmi;
+}
+
+}  // namespace umicro::eval

@@ -1,0 +1,38 @@
+// Clustering-agreement metrics: Adjusted Rand Index and Normalized
+// Mutual Information.
+//
+// The paper evaluates with cluster purity, which rewards fragmenting the
+// stream into many small clusters. ARI and NMI penalize both mixing and
+// fragmentation and are the standard complements in the clustering
+// literature. Both are computed from the cluster-by-class contingency
+// table, which for a stream clusterer is exactly the per-cluster label
+// histogram the algorithms already maintain (weighted counts are
+// supported; decay weights simply generalize the combinatorics'
+// n-choose-2 to w^2/2 in the limit -- we use the standard integer
+// formulas on the weights, exact whenever weights are counts).
+
+#ifndef UMICRO_EVAL_AGREEMENT_H_
+#define UMICRO_EVAL_AGREEMENT_H_
+
+#include <vector>
+
+#include "stream/clusterer.h"
+
+namespace umicro::eval {
+
+/// Adjusted Rand Index between the clustering and the ground truth
+/// implied by `histograms`. 1 = perfect agreement, ~0 = random, can be
+/// negative. Returns 0 when fewer than 2 units of mass are present.
+double AdjustedRandIndex(
+    const std::vector<stream::LabelHistogram>& histograms);
+
+/// Normalized Mutual Information (arithmetic-mean normalization,
+/// natural log). In [0, 1]; 1 = perfect agreement. Returns 0 when the
+/// table is degenerate (single cluster or single class carries all
+/// mass).
+double NormalizedMutualInformation(
+    const std::vector<stream::LabelHistogram>& histograms);
+
+}  // namespace umicro::eval
+
+#endif  // UMICRO_EVAL_AGREEMENT_H_

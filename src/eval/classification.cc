@@ -1,0 +1,78 @@
+#include "eval/classification.h"
+
+#include <limits>
+
+#include "util/check.h"
+#include "util/math_utils.h"
+
+namespace umicro::eval {
+
+std::vector<int> MajorityLabels(
+    const std::vector<stream::LabelHistogram>& histograms) {
+  std::vector<int> labels;
+  labels.reserve(histograms.size());
+  for (const auto& histogram : histograms) {
+    int best_label = stream::kUnlabeled;
+    double best_weight = 0.0;
+    for (const auto& [label, weight] : histogram) {
+      if (weight > best_weight) {
+        best_weight = weight;
+        best_label = label;
+      }
+    }
+    labels.push_back(best_label);
+  }
+  return labels;
+}
+
+ClassificationReport EvaluateNearestCentroid(
+    const stream::Dataset& dataset,
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<int>& cluster_labels) {
+  UMICRO_CHECK(centroids.size() == cluster_labels.size());
+  UMICRO_CHECK(!centroids.empty());
+
+  ClassificationReport report;
+  std::size_t correct = 0;
+  for (const auto& point : dataset.points()) {
+    if (point.label == stream::kUnlabeled) continue;
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      const double d2 = util::SquaredDistance(point.values, centroids[c]);
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    const int predicted = cluster_labels[best_c];
+    ++report.evaluated;
+    ++report.confusion[{point.label, predicted}];
+    ++report.per_class[point.label].support;
+    if (predicted != stream::kUnlabeled) {
+      ++report.per_class[predicted].predicted;
+    }
+    if (predicted == point.label) {
+      ++correct;
+      ++report.per_class[point.label].true_positive;
+    }
+  }
+  report.accuracy = report.evaluated == 0
+                        ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(report.evaluated);
+  return report;
+}
+
+ClassificationReport EvaluateClusterer(
+    const stream::StreamClusterer& clusterer,
+    const stream::Dataset& dataset) {
+  const auto centroids = clusterer.ClusterCentroids();
+  const auto labels = MajorityLabels(clusterer.ClusterLabelHistograms());
+  UMICRO_CHECK_MSG(centroids.size() == labels.size(),
+                   "clusterer returned %zu centroids but %zu histograms",
+                   centroids.size(), labels.size());
+  return EvaluateNearestCentroid(dataset, centroids, labels);
+}
+
+}  // namespace umicro::eval

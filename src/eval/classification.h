@@ -1,0 +1,86 @@
+// Cluster-to-class evaluation: treat a clustering as a classifier.
+//
+// The paper evaluates clusterings through class labels (purity); this
+// module takes the same idea one step further, the standard methodology
+// in the stream-mining literature: map every cluster to its majority
+// ground-truth label, classify points by their nearest cluster centroid,
+// and report accuracy / per-class precision-recall / the confusion
+// matrix. Useful for the intrusion scenario, where per-attack-class
+// recall matters more than aggregate purity.
+
+#ifndef UMICRO_EVAL_CLASSIFICATION_H_
+#define UMICRO_EVAL_CLASSIFICATION_H_
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "stream/clusterer.h"
+#include "stream/dataset.h"
+
+namespace umicro::eval {
+
+/// Majority ground-truth label of each cluster; stream::kUnlabeled for
+/// clusters with empty histograms.
+std::vector<int> MajorityLabels(
+    const std::vector<stream::LabelHistogram>& histograms);
+
+/// Per-class classification quality.
+struct ClassMetrics {
+  std::size_t support = 0;       ///< points with this true label
+  std::size_t predicted = 0;     ///< points predicted as this label
+  std::size_t true_positive = 0;
+
+  /// Precision (0 when nothing was predicted as this class).
+  double Precision() const {
+    return predicted == 0
+               ? 0.0
+               : static_cast<double>(true_positive) /
+                     static_cast<double>(predicted);
+  }
+  /// Recall (0 when the class has no support).
+  double Recall() const {
+    return support == 0 ? 0.0
+                        : static_cast<double>(true_positive) /
+                              static_cast<double>(support);
+  }
+  /// F1 score.
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Full evaluation result.
+struct ClassificationReport {
+  /// Labeled points evaluated.
+  std::size_t evaluated = 0;
+  /// Overall fraction classified correctly.
+  double accuracy = 0.0;
+  /// Per-true-class metrics.
+  std::map<int, ClassMetrics> per_class;
+  /// confusion[{true_label, predicted_label}] = count.
+  std::map<std::pair<int, int>, std::size_t> confusion;
+};
+
+/// Classifies each labeled point of `dataset` by the majority label of
+/// its nearest centroid and scores the result. `centroids` and
+/// `cluster_labels` must be parallel; clusters labeled kUnlabeled still
+/// attract points (counted as misclassifications unless the point is
+/// also unlabeled, in which case it is skipped). Unlabeled points are
+/// skipped entirely.
+ClassificationReport EvaluateNearestCentroid(
+    const stream::Dataset& dataset,
+    const std::vector<std::vector<double>>& centroids,
+    const std::vector<int>& cluster_labels);
+
+/// Convenience: evaluates a live clusterer against a labeled dataset.
+ClassificationReport EvaluateClusterer(
+    const stream::StreamClusterer& clusterer,
+    const stream::Dataset& dataset);
+
+}  // namespace umicro::eval
+
+#endif  // UMICRO_EVAL_CLASSIFICATION_H_

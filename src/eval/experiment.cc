@@ -1,0 +1,78 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "eval/purity.h"
+#include "eval/throughput.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace umicro::eval {
+
+double PuritySeries::MeanPurity() const {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& sample : samples) sum += sample.purity;
+  return sum / static_cast<double>(samples.size());
+}
+
+PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
+                                 const stream::Dataset& dataset,
+                                 std::size_t sample_interval) {
+  UMICRO_CHECK(sample_interval > 0);
+  PuritySeries series;
+  series.algorithm = clusterer.name();
+
+  auto take_sample = [&](std::size_t processed) {
+    const auto histograms = clusterer.ClusterLabelHistograms();
+    PuritySample sample;
+    sample.points_processed = processed;
+    sample.purity = ClusterPurity(histograms);
+    sample.weighted_purity = WeightedClusterPurity(histograms);
+    sample.live_clusters = NonEmptyClusterCount(histograms);
+    series.samples.push_back(sample);
+  };
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    clusterer.Process(dataset[i]);
+    if ((i + 1) % sample_interval == 0) take_sample(i + 1);
+  }
+  if (dataset.size() % sample_interval != 0) take_sample(dataset.size());
+  return series;
+}
+
+ThroughputSeries RunThroughputExperiment(stream::StreamClusterer& clusterer,
+                                         const stream::Dataset& dataset,
+                                         std::size_t sample_interval,
+                                         double window_seconds) {
+  UMICRO_CHECK(sample_interval > 0);
+  ThroughputSeries series;
+  series.algorithm = clusterer.name();
+
+  ThroughputMeter meter(window_seconds);
+  util::Stopwatch stopwatch;
+  // Record in small batches so the trailing window has resolution without
+  // paying a clock read per point.
+  const std::size_t batch = std::max<std::size_t>(1, sample_interval / 16);
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    clusterer.Process(dataset[i]);
+    ++pending;
+    if (pending == batch || i + 1 == dataset.size()) {
+      meter.Record(stopwatch.ElapsedSeconds(), pending);
+      pending = 0;
+    }
+    if ((i + 1) % sample_interval == 0 || i + 1 == dataset.size()) {
+      ThroughputSample sample;
+      sample.points_processed = i + 1;
+      sample.points_per_second = meter.Rate();
+      series.samples.push_back(sample);
+    }
+  }
+  const double elapsed = stopwatch.ElapsedSeconds();
+  series.overall_points_per_second =
+      elapsed > 0.0 ? static_cast<double>(dataset.size()) / elapsed : 0.0;
+  return series;
+}
+
+}  // namespace umicro::eval

@@ -1,0 +1,69 @@
+// Experiment harness: drives a stream clusterer over a labeled dataset
+// and records the time series the paper's figures plot.
+
+#ifndef UMICRO_EVAL_EXPERIMENT_H_
+#define UMICRO_EVAL_EXPERIMENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stream/clusterer.h"
+#include "stream/dataset.h"
+
+namespace umicro::eval {
+
+/// One sample of a purity-vs-progression run.
+struct PuritySample {
+  std::size_t points_processed = 0;
+  /// The paper's metric: dominant-label fraction averaged over clusters.
+  double purity = 0.0;
+  /// Mass-weighted purity (auxiliary).
+  double weighted_purity = 0.0;
+  /// Live (non-empty) clusters at the sample instant.
+  std::size_t live_clusters = 0;
+};
+
+/// Result of a purity experiment.
+struct PuritySeries {
+  std::string algorithm;
+  std::vector<PuritySample> samples;
+
+  /// Mean of the paper-metric purity over all samples (the quantity the
+  /// error-level figures 5-7 plot per eta).
+  double MeanPurity() const;
+};
+
+/// Streams `dataset` through `clusterer`, sampling purity every
+/// `sample_interval` points (and once at the end if it does not divide
+/// the stream length).
+PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
+                                 const stream::Dataset& dataset,
+                                 std::size_t sample_interval);
+
+/// One sample of a throughput-vs-progression run.
+struct ThroughputSample {
+  std::size_t points_processed = 0;
+  /// Points per second over the trailing measurement window.
+  double points_per_second = 0.0;
+};
+
+/// Result of a throughput experiment.
+struct ThroughputSeries {
+  std::string algorithm;
+  std::vector<ThroughputSample> samples;
+  /// Whole-run average rate.
+  double overall_points_per_second = 0.0;
+};
+
+/// Streams `dataset` through `clusterer` as fast as possible, sampling
+/// the trailing-window rate (paper: 2 s window) every `sample_interval`
+/// points.
+ThroughputSeries RunThroughputExperiment(stream::StreamClusterer& clusterer,
+                                         const stream::Dataset& dataset,
+                                         std::size_t sample_interval,
+                                         double window_seconds = 2.0);
+
+}  // namespace umicro::eval
+
+#endif  // UMICRO_EVAL_EXPERIMENT_H_

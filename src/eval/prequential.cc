@@ -1,0 +1,81 @@
+#include "eval/prequential.h"
+
+#include <limits>
+
+#include "eval/classification.h"
+#include "util/check.h"
+#include "util/math_utils.h"
+
+namespace umicro::eval {
+
+PrequentialSeries RunPrequentialEvaluation(
+    stream::StreamClusterer& clusterer, const stream::Dataset& dataset,
+    std::size_t sample_interval) {
+  UMICRO_CHECK(sample_interval > 0);
+  PrequentialSeries series;
+  series.algorithm = clusterer.name();
+
+  std::size_t correct_total = 0;
+  std::size_t scored_total = 0;
+  std::size_t correct_window = 0;
+  std::size_t scored_window = 0;
+
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const stream::UncertainPoint& point = dataset[i];
+
+    // Test: classify against the *current* clustering.
+    if (point.label != stream::kUnlabeled) {
+      const auto centroids = clusterer.ClusterCentroids();
+      if (!centroids.empty()) {
+        const auto labels =
+            MajorityLabels(clusterer.ClusterLabelHistograms());
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_c = 0;
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+          const double d2 =
+              util::SquaredDistance(point.values, centroids[c]);
+          if (d2 < best) {
+            best = d2;
+            best_c = c;
+          }
+        }
+        if (labels[best_c] != stream::kUnlabeled) {
+          ++scored_total;
+          ++scored_window;
+          if (labels[best_c] == point.label) {
+            ++correct_total;
+            ++correct_window;
+          }
+        }
+      }
+    }
+
+    // Train.
+    clusterer.Process(point);
+
+    if ((i + 1) % sample_interval == 0 || i + 1 == dataset.size()) {
+      PrequentialSample sample;
+      sample.points_processed = i + 1;
+      sample.window_accuracy =
+          scored_window == 0 ? 0.0
+                             : static_cast<double>(correct_window) /
+                                   static_cast<double>(scored_window);
+      sample.cumulative_accuracy =
+          scored_total == 0 ? 0.0
+                            : static_cast<double>(correct_total) /
+                                  static_cast<double>(scored_total);
+      series.samples.push_back(sample);
+      correct_window = 0;
+      scored_window = 0;
+    }
+  }
+
+  series.scored = scored_total;
+  series.final_accuracy =
+      scored_total == 0 ? 0.0
+                        : static_cast<double>(correct_total) /
+                              static_cast<double>(scored_total);
+  return series;
+}
+
+}  // namespace umicro::eval

@@ -1,0 +1,52 @@
+// Prequential (test-then-train) evaluation.
+//
+// Purity inspects the clustering after the fact; the prequential
+// protocol scores each record *before* the algorithm sees it: predict
+// the record's class from the nearest current cluster's majority label,
+// then hand the record to the algorithm. Stale or misplaced clusters
+// immediately cost accuracy, which makes this the sharper lens on
+// evolving streams (and the standard protocol in the stream-mining
+// literature, e.g. MOA).
+
+#ifndef UMICRO_EVAL_PREQUENTIAL_H_
+#define UMICRO_EVAL_PREQUENTIAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stream/clusterer.h"
+#include "stream/dataset.h"
+
+namespace umicro::eval {
+
+/// One sample of the prequential accuracy curve.
+struct PrequentialSample {
+  std::size_t points_processed = 0;
+  /// Accuracy over the records since the previous sample.
+  double window_accuracy = 0.0;
+  /// Accuracy over the whole stream so far.
+  double cumulative_accuracy = 0.0;
+};
+
+/// Result of a prequential run.
+struct PrequentialSeries {
+  std::string algorithm;
+  std::vector<PrequentialSample> samples;
+  /// Final cumulative accuracy.
+  double final_accuracy = 0.0;
+  /// Labeled records scored (records arriving before any cluster exists
+  /// or while all clusters are unlabeled are skipped).
+  std::size_t scored = 0;
+};
+
+/// Runs test-then-train over `dataset`: each labeled record is first
+/// classified by the majority label of the nearest current centroid,
+/// then processed. Samples are emitted every `sample_interval` records.
+PrequentialSeries RunPrequentialEvaluation(
+    stream::StreamClusterer& clusterer, const stream::Dataset& dataset,
+    std::size_t sample_interval);
+
+}  // namespace umicro::eval
+
+#endif  // UMICRO_EVAL_PREQUENTIAL_H_

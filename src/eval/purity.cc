@@ -1,0 +1,40 @@
+#include "eval/purity.h"
+
+namespace umicro::eval {
+
+double ClusterPurity(const std::vector<stream::LabelHistogram>& histograms) {
+  double sum = 0.0;
+  std::size_t live = 0;
+  for (const auto& histogram : histograms) {
+    if (stream::HistogramWeight(histogram) <= 0.0) continue;
+    sum += stream::DominantLabelFraction(histogram);
+    ++live;
+  }
+  if (live == 0) return 0.0;
+  return sum / static_cast<double>(live);
+}
+
+double WeightedClusterPurity(
+    const std::vector<stream::LabelHistogram>& histograms) {
+  double dominant_mass = 0.0;
+  double total_mass = 0.0;
+  for (const auto& histogram : histograms) {
+    const double weight = stream::HistogramWeight(histogram);
+    if (weight <= 0.0) continue;
+    dominant_mass += weight * stream::DominantLabelFraction(histogram);
+    total_mass += weight;
+  }
+  if (total_mass <= 0.0) return 0.0;
+  return dominant_mass / total_mass;
+}
+
+std::size_t NonEmptyClusterCount(
+    const std::vector<stream::LabelHistogram>& histograms) {
+  std::size_t live = 0;
+  for (const auto& histogram : histograms) {
+    if (stream::HistogramWeight(histogram) > 0.0) ++live;
+  }
+  return live;
+}
+
+}  // namespace umicro::eval

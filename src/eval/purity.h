@@ -1,0 +1,34 @@
+// Cluster-purity measurement (the paper's accuracy metric).
+//
+// Section III: "We computed the percentage presence of the dominant class
+// label in the different clusters and averaged them over all clusters. We
+// refer to this measure as cluster purity."
+
+#ifndef UMICRO_EVAL_PURITY_H_
+#define UMICRO_EVAL_PURITY_H_
+
+#include <vector>
+
+#include "stream/clusterer.h"
+
+namespace umicro::eval {
+
+/// The paper's cluster purity: the dominant-label fraction of each
+/// non-empty cluster, averaged *unweighted* over clusters. Returns 0 when
+/// every histogram is empty.
+double ClusterPurity(const std::vector<stream::LabelHistogram>& histograms);
+
+/// Mass-weighted variant: clusters contribute proportionally to the
+/// weight they hold (equivalently, the fraction of all points that sit
+/// under their cluster's dominant label). Less sensitive to tiny
+/// fragment clusters; reported alongside the paper metric.
+double WeightedClusterPurity(
+    const std::vector<stream::LabelHistogram>& histograms);
+
+/// Number of histograms carrying non-zero mass.
+std::size_t NonEmptyClusterCount(
+    const std::vector<stream::LabelHistogram>& histograms);
+
+}  // namespace umicro::eval
+
+#endif  // UMICRO_EVAL_PURITY_H_

@@ -1,0 +1,32 @@
+#include "eval/ssq.h"
+
+#include <limits>
+
+#include "util/check.h"
+#include "util/math_utils.h"
+
+namespace umicro::eval {
+
+double SumOfSquares(const stream::Dataset& dataset, std::size_t begin,
+                    std::size_t end,
+                    const std::vector<std::vector<double>>& centroids) {
+  UMICRO_CHECK(!centroids.empty());
+  UMICRO_CHECK(begin <= end && end <= dataset.size());
+  double total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& centroid : centroids) {
+      best = std::min(best,
+                      util::SquaredDistance(dataset[i].values, centroid));
+    }
+    total += best;
+  }
+  return total;
+}
+
+double SumOfSquares(const stream::Dataset& dataset,
+                    const std::vector<std::vector<double>>& centroids) {
+  return SumOfSquares(dataset, 0, dataset.size(), centroids);
+}
+
+}  // namespace umicro::eval

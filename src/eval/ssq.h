@@ -1,0 +1,26 @@
+// Sum-of-squared-distances quality metric.
+
+#ifndef UMICRO_EVAL_SSQ_H_
+#define UMICRO_EVAL_SSQ_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/dataset.h"
+
+namespace umicro::eval {
+
+/// SSQ of dataset points in [begin, end) against the closest of the given
+/// centroids. The classic stream-clustering quality metric (used by the
+/// CluStream and STREAM papers); lower is better.
+double SumOfSquares(const stream::Dataset& dataset, std::size_t begin,
+                    std::size_t end,
+                    const std::vector<std::vector<double>>& centroids);
+
+/// SSQ over the whole dataset.
+double SumOfSquares(const stream::Dataset& dataset,
+                    const std::vector<std::vector<double>>& centroids);
+
+}  // namespace umicro::eval
+
+#endif  // UMICRO_EVAL_SSQ_H_

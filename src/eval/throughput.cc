@@ -1,0 +1,44 @@
+#include "eval/throughput.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace umicro::eval {
+
+ThroughputMeter::ThroughputMeter(double window_seconds)
+    : window_seconds_(window_seconds) {
+  UMICRO_CHECK(window_seconds > 0.0);
+}
+
+void ThroughputMeter::EvictOld(double now) {
+  while (!events_.empty() && events_.front().time < now - window_seconds_) {
+    window_points_ -= events_.front().count;
+    events_.pop_front();
+  }
+}
+
+void ThroughputMeter::Record(double now, std::size_t count) {
+  UMICRO_CHECK(now >= latest_time_);
+  latest_time_ = now;
+  events_.push_back({now, count});
+  window_points_ += count;
+  total_points_ += count;
+  EvictOld(now);
+}
+
+double ThroughputMeter::Rate() const {
+  if (events_.empty()) return 0.0;
+  // Use the actual covered span, capped at the window length, so early
+  // readings (before a full window has elapsed) are not underestimated.
+  const double span = latest_time_ - events_.front().time;
+  const double effective = span > 0.0 ? std::min(span, window_seconds_)
+                                      : window_seconds_;
+  if (span <= 0.0) {
+    // All events at one instant: fall back to the full window convention.
+    return static_cast<double>(window_points_) / window_seconds_;
+  }
+  return static_cast<double>(window_points_) / effective;
+}
+
+}  // namespace umicro::eval

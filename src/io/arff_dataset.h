@@ -1,0 +1,59 @@
+// ARFF import (the format used by the MOA/WEKA stream-mining tools,
+// where CluStream reference implementations live).
+//
+// Supported subset: numeric/real/integer attributes become value
+// dimensions; nominal attributes (enumerated "{a,b,c}" domains) become
+// the label -- at most one nominal attribute is allowed; '?' entries are
+// missing values (NaN, see stream/imputation.h); '%' comment lines and
+// blank lines are skipped. Sparse ARFF and string/date attributes are
+// not supported.
+
+#ifndef UMICRO_IO_ARFF_DATASET_H_
+#define UMICRO_IO_ARFF_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/dataset.h"
+
+namespace umicro::io {
+
+/// A loaded ARFF dataset: points plus attribute/label metadata.
+struct LoadedArff {
+  stream::Dataset dataset;
+  /// Names of the numeric attributes, in dimension order.
+  std::vector<std::string> attribute_names;
+  /// Nominal values of the label attribute (index == label id); empty
+  /// when the file had no nominal attribute.
+  std::vector<std::string> label_names;
+  /// Relation name from @relation.
+  std::string relation;
+};
+
+/// Parses ARFF text. Returns std::nullopt on structural errors
+/// (missing @data, unsupported attribute types, ragged or unparsable
+/// rows, more than one nominal attribute).
+std::optional<LoadedArff> ParseArffDataset(const std::string& text);
+
+/// Reads and parses an ARFF file.
+std::optional<LoadedArff> ReadArffDataset(const std::string& path);
+
+/// Serializes `dataset` as ARFF: one numeric attribute per dimension, a
+/// nominal `class` attribute when any point is labeled (named
+/// `label_names[i]` when provided, else `c<i>`), and `?` for missing
+/// (NaN) entries. Error vectors are NOT representable in standard ARFF
+/// and are dropped -- use the CSV format for uncertain data.
+std::string DatasetToArff(const stream::Dataset& dataset,
+                          const std::string& relation = "umicro",
+                          const std::vector<std::string>& label_names = {});
+
+/// Writes `dataset` to `path` as ARFF. Returns false on I/O failure.
+bool WriteArffDataset(const stream::Dataset& dataset,
+                      const std::string& path,
+                      const std::string& relation = "umicro",
+                      const std::vector<std::string>& label_names = {});
+
+}  // namespace umicro::io
+
+#endif  // UMICRO_IO_ARFF_DATASET_H_

@@ -1,0 +1,63 @@
+// CSV import/export of labeled uncertain datasets.
+//
+// Lets users substitute the real KDD'99 / Forest CoverType exports for
+// the synthetic stand-ins: load the file, optionally perturb it with
+// stream::Perturber, and run the identical experiment code path.
+//
+// Format (with header):
+//   v0,v1,...,v{d-1}[,err_0,...,err_{d-1}][,timestamp][,label]
+// Columns named `err_*` populate the error vector, `timestamp` the
+// arrival time, `label` the ground-truth class (string labels are mapped
+// to dense integer ids in first-appearance order). All remaining columns
+// are parsed as double-valued attributes. Without a header every column
+// is a value except an optional trailing label selected by the options.
+
+#ifndef UMICRO_IO_CSV_DATASET_H_
+#define UMICRO_IO_CSV_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/dataset.h"
+
+namespace umicro::io {
+
+/// Options controlling CSV parsing.
+struct CsvReadOptions {
+  /// Whether the first line is a header naming the columns.
+  bool has_header = true;
+  /// Without a header: treat the last column as the label when true.
+  bool last_column_is_label = true;
+  /// Maximum rows to read (0 = unlimited).
+  std::size_t max_rows = 0;
+};
+
+/// A loaded dataset plus the label-name dictionary (index = label id).
+struct LoadedDataset {
+  stream::Dataset dataset;
+  std::vector<std::string> label_names;
+};
+
+/// Parses CSV text into a dataset. Returns std::nullopt on malformed
+/// input (ragged rows, unparsable numbers in value columns).
+std::optional<LoadedDataset> ParseCsvDataset(const std::string& text,
+                                             const CsvReadOptions& options);
+
+/// Reads and parses a CSV file. Returns std::nullopt when the file
+/// cannot be read or parsed.
+std::optional<LoadedDataset> ReadCsvDataset(const std::string& path,
+                                            const CsvReadOptions& options);
+
+/// Serializes `dataset` as CSV text with header
+/// v0..v{d-1},err_0..err_{d-1},timestamp,label (error columns only when
+/// any point carries errors).
+std::string DatasetToCsv(const stream::Dataset& dataset);
+
+/// Writes `dataset` to `path`. Returns false on I/O failure.
+bool WriteCsvDataset(const stream::Dataset& dataset,
+                     const std::string& path);
+
+}  // namespace umicro::io
+
+#endif  // UMICRO_IO_CSV_DATASET_H_

@@ -1,0 +1,116 @@
+#include "io/snapshot_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace umicro::io {
+
+namespace {
+constexpr int kFormatVersion = 1;
+
+void AppendDouble(std::ostringstream& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+}  // namespace
+
+std::string SnapshotToString(const core::Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "usnap " << kFormatVersion << "\n";
+  out << "time ";
+  AppendDouble(out, snapshot.time);
+  out << "\n";
+  const std::size_t dims = snapshot.clusters.empty()
+                               ? 0
+                               : snapshot.clusters[0].ecf.dimensions();
+  out << "dims " << dims << " clusters " << snapshot.clusters.size() << "\n";
+  for (const auto& state : snapshot.clusters) {
+    out << state.id << ' ';
+    AppendDouble(out, state.creation_time);
+    out << ' ';
+    AppendDouble(out, state.ecf.weight());
+    out << ' ';
+    AppendDouble(out, state.ecf.last_update_time());
+    for (double v : state.ecf.cf1()) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    for (double v : state.ecf.cf2()) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    for (double v : state.ecf.ef2()) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<core::Snapshot> ParseSnapshot(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "usnap" ||
+      version != kFormatVersion) {
+    return std::nullopt;
+  }
+
+  core::Snapshot snapshot;
+  std::string key;
+  if (!(in >> key >> snapshot.time) || key != "time") return std::nullopt;
+
+  std::size_t dims = 0;
+  std::size_t count = 0;
+  std::string clusters_key;
+  if (!(in >> key >> dims >> clusters_key >> count) || key != "dims" ||
+      clusters_key != "clusters") {
+    return std::nullopt;
+  }
+  if (count > 0 && dims == 0) return std::nullopt;
+
+  snapshot.clusters.reserve(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    core::MicroClusterState state;
+    double weight = 0.0;
+    double last_update = 0.0;
+    if (!(in >> state.id >> state.creation_time >> weight >> last_update)) {
+      return std::nullopt;
+    }
+    std::vector<double> cf1(dims), cf2(dims), ef2(dims);
+    for (double& v : cf1) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    for (double& v : cf2) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    for (double& v : ef2) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    state.ecf = core::ErrorClusterFeature::FromRaw(
+        std::move(cf1), std::move(cf2), std::move(ef2), weight, last_update);
+    snapshot.clusters.push_back(std::move(state));
+  }
+  return snapshot;
+}
+
+bool WriteSnapshotFile(const core::Snapshot& snapshot,
+                       const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  file << SnapshotToString(snapshot);
+  return file.good();
+}
+
+std::optional<core::Snapshot> ReadSnapshotFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseSnapshot(buffer.str());
+}
+
+}  // namespace umicro::io

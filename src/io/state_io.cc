@@ -1,0 +1,292 @@
+#include "io/state_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace umicro::io {
+
+namespace {
+constexpr int kFormatVersion = 1;
+
+void AppendDouble(std::ostringstream& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+}  // namespace
+
+std::string UMicroStateToString(const core::UMicroState& state) {
+  std::ostringstream out;
+  const std::size_t dims = state.welford.size();
+  out << "ustate " << kFormatVersion << "\n";
+  out << "dims " << dims << "\n";
+  out << "counters " << state.next_cluster_id << ' '
+      << state.points_processed << ' ' << state.clusters_created << ' '
+      << state.clusters_evicted << ' ' << state.clusters_merged << "\n";
+  out << "decay ";
+  AppendDouble(out, state.last_decay_time);
+  out << ' ' << (state.decay_clock_started ? 1 : 0) << "\n";
+  for (const auto& w : state.welford) {
+    out << "welford " << w.count << ' ';
+    AppendDouble(out, w.mean);
+    out << ' ';
+    AppendDouble(out, w.m2);
+    out << "\n";
+  }
+  out << "variances";
+  for (double v : state.global_variances) {
+    out << ' ';
+    AppendDouble(out, v);
+  }
+  out << "\n";
+  out << "clusters " << state.clusters.size() << "\n";
+  for (const auto& cluster : state.clusters) {
+    out << cluster.id << ' ';
+    AppendDouble(out, cluster.creation_time);
+    out << ' ';
+    AppendDouble(out, cluster.ecf.weight());
+    out << ' ';
+    AppendDouble(out, cluster.ecf.last_update_time());
+    for (double v : cluster.ecf.cf1()) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    for (double v : cluster.ecf.cf2()) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    for (double v : cluster.ecf.ef2()) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    out << " labels " << cluster.labels.size();
+    for (const auto& [label, weight] : cluster.labels) {
+      out << ' ' << label << ' ';
+      AppendDouble(out, weight);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::optional<core::UMicroState> ParseUMicroState(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "ustate" ||
+      version != kFormatVersion) {
+    return std::nullopt;
+  }
+
+  core::UMicroState state;
+  std::string key;
+  std::size_t dims = 0;
+  if (!(in >> key >> dims) || key != "dims" || dims == 0) {
+    return std::nullopt;
+  }
+  if (!(in >> key >> state.next_cluster_id >> state.points_processed >>
+        state.clusters_created >> state.clusters_evicted >>
+        state.clusters_merged) ||
+      key != "counters") {
+    return std::nullopt;
+  }
+  int started = 0;
+  if (!(in >> key >> state.last_decay_time >> started) || key != "decay") {
+    return std::nullopt;
+  }
+  state.decay_clock_started = started != 0;
+
+  state.welford.resize(dims);
+  for (auto& w : state.welford) {
+    if (!(in >> key >> w.count >> w.mean >> w.m2) || key != "welford") {
+      return std::nullopt;
+    }
+    if (w.m2 < 0.0) return std::nullopt;
+  }
+  if (!(in >> key) || key != "variances") return std::nullopt;
+  state.global_variances.resize(dims);
+  for (double& v : state.global_variances) {
+    if (!(in >> v)) return std::nullopt;
+  }
+
+  std::size_t cluster_count = 0;
+  if (!(in >> key >> cluster_count) || key != "clusters") {
+    return std::nullopt;
+  }
+  state.clusters.reserve(cluster_count);
+  for (std::size_t c = 0; c < cluster_count; ++c) {
+    core::MicroCluster cluster;
+    double weight = 0.0;
+    double last_update = 0.0;
+    if (!(in >> cluster.id >> cluster.creation_time >> weight >>
+          last_update)) {
+      return std::nullopt;
+    }
+    if (weight < 0.0) return std::nullopt;
+    std::vector<double> cf1(dims), cf2(dims), ef2(dims);
+    for (double& v : cf1) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    for (double& v : cf2) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    for (double& v : ef2) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    cluster.ecf = core::ErrorClusterFeature::FromRaw(
+        std::move(cf1), std::move(cf2), std::move(ef2), weight, last_update);
+    std::size_t label_count = 0;
+    if (!(in >> key >> label_count) || key != "labels") {
+      return std::nullopt;
+    }
+    for (std::size_t l = 0; l < label_count; ++l) {
+      int label = 0;
+      double label_weight = 0.0;
+      if (!(in >> label >> label_weight)) return std::nullopt;
+      cluster.labels[label] = label_weight;
+    }
+    state.clusters.push_back(std::move(cluster));
+  }
+  return state;
+}
+
+bool WriteUMicroStateFile(const core::UMicroState& state,
+                          const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  file << UMicroStateToString(state);
+  return file.good();
+}
+
+std::optional<core::UMicroState> ReadUMicroStateFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseUMicroState(buffer.str());
+}
+
+std::string CluStreamStateToString(const baseline::CluStreamState& state) {
+  std::ostringstream out;
+  const std::size_t dims =
+      state.clusters.empty() ? 0 : state.clusters[0].cf1.size();
+  out << "csstate " << kFormatVersion << "\n";
+  out << "dims " << dims << "\n";
+  out << "counters " << state.next_cluster_id << ' '
+      << state.points_processed << ' ' << state.clusters_deleted << ' '
+      << state.clusters_merged << "\n";
+  out << "clusters " << state.clusters.size() << "\n";
+  for (const auto& cluster : state.clusters) {
+    out << "ids " << cluster.ids.size();
+    for (std::uint64_t id : cluster.ids) out << ' ' << id;
+    out << '\n';
+    AppendDouble(out, cluster.creation_time);
+    out << ' ';
+    AppendDouble(out, cluster.cf1_time);
+    out << ' ';
+    AppendDouble(out, cluster.cf2_time);
+    out << ' ';
+    AppendDouble(out, cluster.count);
+    out << ' ';
+    AppendDouble(out, cluster.last_update_time);
+    for (double v : cluster.cf1) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    for (double v : cluster.cf2) {
+      out << ' ';
+      AppendDouble(out, v);
+    }
+    out << " labels " << cluster.labels.size();
+    for (const auto& [label, weight] : cluster.labels) {
+      out << ' ' << label << ' ';
+      AppendDouble(out, weight);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<baseline::CluStreamState> ParseCluStreamState(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "csstate" ||
+      version != kFormatVersion) {
+    return std::nullopt;
+  }
+  baseline::CluStreamState state;
+  std::string key;
+  std::size_t dims = 0;
+  if (!(in >> key >> dims) || key != "dims") return std::nullopt;
+  if (!(in >> key >> state.next_cluster_id >> state.points_processed >>
+        state.clusters_deleted >> state.clusters_merged) ||
+      key != "counters") {
+    return std::nullopt;
+  }
+  std::size_t cluster_count = 0;
+  if (!(in >> key >> cluster_count) || key != "clusters") {
+    return std::nullopt;
+  }
+  if (cluster_count > 0 && dims == 0) return std::nullopt;
+  state.clusters.reserve(cluster_count);
+  for (std::size_t c = 0; c < cluster_count; ++c) {
+    baseline::CluStreamCluster cluster;
+    std::size_t id_count = 0;
+    if (!(in >> key >> id_count) || key != "ids" || id_count == 0) {
+      return std::nullopt;
+    }
+    cluster.ids.resize(id_count);
+    for (std::uint64_t& id : cluster.ids) {
+      if (!(in >> id)) return std::nullopt;
+    }
+    if (!(in >> cluster.creation_time >> cluster.cf1_time >>
+          cluster.cf2_time >> cluster.count >>
+          cluster.last_update_time)) {
+      return std::nullopt;
+    }
+    if (cluster.count <= 0.0) return std::nullopt;
+    cluster.cf1.resize(dims);
+    cluster.cf2.resize(dims);
+    for (double& v : cluster.cf1) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    for (double& v : cluster.cf2) {
+      if (!(in >> v)) return std::nullopt;
+    }
+    std::size_t label_count = 0;
+    if (!(in >> key >> label_count) || key != "labels") {
+      return std::nullopt;
+    }
+    for (std::size_t l = 0; l < label_count; ++l) {
+      int label = 0;
+      double weight = 0.0;
+      if (!(in >> label >> weight)) return std::nullopt;
+      cluster.labels[label] = weight;
+    }
+    state.clusters.push_back(std::move(cluster));
+  }
+  return state;
+}
+
+bool WriteCluStreamStateFile(const baseline::CluStreamState& state,
+                             const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  file << CluStreamStateToString(state);
+  return file.good();
+}
+
+std::optional<baseline::CluStreamState> ReadCluStreamStateFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCluStreamState(buffer.str());
+}
+
+}  // namespace umicro::io

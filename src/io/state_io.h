@@ -1,0 +1,46 @@
+// Text serialization of a running UMicro instance's state
+// (checkpoint/restore across process restarts).
+
+#ifndef UMICRO_IO_STATE_IO_H_
+#define UMICRO_IO_STATE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "baseline/clustream.h"
+#include "core/umicro.h"
+
+namespace umicro::io {
+
+/// Serializes a checkpoint (versioned, line-oriented, full double
+/// precision; round-trips exactly).
+std::string UMicroStateToString(const core::UMicroState& state);
+
+/// Parses text produced by UMicroStateToString. Returns std::nullopt on
+/// structural or numeric errors.
+std::optional<core::UMicroState> ParseUMicroState(const std::string& text);
+
+/// Writes a checkpoint file. Returns false on I/O failure.
+bool WriteUMicroStateFile(const core::UMicroState& state,
+                          const std::string& path);
+
+/// Reads a checkpoint file.
+std::optional<core::UMicroState> ReadUMicroStateFile(
+    const std::string& path);
+
+/// Serializes a CluStream checkpoint (same conventions).
+std::string CluStreamStateToString(const baseline::CluStreamState& state);
+
+/// Parses text produced by CluStreamStateToString.
+std::optional<baseline::CluStreamState> ParseCluStreamState(
+    const std::string& text);
+
+/// Writes / reads a CluStream checkpoint file.
+bool WriteCluStreamStateFile(const baseline::CluStreamState& state,
+                             const std::string& path);
+std::optional<baseline::CluStreamState> ReadCluStreamStateFile(
+    const std::string& path);
+
+}  // namespace umicro::io
+
+#endif  // UMICRO_IO_STATE_IO_H_

@@ -1,0 +1,42 @@
+// Assembles bench CSV outputs into a single self-contained HTML report.
+
+#ifndef UMICRO_REPORT_FIGURE_REPORT_H_
+#define UMICRO_REPORT_FIGURE_REPORT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "report/svg_chart.h"
+
+namespace umicro::report {
+
+/// One figure of the report.
+struct Figure {
+  /// Heading shown above the chart ("Figure 5 -- ...").
+  std::string heading;
+  /// Free-text commentary under the heading.
+  std::string commentary;
+  /// The chart itself.
+  std::vector<Series> series;
+  ChartOptions chart;
+};
+
+/// Parses a bench CSV (first column = x, every further column = one
+/// series named by its header cell) into chart series. Returns
+/// std::nullopt when the file is missing or malformed.
+std::optional<std::vector<Series>> SeriesFromCsvFile(
+    const std::string& path);
+
+/// Renders all figures into one standalone HTML document.
+std::string RenderHtmlReport(const std::string& title,
+                             const std::vector<Figure>& figures);
+
+/// Writes the report to `path`. Returns false on I/O failure.
+bool WriteHtmlReport(const std::string& title,
+                     const std::vector<Figure>& figures,
+                     const std::string& path);
+
+}  // namespace umicro::report
+
+#endif  // UMICRO_REPORT_FIGURE_REPORT_H_

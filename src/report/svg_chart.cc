@@ -1,0 +1,205 @@
+#include "report/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace umicro::report {
+
+namespace {
+
+/// Colorblind-safe categorical palette (Okabe-Ito).
+constexpr const char* kPalette[] = {"#0072B2", "#D55E00", "#009E73",
+                                    "#CC79A7", "#E69F00", "#56B4E9",
+                                    "#000000", "#F0E442"};
+constexpr int kPaletteSize = 8;
+
+constexpr int kMarginLeft = 70;
+constexpr int kMarginRight = 20;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 55;
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  for (char ch : text) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+/// Chooses ~n "nice" tick positions covering [lo, hi].
+std::vector<double> NiceTicks(double lo, double hi, int n) {
+  if (hi <= lo) return {lo};
+  const double raw_step = (hi - lo) / std::max(1, n - 1);
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (double mult : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+    if (magnitude * mult >= raw_step) {
+      step = magnitude * mult;
+      break;
+    }
+  }
+  std::vector<double> ticks;
+  const double start = std::ceil(lo / step) * step;
+  for (double t = start; t <= hi + step * 1e-9; t += step) {
+    // Snap tiny floating-point residue to zero.
+    ticks.push_back(std::abs(t) < step * 1e-9 ? 0.0 : t);
+  }
+  if (ticks.empty()) ticks.push_back(lo);
+  return ticks;
+}
+
+}  // namespace
+
+std::string FormatTick(double value) {
+  char buffer[32];
+  const double magnitude = std::abs(value);
+  if (value == 0.0) {
+    return "0";
+  } else if (magnitude >= 1e5 || magnitude < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1e", value);
+  } else if (magnitude >= 100.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  }
+  return buffer;
+}
+
+std::string RenderLineChartSvg(const std::vector<Series>& series,
+                               const ChartOptions& options) {
+  // Data bounds.
+  double x_lo = 0.0, x_hi = 0.0, y_lo = 0.0, y_hi = 0.0;
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (!any) {
+        x_lo = x_hi = x;
+        y_lo = y_hi = y;
+        any = true;
+      } else {
+        x_lo = std::min(x_lo, x);
+        x_hi = std::max(x_hi, x);
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+      }
+    }
+  }
+  UMICRO_CHECK_MSG(any, "no data to chart");
+  if (options.y_from_zero) y_lo = std::min(y_lo, 0.0);
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) {
+    y_hi = y_lo + (y_lo == 0.0 ? 1.0 : std::abs(y_lo) * 0.1);
+  }
+  // 5% headroom on y.
+  const double y_pad = (y_hi - y_lo) * 0.05;
+  y_hi += y_pad;
+  if (!options.y_from_zero) y_lo -= y_pad;
+
+  const double plot_w =
+      static_cast<double>(options.width - kMarginLeft - kMarginRight);
+  const double plot_h =
+      static_cast<double>(options.height - kMarginTop - kMarginBottom);
+  auto x_px = [&](double x) {
+    return kMarginLeft + (x - x_lo) / (x_hi - x_lo) * plot_w;
+  };
+  auto y_px = [&](double y) {
+    return kMarginTop + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width << "\" height=\"" << options.height
+      << "\" font-family=\"sans-serif\" font-size=\"12\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  // Title.
+  svg << "<text x=\"" << options.width / 2 << "\" y=\"20\" "
+      << "text-anchor=\"middle\" font-size=\"15\" font-weight=\"bold\">"
+      << Escape(options.title) << "</text>\n";
+
+  // Gridlines + ticks.
+  for (double t : NiceTicks(y_lo, y_hi, 6)) {
+    const double py = y_px(t);
+    svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py << "\" x2=\""
+        << options.width - kMarginRight << "\" y2=\"" << py
+        << "\" stroke=\"#dddddd\"/>\n";
+    svg << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << py + 4
+        << "\" text-anchor=\"end\">" << FormatTick(t) << "</text>\n";
+  }
+  for (double t : NiceTicks(x_lo, x_hi, 7)) {
+    const double px = x_px(t);
+    svg << "<line x1=\"" << px << "\" y1=\"" << kMarginTop << "\" x2=\""
+        << px << "\" y2=\"" << options.height - kMarginBottom
+        << "\" stroke=\"#eeeeee\"/>\n";
+    svg << "<text x=\"" << px << "\" y=\""
+        << options.height - kMarginBottom + 16
+        << "\" text-anchor=\"middle\">" << FormatTick(t) << "</text>\n";
+  }
+
+  // Axes.
+  svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << kMarginTop
+      << "\" x2=\"" << kMarginLeft << "\" y2=\""
+      << options.height - kMarginBottom << "\" stroke=\"black\"/>\n";
+  svg << "<line x1=\"" << kMarginLeft << "\" y1=\""
+      << options.height - kMarginBottom << "\" x2=\""
+      << options.width - kMarginRight << "\" y2=\""
+      << options.height - kMarginBottom << "\" stroke=\"black\"/>\n";
+
+  // Axis labels.
+  svg << "<text x=\"" << kMarginLeft + plot_w / 2 << "\" y=\""
+      << options.height - 14 << "\" text-anchor=\"middle\">"
+      << Escape(options.x_label) << "</text>\n";
+  svg << "<text x=\"16\" y=\"" << kMarginTop + plot_h / 2
+      << "\" text-anchor=\"middle\" transform=\"rotate(-90 16 "
+      << kMarginTop + plot_h / 2 << ")\">" << Escape(options.y_label)
+      << "</text>\n";
+
+  // Series.
+  int color = 0;
+  for (const auto& s : series) {
+    if (s.points.empty()) continue;
+    const char* stroke = kPalette[color % kPaletteSize];
+    ++color;
+    svg << "<polyline fill=\"none\" stroke=\"" << stroke
+        << "\" stroke-width=\"2\" points=\"";
+    for (const auto& [x, y] : s.points) {
+      svg << x_px(x) << ',' << y_px(y) << ' ';
+    }
+    svg << "\"/>\n";
+    for (const auto& [x, y] : s.points) {
+      svg << "<circle cx=\"" << x_px(x) << "\" cy=\"" << y_px(y)
+          << "\" r=\"2.5\" fill=\"" << stroke << "\"/>\n";
+    }
+  }
+
+  // Legend (top-right inside the plot).
+  int legend_y = kMarginTop + 8;
+  color = 0;
+  for (const auto& s : series) {
+    if (s.points.empty()) continue;
+    const char* stroke = kPalette[color % kPaletteSize];
+    ++color;
+    const int lx = options.width - kMarginRight - 150;
+    svg << "<line x1=\"" << lx << "\" y1=\"" << legend_y << "\" x2=\""
+        << lx + 22 << "\" y2=\"" << legend_y << "\" stroke=\"" << stroke
+        << "\" stroke-width=\"2\"/>\n";
+    svg << "<text x=\"" << lx + 28 << "\" y=\"" << legend_y + 4 << "\">"
+        << Escape(s.name) << "</text>\n";
+    legend_y += 18;
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace umicro::report

@@ -1,0 +1,47 @@
+// Dependency-free SVG line charts for the figure-reproduction reports.
+//
+// The bench binaries dump CSV series; this module renders them as
+// self-contained SVG (and report.html via figure_report.h) so a
+// reproduction run ends with viewable figures without any plotting
+// toolchain installed.
+
+#ifndef UMICRO_REPORT_SVG_CHART_H_
+#define UMICRO_REPORT_SVG_CHART_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace umicro::report {
+
+/// One line of a chart.
+struct Series {
+  /// Legend label.
+  std::string name;
+  /// (x, y) samples in drawing order.
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Chart configuration.
+struct ChartOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  int width = 720;
+  int height = 420;
+  /// Force the y axis to start at 0 (otherwise snug to the data).
+  bool y_from_zero = false;
+};
+
+/// Renders series as a standalone SVG document with axes, tick labels,
+/// one polyline per series, point markers, and a legend. Series with
+/// fewer than one point are skipped; at least one series must have data.
+std::string RenderLineChartSvg(const std::vector<Series>& series,
+                               const ChartOptions& options);
+
+/// Formats a tick value compactly ("0.95", "1.2e+05", "60000").
+std::string FormatTick(double value);
+
+}  // namespace umicro::report
+
+#endif  // UMICRO_REPORT_SVG_CHART_H_

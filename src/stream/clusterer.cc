@@ -1,0 +1,22 @@
+#include "stream/clusterer.h"
+
+namespace umicro::stream {
+
+double DominantLabelFraction(const LabelHistogram& histogram) {
+  double total = 0.0;
+  double best = 0.0;
+  for (const auto& [label, weight] : histogram) {
+    total += weight;
+    if (weight > best) best = weight;
+  }
+  if (total <= 0.0) return 0.0;
+  return best / total;
+}
+
+double HistogramWeight(const LabelHistogram& histogram) {
+  double total = 0.0;
+  for (const auto& [label, weight] : histogram) total += weight;
+  return total;
+}
+
+}  // namespace umicro::stream

@@ -1,0 +1,56 @@
+// Common interface implemented by every stream-clustering algorithm in
+// this repository (UMicro, CluStream, STREAM k-means).
+//
+// Lives in the stream layer so that the evaluation harness can drive any
+// algorithm without depending on core/baseline internals.
+
+#ifndef UMICRO_STREAM_CLUSTERER_H_
+#define UMICRO_STREAM_CLUSTERER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/point.h"
+
+namespace umicro::stream {
+
+/// Ground-truth label -> accumulated weight of points carrying it.
+///
+/// Maintained by algorithms purely for evaluation (cluster purity); the
+/// clustering decisions themselves never look at labels.
+using LabelHistogram = std::map<int, double>;
+
+/// Fraction of `histogram` mass held by its dominant label (0 if empty).
+double DominantLabelFraction(const LabelHistogram& histogram);
+
+/// Total weight in `histogram`.
+double HistogramWeight(const LabelHistogram& histogram);
+
+/// Abstract one-pass stream clusterer.
+class StreamClusterer {
+ public:
+  virtual ~StreamClusterer() = default;
+
+  /// Folds the next stream record into the clustering.
+  virtual void Process(const UncertainPoint& point) = 0;
+
+  /// Human-readable algorithm name for reports.
+  virtual std::string name() const = 0;
+
+  /// Number of records processed so far.
+  virtual std::size_t points_processed() const = 0;
+
+  /// Per-cluster label histograms (evaluation hook). One entry per live
+  /// cluster; empty histograms are permitted for clusters that only held
+  /// unlabeled points.
+  virtual std::vector<LabelHistogram> ClusterLabelHistograms() const = 0;
+
+  /// Current cluster centroids (one vector per live cluster).
+  virtual std::vector<std::vector<double>> ClusterCentroids() const = 0;
+};
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_CLUSTERER_H_

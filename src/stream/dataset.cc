@@ -1,0 +1,34 @@
+#include "stream/dataset.h"
+
+#include "util/check.h"
+
+namespace umicro::stream {
+
+void Dataset::Add(UncertainPoint point) {
+  if (points_.empty() && dimensions_ == 0) {
+    dimensions_ = point.dimensions();
+  }
+  UMICRO_CHECK_MSG(point.dimensions() == dimensions_,
+                   "point has %zu dimensions, dataset has %zu",
+                   point.dimensions(), dimensions_);
+  if (point.has_errors()) {
+    UMICRO_CHECK(point.errors.size() == dimensions_);
+  }
+  points_.push_back(std::move(point));
+}
+
+std::set<int> Dataset::Labels() const {
+  std::set<int> labels;
+  for (const auto& p : points_) {
+    if (p.label != kUnlabeled) labels.insert(p.label);
+  }
+  return labels;
+}
+
+void Dataset::AssignSequentialTimestamps() {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    points_[i].timestamp = static_cast<double>(i);
+  }
+}
+
+}  // namespace umicro::stream

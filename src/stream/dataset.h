@@ -1,0 +1,62 @@
+// In-memory labeled dataset container.
+
+#ifndef UMICRO_STREAM_DATASET_H_
+#define UMICRO_STREAM_DATASET_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "stream/point.h"
+
+namespace umicro::stream {
+
+/// An ordered collection of uncertain points with uniform dimensionality.
+///
+/// Datasets are produced by the synthetic generators (or the CSV loader)
+/// and consumed by `VectorStream`. Order matters: the paper converts static
+/// data sets into streams by taking input order as arrival order.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty dataset with fixed dimensionality.
+  explicit Dataset(std::size_t dimensions) : dimensions_(dimensions) {}
+
+  /// Appends a point; its dimensionality must match (first append fixes it
+  /// when the dataset was default-constructed).
+  void Add(UncertainPoint point);
+
+  /// Number of points.
+  std::size_t size() const { return points_.size(); }
+
+  /// True when no points are stored.
+  bool empty() const { return points_.empty(); }
+
+  /// Dimensionality shared by all points (0 for an empty default dataset).
+  std::size_t dimensions() const { return dimensions_; }
+
+  /// Read access to point `i`.
+  const UncertainPoint& operator[](std::size_t i) const { return points_[i]; }
+
+  /// Mutable access to point `i` (used by the perturbation model).
+  UncertainPoint& at(std::size_t i) { return points_[i]; }
+
+  /// All points, in arrival order.
+  const std::vector<UncertainPoint>& points() const { return points_; }
+
+  /// Set of distinct labels present (excluding kUnlabeled).
+  std::set<int> Labels() const;
+
+  /// Reassigns arrival timestamps 0..n-1 in current order (uniform speed,
+  /// as the paper does for the Forest Cover conversion).
+  void AssignSequentialTimestamps();
+
+ private:
+  std::size_t dimensions_ = 0;
+  std::vector<UncertainPoint> points_;
+};
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_DATASET_H_

@@ -1,0 +1,64 @@
+#include "stream/forecast.h"
+
+#include "util/check.h"
+
+namespace umicro::stream {
+
+ExponentialSmoothingForecaster::ExponentialSmoothingForecaster(
+    std::size_t dimensions, ForecastOptions options)
+    : options_(options), level_(dimensions, 0.0), residuals_(dimensions) {
+  UMICRO_CHECK(dimensions > 0);
+  UMICRO_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
+}
+
+void ExponentialSmoothingForecaster::Observe(const UncertainPoint& point) {
+  UMICRO_CHECK(point.dimensions() == level_.size());
+  if (observations_ == 0) {
+    level_ = point.values;
+  } else {
+    for (std::size_t j = 0; j < level_.size(); ++j) {
+      residuals_[j].Add(point.values[j] - level_[j]);
+      level_[j] += options_.alpha * (point.values[j] - level_[j]);
+    }
+  }
+  ++observations_;
+}
+
+UncertainPoint ExponentialSmoothingForecaster::Forecast(double timestamp,
+                                                        int label) const {
+  UMICRO_CHECK_MSG(observations_ > 0,
+                   "cannot forecast before any observation");
+  UncertainPoint out;
+  out.values = level_;
+  out.errors.resize(level_.size());
+  for (std::size_t j = 0; j < level_.size(); ++j) {
+    out.errors[j] = residuals_[j].PopulationStddev();
+  }
+  out.timestamp = timestamp;
+  out.label = label;
+  return out;
+}
+
+double ExponentialSmoothingForecaster::ResidualStddev(std::size_t j) const {
+  UMICRO_CHECK(j < residuals_.size());
+  return residuals_[j].PopulationStddev();
+}
+
+Dataset MakeForecastStream(const Dataset& input,
+                           const ForecastOptions& options) {
+  UMICRO_CHECK(!input.empty());
+  Dataset output(input.dimensions());
+  ExponentialSmoothingForecaster forecaster(input.dimensions(), options);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const UncertainPoint& actual = input[i];
+    if (i == 0) {
+      output.Add(actual);
+    } else {
+      output.Add(forecaster.Forecast(actual.timestamp, actual.label));
+    }
+    forecaster.Observe(actual);
+  }
+  return output;
+}
+
+}  // namespace umicro::stream

@@ -1,0 +1,71 @@
+// Forecast-based pseudo-streams with known forecast uncertainty.
+//
+// The paper's second motivating scenario (Section I, citing "On
+// Futuristic Query Processing in Data Streams", EDBT 2006): quick
+// statistical forecasts of a stream can be mined in place of the
+// not-yet-arrived data, and "the statistical uncertainty in the
+// forecasts is available". This module provides a per-dimension
+// exponential-smoothing forecaster that tracks its own residual
+// standard deviation online; the forecasted pseudo-record carries that
+// residual stddev as its error vector, forming a valid uncertain stream.
+
+#ifndef UMICRO_STREAM_FORECAST_H_
+#define UMICRO_STREAM_FORECAST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "stream/point.h"
+#include "util/math_utils.h"
+
+namespace umicro::stream {
+
+/// Configuration of the forecaster.
+struct ForecastOptions {
+  /// Exponential smoothing factor in (0, 1]; higher follows the stream
+  /// more closely.
+  double alpha = 0.2;
+};
+
+/// Per-dimension exponential smoothing with online residual tracking.
+class ExponentialSmoothingForecaster {
+ public:
+  ExponentialSmoothingForecaster(std::size_t dimensions,
+                                 ForecastOptions options);
+
+  /// Folds the actual next record in: residuals (actual - forecast) are
+  /// recorded, then the level is updated.
+  void Observe(const UncertainPoint& point);
+
+  /// One-step-ahead forecast as an uncertain record: values are the
+  /// current smoothed levels, errors the per-dimension residual stddevs,
+  /// `timestamp` and `label` taken from the arguments. Requires at least
+  /// one observation.
+  UncertainPoint Forecast(double timestamp,
+                          int label = kUnlabeled) const;
+
+  /// Number of records observed.
+  std::size_t observations() const { return observations_; }
+
+  /// Residual stddev along dimension `j` (0 before two observations).
+  double ResidualStddev(std::size_t j) const;
+
+ private:
+  ForecastOptions options_;
+  std::vector<double> level_;
+  std::vector<util::WelfordAccumulator> residuals_;
+  std::size_t observations_ = 0;
+};
+
+/// Converts a real stream into a forecasted pseudo-stream: record i of
+/// the output is the forecaster's prediction of input record i (made
+/// from records 0..i-1) with its forecast uncertainty; labels and
+/// timestamps are carried over. The first record is passed through
+/// as-is (no forecast exists yet).
+Dataset MakeForecastStream(const Dataset& input,
+                           const ForecastOptions& options);
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_FORECAST_H_

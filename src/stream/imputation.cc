@@ -1,0 +1,76 @@
+#include "stream/imputation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace umicro::stream {
+
+bool HasMissingValues(const UncertainPoint& point) {
+  for (double v : point.values) {
+    if (std::isnan(v)) return true;
+  }
+  return false;
+}
+
+OnlineMeanImputer::OnlineMeanImputer(std::size_t dimensions)
+    : observed_(dimensions) {
+  UMICRO_CHECK(dimensions > 0);
+}
+
+UncertainPoint OnlineMeanImputer::Impute(const UncertainPoint& point) {
+  UMICRO_CHECK(point.dimensions() == observed_.size());
+  UncertainPoint out = point;
+  if (out.errors.empty()) out.errors.assign(point.dimensions(), 0.0);
+
+  for (std::size_t j = 0; j < observed_.size(); ++j) {
+    if (std::isnan(out.values[j])) {
+      ++entries_imputed_;
+      if (observed_[j].count() == 0) {
+        ++imputed_before_data_;
+        out.values[j] = 0.0;
+        out.errors[j] = 0.0;
+      } else {
+        out.values[j] = observed_[j].Mean();
+        // Mean imputation's standard error is the dimension's stddev;
+        // keep any pre-existing measurement error on top (in quadrature).
+        const double imputation_error = observed_[j].PopulationStddev();
+        out.errors[j] = std::sqrt(out.errors[j] * out.errors[j] +
+                                  imputation_error * imputation_error);
+      }
+    } else {
+      observed_[j].Add(out.values[j]);
+    }
+  }
+  return out;
+}
+
+double OnlineMeanImputer::Mean(std::size_t j) const {
+  UMICRO_CHECK(j < observed_.size());
+  return observed_[j].Mean();
+}
+
+double OnlineMeanImputer::Stddev(std::size_t j) const {
+  UMICRO_CHECK(j < observed_.size());
+  return observed_[j].PopulationStddev();
+}
+
+std::size_t InjectMissingValues(Dataset& dataset,
+                                const MissingValueOptions& options) {
+  UMICRO_CHECK(options.missing_fraction >= 0.0 &&
+               options.missing_fraction < 1.0);
+  util::Rng rng(options.seed);
+  std::size_t erased = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    UncertainPoint& point = dataset.at(i);
+    for (double& value : point.values) {
+      if (rng.NextDouble() < options.missing_fraction) {
+        value = std::nan("");
+        ++erased;
+      }
+    }
+  }
+  return erased;
+}
+
+}  // namespace umicro::stream

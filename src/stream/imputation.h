@@ -1,0 +1,84 @@
+// Missing-value imputation producing uncertain records.
+//
+// The paper's first motivating scenario (Section I): "the values may be
+// missing and statistical methods [Little & Rubin] may need to be used
+// to impute these values. In such cases, the error of imputation of the
+// entries may be known a-priori." This module turns an incomplete
+// stream into exactly the (X, psi(X)) input UMicro consumes: missing
+// entries (encoded as NaN) are replaced by the running per-dimension
+// mean, and the imputation error -- the running stddev of that
+// dimension -- is recorded in the error vector. Observed entries keep
+// whatever error they already carried.
+
+#ifndef UMICRO_STREAM_IMPUTATION_H_
+#define UMICRO_STREAM_IMPUTATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "stream/point.h"
+#include "util/math_utils.h"
+#include "util/random.h"
+
+namespace umicro::stream {
+
+/// True when any entry of `point` is missing (NaN).
+bool HasMissingValues(const UncertainPoint& point);
+
+/// Online mean imputer with known imputation error.
+///
+/// One pass, O(d) per record: observed entries update the per-dimension
+/// running statistics; missing entries are filled with the current mean
+/// and their error set to the current stddev (the textbook standard
+/// error of mean imputation). The filled record is therefore a valid
+/// uncertain stream record even though the source was incomplete.
+class OnlineMeanImputer {
+ public:
+  /// Creates an imputer for `dimensions`-dimensional records.
+  explicit OnlineMeanImputer(std::size_t dimensions);
+
+  /// Returns a completed copy of `point`: missing entries imputed with
+  /// the running mean and flagged with the running stddev as error;
+  /// observed entries folded into the statistics. A missing entry seen
+  /// before any observation of its dimension is imputed as 0 with error
+  /// 0 (and the caller is told via `imputed_before_data()`).
+  UncertainPoint Impute(const UncertainPoint& point);
+
+  /// Number of entries imputed so far.
+  std::size_t entries_imputed() const { return entries_imputed_; }
+
+  /// Number of entries imputed before their dimension had any data.
+  std::size_t imputed_before_data() const { return imputed_before_data_; }
+
+  /// Running mean of dimension `j` (observed entries only).
+  double Mean(std::size_t j) const;
+
+  /// Running stddev of dimension `j` (observed entries only) -- the
+  /// error attached to imputations of that dimension.
+  double Stddev(std::size_t j) const;
+
+ private:
+  std::vector<util::WelfordAccumulator> observed_;
+  std::size_t entries_imputed_ = 0;
+  std::size_t imputed_before_data_ = 0;
+};
+
+/// Configuration for punching missing values into a dataset (testing /
+/// benchmarking incomplete-data pipelines).
+struct MissingValueOptions {
+  /// Per-entry probability of being erased.
+  double missing_fraction = 0.1;
+  /// RNG seed.
+  std::uint64_t seed = 404;
+};
+
+/// Replaces entries of `dataset` with NaN independently at the given
+/// rate. Returns the number of entries erased.
+std::size_t InjectMissingValues(Dataset& dataset,
+                                const MissingValueOptions& options);
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_IMPUTATION_H_

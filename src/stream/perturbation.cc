@@ -1,0 +1,43 @@
+#include "stream/perturbation.h"
+
+#include "util/check.h"
+
+namespace umicro::stream {
+
+Perturber::Perturber(std::vector<double> base_stddevs,
+                     PerturbationOptions options)
+    : base_stddevs_(std::move(base_stddevs)),
+      options_(options),
+      rng_(options.seed) {
+  UMICRO_CHECK(!base_stddevs_.empty());
+  UMICRO_CHECK(options_.eta >= 0.0);
+  dimension_sigmas_.resize(base_stddevs_.size());
+  for (std::size_t i = 0; i < base_stddevs_.size(); ++i) {
+    UMICRO_CHECK(base_stddevs_[i] >= 0.0);
+    dimension_sigmas_[i] =
+        rng_.Uniform(0.0, 2.0 * options_.eta * base_stddevs_[i]);
+  }
+}
+
+UncertainPoint Perturber::Perturb(const UncertainPoint& point) {
+  UMICRO_CHECK(point.dimensions() == base_stddevs_.size());
+  UncertainPoint out = point;
+  out.errors.resize(point.dimensions());
+  for (std::size_t i = 0; i < point.dimensions(); ++i) {
+    const double sigma =
+        options_.model == ErrorModel::kPerDimensionFixed
+            ? dimension_sigmas_[i]
+            : rng_.Uniform(0.0, 2.0 * options_.eta * base_stddevs_[i]);
+    out.values[i] += rng_.Gaussian(0.0, sigma);
+    out.errors[i] = sigma;
+  }
+  return out;
+}
+
+void Perturber::PerturbDataset(Dataset& dataset) {
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    dataset.at(i) = Perturb(dataset[i]);
+  }
+}
+
+}  // namespace umicro::stream

@@ -1,0 +1,72 @@
+// The paper's noise / uncertainty injection model.
+//
+// Section III: "We used a noise parameter eta to determine the amount of
+// noise to be added to each dimension. ... we first defined the standard
+// deviation sigma_i along dimension i as a uniform random variable drawn
+// from the range [0, 2 * eta * sigma^0_i]. Then, for the dimension i, we
+// add error from a random distribution with standard deviation sigma_i."
+//
+// The perturbed point carries psi_i = sigma_i as its error vector, which
+// is what UMicro consumes; the deterministic baseline simply ignores it.
+
+#ifndef UMICRO_STREAM_PERTURBATION_H_
+#define UMICRO_STREAM_PERTURBATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "stream/point.h"
+#include "util/random.h"
+
+namespace umicro::stream {
+
+/// How the per-dimension noise stddev sigma_i is chosen.
+enum class ErrorModel {
+  /// Paper default: sigma_i drawn once per dimension from
+  /// U[0, 2*eta*sigma^0_i], shared by every point.
+  kPerDimensionFixed,
+  /// Extension: sigma drawn independently per point and dimension from
+  /// U[0, 2*eta*sigma^0_i] -- heterogeneous record-level uncertainty.
+  kPerPoint,
+};
+
+/// Configuration of the perturbation process.
+struct PerturbationOptions {
+  /// The paper's noise parameter eta; eta >= 3 obscures most structure.
+  double eta = 0.5;
+  /// Error model (see ErrorModel).
+  ErrorModel model = ErrorModel::kPerDimensionFixed;
+  /// RNG seed for reproducibility.
+  std::uint64_t seed = 7;
+};
+
+/// Adds Gaussian noise to points and attaches the matching error vectors.
+class Perturber {
+ public:
+  /// `base_stddevs` are the whole-data stddevs sigma^0_i along each
+  /// dimension (from StreamStats over the *clean* data).
+  Perturber(std::vector<double> base_stddevs, PerturbationOptions options);
+
+  /// Per-dimension sigma_i used under the kPerDimensionFixed model.
+  const std::vector<double>& dimension_sigmas() const {
+    return dimension_sigmas_;
+  }
+
+  /// Returns a perturbed copy of `point`: values have N(0, sigma_i) noise
+  /// added, and `errors` is set to the sigma vector used.
+  UncertainPoint Perturb(const UncertainPoint& point);
+
+  /// Perturbs every point of `dataset` in place.
+  void PerturbDataset(Dataset& dataset);
+
+ private:
+  std::vector<double> base_stddevs_;
+  PerturbationOptions options_;
+  std::vector<double> dimension_sigmas_;
+  util::Rng rng_;
+};
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_PERTURBATION_H_

@@ -1,0 +1,69 @@
+// The fundamental stream record: a multi-dimensional value with a
+// per-dimension error estimate.
+//
+// Matches the paper's input model: the i-th stream element is the pair
+// (X_i, psi(X_i)) where psi_j(X_i) is the standard deviation of the error
+// of dimension j. Only the standard error is assumed known -- not a full
+// probability density -- which is the paper's "modest uncertainty" model.
+
+#ifndef UMICRO_STREAM_POINT_H_
+#define UMICRO_STREAM_POINT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace umicro::stream {
+
+/// Sentinel label for points without ground-truth class information.
+inline constexpr int kUnlabeled = -1;
+
+/// One uncertain stream record.
+///
+/// A passive data carrier (struct per style guide): `values` is the
+/// instantiation x of the random variable X, `errors` holds the
+/// per-dimension standard deviations psi_j(X) (empty means error-free,
+/// i.e. a deterministic point), `timestamp` is the arrival time T_i, and
+/// `label` is ground truth used only by the evaluation harness -- the
+/// clustering algorithms never read it.
+struct UncertainPoint {
+  std::vector<double> values;
+  std::vector<double> errors;
+  double timestamp = 0.0;
+  int label = kUnlabeled;
+
+  UncertainPoint() = default;
+
+  /// Builds a deterministic (zero-error) point.
+  UncertainPoint(std::vector<double> v, double ts, int lbl = kUnlabeled)
+      : values(std::move(v)), timestamp(ts), label(lbl) {}
+
+  /// Builds an uncertain point with an explicit error vector.
+  UncertainPoint(std::vector<double> v, std::vector<double> e, double ts,
+                 int lbl = kUnlabeled)
+      : values(std::move(v)),
+        errors(std::move(e)),
+        timestamp(ts),
+        label(lbl) {}
+
+  /// Dimensionality of the record.
+  std::size_t dimensions() const { return values.size(); }
+
+  /// True when an error vector is attached (uncertain record).
+  bool has_errors() const { return !errors.empty(); }
+
+  /// Error stddev along dimension `j`; 0 for deterministic points.
+  double ErrorAt(std::size_t j) const {
+    return errors.empty() ? 0.0 : errors[j];
+  }
+
+  /// Sum over dimensions of psi_j^2 -- the E[||e||^2] term of Lemma 2.2.
+  double SquaredErrorNorm() const {
+    double sum = 0.0;
+    for (double e : errors) sum += e * e;
+    return sum;
+  }
+};
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_POINT_H_

@@ -1,0 +1,35 @@
+// Abstract one-pass stream interface.
+
+#ifndef UMICRO_STREAM_STREAM_SOURCE_H_
+#define UMICRO_STREAM_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "stream/point.h"
+
+namespace umicro::stream {
+
+/// A one-pass source of uncertain stream records.
+///
+/// Implementations hand out records in arrival order; a stream algorithm
+/// may read each record at most once. `Next()` returns std::nullopt when
+/// the stream is exhausted.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Returns the next record, or std::nullopt at end of stream.
+  virtual std::optional<UncertainPoint> Next() = 0;
+
+  /// Dimensionality of the records this source produces.
+  virtual std::size_t dimensions() const = 0;
+
+  /// Rewinds to the beginning where supported. Default: no-op returning
+  /// false (true streams cannot be replayed).
+  virtual bool Reset() { return false; }
+};
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_STREAM_SOURCE_H_

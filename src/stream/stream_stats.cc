@@ -1,0 +1,44 @@
+#include "stream/stream_stats.h"
+
+#include "stream/dataset.h"
+#include "util/check.h"
+
+namespace umicro::stream {
+
+StreamStats::StreamStats(std::size_t dimensions)
+    : accumulators_(dimensions) {
+  UMICRO_CHECK(dimensions > 0);
+}
+
+void StreamStats::Add(const UncertainPoint& point) {
+  UMICRO_CHECK(point.dimensions() == accumulators_.size());
+  for (std::size_t j = 0; j < accumulators_.size(); ++j) {
+    accumulators_[j].Add(point.values[j]);
+  }
+}
+
+void StreamStats::AddAll(const Dataset& dataset) {
+  for (const auto& point : dataset.points()) Add(point);
+}
+
+std::size_t StreamStats::count() const { return accumulators_[0].count(); }
+
+double StreamStats::Mean(std::size_t j) const {
+  UMICRO_CHECK(j < accumulators_.size());
+  return accumulators_[j].Mean();
+}
+
+double StreamStats::Stddev(std::size_t j) const {
+  UMICRO_CHECK(j < accumulators_.size());
+  return accumulators_[j].PopulationStddev();
+}
+
+std::vector<double> StreamStats::Stddevs() const {
+  std::vector<double> out(accumulators_.size());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    out[j] = accumulators_[j].PopulationStddev();
+  }
+  return out;
+}
+
+}  // namespace umicro::stream

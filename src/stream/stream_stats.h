@@ -1,0 +1,50 @@
+// Running per-dimension statistics of a stream.
+
+#ifndef UMICRO_STREAM_STREAM_STATS_H_
+#define UMICRO_STREAM_STREAM_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/point.h"
+#include "util/math_utils.h"
+
+namespace umicro::stream {
+
+/// Tracks per-dimension mean/stddev of the values seen so far.
+///
+/// The perturbation model needs the whole-data stddev sigma^0_i of each
+/// dimension; this class computes it in one pass with Welford updates.
+class StreamStats {
+ public:
+  /// Creates statistics for `dimensions`-dimensional records.
+  explicit StreamStats(std::size_t dimensions);
+
+  /// Folds one record's values into the statistics.
+  void Add(const UncertainPoint& point);
+
+  /// Folds every point of `dataset`.
+  void AddAll(const class Dataset& dataset);
+
+  /// Number of records folded so far.
+  std::size_t count() const;
+
+  /// Dimensionality tracked.
+  std::size_t dimensions() const { return accumulators_.size(); }
+
+  /// Mean along dimension `j`.
+  double Mean(std::size_t j) const;
+
+  /// Population stddev along dimension `j` (the paper's sigma^0_j).
+  double Stddev(std::size_t j) const;
+
+  /// All per-dimension stddevs as a vector.
+  std::vector<double> Stddevs() const;
+
+ private:
+  std::vector<util::WelfordAccumulator> accumulators_;
+};
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_STREAM_STATS_H_

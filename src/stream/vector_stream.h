@@ -1,0 +1,46 @@
+// Replayable stream over an in-memory dataset.
+
+#ifndef UMICRO_STREAM_VECTOR_STREAM_H_
+#define UMICRO_STREAM_VECTOR_STREAM_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "stream/dataset.h"
+#include "stream/stream_source.h"
+
+namespace umicro::stream {
+
+/// Streams the points of a `Dataset` in order.
+///
+/// Holds a reference to the dataset, which must outlive the stream. This
+/// is the workhorse source for experiments: generate (or load) a dataset
+/// once, then replay it for each algorithm/parameter setting.
+class VectorStream : public StreamSource {
+ public:
+  /// Wraps `dataset`; does not take ownership.
+  explicit VectorStream(const Dataset& dataset) : dataset_(dataset) {}
+
+  std::optional<UncertainPoint> Next() override {
+    if (position_ >= dataset_.size()) return std::nullopt;
+    return dataset_[position_++];
+  }
+
+  std::size_t dimensions() const override { return dataset_.dimensions(); }
+
+  bool Reset() override {
+    position_ = 0;
+    return true;
+  }
+
+  /// Index of the next record to be handed out.
+  std::size_t position() const { return position_; }
+
+ private:
+  const Dataset& dataset_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace umicro::stream
+
+#endif  // UMICRO_STREAM_VECTOR_STREAM_H_

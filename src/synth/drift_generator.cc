@@ -1,0 +1,64 @@
+#include "synth/drift_generator.h"
+
+#include "util/check.h"
+
+namespace umicro::synth {
+
+DriftingGaussianGenerator::DriftingGaussianGenerator(DriftOptions options)
+    : options_(options), rng_(options.seed) {
+  UMICRO_CHECK(options_.dimensions > 0);
+  UMICRO_CHECK(options_.num_clusters > 0);
+  UMICRO_CHECK(options_.max_radius > 0.0);
+  UMICRO_CHECK(options_.drift_epsilon >= 0.0);
+
+  centroids_.resize(options_.num_clusters);
+  radii_.resize(options_.num_clusters);
+  fractions_.resize(options_.num_clusters);
+  double fraction_sum = 0.0;
+  for (std::size_t c = 0; c < options_.num_clusters; ++c) {
+    centroids_[c].resize(options_.dimensions);
+    radii_[c].resize(options_.dimensions);
+    for (std::size_t j = 0; j < options_.dimensions; ++j) {
+      centroids_[c][j] = rng_.NextDouble();
+      radii_[c][j] = rng_.Uniform(0.0, options_.max_radius);
+    }
+    // f_i ~ U[0,1]; floor at 0.05 so every ground-truth cluster is
+    // populated enough for purity to be meaningful.
+    fractions_[c] = 0.05 + rng_.NextDouble();
+    fraction_sum += fractions_[c];
+  }
+  for (double& f : fractions_) f /= fraction_sum;
+}
+
+void DriftingGaussianGenerator::GenerateInto(std::size_t num_points,
+                                             stream::Dataset& dataset) {
+  if (!dataset.empty()) {
+    UMICRO_CHECK(dataset.dimensions() == options_.dimensions);
+  }
+  for (std::size_t i = 0; i < num_points; ++i) {
+    const std::size_t c = rng_.Categorical(fractions_);
+    std::vector<double> values(options_.dimensions);
+    for (std::size_t j = 0; j < options_.dimensions; ++j) {
+      values[j] = rng_.Gaussian(centroids_[c][j], radii_[c][j]);
+    }
+    dataset.Add(stream::UncertainPoint(std::move(values), next_timestamp_,
+                                       static_cast<int>(c)));
+    next_timestamp_ += 1.0;
+
+    // Drift every centroid after each emission (continuous evolution).
+    for (auto& centroid : centroids_) {
+      for (double& coord : centroid) {
+        coord += rng_.Uniform(-options_.drift_epsilon,
+                              options_.drift_epsilon);
+      }
+    }
+  }
+}
+
+stream::Dataset DriftingGaussianGenerator::Generate(std::size_t num_points) {
+  stream::Dataset dataset(options_.dimensions);
+  GenerateInto(num_points, dataset);
+  return dataset;
+}
+
+}  // namespace umicro::synth

@@ -1,0 +1,78 @@
+#include "synth/forest_generator.h"
+
+#include "util/check.h"
+
+namespace umicro::synth {
+
+namespace {
+
+// Base scales of the 10 quantitative CoverType attributes:
+// elevation(m), aspect(deg), slope(deg), horiz/vert dist to hydrology,
+// horiz dist to roadways, hillshade 9am/noon/3pm, dist to fire points.
+constexpr double kAttributeCenters[ForestCoverGenerator::kDimensions] = {
+    2800.0, 155.0, 14.0, 270.0, 45.0, 2350.0, 212.0, 223.0, 142.0, 1980.0};
+constexpr double kAttributeSpans[ForestCoverGenerator::kDimensions] = {
+    400.0, 110.0, 8.0, 210.0, 60.0, 1550.0, 27.0, 20.0, 38.0, 1320.0};
+
+}  // namespace
+
+ForestCoverGenerator::ForestCoverGenerator(ForestOptions options)
+    : options_(options), rng_(options.seed) {
+  UMICRO_CHECK(options_.persistence >= 0.0 && options_.persistence < 1.0);
+
+  // Real CoverType class shares (approximate): Spruce/Fir 36.5%,
+  // Lodgepole 48.8%, Ponderosa 6.2%, Cottonwood 0.5%, Aspen 1.6%,
+  // Douglas-fir 3.0%, Krummholz 3.5%.
+  class_fractions_ = {0.365, 0.488, 0.062, 0.005, 0.016, 0.030, 0.035};
+  UMICRO_CHECK(class_fractions_.size() == kNumClasses);
+
+  class_means_.resize(kNumClasses);
+  class_stddevs_.resize(kNumClasses);
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    class_means_[cls].resize(kDimensions);
+    class_stddevs_[cls].resize(kDimensions);
+    for (std::size_t j = 0; j < kDimensions; ++j) {
+      // Classes occupy overlapping slices of each attribute's range:
+      // offset up to +-0.9 spans, spread 0.25..0.6 spans. This yields the
+      // moderate separability the real data shows (elevation separates
+      // Krummholz from Cottonwood well; hillshades barely separate).
+      const double offset = rng_.Uniform(-0.9, 0.9) * kAttributeSpans[j];
+      class_means_[cls][j] = kAttributeCenters[j] + offset;
+      class_stddevs_[cls][j] =
+          rng_.Uniform(0.25, 0.6) * kAttributeSpans[j];
+    }
+  }
+}
+
+void ForestCoverGenerator::GenerateInto(std::size_t num_points,
+                                        stream::Dataset& dataset) {
+  if (!dataset.empty()) {
+    UMICRO_CHECK(dataset.dimensions() == kDimensions);
+  }
+  for (std::size_t i = 0; i < num_points; ++i) {
+    int cls;
+    if (previous_class_ >= 0 && rng_.NextDouble() < options_.persistence) {
+      cls = previous_class_;
+    } else {
+      cls = static_cast<int>(rng_.Categorical(class_fractions_));
+    }
+    previous_class_ = cls;
+
+    std::vector<double> values(kDimensions);
+    for (std::size_t j = 0; j < kDimensions; ++j) {
+      values[j] = rng_.Gaussian(class_means_[cls][j],
+                                class_stddevs_[cls][j]);
+    }
+    dataset.Add(
+        stream::UncertainPoint(std::move(values), next_timestamp_, cls));
+    next_timestamp_ += 1.0;
+  }
+}
+
+stream::Dataset ForestCoverGenerator::Generate(std::size_t num_points) {
+  stream::Dataset dataset(kDimensions);
+  GenerateInto(num_points, dataset);
+  return dataset;
+}
+
+}  // namespace umicro::synth

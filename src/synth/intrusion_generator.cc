@@ -1,0 +1,90 @@
+#include "synth/intrusion_generator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace umicro::synth {
+
+IntrusionStreamGenerator::IntrusionStreamGenerator(IntrusionOptions options)
+    : options_(options), rng_(options.seed) {
+  UMICRO_CHECK(options_.dimensions > 0);
+  UMICRO_CHECK(options_.burst_start_probability >= 0.0 &&
+               options_.burst_start_probability < 1.0);
+  UMICRO_CHECK(options_.mean_burst_length >= 1.0);
+
+  // Heavy-tailed attribute scales: exp(N(0, 1.5)) spans ~3 orders of
+  // magnitude, mimicking byte counts vs. rates vs. percentages.
+  attribute_scales_.resize(options_.dimensions);
+  for (double& s : attribute_scales_) {
+    s = std::exp(rng_.Gaussian(0.0, 1.5));
+  }
+
+  class_offsets_.resize(kNumClasses);
+  class_spreads_.resize(kNumClasses);
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    class_offsets_[cls].resize(options_.dimensions);
+    class_spreads_[cls].resize(options_.dimensions);
+    for (std::size_t j = 0; j < options_.dimensions; ++j) {
+      if (cls == kNormal) {
+        class_offsets_[cls][j] = 0.0;
+        class_spreads_[cls][j] = 1.0;
+      } else {
+        // Attacks shift a random subset of attributes strongly (e.g. SYN
+        // error rate for DOS, root accesses for U2R) and leave the rest
+        // near the normal profile.
+        const bool distinctive = rng_.NextDouble() < 0.35;
+        class_offsets_[cls][j] =
+            distinctive ? rng_.Uniform(2.0, 6.0) *
+                              (rng_.NextDouble() < 0.5 ? -1.0 : 1.0)
+                        : rng_.Uniform(-0.3, 0.3);
+        class_spreads_[cls][j] = rng_.Uniform(0.5, 1.5);
+      }
+    }
+  }
+}
+
+std::vector<double> IntrusionStreamGenerator::DrawValues(int cls) {
+  std::vector<double> values(options_.dimensions);
+  for (std::size_t j = 0; j < options_.dimensions; ++j) {
+    values[j] = attribute_scales_[j] *
+                rng_.Gaussian(class_offsets_[cls][j], class_spreads_[cls][j]);
+  }
+  return values;
+}
+
+void IntrusionStreamGenerator::GenerateInto(std::size_t num_points,
+                                            stream::Dataset& dataset) {
+  if (!dataset.empty()) {
+    UMICRO_CHECK(dataset.dimensions() == options_.dimensions);
+  }
+  for (std::size_t i = 0; i < num_points; ++i) {
+    int cls = kNormal;
+    if (burst_remaining_ > 0) {
+      // Inside a burst: mostly the attack class, some background.
+      cls = rng_.NextDouble() < options_.background_during_burst
+                ? kNormal
+                : active_burst_class_;
+      --burst_remaining_;
+    } else if (rng_.NextDouble() < options_.burst_start_probability) {
+      // Start a new burst of a random attack type.
+      active_burst_class_ =
+          1 + static_cast<int>(rng_.NextBounded(kNumClasses - 1));
+      burst_remaining_ = 1 + static_cast<std::size_t>(
+                                 rng_.Exponential(1.0 /
+                                                  options_.mean_burst_length));
+      cls = active_burst_class_;
+    }
+    dataset.Add(stream::UncertainPoint(DrawValues(cls), next_timestamp_,
+                                       cls));
+    next_timestamp_ += 1.0;
+  }
+}
+
+stream::Dataset IntrusionStreamGenerator::Generate(std::size_t num_points) {
+  stream::Dataset dataset(options_.dimensions);
+  GenerateInto(num_points, dataset);
+  return dataset;
+}
+
+}  // namespace umicro::synth

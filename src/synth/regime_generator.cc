@@ -1,0 +1,67 @@
+#include "synth/regime_generator.h"
+
+#include "util/check.h"
+
+namespace umicro::synth {
+
+RegimeShiftGenerator::RegimeShiftGenerator(RegimeOptions options)
+    : options_(options), rng_(options.seed) {
+  UMICRO_CHECK(options_.dimensions > 0);
+  UMICRO_CHECK(options_.num_clusters > 0);
+  UMICRO_CHECK(options_.regime_length > 0);
+  RedrawLayout();
+}
+
+void RegimeShiftGenerator::RedrawLayout() {
+  centroids_.assign(options_.num_clusters,
+                    std::vector<double>(options_.dimensions));
+  radii_.assign(options_.num_clusters,
+                std::vector<double>(options_.dimensions));
+  fractions_.assign(options_.num_clusters, 0.0);
+  double sum = 0.0;
+  for (std::size_t c = 0; c < options_.num_clusters; ++c) {
+    for (std::size_t j = 0; j < options_.dimensions; ++j) {
+      centroids_[c][j] = rng_.NextDouble();
+      radii_[c][j] = rng_.Uniform(0.02, options_.max_radius);
+    }
+    fractions_[c] = 0.2 + rng_.NextDouble();
+    sum += fractions_[c];
+  }
+  for (double& f : fractions_) f /= sum;
+}
+
+void RegimeShiftGenerator::GenerateInto(std::size_t num_points,
+                                        stream::Dataset& dataset) {
+  if (!dataset.empty()) {
+    UMICRO_CHECK(dataset.dimensions() == options_.dimensions);
+  }
+  for (std::size_t i = 0; i < num_points; ++i) {
+    if (points_in_regime_ == options_.regime_length) {
+      RedrawLayout();
+      points_in_regime_ = 0;
+      ++regime_index_;
+    }
+    const std::size_t c = rng_.Categorical(fractions_);
+    std::vector<double> values(options_.dimensions);
+    for (std::size_t j = 0; j < options_.dimensions; ++j) {
+      values[j] = rng_.Gaussian(centroids_[c][j], radii_[c][j]);
+    }
+    // Labels are globally unique across regimes: a regime shift replaces
+    // the ground truth entirely, so stale micro-cluster mass from the
+    // previous regime genuinely counts as impurity.
+    const int label =
+        static_cast<int>(regime_index_ * options_.num_clusters + c);
+    dataset.Add(
+        stream::UncertainPoint(std::move(values), next_timestamp_, label));
+    next_timestamp_ += 1.0;
+    ++points_in_regime_;
+  }
+}
+
+stream::Dataset RegimeShiftGenerator::Generate(std::size_t num_points) {
+  stream::Dataset dataset(options_.dimensions);
+  GenerateInto(num_points, dataset);
+  return dataset;
+}
+
+}  // namespace umicro::synth

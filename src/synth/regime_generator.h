@@ -1,0 +1,65 @@
+// Regime-shift stream used by the time-decay ablation.
+//
+// The paper motivates its exponential-decay variant with "evolving data
+// streams in which the underlying patterns may change over time". This
+// generator produces the sharpest version of that: the cluster layout is
+// re-drawn from scratch every `regime_length` points while class labels
+// keep their identity within a regime, so an algorithm that forgets old
+// data (decay) recovers quickly after each shift while one that does not
+// drags stale centroids along.
+
+#ifndef UMICRO_SYNTH_REGIME_GENERATOR_H_
+#define UMICRO_SYNTH_REGIME_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::synth {
+
+/// Configuration for the regime-shift stream.
+struct RegimeOptions {
+  /// Dimensionality.
+  std::size_t dimensions = 12;
+  /// Clusters per regime.
+  std::size_t num_clusters = 6;
+  /// Points between full layout re-draws.
+  std::size_t regime_length = 20000;
+  /// Per-dimension Gaussian radius range.
+  double max_radius = 0.15;
+  /// RNG seed.
+  std::uint64_t seed = 77;
+};
+
+/// Piecewise-stationary Gaussian mixture with abrupt regime shifts.
+class RegimeShiftGenerator {
+ public:
+  explicit RegimeShiftGenerator(RegimeOptions options);
+
+  /// Appends `num_points` points to `dataset`; regime phase carries over.
+  void GenerateInto(std::size_t num_points, stream::Dataset& dataset);
+
+  /// Convenience: returns a new dataset of `num_points` points.
+  stream::Dataset Generate(std::size_t num_points);
+
+  /// Index of the regime currently being emitted.
+  std::size_t current_regime() const { return regime_index_; }
+
+ private:
+  void RedrawLayout();
+
+  RegimeOptions options_;
+  util::Rng rng_;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<std::vector<double>> radii_;
+  std::vector<double> fractions_;
+  std::size_t points_in_regime_ = 0;
+  std::size_t regime_index_ = 0;
+  double next_timestamp_ = 0.0;
+};
+
+}  // namespace umicro::synth
+
+#endif  // UMICRO_SYNTH_REGIME_GENERATOR_H_

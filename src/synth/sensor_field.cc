@@ -1,0 +1,80 @@
+#include "synth/sensor_field.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace umicro::synth {
+
+SensorFieldGenerator::SensorFieldGenerator(SensorFieldOptions options)
+    : options_(options), rng_(options.seed) {
+  UMICRO_CHECK(options_.channels > 0);
+  UMICRO_CHECK(options_.num_zones > 0);
+  UMICRO_CHECK(options_.sensors_per_zone > 0);
+  UMICRO_CHECK(options_.min_noise_floor >= 0.0);
+  UMICRO_CHECK(options_.max_noise_floor >= options_.min_noise_floor);
+  UMICRO_CHECK(options_.dropout_probability >= 0.0 &&
+               options_.dropout_probability < 1.0);
+
+  zone_means_.resize(options_.num_zones);
+  for (auto& mean : zone_means_) {
+    mean.resize(options_.channels);
+    for (double& value : mean) value = rng_.Uniform(-10.0, 10.0);
+  }
+
+  const std::size_t total = options_.num_zones * options_.sensors_per_zone;
+  sensor_zone_.resize(total);
+  noise_floor_.resize(total);
+  sensor_age_.assign(total, 0);
+  for (std::size_t s = 0; s < total; ++s) {
+    sensor_zone_[s] = s / options_.sensors_per_zone;
+    noise_floor_[s] =
+        rng_.Uniform(options_.min_noise_floor, options_.max_noise_floor);
+  }
+}
+
+double SensorFieldGenerator::SensorNoise(std::size_t s) const {
+  UMICRO_CHECK(s < noise_floor_.size());
+  const double age_factor =
+      1.0 + options_.aging_rate *
+                static_cast<double>(sensor_age_[s]) / 10000.0;
+  return noise_floor_[s] * age_factor;
+}
+
+void SensorFieldGenerator::GenerateInto(std::size_t num_readings,
+                                        stream::Dataset& dataset) {
+  if (!dataset.empty()) {
+    UMICRO_CHECK(dataset.dimensions() == options_.channels);
+  }
+  for (std::size_t i = 0; i < num_readings; ++i) {
+    const std::size_t s = next_sensor_;
+    next_sensor_ = (next_sensor_ + 1) % sensor_zone_.size();
+    const std::size_t zone = sensor_zone_[s];
+    const double sigma = SensorNoise(s);
+    ++sensor_age_[s];
+
+    std::vector<double> values(options_.channels);
+    std::vector<double> errors(options_.channels, sigma);
+    for (std::size_t j = 0; j < options_.channels; ++j) {
+      values[j] = zone_means_[zone][j] +
+                  rng_.Gaussian(0.0, options_.process_noise) +
+                  rng_.Gaussian(0.0, sigma);
+      if (options_.dropout_probability > 0.0 &&
+          rng_.NextDouble() < options_.dropout_probability) {
+        values[j] = std::nan("");
+      }
+    }
+    dataset.Add(stream::UncertainPoint(std::move(values), std::move(errors),
+                                       next_timestamp_,
+                                       static_cast<int>(zone)));
+    next_timestamp_ += 1.0;
+  }
+}
+
+stream::Dataset SensorFieldGenerator::Generate(std::size_t num_readings) {
+  stream::Dataset dataset(options_.channels);
+  GenerateInto(num_readings, dataset);
+  return dataset;
+}
+
+}  // namespace umicro::synth

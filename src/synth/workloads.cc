@@ -1,0 +1,55 @@
+#include "synth/workloads.h"
+
+#include "stream/perturbation.h"
+#include "stream/stream_stats.h"
+#include "synth/drift_generator.h"
+#include "synth/forest_generator.h"
+#include "synth/intrusion_generator.h"
+#include "util/check.h"
+
+namespace umicro::synth {
+
+void ApplyPaperNoise(stream::Dataset& dataset, double eta,
+                     std::uint64_t seed) {
+  UMICRO_CHECK(eta >= 0.0);
+  if (eta <= 0.0 || dataset.empty()) return;
+  stream::StreamStats stats(dataset.dimensions());
+  stats.AddAll(dataset);
+  stream::PerturbationOptions options;
+  options.eta = eta;
+  options.seed = seed;
+  stream::Perturber perturber(stats.Stddevs(), options);
+  perturber.PerturbDataset(dataset);
+}
+
+stream::Dataset MakeSynDriftWorkload(std::size_t points, double eta,
+                                     std::uint64_t seed) {
+  DriftOptions options;
+  options.seed = seed;
+  DriftingGaussianGenerator generator(options);
+  stream::Dataset dataset = generator.Generate(points);
+  ApplyPaperNoise(dataset, eta, seed + 1);
+  return dataset;
+}
+
+stream::Dataset MakeNetworkWorkload(std::size_t points, double eta,
+                                    std::uint64_t seed) {
+  IntrusionOptions options;
+  options.seed = seed;
+  IntrusionStreamGenerator generator(options);
+  stream::Dataset dataset = generator.Generate(points);
+  ApplyPaperNoise(dataset, eta, seed + 1);
+  return dataset;
+}
+
+stream::Dataset MakeForestWorkload(std::size_t points, double eta,
+                                   std::uint64_t seed) {
+  ForestOptions options;
+  options.seed = seed;
+  ForestCoverGenerator generator(options);
+  stream::Dataset dataset = generator.Generate(points);
+  ApplyPaperNoise(dataset, eta, seed + 1);
+  return dataset;
+}
+
+}  // namespace umicro::synth

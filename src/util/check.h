@@ -1,0 +1,47 @@
+// Lightweight runtime-invariant macros.
+//
+// The project follows the Google C++ style guide and does not use
+// exceptions. Invariant violations abort the process with a diagnostic
+// instead; fallible operations return std::optional or a bool.
+
+#ifndef UMICRO_UTIL_CHECK_H_
+#define UMICRO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a message when `condition` is false.
+///
+/// Enabled in all build modes: these guard API contracts whose violation
+/// would otherwise corrupt cluster statistics silently.
+#define UMICRO_CHECK(condition)                                          \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "UMICRO_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+/// UMICRO_CHECK with a custom printf-style message appended.
+#define UMICRO_CHECK_MSG(condition, ...)                                 \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      std::fprintf(stderr, "UMICRO_CHECK failed at %s:%d: %s: ",         \
+                   __FILE__, __LINE__, #condition);                      \
+      std::fprintf(stderr, __VA_ARGS__);                                 \
+      std::fprintf(stderr, "\n");                                        \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+/// Debug-only invariant check; compiled out in release builds.
+#ifndef NDEBUG
+#define UMICRO_DCHECK(condition) UMICRO_CHECK(condition)
+#else
+#define UMICRO_DCHECK(condition) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // UMICRO_UTIL_CHECK_H_

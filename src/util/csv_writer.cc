@@ -1,0 +1,71 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace umicro::util {
+
+std::string EscapeCsvCell(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  UMICRO_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  UMICRO_CHECK_MSG(cells.size() == header_.size(),
+                   "row has %zu cells, header has %zu", cells.size(),
+                   header_.size());
+  rows_.push_back(cells);
+}
+
+void CsvWriter::AddRow(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double value : cells) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    formatted.emplace_back(buffer);
+  }
+  AddRow(formatted);
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) out << ',';
+    out << EscapeCsvCell(header_[i]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << EscapeCsvCell(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) return false;
+  file << ToString();
+  return file.good();
+}
+
+}  // namespace umicro::util

@@ -1,0 +1,45 @@
+// Minimal CSV emission for benchmark result series.
+
+#ifndef UMICRO_UTIL_CSV_WRITER_H_
+#define UMICRO_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace umicro::util {
+
+/// Accumulates a rectangular table and renders it as CSV.
+///
+/// Used by every figure-reproduction bench to dump the series it prints,
+/// so results can be re-plotted without re-running the sweep.
+class CsvWriter {
+ public:
+  /// Creates a table with the given column names.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience overload: formats doubles with 6 significant digits.
+  void AddRow(const std::vector<double>& cells);
+
+  /// Renders the full table (header + rows) as CSV text.
+  std::string ToString() const;
+
+  /// Writes the table to `path`. Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV cell (quotes cells containing commas/quotes/newlines).
+std::string EscapeCsvCell(const std::string& cell);
+
+}  // namespace umicro::util
+
+#endif  // UMICRO_UTIL_CSV_WRITER_H_

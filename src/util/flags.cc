@@ -1,0 +1,85 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace umicro::util {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  for (const auto& [name, value] : values_) queried_[name] = false;
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  queried_[name] = true;
+  return true;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  queried_[name] = true;
+  return it->second.empty() ? fallback : it->second;
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    if (it != values_.end()) queried_[name] = true;
+    return fallback;
+  }
+  queried_[name] = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end != it->second.c_str() + it->second.size()) return fallback;
+  return value;
+}
+
+std::size_t FlagParser::GetSize(const std::string& name,
+                                std::size_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) {
+    if (it != values_.end()) queried_[name] = true;
+    return fallback;
+  }
+  queried_[name] = true;
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(it->second.c_str(), &end, 10);
+  if (end != it->second.c_str() + it->second.size()) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  queried_[name] = true;
+  if (it->second.empty()) return true;
+  return it->second != "false" && it->second != "0" &&
+         it->second != "off";
+}
+
+std::vector<std::string> FlagParser::UnqueriedFlags() const {
+  std::vector<std::string> unqueried;
+  for (const auto& [name, was_queried] : queried_) {
+    if (!was_queried) unqueried.push_back(name);
+  }
+  return unqueried;
+}
+
+}  // namespace umicro::util

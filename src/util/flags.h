@@ -1,0 +1,56 @@
+// Minimal command-line flag parsing shared by the tools and benches.
+//
+// Supports `--name=value` and boolean `--name` forms. Unknown flags are
+// collected so callers can decide whether to reject them.
+
+#ifndef UMICRO_UTIL_FLAGS_H_
+#define UMICRO_UTIL_FLAGS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace umicro::util {
+
+/// Parsed command line.
+class FlagParser {
+ public:
+  /// Parses argv (skipping argv[0]). Arguments not starting with `--`
+  /// are collected as positional.
+  FlagParser(int argc, char** argv);
+
+  /// True when `--name` or `--name=...` was present.
+  bool Has(const std::string& name) const;
+
+  /// String value of `--name=value`; `fallback` when absent or given
+  /// in the boolean form.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+
+  /// Double value; `fallback` when absent or unparsable.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// Unsigned integer value; `fallback` when absent or unparsable.
+  std::size_t GetSize(const std::string& name, std::size_t fallback) const;
+
+  /// Boolean: true when the flag is present (either form), with
+  /// `--name=false` / `--name=0` turning it off explicitly.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line that the caller never queried;
+  /// call after all Get*/Has calls to reject typos.
+  std::vector<std::string> UnqueriedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace umicro::util
+
+#endif  // UMICRO_UTIL_FLAGS_H_

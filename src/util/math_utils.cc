@@ -1,0 +1,160 @@
+#include "util/math_utils.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace umicro::util {
+
+void WelfordAccumulator::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void WelfordAccumulator::Merge(const WelfordAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+}
+
+double WelfordAccumulator::PopulationVariance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double WelfordAccumulator::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double WelfordAccumulator::PopulationStddev() const {
+  return std::sqrt(PopulationVariance());
+}
+
+WelfordAccumulator WelfordAccumulator::FromRaw(std::size_t count,
+                                               double mean, double m2) {
+  UMICRO_CHECK(m2 >= 0.0);
+  WelfordAccumulator acc;
+  acc.count_ = count;
+  acc.mean_ = mean;
+  acc.m2_ = m2;
+  return acc;
+}
+
+double InverseNormalCdf(double p) {
+  UMICRO_CHECK(p > 0.0 && p < 1.0);
+  // Peter Acklam's rational approximation with one Halley refinement.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  constexpr double kHigh = 1.0 - 0.02425;
+
+  double x;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= kHigh) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+
+  // One step of Halley's method against erfc for extra accuracy.
+  const double e = 0.5 * std::erfc(-x / std::sqrt(2.0)) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double RegularizedGammaP(double a, double x) {
+  UMICRO_CHECK(a > 0.0);
+  UMICRO_CHECK(x >= 0.0);
+  if (x == 0.0) return 0.0;
+
+  const double log_gamma_a = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a,x) = x^a e^-x / Gamma(a) * sum_n x^n / (a (a+1)...(a+n)).
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 1e-15) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - log_gamma_a);
+  }
+
+  // Continued fraction for Q(a,x) (modified Lentz).
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = h * std::exp(-x + a * std::log(x) - log_gamma_a);
+  return 1.0 - q;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  UMICRO_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double Clamp(double value, double lo, double hi) {
+  if (value < lo) return lo;
+  if (value > hi) return hi;
+  return value;
+}
+
+}  // namespace umicro::util

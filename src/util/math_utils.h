@@ -1,0 +1,80 @@
+// Small numerical helpers shared across the library.
+
+#ifndef UMICRO_UTIL_MATH_UTILS_H_
+#define UMICRO_UTIL_MATH_UTILS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace umicro::util {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+///
+/// Used by the stream-statistics tracker and by tests as an independent
+/// reference against the CF-vector variance formula.
+class WelfordAccumulator {
+ public:
+  WelfordAccumulator() = default;
+
+  /// Folds one observation into the running statistics.
+  void Add(double value);
+
+  /// Merges another accumulator (parallel-variance combination).
+  void Merge(const WelfordAccumulator& other);
+
+  /// Number of observations folded so far.
+  std::size_t count() const { return count_; }
+
+  /// Running mean; 0 when empty.
+  double Mean() const { return mean_; }
+
+  /// Population variance (divides by n); 0 when fewer than 1 observation.
+  double PopulationVariance() const;
+
+  /// Sample variance (divides by n-1); 0 when fewer than 2 observations.
+  double SampleVariance() const;
+
+  /// Population standard deviation.
+  double PopulationStddev() const;
+
+  /// Raw second central moment sum (serialization hook).
+  double m2() const { return m2_; }
+
+  /// Reconstructs an accumulator from its raw state (deserialization).
+  static WelfordAccumulator FromRaw(std::size_t count, double mean,
+                                    double m2);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.15e-9). `p` must be in (0, 1).
+///
+/// CluStream uses this to convert the `delta` fraction of a micro-cluster's
+/// timestamp distribution into a relevance stamp.
+double InverseNormalCdf(double p);
+
+/// Regularized lower incomplete gamma function P(a, x) = gamma(a, x) /
+/// Gamma(a), for a > 0, x >= 0. Series expansion for x < a + 1, Lentz
+/// continued fraction otherwise (relative error ~1e-12). P(k/2, x/2) is
+/// the chi-square CDF with k degrees of freedom -- used by the uncertain
+/// density-based clustering baseline's distance-probability model.
+double RegularizedGammaP(double a, double x);
+
+/// Squared Euclidean distance between two equal-length vectors.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Euclidean distance between two equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Clamps `value` into [lo, hi].
+double Clamp(double value, double lo, double hi);
+
+}  // namespace umicro::util
+
+#endif  // UMICRO_UTIL_MATH_UTILS_H_

@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by the throughput benchmarks.
+
+#ifndef UMICRO_UTIL_STOPWATCH_H_
+#define UMICRO_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace umicro::util {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  /// Starts the stopwatch at construction.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace umicro::util
+
+#endif  // UMICRO_UTIL_STOPWATCH_H_

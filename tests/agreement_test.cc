@@ -1,0 +1,116 @@
+// Tests for ARI / NMI computed from label histograms.
+
+#include "eval/agreement.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace umicro::eval {
+namespace {
+
+using stream::LabelHistogram;
+
+TEST(AriTest, PerfectAgreement) {
+  // Each cluster holds exactly one class.
+  std::vector<LabelHistogram> histograms = {
+      {{0, 10.0}}, {{1, 15.0}}, {{2, 5.0}}};
+  EXPECT_NEAR(AdjustedRandIndex(histograms), 1.0, 1e-12);
+  EXPECT_NEAR(NormalizedMutualInformation(histograms), 1.0, 1e-12);
+}
+
+TEST(AriTest, KnownSmallExample) {
+  // Contingency table (clusters x classes):
+  //   [5 1]
+  //   [1 5]
+  // n=12. sum_cells C2 = 10+0+0+10 = 20; rows: C2(6)*2 = 30;
+  // cols: C2(6)*2 = 30; C2(12) = 66.
+  // expected = 30*30/66 = 13.636..; max = 30.
+  // ARI = (20 - 13.6364) / (30 - 13.6364) = 6.3636/16.3636 = 0.3889.
+  std::vector<LabelHistogram> histograms = {{{0, 5.0}, {1, 1.0}},
+                                            {{0, 1.0}, {1, 5.0}}};
+  EXPECT_NEAR(AdjustedRandIndex(histograms), 0.38888888, 1e-6);
+}
+
+TEST(AriTest, SingleClusterAllClasses) {
+  // One cluster holding two equal classes: no structure recovered.
+  std::vector<LabelHistogram> histograms = {{{0, 10.0}, {1, 10.0}}};
+  EXPECT_NEAR(AdjustedRandIndex(histograms), 0.0, 1e-9);
+  EXPECT_NEAR(NormalizedMutualInformation(histograms), 0.0, 1e-9);
+}
+
+TEST(AriTest, RandomAssignmentNearZero) {
+  // Points scattered independently of class: ARI concentrates near 0.
+  util::Rng rng(7);
+  std::vector<LabelHistogram> histograms(20);
+  for (int i = 0; i < 20000; ++i) {
+    histograms[rng.NextBounded(20)][static_cast<int>(rng.NextBounded(4))] +=
+        1.0;
+  }
+  EXPECT_NEAR(AdjustedRandIndex(histograms), 0.0, 0.01);
+  EXPECT_NEAR(NormalizedMutualInformation(histograms), 0.0, 0.01);
+}
+
+TEST(AriTest, FragmentationPenalizedUnlikePurity) {
+  // Pure singletons: purity would say 1.0; ARI/NMI must stay below the
+  // perfect-agreement score of the honest 2-cluster solution.
+  std::vector<LabelHistogram> fragments;
+  for (int i = 0; i < 10; ++i) fragments.push_back({{i % 2, 1.0}});
+  std::vector<LabelHistogram> honest = {{{0, 5.0}}, {{1, 5.0}}};
+  EXPECT_LT(AdjustedRandIndex(fragments), AdjustedRandIndex(honest));
+  EXPECT_LT(NormalizedMutualInformation(fragments) + 1e-12,
+            NormalizedMutualInformation(honest));
+}
+
+TEST(AriTest, EmptyAndTinyInputs) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({}), 0.0);
+  std::vector<LabelHistogram> one = {{{0, 1.0}}};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(one), 0.0);  // < 2 units of mass
+}
+
+TEST(NmiTest, SymmetricMixingExample) {
+  // Two clusters, two classes, 75/25 mixing each way.
+  std::vector<LabelHistogram> histograms = {{{0, 75.0}, {1, 25.0}},
+                                            {{0, 25.0}, {1, 75.0}}};
+  // MI = sum p log(p/(px py)); with p in {0.375, 0.125}:
+  const double mi = 2 * 0.375 * std::log(0.375 / 0.25) +
+                    2 * 0.125 * std::log(0.125 / 0.25);
+  const double h = std::log(2.0);
+  EXPECT_NEAR(NormalizedMutualInformation(histograms), mi / h, 1e-9);
+}
+
+TEST(NmiTest, InUnitInterval) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<LabelHistogram> histograms(1 + rng.NextBounded(10));
+    for (int i = 0; i < 200; ++i) {
+      histograms[rng.NextBounded(histograms.size())]
+                [static_cast<int>(rng.NextBounded(5))] +=
+          rng.Uniform(0.1, 2.0);
+    }
+    const double nmi = NormalizedMutualInformation(histograms);
+    EXPECT_GE(nmi, 0.0);
+    EXPECT_LE(nmi, 1.0);
+  }
+}
+
+TEST(AriTest, ScaleInvariance) {
+  // Scaling all weights (decay) leaves both metrics unchanged up to
+  // the n-choose-2 small-sample correction; use large masses so the
+  // correction is negligible.
+  std::vector<LabelHistogram> histograms = {{{0, 800.0}, {1, 200.0}},
+                                            {{0, 150.0}, {1, 850.0}}};
+  const double ari = AdjustedRandIndex(histograms);
+  const double nmi = NormalizedMutualInformation(histograms);
+  for (auto& histogram : histograms) {
+    for (auto& [label, weight] : histogram) weight *= 2.0;
+  }
+  EXPECT_NEAR(AdjustedRandIndex(histograms), ari, 1e-3);
+  EXPECT_NEAR(NormalizedMutualInformation(histograms), nmi, 1e-12);
+}
+
+}  // namespace
+}  // namespace umicro::eval

@@ -1,0 +1,97 @@
+// Tests for the UMicro-backed streaming anomaly detector.
+
+#include "core/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+using stream::UncertainPoint;
+
+TEST(AnomalyDetectorTest, SteadyTrafficSettlesToLowNoveltyRate) {
+  AnomalyOptions options;
+  options.umicro.num_micro_clusters = 20;
+  AnomalyDetector detector(2, options);
+  util::Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    detector.Process(UncertainPoint(
+        {rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)}, {0.1, 0.1},
+        static_cast<double>(i), 0));
+  }
+  EXPECT_LT(detector.novelty_rate(), 0.1);
+}
+
+TEST(AnomalyDetectorTest, RegimeShiftRaisesNoveltyRateThenSettles) {
+  AnomalyOptions options;
+  options.umicro.num_micro_clusters = 20;
+  options.rate_smoothing = 0.05;
+  AnomalyDetector detector(2, options);
+  util::Rng rng(2);
+  for (int i = 0; i < 3000; ++i) {
+    detector.Process(UncertainPoint(
+        {rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)}, {0.05, 0.05},
+        static_cast<double>(i), 0));
+  }
+  const double baseline_rate = detector.novelty_rate();
+
+  // Abrupt shift: a brand-new region of space. Measure the peak rate
+  // during the first 100 post-shift records.
+  double peak = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto verdict = detector.Process(UncertainPoint(
+        {500.0 + rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)},
+        {0.05, 0.05}, 3000.0 + i, 1));
+    peak = std::max(peak, verdict.novelty_rate);
+  }
+  EXPECT_GT(peak, baseline_rate + 0.05);
+
+  // After the new region is learned the rate decays again.
+  for (int i = 0; i < 3000; ++i) {
+    detector.Process(UncertainPoint(
+        {500.0 + rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)},
+        {0.05, 0.05}, 3100.0 + i, 1));
+  }
+  EXPECT_LT(detector.novelty_rate(), peak);
+}
+
+TEST(AnomalyDetectorTest, BurstFlagRequiresElevatedRate) {
+  AnomalyOptions options;
+  options.umicro.num_micro_clusters = 50;
+  options.rate_smoothing = 0.2;
+  options.burst_rate_threshold = 0.5;
+  AnomalyDetector detector(1, options);
+  util::Rng rng(3);
+  // Learn one tight cluster.
+  for (int i = 0; i < 500; ++i) {
+    detector.Process(
+        UncertainPoint({rng.Gaussian(0.0, 0.1)}, static_cast<double>(i)));
+  }
+  EXPECT_EQ(detector.burst_count(), 0u);
+  // A lone outlier is novel but (rate still low) not a burst.
+  const auto lone = detector.Process(UncertainPoint({1000.0}, 501.0));
+  EXPECT_TRUE(lone.novel);
+  EXPECT_FALSE(lone.burst);
+  // A stream of scattered outliers becomes a burst.
+  bool burst_seen = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto verdict = detector.Process(UncertainPoint(
+        {rng.Uniform(2000.0, 1e6)}, 502.0 + static_cast<double>(i)));
+    burst_seen = burst_seen || verdict.burst;
+  }
+  EXPECT_TRUE(burst_seen);
+  EXPECT_GT(detector.burst_count(), 0u);
+}
+
+TEST(AnomalyDetectorTest, VerdictCarriesExpectedDistance) {
+  AnomalyDetector detector(1, AnomalyOptions{});
+  const auto first = detector.Process(UncertainPoint({0.0}, 0.0));
+  EXPECT_DOUBLE_EQ(first.expected_distance, 0.0);
+  const auto second = detector.Process(UncertainPoint({100.0}, 1.0));
+  EXPECT_NEAR(second.expected_distance, 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace umicro::core

@@ -1,0 +1,192 @@
+// Tests for the ARFF loader.
+
+#include "io/arff_dataset.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace umicro::io {
+namespace {
+
+constexpr char kBasicArff[] = R"(% a comment
+@relation weather
+
+@attribute temperature numeric
+@attribute humidity real
+@attribute class {sunny, rainy, cloudy}
+
+@data
+20.5, 0.4, sunny
+% another comment
+18.0, 0.9, rainy
+22.5, 0.3, sunny
+)";
+
+TEST(ArffTest, ParsesBasicFile) {
+  const auto loaded = ParseArffDataset(kBasicArff);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->relation, "weather");
+  ASSERT_EQ(loaded->attribute_names.size(), 2u);
+  EXPECT_EQ(loaded->attribute_names[0], "temperature");
+  ASSERT_EQ(loaded->dataset.size(), 3u);
+  EXPECT_EQ(loaded->dataset.dimensions(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->dataset[0].values[0], 20.5);
+  EXPECT_DOUBLE_EQ(loaded->dataset[1].values[1], 0.9);
+  ASSERT_EQ(loaded->label_names.size(), 3u);
+  EXPECT_EQ(loaded->label_names[0], "sunny");
+  EXPECT_EQ(loaded->dataset[0].label, 0);
+  EXPECT_EQ(loaded->dataset[1].label, 1);
+  EXPECT_EQ(loaded->dataset[2].label, 0);
+  // Row index becomes the timestamp.
+  EXPECT_DOUBLE_EQ(loaded->dataset[2].timestamp, 2.0);
+}
+
+TEST(ArffTest, NumericOnlyFileHasNoLabels) {
+  const std::string text =
+      "@relation r\n@attribute a numeric\n@attribute b numeric\n"
+      "@data\n1,2\n3,4\n";
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->label_names.empty());
+  EXPECT_EQ(loaded->dataset[0].label, stream::kUnlabeled);
+}
+
+TEST(ArffTest, MissingValuesBecomeNan) {
+  const std::string text =
+      "@relation r\n@attribute a numeric\n@attribute c {x,y}\n"
+      "@data\n?,x\n1,?\n";
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(std::isnan(loaded->dataset[0].values[0]));
+  EXPECT_EQ(loaded->dataset[0].label, 0);
+  EXPECT_DOUBLE_EQ(loaded->dataset[1].values[0], 1.0);
+  EXPECT_EQ(loaded->dataset[1].label, stream::kUnlabeled);
+}
+
+TEST(ArffTest, QuotedNamesAndValues) {
+  const std::string text =
+      "@relation 'my relation'\n"
+      "@attribute 'att one' numeric\n"
+      "@attribute class {'a b', c}\n"
+      "@data\n5.0,'a b'\n";
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->relation, "my relation");
+  EXPECT_EQ(loaded->attribute_names[0], "att one");
+  EXPECT_EQ(loaded->label_names[0], "a b");
+  EXPECT_EQ(loaded->dataset[0].label, 0);
+}
+
+TEST(ArffTest, CaseInsensitiveKeywords) {
+  const std::string text =
+      "@RELATION r\n@ATTRIBUTE a NUMERIC\n@DATA\n1\n2\n";
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset.size(), 2u);
+}
+
+TEST(ArffTest, RejectsTwoNominalAttributes) {
+  const std::string text =
+      "@relation r\n@attribute a {x,y}\n@attribute b {p,q}\n"
+      "@attribute v numeric\n@data\nx,p,1\n";
+  EXPECT_FALSE(ParseArffDataset(text).has_value());
+}
+
+TEST(ArffTest, RejectsUnsupportedTypes) {
+  const std::string text =
+      "@relation r\n@attribute s string\n@data\nhello\n";
+  EXPECT_FALSE(ParseArffDataset(text).has_value());
+}
+
+TEST(ArffTest, RejectsRaggedRows) {
+  const std::string text =
+      "@relation r\n@attribute a numeric\n@attribute b numeric\n"
+      "@data\n1,2\n3\n";
+  EXPECT_FALSE(ParseArffDataset(text).has_value());
+}
+
+TEST(ArffTest, RejectsUnknownLabelValue) {
+  const std::string text =
+      "@relation r\n@attribute a numeric\n@attribute c {x,y}\n"
+      "@data\n1,z\n";
+  EXPECT_FALSE(ParseArffDataset(text).has_value());
+}
+
+TEST(ArffTest, RejectsMissingDataSection) {
+  EXPECT_FALSE(
+      ParseArffDataset("@relation r\n@attribute a numeric\n").has_value());
+}
+
+TEST(ArffTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseArffDataset("").has_value());
+}
+
+TEST(ArffTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/arff_test.arff";
+  {
+    std::ofstream file(path);
+    file << kBasicArff;
+  }
+  const auto loaded = ReadArffDataset(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ArffTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadArffDataset("/nonexistent/x.arff").has_value());
+}
+
+TEST(ArffWriteTest, RoundTripThroughWriter) {
+  stream::Dataset dataset(2);
+  dataset.Add(stream::UncertainPoint({1.5, -2.5}, 0.0, 1));
+  dataset.Add(stream::UncertainPoint({3.25, 4.0}, 1.0, 0));
+  dataset.Add(stream::UncertainPoint({std::nan(""), 7.0}, 2.0, 1));
+  const std::string text =
+      DatasetToArff(dataset, "trip", {"alpha", "beta"});
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->relation, "trip");
+  ASSERT_EQ(loaded->dataset.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded->dataset[0].values[0], 1.5);
+  EXPECT_TRUE(std::isnan(loaded->dataset[2].values[0]));
+  EXPECT_DOUBLE_EQ(loaded->dataset[2].values[1], 7.0);
+  // Labels: 0 -> "alpha", 1 -> "beta"; order in the nominal domain is
+  // by label id, so ids are preserved.
+  EXPECT_EQ(loaded->label_names[loaded->dataset[0].label], "beta");
+  EXPECT_EQ(loaded->label_names[loaded->dataset[1].label], "alpha");
+}
+
+TEST(ArffWriteTest, UnlabeledDatasetOmitsClassAttribute) {
+  stream::Dataset dataset(1);
+  dataset.Add(stream::UncertainPoint({1.0}, 0.0));
+  const std::string text = DatasetToArff(dataset);
+  EXPECT_EQ(text.find("@attribute class"), std::string::npos);
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset[0].label, stream::kUnlabeled);
+}
+
+TEST(ArffWriteTest, DefaultLabelNames) {
+  stream::Dataset dataset(1);
+  dataset.Add(stream::UncertainPoint({1.0}, 0.0, 3));
+  const std::string text = DatasetToArff(dataset);
+  EXPECT_NE(text.find("{c3}"), std::string::npos);
+}
+
+TEST(ArffWriteTest, FileRoundTrip) {
+  stream::Dataset dataset(1);
+  dataset.Add(stream::UncertainPoint({42.0}, 0.0, 0));
+  const std::string path = testing::TempDir() + "/arff_write_test.arff";
+  ASSERT_TRUE(WriteArffDataset(dataset, path));
+  const auto loaded = ReadArffDataset(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->dataset[0].values[0], 42.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace umicro::io

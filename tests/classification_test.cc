@@ -1,0 +1,110 @@
+// Tests for the cluster-as-classifier evaluation.
+
+#include "eval/classification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/umicro.h"
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::eval {
+namespace {
+
+using stream::Dataset;
+using stream::LabelHistogram;
+using stream::UncertainPoint;
+
+TEST(MajorityLabelsTest, PicksHeaviestLabel) {
+  std::vector<LabelHistogram> histograms = {
+      {{0, 3.0}, {1, 5.0}}, {{2, 1.0}}, {}};
+  const auto labels = MajorityLabels(histograms);
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 2);
+  EXPECT_EQ(labels[2], stream::kUnlabeled);
+}
+
+TEST(ClassMetricsTest, PrecisionRecallF1) {
+  ClassMetrics metrics;
+  metrics.support = 10;
+  metrics.predicted = 8;
+  metrics.true_positive = 6;
+  EXPECT_DOUBLE_EQ(metrics.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(metrics.Recall(), 0.6);
+  EXPECT_NEAR(metrics.F1(), 2.0 * 0.75 * 0.6 / 1.35, 1e-12);
+}
+
+TEST(ClassMetricsTest, ZeroDivisionsAreZero) {
+  ClassMetrics metrics;
+  EXPECT_DOUBLE_EQ(metrics.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.F1(), 0.0);
+}
+
+TEST(EvaluateNearestCentroidTest, PerfectSeparation) {
+  Dataset dataset(1);
+  for (int i = 0; i < 10; ++i) {
+    dataset.Add(UncertainPoint({i < 5 ? 0.0 : 10.0}, i, i < 5 ? 0 : 1));
+  }
+  const std::vector<std::vector<double>> centroids = {{0.0}, {10.0}};
+  const std::vector<int> labels = {0, 1};
+  const auto report = EvaluateNearestCentroid(dataset, centroids, labels);
+  EXPECT_EQ(report.evaluated, 10u);
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(report.per_class.at(0).Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.per_class.at(1).Precision(), 1.0);
+  EXPECT_EQ(report.confusion.at({0, 0}), 5u);
+  EXPECT_EQ(report.confusion.at({1, 1}), 5u);
+  EXPECT_EQ(report.confusion.count({0, 1}), 0u);
+}
+
+TEST(EvaluateNearestCentroidTest, MisclassificationCounted) {
+  Dataset dataset(1);
+  dataset.Add(UncertainPoint({0.0}, 0.0, 0));
+  dataset.Add(UncertainPoint({9.0}, 1.0, 0));  // true 0 but near cluster 1
+  const std::vector<std::vector<double>> centroids = {{0.0}, {10.0}};
+  const std::vector<int> labels = {0, 1};
+  const auto report = EvaluateNearestCentroid(dataset, centroids, labels);
+  EXPECT_DOUBLE_EQ(report.accuracy, 0.5);
+  EXPECT_EQ(report.confusion.at({0, 1}), 1u);
+  EXPECT_DOUBLE_EQ(report.per_class.at(0).Recall(), 0.5);
+}
+
+TEST(EvaluateNearestCentroidTest, UnlabeledPointsSkipped) {
+  Dataset dataset(1);
+  dataset.Add(UncertainPoint({0.0}, 0.0, 0));
+  dataset.Add(UncertainPoint({0.1}, 1.0));  // unlabeled
+  const std::vector<std::vector<double>> centroids = {{0.0}};
+  const std::vector<int> labels = {0};
+  const auto report = EvaluateNearestCentroid(dataset, centroids, labels);
+  EXPECT_EQ(report.evaluated, 1u);
+  EXPECT_DOUBLE_EQ(report.accuracy, 1.0);
+}
+
+TEST(EvaluateClustererTest, EndToEndOnEasyBlobs) {
+  util::Rng rng(5);
+  Dataset dataset(2);
+  for (int i = 0; i < 3000; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(3));
+    dataset.Add(UncertainPoint(
+        {cls * 15.0 + rng.Gaussian(0.0, 0.5),
+         (cls == 2 ? 15.0 : 0.0) + rng.Gaussian(0.0, 0.5)},
+        {0.1, 0.1}, i, cls));
+  }
+  core::UMicroOptions options;
+  options.num_micro_clusters = 30;
+  core::UMicro algorithm(2, options);
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+
+  const auto report = EvaluateClusterer(algorithm, dataset);
+  EXPECT_EQ(report.evaluated, 3000u);
+  EXPECT_GT(report.accuracy, 0.95);
+  for (int cls = 0; cls < 3; ++cls) {
+    EXPECT_GT(report.per_class.at(cls).Recall(), 0.9) << "class " << cls;
+    EXPECT_GT(report.per_class.at(cls).F1(), 0.9) << "class " << cls;
+  }
+}
+
+}  // namespace
+}  // namespace umicro::eval

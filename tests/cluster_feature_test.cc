@@ -1,0 +1,264 @@
+// Tests for the error-based cluster feature vector (ECF).
+
+#include "core/cluster_feature.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/point.h"
+#include "util/math_utils.h"
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+using stream::UncertainPoint;
+
+std::vector<UncertainPoint> RandomPoints(std::size_t n, std::size_t dims,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<UncertainPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(dims);
+    std::vector<double> errors(dims);
+    for (std::size_t j = 0; j < dims; ++j) {
+      values[j] = rng.Uniform(-5.0, 5.0);
+      errors[j] = rng.Uniform(0.0, 1.0);
+    }
+    points.emplace_back(std::move(values), std::move(errors),
+                        static_cast<double>(i));
+  }
+  return points;
+}
+
+TEST(ClusterFeatureTest, EmptyConstruction) {
+  ErrorClusterFeature ecf(3);
+  EXPECT_TRUE(ecf.empty());
+  EXPECT_EQ(ecf.dimensions(), 3u);
+  EXPECT_DOUBLE_EQ(ecf.weight(), 0.0);
+}
+
+TEST(ClusterFeatureTest, SingletonStatistics) {
+  UncertainPoint point({2.0, -3.0}, {0.5, 1.5}, 7.0);
+  const ErrorClusterFeature ecf = ErrorClusterFeature::FromPoint(point);
+  EXPECT_DOUBLE_EQ(ecf.weight(), 1.0);
+  EXPECT_DOUBLE_EQ(ecf.cf1()[0], 2.0);
+  EXPECT_DOUBLE_EQ(ecf.cf1()[1], -3.0);
+  EXPECT_DOUBLE_EQ(ecf.cf2()[0], 4.0);
+  EXPECT_DOUBLE_EQ(ecf.cf2()[1], 9.0);
+  EXPECT_DOUBLE_EQ(ecf.ef2()[0], 0.25);
+  EXPECT_DOUBLE_EQ(ecf.ef2()[1], 2.25);
+  EXPECT_DOUBLE_EQ(ecf.last_update_time(), 7.0);
+  EXPECT_EQ(ecf.Centroid(), (std::vector<double>{2.0, -3.0}));
+}
+
+TEST(ClusterFeatureTest, DeterministicPointHasZeroEf2) {
+  UncertainPoint point({1.0, 2.0}, 0.0);
+  const ErrorClusterFeature ecf = ErrorClusterFeature::FromPoint(point);
+  EXPECT_DOUBLE_EQ(ecf.ef2()[0], 0.0);
+  EXPECT_DOUBLE_EQ(ecf.ef2()[1], 0.0);
+}
+
+TEST(ClusterFeatureTest, AdditivePropertyMatchesPaper) {
+  // Property 2.1: ECF(C1 u C2) = ECF(C1) + ECF(C2) componentwise, and
+  // t = max of the two.
+  const auto points = RandomPoints(40, 4, 11);
+  ErrorClusterFeature all(4);
+  ErrorClusterFeature left(4);
+  ErrorClusterFeature right(4);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    all.AddPoint(points[i]);
+    (i < 25 ? left : right).AddPoint(points[i]);
+  }
+  left.Merge(right);
+  EXPECT_DOUBLE_EQ(left.weight(), all.weight());
+  EXPECT_DOUBLE_EQ(left.last_update_time(), all.last_update_time());
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(left.cf1()[j], all.cf1()[j], 1e-9);
+    EXPECT_NEAR(left.cf2()[j], all.cf2()[j], 1e-9);
+    EXPECT_NEAR(left.ef2()[j], all.ef2()[j], 1e-9);
+  }
+}
+
+TEST(ClusterFeatureTest, SubtractInvertsMerge) {
+  const auto points = RandomPoints(30, 3, 13);
+  ErrorClusterFeature base(3);
+  ErrorClusterFeature extra(3);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    (i < 20 ? base : extra).AddPoint(points[i]);
+  }
+  ErrorClusterFeature merged = base;
+  merged.Merge(extra);
+  merged.Subtract(extra);
+  EXPECT_NEAR(merged.weight(), base.weight(), 1e-9);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(merged.cf1()[j], base.cf1()[j], 1e-9);
+    EXPECT_NEAR(merged.cf2()[j], base.cf2()[j], 1e-9);
+    EXPECT_NEAR(merged.ef2()[j], base.ef2()[j], 1e-9);
+  }
+}
+
+TEST(ClusterFeatureTest, ScaleScalesEverythingButTime) {
+  const auto points = RandomPoints(10, 2, 17);
+  ErrorClusterFeature ecf(2);
+  for (const auto& point : points) ecf.AddPoint(point);
+  const double t = ecf.last_update_time();
+  const auto cf1 = ecf.cf1();
+  const auto cf2 = ecf.cf2();
+  const auto ef2 = ecf.ef2();
+  const double w = ecf.weight();
+
+  ecf.Scale(0.5);
+  EXPECT_DOUBLE_EQ(ecf.weight(), 0.5 * w);
+  EXPECT_DOUBLE_EQ(ecf.last_update_time(), t);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_DOUBLE_EQ(ecf.cf1()[j], 0.5 * cf1[j]);
+    EXPECT_DOUBLE_EQ(ecf.cf2()[j], 0.5 * cf2[j]);
+    EXPECT_DOUBLE_EQ(ecf.ef2()[j], 0.5 * ef2[j]);
+  }
+}
+
+TEST(ClusterFeatureTest, ScaleKeepsCentroidInvariant) {
+  const auto points = RandomPoints(10, 3, 19);
+  ErrorClusterFeature ecf(3);
+  for (const auto& point : points) ecf.AddPoint(point);
+  const auto centroid = ecf.Centroid();
+  ecf.Scale(0.125);
+  const auto scaled = ecf.Centroid();
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(scaled[j], centroid[j], 1e-12);
+  }
+}
+
+TEST(ClusterFeatureTest, WeightedAddMatchesRepeatedAdd) {
+  UncertainPoint point({1.5, -2.0}, {0.3, 0.4}, 2.0);
+  ErrorClusterFeature weighted(2);
+  weighted.AddPoint(point, 3.0);
+  ErrorClusterFeature repeated(2);
+  for (int i = 0; i < 3; ++i) repeated.AddPoint(point);
+  EXPECT_DOUBLE_EQ(weighted.weight(), repeated.weight());
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(weighted.cf1()[j], repeated.cf1()[j], 1e-12);
+    EXPECT_NEAR(weighted.cf2()[j], repeated.cf2()[j], 1e-12);
+    EXPECT_NEAR(weighted.ef2()[j], repeated.ef2()[j], 1e-12);
+  }
+}
+
+TEST(ClusterFeatureTest, Lemma21MatchesMonteCarlo) {
+  // E[||Z||^2] for the random centroid Z must match direct simulation:
+  // instantiate the errors of all member points many times, average the
+  // squared norm of the resulting centroid.
+  const std::size_t n = 8;
+  const std::size_t dims = 2;
+  const auto points = RandomPoints(n, dims, 23);
+  ErrorClusterFeature ecf(dims);
+  for (const auto& point : points) ecf.AddPoint(point);
+  const double closed_form = ecf.ExpectedCentroidNormSquared();
+
+  util::Rng rng(29);
+  double mc = 0.0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    double norm2 = 0.0;
+    for (std::size_t j = 0; j < dims; ++j) {
+      double sum = 0.0;
+      for (const auto& point : points) {
+        sum += point.values[j] + rng.Gaussian(0.0, point.errors[j]);
+      }
+      const double zj = sum / static_cast<double>(n);
+      norm2 += zj * zj;
+    }
+    mc += norm2;
+  }
+  mc /= trials;
+  EXPECT_NEAR(mc, closed_form, 0.01 * std::abs(closed_form) + 0.01);
+}
+
+TEST(ClusterFeatureTest, UncertainRadiusMatchesDirectSum) {
+  // U^2 closed form == (1/n) sum_i E[||Y_i - W||^2] with the per-point
+  // expectation computed from Lemma 2.2 term by term.
+  const std::size_t n = 12;
+  const std::size_t dims = 3;
+  const auto points = RandomPoints(n, dims, 31);
+  ErrorClusterFeature ecf(dims);
+  for (const auto& point : points) ecf.AddPoint(point);
+
+  double direct = 0.0;
+  for (const auto& point : points) {
+    for (std::size_t j = 0; j < dims; ++j) {
+      const double cf1 = ecf.cf1()[j];
+      const double w = ecf.weight();
+      const double x = point.values[j];
+      const double psi = point.errors[j];
+      direct += cf1 * cf1 / (w * w) + ecf.ef2()[j] / (w * w) + psi * psi +
+                x * x - 2.0 * x * cf1 / w;
+    }
+  }
+  direct /= static_cast<double>(n);
+  EXPECT_NEAR(ecf.UncertainRadiusSquared(), direct, 1e-9);
+  EXPECT_NEAR(ecf.UncertainRadius(), std::sqrt(direct), 1e-9);
+}
+
+TEST(ClusterFeatureTest, ErrorFreeRadiusEqualsRmsDeviation) {
+  // Without errors, U reduces (up to the 1/n EF2 term = 0) to the
+  // classic RMS deviation sqrt(mean squared distance to centroid).
+  util::Rng rng(37);
+  std::vector<UncertainPoint> points;
+  for (int i = 0; i < 100; ++i) {
+    points.emplace_back(std::vector<double>{rng.Gaussian(0.0, 2.0)},
+                        static_cast<double>(i));
+  }
+  ErrorClusterFeature ecf(1);
+  for (const auto& point : points) ecf.AddPoint(point);
+
+  const double mean = ecf.cf1()[0] / ecf.weight();
+  double msd = 0.0;
+  for (const auto& point : points) {
+    const double diff = point.values[0] - mean;
+    msd += diff * diff;
+  }
+  msd /= static_cast<double>(points.size());
+  EXPECT_NEAR(ecf.UncertainRadiusSquared(), msd, 1e-9);
+}
+
+TEST(ClusterFeatureTest, SingletonRadiusComesOnlyFromError) {
+  UncertainPoint certain({5.0}, 0.0);
+  const ErrorClusterFeature ecf_c = ErrorClusterFeature::FromPoint(certain);
+  EXPECT_NEAR(ecf_c.UncertainRadiusSquared(), 0.0, 1e-12);
+
+  UncertainPoint uncertain({5.0}, std::vector<double>{2.0}, 0.0);
+  const ErrorClusterFeature ecf_u =
+      ErrorClusterFeature::FromPoint(uncertain);
+  // n=1: U^2 = CF2 + EF2*(1+1) - CF1^2 = 25 + 8 - 25 = 8.
+  EXPECT_NEAR(ecf_u.UncertainRadiusSquared(), 8.0, 1e-12);
+}
+
+TEST(ClusterFeatureTest, VarianceMatchesWelford) {
+  const auto points = RandomPoints(200, 2, 41);
+  ErrorClusterFeature ecf(2);
+  util::WelfordAccumulator welford0;
+  for (const auto& point : points) {
+    ecf.AddPoint(point);
+    welford0.Add(point.values[0]);
+  }
+  EXPECT_NEAR(ecf.VarianceAt(0), welford0.PopulationVariance(), 1e-9);
+}
+
+TEST(ClusterFeatureTest, FromRawRoundTrip) {
+  const auto points = RandomPoints(5, 2, 43);
+  ErrorClusterFeature ecf(2);
+  for (const auto& point : points) ecf.AddPoint(point);
+  const ErrorClusterFeature copy = ErrorClusterFeature::FromRaw(
+      ecf.cf1(), ecf.cf2(), ecf.ef2(), ecf.weight(), ecf.last_update_time());
+  EXPECT_EQ(copy.cf1(), ecf.cf1());
+  EXPECT_EQ(copy.cf2(), ecf.cf2());
+  EXPECT_EQ(copy.ef2(), ecf.ef2());
+  EXPECT_DOUBLE_EQ(copy.weight(), ecf.weight());
+  EXPECT_DOUBLE_EQ(copy.last_update_time(), ecf.last_update_time());
+}
+
+}  // namespace
+}  // namespace umicro::core

@@ -1,0 +1,105 @@
+// Parameterized invariants of the CluStream baseline.
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baseline/clustream.h"
+#include "util/random.h"
+
+namespace umicro::baseline {
+namespace {
+
+using stream::UncertainPoint;
+
+UncertainPoint RandomPoint(util::Rng& rng, std::size_t dims, double ts) {
+  std::vector<double> values(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    values[j] = rng.Uniform(-100.0, 100.0);
+  }
+  return UncertainPoint(std::move(values), ts,
+                        static_cast<int>(rng.NextBounded(4)));
+}
+
+class CluStreamProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(CluStreamProperty, BudgetRespectedThroughout) {
+  const auto [budget, dims] = GetParam();
+  CluStreamOptions options;
+  options.num_micro_clusters = budget;
+  CluStream algorithm(dims, options);
+  util::Rng rng(budget * 100 + dims);
+  for (int i = 0; i < 2000; ++i) {
+    algorithm.Process(RandomPoint(rng, dims, i));
+    EXPECT_LE(algorithm.clusters().size(), budget);
+  }
+}
+
+TEST_P(CluStreamProperty, MassConservedModuloDeletions) {
+  const auto [budget, dims] = GetParam();
+  CluStreamOptions options;
+  options.num_micro_clusters = budget;
+  options.recency_threshold_delta = 1e12;  // merges only, never deletes
+  CluStream algorithm(dims, options);
+  util::Rng rng(budget * 200 + dims);
+  const int n = 1500;
+  for (int i = 0; i < n; ++i) {
+    algorithm.Process(RandomPoint(rng, dims, i));
+  }
+  double mass = 0.0;
+  for (const auto& cluster : algorithm.clusters()) mass += cluster.count;
+  EXPECT_DOUBLE_EQ(mass, static_cast<double>(n));
+  EXPECT_EQ(algorithm.clusters_deleted(), 0u);
+}
+
+TEST_P(CluStreamProperty, IdsAreGloballyUnique) {
+  const auto [budget, dims] = GetParam();
+  CluStreamOptions options;
+  options.num_micro_clusters = budget;
+  options.recency_threshold_delta = 1e12;
+  CluStream algorithm(dims, options);
+  util::Rng rng(budget * 300 + dims);
+  for (int i = 0; i < 1000; ++i) {
+    algorithm.Process(RandomPoint(rng, dims, i));
+  }
+  std::set<std::uint64_t> seen;
+  for (const auto& cluster : algorithm.clusters()) {
+    for (std::uint64_t id : cluster.ids) {
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+    }
+  }
+}
+
+TEST_P(CluStreamProperty, TimestampMomentsConsistent) {
+  const auto [budget, dims] = GetParam();
+  CluStreamOptions options;
+  options.num_micro_clusters = budget;
+  CluStream algorithm(dims, options);
+  util::Rng rng(budget * 400 + dims);
+  for (int i = 0; i < 1000; ++i) {
+    algorithm.Process(RandomPoint(rng, dims, i));
+  }
+  for (std::size_t c = 0; c < algorithm.clusters().size(); ++c) {
+    const auto& cluster = algorithm.clusters()[c];
+    // Mean timestamp within the observed range; stddev non-negative and
+    // finite; relevance stamp not before the mean minus 5 sigma.
+    EXPECT_GE(cluster.MeanTime(), 0.0);
+    EXPECT_LE(cluster.MeanTime(), 1000.0);
+    EXPECT_GE(cluster.TimeStddev(), 0.0);
+    EXPECT_TRUE(std::isfinite(cluster.TimeStddev()));
+    EXPECT_GE(algorithm.RelevanceStamp(c),
+              cluster.MeanTime() - 5.0 * cluster.TimeStddev() - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndDims, CluStreamProperty,
+    testing::Combine(testing::Values<std::size_t>(4, 16, 64),
+                     testing::Values<std::size_t>(1, 5, 20)));
+
+}  // namespace
+}  // namespace umicro::baseline

@@ -1,0 +1,65 @@
+// Tests for util::CsvWriter.
+
+#include "util/csv_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace umicro::util {
+namespace {
+
+TEST(CsvWriterTest, HeaderOnly) {
+  CsvWriter writer({"a", "b"});
+  EXPECT_EQ(writer.ToString(), "a,b\n");
+  EXPECT_EQ(writer.row_count(), 0u);
+}
+
+TEST(CsvWriterTest, StringRows) {
+  CsvWriter writer({"name", "value"});
+  writer.AddRow(std::vector<std::string>{"x", "1"});
+  writer.AddRow(std::vector<std::string>{"y", "2"});
+  EXPECT_EQ(writer.ToString(), "name,value\nx,1\ny,2\n");
+  EXPECT_EQ(writer.row_count(), 2u);
+}
+
+TEST(CsvWriterTest, DoubleRowsFormatted) {
+  CsvWriter writer({"a", "b"});
+  writer.AddRow(std::vector<double>{1.5, 0.25});
+  EXPECT_EQ(writer.ToString(), "a,b\n1.5,0.25\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCells) {
+  EXPECT_EQ(EscapeCsvCell("plain"), "plain");
+  EXPECT_EQ(EscapeCsvCell("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(EscapeCsvCell("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, EscapedCellsInTable) {
+  CsvWriter writer({"k", "v"});
+  writer.AddRow(std::vector<std::string>{"a,b", "c"});
+  EXPECT_EQ(writer.ToString(), "k,v\n\"a,b\",c\n");
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrips) {
+  CsvWriter writer({"x"});
+  writer.AddRow(std::vector<std::string>{"42"});
+  const std::string path = testing::TempDir() + "/csv_writer_test.csv";
+  ASSERT_TRUE(writer.WriteFile(path));
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteFileFailsOnBadPath) {
+  CsvWriter writer({"x"});
+  EXPECT_FALSE(writer.WriteFile("/nonexistent-dir-xyz/out.csv"));
+}
+
+}  // namespace
+}  // namespace umicro::util

@@ -1,0 +1,97 @@
+// Tests for stream::Dataset and stream::VectorStream.
+
+#include "stream/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/vector_stream.h"
+
+namespace umicro::stream {
+namespace {
+
+TEST(DatasetTest, EmptyByDefault) {
+  Dataset dataset;
+  EXPECT_TRUE(dataset.empty());
+  EXPECT_EQ(dataset.size(), 0u);
+  EXPECT_EQ(dataset.dimensions(), 0u);
+}
+
+TEST(DatasetTest, FirstAddFixesDimensionality) {
+  Dataset dataset;
+  dataset.Add(UncertainPoint({1.0, 2.0}, 0.0));
+  EXPECT_EQ(dataset.dimensions(), 2u);
+  EXPECT_EQ(dataset.size(), 1u);
+}
+
+TEST(DatasetTest, ExplicitDimensionality) {
+  Dataset dataset(3);
+  EXPECT_EQ(dataset.dimensions(), 3u);
+  dataset.Add(UncertainPoint({1.0, 2.0, 3.0}, 0.0));
+  EXPECT_EQ(dataset.size(), 1u);
+}
+
+TEST(DatasetTest, LabelsCollectsDistinct) {
+  Dataset dataset;
+  dataset.Add(UncertainPoint({1.0}, 0.0, 2));
+  dataset.Add(UncertainPoint({2.0}, 1.0, 0));
+  dataset.Add(UncertainPoint({3.0}, 2.0, 2));
+  dataset.Add(UncertainPoint({4.0}, 3.0));  // unlabeled, excluded
+  const auto labels = dataset.Labels();
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_TRUE(labels.count(0));
+  EXPECT_TRUE(labels.count(2));
+}
+
+TEST(DatasetTest, AssignSequentialTimestamps) {
+  Dataset dataset;
+  dataset.Add(UncertainPoint({1.0}, 99.0));
+  dataset.Add(UncertainPoint({2.0}, 99.0));
+  dataset.Add(UncertainPoint({3.0}, 99.0));
+  dataset.AssignSequentialTimestamps();
+  EXPECT_DOUBLE_EQ(dataset[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(dataset[1].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(dataset[2].timestamp, 2.0);
+}
+
+TEST(VectorStreamTest, StreamsInOrder) {
+  Dataset dataset;
+  dataset.Add(UncertainPoint({1.0}, 0.0, 0));
+  dataset.Add(UncertainPoint({2.0}, 1.0, 1));
+  VectorStream stream(dataset);
+  EXPECT_EQ(stream.dimensions(), 1u);
+
+  auto first = stream.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->values[0], 1.0);
+
+  auto second = stream.Next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->values[0], 2.0);
+
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+TEST(VectorStreamTest, ResetReplays) {
+  Dataset dataset;
+  dataset.Add(UncertainPoint({5.0}, 0.0));
+  VectorStream stream(dataset);
+  EXPECT_TRUE(stream.Next().has_value());
+  EXPECT_FALSE(stream.Next().has_value());
+  EXPECT_TRUE(stream.Reset());
+  auto again = stream.Next();
+  ASSERT_TRUE(again.has_value());
+  EXPECT_DOUBLE_EQ(again->values[0], 5.0);
+}
+
+TEST(VectorStreamTest, PositionTracksProgress) {
+  Dataset dataset;
+  dataset.Add(UncertainPoint({1.0}, 0.0));
+  dataset.Add(UncertainPoint({2.0}, 1.0));
+  VectorStream stream(dataset);
+  EXPECT_EQ(stream.position(), 0u);
+  stream.Next();
+  EXPECT_EQ(stream.position(), 1u);
+}
+
+}  // namespace
+}  // namespace umicro::stream

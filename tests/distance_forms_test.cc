@@ -1,0 +1,131 @@
+// Direct tests for the distance-form variants of the expected-distance
+// API (ComparableSquaredDistanceAt, GeometricSquaredDistance, and the
+// DistanceForm parameter of the similarity).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/expected_distance.h"
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+using stream::UncertainPoint;
+
+ErrorClusterFeature MakeCluster(util::Rng& rng, std::size_t dims,
+                                int points) {
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < points; ++i) {
+    std::vector<double> values(dims);
+    std::vector<double> errors(dims);
+    for (std::size_t j = 0; j < dims; ++j) {
+      values[j] = rng.Uniform(-3.0, 3.0);
+      errors[j] = rng.Uniform(0.1, 0.8);
+    }
+    ecf.AddPoint(UncertainPoint(values, errors, i));
+  }
+  return ecf;
+}
+
+TEST(DistanceFormsTest, DecompositionIdentity) {
+  // Lemma 2.2 = geometric + psi^2 + EF2/n^2, per dimension, exactly.
+  util::Rng rng(1);
+  const ErrorClusterFeature ecf = MakeCluster(rng, 4, 12);
+  UncertainPoint x({0.5, -1.0, 2.0, 0.0}, {0.3, 0.1, 0.7, 0.0}, 99.0);
+  const double n = ecf.weight();
+  for (std::size_t j = 0; j < 4; ++j) {
+    const double expected = ExpectedSquaredDistanceAt(x, ecf, j);
+    const double comparable = ComparableSquaredDistanceAt(x, ecf, j);
+    const double geometric = GeometricSquaredDistanceAt(x, ecf, j);
+    const double psi2 = x.errors[j] * x.errors[j];
+    const double cluster_term = ecf.ef2()[j] / (n * n);
+    EXPECT_NEAR(expected, geometric + psi2 + cluster_term, 1e-9);
+    EXPECT_NEAR(comparable, geometric + psi2, 1e-9);
+  }
+}
+
+TEST(DistanceFormsTest, GeometricMatchesCentroidDistance) {
+  util::Rng rng(2);
+  const ErrorClusterFeature ecf = MakeCluster(rng, 3, 20);
+  UncertainPoint x({1.0, 2.0, -0.5}, {0.4, 0.4, 0.4}, 50.0);
+  const auto centroid = ecf.Centroid();
+  double direct = 0.0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    const double diff = x.values[j] - centroid[j];
+    direct += diff * diff;
+  }
+  EXPECT_NEAR(GeometricSquaredDistance(x, ecf), direct, 1e-9);
+}
+
+TEST(DistanceFormsTest, OrderingExpectedGreaterThanComparableThanGeometric) {
+  util::Rng rng(3);
+  const ErrorClusterFeature ecf = MakeCluster(rng, 5, 15);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> values(5);
+    std::vector<double> errors(5);
+    for (std::size_t j = 0; j < 5; ++j) {
+      values[j] = rng.Uniform(-5.0, 5.0);
+      errors[j] = rng.Uniform(0.01, 1.0);
+    }
+    UncertainPoint x(values, errors, 100.0 + trial);
+    double comparable = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      comparable += ComparableSquaredDistanceAt(x, ecf, j);
+    }
+    EXPECT_GE(ExpectedSquaredDistance(x, ecf) + 1e-12, comparable);
+    EXPECT_GE(comparable + 1e-12, GeometricSquaredDistance(x, ecf));
+  }
+}
+
+TEST(DistanceFormsTest, ComparableRemovesClusterSizeBias) {
+  // Two clusters at the SAME centroid with the SAME per-point error
+  // level but different sizes: the literal form ranks the heavy one
+  // closer, the comparable form ties them.
+  UncertainPoint proto({1.0, 1.0}, {0.8, 0.8}, 0.0);
+  ErrorClusterFeature light(2);
+  ErrorClusterFeature heavy(2);
+  for (int i = 0; i < 2; ++i) light.AddPoint(proto);
+  for (int i = 0; i < 200; ++i) heavy.AddPoint(proto);
+
+  UncertainPoint query({1.5, 1.5}, {0.1, 0.1}, 1.0);
+  const double lit_light = ExpectedSquaredDistance(query, light);
+  const double lit_heavy = ExpectedSquaredDistance(query, heavy);
+  EXPECT_GT(lit_light, lit_heavy);  // the bias
+
+  double cmp_light = 0.0;
+  double cmp_heavy = 0.0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    cmp_light += ComparableSquaredDistanceAt(query, light, j);
+    cmp_heavy += ComparableSquaredDistanceAt(query, heavy, j);
+  }
+  EXPECT_NEAR(cmp_light, cmp_heavy, 1e-9);  // bias removed
+}
+
+TEST(DistanceFormsTest, SimilarityFormsDivergeOnlyViaClusterError) {
+  util::Rng rng(5);
+  const ErrorClusterFeature ecf = MakeCluster(rng, 3, 10);
+  const std::vector<double> variances = {2.0, 2.0, 2.0};
+  UncertainPoint x({0.0, 0.0, 0.0}, {0.2, 0.2, 0.2}, 30.0);
+  const double literal = DimensionCountingSimilarity(
+      x, ecf, variances, 3.0, DistanceForm::kPaperExpected);
+  const double comparable = DimensionCountingSimilarity(
+      x, ecf, variances, 3.0, DistanceForm::kComparable);
+  // Literal adds EF2/n^2 to each dimension's distance, so its votes can
+  // only be weaker.
+  EXPECT_LE(literal, comparable + 1e-12);
+
+  // For an error-free cluster the two forms coincide.
+  ErrorClusterFeature clean(3);
+  clean.AddPoint(UncertainPoint({0.1, 0.1, 0.1}, 0.0));
+  clean.AddPoint(UncertainPoint({-0.1, -0.1, -0.1}, 1.0));
+  EXPECT_NEAR(DimensionCountingSimilarity(x, clean, variances, 3.0,
+                                          DistanceForm::kPaperExpected),
+              DimensionCountingSimilarity(x, clean, variances, 3.0,
+                                          DistanceForm::kComparable),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace umicro::core

@@ -1,0 +1,135 @@
+// Tests for ClusterOverHorizon and UMicroEngine.
+
+#include "core/engine.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/horizon.h"
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+using stream::UncertainPoint;
+
+/// Two well-separated blobs; blob 1 only appears in the second half.
+stream::Dataset PhasedBlobs(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  stream::Dataset dataset(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool second_half = i >= n / 2;
+    const int cls = second_half && rng.NextDouble() < 0.5 ? 1 : 0;
+    dataset.Add(UncertainPoint({cls * 20.0 + rng.Gaussian(0.0, 0.5),
+                                rng.Gaussian(0.0, 0.5)},
+                               {0.1, 0.1}, static_cast<double>(i), cls));
+  }
+  return dataset;
+}
+
+TEST(ClusterOverHorizonTest, EmptyStoreReturnsNullopt) {
+  SnapshotStore store(2, 2);
+  Snapshot current;
+  current.time = 100.0;
+  MacroClusteringOptions options;
+  EXPECT_FALSE(ClusterOverHorizon(store, current, 50.0, options)
+                   .has_value());
+}
+
+TEST(ClusterOverHorizonTest, RecoversWindowClustering) {
+  UMicroOptions uopt;
+  uopt.num_micro_clusters = 30;
+  UMicro algorithm(2, uopt);
+  SnapshotStore store(2, 3);
+  const stream::Dataset dataset = PhasedBlobs(8000, 3);
+
+  std::uint64_t tick = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    algorithm.Process(dataset[i]);
+    if ((i + 1) % 100 == 0) {
+      store.Insert(++tick, algorithm.TakeSnapshot(dataset[i].timestamp));
+    }
+  }
+  const Snapshot current = algorithm.TakeSnapshot(7999.0);
+
+  MacroClusteringOptions macro;
+  macro.k = 2;
+  const auto result = ClusterOverHorizon(store, current, 2000.0, macro);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->realized_horizon, 2000.0, 300.0);
+  ASSERT_EQ(result->macro.centroids.size(), 2u);
+  // The window sits entirely in the second phase: both blobs present.
+  bool near_zero = false;
+  bool near_twenty = false;
+  for (const auto& centroid : result->macro.centroids) {
+    if (std::abs(centroid[0]) < 3.0) near_zero = true;
+    if (std::abs(centroid[0] - 20.0) < 3.0) near_twenty = true;
+  }
+  EXPECT_TRUE(near_zero);
+  EXPECT_TRUE(near_twenty);
+}
+
+TEST(UMicroEngineTest, ProcessesAndSnapshots) {
+  EngineOptions options;
+  options.snapshot_every = 50;
+  UMicroEngine engine(2, options);
+  const stream::Dataset dataset = PhasedBlobs(1000, 5);
+  for (const auto& point : dataset.points()) engine.Process(point);
+  EXPECT_EQ(engine.points_processed(), 1000u);
+  EXPECT_GT(engine.store().TotalStored(), 0u);
+  // 1000/50 = 20 snapshot ticks; pyramidal retention keeps most of them
+  // at this scale but never more.
+  EXPECT_LE(engine.store().TotalStored(), 20u);
+}
+
+TEST(UMicroEngineTest, ClusterRecentBeforeAnyDataIsNull) {
+  UMicroEngine engine(2, EngineOptions{});
+  MacroClusteringOptions macro;
+  EXPECT_FALSE(engine.ClusterRecent(100.0, macro).has_value());
+}
+
+TEST(UMicroEngineTest, ClusterRecentSeesOnlyRecentRegime) {
+  // Blob 1 exists only in the second half; a short-horizon query must
+  // see it, and the window mass must be about the horizon length.
+  EngineOptions options;
+  options.snapshot_every = 100;
+  options.umicro.num_micro_clusters = 30;
+  UMicroEngine engine(2, options);
+  const stream::Dataset dataset = PhasedBlobs(8000, 7);
+  for (const auto& point : dataset.points()) engine.Process(point);
+
+  MacroClusteringOptions macro;
+  macro.k = 2;
+  const auto result = engine.ClusterRecent(1000.0, macro);
+  ASSERT_TRUE(result.has_value());
+  double mass = 0.0;
+  for (const auto& state : result->window) mass += state.ecf.weight();
+  // Merge re-attribution can overcount somewhat (see DESIGN.md 4b.4),
+  // but the window must stay an order of magnitude below the full
+  // 8000-point stream.
+  EXPECT_GT(mass, 0.5 * result->realized_horizon);
+  EXPECT_LE(mass, 1.5 * result->realized_horizon);
+  EXPECT_LT(mass, 2000.0);
+}
+
+TEST(UMicroEngineTest, LongHorizonCoversWholeStream) {
+  EngineOptions options;
+  options.snapshot_every = 25;
+  UMicroEngine engine(1, options);
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    engine.Process(UncertainPoint({rng.Gaussian(0.0, 1.0)}, {0.1},
+                                  static_cast<double>(i), 0));
+  }
+  MacroClusteringOptions macro;
+  macro.k = 1;
+  // A horizon longer than the stream matches the earliest snapshot.
+  const auto result = engine.ClusterRecent(1e9, macro);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->realized_horizon, 1000.0);
+}
+
+}  // namespace
+}  // namespace umicro::core

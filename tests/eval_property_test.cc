@@ -1,0 +1,128 @@
+// Randomized invariants of the evaluation metrics.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/classification.h"
+#include "eval/purity.h"
+#include "eval/throughput.h"
+#include "util/random.h"
+
+namespace umicro::eval {
+namespace {
+
+using stream::LabelHistogram;
+
+std::vector<LabelHistogram> RandomHistograms(util::Rng& rng,
+                                             std::size_t clusters,
+                                             int labels) {
+  std::vector<LabelHistogram> histograms(clusters);
+  for (auto& histogram : histograms) {
+    const std::size_t entries = rng.NextBounded(labels + 1);
+    for (std::size_t e = 0; e < entries; ++e) {
+      histogram[static_cast<int>(rng.NextBounded(labels))] +=
+          rng.Uniform(0.0, 10.0);
+    }
+  }
+  return histograms;
+}
+
+class PurityProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PurityProperty, BothMetricsInUnitInterval) {
+  util::Rng rng(GetParam());
+  const auto histograms =
+      RandomHistograms(rng, 1 + rng.NextBounded(50), 6);
+  const double purity = ClusterPurity(histograms);
+  const double weighted = WeightedClusterPurity(histograms);
+  EXPECT_GE(purity, 0.0);
+  EXPECT_LE(purity, 1.0);
+  EXPECT_GE(weighted, 0.0);
+  EXPECT_LE(weighted, 1.0);
+}
+
+TEST_P(PurityProperty, SingleLabelHistogramsArePerfect) {
+  util::Rng rng(GetParam() + 100);
+  std::vector<LabelHistogram> histograms;
+  for (int c = 0; c < 10; ++c) {
+    LabelHistogram histogram;
+    histogram[static_cast<int>(rng.NextBounded(5))] =
+        rng.Uniform(0.1, 10.0);
+    histograms.push_back(std::move(histogram));
+  }
+  EXPECT_DOUBLE_EQ(ClusterPurity(histograms), 1.0);
+  EXPECT_DOUBLE_EQ(WeightedClusterPurity(histograms), 1.0);
+}
+
+TEST_P(PurityProperty, ScaleInvariance) {
+  // Multiplying every histogram weight by the same factor changes
+  // neither metric (what decay does uniformly).
+  util::Rng rng(GetParam() + 200);
+  auto histograms = RandomHistograms(rng, 20, 4);
+  const double purity = ClusterPurity(histograms);
+  const double weighted = WeightedClusterPurity(histograms);
+  for (auto& histogram : histograms) {
+    for (auto& [label, weight] : histogram) weight *= 0.125;
+  }
+  EXPECT_NEAR(ClusterPurity(histograms), purity, 1e-12);
+  EXPECT_NEAR(WeightedClusterPurity(histograms), weighted, 1e-12);
+}
+
+TEST_P(PurityProperty, MajorityLabelsAgreeWithDominantFraction) {
+  util::Rng rng(GetParam() + 300);
+  const auto histograms = RandomHistograms(rng, 30, 5);
+  const auto labels = MajorityLabels(histograms);
+  ASSERT_EQ(labels.size(), histograms.size());
+  for (std::size_t c = 0; c < histograms.size(); ++c) {
+    if (stream::HistogramWeight(histograms[c]) <= 0.0) {
+      EXPECT_EQ(labels[c], stream::kUnlabeled);
+      continue;
+    }
+    const double dominant =
+        stream::DominantLabelFraction(histograms[c]) *
+        stream::HistogramWeight(histograms[c]);
+    EXPECT_NEAR(histograms[c].at(labels[c]), dominant, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PurityProperty,
+                         testing::Range<std::uint64_t>(1, 11));
+
+class ThroughputProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThroughputProperty, RateAlwaysNonNegativeAndFinite) {
+  util::Rng rng(GetParam() + 400);
+  ThroughputMeter meter(rng.Uniform(0.5, 5.0));
+  double now = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    now += rng.Uniform(0.0, 0.2);
+    meter.Record(now, rng.NextBounded(1000));
+    const double rate = meter.Rate();
+    EXPECT_GE(rate, 0.0);
+    EXPECT_TRUE(std::isfinite(rate));
+  }
+}
+
+TEST_P(ThroughputProperty, WindowRateBoundedByTotal) {
+  // The trailing-window rate never exceeds (total points)/(min window
+  // granularity): sanity bound against unit mistakes.
+  util::Rng rng(GetParam() + 500);
+  ThroughputMeter meter(2.0);
+  double now = 0.0;
+  std::size_t total = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += 0.05;
+    const std::size_t batch = rng.NextBounded(100);
+    meter.Record(now, batch);
+    total += batch;
+    EXPECT_LE(meter.Rate(), static_cast<double>(total) / 0.05 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThroughputProperty,
+                         testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace umicro::eval

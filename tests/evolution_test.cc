@@ -1,0 +1,122 @@
+// Tests for the cluster-evolution comparison.
+
+#include "core/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/point.h"
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+/// Builds a window of micro-clusters sampling a Gaussian blob.
+std::vector<MicroClusterState> BlobWindow(
+    const std::vector<std::vector<double>>& centers, double spread,
+    std::size_t micro_per_blob, std::uint64_t seed,
+    std::uint64_t id_offset = 0) {
+  util::Rng rng(seed);
+  std::vector<MicroClusterState> window;
+  std::uint64_t id = id_offset;
+  for (const auto& center : centers) {
+    for (std::size_t m = 0; m < micro_per_blob; ++m) {
+      MicroClusterState state;
+      state.id = id++;
+      ErrorClusterFeature ecf(center.size());
+      for (int p = 0; p < 8; ++p) {
+        std::vector<double> values(center.size());
+        for (std::size_t j = 0; j < center.size(); ++j) {
+          values[j] = center[j] + rng.Gaussian(0.0, spread);
+        }
+        ecf.AddPoint(stream::UncertainPoint(values, 0.0));
+      }
+      state.ecf = std::move(ecf);
+      window.push_back(std::move(state));
+    }
+  }
+  return window;
+}
+
+TEST(EvolutionTest, IdenticalWindowsAllStable) {
+  const std::vector<std::vector<double>> centers = {{0.0, 0.0},
+                                                    {20.0, 0.0}};
+  const auto earlier = BlobWindow(centers, 0.5, 6, 1);
+  const auto later = BlobWindow(centers, 0.5, 6, 2, 100);
+  EvolutionOptions options;
+  options.macro.k = 2;
+  const EvolutionReport report = CompareWindows(earlier, later, options);
+  EXPECT_EQ(report.stable(), 2u);
+  EXPECT_EQ(report.drifted(), 0u);
+  EXPECT_EQ(report.born(), 0u);
+  EXPECT_EQ(report.died(), 0u);
+}
+
+TEST(EvolutionTest, DriftDetected) {
+  // Micro-centroids scatter ~ spread/sqrt(points-per-micro) = ~0.18
+  // about the macro centroid, so the macro RMS radius is ~0.18: a 0.5
+  // displacement is ~3 radii -- inside the match window (4x) but
+  // beyond the stability window (1x).
+  const auto earlier = BlobWindow({{0.0, 0.0}, {20.0, 0.0}}, 0.5, 6, 3);
+  const auto later =
+      BlobWindow({{0.0, 0.0}, {20.5, 0.0}}, 0.5, 6, 4, 100);
+  EvolutionOptions options;
+  options.macro.k = 2;
+  const EvolutionReport report = CompareWindows(earlier, later, options);
+  EXPECT_EQ(report.stable(), 1u);
+  EXPECT_EQ(report.drifted(), 1u);
+  for (const auto& entry : report.clusters) {
+    if (entry.fate == ClusterFate::kDrifted) {
+      EXPECT_NEAR(entry.drift_distance, 0.5, 0.3);
+    }
+  }
+}
+
+TEST(EvolutionTest, BirthAndDeathDetected) {
+  const auto earlier = BlobWindow({{0.0, 0.0}, {20.0, 0.0}}, 0.4, 6, 5);
+  // The blob at 20 vanished; a new one at (0, 50) appeared.
+  const auto later =
+      BlobWindow({{0.0, 0.0}, {0.0, 50.0}}, 0.4, 6, 6, 100);
+  EvolutionOptions options;
+  options.macro.k = 2;
+  const EvolutionReport report = CompareWindows(earlier, later, options);
+  EXPECT_EQ(report.stable(), 1u);
+  EXPECT_EQ(report.born(), 1u);
+  EXPECT_EQ(report.died(), 1u);
+  for (const auto& entry : report.clusters) {
+    if (entry.fate == ClusterFate::kBorn) {
+      EXPECT_TRUE(entry.earlier_centroid.empty());
+      EXPECT_GT(entry.later_mass, 0.0);
+    }
+    if (entry.fate == ClusterFate::kDied) {
+      EXPECT_TRUE(entry.later_centroid.empty());
+      EXPECT_GT(entry.earlier_mass, 0.0);
+    }
+  }
+}
+
+TEST(EvolutionTest, MassChangeReported) {
+  const auto earlier = BlobWindow({{0.0}}, 0.3, 4, 7);
+  const auto later = BlobWindow({{0.0}}, 0.3, 12, 8, 100);
+  EvolutionOptions options;
+  options.macro.k = 1;
+  const EvolutionReport report = CompareWindows(earlier, later, options);
+  ASSERT_EQ(report.clusters.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.clusters[0].earlier_mass, 4.0 * 8.0);
+  EXPECT_DOUBLE_EQ(report.clusters[0].later_mass, 12.0 * 8.0);
+}
+
+TEST(EvolutionTest, CountsSumToClusters) {
+  const auto earlier =
+      BlobWindow({{0.0, 0.0}, {30.0, 0.0}, {0.0, 30.0}}, 0.5, 5, 9);
+  const auto later =
+      BlobWindow({{0.0, 0.0}, {60.0, 60.0}}, 0.5, 5, 10, 100);
+  EvolutionOptions options;
+  options.macro.k = 3;
+  const EvolutionReport report = CompareWindows(earlier, later, options);
+  EXPECT_EQ(report.stable() + report.drifted() + report.born() +
+                report.died(),
+            report.clusters.size());
+}
+
+}  // namespace
+}  // namespace umicro::core

@@ -1,0 +1,193 @@
+// Tests for Lemma 2.2 and the dimension-counting similarity.
+
+#include "core/expected_distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+using stream::UncertainPoint;
+
+TEST(ExpectedDistanceTest, DeterministicReducesToSquaredDistance) {
+  // With zero errors everywhere, v must equal the plain squared distance
+  // between the point and the centroid... plus the cluster's internal
+  // scatter? No: Lemma 2.2 with EF2=0 and psi=0 gives
+  // ||centroid||^2 + ||x||^2 - 2 x.centroid = ||x - centroid||^2.
+  ErrorClusterFeature ecf(2);
+  ecf.AddPoint(UncertainPoint({1.0, 1.0}, 0.0));
+  ecf.AddPoint(UncertainPoint({3.0, 3.0}, 1.0));
+  // centroid = (2, 2)
+  UncertainPoint x({5.0, 6.0}, 2.0);
+  EXPECT_NEAR(ExpectedSquaredDistance(x, ecf), 9.0 + 16.0, 1e-12);
+}
+
+TEST(ExpectedDistanceTest, PointErrorAddsItsVariance) {
+  ErrorClusterFeature ecf(1);
+  ecf.AddPoint(UncertainPoint({0.0}, 0.0));
+  ecf.AddPoint(UncertainPoint({2.0}, 1.0));
+  // centroid = 1
+  UncertainPoint x({4.0}, std::vector<double>{0.5}, 2.0);
+  // (4-1)^2 + psi^2 = 9 + 0.25
+  EXPECT_NEAR(ExpectedSquaredDistance(x, ecf), 9.25, 1e-12);
+}
+
+TEST(ExpectedDistanceTest, ClusterErrorAddsEf2OverN2) {
+  ErrorClusterFeature ecf(1);
+  ecf.AddPoint(UncertainPoint({0.0}, std::vector<double>{3.0}, 0.0));
+  ecf.AddPoint(UncertainPoint({2.0}, std::vector<double>{4.0}, 1.0));
+  // centroid = 1, EF2 = 25, n = 2 -> EF2/n^2 = 6.25
+  UncertainPoint x({4.0}, 2.0);
+  EXPECT_NEAR(ExpectedSquaredDistance(x, ecf), 9.0 + 6.25, 1e-12);
+}
+
+TEST(ExpectedDistanceTest, PerDimensionTermsSumToTotal) {
+  util::Rng rng(7);
+  ErrorClusterFeature ecf(4);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> values(4);
+    std::vector<double> errors(4);
+    for (int j = 0; j < 4; ++j) {
+      values[j] = rng.Uniform(-2.0, 2.0);
+      errors[j] = rng.Uniform(0.0, 0.5);
+    }
+    ecf.AddPoint(UncertainPoint(values, errors, i));
+  }
+  UncertainPoint x({0.5, -0.5, 1.0, 0.0}, {0.1, 0.2, 0.3, 0.4}, 20.0);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    sum += ExpectedSquaredDistanceAt(x, ecf, j);
+  }
+  EXPECT_NEAR(sum, ExpectedSquaredDistance(x, ecf), 1e-12);
+}
+
+TEST(ExpectedDistanceTest, MatchesMonteCarloSimulation) {
+  // v = E[||X - Z||^2] where both X and Z are random: X around its
+  // instantiation with stddev psi, Z the centroid of points whose errors
+  // are re-instantiated each trial.
+  util::Rng rng(11);
+  const std::size_t n = 6;
+  std::vector<UncertainPoint> members;
+  ErrorClusterFeature ecf(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values = {rng.Uniform(-1.0, 1.0),
+                                  rng.Uniform(-1.0, 1.0)};
+    std::vector<double> errors = {rng.Uniform(0.1, 0.6),
+                                  rng.Uniform(0.1, 0.6)};
+    members.emplace_back(values, errors, static_cast<double>(i));
+    ecf.AddPoint(members.back());
+  }
+  UncertainPoint x({0.7, -0.3}, {0.4, 0.2}, 10.0);
+  const double closed_form = ExpectedSquaredDistance(x, ecf);
+
+  util::Rng mc_rng(13);
+  double mc = 0.0;
+  const int trials = 300000;
+  for (int t = 0; t < trials; ++t) {
+    double dist2 = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) {
+      double centroid = 0.0;
+      for (const auto& member : members) {
+        centroid +=
+            member.values[j] + mc_rng.Gaussian(0.0, member.errors[j]);
+      }
+      centroid /= static_cast<double>(n);
+      const double xj = x.values[j] + mc_rng.Gaussian(0.0, x.errors[j]);
+      const double diff = xj - centroid;
+      dist2 += diff * diff;
+    }
+    mc += dist2;
+  }
+  mc /= trials;
+  EXPECT_NEAR(mc, closed_form, 0.01 * closed_form + 0.01);
+}
+
+TEST(ExpectedDistanceTest, ComplexityIsLinearInD) {
+  // Structural check: the closed form only touches each dimension once,
+  // so doubling d roughly doubles work -- here we just verify it stays
+  // exact for a large d (no hidden quadratic accumulation error).
+  const std::size_t d = 512;
+  ErrorClusterFeature ecf(d);
+  std::vector<double> ones(d, 1.0);
+  std::vector<double> zeros(d, 0.0);
+  ecf.AddPoint(UncertainPoint(ones, zeros, 0.0));
+  UncertainPoint x(std::vector<double>(d, 2.0), 1.0);
+  EXPECT_NEAR(ExpectedSquaredDistance(x, ecf), static_cast<double>(d),
+              1e-9);
+}
+
+TEST(SimilarityTest, PerfectMatchScoresNearD) {
+  // A point sitting exactly on a tight cluster's centroid with tiny
+  // variance scores close to 1 per dimension.
+  ErrorClusterFeature ecf(3);
+  for (int i = 0; i < 100; ++i) {
+    ecf.AddPoint(UncertainPoint({1.0, 2.0, 3.0}, static_cast<double>(i)));
+  }
+  UncertainPoint x({1.0, 2.0, 3.0}, 100.0);
+  const std::vector<double> variances = {1.0, 1.0, 1.0};
+  const double s = DimensionCountingSimilarity(x, ecf, variances, 3.0);
+  EXPECT_NEAR(s, 3.0, 1e-9);
+}
+
+TEST(SimilarityTest, FarPointScoresZero) {
+  ErrorClusterFeature ecf(2);
+  ecf.AddPoint(UncertainPoint({0.0, 0.0}, 0.0));
+  ecf.AddPoint(UncertainPoint({0.1, -0.1}, 1.0));
+  UncertainPoint x({100.0, 100.0}, 2.0);
+  const std::vector<double> variances = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(
+      DimensionCountingSimilarity(x, ecf, variances, 3.0), 0.0);
+}
+
+TEST(SimilarityTest, UncertainDimensionIsPruned) {
+  // Two clusters equidistant in instantiation; the point's second
+  // dimension carries huge error, so that dimension should contribute
+  // ~nothing and the first dimension decides.
+  ErrorClusterFeature near_in_certain_dim(2);
+  near_in_certain_dim.AddPoint(UncertainPoint({0.0, 5.0}, 0.0));
+  near_in_certain_dim.AddPoint(UncertainPoint({0.2, 5.2}, 1.0));
+
+  ErrorClusterFeature near_in_uncertain_dim(2);
+  near_in_uncertain_dim.AddPoint(UncertainPoint({5.0, 0.0}, 0.0));
+  near_in_uncertain_dim.AddPoint(UncertainPoint({5.2, 0.2}, 1.0));
+
+  // Point at (0.1, 0.1): dim0 matches cluster A, dim1 matches cluster B,
+  // but dim1's measurement is extremely noisy.
+  UncertainPoint x({0.1, 0.1}, {0.0, 50.0}, 2.0);
+  const std::vector<double> variances = {4.0, 4.0};
+  const double sim_a =
+      DimensionCountingSimilarity(x, near_in_certain_dim, variances, 3.0);
+  const double sim_b =
+      DimensionCountingSimilarity(x, near_in_uncertain_dim, variances, 3.0);
+  EXPECT_GT(sim_a, sim_b);
+}
+
+TEST(SimilarityTest, ZeroVarianceDimensionsSkipped) {
+  ErrorClusterFeature ecf(2);
+  ecf.AddPoint(UncertainPoint({1.0, 1.0}, 0.0));
+  ecf.AddPoint(UncertainPoint({1.5, 1.5}, 1.0));
+  UncertainPoint x({1.2, 1.2}, 2.0);
+  const std::vector<double> variances = {0.0, 1.0};
+  const double s = DimensionCountingSimilarity(x, ecf, variances, 3.0);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);  // only one dimension can contribute
+}
+
+TEST(SimilarityTest, LargerThreshAdmitsMoreDimensions) {
+  ErrorClusterFeature ecf(1);
+  ecf.AddPoint(UncertainPoint({0.0}, 0.0));
+  ecf.AddPoint(UncertainPoint({1.0}, 1.0));
+  UncertainPoint x({2.0}, 2.0);
+  const std::vector<double> variances = {1.0};
+  const double tight = DimensionCountingSimilarity(x, ecf, variances, 1.0);
+  const double loose = DimensionCountingSimilarity(x, ecf, variances, 10.0);
+  EXPECT_GE(loose, tight);
+  EXPECT_GT(loose, 0.0);
+}
+
+}  // namespace
+}  // namespace umicro::core

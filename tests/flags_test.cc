@@ -1,0 +1,83 @@
+// Tests for the shared flag parser.
+
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace umicro::util {
+namespace {
+
+/// Builds argv from literals (lifetime held by the test body).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : args_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("prog"));
+    for (auto& arg : args_) {
+      pointers_.push_back(const_cast<char*>(arg.c_str()));
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagParserTest, StringAndFallback) {
+  Argv argv({"--name=value", "--empty"});
+  FlagParser flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.GetString("name", "x"), "value");
+  EXPECT_EQ(flags.GetString("empty", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetString("missing", "fb"), "fb");
+}
+
+TEST(FlagParserTest, NumericParsing) {
+  Argv argv({"--points=60000", "--eta=0.75", "--bad=xyz"});
+  FlagParser flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.GetSize("points", 1), 60000u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eta", 0.0), 0.75);
+  EXPECT_EQ(flags.GetSize("bad", 7), 7u);        // unparsable -> fallback
+  EXPECT_DOUBLE_EQ(flags.GetDouble("bad", 1.5), 1.5);
+  EXPECT_EQ(flags.GetSize("missing", 3), 3u);
+}
+
+TEST(FlagParserTest, BoolForms) {
+  Argv argv({"--on", "--off=false", "--zero=0", "--yes=true"});
+  FlagParser flags(argv.argc(), argv.argv());
+  EXPECT_TRUE(flags.GetBool("on"));
+  EXPECT_FALSE(flags.GetBool("off", true));
+  EXPECT_FALSE(flags.GetBool("zero", true));
+  EXPECT_TRUE(flags.GetBool("yes"));
+  EXPECT_FALSE(flags.GetBool("missing"));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+}
+
+TEST(FlagParserTest, HasAndPositional) {
+  Argv argv({"input.csv", "--verbose", "second"});
+  FlagParser flags(argv.argc(), argv.argv());
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("quiet"));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "second");
+}
+
+TEST(FlagParserTest, UnqueriedFlagsDetectTypos) {
+  Argv argv({"--points=10", "--tpyo=oops"});
+  FlagParser flags(argv.argc(), argv.argv());
+  EXPECT_EQ(flags.GetSize("points", 1), 10u);
+  const auto unqueried = flags.UnqueriedFlags();
+  ASSERT_EQ(unqueried.size(), 1u);
+  EXPECT_EQ(unqueried[0], "tpyo");
+}
+
+TEST(FlagParserTest, EmptyCommandLine) {
+  Argv argv({});
+  FlagParser flags(argv.argc(), argv.argv());
+  EXPECT_TRUE(flags.positional().empty());
+  EXPECT_TRUE(flags.UnqueriedFlags().empty());
+}
+
+}  // namespace
+}  // namespace umicro::util

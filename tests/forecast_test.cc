@@ -1,0 +1,95 @@
+// Tests for the forecast pseudo-stream substrate.
+
+#include "stream/forecast.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace umicro::stream {
+namespace {
+
+TEST(ForecasterTest, FirstObservationSetsLevel) {
+  ExponentialSmoothingForecaster forecaster(2, ForecastOptions{});
+  forecaster.Observe(UncertainPoint({3.0, -1.0}, 0.0));
+  const UncertainPoint forecast = forecaster.Forecast(1.0, 7);
+  EXPECT_DOUBLE_EQ(forecast.values[0], 3.0);
+  EXPECT_DOUBLE_EQ(forecast.values[1], -1.0);
+  EXPECT_DOUBLE_EQ(forecast.errors[0], 0.0);  // no residuals yet
+  EXPECT_DOUBLE_EQ(forecast.timestamp, 1.0);
+  EXPECT_EQ(forecast.label, 7);
+}
+
+TEST(ForecasterTest, ConstantSeriesForecastsExactlyWithZeroError) {
+  ExponentialSmoothingForecaster forecaster(1, ForecastOptions{});
+  for (int i = 0; i < 50; ++i) {
+    forecaster.Observe(UncertainPoint({5.0}, i));
+  }
+  const UncertainPoint forecast = forecaster.Forecast(50.0);
+  EXPECT_DOUBLE_EQ(forecast.values[0], 5.0);
+  EXPECT_NEAR(forecast.errors[0], 0.0, 1e-12);
+}
+
+TEST(ForecasterTest, LevelTracksShift) {
+  ForecastOptions options;
+  options.alpha = 0.5;
+  ExponentialSmoothingForecaster forecaster(1, options);
+  for (int i = 0; i < 10; ++i) forecaster.Observe(UncertainPoint({0.0}, i));
+  for (int i = 10; i < 40; ++i) {
+    forecaster.Observe(UncertainPoint({10.0}, i));
+  }
+  EXPECT_NEAR(forecaster.Forecast(40.0).values[0], 10.0, 0.1);
+}
+
+TEST(ForecasterTest, ResidualStddevMatchesNoise) {
+  // White noise around a constant: residual stddev should approximate
+  // the noise stddev (slightly above, since the level itself jitters).
+  util::Rng rng(3);
+  ForecastOptions options;
+  options.alpha = 0.1;
+  ExponentialSmoothingForecaster forecaster(1, options);
+  for (int i = 0; i < 20000; ++i) {
+    forecaster.Observe(UncertainPoint({rng.Gaussian(0.0, 2.0)}, i));
+  }
+  EXPECT_NEAR(forecaster.ResidualStddev(0), 2.0, 0.25);
+}
+
+TEST(MakeForecastStreamTest, ShapeAndMetadataCarryOver) {
+  Dataset input(2);
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    input.Add(UncertainPoint({rng.Gaussian(1.0, 0.1),
+                              rng.Gaussian(-1.0, 0.1)},
+                             static_cast<double>(i) * 2.0, i % 3));
+  }
+  const Dataset output = MakeForecastStream(input, ForecastOptions{});
+  ASSERT_EQ(output.size(), input.size());
+  EXPECT_EQ(output.dimensions(), 2u);
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    EXPECT_DOUBLE_EQ(output[i].timestamp, input[i].timestamp);
+    EXPECT_EQ(output[i].label, input[i].label);
+  }
+  // From the third record on, forecasts carry residual-based errors.
+  EXPECT_TRUE(output[50].has_errors());
+  EXPECT_GT(output[50].errors[0], 0.0);
+}
+
+TEST(MakeForecastStreamTest, ForecastsUsePastOnly) {
+  // A step change at i=100: the forecast at i=100 must still be near the
+  // pre-step level (it cannot see the step).
+  Dataset input(1);
+  for (int i = 0; i < 200; ++i) {
+    input.Add(UncertainPoint({i < 100 ? 0.0 : 50.0}, i));
+  }
+  ForecastOptions options;
+  options.alpha = 0.3;
+  const Dataset output = MakeForecastStream(input, options);
+  EXPECT_NEAR(output[100].values[0], 0.0, 1e-9);
+  // ...and a few steps later it has adapted.
+  EXPECT_GT(output[120].values[0], 40.0);
+}
+
+}  // namespace
+}  // namespace umicro::stream

@@ -1,0 +1,261 @@
+// Tests for the synthetic data generators.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "synth/drift_generator.h"
+#include "synth/forest_generator.h"
+#include "synth/intrusion_generator.h"
+#include "synth/regime_generator.h"
+#include "util/math_utils.h"
+
+namespace umicro::synth {
+namespace {
+
+TEST(DriftGeneratorTest, ShapeAndLabels) {
+  DriftOptions options;
+  options.dimensions = 5;
+  options.num_clusters = 3;
+  DriftingGaussianGenerator generator(options);
+  const stream::Dataset dataset = generator.Generate(1000);
+  EXPECT_EQ(dataset.size(), 1000u);
+  EXPECT_EQ(dataset.dimensions(), 5u);
+  for (const auto& point : dataset.points()) {
+    EXPECT_GE(point.label, 0);
+    EXPECT_LT(point.label, 3);
+    EXPECT_FALSE(point.has_errors());  // clean data until perturbed
+  }
+}
+
+TEST(DriftGeneratorTest, TimestampsAreSequential) {
+  DriftingGaussianGenerator generator(DriftOptions{});
+  const stream::Dataset dataset = generator.Generate(100);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dataset[i].timestamp, static_cast<double>(i));
+  }
+}
+
+TEST(DriftGeneratorTest, ChunkedGenerationContinuesTimestamps) {
+  DriftingGaussianGenerator generator(DriftOptions{});
+  stream::Dataset dataset(20);
+  generator.GenerateInto(50, dataset);
+  generator.GenerateInto(50, dataset);
+  EXPECT_EQ(dataset.size(), 100u);
+  EXPECT_DOUBLE_EQ(dataset[99].timestamp, 99.0);
+}
+
+TEST(DriftGeneratorTest, FractionsNormalized) {
+  DriftOptions options;
+  options.num_clusters = 7;
+  DriftingGaussianGenerator generator(options);
+  double sum = 0.0;
+  for (double f : generator.fractions()) {
+    EXPECT_GT(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DriftGeneratorTest, CentroidsActuallyDrift) {
+  DriftOptions options;
+  options.drift_epsilon = 0.01;
+  DriftingGaussianGenerator generator(options);
+  const std::vector<double> before = generator.centroid(0);
+  generator.Generate(5000);
+  const std::vector<double> after = generator.centroid(0);
+  EXPECT_GT(util::EuclideanDistance(before, after), 0.0);
+}
+
+TEST(DriftGeneratorTest, ZeroDriftKeepsCentroidsFixed) {
+  DriftOptions options;
+  options.drift_epsilon = 0.0;
+  DriftingGaussianGenerator generator(options);
+  const std::vector<double> before = generator.centroid(0);
+  generator.Generate(1000);
+  EXPECT_EQ(generator.centroid(0), before);
+}
+
+TEST(DriftGeneratorTest, RadiiWithinConfiguredRange) {
+  DriftOptions options;
+  options.max_radius = 0.3;
+  DriftingGaussianGenerator generator(options);
+  for (std::size_t c = 0; c < options.num_clusters; ++c) {
+    for (double r : generator.radius(c)) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 0.3);
+    }
+  }
+}
+
+TEST(DriftGeneratorTest, DeterministicForSameSeed) {
+  DriftOptions options;
+  options.seed = 33;
+  DriftingGaussianGenerator a(options);
+  DriftingGaussianGenerator b(options);
+  const stream::Dataset da = a.Generate(100);
+  const stream::Dataset db = b.Generate(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(da[i].values, db[i].values);
+    EXPECT_EQ(da[i].label, db[i].label);
+  }
+}
+
+TEST(IntrusionGeneratorTest, ShapeAndClassRange) {
+  IntrusionStreamGenerator generator(IntrusionOptions{});
+  const stream::Dataset dataset = generator.Generate(5000);
+  EXPECT_EQ(dataset.dimensions(), 34u);
+  for (const auto& point : dataset.points()) {
+    EXPECT_GE(point.label, 0);
+    EXPECT_LT(point.label, IntrusionStreamGenerator::kNumClasses);
+  }
+}
+
+TEST(IntrusionGeneratorTest, NormalTrafficDominates) {
+  IntrusionStreamGenerator generator(IntrusionOptions{});
+  const stream::Dataset dataset = generator.Generate(100000);
+  std::size_t normal = 0;
+  for (const auto& point : dataset.points()) {
+    if (point.label == kNormal) ++normal;
+  }
+  const double fraction = static_cast<double>(normal) / dataset.size();
+  EXPECT_GT(fraction, 0.5);   // clearly dominant...
+  EXPECT_LT(fraction, 0.999); // ...but attacks do occur
+}
+
+TEST(IntrusionGeneratorTest, AttacksArriveInBursts) {
+  // Conditional probability that the next point is an attack given the
+  // current one is should be far above the marginal attack rate.
+  IntrusionStreamGenerator generator(IntrusionOptions{});
+  const stream::Dataset dataset = generator.Generate(200000);
+  std::size_t attacks = 0;
+  std::size_t attack_then_attack = 0;
+  std::size_t attack_transitions = 0;
+  for (std::size_t i = 0; i + 1 < dataset.size(); ++i) {
+    if (dataset[i].label != kNormal) {
+      ++attacks;
+      ++attack_transitions;
+      if (dataset[i + 1].label != kNormal) ++attack_then_attack;
+    }
+  }
+  ASSERT_GT(attacks, 100u);
+  const double marginal = static_cast<double>(attacks) / dataset.size();
+  const double conditional =
+      static_cast<double>(attack_then_attack) / attack_transitions;
+  EXPECT_GT(conditional, 3.0 * marginal);
+}
+
+TEST(IntrusionGeneratorTest, AttributeScalesAreHeterogeneous) {
+  IntrusionStreamGenerator generator(IntrusionOptions{});
+  const stream::Dataset dataset = generator.Generate(20000);
+  std::vector<double> spread(dataset.dimensions(), 0.0);
+  for (std::size_t j = 0; j < dataset.dimensions(); ++j) {
+    double lo = dataset[0].values[j];
+    double hi = lo;
+    for (const auto& point : dataset.points()) {
+      lo = std::min(lo, point.values[j]);
+      hi = std::max(hi, point.values[j]);
+    }
+    spread[j] = hi - lo;
+  }
+  const double widest = *std::max_element(spread.begin(), spread.end());
+  const double narrowest = *std::min_element(spread.begin(), spread.end());
+  EXPECT_GT(widest / narrowest, 10.0);
+}
+
+TEST(ForestGeneratorTest, ShapeAndClassRange) {
+  ForestCoverGenerator generator(ForestOptions{});
+  const stream::Dataset dataset = generator.Generate(5000);
+  EXPECT_EQ(dataset.dimensions(), ForestCoverGenerator::kDimensions);
+  std::set<int> seen;
+  for (const auto& point : dataset.points()) {
+    EXPECT_GE(point.label, 0);
+    EXPECT_LT(point.label, ForestCoverGenerator::kNumClasses);
+    seen.insert(point.label);
+  }
+  EXPECT_GE(seen.size(), 4u);  // the common classes all appear
+}
+
+TEST(ForestGeneratorTest, TwoClassesDominateLikeRealData) {
+  ForestCoverGenerator generator(ForestOptions{});
+  const stream::Dataset dataset = generator.Generate(100000);
+  std::map<int, std::size_t> counts;
+  for (const auto& point : dataset.points()) ++counts[point.label];
+  const double share01 =
+      static_cast<double>(counts[0] + counts[1]) / dataset.size();
+  EXPECT_GT(share01, 0.7);
+}
+
+TEST(ForestGeneratorTest, PersistenceCreatesRuns) {
+  ForestOptions options;
+  options.persistence = 0.9;
+  ForestCoverGenerator generator(options);
+  const stream::Dataset dataset = generator.Generate(20000);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i + 1 < dataset.size(); ++i) {
+    if (dataset[i].label == dataset[i + 1].label) ++same;
+  }
+  EXPECT_GT(static_cast<double>(same) / dataset.size(), 0.85);
+}
+
+TEST(RegimeGeneratorTest, RegimeAdvances) {
+  RegimeOptions options;
+  options.regime_length = 1000;
+  RegimeShiftGenerator generator(options);
+  EXPECT_EQ(generator.current_regime(), 0u);
+  generator.Generate(3500);
+  EXPECT_EQ(generator.current_regime(), 3u);
+}
+
+TEST(RegimeGeneratorTest, LabelsAreUniquePerRegime) {
+  RegimeOptions options;
+  options.regime_length = 500;
+  options.num_clusters = 6;
+  RegimeShiftGenerator generator(options);
+  const stream::Dataset dataset = generator.Generate(1000);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (i < 500) {
+      EXPECT_GE(dataset[i].label, 0);
+      EXPECT_LT(dataset[i].label, 6);
+    } else {
+      EXPECT_GE(dataset[i].label, 6);
+      EXPECT_LT(dataset[i].label, 12);
+    }
+  }
+}
+
+TEST(RegimeGeneratorTest, LayoutChangesAcrossRegimes) {
+  RegimeOptions options;
+  options.regime_length = 500;
+  options.dimensions = 4;
+  options.num_clusters = 6;
+  RegimeShiftGenerator generator(options);
+  const stream::Dataset dataset = generator.Generate(1000);
+  // Compare the mean of class 0 in regime 0 (label 0) against class 0
+  // in regime 1 (label 6): the layout redraw must move it.
+  std::vector<double> mean_a(4, 0.0);
+  std::vector<double> mean_b(4, 0.0);
+  std::size_t na = 0;
+  std::size_t nb = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].label == 0) {
+      for (std::size_t j = 0; j < 4; ++j) mean_a[j] += dataset[i].values[j];
+      ++na;
+    } else if (dataset[i].label == 6) {
+      for (std::size_t j = 0; j < 4; ++j) mean_b[j] += dataset[i].values[j];
+      ++nb;
+    }
+  }
+  ASSERT_GT(na, 10u);
+  ASSERT_GT(nb, 10u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    mean_a[j] /= static_cast<double>(na);
+    mean_b[j] /= static_cast<double>(nb);
+  }
+  EXPECT_GT(util::EuclideanDistance(mean_a, mean_b), 0.05);
+}
+
+}  // namespace
+}  // namespace umicro::synth

@@ -1,0 +1,124 @@
+// Tests for the missing-value imputation substrate.
+
+#include "stream/imputation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/umicro.h"
+#include "eval/purity.h"
+#include "util/random.h"
+
+namespace umicro::stream {
+namespace {
+
+TEST(HasMissingValuesTest, DetectsNan) {
+  EXPECT_FALSE(HasMissingValues(UncertainPoint({1.0, 2.0}, 0.0)));
+  EXPECT_TRUE(
+      HasMissingValues(UncertainPoint({1.0, std::nan("")}, 0.0)));
+}
+
+TEST(OnlineMeanImputerTest, ObservedEntriesPassThrough) {
+  OnlineMeanImputer imputer(2);
+  UncertainPoint point({1.5, -2.5}, 0.0);
+  const UncertainPoint out = imputer.Impute(point);
+  EXPECT_DOUBLE_EQ(out.values[0], 1.5);
+  EXPECT_DOUBLE_EQ(out.values[1], -2.5);
+  EXPECT_EQ(imputer.entries_imputed(), 0u);
+}
+
+TEST(OnlineMeanImputerTest, ImputesWithRunningMeanAndStddev) {
+  OnlineMeanImputer imputer(1);
+  imputer.Impute(UncertainPoint({2.0}, 0.0));
+  imputer.Impute(UncertainPoint({4.0}, 1.0));
+  // mean 3, population stddev 1.
+  const UncertainPoint out =
+      imputer.Impute(UncertainPoint({std::nan("")}, 2.0));
+  EXPECT_DOUBLE_EQ(out.values[0], 3.0);
+  EXPECT_DOUBLE_EQ(out.errors[0], 1.0);
+  EXPECT_EQ(imputer.entries_imputed(), 1u);
+  EXPECT_EQ(imputer.imputed_before_data(), 0u);
+}
+
+TEST(OnlineMeanImputerTest, MissingBeforeAnyDataIsZeroWithFlag) {
+  OnlineMeanImputer imputer(1);
+  const UncertainPoint out =
+      imputer.Impute(UncertainPoint({std::nan("")}, 0.0));
+  EXPECT_DOUBLE_EQ(out.values[0], 0.0);
+  EXPECT_EQ(imputer.imputed_before_data(), 1u);
+}
+
+TEST(OnlineMeanImputerTest, ExistingErrorCombinesInQuadrature) {
+  OnlineMeanImputer imputer(2);
+  imputer.Impute(UncertainPoint({0.0, 0.0}, 0.0));
+  imputer.Impute(UncertainPoint({2.0, 2.0}, 1.0));
+  // dim stddev is 1.0; the incoming record already reports error 0.75 on
+  // the missing dim (e.g. sensor noise) -> sqrt(1 + 0.5625).
+  UncertainPoint incoming({1.0, std::nan("")}, {0.25, 0.75}, 2.0);
+  const UncertainPoint out = imputer.Impute(incoming);
+  EXPECT_DOUBLE_EQ(out.errors[0], 0.25);  // observed entry untouched
+  EXPECT_NEAR(out.errors[1], std::sqrt(1.0 + 0.5625), 1e-12);
+}
+
+TEST(OnlineMeanImputerTest, MissingEntriesDoNotSkewStatistics) {
+  OnlineMeanImputer imputer(1);
+  imputer.Impute(UncertainPoint({10.0}, 0.0));
+  imputer.Impute(UncertainPoint({std::nan("")}, 1.0));
+  imputer.Impute(UncertainPoint({20.0}, 2.0));
+  EXPECT_DOUBLE_EQ(imputer.Mean(0), 15.0);  // the NaN was not folded in
+}
+
+TEST(InjectMissingValuesTest, RateApproximatelyRespected) {
+  Dataset dataset(4);
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    dataset.Add(UncertainPoint({rng.NextDouble(), rng.NextDouble(),
+                                rng.NextDouble(), rng.NextDouble()},
+                               i));
+  }
+  MissingValueOptions options;
+  options.missing_fraction = 0.2;
+  const std::size_t erased = InjectMissingValues(dataset, options);
+  const double rate = static_cast<double>(erased) / (5000.0 * 4.0);
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(InjectMissingValuesTest, ZeroRateErasesNothing) {
+  Dataset dataset(1);
+  dataset.Add(UncertainPoint({1.0}, 0.0));
+  MissingValueOptions options;
+  options.missing_fraction = 0.0;
+  EXPECT_EQ(InjectMissingValues(dataset, options), 0u);
+  EXPECT_FALSE(HasMissingValues(dataset[0]));
+}
+
+TEST(ImputationPipelineTest, IncompleteStreamClustersEndToEnd) {
+  // The paper's motivating pipeline: incomplete stream -> imputation
+  // (with known error) -> UMicro. Clusters must still be recovered.
+  util::Rng rng(9);
+  Dataset dataset(3);
+  for (int i = 0; i < 6000; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(2));
+    dataset.Add(UncertainPoint({cls * 10.0 + rng.Gaussian(0.0, 0.5),
+                                cls * -8.0 + rng.Gaussian(0.0, 0.5),
+                                rng.Gaussian(0.0, 0.5)},
+                               i, cls));
+  }
+  MissingValueOptions missing;
+  missing.missing_fraction = 0.25;
+  InjectMissingValues(dataset, missing);
+
+  OnlineMeanImputer imputer(3);
+  core::UMicroOptions options;
+  options.num_micro_clusters = 20;
+  core::UMicro algorithm(3, options);
+  for (const auto& point : dataset.points()) {
+    algorithm.Process(imputer.Impute(point));
+  }
+  EXPECT_GT(imputer.entries_imputed(), 3000u);
+  EXPECT_GT(eval::ClusterPurity(algorithm.ClusterLabelHistograms()), 0.8);
+}
+
+}  // namespace
+}  // namespace umicro::stream

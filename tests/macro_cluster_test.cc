@@ -1,0 +1,167 @@
+// Tests for the offline weighted k-means macro-clustering.
+
+#include "core/macro_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stream/point.h"
+#include "util/math_utils.h"
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+TEST(WeightedKMeansTest, SeparatedBlobsRecovered) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> points;
+  std::vector<double> weights;
+  const std::vector<std::vector<double>> centers = {
+      {0.0, 0.0}, {10.0, 10.0}, {-10.0, 10.0}};
+  for (const auto& center : centers) {
+    for (int i = 0; i < 50; ++i) {
+      points.push_back({center[0] + rng.Gaussian(0.0, 0.5),
+                        center[1] + rng.Gaussian(0.0, 0.5)});
+      weights.push_back(1.0);
+    }
+  }
+  MacroClusteringOptions options;
+  options.k = 3;
+  const MacroClustering result = WeightedKMeans(points, weights, options);
+  ASSERT_EQ(result.centroids.size(), 3u);
+
+  // Every true center must be within 0.5 of some found centroid.
+  for (const auto& center : centers) {
+    double best = 1e18;
+    for (const auto& found : result.centroids) {
+      best = std::min(best, util::EuclideanDistance(center, found));
+    }
+    EXPECT_LT(best, 0.5);
+  }
+}
+
+TEST(WeightedKMeansTest, AssignmentConsistentWithCentroids) {
+  util::Rng rng(5);
+  std::vector<std::vector<double>> points;
+  std::vector<double> weights;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+    weights.push_back(rng.Uniform(0.5, 2.0));
+  }
+  MacroClusteringOptions options;
+  options.k = 4;
+  const MacroClustering result = WeightedKMeans(points, weights, options);
+  ASSERT_EQ(result.assignment.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int assigned = result.assignment[i];
+    const double assigned_d2 = util::SquaredDistance(
+        points[i], result.centroids[static_cast<std::size_t>(assigned)]);
+    for (const auto& centroid : result.centroids) {
+      EXPECT_LE(assigned_d2,
+                util::SquaredDistance(points[i], centroid) + 1e-9);
+    }
+  }
+}
+
+TEST(WeightedKMeansTest, WeightsPullCentroids) {
+  // One heavy point and many light points: with k=1 the centroid must
+  // land at the weighted mean.
+  std::vector<std::vector<double>> points = {{0.0}, {10.0}};
+  std::vector<double> weights = {9.0, 1.0};
+  MacroClusteringOptions options;
+  options.k = 1;
+  const MacroClustering result = WeightedKMeans(points, weights, options);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 1.0, 1e-9);
+}
+
+TEST(WeightedKMeansTest, KLargerThanInputClamped) {
+  std::vector<std::vector<double>> points = {{0.0}, {5.0}};
+  std::vector<double> weights = {1.0, 1.0};
+  MacroClusteringOptions options;
+  options.k = 10;
+  const MacroClustering result = WeightedKMeans(points, weights, options);
+  EXPECT_LE(result.centroids.size(), 2u);
+}
+
+TEST(WeightedKMeansTest, SsqDecreasesWithMoreClusters) {
+  util::Rng rng(7);
+  std::vector<std::vector<double>> points;
+  std::vector<double> weights;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Uniform(0.0, 10.0)});
+    weights.push_back(1.0);
+  }
+  double previous = 1e18;
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    MacroClusteringOptions options;
+    options.k = k;
+    options.num_restarts = 5;
+    const MacroClustering result = WeightedKMeans(points, weights, options);
+    EXPECT_LE(result.weighted_ssq, previous + 1e-9);
+    previous = result.weighted_ssq;
+  }
+}
+
+TEST(WeightedKMeansTest, IdenticalPointsGiveZeroSsq) {
+  std::vector<std::vector<double>> points(5, std::vector<double>{3.0, 3.0});
+  std::vector<double> weights(5, 1.0);
+  MacroClusteringOptions options;
+  options.k = 2;
+  const MacroClustering result = WeightedKMeans(points, weights, options);
+  EXPECT_NEAR(result.weighted_ssq, 0.0, 1e-12);
+}
+
+TEST(ClusterMicroClustersTest, UsesCentroidsAndWeights) {
+  // Two groups of micro-clusters; macro-clustering with k=2 should
+  // separate them.
+  std::vector<MicroClusterState> states;
+  util::Rng rng(9);
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 10; ++i) {
+      MicroClusterState state;
+      state.id = static_cast<std::uint64_t>(g * 10 + i);
+      stream::UncertainPoint point(
+          {g * 20.0 + rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)},
+          0.0);
+      state.ecf = ErrorClusterFeature::FromPoint(point,
+                                                 rng.Uniform(1.0, 5.0));
+      states.push_back(std::move(state));
+    }
+  }
+  MacroClusteringOptions options;
+  options.k = 2;
+  const MacroClustering result = ClusterMicroClusters(states, options);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  std::set<int> groups_a;
+  std::set<int> groups_b;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    (i < 10 ? groups_a : groups_b).insert(result.assignment[i]);
+  }
+  EXPECT_EQ(groups_a.size(), 1u);
+  EXPECT_EQ(groups_b.size(), 1u);
+  EXPECT_NE(*groups_a.begin(), *groups_b.begin());
+}
+
+TEST(WeightedKMeansTest, DeterministicForSameSeed) {
+  util::Rng rng(13);
+  std::vector<std::vector<double>> points;
+  std::vector<double> weights;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)});
+    weights.push_back(1.0);
+  }
+  MacroClusteringOptions options;
+  options.k = 3;
+  options.seed = 77;
+  const MacroClustering a = WeightedKMeans(points, weights, options);
+  const MacroClustering b = WeightedKMeans(points, weights, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.weighted_ssq, b.weighted_ssq);
+}
+
+}  // namespace
+}  // namespace umicro::core

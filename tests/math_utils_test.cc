@@ -1,0 +1,153 @@
+// Tests for util math helpers.
+
+#include "util/math_utils.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace umicro::util {
+namespace {
+
+TEST(WelfordTest, EmptyIsZero) {
+  WelfordAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.SampleVariance(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  WelfordAccumulator acc;
+  acc.Add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationVariance(), 0.0);
+}
+
+TEST(WelfordTest, KnownSmallSequence) {
+  WelfordAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationVariance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.PopulationStddev(), 2.0);
+  EXPECT_NEAR(acc.SampleVariance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(WelfordTest, MergeEqualsSequential) {
+  Rng rng(3);
+  WelfordAccumulator all;
+  WelfordAccumulator left;
+  WelfordAccumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(2.0, 3.0);
+    all.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-10);
+  EXPECT_NEAR(left.PopulationVariance(), all.PopulationVariance(), 1e-9);
+}
+
+TEST(WelfordTest, MergeWithEmptySides) {
+  WelfordAccumulator a;
+  WelfordAccumulator b;
+  a.Add(1.0);
+  a.Add(3.0);
+  WelfordAccumulator a_copy = a;
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  b.Merge(a_copy);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(WelfordTest, NumericallyStableForLargeOffsets) {
+  WelfordAccumulator acc;
+  const double offset = 1e9;
+  for (double v : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.Add(v);
+  EXPECT_NEAR(acc.Mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.PopulationVariance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(InverseNormalCdfTest, MedianIsZero) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+}
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447460685429), 1.0, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.9986501019683699), 3.0, 1e-6);
+}
+
+TEST(InverseNormalCdfTest, Symmetry) {
+  for (double p : {0.01, 0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1.0 - p), 1e-8);
+  }
+}
+
+TEST(InverseNormalCdfTest, RoundTripsThroughErfc) {
+  for (double p : {0.001, 0.05, 0.3, 0.7, 0.95, 0.999}) {
+    const double x = InverseNormalCdf(p);
+    const double back = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(back, p, 1e-9);
+  }
+}
+
+TEST(RegularizedGammaPTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedGammaP(1.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedGammaP(1.0, 1e6), 1.0, 1e-12);
+}
+
+TEST(RegularizedGammaPTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - e^-x.
+  for (double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(RegularizedGammaPTest, ChiSquareQuantiles) {
+  // Chi-square CDF with k dof = P(k/2, x/2); standard table values.
+  EXPECT_NEAR(RegularizedGammaP(0.5, 3.841 / 2.0), 0.95, 1e-3);   // k=1
+  EXPECT_NEAR(RegularizedGammaP(1.0, 5.991 / 2.0), 0.95, 1e-3);   // k=2
+  EXPECT_NEAR(RegularizedGammaP(2.5, 11.070 / 2.0), 0.95, 1e-3);  // k=5
+  EXPECT_NEAR(RegularizedGammaP(5.0, 18.307 / 2.0), 0.95, 1e-3);  // k=10
+}
+
+TEST(RegularizedGammaPTest, MonotoneInX) {
+  double previous = -1.0;
+  for (double x = 0.0; x <= 20.0; x += 0.25) {
+    const double p = RegularizedGammaP(2.3, x);
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(DistanceTest, SquaredDistanceBasic) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, 6.0, 3.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(DistanceTest, ZeroForIdenticalVectors) {
+  const std::vector<double> a = {1.5, -2.5};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a), 0.0);
+}
+
+TEST(ClampTest, Clamps) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace umicro::util

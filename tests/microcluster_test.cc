@@ -1,0 +1,58 @@
+// Tests for the MicroCluster wrapper (labels + decay bookkeeping).
+
+#include "core/microcluster.h"
+
+#include <gtest/gtest.h>
+
+namespace umicro::core {
+namespace {
+
+using stream::UncertainPoint;
+
+TEST(MicroClusterTest, SingletonConstruction) {
+  UncertainPoint point({1.0, 2.0}, {0.1, 0.2}, 5.0, 3);
+  MicroCluster cluster(42, point);
+  EXPECT_EQ(cluster.id, 42u);
+  EXPECT_DOUBLE_EQ(cluster.creation_time, 5.0);
+  EXPECT_DOUBLE_EQ(cluster.ecf.weight(), 1.0);
+  ASSERT_EQ(cluster.labels.size(), 1u);
+  EXPECT_DOUBLE_EQ(cluster.labels.at(3), 1.0);
+}
+
+TEST(MicroClusterTest, UnlabeledPointsLeaveHistogramEmpty) {
+  UncertainPoint point({1.0}, 0.0);
+  MicroCluster cluster(1, point);
+  EXPECT_TRUE(cluster.labels.empty());
+  cluster.AddPoint(UncertainPoint({2.0}, 1.0));
+  EXPECT_TRUE(cluster.labels.empty());
+  EXPECT_DOUBLE_EQ(cluster.ecf.weight(), 2.0);
+}
+
+TEST(MicroClusterTest, AddPointAccumulatesLabels) {
+  MicroCluster cluster(1, UncertainPoint({0.0}, 0.0, 0));
+  cluster.AddPoint(UncertainPoint({1.0}, 1.0, 0));
+  cluster.AddPoint(UncertainPoint({2.0}, 2.0, 1));
+  EXPECT_DOUBLE_EQ(cluster.labels.at(0), 2.0);
+  EXPECT_DOUBLE_EQ(cluster.labels.at(1), 1.0);
+}
+
+TEST(MicroClusterTest, WeightedAddScalesHistogram) {
+  MicroCluster cluster(1, UncertainPoint({0.0}, 0.0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(cluster.labels.at(0), 0.5);
+  cluster.AddPoint(UncertainPoint({1.0}, 1.0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(cluster.labels.at(0), 2.5);
+  EXPECT_DOUBLE_EQ(cluster.ecf.weight(), 2.5);
+}
+
+TEST(MicroClusterTest, DecayScalesStatisticsAndLabelsTogether) {
+  MicroCluster cluster(1, UncertainPoint({4.0}, 0.0, 2));
+  cluster.AddPoint(UncertainPoint({6.0}, 1.0, 2));
+  cluster.Decay(0.25);
+  EXPECT_DOUBLE_EQ(cluster.ecf.weight(), 0.5);
+  EXPECT_DOUBLE_EQ(cluster.labels.at(2), 0.5);
+  // Centroid invariant under decay.
+  EXPECT_DOUBLE_EQ(cluster.ecf.CentroidAt(0), 5.0);
+}
+
+}  // namespace
+}  // namespace umicro::core

@@ -1,0 +1,153 @@
+// Tests for the paper's eta perturbation model.
+
+#include "stream/perturbation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/dataset.h"
+#include "stream/stream_stats.h"
+#include "util/random.h"
+
+namespace umicro::stream {
+namespace {
+
+Dataset MakeGaussianDataset(std::size_t n, double stddev0, double stddev1) {
+  util::Rng rng(100);
+  Dataset dataset;
+  for (std::size_t i = 0; i < n; ++i) {
+    dataset.Add(UncertainPoint(
+        {rng.Gaussian(0.0, stddev0), rng.Gaussian(0.0, stddev1)},
+        static_cast<double>(i)));
+  }
+  return dataset;
+}
+
+TEST(PerturbationTest, SigmaWithinPaperRange) {
+  // sigma_i ~ U[0, 2 * eta * sigma0_i].
+  const std::vector<double> base = {2.0, 5.0};
+  PerturbationOptions options;
+  options.eta = 0.5;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    options.seed = seed;
+    Perturber perturber(base, options);
+    const auto& sigmas = perturber.dimension_sigmas();
+    ASSERT_EQ(sigmas.size(), 2u);
+    EXPECT_GE(sigmas[0], 0.0);
+    EXPECT_LE(sigmas[0], 2.0 * 0.5 * 2.0);
+    EXPECT_GE(sigmas[1], 0.0);
+    EXPECT_LE(sigmas[1], 2.0 * 0.5 * 5.0);
+  }
+}
+
+TEST(PerturbationTest, ZeroEtaIsNoiseless) {
+  const std::vector<double> base = {1.0, 1.0};
+  PerturbationOptions options;
+  options.eta = 0.0;
+  Perturber perturber(base, options);
+  UncertainPoint point({3.0, -4.0}, 1.0, 7);
+  const UncertainPoint out = perturber.Perturb(point);
+  EXPECT_DOUBLE_EQ(out.values[0], 3.0);
+  EXPECT_DOUBLE_EQ(out.values[1], -4.0);
+  EXPECT_DOUBLE_EQ(out.errors[0], 0.0);
+  EXPECT_DOUBLE_EQ(out.errors[1], 0.0);
+  EXPECT_EQ(out.label, 7);
+  EXPECT_DOUBLE_EQ(out.timestamp, 1.0);
+}
+
+TEST(PerturbationTest, ErrorVectorMatchesSigmaUsed) {
+  const std::vector<double> base = {1.0};
+  PerturbationOptions options;
+  options.eta = 1.0;
+  Perturber perturber(base, options);
+  const double sigma = perturber.dimension_sigmas()[0];
+  UncertainPoint point({0.0}, 0.0);
+  const UncertainPoint out = perturber.Perturb(point);
+  EXPECT_DOUBLE_EQ(out.errors[0], sigma);
+}
+
+TEST(PerturbationTest, EmpiricalNoiseStddevMatchesReported) {
+  // The added noise's empirical stddev should match the psi value the
+  // perturbed points report: that is the whole premise UMicro relies on.
+  const std::vector<double> base = {3.0};
+  PerturbationOptions options;
+  options.eta = 1.0;
+  options.seed = 4;
+  Perturber perturber(base, options);
+  const double sigma = perturber.dimension_sigmas()[0];
+
+  util::WelfordAccumulator noise;
+  for (int i = 0; i < 50000; ++i) {
+    UncertainPoint point({10.0}, 0.0);
+    const UncertainPoint out = perturber.Perturb(point);
+    noise.Add(out.values[0] - 10.0);
+    EXPECT_DOUBLE_EQ(out.errors[0], sigma);
+  }
+  EXPECT_NEAR(noise.Mean(), 0.0, 0.05 * (sigma + 0.1));
+  EXPECT_NEAR(noise.PopulationStddev(), sigma, 0.05 * (sigma + 0.1));
+}
+
+TEST(PerturbationTest, PerPointModelVariesErrors) {
+  const std::vector<double> base = {1.0};
+  PerturbationOptions options;
+  options.eta = 1.0;
+  options.model = ErrorModel::kPerPoint;
+  Perturber perturber(base, options);
+  UncertainPoint point({0.0}, 0.0);
+  double first = perturber.Perturb(point).errors[0];
+  bool varies = false;
+  for (int i = 0; i < 50; ++i) {
+    if (perturber.Perturb(point).errors[0] != first) {
+      varies = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varies);
+  // And each drawn error stays within the documented bound.
+  for (int i = 0; i < 1000; ++i) {
+    const double e = perturber.Perturb(point).errors[0];
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 2.0);
+  }
+}
+
+TEST(PerturbationTest, PerturbDatasetPreservesShapeAndLabels) {
+  Dataset dataset = MakeGaussianDataset(200, 1.0, 2.0);
+  StreamStats stats(2);
+  stats.AddAll(dataset);
+
+  PerturbationOptions options;
+  options.eta = 0.5;
+  Perturber perturber(stats.Stddevs(), options);
+  Dataset perturbed = dataset;  // copy to preserve the original for checks
+  perturber.PerturbDataset(perturbed);
+
+  ASSERT_EQ(perturbed.size(), dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(perturbed[i].label, dataset[i].label);
+    EXPECT_DOUBLE_EQ(perturbed[i].timestamp, dataset[i].timestamp);
+    EXPECT_TRUE(perturbed[i].has_errors());
+  }
+}
+
+TEST(PerturbationTest, HigherEtaMeansMoreExpectedNoise) {
+  // Averaged over seeds, the drawn sigma grows linearly with eta.
+  const std::vector<double> base = {1.0};
+  double sum_low = 0.0;
+  double sum_high = 0.0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    PerturbationOptions low;
+    low.eta = 0.2;
+    low.seed = seed;
+    PerturbationOptions high;
+    high.eta = 2.0;
+    high.seed = seed;
+    sum_low += Perturber(base, low).dimension_sigmas()[0];
+    sum_high += Perturber(base, high).dimension_sigmas()[0];
+  }
+  EXPECT_NEAR(sum_high / sum_low, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace umicro::stream

@@ -1,0 +1,45 @@
+// Tests for stream::UncertainPoint.
+
+#include "stream/point.h"
+
+#include <gtest/gtest.h>
+
+namespace umicro::stream {
+namespace {
+
+TEST(UncertainPointTest, DefaultIsEmptyUnlabeled) {
+  UncertainPoint point;
+  EXPECT_EQ(point.dimensions(), 0u);
+  EXPECT_FALSE(point.has_errors());
+  EXPECT_EQ(point.label, kUnlabeled);
+  EXPECT_DOUBLE_EQ(point.timestamp, 0.0);
+}
+
+TEST(UncertainPointTest, DeterministicConstructor) {
+  UncertainPoint point({1.0, 2.0, 3.0}, 7.5, 2);
+  EXPECT_EQ(point.dimensions(), 3u);
+  EXPECT_FALSE(point.has_errors());
+  EXPECT_DOUBLE_EQ(point.timestamp, 7.5);
+  EXPECT_EQ(point.label, 2);
+  EXPECT_DOUBLE_EQ(point.ErrorAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(point.ErrorAt(2), 0.0);
+}
+
+TEST(UncertainPointTest, UncertainConstructor) {
+  UncertainPoint point({1.0, 2.0}, {0.5, 0.1}, 3.0);
+  EXPECT_TRUE(point.has_errors());
+  EXPECT_DOUBLE_EQ(point.ErrorAt(0), 0.5);
+  EXPECT_DOUBLE_EQ(point.ErrorAt(1), 0.1);
+  EXPECT_EQ(point.label, kUnlabeled);
+}
+
+TEST(UncertainPointTest, SquaredErrorNorm) {
+  UncertainPoint deterministic({1.0, 2.0}, 0.0);
+  EXPECT_DOUBLE_EQ(deterministic.SquaredErrorNorm(), 0.0);
+
+  UncertainPoint uncertain({1.0, 2.0}, {3.0, 4.0}, 0.0);
+  EXPECT_DOUBLE_EQ(uncertain.SquaredErrorNorm(), 25.0);
+}
+
+}  // namespace
+}  // namespace umicro::stream

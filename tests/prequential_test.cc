@@ -1,0 +1,105 @@
+// Tests for the prequential (test-then-train) evaluation.
+
+#include "eval/prequential.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/clustream.h"
+#include "core/umicro.h"
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::eval {
+namespace {
+
+using stream::Dataset;
+using stream::UncertainPoint;
+
+Dataset TwoBlobs(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset dataset(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(2));
+    dataset.Add(UncertainPoint({cls * 10.0 + rng.Gaussian(0.0, 0.4),
+                                rng.Gaussian(0.0, 0.4)},
+                               {0.1, 0.1}, static_cast<double>(i), cls));
+  }
+  return dataset;
+}
+
+TEST(PrequentialTest, HighAccuracyOnEasyStream) {
+  const Dataset dataset = TwoBlobs(3000, 1);
+  core::UMicroOptions options;
+  options.num_micro_clusters = 20;
+  core::UMicro algorithm(2, options);
+  const PrequentialSeries series =
+      RunPrequentialEvaluation(algorithm, dataset, 500);
+  EXPECT_GT(series.final_accuracy, 0.95);
+  EXPECT_GT(series.scored, 2500u);
+  ASSERT_EQ(series.samples.size(), 6u);
+  // Later windows (after warm-up) should be near-perfect.
+  EXPECT_GT(series.samples.back().window_accuracy, 0.95);
+}
+
+TEST(PrequentialTest, SamplesAccumulateConsistently) {
+  const Dataset dataset = TwoBlobs(1000, 2);
+  core::UMicro algorithm(2, core::UMicroOptions{});
+  const PrequentialSeries series =
+      RunPrequentialEvaluation(algorithm, dataset, 250);
+  // Cumulative accuracy of the last sample equals the final accuracy.
+  EXPECT_DOUBLE_EQ(series.samples.back().cumulative_accuracy,
+                   series.final_accuracy);
+  for (const auto& sample : series.samples) {
+    EXPECT_GE(sample.window_accuracy, 0.0);
+    EXPECT_LE(sample.window_accuracy, 1.0);
+  }
+}
+
+TEST(PrequentialTest, UnlabeledStreamScoresNothing) {
+  Dataset dataset(1);
+  for (int i = 0; i < 100; ++i) {
+    dataset.Add(UncertainPoint({static_cast<double>(i % 3)}, i));
+  }
+  core::UMicro algorithm(1, core::UMicroOptions{});
+  const PrequentialSeries series =
+      RunPrequentialEvaluation(algorithm, dataset, 50);
+  EXPECT_EQ(series.scored, 0u);
+  EXPECT_DOUBLE_EQ(series.final_accuracy, 0.0);
+}
+
+TEST(PrequentialTest, RegimeShiftDentsWindowAccuracy) {
+  // After an abrupt relabeled shift, the first post-shift window must
+  // score worse than the pre-shift steady state.
+  util::Rng rng(3);
+  Dataset dataset(1);
+  for (int i = 0; i < 4000; ++i) {
+    const bool before = i < 2000;
+    const int cls = before ? 0 : 1;
+    const double center = before ? 0.0 : 50.0;
+    dataset.Add(UncertainPoint({center + rng.Gaussian(0.0, 0.5)},
+                               static_cast<double>(i), cls));
+  }
+  core::UMicroOptions options;
+  options.num_micro_clusters = 10;
+  core::UMicro algorithm(1, options);
+  const PrequentialSeries series =
+      RunPrequentialEvaluation(algorithm, dataset, 200);
+  // Window 10 (just before shift) near 1.0; window 11 (the shift)
+  // scores poorly because predictions still come from regime-0 labels.
+  const double before_shift = series.samples[9].window_accuracy;
+  const double at_shift = series.samples[10].window_accuracy;
+  EXPECT_GT(before_shift, 0.95);
+  EXPECT_LT(at_shift, before_shift);
+}
+
+TEST(PrequentialTest, WorksWithCluStream) {
+  const Dataset dataset = TwoBlobs(1500, 4);
+  baseline::CluStream algorithm(2, baseline::CluStreamOptions{});
+  const PrequentialSeries series =
+      RunPrequentialEvaluation(algorithm, dataset, 500);
+  EXPECT_EQ(series.algorithm, "CluStream");
+  EXPECT_GT(series.final_accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace umicro::eval

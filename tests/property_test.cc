@@ -1,0 +1,269 @@
+// Parameterized property suites: invariants that must hold across broad
+// sweeps of dimensions, cluster counts, noise levels, and decay rates.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/cluster_feature.h"
+#include "core/expected_distance.h"
+#include "core/snapshot.h"
+#include "core/umicro.h"
+#include "stream/point.h"
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+using stream::UncertainPoint;
+
+UncertainPoint RandomPoint(util::Rng& rng, std::size_t dims, double ts) {
+  std::vector<double> values(dims);
+  std::vector<double> errors(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    values[j] = rng.Uniform(-10.0, 10.0);
+    errors[j] = rng.Uniform(0.0, 2.0);
+  }
+  return UncertainPoint(std::move(values), std::move(errors), ts);
+}
+
+// ---------------------------------------------------------------------
+// ECF additivity / subtractivity across dimensions and sizes.
+
+class EcfProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(EcfProperty, MergeIsAssociativeAndCommutative) {
+  const auto [dims, n] = GetParam();
+  util::Rng rng(dims * 1000 + n);
+  ErrorClusterFeature a(dims), b(dims), c(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.AddPoint(RandomPoint(rng, dims, static_cast<double>(i)));
+    b.AddPoint(RandomPoint(rng, dims, static_cast<double>(i)));
+    c.AddPoint(RandomPoint(rng, dims, static_cast<double>(i)));
+  }
+  // (a+b)+c vs a+(b+c)
+  ErrorClusterFeature left = a;
+  left.Merge(b);
+  left.Merge(c);
+  ErrorClusterFeature bc = b;
+  bc.Merge(c);
+  ErrorClusterFeature right = a;
+  right.Merge(bc);
+  for (std::size_t j = 0; j < dims; ++j) {
+    EXPECT_NEAR(left.cf1()[j], right.cf1()[j], 1e-9);
+    EXPECT_NEAR(left.cf2()[j], right.cf2()[j], 1e-9);
+    EXPECT_NEAR(left.ef2()[j], right.ef2()[j], 1e-9);
+  }
+  EXPECT_NEAR(left.weight(), right.weight(), 1e-9);
+
+  // a+b vs b+a
+  ErrorClusterFeature ab = a;
+  ab.Merge(b);
+  ErrorClusterFeature ba = b;
+  ba.Merge(a);
+  for (std::size_t j = 0; j < dims; ++j) {
+    EXPECT_NEAR(ab.cf1()[j], ba.cf1()[j], 1e-9);
+  }
+}
+
+TEST_P(EcfProperty, StreamingEqualsBatch) {
+  // Folding points one at a time must equal merging per-point ECFs.
+  const auto [dims, n] = GetParam();
+  util::Rng rng(dims * 2000 + n);
+  ErrorClusterFeature streaming(dims);
+  ErrorClusterFeature batch(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const UncertainPoint point = RandomPoint(rng, dims, i);
+    streaming.AddPoint(point);
+    batch.Merge(ErrorClusterFeature::FromPoint(point));
+  }
+  for (std::size_t j = 0; j < dims; ++j) {
+    EXPECT_NEAR(streaming.cf1()[j], batch.cf1()[j], 1e-9);
+    EXPECT_NEAR(streaming.cf2()[j], batch.cf2()[j], 1e-9);
+    EXPECT_NEAR(streaming.ef2()[j], batch.ef2()[j], 1e-9);
+  }
+}
+
+TEST_P(EcfProperty, RadiusNonNegativeAndScaleInvariant) {
+  const auto [dims, n] = GetParam();
+  util::Rng rng(dims * 3000 + n);
+  ErrorClusterFeature ecf(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    ecf.AddPoint(RandomPoint(rng, dims, i));
+  }
+  const double r = ecf.UncertainRadiusSquared();
+  EXPECT_GE(r, 0.0);
+  // Uniform decay scaling leaves relative geometry intact except for the
+  // EF2/n "+1/n" correction term, which only shrinks as weight shrinks
+  // proportionally -- the radius stays non-negative and finite.
+  ecf.Scale(0.5);
+  EXPECT_GE(ecf.UncertainRadiusSquared(), 0.0);
+  EXPECT_TRUE(std::isfinite(ecf.UncertainRadiusSquared()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndSizes, EcfProperty,
+    testing::Combine(testing::Values<std::size_t>(1, 2, 8, 32),
+                     testing::Values<std::size_t>(1, 2, 10, 100)));
+
+// ---------------------------------------------------------------------
+// Expected-distance invariants across dimensionalities.
+
+class ExpectedDistanceProperty
+    : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExpectedDistanceProperty, NonNegativeAndSymmetricInErrors) {
+  const std::size_t dims = GetParam();
+  util::Rng rng(dims);
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < 25; ++i) {
+    ecf.AddPoint(RandomPoint(rng, dims, i));
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const UncertainPoint x = RandomPoint(rng, dims, 100.0 + trial);
+    const double v = ExpectedSquaredDistance(x, ecf);
+    EXPECT_GE(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST_P(ExpectedDistanceProperty, ErrorInflatesDistance) {
+  // Adding measurement error to the query point can only increase the
+  // expected squared distance (by exactly sum psi^2).
+  const std::size_t dims = GetParam();
+  util::Rng rng(dims + 77);
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < 25; ++i) {
+    ecf.AddPoint(RandomPoint(rng, dims, i));
+  }
+  UncertainPoint clean = RandomPoint(rng, dims, 200.0);
+  clean.errors.assign(dims, 0.0);
+  UncertainPoint noisy = clean;
+  noisy.errors.assign(dims, 1.5);
+  const double v_clean = ExpectedSquaredDistance(clean, ecf);
+  const double v_noisy = ExpectedSquaredDistance(noisy, ecf);
+  EXPECT_NEAR(v_noisy - v_clean, dims * 1.5 * 1.5, 1e-9);
+}
+
+TEST_P(ExpectedDistanceProperty, SimilarityBoundedByD) {
+  const std::size_t dims = GetParam();
+  util::Rng rng(dims + 99);
+  ErrorClusterFeature ecf(dims);
+  for (int i = 0; i < 25; ++i) {
+    ecf.AddPoint(RandomPoint(rng, dims, i));
+  }
+  const std::vector<double> variances(dims, 5.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const UncertainPoint x = RandomPoint(rng, dims, 300.0 + trial);
+    const double s = DimensionCountingSimilarity(x, ecf, variances, 3.0);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, static_cast<double>(dims) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ExpectedDistanceProperty,
+                         testing::Values<std::size_t>(1, 3, 16, 64));
+
+// ---------------------------------------------------------------------
+// UMicro behavioral invariants across configurations.
+
+class UMicroProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(UMicroProperty, BudgetNeverExceededAndMassConserved) {
+  const auto [n_micro, lambda] = GetParam();
+  UMicroOptions options;
+  options.num_micro_clusters = n_micro;
+  options.decay_lambda = lambda;
+  UMicro algorithm(3, options);
+  util::Rng rng(n_micro + static_cast<std::uint64_t>(lambda * 1e6));
+
+  double undecayed_mass_bound = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    algorithm.Process(RandomPoint(rng, 3, static_cast<double>(i)));
+    undecayed_mass_bound += 1.0;
+    EXPECT_LE(algorithm.clusters().size(), n_micro);
+  }
+  // Total retained weight can never exceed the number of points fed in
+  // (decay and eviction only remove mass).
+  double total = 0.0;
+  for (const auto& cluster : algorithm.clusters()) {
+    total += cluster.ecf.weight();
+    EXPECT_GE(cluster.ecf.weight(), 0.0);
+  }
+  EXPECT_LE(total, undecayed_mass_bound + 1e-6);
+  EXPECT_EQ(algorithm.points_processed(), 3000u);
+}
+
+TEST_P(UMicroProperty, DeterministicGivenIdenticalInput) {
+  const auto [n_micro, lambda] = GetParam();
+  UMicroOptions options;
+  options.num_micro_clusters = n_micro;
+  options.decay_lambda = lambda;
+  UMicro a(2, options);
+  UMicro b(2, options);
+  util::Rng rng(4242);
+  for (int i = 0; i < 1000; ++i) {
+    const UncertainPoint point = RandomPoint(rng, 2, i);
+    a.Process(point);
+    b.Process(point);
+  }
+  ASSERT_EQ(a.clusters().size(), b.clusters().size());
+  for (std::size_t c = 0; c < a.clusters().size(); ++c) {
+    EXPECT_EQ(a.clusters()[c].id, b.clusters()[c].id);
+    EXPECT_DOUBLE_EQ(a.clusters()[c].ecf.weight(),
+                     b.clusters()[c].ecf.weight());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, UMicroProperty,
+    testing::Combine(testing::Values<std::size_t>(5, 20, 100),
+                     testing::Values(0.0, 0.001, 0.1)));
+
+// ---------------------------------------------------------------------
+// Pyramidal store invariants across (alpha, l).
+
+class PyramidProperty
+    : public testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PyramidProperty, RetentionBoundedAndHorizonAccurate) {
+  const auto [alpha, l] = GetParam();
+  SnapshotStore store(alpha, l);
+  const std::uint64_t now = 5000;
+  for (std::uint64_t tick = 1; tick <= now; ++tick) {
+    Snapshot snapshot;
+    snapshot.time = static_cast<double>(tick);
+    store.Insert(tick, std::move(snapshot));
+  }
+  // Per-order bound.
+  EXPECT_LE(store.TotalStored(),
+            store.NumOrders() * store.CapacityPerOrder());
+  // Horizon property for a sweep of horizons. The provable bound for
+  // alpha^l + 1 snapshots per order is 2/alpha^(l-1) (CluStream,
+  // Property 1); horizons start at 2*alpha^l so integer-tick granularity
+  // does not dominate.
+  const double bound =
+      2.0 / std::pow(static_cast<double>(alpha), static_cast<double>(l - 1));
+  const double h_start =
+      2.0 * std::pow(static_cast<double>(alpha), static_cast<double>(l));
+  for (double h = h_start; h < 4000.0; h *= 1.7) {
+    const auto found = store.FindNearest(static_cast<double>(now) - h);
+    ASSERT_TRUE(found.has_value());
+    const double h_prime = static_cast<double>(now) - found->time;
+    EXPECT_LE(std::abs(h - h_prime) / h, bound + 1e-9)
+        << "alpha=" << alpha << " l=" << l << " h=" << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaL, PyramidProperty,
+    testing::Combine(testing::Values<std::size_t>(2, 3, 4),
+                     testing::Values<std::size_t>(1, 2, 3)));
+
+}  // namespace
+}  // namespace umicro::core

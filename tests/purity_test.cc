@@ -1,0 +1,69 @@
+// Tests for the purity metrics.
+
+#include "eval/purity.h"
+
+#include <gtest/gtest.h>
+
+namespace umicro::eval {
+namespace {
+
+using stream::LabelHistogram;
+
+TEST(DominantLabelFractionTest, Basics) {
+  EXPECT_DOUBLE_EQ(stream::DominantLabelFraction({}), 0.0);
+  EXPECT_DOUBLE_EQ(stream::DominantLabelFraction({{0, 10.0}}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      stream::DominantLabelFraction({{0, 3.0}, {1, 1.0}}), 0.75);
+}
+
+TEST(HistogramWeightTest, SumsMass) {
+  EXPECT_DOUBLE_EQ(stream::HistogramWeight({}), 0.0);
+  EXPECT_DOUBLE_EQ(stream::HistogramWeight({{0, 2.5}, {3, 1.5}}), 4.0);
+}
+
+TEST(ClusterPurityTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(ClusterPurity({}), 0.0);
+}
+
+TEST(ClusterPurityTest, AllEmptyHistograms) {
+  std::vector<LabelHistogram> histograms(3);
+  EXPECT_DOUBLE_EQ(ClusterPurity(histograms), 0.0);
+}
+
+TEST(ClusterPurityTest, PerfectClusters) {
+  std::vector<LabelHistogram> histograms = {{{0, 5.0}}, {{1, 3.0}}};
+  EXPECT_DOUBLE_EQ(ClusterPurity(histograms), 1.0);
+}
+
+TEST(ClusterPurityTest, AveragesUnweighted) {
+  // Cluster A: purity 1.0 with tiny mass; cluster B: purity 0.5 with huge
+  // mass. The paper metric averages per cluster -> 0.75.
+  std::vector<LabelHistogram> histograms = {
+      {{0, 1.0}}, {{0, 500.0}, {1, 500.0}}};
+  EXPECT_DOUBLE_EQ(ClusterPurity(histograms), 0.75);
+}
+
+TEST(ClusterPurityTest, SkipsEmptyClusters) {
+  std::vector<LabelHistogram> histograms = {{}, {{0, 4.0}, {1, 4.0}}, {}};
+  EXPECT_DOUBLE_EQ(ClusterPurity(histograms), 0.5);
+}
+
+TEST(WeightedClusterPurityTest, WeightsByMass) {
+  // Same input as AveragesUnweighted: weighted version is dominated by
+  // the big impure cluster: (1*1 + 1000*0.5) / 1001.
+  std::vector<LabelHistogram> histograms = {
+      {{0, 1.0}}, {{0, 500.0}, {1, 500.0}}};
+  EXPECT_NEAR(WeightedClusterPurity(histograms), 501.0 / 1001.0, 1e-12);
+}
+
+TEST(WeightedClusterPurityTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(WeightedClusterPurity({}), 0.0);
+}
+
+TEST(NonEmptyClusterCountTest, Counts) {
+  std::vector<LabelHistogram> histograms = {{}, {{0, 1.0}}, {{2, 3.0}}, {}};
+  EXPECT_EQ(NonEmptyClusterCount(histograms), 2u);
+}
+
+}  // namespace
+}  // namespace umicro::eval

@@ -1,0 +1,142 @@
+// Tests for the SVG chart / HTML report generator.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "report/figure_report.h"
+#include "report/svg_chart.h"
+
+namespace umicro::report {
+namespace {
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+Series MakeSeries(const std::string& name, int n, double slope) {
+  Series series;
+  series.name = name;
+  for (int i = 0; i < n; ++i) {
+    series.points.emplace_back(i, slope * i);
+  }
+  return series;
+}
+
+TEST(FormatTickTest, CompactFormats) {
+  EXPECT_EQ(FormatTick(0.0), "0");
+  EXPECT_EQ(FormatTick(0.95), "0.95");
+  EXPECT_EQ(FormatTick(250.0), "250");
+  EXPECT_EQ(FormatTick(120000.0), "1.2e+05");
+}
+
+TEST(SvgChartTest, ContainsStructuralElements) {
+  ChartOptions options;
+  options.title = "My Chart";
+  options.x_label = "points";
+  options.y_label = "purity";
+  const std::string svg =
+      RenderLineChartSvg({MakeSeries("alpha", 10, 1.0),
+                          MakeSeries("beta", 10, 2.0)},
+                         options);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("My Chart"), std::string::npos);
+  EXPECT_NE(svg.find("points"), std::string::npos);
+  EXPECT_NE(svg.find("purity"), std::string::npos);
+  EXPECT_NE(svg.find("alpha"), std::string::npos);
+  EXPECT_NE(svg.find("beta"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 2u);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 20u);
+}
+
+TEST(SvgChartTest, EscapesMarkupInText) {
+  ChartOptions options;
+  options.title = "a < b & c";
+  const std::string svg =
+      RenderLineChartSvg({MakeSeries("s", 3, 1.0)}, options);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b"), std::string::npos);
+}
+
+TEST(SvgChartTest, HandlesConstantSeries) {
+  Series flat;
+  flat.name = "flat";
+  for (int i = 0; i < 5; ++i) flat.points.emplace_back(i, 7.0);
+  const std::string svg = RenderLineChartSvg({flat}, ChartOptions{});
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgChartTest, SkipsEmptySeries) {
+  Series empty;
+  empty.name = "empty";
+  const std::string svg =
+      RenderLineChartSvg({MakeSeries("full", 4, 1.0), empty},
+                         ChartOptions{});
+  EXPECT_EQ(CountOccurrences(svg, "<polyline"), 1u);
+}
+
+TEST(SeriesFromCsvTest, ParsesBenchStyleCsv) {
+  const std::string path = testing::TempDir() + "/report_test.csv";
+  {
+    std::ofstream file(path);
+    file << "eta,umicro,clustream\n0.5,0.99,0.97\n1.0,0.97,0.93\n";
+  }
+  const auto series = SeriesFromCsvFile(path);
+  ASSERT_TRUE(series.has_value());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_EQ((*series)[0].name, "umicro");
+  ASSERT_EQ((*series)[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ((*series)[0].points[1].first, 1.0);
+  EXPECT_DOUBLE_EQ((*series)[1].points[1].second, 0.93);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesFromCsvTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(SeriesFromCsvFile("/nonexistent/x.csv").has_value());
+}
+
+TEST(SeriesFromCsvTest, MalformedIsNullopt) {
+  const std::string path = testing::TempDir() + "/report_bad.csv";
+  {
+    std::ofstream file(path);
+    file << "x,y\n1,abc\n";
+  }
+  EXPECT_FALSE(SeriesFromCsvFile(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(HtmlReportTest, AssemblesFigures) {
+  Figure figure;
+  figure.heading = "Figure 1 — test";
+  figure.commentary = "A commentary.";
+  figure.series = {MakeSeries("s", 5, 1.0)};
+  figure.chart.title = "Figure 1";
+  const std::string html = RenderHtmlReport("Report Title", {figure});
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("Report Title"), std::string::npos);
+  EXPECT_NE(html.find("A commentary."), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+TEST(HtmlReportTest, WriteFileRoundTrip) {
+  Figure figure;
+  figure.heading = "F";
+  figure.series = {MakeSeries("s", 3, 1.0)};
+  const std::string path = testing::TempDir() + "/report_test.html";
+  ASSERT_TRUE(WriteHtmlReport("T", {figure}, path));
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace umicro::report

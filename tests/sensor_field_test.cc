@@ -1,0 +1,106 @@
+// Tests for the sensor-field simulator.
+
+#include "synth/sensor_field.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "stream/imputation.h"
+
+namespace umicro::synth {
+namespace {
+
+TEST(SensorFieldTest, ShapeAndLabels) {
+  SensorFieldOptions options;
+  options.channels = 4;
+  options.num_zones = 3;
+  SensorFieldGenerator generator(options);
+  const stream::Dataset dataset = generator.Generate(1000);
+  EXPECT_EQ(dataset.dimensions(), 4u);
+  std::set<int> zones;
+  for (const auto& reading : dataset.points()) {
+    EXPECT_GE(reading.label, 0);
+    EXPECT_LT(reading.label, 3);
+    EXPECT_TRUE(reading.has_errors());
+    zones.insert(reading.label);
+  }
+  EXPECT_EQ(zones.size(), 3u);
+}
+
+TEST(SensorFieldTest, ErrorsMatchSensorNoiseModel) {
+  SensorFieldOptions options;
+  options.aging_rate = 0.0;  // freeze aging so noise is the floor
+  SensorFieldGenerator generator(options);
+  const std::size_t sensors = generator.num_sensors();
+  const stream::Dataset dataset = generator.Generate(sensors * 3);
+  // Round-robin: reading i comes from sensor i % sensors, and its error
+  // equals that sensor's (constant) noise.
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const double expected = generator.SensorNoise(i % sensors);
+    for (double e : dataset[i].errors) {
+      EXPECT_DOUBLE_EQ(e, expected);
+    }
+  }
+}
+
+TEST(SensorFieldTest, AgingIncreasesNoise) {
+  SensorFieldOptions options;
+  options.aging_rate = 2.0;
+  SensorFieldGenerator generator(options);
+  const double young = generator.SensorNoise(0);
+  generator.Generate(generator.num_sensors() * 5000);
+  const double old = generator.SensorNoise(0);
+  EXPECT_GT(old, young * 1.5);
+}
+
+TEST(SensorFieldTest, DropoutsProduceMissingValues) {
+  SensorFieldOptions options;
+  options.dropout_probability = 0.3;
+  SensorFieldGenerator generator(options);
+  const stream::Dataset dataset = generator.Generate(2000);
+  std::size_t missing = 0;
+  std::size_t total = 0;
+  for (const auto& reading : dataset.points()) {
+    for (double v : reading.values) {
+      ++total;
+      if (std::isnan(v)) ++missing;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(missing) / static_cast<double>(total),
+              0.3, 0.05);
+}
+
+TEST(SensorFieldTest, NoDropoutsByDefault) {
+  SensorFieldGenerator generator(SensorFieldOptions{});
+  const stream::Dataset dataset = generator.Generate(500);
+  for (const auto& reading : dataset.points()) {
+    EXPECT_FALSE(stream::HasMissingValues(reading));
+  }
+}
+
+TEST(SensorFieldTest, ZonesAreSeparated) {
+  SensorFieldGenerator generator(SensorFieldOptions{});
+  const stream::Dataset dataset = generator.Generate(5000);
+  // Per-zone channel-0 means should differ between at least two zones.
+  std::vector<double> sum(5, 0.0);
+  std::vector<std::size_t> count(5, 0);
+  for (const auto& reading : dataset.points()) {
+    if (std::isnan(reading.values[0])) continue;
+    sum[static_cast<std::size_t>(reading.label)] += reading.values[0];
+    ++count[static_cast<std::size_t>(reading.label)];
+  }
+  double lo = 1e18;
+  double hi = -1e18;
+  for (std::size_t z = 0; z < 5; ++z) {
+    if (count[z] == 0) continue;
+    const double mean = sum[z] / static_cast<double>(count[z]);
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+  }
+  EXPECT_GT(hi - lo, 2.0);
+}
+
+}  // namespace
+}  // namespace umicro::synth

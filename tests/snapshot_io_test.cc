@@ -1,0 +1,100 @@
+// Tests for snapshot serialization.
+
+#include "io/snapshot_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "stream/point.h"
+#include "util/random.h"
+
+namespace umicro::io {
+namespace {
+
+core::Snapshot MakeSnapshot(std::uint64_t seed, std::size_t clusters,
+                            std::size_t dims) {
+  util::Rng rng(seed);
+  core::Snapshot snapshot;
+  snapshot.time = rng.Uniform(0.0, 1000.0);
+  for (std::size_t c = 0; c < clusters; ++c) {
+    core::MicroClusterState state;
+    state.id = rng.NextUint64();
+    state.creation_time = rng.Uniform(0.0, snapshot.time);
+    core::ErrorClusterFeature ecf(dims);
+    const int points = 1 + static_cast<int>(rng.NextBounded(10));
+    for (int p = 0; p < points; ++p) {
+      std::vector<double> values(dims);
+      std::vector<double> errors(dims);
+      for (std::size_t j = 0; j < dims; ++j) {
+        values[j] = rng.Uniform(-100.0, 100.0);
+        errors[j] = rng.Uniform(0.0, 5.0);
+      }
+      ecf.AddPoint(stream::UncertainPoint(values, errors,
+                                          rng.Uniform(0.0, snapshot.time)));
+    }
+    state.ecf = std::move(ecf);
+    snapshot.clusters.push_back(std::move(state));
+  }
+  return snapshot;
+}
+
+TEST(SnapshotIoTest, RoundTripExact) {
+  const core::Snapshot original = MakeSnapshot(1, 5, 3);
+  const std::string text = SnapshotToString(original);
+  const auto parsed = ParseSnapshot(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->time, original.time);
+  ASSERT_EQ(parsed->clusters.size(), original.clusters.size());
+  for (std::size_t c = 0; c < original.clusters.size(); ++c) {
+    const auto& a = original.clusters[c];
+    const auto& b = parsed->clusters[c];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_DOUBLE_EQ(a.creation_time, b.creation_time);
+    EXPECT_DOUBLE_EQ(a.ecf.weight(), b.ecf.weight());
+    EXPECT_DOUBLE_EQ(a.ecf.last_update_time(), b.ecf.last_update_time());
+    EXPECT_EQ(a.ecf.cf1(), b.ecf.cf1());
+    EXPECT_EQ(a.ecf.cf2(), b.ecf.cf2());
+    EXPECT_EQ(a.ecf.ef2(), b.ecf.ef2());
+  }
+}
+
+TEST(SnapshotIoTest, EmptySnapshotRoundTrips) {
+  core::Snapshot empty;
+  empty.time = 42.0;
+  const auto parsed = ParseSnapshot(SnapshotToString(empty));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->time, 42.0);
+  EXPECT_TRUE(parsed->clusters.empty());
+}
+
+TEST(SnapshotIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseSnapshot("").has_value());
+  EXPECT_FALSE(ParseSnapshot("not a snapshot").has_value());
+  EXPECT_FALSE(ParseSnapshot("usnap 99\ntime 0\ndims 1 clusters 0\n")
+                   .has_value());
+}
+
+TEST(SnapshotIoTest, RejectsTruncatedClusterData) {
+  const core::Snapshot original = MakeSnapshot(2, 3, 2);
+  std::string text = SnapshotToString(original);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(ParseSnapshot(text).has_value());
+}
+
+TEST(SnapshotIoTest, FileRoundTrip) {
+  const core::Snapshot original = MakeSnapshot(3, 4, 2);
+  const std::string path = testing::TempDir() + "/snapshot_io_test.usnap";
+  ASSERT_TRUE(WriteSnapshotFile(original, path));
+  const auto loaded = ReadSnapshotFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->clusters.size(), original.clusters.size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadSnapshotFile("/nonexistent/x.usnap").has_value());
+}
+
+}  // namespace
+}  // namespace umicro::io

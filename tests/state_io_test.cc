@@ -1,0 +1,204 @@
+// Tests for UMicro checkpoint/restore and its serialization.
+
+#include "io/state_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::io {
+namespace {
+
+using core::UMicro;
+using core::UMicroOptions;
+using core::UMicroState;
+using stream::UncertainPoint;
+
+stream::Dataset RandomStream(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  stream::Dataset dataset(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(3));
+    dataset.Add(UncertainPoint(
+        {cls * 5.0 + rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5),
+         rng.Gaussian(0.0, 0.5)},
+        {rng.Uniform(0.0, 0.3), rng.Uniform(0.0, 0.3),
+         rng.Uniform(0.0, 0.3)},
+        static_cast<double>(i), cls));
+  }
+  return dataset;
+}
+
+void ExpectSameClusters(const UMicro& a, const UMicro& b) {
+  ASSERT_EQ(a.clusters().size(), b.clusters().size());
+  for (std::size_t i = 0; i < a.clusters().size(); ++i) {
+    EXPECT_EQ(a.clusters()[i].id, b.clusters()[i].id);
+    EXPECT_DOUBLE_EQ(a.clusters()[i].ecf.weight(),
+                     b.clusters()[i].ecf.weight());
+    EXPECT_EQ(a.clusters()[i].ecf.cf1(), b.clusters()[i].ecf.cf1());
+    EXPECT_EQ(a.clusters()[i].ecf.cf2(), b.clusters()[i].ecf.cf2());
+    EXPECT_EQ(a.clusters()[i].ecf.ef2(), b.clusters()[i].ecf.ef2());
+    EXPECT_EQ(a.clusters()[i].labels, b.clusters()[i].labels);
+  }
+}
+
+TEST(StateIoTest, ExportRestoreRoundTripInMemory) {
+  const auto dataset = RandomStream(2000, 1);
+  UMicroOptions options;
+  options.num_micro_clusters = 25;
+  UMicro original(3, options);
+  for (const auto& point : dataset.points()) original.Process(point);
+
+  UMicro restored(3, options);
+  restored.RestoreState(original.ExportState());
+  ExpectSameClusters(original, restored);
+  EXPECT_EQ(restored.points_processed(), original.points_processed());
+  EXPECT_EQ(restored.global_variances(), original.global_variances());
+}
+
+TEST(StateIoTest, ResumedStreamMatchesUninterrupted) {
+  // The crucial property: checkpoint at the midpoint, restore into a
+  // fresh instance, continue -- the result must be bit-identical to an
+  // uninterrupted run (including decay bookkeeping).
+  const auto dataset = RandomStream(3000, 2);
+  UMicroOptions options;
+  options.num_micro_clusters = 20;
+  options.decay_lambda = 1.0 / 500.0;
+
+  UMicro uninterrupted(3, options);
+  for (const auto& point : dataset.points()) uninterrupted.Process(point);
+
+  UMicro first_half(3, options);
+  for (std::size_t i = 0; i < 1500; ++i) first_half.Process(dataset[i]);
+  const std::string checkpoint =
+      UMicroStateToString(first_half.ExportState());
+
+  const auto parsed = ParseUMicroState(checkpoint);
+  ASSERT_TRUE(parsed.has_value());
+  UMicro resumed(3, options);
+  resumed.RestoreState(*parsed);
+  for (std::size_t i = 1500; i < 3000; ++i) resumed.Process(dataset[i]);
+
+  ExpectSameClusters(uninterrupted, resumed);
+  EXPECT_EQ(resumed.points_processed(), 3000u);
+  EXPECT_EQ(resumed.clusters_created(), uninterrupted.clusters_created());
+  EXPECT_EQ(resumed.clusters_merged(), uninterrupted.clusters_merged());
+}
+
+TEST(StateIoTest, TextRoundTripExact) {
+  const auto dataset = RandomStream(500, 3);
+  UMicro algorithm(3, UMicroOptions{});
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+
+  const UMicroState state = algorithm.ExportState();
+  const auto parsed = ParseUMicroState(UMicroStateToString(state));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->next_cluster_id, state.next_cluster_id);
+  EXPECT_EQ(parsed->points_processed, state.points_processed);
+  ASSERT_EQ(parsed->welford.size(), state.welford.size());
+  for (std::size_t j = 0; j < state.welford.size(); ++j) {
+    EXPECT_EQ(parsed->welford[j].count, state.welford[j].count);
+    EXPECT_DOUBLE_EQ(parsed->welford[j].mean, state.welford[j].mean);
+    EXPECT_DOUBLE_EQ(parsed->welford[j].m2, state.welford[j].m2);
+  }
+  ASSERT_EQ(parsed->clusters.size(), state.clusters.size());
+  for (std::size_t c = 0; c < state.clusters.size(); ++c) {
+    EXPECT_EQ(parsed->clusters[c].ecf.cf1(), state.clusters[c].ecf.cf1());
+    EXPECT_EQ(parsed->clusters[c].labels, state.clusters[c].labels);
+  }
+}
+
+TEST(StateIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseUMicroState("").has_value());
+  EXPECT_FALSE(ParseUMicroState("not a state").has_value());
+  EXPECT_FALSE(ParseUMicroState("ustate 999\ndims 1\n").has_value());
+}
+
+TEST(StateIoTest, RejectsTruncated) {
+  const auto dataset = RandomStream(200, 4);
+  UMicro algorithm(3, UMicroOptions{});
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+  std::string text = UMicroStateToString(algorithm.ExportState());
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(ParseUMicroState(text).has_value());
+}
+
+TEST(StateIoTest, FileRoundTrip) {
+  const auto dataset = RandomStream(300, 5);
+  UMicro algorithm(3, UMicroOptions{});
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+
+  const std::string path = testing::TempDir() + "/state_io_test.ustate";
+  ASSERT_TRUE(WriteUMicroStateFile(algorithm.ExportState(), path));
+  const auto loaded = ReadUMicroStateFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->points_processed, 300u);
+  std::remove(path.c_str());
+}
+
+TEST(StateIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadUMicroStateFile("/nonexistent/x.ustate").has_value());
+}
+
+TEST(CluStreamStateIoTest, ResumedStreamMatchesUninterrupted) {
+  const auto dataset = RandomStream(2400, 6);
+  baseline::CluStreamOptions options;
+  options.num_micro_clusters = 15;
+
+  baseline::CluStream uninterrupted(3, options);
+  for (const auto& point : dataset.points()) uninterrupted.Process(point);
+
+  baseline::CluStream first(3, options);
+  for (std::size_t i = 0; i < 1200; ++i) first.Process(dataset[i]);
+  const auto parsed =
+      ParseCluStreamState(CluStreamStateToString(first.ExportState()));
+  ASSERT_TRUE(parsed.has_value());
+  baseline::CluStream resumed(3, options);
+  resumed.RestoreState(*parsed);
+  for (std::size_t i = 1200; i < dataset.size(); ++i) {
+    resumed.Process(dataset[i]);
+  }
+
+  ASSERT_EQ(resumed.clusters().size(), uninterrupted.clusters().size());
+  for (std::size_t c = 0; c < resumed.clusters().size(); ++c) {
+    EXPECT_EQ(resumed.clusters()[c].ids, uninterrupted.clusters()[c].ids);
+    EXPECT_DOUBLE_EQ(resumed.clusters()[c].count,
+                     uninterrupted.clusters()[c].count);
+    EXPECT_EQ(resumed.clusters()[c].cf1, uninterrupted.clusters()[c].cf1);
+    EXPECT_EQ(resumed.clusters()[c].labels,
+              uninterrupted.clusters()[c].labels);
+  }
+  EXPECT_EQ(resumed.clusters_merged(), uninterrupted.clusters_merged());
+  EXPECT_EQ(resumed.clusters_deleted(), uninterrupted.clusters_deleted());
+}
+
+TEST(CluStreamStateIoTest, RejectsGarbageAndTruncation) {
+  EXPECT_FALSE(ParseCluStreamState("").has_value());
+  EXPECT_FALSE(ParseCluStreamState("ustate 1\ndims 1\n").has_value());
+
+  baseline::CluStream algorithm(3, baseline::CluStreamOptions{});
+  const auto dataset = RandomStream(300, 7);
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+  std::string text = CluStreamStateToString(algorithm.ExportState());
+  text.resize(text.size() / 3);
+  EXPECT_FALSE(ParseCluStreamState(text).has_value());
+}
+
+TEST(CluStreamStateIoTest, FileRoundTrip) {
+  baseline::CluStream algorithm(3, baseline::CluStreamOptions{});
+  const auto dataset = RandomStream(200, 8);
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+  const std::string path = testing::TempDir() + "/state_io_test.csstate";
+  ASSERT_TRUE(WriteCluStreamStateFile(algorithm.ExportState(), path));
+  const auto loaded = ReadCluStreamStateFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->points_processed, 200u);
+  EXPECT_EQ(loaded->clusters.size(), algorithm.clusters().size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace umicro::io

@@ -1,0 +1,114 @@
+// Tests for the STREAM chunked k-means baseline.
+
+#include "baseline/stream_kmeans.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/purity.h"
+#include "stream/dataset.h"
+#include "util/math_utils.h"
+#include "util/random.h"
+
+namespace umicro::baseline {
+namespace {
+
+using stream::UncertainPoint;
+
+TEST(StreamKMeansTest, BuffersUntilChunkFull) {
+  StreamKMeansOptions options;
+  options.k = 2;
+  options.chunk_size = 100;
+  StreamKMeans algorithm(1, options);
+  for (int i = 0; i < 99; ++i) {
+    algorithm.Process(UncertainPoint({static_cast<double>(i)},
+                                     static_cast<double>(i), 0));
+  }
+  EXPECT_TRUE(algorithm.centers().empty());
+  algorithm.Process(UncertainPoint({99.0}, 99.0, 0));
+  EXPECT_FALSE(algorithm.centers().empty());
+  EXPECT_LE(algorithm.centers().size(), 2u);
+}
+
+TEST(StreamKMeansTest, FlushHandlesPartialChunk) {
+  StreamKMeansOptions options;
+  options.k = 2;
+  options.chunk_size = 100;
+  StreamKMeans algorithm(1, options);
+  for (int i = 0; i < 30; ++i) {
+    algorithm.Process(UncertainPoint({static_cast<double>(i % 2) * 50.0},
+                                     static_cast<double>(i), i % 2));
+  }
+  algorithm.Flush();
+  EXPECT_FALSE(algorithm.centers().empty());
+  double mass = 0.0;
+  for (const auto& center : algorithm.centers()) mass += center.weight;
+  EXPECT_NEAR(mass, 30.0, 1e-9);
+}
+
+TEST(StreamKMeansTest, MassConservedAcrossReductions) {
+  StreamKMeansOptions options;
+  options.k = 5;
+  options.chunk_size = 50;
+  StreamKMeans algorithm(2, options);
+  util::Rng rng(4);
+  const std::size_t n = 5000;
+  for (std::size_t i = 0; i < n; ++i) {
+    algorithm.Process(UncertainPoint(
+        {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)},
+        static_cast<double>(i), 0));
+  }
+  algorithm.Flush();
+  double mass = 0.0;
+  for (const auto& center : algorithm.centers()) mass += center.weight;
+  EXPECT_NEAR(mass, static_cast<double>(n), 1e-6);
+  // The retained-center count must stay bounded by the chunk size.
+  EXPECT_LE(algorithm.centers().size(), options.chunk_size);
+}
+
+TEST(StreamKMeansTest, RecoversSeparatedBlobs) {
+  StreamKMeansOptions options;
+  options.k = 3;
+  options.chunk_size = 300;
+  StreamKMeans algorithm(2, options);
+  util::Rng rng(6);
+  const std::vector<std::vector<double>> centers = {
+      {0.0, 0.0}, {20.0, 0.0}, {0.0, 20.0}};
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t c = rng.NextBounded(3);
+    algorithm.Process(UncertainPoint(
+        {centers[c][0] + rng.Gaussian(0.0, 0.5),
+         centers[c][1] + rng.Gaussian(0.0, 0.5)},
+        static_cast<double>(i), static_cast<int>(c)));
+  }
+  algorithm.Flush();
+  for (const auto& truth : centers) {
+    double best = 1e18;
+    for (const auto& found : algorithm.ClusterCentroids()) {
+      best = std::min(best, util::EuclideanDistance(truth, found));
+    }
+    EXPECT_LT(best, 2.0);
+  }
+  EXPECT_GT(eval::ClusterPurity(algorithm.ClusterLabelHistograms()), 0.9);
+}
+
+TEST(StreamKMeansTest, LabelHistogramsFollowCenters) {
+  StreamKMeansOptions options;
+  options.k = 2;
+  options.chunk_size = 10;
+  StreamKMeans algorithm(1, options);
+  for (int i = 0; i < 10; ++i) {
+    const int label = i < 5 ? 0 : 1;
+    algorithm.Process(UncertainPoint({label * 100.0},
+                                     static_cast<double>(i), label));
+  }
+  const auto histograms = algorithm.ClusterLabelHistograms();
+  ASSERT_EQ(histograms.size(), 2u);
+  for (const auto& histogram : histograms) {
+    EXPECT_DOUBLE_EQ(stream::DominantLabelFraction(histogram), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace umicro::baseline

@@ -1,0 +1,66 @@
+// Tests for stream::StreamStats.
+
+#include "stream/stream_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::stream {
+namespace {
+
+TEST(StreamStatsTest, TracksPerDimensionMoments) {
+  StreamStats stats(2);
+  stats.Add(UncertainPoint({1.0, 10.0}, 0.0));
+  stats.Add(UncertainPoint({3.0, 30.0}, 1.0));
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.Mean(0), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(1), 20.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(1), 10.0);
+}
+
+TEST(StreamStatsTest, AddAllMatchesManualLoop) {
+  util::Rng rng(5);
+  Dataset dataset;
+  for (int i = 0; i < 500; ++i) {
+    dataset.Add(UncertainPoint({rng.Gaussian(1.0, 2.0),
+                                rng.Gaussian(-3.0, 0.5)},
+                               static_cast<double>(i)));
+  }
+  StreamStats bulk(2);
+  bulk.AddAll(dataset);
+  StreamStats manual(2);
+  for (const auto& point : dataset.points()) manual.Add(point);
+  EXPECT_EQ(bulk.count(), manual.count());
+  EXPECT_DOUBLE_EQ(bulk.Mean(0), manual.Mean(0));
+  EXPECT_DOUBLE_EQ(bulk.Stddev(1), manual.Stddev(1));
+}
+
+TEST(StreamStatsTest, StddevsVectorMatchesPerDimension) {
+  StreamStats stats(3);
+  stats.Add(UncertainPoint({1.0, 2.0, 3.0}, 0.0));
+  stats.Add(UncertainPoint({2.0, 4.0, 9.0}, 1.0));
+  const auto stddevs = stats.Stddevs();
+  ASSERT_EQ(stddevs.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(stddevs[j], stats.Stddev(j));
+  }
+}
+
+TEST(StreamStatsTest, RecoverGaussianParameters) {
+  util::Rng rng(9);
+  StreamStats stats(1);
+  for (int i = 0; i < 50000; ++i) {
+    stats.Add(UncertainPoint({rng.Gaussian(4.0, 3.0)},
+                             static_cast<double>(i)));
+  }
+  EXPECT_NEAR(stats.Mean(0), 4.0, 0.1);
+  EXPECT_NEAR(stats.Stddev(0), 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace umicro::stream

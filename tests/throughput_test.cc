@@ -1,0 +1,60 @@
+// Tests for the trailing-window throughput meter.
+
+#include "eval/throughput.h"
+
+#include <gtest/gtest.h>
+
+namespace umicro::eval {
+namespace {
+
+TEST(ThroughputMeterTest, ZeroBeforeAnyRecord) {
+  ThroughputMeter meter(2.0);
+  EXPECT_DOUBLE_EQ(meter.Rate(), 0.0);
+  EXPECT_EQ(meter.total_points(), 0u);
+}
+
+TEST(ThroughputMeterTest, SteadyRate) {
+  ThroughputMeter meter(2.0);
+  // 1000 points every 0.1 s -> 10,000 points/s.
+  for (int i = 0; i <= 40; ++i) {
+    meter.Record(i * 0.1, 1000);
+  }
+  EXPECT_NEAR(meter.Rate(), 10000.0, 600.0);
+  EXPECT_EQ(meter.total_points(), 41000u);
+}
+
+TEST(ThroughputMeterTest, WindowForgetsOldBursts) {
+  ThroughputMeter meter(2.0);
+  meter.Record(0.0, 1000000);  // huge early burst
+  // Then a slow trickle for 10 seconds.
+  for (int i = 1; i <= 100; ++i) {
+    meter.Record(i * 0.1, 10);
+  }
+  // The burst is far outside the 2 s window; rate reflects the trickle
+  // (10 points / 0.1 s = 100/s).
+  EXPECT_NEAR(meter.Rate(), 100.0, 20.0);
+}
+
+TEST(ThroughputMeterTest, EarlyReadingsUseActualSpan) {
+  ThroughputMeter meter(2.0);
+  meter.Record(0.0, 100);
+  meter.Record(0.5, 100);
+  // 200 points over 0.5 s -> 400/s, not 200/2 s = 100/s.
+  EXPECT_NEAR(meter.Rate(), 400.0, 1e-6);
+}
+
+TEST(ThroughputMeterTest, SingleInstantFallsBackToWindow) {
+  ThroughputMeter meter(2.0);
+  meter.Record(5.0, 300);
+  EXPECT_DOUBLE_EQ(meter.Rate(), 150.0);  // 300 / 2 s
+}
+
+TEST(ThroughputMeterTest, TotalPointsAccumulates) {
+  ThroughputMeter meter(1.0);
+  meter.Record(0.0, 5);
+  meter.Record(10.0, 7);
+  EXPECT_EQ(meter.total_points(), 12u);
+}
+
+}  // namespace
+}  // namespace umicro::eval

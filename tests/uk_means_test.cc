@@ -1,0 +1,150 @@
+// Tests for the UK-means uncertain-data baseline.
+
+#include "baseline/uk_means.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/math_utils.h"
+#include "util/random.h"
+
+namespace umicro::baseline {
+namespace {
+
+using stream::Dataset;
+using stream::UncertainPoint;
+
+Dataset UncertainBlobs(std::size_t per_blob, double max_error,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<std::vector<double>> centers = {
+      {0.0, 0.0}, {12.0, 0.0}, {0.0, 12.0}};
+  Dataset dataset(2);
+  double ts = 0.0;
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      const double error = rng.Uniform(0.0, max_error);
+      dataset.Add(UncertainPoint(
+          {centers[c][0] + rng.Gaussian(0.0, 0.6) +
+               rng.Gaussian(0.0, error),
+           centers[c][1] + rng.Gaussian(0.0, 0.6) +
+               rng.Gaussian(0.0, error)},
+          {error, error}, ts, static_cast<int>(c)));
+      ts += 1.0;
+    }
+  }
+  return dataset;
+}
+
+TEST(ExpectedSquaredDistanceToCentroidTest, ClosedForm) {
+  UncertainPoint point({3.0, 4.0}, {1.0, 2.0}, 0.0);
+  const std::vector<double> centroid = {0.0, 0.0};
+  // 9 + 16 + 1 + 4 = 30
+  EXPECT_DOUBLE_EQ(ExpectedSquaredDistanceToCentroid(point, centroid), 30.0);
+}
+
+TEST(ExpectedSquaredDistanceToCentroidTest, DeterministicReduces) {
+  UncertainPoint point({1.0, 1.0}, 0.0);
+  const std::vector<double> centroid = {4.0, 5.0};
+  EXPECT_DOUBLE_EQ(ExpectedSquaredDistanceToCentroid(point, centroid), 25.0);
+}
+
+TEST(UkMeansTest, RecoversSeparatedBlobs) {
+  const Dataset dataset = UncertainBlobs(150, 0.5, 3);
+  UkMeansOptions options;
+  options.k = 3;
+  const UkMeansResult result = UkMeans(dataset, options);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  const std::vector<std::vector<double>> truth = {
+      {0.0, 0.0}, {12.0, 0.0}, {0.0, 12.0}};
+  for (const auto& center : truth) {
+    double best = 1e18;
+    for (const auto& found : result.centroids) {
+      best = std::min(best, util::EuclideanDistance(center, found));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(UkMeansTest, AssignmentsMatchLabels) {
+  const Dataset dataset = UncertainBlobs(100, 0.3, 5);
+  UkMeansOptions options;
+  options.k = 3;
+  const UkMeansResult result = UkMeans(dataset, options);
+  // Every ground-truth class maps to exactly one found cluster.
+  std::map<int, std::set<int>> class_to_clusters;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    class_to_clusters[dataset[i].label].insert(result.assignment[i]);
+  }
+  for (const auto& [cls, clusters] : class_to_clusters) {
+    EXPECT_EQ(clusters.size(), 1u) << "class " << cls << " split";
+  }
+}
+
+TEST(UkMeansTest, ExpectedSsqIncludesErrorMass) {
+  // Same instantiations with and without error: the expected SSQ of the
+  // uncertain version must exceed the deterministic one by exactly the
+  // total error mass.
+  Dataset certain(1);
+  Dataset uncertain(1);
+  util::Rng rng(7);
+  double error_mass = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    const double v = (i % 2 == 0) ? rng.Gaussian(0.0, 0.3)
+                                  : rng.Gaussian(10.0, 0.3);
+    certain.Add(UncertainPoint({v}, i));
+    const double psi = 0.5;
+    uncertain.Add(UncertainPoint({v}, std::vector<double>{psi}, i));
+    error_mass += psi * psi;
+  }
+  UkMeansOptions options;
+  options.k = 2;
+  options.seed = 9;
+  const UkMeansResult certain_result = UkMeans(certain, options);
+  const UkMeansResult uncertain_result = UkMeans(uncertain, options);
+  EXPECT_NEAR(uncertain_result.expected_ssq - certain_result.expected_ssq,
+              error_mass, 1e-6);
+}
+
+TEST(UkMeansTest, KClampedToDatasetSize) {
+  Dataset dataset(1);
+  dataset.Add(UncertainPoint({1.0}, 0.0));
+  dataset.Add(UncertainPoint({2.0}, 1.0));
+  UkMeansOptions options;
+  options.k = 10;
+  const UkMeansResult result = UkMeans(dataset, options);
+  EXPECT_LE(result.centroids.size(), 2u);
+}
+
+TEST(UkMeansTest, ReliabilityWeightingShiftsCentroidTowardReliable) {
+  // One cluster: a reliable point at 0 and an unreliable point at 10.
+  Dataset dataset(1);
+  dataset.Add(UncertainPoint({0.0}, std::vector<double>{0.01}, 0.0));
+  dataset.Add(UncertainPoint({10.0}, std::vector<double>{5.0}, 1.0));
+  UkMeansOptions plain;
+  plain.k = 1;
+  UkMeansOptions weighted = plain;
+  weighted.reliability_weighting = true;
+  const double plain_centroid = UkMeans(dataset, plain).centroids[0][0];
+  const double weighted_centroid =
+      UkMeans(dataset, weighted).centroids[0][0];
+  EXPECT_NEAR(plain_centroid, 5.0, 1e-9);
+  EXPECT_LT(weighted_centroid, 2.0);  // pulled toward the reliable point
+}
+
+TEST(UkMeansTest, DeterministicForSameSeed) {
+  const Dataset dataset = UncertainBlobs(50, 0.4, 11);
+  UkMeansOptions options;
+  options.k = 3;
+  options.seed = 77;
+  const UkMeansResult a = UkMeans(dataset, options);
+  const UkMeansResult b = UkMeans(dataset, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.expected_ssq, b.expected_ssq);
+}
+
+}  // namespace
+}  // namespace umicro::baseline

@@ -1,0 +1,77 @@
+// Configuration-matrix coverage: every combination of the UMicro
+// options' categorical knobs must cluster a labeled stream sanely.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/umicro.h"
+#include "eval/purity.h"
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::core {
+namespace {
+
+using stream::Dataset;
+using stream::UncertainPoint;
+
+Dataset EasyBlobs(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset dataset(3);
+  for (int i = 0; i < 4000; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(3));
+    dataset.Add(UncertainPoint(
+        {cls * 12.0 + rng.Gaussian(0.0, 0.5),
+         (cls == 1 ? 12.0 : 0.0) + rng.Gaussian(0.0, 0.5),
+         rng.Gaussian(0.0, 0.5)},
+        {rng.Uniform(0.0, 0.4), rng.Uniform(0.0, 0.4),
+         rng.Uniform(0.0, 0.4)},
+        static_cast<double>(i), cls));
+  }
+  return dataset;
+}
+
+class OptionsMatrix
+    : public testing::TestWithParam<
+          std::tuple<SimilarityMode, VarianceSource, DistanceForm,
+                     double>> {};
+
+TEST_P(OptionsMatrix, ClustersSanelyUnderEveryConfiguration) {
+  const auto [similarity, variance, form, lambda] = GetParam();
+  UMicroOptions options;
+  options.num_micro_clusters = 30;
+  options.similarity = similarity;
+  options.variance_source = variance;
+  options.distance_form = form;
+  options.decay_lambda = lambda;
+
+  const Dataset dataset = EasyBlobs(12345);
+  UMicro algorithm(3, options);
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+
+  // Sanity under every configuration: budget respected, statistics
+  // finite, and the easy 3-blob structure recovered.
+  EXPECT_LE(algorithm.clusters().size(), 30u);
+  EXPECT_GT(eval::ClusterPurity(algorithm.ClusterLabelHistograms()), 0.9);
+  for (const auto& cluster : algorithm.clusters()) {
+    EXPECT_GT(cluster.ecf.weight(), 0.0);
+    EXPECT_GE(cluster.ecf.UncertainRadiusSquared(), 0.0);
+  }
+  // Budget 30 over 3 tight blobs: absorption must dominate creation.
+  EXPECT_LT(algorithm.clusters_created(), 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, OptionsMatrix,
+    testing::Combine(
+        testing::Values(SimilarityMode::kDimensionCounting,
+                        SimilarityMode::kExpectedDistance),
+        testing::Values(VarianceSource::kStreamWelford,
+                        VarianceSource::kClusterAggregate),
+        testing::Values(DistanceForm::kPaperExpected,
+                        DistanceForm::kComparable),
+        testing::Values(0.0, 0.0005)));
+
+}  // namespace
+}  // namespace umicro::core

@@ -1,0 +1,155 @@
+// Tests for the uncertain density-based clustering baseline.
+
+#include "baseline/uncertain_dbscan.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace umicro::baseline {
+namespace {
+
+using stream::Dataset;
+using stream::UncertainPoint;
+
+TEST(NeighborProbabilityTest, DeterministicIsBinary) {
+  UncertainPoint a({0.0, 0.0}, 0.0);
+  UncertainPoint near({0.5, 0.0}, 1.0);
+  UncertainPoint far({5.0, 0.0}, 2.0);
+  EXPECT_DOUBLE_EQ(NeighborProbability(a, near, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(NeighborProbability(a, far, 1.0), 0.0);
+}
+
+TEST(NeighborProbabilityTest, OnBoundaryWithErrorIsNearHalf) {
+  // Geometric distance exactly eps with symmetric error: the exact
+  // probability is just under 0.5 (P(e in [-2, 0]) for the combined
+  // error e); the Patnaik approximation lands within a couple of
+  // percent of it in this worst case (1-d, low degrees of freedom).
+  UncertainPoint a({0.0}, std::vector<double>{0.3}, 0.0);
+  UncertainPoint b({1.0}, std::vector<double>{0.3}, 1.0);
+  const double p = NeighborProbability(a, b, 1.0);
+  EXPECT_GT(p, 0.4);
+  EXPECT_LT(p, 0.6);
+}
+
+TEST(NeighborProbabilityTest, MoreErrorMovesProbabilityTowardPrior) {
+  // Well inside eps: error decreases the probability; well outside:
+  // error increases it.
+  UncertainPoint center({0.0}, 0.0);
+  UncertainPoint inside_certain({0.2}, 1.0);
+  UncertainPoint inside_noisy({0.2}, std::vector<double>{1.0}, 1.0);
+  EXPECT_LT(NeighborProbability(center, inside_noisy, 1.0),
+            NeighborProbability(center, inside_certain, 1.0));
+
+  UncertainPoint outside_certain({3.0}, 2.0);
+  UncertainPoint outside_noisy({3.0}, std::vector<double>{2.0}, 2.0);
+  EXPECT_GT(NeighborProbability(center, outside_noisy, 1.0),
+            NeighborProbability(center, outside_certain, 1.0));
+}
+
+TEST(NeighborProbabilityTest, MatchesMonteCarlo) {
+  util::Rng rng(5);
+  UncertainPoint a({1.0, -0.5, 0.3}, {0.4, 0.2, 0.3}, 0.0);
+  UncertainPoint b({0.2, 0.4, -0.1}, {0.3, 0.5, 0.2}, 1.0);
+  const double eps = 1.5;
+  const double closed = NeighborProbability(a, b, eps);
+
+  int hits = 0;
+  const int trials = 200000;
+  for (int t = 0; t < trials; ++t) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double xa = a.values[j] + rng.Gaussian(0.0, a.errors[j]);
+      const double xb = b.values[j] + rng.Gaussian(0.0, b.errors[j]);
+      d2 += (xa - xb) * (xa - xb);
+    }
+    if (d2 <= eps * eps) ++hits;
+  }
+  const double mc = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(closed, mc, 0.03);
+}
+
+Dataset TwoBlobsWithNoise(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset dataset(2);
+  double ts = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    dataset.Add(UncertainPoint({rng.Gaussian(0.0, 0.3),
+                                rng.Gaussian(0.0, 0.3)},
+                               {0.1, 0.1}, ts++, 0));
+    dataset.Add(UncertainPoint({10.0 + rng.Gaussian(0.0, 0.3),
+                                rng.Gaussian(0.0, 0.3)},
+                               {0.1, 0.1}, ts++, 1));
+  }
+  // Isolated noise points.
+  dataset.Add(UncertainPoint({5.0, 30.0}, {0.1, 0.1}, ts++, 2));
+  dataset.Add(UncertainPoint({-20.0, -20.0}, {0.1, 0.1}, ts++, 2));
+  return dataset;
+}
+
+TEST(UncertainDbscanTest, FindsTwoBlobsAndNoise) {
+  const Dataset dataset = TwoBlobsWithNoise(7);
+  UncertainDbscanOptions options;
+  options.eps = 1.5;
+  options.min_points = 5.0;
+  const UncertainDbscanResult result = UncertainDbscan(dataset, options);
+  EXPECT_EQ(result.num_clusters, 2u);
+  EXPECT_EQ(result.num_noise, 2u);
+  // Each blob maps to exactly one cluster id.
+  std::set<int> blob0;
+  std::set<int> blob1;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].label == 0) blob0.insert(result.assignment[i]);
+    if (dataset[i].label == 1) blob1.insert(result.assignment[i]);
+  }
+  EXPECT_EQ(blob0.size(), 1u);
+  EXPECT_EQ(blob1.size(), 1u);
+  EXPECT_NE(*blob0.begin(), *blob1.begin());
+  EXPECT_NE(*blob0.begin(), kDbscanNoise);
+}
+
+TEST(UncertainDbscanTest, EverythingNoiseWhenEpsTiny) {
+  const Dataset dataset = TwoBlobsWithNoise(9);
+  UncertainDbscanOptions options;
+  options.eps = 1e-4;
+  options.min_points = 3.0;
+  const UncertainDbscanResult result = UncertainDbscan(dataset, options);
+  EXPECT_EQ(result.num_clusters, 0u);
+  EXPECT_EQ(result.num_noise, dataset.size());
+}
+
+TEST(UncertainDbscanTest, OneClusterWhenEpsHuge) {
+  const Dataset dataset = TwoBlobsWithNoise(11);
+  UncertainDbscanOptions options;
+  options.eps = 1000.0;
+  options.min_points = 3.0;
+  const UncertainDbscanResult result = UncertainDbscan(dataset, options);
+  EXPECT_EQ(result.num_clusters, 1u);
+  EXPECT_EQ(result.num_noise, 0u);
+}
+
+TEST(UncertainDbscanTest, HighUncertaintyDissolvesClusters) {
+  // The same geometry with errors comparable to eps: neighbor
+  // probabilities drop below the reachability threshold and the tight
+  // structure dissolves (fewer clustered points / more noise).
+  util::Rng rng(13);
+  Dataset certain(2);
+  Dataset uncertain(2);
+  for (int i = 0; i < 40; ++i) {
+    const std::vector<double> v = {rng.Gaussian(0.0, 0.3),
+                                   rng.Gaussian(0.0, 0.3)};
+    certain.Add(UncertainPoint(v, i));
+    uncertain.Add(UncertainPoint(v, {2.0, 2.0}, i));
+  }
+  UncertainDbscanOptions options;
+  options.eps = 1.0;
+  options.min_points = 4.0;
+  const auto certain_result = UncertainDbscan(certain, options);
+  const auto uncertain_result = UncertainDbscan(uncertain, options);
+  EXPECT_LT(certain_result.num_noise, uncertain_result.num_noise);
+}
+
+}  // namespace
+}  // namespace umicro::baseline

@@ -1,0 +1,88 @@
+// Tests for the sliding-window UK-means stream adapter.
+
+#include "baseline/windowed_uk_means.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/purity.h"
+#include "util/random.h"
+
+namespace umicro::baseline {
+namespace {
+
+using stream::UncertainPoint;
+
+TEST(WindowedUkMeansTest, NoClustersBeforeFirstRecluster) {
+  WindowedUkMeansOptions options;
+  options.recluster_every = 100;
+  WindowedUkMeans algorithm(1, options);
+  for (int i = 0; i < 99; ++i) {
+    algorithm.Process(UncertainPoint({static_cast<double>(i)}, i, 0));
+  }
+  EXPECT_TRUE(algorithm.ClusterCentroids().empty());
+  EXPECT_EQ(algorithm.reclusterings(), 0u);
+  algorithm.Process(UncertainPoint({99.0}, 99.0, 0));
+  EXPECT_FALSE(algorithm.ClusterCentroids().empty());
+  EXPECT_EQ(algorithm.reclusterings(), 1u);
+}
+
+TEST(WindowedUkMeansTest, RecoversBlobsWithHighPurity) {
+  WindowedUkMeansOptions options;
+  options.uk_means.k = 2;
+  options.window_size = 2000;
+  options.recluster_every = 500;
+  WindowedUkMeans algorithm(2, options);
+  util::Rng rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(2));
+    algorithm.Process(UncertainPoint(
+        {cls * 10.0 + rng.Gaussian(0.0, 0.4), rng.Gaussian(0.0, 0.4)},
+        {0.1, 0.1}, i, cls));
+  }
+  EXPECT_GT(eval::ClusterPurity(algorithm.ClusterLabelHistograms()), 0.95);
+}
+
+TEST(WindowedUkMeansTest, WindowForgetsOldRegimes) {
+  // Phase 1 around 0, phase 2 around 100; after the window slides fully
+  // into phase 2, no centroid should remain near 0.
+  WindowedUkMeansOptions options;
+  options.uk_means.k = 2;
+  options.window_size = 500;
+  options.recluster_every = 250;
+  WindowedUkMeans algorithm(1, options);
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    algorithm.Process(
+        UncertainPoint({rng.Gaussian(0.0, 0.5)}, i, 0));
+  }
+  for (int i = 1000; i < 3000; ++i) {
+    algorithm.Process(
+        UncertainPoint({rng.Gaussian(100.0, 0.5)}, i, 1));
+  }
+  algorithm.Recluster();
+  for (const auto& centroid : algorithm.ClusterCentroids()) {
+    EXPECT_GT(centroid[0], 50.0);
+  }
+}
+
+TEST(WindowedUkMeansTest, HistogramMassBoundedByWindow) {
+  WindowedUkMeansOptions options;
+  options.window_size = 300;
+  options.recluster_every = 100;
+  WindowedUkMeans algorithm(1, options);
+  util::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    algorithm.Process(UncertainPoint({rng.NextDouble()}, i, 0));
+  }
+  double mass = 0.0;
+  for (const auto& histogram : algorithm.ClusterLabelHistograms()) {
+    mass += stream::HistogramWeight(histogram);
+  }
+  EXPECT_LE(mass, 300.0 + 1e-9);
+  EXPECT_GT(mass, 0.0);
+}
+
+}  // namespace
+}  // namespace umicro::baseline

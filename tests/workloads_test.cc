@@ -1,0 +1,81 @@
+// Tests for the paper workload presets.
+
+#include "synth/workloads.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/stream_stats.h"
+
+namespace umicro::synth {
+namespace {
+
+TEST(WorkloadsTest, SynDriftShape) {
+  const stream::Dataset dataset = MakeSynDriftWorkload(2000, 0.5);
+  EXPECT_EQ(dataset.size(), 2000u);
+  EXPECT_EQ(dataset.dimensions(), 20u);  // the paper's dimensionality
+  for (const auto& point : dataset.points()) {
+    EXPECT_TRUE(point.has_errors());  // eta > 0 attaches errors
+  }
+}
+
+TEST(WorkloadsTest, NetworkShape) {
+  const stream::Dataset dataset = MakeNetworkWorkload(2000, 0.5);
+  EXPECT_EQ(dataset.dimensions(), 34u);  // 34 continuous attributes
+  EXPECT_GE(dataset.Labels().size(), 1u);
+}
+
+TEST(WorkloadsTest, ForestShape) {
+  const stream::Dataset dataset = MakeForestWorkload(2000, 0.5);
+  EXPECT_EQ(dataset.dimensions(), 10u);  // 10 quantitative attributes
+}
+
+TEST(WorkloadsTest, ZeroEtaIsClean) {
+  const stream::Dataset dataset = MakeSynDriftWorkload(500, 0.0);
+  for (const auto& point : dataset.points()) {
+    EXPECT_FALSE(point.has_errors());
+  }
+}
+
+TEST(WorkloadsTest, DeterministicForSameSeed) {
+  const stream::Dataset a = MakeForestWorkload(300, 1.0, 9);
+  const stream::Dataset b = MakeForestWorkload(300, 1.0, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].values, b[i].values);
+    EXPECT_EQ(a[i].errors, b[i].errors);
+  }
+}
+
+TEST(WorkloadsTest, NoiseScalesWithEta) {
+  // The attached error magnitudes grow with eta on average.
+  auto mean_error = [](const stream::Dataset& dataset) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& point : dataset.points()) {
+      for (double e : point.errors) {
+        sum += e;
+        ++n;
+      }
+    }
+    return sum / static_cast<double>(n);
+  };
+  const double low = mean_error(MakeSynDriftWorkload(2000, 0.25, 5));
+  const double high = mean_error(MakeSynDriftWorkload(2000, 2.0, 5));
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(WorkloadsTest, ApplyPaperNoisePreservesMetadata) {
+  stream::Dataset dataset = MakeForestWorkload(500, 0.0, 11);
+  const auto labels_before = dataset.Labels();
+  ApplyPaperNoise(dataset, 0.5, 12);
+  EXPECT_EQ(dataset.Labels(), labels_before);
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dataset[i].timestamp, static_cast<double>(i));
+    EXPECT_TRUE(dataset[i].has_errors());
+  }
+}
+
+}  // namespace
+}  // namespace umicro::synth

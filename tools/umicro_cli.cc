@@ -1,0 +1,266 @@
+// umicro_cli: cluster a CSV/ARFF file as a stream from the command line.
+//
+//   umicro_cli --input=connections.csv [--algorithm=umicro]
+//              [--nmicro=100] [--boundary=3.0] [--thresh=3.0]
+//              [--decay=0.0] [--eta=0.0] [--impute]
+//              [--sample-interval=10000] [--max-rows=0]
+//              [--centroids-out=clusters.csv] [--no-header]
+//
+// The input may be headered CSV (columns: values..., optional err_*,
+// timestamp, label -- see io/csv_dataset.h), headerless CSV with a
+// trailing label column (--no-header), or ARFF (by .arff extension).
+// --eta applies the paper's noise model before clustering; --impute
+// runs the online mean imputer over missing (NaN / '?') entries. When
+// ground-truth labels exist, a purity series is printed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baseline/clustream.h"
+#include "baseline/stream_kmeans.h"
+#include "core/summary.h"
+#include "core/umicro.h"
+#include "eval/experiment.h"
+#include "io/arff_dataset.h"
+#include "io/csv_dataset.h"
+#include "stream/imputation.h"
+#include "stream/perturbation.h"
+#include "stream/stream_stats.h"
+#include "util/csv_writer.h"
+
+namespace {
+
+struct CliOptions {
+  std::string input;
+  std::string algorithm = "umicro";
+  std::size_t nmicro = 100;
+  double boundary = 3.0;
+  double thresh = 3.0;
+  double decay = 0.0;
+  double eta = 0.0;
+  bool impute = false;
+  bool no_header = false;
+  std::size_t sample_interval = 10000;
+  std::size_t max_rows = 0;
+  std::string centroids_out;
+  bool describe = false;
+};
+
+bool ParseFlag(const std::string& arg, const char* name,
+               std::string* value) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: umicro_cli --input=FILE [options]\n"
+      "  --algorithm=umicro|clustream|stream-kmeans   (default umicro)\n"
+      "  --nmicro=N            micro-cluster budget (default 100)\n"
+      "  --boundary=T          uncertainty-boundary factor t (default 3)\n"
+      "  --thresh=T            dimension-counting threshold (default 3)\n"
+      "  --decay=LAMBDA        exponential decay rate (default 0 = off)\n"
+      "  --eta=E               perturb input with the paper's noise model\n"
+      "  --impute              impute missing entries (online mean)\n"
+      "  --no-header           headerless CSV, last column is the label\n"
+      "  --describe            print the heaviest clusters at the end\n"
+      "  --sample-interval=N   purity sample cadence (default 10000)\n"
+      "  --max-rows=N          read at most N rows (default all)\n"
+      "  --centroids-out=FILE  write final centroids as CSV\n");
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "input", &value)) {
+      cli.input = value;
+    } else if (ParseFlag(arg, "algorithm", &value)) {
+      cli.algorithm = value;
+    } else if (ParseFlag(arg, "nmicro", &value)) {
+      cli.nmicro = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "boundary", &value)) {
+      cli.boundary = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "thresh", &value)) {
+      cli.thresh = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "decay", &value)) {
+      cli.decay = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "eta", &value)) {
+      cli.eta = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--impute") {
+      cli.impute = true;
+    } else if (arg == "--describe") {
+      cli.describe = true;
+    } else if (arg == "--no-header") {
+      cli.no_header = true;
+    } else if (ParseFlag(arg, "sample-interval", &value)) {
+      cli.sample_interval = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "max-rows", &value)) {
+      cli.max_rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "centroids-out", &value)) {
+      cli.centroids_out = value;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (cli.input.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  // ---- Load ----------------------------------------------------------
+  umicro::stream::Dataset dataset;
+  if (EndsWith(cli.input, ".arff")) {
+    auto loaded = umicro::io::ReadArffDataset(cli.input);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "failed to load ARFF file %s\n",
+                   cli.input.c_str());
+      return 1;
+    }
+    dataset = std::move(loaded->dataset);
+    if (cli.max_rows != 0 && dataset.size() > cli.max_rows) {
+      umicro::stream::Dataset truncated(dataset.dimensions());
+      for (std::size_t i = 0; i < cli.max_rows; ++i) {
+        truncated.Add(dataset[i]);
+      }
+      dataset = std::move(truncated);
+    }
+  } else {
+    umicro::io::CsvReadOptions read_options;
+    read_options.has_header = !cli.no_header;
+    read_options.max_rows = cli.max_rows;
+    auto loaded = umicro::io::ReadCsvDataset(cli.input, read_options);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "failed to load CSV file %s\n",
+                   cli.input.c_str());
+      return 1;
+    }
+    dataset = std::move(loaded->dataset);
+  }
+  std::printf("loaded %zu records x %zu dimensions from %s\n",
+              dataset.size(), dataset.dimensions(), cli.input.c_str());
+
+  // ---- Optional imputation -------------------------------------------
+  if (cli.impute) {
+    umicro::stream::OnlineMeanImputer imputer(dataset.dimensions());
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      dataset.at(i) = imputer.Impute(dataset[i]);
+    }
+    std::printf("imputed %zu missing entries (%zu before any data)\n",
+                imputer.entries_imputed(), imputer.imputed_before_data());
+  } else {
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (umicro::stream::HasMissingValues(dataset[i])) {
+        std::fprintf(stderr,
+                     "record %zu has missing values; rerun with --impute\n",
+                     i);
+        return 1;
+      }
+    }
+  }
+
+  // ---- Optional perturbation -----------------------------------------
+  if (cli.eta > 0.0) {
+    umicro::stream::StreamStats stats(dataset.dimensions());
+    stats.AddAll(dataset);
+    umicro::stream::PerturbationOptions perturb;
+    perturb.eta = cli.eta;
+    umicro::stream::Perturber perturber(stats.Stddevs(), perturb);
+    perturber.PerturbDataset(dataset);
+    std::printf("perturbed with eta=%.2f\n", cli.eta);
+  }
+
+  // ---- Cluster --------------------------------------------------------
+  std::unique_ptr<umicro::stream::StreamClusterer> clusterer;
+  umicro::core::UMicro* umicro_ptr = nullptr;
+  if (cli.algorithm == "umicro") {
+    umicro::core::UMicroOptions options;
+    options.num_micro_clusters = cli.nmicro;
+    options.boundary_factor = cli.boundary;
+    options.dimension_threshold = cli.thresh;
+    options.decay_lambda = cli.decay;
+    auto umicro_algo = std::make_unique<umicro::core::UMicro>(
+        dataset.dimensions(), options);
+    umicro_ptr = umicro_algo.get();
+    clusterer = std::move(umicro_algo);
+  } else if (cli.algorithm == "clustream") {
+    umicro::baseline::CluStreamOptions options;
+    options.num_micro_clusters = cli.nmicro;
+    options.boundary_factor = cli.boundary;
+    clusterer = std::make_unique<umicro::baseline::CluStream>(
+        dataset.dimensions(), options);
+  } else if (cli.algorithm == "stream-kmeans") {
+    umicro::baseline::StreamKMeansOptions options;
+    options.k = cli.nmicro;
+    clusterer = std::make_unique<umicro::baseline::StreamKMeans>(
+        dataset.dimensions(), options);
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", cli.algorithm.c_str());
+    return 2;
+  }
+
+  const bool labeled = !dataset.Labels().empty();
+  if (labeled) {
+    const auto series = umicro::eval::RunPurityExperiment(
+        *clusterer, dataset, cli.sample_interval);
+    std::printf("\n%14s %10s %10s %8s\n", "points", "purity", "w-purity",
+                "clusters");
+    for (const auto& sample : series.samples) {
+      std::printf("%14zu %10.4f %10.4f %8zu\n", sample.points_processed,
+                  sample.purity, sample.weighted_purity,
+                  sample.live_clusters);
+    }
+    std::printf("mean purity: %.4f (%s)\n", series.MeanPurity(),
+                clusterer->name().c_str());
+  } else {
+    const auto series = umicro::eval::RunThroughputExperiment(
+        *clusterer, dataset, cli.sample_interval);
+    std::printf("\nno labels: reporting throughput instead of purity\n");
+    std::printf("overall rate: %.0f points/sec (%s)\n",
+                series.overall_points_per_second,
+                clusterer->name().c_str());
+  }
+
+  if (cli.describe && umicro_ptr != nullptr) {
+    std::printf("\n%s",
+                umicro::core::SummarizeClusters(umicro_ptr->clusters())
+                    .c_str());
+  }
+
+  // ---- Dump centroids --------------------------------------------------
+  const auto centroids = clusterer->ClusterCentroids();
+  std::printf("final cluster count: %zu\n", centroids.size());
+  if (!cli.centroids_out.empty() && !centroids.empty()) {
+    std::vector<std::string> header;
+    for (std::size_t j = 0; j < dataset.dimensions(); ++j) {
+      header.push_back("c" + std::to_string(j));
+    }
+    umicro::util::CsvWriter writer(header);
+    for (const auto& centroid : centroids) writer.AddRow(centroid);
+    if (writer.WriteFile(cli.centroids_out)) {
+      std::printf("centroids written to %s\n", cli.centroids_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n",
+                   cli.centroids_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
