@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace umicro::core {
@@ -13,9 +15,13 @@ UMicroEngine::UMicroEngine(std::size_t dimensions, EngineOptions options)
 
 void UMicroEngine::Process(const stream::UncertainPoint& point) {
   online_.Process(point);
-  last_timestamp_ = point.timestamp;
+  // Out-of-order arrivals (merged shard replays, log replays) must not
+  // rewind the engine clock: SnapshotStore::Insert requires increasing
+  // tick times and the decay anchor is the newest time seen, so the
+  // timestamp is clamped to be monotone.
+  last_timestamp_ = std::max(last_timestamp_, point.timestamp);
   if (++since_snapshot_ >= options_.snapshot_every) {
-    store_.Insert(next_tick_++, online_.TakeSnapshot(point.timestamp));
+    store_.Insert(next_tick_++, online_.TakeSnapshot(last_timestamp_));
     since_snapshot_ = 0;
   }
 }

@@ -1,0 +1,40 @@
+#include "parallel/parallel_engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace umicro::parallel {
+
+ParallelUMicroEngine::ParallelUMicroEngine(std::size_t dimensions,
+                                           ParallelEngineOptions options)
+    : options_(options),
+      sharded_(dimensions, options.sharded),
+      store_(options.pyramid_alpha, options.pyramid_l) {
+  UMICRO_CHECK(options_.snapshot_every > 0);
+}
+
+void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
+  // Sharded replay can deliver out-of-order arrivals; the engine clock
+  // must never rewind (snapshot times are inserted in increasing tick
+  // order and decay is anchored to the newest time seen).
+  last_timestamp_ = std::max(last_timestamp_, point.timestamp);
+  sharded_.Process(point);
+  if (++since_snapshot_ >= options_.snapshot_every) {
+    sharded_.Flush();
+    store_.Insert(next_tick_++, sharded_.GlobalSnapshot(last_timestamp_));
+    since_snapshot_ = 0;
+  }
+}
+
+void ParallelUMicroEngine::Flush() { sharded_.Flush(); }
+
+std::optional<core::HorizonClustering> ParallelUMicroEngine::ClusterRecent(
+    double horizon, const core::MacroClusteringOptions& options) {
+  if (sharded_.points_processed() == 0) return std::nullopt;
+  sharded_.Flush();
+  const core::Snapshot current = sharded_.GlobalSnapshot(last_timestamp_);
+  return core::ClusterOverHorizon(store_, current, horizon, options);
+}
+
+}  // namespace umicro::parallel

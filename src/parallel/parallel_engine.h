@@ -1,0 +1,86 @@
+// ParallelUMicroEngine: the sharded counterpart of UMicroEngine.
+//
+// Mirrors the sequential engine's facade -- feed points, get automatic
+// pyramidal snapshots and horizon queries -- but ingests through the
+// ShardedUMicro pipeline. Snapshots are taken on the merged global state
+// (a snapshot cadence point forces a global merge first), so the
+// pyramidal store and ClusterOverHorizon work exactly as in the
+// sequential engine; ECF additivity makes the merged statistics exact.
+//
+// Like ShardedUMicro, the public API is single-coordinator: call it from
+// one thread.
+
+#ifndef UMICRO_PARALLEL_PARALLEL_ENGINE_H_
+#define UMICRO_PARALLEL_PARALLEL_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "core/horizon.h"
+#include "core/snapshot.h"
+#include "parallel/sharded_umicro.h"
+#include "stream/point.h"
+
+namespace umicro::parallel {
+
+/// Configuration of the sharded engine.
+struct ParallelEngineOptions {
+  /// Ingest pipeline configuration.
+  ShardedUMicroOptions sharded;
+  /// Stream points between automatic global snapshots. Each snapshot
+  /// forces a drain + merge, so this should stay well above the
+  /// per-point cost you are willing to amortize (default trades ~one
+  /// merge per 8192 points).
+  std::size_t snapshot_every = 8192;
+  /// Pyramidal geometric base alpha (>= 2).
+  std::size_t pyramid_alpha = 2;
+  /// Pyramidal precision l (>= 1): alpha^l + 1 snapshots kept per order.
+  std::size_t pyramid_l = 3;
+};
+
+/// Sharded online clustering with historical horizon queries.
+class ParallelUMicroEngine {
+ public:
+  /// Creates an engine for `dimensions`-dimensional streams.
+  ParallelUMicroEngine(std::size_t dimensions, ParallelEngineOptions options);
+
+  /// Feeds the next stream record; merges + snapshots automatically
+  /// every `snapshot_every` points.
+  void Process(const stream::UncertainPoint& point);
+
+  /// Drains the pipeline and refreshes the merged global view.
+  void Flush();
+
+  /// Clusters the most recent `horizon` time units into `options.k`
+  /// macro-clusters (on a freshly merged view). Returns std::nullopt
+  /// before any data.
+  std::optional<core::HorizonClustering> ClusterRecent(
+      double horizon, const core::MacroClusteringOptions& options);
+
+  /// Ingest pipeline (merged clusters, parallel stats).
+  const ShardedUMicro& sharded() const { return sharded_; }
+
+  /// Snapshot store (inspection / persistence).
+  const core::SnapshotStore& store() const { return store_; }
+
+  /// Pipeline counters.
+  ParallelStats Stats() const { return sharded_.Stats(); }
+
+  /// Total records ingested.
+  std::size_t points_processed() const {
+    return sharded_.points_processed();
+  }
+
+ private:
+  ParallelEngineOptions options_;
+  ShardedUMicro sharded_;
+  core::SnapshotStore store_;
+  std::uint64_t next_tick_ = 1;
+  std::size_t since_snapshot_ = 0;
+  double last_timestamp_ = 0.0;
+};
+
+}  // namespace umicro::parallel
+
+#endif  // UMICRO_PARALLEL_PARALLEL_ENGINE_H_

@@ -1,0 +1,374 @@
+#include "parallel/sharded_umicro.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace umicro::parallel {
+
+namespace {
+
+/// Shard index is tagged into the high bits of the global cluster id so
+/// ids stay unique and stable across shards (shard 0 keeps its local ids
+/// verbatim, which is what makes the 1-shard pipeline bit-identical to
+/// the sequential algorithm).
+constexpr unsigned kShardIdShift = 48;
+
+/// FNV-1a over the coordinate bytes: a stable point->shard mapping.
+std::uint64_t HashPointValues(const stream::UncertainPoint& point) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (double v : point.values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Dimension-counting similarity between two micro-clusters (the paper's
+/// Section II-B vote, lifted from point-vs-cluster to cluster-vs-cluster):
+/// each cluster's centroid is an uncertain observation whose per-dimension
+/// error mass is EF2_j/n^2 (Lemma 2.1), so the expected squared centroid
+/// gap along dimension j is (mu_a - mu_b)^2 + EF2a_j/na^2 + EF2b_j/nb^2,
+/// and dimension j votes max{0, 1 - gap_j/(thresh*sigma_j^2)}.
+/// `inv_scaled[j]` caches 1/(thresh*sigma_j^2) (0 for dead dimensions).
+/// Also reports the plain squared centroid distance for tie-breaking.
+double ClusterSimilarity(const core::ErrorClusterFeature& a,
+                         const core::ErrorClusterFeature& b,
+                         const std::vector<double>& inv_scaled,
+                         double* centroid_dist2) {
+  const double inv_na = 1.0 / a.weight();
+  const double inv_nb = 1.0 / b.weight();
+  const double inv_na2 = inv_na * inv_na;
+  const double inv_nb2 = inv_nb * inv_nb;
+  double vote = 0.0;
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.dimensions(); ++j) {
+    const double diff = a.cf1()[j] * inv_na - b.cf1()[j] * inv_nb;
+    const double geometric = diff * diff;
+    d2 += geometric;
+    if (inv_scaled[j] > 0.0) {
+      const double expected =
+          geometric + a.ef2()[j] * inv_na2 + b.ef2()[j] * inv_nb2;
+      vote += std::max(0.0, 1.0 - expected * inv_scaled[j]);
+    }
+  }
+  *centroid_dist2 = d2;
+  return vote;
+}
+
+/// Path-compressing union-find root lookup.
+std::size_t FindRoot(std::vector<std::size_t>& parent, std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];
+    i = parent[i];
+  }
+  return i;
+}
+
+}  // namespace
+
+ShardedUMicro::ShardedUMicro(std::size_t dimensions,
+                             ShardedUMicroOptions options)
+    : dimensions_(dimensions),
+      options_(options),
+      global_budget_(options.global_budget > 0
+                         ? options.global_budget
+                         : options.umicro.num_micro_clusters) {
+  UMICRO_CHECK(options_.num_shards >= 1);
+  UMICRO_CHECK(options_.producer_batch >= 1);
+  UMICRO_CHECK(options_.queue_capacity >= 1);
+  shards_.reserve(options_.num_shards);
+  pending_batches_.resize(options_.num_shards);
+  in_flight_.assign(options_.num_shards, 0);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(dimensions_, options_));
+    pending_batches_[i].reserve(options_.producer_batch);
+  }
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ShardedUMicro::~ShardedUMicro() {
+  stopped_ = true;
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::string ShardedUMicro::name() const {
+  return "ShardedUMicro(" + std::to_string(options_.num_shards) + ")";
+}
+
+void ShardedUMicro::WorkerLoop(std::size_t index) {
+  Shard& shard = *shards_[index];
+  std::vector<stream::UncertainPoint> batch;
+  while (shard.queue.Pop(&batch)) {
+    const std::size_t n = batch.size();
+    {
+      std::lock_guard<std::mutex> lock(shard.state_mu);
+      for (const auto& point : batch) shard.algo.Process(point);
+      shard.points_processed += n;
+      ++shard.batches_processed;
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      in_flight_[index] -= n;
+      if (in_flight_[index] == 0) done_cv_.notify_all();
+    }
+    batch.clear();
+  }
+}
+
+std::size_t ShardedUMicro::PickShard(const stream::UncertainPoint& point) {
+  switch (options_.partition) {
+    case PartitionMode::kRoundRobin: {
+      const std::size_t shard = next_round_robin_;
+      next_round_robin_ = (next_round_robin_ + 1) % options_.num_shards;
+      return shard;
+    }
+    case PartitionMode::kHash:
+      return static_cast<std::size_t>(HashPointValues(point) %
+                                      options_.num_shards);
+  }
+  return 0;
+}
+
+void ShardedUMicro::EnqueueBatch(std::size_t index) {
+  std::vector<stream::UncertainPoint>& batch = pending_batches_[index];
+  if (batch.empty()) return;
+  const std::size_t n = batch.size();
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    in_flight_[index] += n;
+  }
+  std::optional<std::vector<stream::UncertainPoint>> displaced;
+  const bool accepted = shards_[index]->queue.Push(std::move(batch),
+                                                   &displaced);
+  batch.clear();
+  batch.reserve(options_.producer_batch);
+
+  std::size_t dropped = 0;
+  if (!accepted) {
+    dropped = n;
+  } else if (displaced.has_value()) {
+    dropped = displaced->size();
+  }
+  if (dropped > 0) {
+    shards_[index]->points_dropped += dropped;
+    std::lock_guard<std::mutex> lock(done_mu_);
+    in_flight_[index] -= dropped;
+    if (in_flight_[index] == 0) done_cv_.notify_all();
+  }
+}
+
+void ShardedUMicro::Process(const stream::UncertainPoint& point) {
+  UMICRO_CHECK_MSG(point.dimensions() == dimensions_,
+                   "point has %zu dimensions, pipeline expects %zu",
+                   point.dimensions(), dimensions_);
+  const std::size_t shard = PickShard(point);
+  pending_batches_[shard].push_back(point);
+  ++points_ingested_;
+  ++points_since_merge_;
+  if (pending_batches_[shard].size() >= options_.producer_batch) {
+    EnqueueBatch(shard);
+  }
+  if (options_.merge_every > 0 &&
+      points_since_merge_ >= options_.merge_every) {
+    MergeNow();
+  }
+}
+
+void ShardedUMicro::WaitDrained() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] {
+    return std::all_of(in_flight_.begin(), in_flight_.end(),
+                       [](std::size_t n) { return n == 0; });
+  });
+}
+
+void ShardedUMicro::RebuildGlobalView() {
+  std::vector<core::MicroCluster> merged;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.state_mu);
+    shard.clusters_at_merge = shard.algo.clusters().size();
+    for (const core::MicroCluster& cluster : shard.algo.clusters()) {
+      merged.push_back(cluster);
+      UMICRO_DCHECK(cluster.id < (1ull << kShardIdShift));
+      merged.back().id =
+          (static_cast<std::uint64_t>(i) << kShardIdShift) | cluster.id;
+    }
+  }
+
+  const std::size_t q = merged.size();
+  if (q <= global_budget_) {
+    // Under budget (always the case with one shard): the shard view IS
+    // the global view, untouched -- no reconciliation, exact statistics.
+    global_clusters_ = std::move(merged);
+    return;
+  }
+
+  // Over budget: near-duplicate clusters -- the same stream region
+  // discovered independently by several shards -- are reconciled by
+  // greedily uniting the most similar pairs (dimension-counting vote,
+  // centroid distance as tie-break) until the budget holds. The ECF
+  // additions below are exact, so reconciliation changes granularity,
+  // never statistics.
+  core::ErrorClusterFeature aggregate(dimensions_);
+  for (const auto& cluster : merged) aggregate.Merge(cluster.ecf);
+  std::vector<double> inv_scaled(dimensions_, 0.0);
+  for (std::size_t j = 0; j < dimensions_; ++j) {
+    const double scaled =
+        options_.umicro.dimension_threshold * aggregate.VarianceAt(j);
+    inv_scaled[j] = scaled > 0.0 ? 1.0 / scaled : 0.0;
+  }
+
+  struct CandidatePair {
+    double similarity;
+    double dist2;
+    std::size_t a;
+    std::size_t b;
+  };
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(q * (q - 1) / 2);
+  for (std::size_t a = 0; a + 1 < q; ++a) {
+    for (std::size_t b = a + 1; b < q; ++b) {
+      double d2 = 0.0;
+      const double sim =
+          ClusterSimilarity(merged[a].ecf, merged[b].ecf, inv_scaled, &d2);
+      pairs.push_back({sim, d2, a, b});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const CandidatePair& x, const CandidatePair& y) {
+              if (x.similarity != y.similarity)
+                return x.similarity > y.similarity;
+              return x.dist2 < y.dist2;
+            });
+
+  std::vector<std::size_t> parent(q);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::size_t components = q;
+  for (const CandidatePair& pair : pairs) {
+    if (components <= global_budget_) break;
+    const std::size_t ra = FindRoot(parent, pair.a);
+    const std::size_t rb = FindRoot(parent, pair.b);
+    if (ra == rb) continue;
+    parent[rb] = ra;
+    --components;
+    ++reconcile_merges_;
+  }
+
+  // Materialize one cluster per union-find component; the heaviest
+  // member donates identity and the earliest member the creation time
+  // (mirroring the sequential closest-pair merge rule).
+  std::vector<core::MicroCluster> reconciled;
+  reconciled.reserve(components);
+  std::vector<std::size_t> root_slot(q, q);
+  for (std::size_t i = 0; i < q; ++i) {
+    const std::size_t root = FindRoot(parent, i);
+    if (root_slot[root] == q) {
+      root_slot[root] = reconciled.size();
+      reconciled.push_back(std::move(merged[i]));
+      continue;
+    }
+    core::MicroCluster& into = reconciled[root_slot[root]];
+    core::MicroCluster& from = merged[i];
+    if (from.ecf.weight() > into.ecf.weight()) {
+      std::swap(into.id, from.id);
+    }
+    into.creation_time = std::min(into.creation_time, from.creation_time);
+    into.ecf.Merge(from.ecf);
+    for (const auto& [label, weight] : from.labels) {
+      into.labels[label] += weight;
+    }
+  }
+  global_clusters_ = std::move(reconciled);
+}
+
+void ShardedUMicro::MergeNow() {
+  util::Stopwatch watch;
+  for (std::size_t i = 0; i < shards_.size(); ++i) EnqueueBatch(i);
+  WaitDrained();
+  RebuildGlobalView();
+  ++merges_;
+  last_merge_millis_ = watch.ElapsedMillis();
+  total_merge_millis_ += last_merge_millis_;
+  points_since_merge_ = 0;
+}
+
+void ShardedUMicro::Flush() { MergeNow(); }
+
+std::vector<stream::LabelHistogram> ShardedUMicro::ClusterLabelHistograms()
+    const {
+  // Logically read-only (the stream content is untouched) but the merged
+  // view must be refreshed; the coordinator-thread contract makes the
+  // cast safe.
+  const_cast<ShardedUMicro*>(this)->MergeNow();
+  std::vector<stream::LabelHistogram> histograms;
+  histograms.reserve(global_clusters_.size());
+  for (const auto& cluster : global_clusters_) {
+    histograms.push_back(cluster.labels);
+  }
+  return histograms;
+}
+
+std::vector<std::vector<double>> ShardedUMicro::ClusterCentroids() const {
+  const_cast<ShardedUMicro*>(this)->MergeNow();
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(global_clusters_.size());
+  for (const auto& cluster : global_clusters_) {
+    if (!cluster.ecf.empty()) centroids.push_back(cluster.ecf.Centroid());
+  }
+  return centroids;
+}
+
+core::Snapshot ShardedUMicro::GlobalSnapshot(double time) const {
+  core::Snapshot snapshot;
+  snapshot.time = time;
+  snapshot.clusters.reserve(global_clusters_.size());
+  for (const auto& cluster : global_clusters_) {
+    core::MicroClusterState state;
+    state.id = cluster.id;
+    state.creation_time = cluster.creation_time;
+    state.ecf = cluster.ecf;
+    snapshot.clusters.push_back(std::move(state));
+  }
+  return snapshot;
+}
+
+ParallelStats ShardedUMicro::Stats() const {
+  ParallelStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStats row;
+    {
+      std::lock_guard<std::mutex> lock(shard->state_mu);
+      row.points_processed = shard->points_processed;
+      row.batches_processed = shard->batches_processed;
+    }
+    row.queue_high_water = shard->queue.stats().high_water;
+    row.points_dropped = shard->points_dropped;
+    row.clusters = shard->clusters_at_merge;
+    stats.points_dropped += row.points_dropped;
+    stats.shards.push_back(row);
+  }
+  stats.points_ingested = points_ingested_;
+  stats.merges = merges_;
+  stats.reconcile_merges = reconcile_merges_;
+  stats.last_merge_millis = last_merge_millis_;
+  stats.total_merge_millis = total_merge_millis_;
+  stats.global_clusters = global_clusters_.size();
+  return stats;
+}
+
+}  // namespace umicro::parallel

@@ -1,0 +1,223 @@
+// ShardedUMicro: multi-threaded UMicro ingest with exact ECF merge.
+//
+// The error-based cluster features are additive (Property 2.1), so shard-
+// local micro-clusterings can be combined into a global clustering without
+// any approximation of the statistics: every point's contribution to
+// (CF2, EF2, CF1, n) survives the merge bit-for-bit no matter which shard
+// absorbed it. That observation -- the basis of communication-efficient
+// distributed stream clustering -- turns the sequential algorithm into a
+// sharded pipeline:
+//
+//   Process() --partition--> per-shard bounded queue --> worker thread
+//                                                         (private UMicro)
+//   every merge_every points / on Flush(): drain, collect shard clusters,
+//   merge them into the global view, reconciling near-duplicate clusters
+//   with the paper's dimension-counting similarity.
+//
+// Threading contract: the public API is single-coordinator -- all calls
+// must come from one thread (the stream driver). Concurrency lives in the
+// worker threads behind the queues. The merged global view is only
+// recomputed at merge points, so reads between merges see the last merge.
+
+#ifndef UMICRO_PARALLEL_SHARDED_UMICRO_H_
+#define UMICRO_PARALLEL_SHARDED_UMICRO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/microcluster.h"
+#include "core/snapshot.h"
+#include "core/umicro.h"
+#include "parallel/bounded_queue.h"
+#include "stream/clusterer.h"
+#include "stream/point.h"
+
+namespace umicro::parallel {
+
+/// How incoming points are assigned to shards.
+enum class PartitionMode {
+  /// Cycle through the shards (best load balance).
+  kRoundRobin,
+  /// Hash of the point's coordinates (stable point->shard mapping, so
+  /// identical records always meet the same shard state).
+  kHash,
+};
+
+/// Configuration of the sharded ingest pipeline.
+struct ShardedUMicroOptions {
+  /// Per-shard algorithm configuration (every shard runs this verbatim).
+  core::UMicroOptions umicro;
+  /// Number of worker threads / private UMicro instances (>= 1).
+  std::size_t num_shards = 4;
+  /// Per-shard queue capacity, counted in batches of `producer_batch`
+  /// points each.
+  std::size_t queue_capacity = 1024;
+  /// Reaction to a full shard queue. kBlock keeps ingest lossless (the
+  /// exactness guarantees assume it); the drop policies shed load, with
+  /// whole batches dropped at a time and every shed point counted.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Shard assignment of incoming points.
+  PartitionMode partition = PartitionMode::kRoundRobin;
+  /// Global merge cadence in ingested points; 0 merges only on Flush()
+  /// and on-demand reads (centroids / label histograms).
+  std::size_t merge_every = 8192;
+  /// Points buffered per shard before an enqueue (amortizes queue
+  /// synchronization; 1 = unbatched).
+  std::size_t producer_batch = 64;
+  /// Micro-cluster budget of the merged global view; 0 means
+  /// umicro.num_micro_clusters. When the concatenated shard clusters
+  /// exceed it, near-duplicates are reconciled pairwise (most similar
+  /// first) until the budget holds.
+  std::size_t global_budget = 0;
+};
+
+/// Per-shard counters (one row per worker).
+struct ShardStats {
+  /// Points folded into this shard's UMicro so far.
+  std::size_t points_processed = 0;
+  /// Batches dequeued by the worker.
+  std::size_t batches_processed = 0;
+  /// Highest queue occupancy observed, in batches.
+  std::size_t queue_high_water = 0;
+  /// Points shed at this shard's queue (both drop policies).
+  std::size_t points_dropped = 0;
+  /// Live micro-clusters at the last merge.
+  std::size_t clusters = 0;
+};
+
+/// Pipeline-wide counters.
+struct ParallelStats {
+  /// One entry per shard.
+  std::vector<ShardStats> shards;
+  /// Points offered to Process().
+  std::size_t points_ingested = 0;
+  /// Points shed across all shards.
+  std::size_t points_dropped = 0;
+  /// Global merges performed.
+  std::size_t merges = 0;
+  /// Pairwise reconciliations applied across all merges.
+  std::size_t reconcile_merges = 0;
+  /// Duration of the most recent merge (drain + collect + reconcile).
+  double last_merge_millis = 0.0;
+  /// Total time spent in merges.
+  double total_merge_millis = 0.0;
+  /// Clusters in the merged global view.
+  std::size_t global_clusters = 0;
+};
+
+/// Sharded parallel front-end over N private UMicro instances.
+class ShardedUMicro : public stream::StreamClusterer {
+ public:
+  /// Starts `options.num_shards` worker threads for `dimensions`-d
+  /// streams.
+  ShardedUMicro(std::size_t dimensions, ShardedUMicroOptions options);
+
+  /// Stops and joins the workers; queued points are dropped.
+  ~ShardedUMicro() override;
+
+  ShardedUMicro(const ShardedUMicro&) = delete;
+  ShardedUMicro& operator=(const ShardedUMicro&) = delete;
+
+  // StreamClusterer interface. The two read accessors force a fresh
+  // global merge so evaluation always sees current state.
+  void Process(const stream::UncertainPoint& point) override;
+  std::string name() const override;
+  std::size_t points_processed() const override { return points_ingested_; }
+  std::vector<stream::LabelHistogram> ClusterLabelHistograms() const override;
+  std::vector<std::vector<double>> ClusterCentroids() const override;
+
+  /// Flushes producer batches, waits until every queue is drained and
+  /// every worker idle, then recomputes the merged global view.
+  void Flush();
+
+  /// Merged global micro-clusters as of the last merge (call Flush()
+  /// first for an up-to-date view).
+  const std::vector<core::MicroCluster>& GlobalClusters() const {
+    return global_clusters_;
+  }
+
+  /// The merged view as a Snapshot at `time` (pyramidal-store input).
+  core::Snapshot GlobalSnapshot(double time) const;
+
+  /// Current counters (merge stats are as of the last merge).
+  ParallelStats Stats() const;
+
+  /// Dimensionality of the stream.
+  std::size_t dimensions() const { return dimensions_; }
+
+  /// Configured options (with defaults resolved).
+  const ShardedUMicroOptions& options() const { return options_; }
+
+ private:
+  /// One worker: queue, private algorithm, and the mutex that hands the
+  /// algorithm state between the worker (processing) and the coordinator
+  /// (collection after a drain).
+  struct Shard {
+    Shard(std::size_t dimensions, const ShardedUMicroOptions& options)
+        : queue(options.queue_capacity, options.backpressure),
+          algo(dimensions, options.umicro) {}
+
+    BoundedQueue<std::vector<stream::UncertainPoint>> queue;
+    std::mutex state_mu;
+    core::UMicro algo;  // guarded by state_mu
+    std::size_t points_processed = 0;   // guarded by state_mu
+    std::size_t batches_processed = 0;  // guarded by state_mu
+    std::size_t points_dropped = 0;     // coordinator thread only
+    std::size_t clusters_at_merge = 0;  // coordinator thread only
+    std::thread worker;
+  };
+
+  /// Worker thread body for shard `index`.
+  void WorkerLoop(std::size_t index);
+
+  /// Shard assignment for one point.
+  std::size_t PickShard(const stream::UncertainPoint& point);
+
+  /// Enqueues shard `index`'s pending producer batch (no-op if empty).
+  void EnqueueBatch(std::size_t index);
+
+  /// Blocks until every shard's queue is empty and its worker idle.
+  void WaitDrained();
+
+  /// Collects shard clusters and rebuilds the merged global view; must
+  /// only run with all queues drained.
+  void RebuildGlobalView();
+
+  /// Drain + rebuild + merge-stat bookkeeping.
+  void MergeNow();
+
+  const std::size_t dimensions_;
+  const ShardedUMicroOptions options_;
+  const std::size_t global_budget_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Producer-side point buffers, one per shard (coordinator thread only).
+  std::vector<std::vector<stream::UncertainPoint>> pending_batches_;
+
+  /// In-flight points per shard (enqueued, not yet processed); guarded by
+  /// done_mu_, signalled via done_cv_ when a shard reaches zero.
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::vector<std::size_t> in_flight_;
+
+  // Coordinator-thread state.
+  std::size_t points_ingested_ = 0;
+  std::size_t points_since_merge_ = 0;
+  std::size_t next_round_robin_ = 0;
+  std::vector<core::MicroCluster> global_clusters_;
+  std::size_t merges_ = 0;
+  std::size_t reconcile_merges_ = 0;
+  double last_merge_millis_ = 0.0;
+  double total_merge_millis_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace umicro::parallel
+
+#endif  // UMICRO_PARALLEL_SHARDED_UMICRO_H_

@@ -131,5 +131,37 @@ TEST(UMicroEngineTest, LongHorizonCoversWholeStream) {
   EXPECT_GT(result->realized_horizon, 1000.0);
 }
 
+TEST(UMicroEngineTest, OutOfOrderTimestampsDoNotRewindClock) {
+  // Regression: the engine used to copy every point's timestamp into its
+  // clock verbatim, so a late (out-of-order) arrival rewound it. The
+  // current snapshot taken by ClusterRecent then carried an older time
+  // than stored snapshots and SubtractSnapshot's older.time <=
+  // current.time contract blew up. Sharded replay makes such arrival
+  // patterns routine; the clock must be monotone.
+  EngineOptions options;
+  options.snapshot_every = 10;
+  options.umicro.num_micro_clusters = 10;
+  options.umicro.decay_lambda = 0.01;
+  UMicroEngine engine(1, options);
+  util::Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    // Every 10th point arrives with a stale timestamp -- including the
+    // final point, which lands right before an automatic snapshot.
+    const double ts = (i % 10 == 9) ? i - 50.0 : static_cast<double>(i);
+    engine.Process(
+        UncertainPoint({rng.Gaussian(0.0, 1.0)}, {0.1}, ts, 0));
+  }
+  MacroClusteringOptions macro;
+  macro.k = 1;
+  const auto result = engine.ClusterRecent(100.0, macro);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->realized_horizon, 0.0);
+  // Snapshot times must be monotone: the latest stored snapshot may not
+  // sit in the future of the engine clock (the stream's max timestamp).
+  const auto latest = engine.store().FindAtOrBefore(1e18);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_LE(latest->time, 198.0);
+}
+
 }  // namespace
 }  // namespace umicro::core

@@ -1,0 +1,247 @@
+// Shard-merge equivalence tests: the sharded pipeline against the
+// sequential algorithm on the same stream.
+
+#include "parallel/sharded_umicro.h"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/umicro.h"
+#include "stream/dataset.h"
+#include "synth/workloads.h"
+
+namespace umicro::parallel {
+namespace {
+
+/// Mass-conserving UMicro configuration: an effectively infinite
+/// eviction horizon makes RetireOneCluster always merge (exact) instead
+/// of evict (mass-dropping), so the additive totals over the cluster set
+/// equal the totals over every point ever processed -- the precondition
+/// for comparing sequential and sharded totals exactly.
+core::UMicroOptions MassConservingOptions(std::size_t num_micro_clusters) {
+  core::UMicroOptions options;
+  options.num_micro_clusters = num_micro_clusters;
+  options.eviction_horizon = 1e18;
+  return options;
+}
+
+/// Sums of (n, CF1_j, EF2_j) over a set of clusters.
+struct EcfTotals {
+  double n = 0.0;
+  std::vector<double> cf1;
+  std::vector<double> ef2;
+};
+
+EcfTotals TotalsOf(const std::vector<core::MicroCluster>& clusters,
+                   std::size_t dimensions) {
+  EcfTotals totals;
+  totals.cf1.assign(dimensions, 0.0);
+  totals.ef2.assign(dimensions, 0.0);
+  for (const auto& cluster : clusters) {
+    totals.n += cluster.ecf.weight();
+    for (std::size_t j = 0; j < dimensions; ++j) {
+      totals.cf1[j] += cluster.ecf.cf1()[j];
+      totals.ef2[j] += cluster.ecf.ef2()[j];
+    }
+  }
+  return totals;
+}
+
+/// Mass-weighted purity over the label histograms of `clusters`.
+double WeightedPurity(const std::vector<core::MicroCluster>& clusters) {
+  double dominant = 0.0;
+  double total = 0.0;
+  for (const auto& cluster : clusters) {
+    dominant += stream::DominantLabelFraction(cluster.labels) *
+                stream::HistogramWeight(cluster.labels);
+    total += stream::HistogramWeight(cluster.labels);
+  }
+  return total > 0.0 ? dominant / total : 0.0;
+}
+
+TEST(ShardedUMicroTest, OneShardIsBitIdenticalToSequential) {
+  const stream::Dataset dataset =
+      synth::MakeSynDriftWorkload(10000, 0.5, 42);
+
+  core::UMicro sequential(dataset.dimensions(), MassConservingOptions(50));
+  for (const auto& point : dataset.points()) sequential.Process(point);
+
+  ShardedUMicroOptions options;
+  options.umicro = MassConservingOptions(50);
+  options.num_shards = 1;
+  options.producer_batch = 64;
+  options.merge_every = 2048;  // merges mid-stream must not disturb state
+  ShardedUMicro sharded(dataset.dimensions(), options);
+  for (const auto& point : dataset.points()) sharded.Process(point);
+  sharded.Flush();
+
+  const auto& sequential_clusters = sequential.clusters();
+  const auto& global = sharded.GlobalClusters();
+  ASSERT_EQ(global.size(), sequential_clusters.size());
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    const auto& a = sequential_clusters[i];
+    const auto& b = global[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.creation_time, b.creation_time);
+    EXPECT_EQ(a.ecf.weight(), b.ecf.weight());
+    for (std::size_t j = 0; j < dataset.dimensions(); ++j) {
+      EXPECT_EQ(a.ecf.cf1()[j], b.ecf.cf1()[j]);
+      EXPECT_EQ(a.ecf.cf2()[j], b.ecf.cf2()[j]);
+      EXPECT_EQ(a.ecf.ef2()[j], b.ecf.ef2()[j]);
+    }
+  }
+  EXPECT_EQ(sharded.Stats().points_dropped, 0u);
+}
+
+TEST(ShardedUMicroTest, FourShardTotalsMatchSequentialExactly) {
+  const stream::Dataset dataset =
+      synth::MakeSynDriftWorkload(10000, 0.5, 42);
+
+  core::UMicro sequential(dataset.dimensions(), MassConservingOptions(50));
+  for (const auto& point : dataset.points()) sequential.Process(point);
+
+  ShardedUMicroOptions options;
+  options.umicro = MassConservingOptions(50);
+  options.num_shards = 4;
+  options.merge_every = 2500;
+  ShardedUMicro sharded(dataset.dimensions(), options);
+  for (const auto& point : dataset.points()) sharded.Process(point);
+  sharded.Flush();
+
+  const EcfTotals seq =
+      TotalsOf(sequential.clusters(), dataset.dimensions());
+  const EcfTotals par =
+      TotalsOf(sharded.GlobalClusters(), dataset.dimensions());
+
+  // n is a sum of unit weights: exact in floating point at this size.
+  EXPECT_EQ(par.n, seq.n);
+  EXPECT_EQ(par.n, 10000.0);
+  // CF1/EF2 sums are the same point contributions added in a different
+  // order; ECF addition is exact, so any difference is pure FP rounding.
+  for (std::size_t j = 0; j < dataset.dimensions(); ++j) {
+    const double cf1_scale = std::max(1.0, std::abs(seq.cf1[j]));
+    EXPECT_NEAR(par.cf1[j], seq.cf1[j], 1e-9 * cf1_scale) << "dim " << j;
+    const double ef2_scale = std::max(1.0, std::abs(seq.ef2[j]));
+    EXPECT_NEAR(par.ef2[j], seq.ef2[j], 1e-9 * ef2_scale) << "dim " << j;
+  }
+
+  // Clustering quality must be in the same regime as the sequential run.
+  const double seq_purity = WeightedPurity(sequential.clusters());
+  const double par_purity = WeightedPurity(sharded.GlobalClusters());
+  EXPECT_NEAR(par_purity, seq_purity, 0.1);
+
+  // The merged view respects the global budget.
+  EXPECT_LE(sharded.GlobalClusters().size(), 50u);
+}
+
+TEST(ShardedUMicroTest, HashPartitionConservesTotals) {
+  const stream::Dataset dataset =
+      synth::MakeSynDriftWorkload(4000, 0.5, 7);
+
+  ShardedUMicroOptions options;
+  options.umicro = MassConservingOptions(40);
+  options.num_shards = 2;
+  options.partition = PartitionMode::kHash;
+  options.merge_every = 0;  // only the final Flush merges
+  ShardedUMicro sharded(dataset.dimensions(), options);
+  for (const auto& point : dataset.points()) sharded.Process(point);
+  sharded.Flush();
+
+  const EcfTotals par =
+      TotalsOf(sharded.GlobalClusters(), dataset.dimensions());
+  EXPECT_EQ(par.n, 4000.0);
+  EXPECT_EQ(sharded.Stats().merges, 1u);
+}
+
+TEST(ShardedUMicroTest, StatsSurfaceIsConsistent) {
+  const stream::Dataset dataset =
+      synth::MakeSynDriftWorkload(5000, 0.5, 3);
+
+  ShardedUMicroOptions options;
+  options.umicro = MassConservingOptions(40);
+  options.num_shards = 3;
+  options.merge_every = 1000;
+  options.producer_batch = 32;
+  options.queue_capacity = 16;
+  ShardedUMicro sharded(dataset.dimensions(), options);
+  for (const auto& point : dataset.points()) sharded.Process(point);
+  sharded.Flush();
+
+  const ParallelStats stats = sharded.Stats();
+  ASSERT_EQ(stats.shards.size(), 3u);
+  EXPECT_EQ(stats.points_ingested, 5000u);
+  EXPECT_EQ(stats.points_dropped, 0u);  // kBlock is lossless
+  std::size_t processed = 0;
+  for (const auto& shard : stats.shards) {
+    processed += shard.points_processed;
+    EXPECT_LE(shard.queue_high_water, 16u);
+    EXPECT_GT(shard.clusters, 0u);
+  }
+  EXPECT_EQ(processed, 5000u);
+  // 5000 points at merge_every=1000 -> 5 automatic merges + final Flush.
+  EXPECT_GE(stats.merges, 5u);
+  EXPECT_GT(stats.global_clusters, 0u);
+  EXPECT_GE(stats.total_merge_millis, stats.last_merge_millis);
+}
+
+TEST(ShardedUMicroTest, DropPoliciesKeepAccountingExact) {
+  // Tiny queues + drop policies: some batches may be shed depending on
+  // scheduling, but ingested == processed + dropped must hold exactly
+  // after a drain, and every drop must be counted.
+  for (const BackpressurePolicy policy :
+       {BackpressurePolicy::kDropOldest, BackpressurePolicy::kDropNewest}) {
+    const stream::Dataset dataset =
+        synth::MakeSynDriftWorkload(3000, 0.5, 11);
+    ShardedUMicroOptions options;
+    options.umicro = MassConservingOptions(30);
+    options.num_shards = 2;
+    options.queue_capacity = 2;
+    options.producer_batch = 16;
+    options.backpressure = policy;
+    options.merge_every = 0;
+    ShardedUMicro sharded(dataset.dimensions(), options);
+    for (const auto& point : dataset.points()) sharded.Process(point);
+    sharded.Flush();
+
+    const ParallelStats stats = sharded.Stats();
+    std::size_t processed = 0;
+    for (const auto& shard : stats.shards) {
+      processed += shard.points_processed;
+    }
+    EXPECT_EQ(processed + stats.points_dropped, stats.points_ingested);
+    EXPECT_EQ(stats.points_ingested, 3000u);
+
+    const EcfTotals totals =
+        TotalsOf(sharded.GlobalClusters(), dataset.dimensions());
+    EXPECT_EQ(totals.n, static_cast<double>(processed));
+  }
+}
+
+TEST(ShardedUMicroTest, ClustererInterfaceMergesOnRead) {
+  const stream::Dataset dataset =
+      synth::MakeSynDriftWorkload(2000, 0.5, 5);
+  ShardedUMicroOptions options;
+  options.umicro = MassConservingOptions(30);
+  options.num_shards = 2;
+  options.merge_every = 0;
+  ShardedUMicro sharded(dataset.dimensions(), options);
+  const stream::StreamClusterer& clusterer = sharded;
+  for (const auto& point : dataset.points()) sharded.Process(point);
+
+  // Reads through the interface force a merge: all mass is visible.
+  const auto histograms = clusterer.ClusterLabelHistograms();
+  double mass = 0.0;
+  for (const auto& histogram : histograms) {
+    mass += stream::HistogramWeight(histogram);
+  }
+  EXPECT_EQ(mass, 2000.0);
+  EXPECT_FALSE(clusterer.ClusterCentroids().empty());
+  EXPECT_EQ(clusterer.points_processed(), 2000u);
+  EXPECT_EQ(clusterer.name(), "ShardedUMicro(2)");
+}
+
+}  // namespace
+}  // namespace umicro::parallel

@@ -24,6 +24,7 @@
 #include "core/summary.h"
 #include "core/umicro.h"
 #include "eval/experiment.h"
+#include "parallel/sharded_umicro.h"
 #include "io/arff_dataset.h"
 #include "io/csv_dataset.h"
 #include "stream/imputation.h"
@@ -47,6 +48,10 @@ struct CliOptions {
   std::size_t max_rows = 0;
   std::string centroids_out;
   bool describe = false;
+  std::size_t threads = 0;
+  std::size_t merge_every = 8192;
+  std::string backpressure = "block";
+  std::size_t queue_capacity = 1024;
 };
 
 bool ParseFlag(const std::string& arg, const char* name,
@@ -70,6 +75,13 @@ void PrintUsage() {
       "  --impute              impute missing entries (online mean)\n"
       "  --no-header           headerless CSV, last column is the label\n"
       "  --describe            print the heaviest clusters at the end\n"
+      "  --threads=N           shard umicro ingest across N worker "
+      "threads\n"
+      "  --merge-every=M       points between global merges (default "
+      "8192)\n"
+      "  --backpressure=P      block|drop_oldest|drop_newest (default "
+      "block)\n"
+      "  --queue-capacity=N    per-shard queue capacity in batches\n"
       "  --sample-interval=N   purity sample cadence (default 10000)\n"
       "  --max-rows=N          read at most N rows (default all)\n"
       "  --centroids-out=FILE  write final centroids as CSV\n");
@@ -108,6 +120,14 @@ int main(int argc, char** argv) {
       cli.describe = true;
     } else if (arg == "--no-header") {
       cli.no_header = true;
+    } else if (ParseFlag(arg, "threads", &value)) {
+      cli.threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "merge-every", &value)) {
+      cli.merge_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "backpressure", &value)) {
+      cli.backpressure = value;
+    } else if (ParseFlag(arg, "queue-capacity", &value)) {
+      cli.queue_capacity = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "sample-interval", &value)) {
       cli.sample_interval = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "max-rows", &value)) {
@@ -190,7 +210,37 @@ int main(int argc, char** argv) {
   // ---- Cluster --------------------------------------------------------
   std::unique_ptr<umicro::stream::StreamClusterer> clusterer;
   umicro::core::UMicro* umicro_ptr = nullptr;
-  if (cli.algorithm == "umicro") {
+  umicro::parallel::ShardedUMicro* sharded_ptr = nullptr;
+  if (cli.algorithm == "umicro" && cli.threads > 0) {
+    umicro::parallel::ShardedUMicroOptions options;
+    options.umicro.num_micro_clusters = cli.nmicro;
+    options.umicro.boundary_factor = cli.boundary;
+    options.umicro.dimension_threshold = cli.thresh;
+    options.umicro.decay_lambda = cli.decay;
+    options.num_shards = cli.threads;
+    options.merge_every = cli.merge_every;
+    options.queue_capacity = cli.queue_capacity;
+    if (cli.backpressure == "block") {
+      options.backpressure = umicro::parallel::BackpressurePolicy::kBlock;
+    } else if (cli.backpressure == "drop_oldest") {
+      options.backpressure =
+          umicro::parallel::BackpressurePolicy::kDropOldest;
+    } else if (cli.backpressure == "drop_newest") {
+      options.backpressure =
+          umicro::parallel::BackpressurePolicy::kDropNewest;
+    } else {
+      std::fprintf(stderr, "unknown backpressure policy: %s\n",
+                   cli.backpressure.c_str());
+      return 2;
+    }
+    auto sharded = std::make_unique<umicro::parallel::ShardedUMicro>(
+        dataset.dimensions(), options);
+    sharded_ptr = sharded.get();
+    clusterer = std::move(sharded);
+    std::printf("sharded ingest: %zu threads, merge every %zu points, "
+                "%s backpressure\n",
+                cli.threads, cli.merge_every, cli.backpressure.c_str());
+  } else if (cli.algorithm == "umicro") {
     umicro::core::UMicroOptions options;
     options.num_micro_clusters = cli.nmicro;
     options.boundary_factor = cli.boundary;
@@ -242,6 +292,31 @@ int main(int argc, char** argv) {
     std::printf("\n%s",
                 umicro::core::SummarizeClusters(umicro_ptr->clusters())
                     .c_str());
+  }
+
+  if (sharded_ptr != nullptr) {
+    sharded_ptr->Flush();
+    if (cli.describe) {
+      std::printf("\n%s",
+                  umicro::core::SummarizeClusters(
+                      sharded_ptr->GlobalClusters())
+                      .c_str());
+    }
+    const umicro::parallel::ParallelStats stats = sharded_ptr->Stats();
+    std::printf("\nparallel ingest stats:\n");
+    std::printf("%8s %14s %14s %12s %10s\n", "shard", "points",
+                "queue-peak", "dropped", "clusters");
+    for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+      const auto& shard = stats.shards[i];
+      std::printf("%8zu %14zu %14zu %12zu %10zu\n", i,
+                  shard.points_processed, shard.queue_high_water,
+                  shard.points_dropped, shard.clusters);
+    }
+    std::printf("merges: %zu (%zu pair reconciliations), last %.2f ms, "
+                "total %.2f ms; dropped %zu of %zu points\n",
+                stats.merges, stats.reconcile_merges,
+                stats.last_merge_millis, stats.total_merge_millis,
+                stats.points_dropped, stats.points_ingested);
   }
 
   // ---- Dump centroids --------------------------------------------------
