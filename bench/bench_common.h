@@ -18,6 +18,8 @@
 #include "baseline/clustream.h"
 #include "core/umicro.h"
 #include "eval/experiment.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
 #include "stream/dataset.h"
 #include "stream/perturbation.h"
 #include "stream/stream_stats.h"
@@ -35,6 +37,9 @@ struct BenchArgs {
   std::size_t points = 200000;
   double eta = 0.5;
   std::size_t num_micro_clusters = 100;
+  /// When nonempty, the figure helpers dump the UMicro run's metrics
+  /// registry to <stem>.json + <stem>.csv after the run.
+  std::string metrics_out;
 
   static BenchArgs Parse(int argc, char** argv,
                          std::size_t default_points) {
@@ -44,9 +49,24 @@ struct BenchArgs {
     args.eta = flags.GetDouble("eta", args.eta);
     args.num_micro_clusters =
         flags.GetSize("nmicro", args.num_micro_clusters);
+    args.metrics_out = flags.GetString("metrics-out", "");
     return args;
   }
 };
+
+/// Dumps `registry` to `<stem>.json` + `<stem>.csv`; no-op on empty stem.
+inline void MaybeExportMetrics(const obs::MetricsRegistry& registry,
+                               const std::string& stem) {
+  if (stem.empty()) return;
+  obs::MetricsExporter exporter(&registry, stem);
+  if (exporter.ExportNow()) {
+    std::printf("metrics written to %s.{json,csv}\n",
+                exporter.base_path().c_str());
+  } else {
+    std::fprintf(stderr, "failed to write metrics to %s.{json,csv}\n",
+                 exporter.base_path().c_str());
+  }
+}
 
 /// Applies the paper's eta perturbation to a clean dataset in place.
 inline void PerturbWithEta(stream::Dataset& dataset, double eta,
@@ -77,12 +97,15 @@ inline void RunPurityProgressionFigure(const std::string& figure,
                                        const std::string& dataset_name,
                                        const stream::Dataset& dataset,
                                        std::size_t num_micro_clusters,
-                                       const std::string& csv_path) {
+                                       const std::string& csv_path,
+                                       const std::string& metrics_out = "") {
   const std::size_t interval = std::max<std::size_t>(1, dataset.size() / 12);
 
+  obs::MetricsRegistry registry;
   core::UMicroOptions uopt;
   uopt.num_micro_clusters = num_micro_clusters;
   core::UMicro umicro_algo(dataset.dimensions(), uopt);
+  if (!metrics_out.empty()) umicro_algo.AttachMetrics(&registry);
   const eval::PuritySeries umicro_series =
       eval::RunPurityExperiment(umicro_algo, dataset, interval);
 
@@ -112,6 +135,7 @@ inline void RunPurityProgressionFigure(const std::string& figure,
   std::printf("mean purity: UMicro %.4f  CluStream %.4f\n\n",
               umicro_series.MeanPurity(), clustream_series.MeanPurity());
   csv.WriteFile(csv_path);
+  MaybeExportMetrics(registry, metrics_out);
 }
 
 /// Figures 5-7: purity vs error level eta, UMicro vs CluStream.
@@ -120,7 +144,8 @@ void RunErrorLevelFigure(const std::string& figure,
                          const std::string& dataset_name,
                          DatasetFactory make_dataset, std::size_t points,
                          std::size_t num_micro_clusters,
-                         const std::string& csv_path) {
+                         const std::string& csv_path,
+                         const std::string& metrics_out = "") {
   const std::vector<double> etas = {0.25, 0.5, 0.75, 1.0,
                                     1.25, 1.5, 1.75, 2.0};
   std::printf("%s: cluster purity vs error level (%s, %zu points per "
@@ -130,12 +155,16 @@ void RunErrorLevelFigure(const std::string& figure,
   std::printf("%8s %12s %12s %8s\n", "eta", "UMicro", "CluStream", "gap");
   util::CsvWriter csv({"eta", "umicro_purity", "clustream_purity"});
   const std::size_t interval = std::max<std::size_t>(1, points / 10);
+  // One registry across all error levels: the exported dump aggregates
+  // the whole sweep (per-eta UMicro runs write into the same cells).
+  obs::MetricsRegistry registry;
   for (double eta : etas) {
     const stream::Dataset dataset = make_dataset(points, eta);
 
     core::UMicroOptions uopt;
     uopt.num_micro_clusters = num_micro_clusters;
     core::UMicro umicro_algo(dataset.dimensions(), uopt);
+    if (!metrics_out.empty()) umicro_algo.AttachMetrics(&registry);
     const double umicro_purity =
         eval::RunPurityExperiment(umicro_algo, dataset, interval)
             .MeanPurity();
@@ -153,6 +182,7 @@ void RunErrorLevelFigure(const std::string& figure,
   }
   std::printf("\n");
   csv.WriteFile(csv_path);
+  MaybeExportMetrics(registry, metrics_out);
 }
 
 /// Figures 8-10: points/sec vs progression; CluStream is the paper's
@@ -161,12 +191,15 @@ inline void RunThroughputFigure(const std::string& figure,
                                 const std::string& dataset_name,
                                 const stream::Dataset& dataset,
                                 std::size_t num_micro_clusters,
-                                const std::string& csv_path) {
+                                const std::string& csv_path,
+                                const std::string& metrics_out = "") {
   const std::size_t interval = std::max<std::size_t>(1, dataset.size() / 10);
 
+  obs::MetricsRegistry registry;
   core::UMicroOptions uopt;
   uopt.num_micro_clusters = num_micro_clusters;
   core::UMicro umicro_algo(dataset.dimensions(), uopt);
+  if (!metrics_out.empty()) umicro_algo.AttachMetrics(&registry);
   const eval::ThroughputSeries umicro_series =
       eval::RunThroughputExperiment(umicro_algo, dataset, interval);
 
@@ -205,6 +238,7 @@ inline void RunThroughputFigure(const std::string& figure,
       100.0 * umicro_series.overall_points_per_second /
           clustream_series.overall_points_per_second);
   csv.WriteFile(csv_path);
+  MaybeExportMetrics(registry, metrics_out);
 }
 
 }  // namespace umicro::bench

@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   const umicro::stream::Dataset dataset =
       MakeNetwork(args.points, args.eta);
   RunPurityProgressionFigure("Figure 3", "Network(0.5)", dataset,
-                             args.num_micro_clusters, "fig03.csv");
+                             args.num_micro_clusters, "fig03.csv", args.metrics_out);
   return 0;
 }

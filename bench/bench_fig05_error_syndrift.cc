@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   RunErrorLevelFigure(
       "Figure 5", "SynDrift",
       [](std::size_t n, double eta) { return MakeSynDrift(n, eta); },
-      args.points, args.num_micro_clusters, "fig05.csv");
+      args.points, args.num_micro_clusters, "fig05.csv", args.metrics_out);
   return 0;
 }

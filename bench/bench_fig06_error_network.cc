@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   RunErrorLevelFigure(
       "Figure 6", "Network",
       [](std::size_t n, double eta) { return MakeNetwork(n, eta); },
-      args.points, args.num_micro_clusters, "fig06.csv");
+      args.points, args.num_micro_clusters, "fig06.csv", args.metrics_out);
   return 0;
 }

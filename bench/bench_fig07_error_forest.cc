@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   RunErrorLevelFigure(
       "Figure 7", "ForestCover",
       [](std::size_t n, double eta) { return MakeForest(n, eta); },
-      args.points, args.num_micro_clusters, "fig07.csv");
+      args.points, args.num_micro_clusters, "fig07.csv", args.metrics_out);
   return 0;
 }

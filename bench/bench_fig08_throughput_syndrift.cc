@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   const umicro::stream::Dataset dataset =
       MakeSynDrift(args.points, args.eta);
   RunThroughputFigure("Figure 8", "SynDrift(0.5)", dataset,
-                      args.num_micro_clusters, "fig08.csv");
+                      args.num_micro_clusters, "fig08.csv", args.metrics_out);
   return 0;
 }

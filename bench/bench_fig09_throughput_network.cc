@@ -8,6 +8,6 @@ int main(int argc, char** argv) {
   const umicro::stream::Dataset dataset =
       MakeNetwork(args.points, args.eta);
   RunThroughputFigure("Figure 9", "Network(0.5)", dataset,
-                      args.num_micro_clusters, "fig09.csv");
+                      args.num_micro_clusters, "fig09.csv", args.metrics_out);
   return 0;
 }

@@ -118,18 +118,20 @@ void RunSweep(const std::string& workload,
         MaxRelativeDeviation(totals.cf1, sequential_totals.cf1);
     const double ef2_dev =
         MaxRelativeDeviation(totals.ef2, sequential_totals.ef2);
-    const umicro::parallel::ParallelStats stats = sharded.Stats();
+    const std::size_t merges = static_cast<std::size_t>(
+        sharded.metrics().GetCounter("parallel.merges").value());
+    const std::size_t dropped = static_cast<std::size_t>(
+        sharded.metrics().GetCounter("parallel.points_dropped").value());
 
     std::printf("%8zu %12.0f %9.2fx %10s %12.2e %12.2e %8zu %9zu\n",
                 shards, pps, speedup, n_exact ? "yes" : "NO", cf1_dev,
-                ef2_dev, stats.merges, stats.points_dropped);
+                ef2_dev, merges, dropped);
     csv.AddRow({workload, std::to_string(shards),
                 std::to_string(dataset.size()),
                 std::to_string(sequential_pps), std::to_string(pps),
                 std::to_string(speedup), n_exact ? "1" : "0",
                 Scientific(cf1_dev), Scientific(ef2_dev),
-                std::to_string(stats.merges),
-                std::to_string(stats.points_dropped)});
+                std::to_string(merges), std::to_string(dropped)});
   }
   std::printf("\n");
 }

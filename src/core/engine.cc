@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 namespace umicro::core {
@@ -9,9 +10,14 @@ namespace umicro::core {
 UMicroEngine::UMicroEngine(std::size_t dimensions, EngineOptions options)
     : options_(options),
       online_(dimensions, options.umicro),
-      store_(options.pyramid_alpha, options.pyramid_l) {
-  UMICRO_CHECK(options_.snapshot_every > 0);
+      store_(options.snapshot.pyramid_alpha, options.snapshot.pyramid_l),
+      snapshot_micros_(&metrics_.GetHistogram("snapshot.take_micros")),
+      snapshots_taken_(&metrics_.GetCounter("snapshot.taken")),
+      snapshots_stored_(&metrics_.GetGauge("snapshot.stored")) {
+  online_.AttachMetrics(&metrics_);
 }
+
+std::string UMicroEngine::name() const { return online_.name(); }
 
 void UMicroEngine::Process(const stream::UncertainPoint& point) {
   online_.Process(point);
@@ -20,17 +26,21 @@ void UMicroEngine::Process(const stream::UncertainPoint& point) {
   // tick times and the decay anchor is the newest time seen, so the
   // timestamp is clamped to be monotone.
   last_timestamp_ = std::max(last_timestamp_, point.timestamp);
-  if (++since_snapshot_ >= options_.snapshot_every) {
+  if (options_.snapshot.snapshot_every > 0 &&
+      ++since_snapshot_ >= options_.snapshot.snapshot_every) {
+    const obs::ScopedTimer timer(snapshot_micros_);
     store_.Insert(next_tick_++, online_.TakeSnapshot(last_timestamp_));
     since_snapshot_ = 0;
+    snapshots_taken_->Increment();
+    snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
   }
 }
 
 std::optional<HorizonClustering> UMicroEngine::ClusterRecent(
-    double horizon, const MacroClusteringOptions& options) const {
+    double horizon, const MacroClusteringOptions& options) {
   if (online_.points_processed() == 0) return std::nullopt;
   const Snapshot current = online_.TakeSnapshot(last_timestamp_);
-  return ClusterOverHorizon(store_, current, horizon, options);
+  return ClusterOverHorizon(store_, current, horizon, options, &metrics_);
 }
 
 }  // namespace umicro::core

@@ -1,12 +1,20 @@
-// UMicroEngine: the paper's full online/interactive analysis stack in
-// one object.
+// The unified engine API plus its sequential implementation.
 //
-// Section II-D: "as in [CluStream], the approach can be used to perform
-// interactive and online clustering in a data stream environment". The
-// engine owns the UMicro online component and the pyramidal snapshot
-// store, takes snapshots automatically at a fixed cadence, and answers
-// horizon queries ("what did the stream look like over the last h time
-// units, as k clusters?") at any moment.
+// ClusteringEngine is the one surface tools and benches drive: it extends
+// the StreamClusterer contract (Process / name / points_processed /
+// evaluation hooks) with horizon queries over a pyramidal snapshot store
+// and a per-engine metrics registry, so the sequential UMicroEngine and
+// the sharded ParallelUMicroEngine are interchangeable behind one
+// pointer.
+//
+// UMicroEngine is the paper's full online/interactive analysis stack in
+// one object. Section II-D: "as in [CluStream], the approach can be used
+// to perform interactive and online clustering in a data stream
+// environment". The engine owns the UMicro online component and the
+// pyramidal snapshot store, takes snapshots automatically at the
+// SnapshotPolicy cadence, and answers horizon queries ("what did the
+// stream look like over the last h time units, as k clusters?") at any
+// moment.
 
 #ifndef UMICRO_CORE_ENGINE_H_
 #define UMICRO_CORE_ENGINE_H_
@@ -14,55 +22,95 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/horizon.h"
 #include "core/snapshot.h"
 #include "core/umicro.h"
+#include "obs/metrics.h"
+#include "stream/clusterer.h"
 #include "stream/point.h"
 
 namespace umicro::core {
 
-/// Configuration of the combined engine.
+/// Abstract engine: one-pass stream clustering plus snapshots, horizon
+/// queries, and an observability surface. Implemented by UMicroEngine
+/// (sequential) and parallel::ParallelUMicroEngine (sharded); callers
+/// hold a ClusteringEngine* and never branch on the concrete type.
+class ClusteringEngine : public stream::StreamClusterer {
+ public:
+  /// Clusters the most recent `horizon` time units into `options.k`
+  /// macro-clusters. Returns std::nullopt before any data or when the
+  /// window is empty.
+  virtual std::optional<HorizonClustering> ClusterRecent(
+      double horizon, const MacroClusteringOptions& options) = 0;
+
+  /// Completes all in-flight work so reads see current state (no-op for
+  /// a sequential engine; drains + merges for a sharded one).
+  virtual void Flush() = 0;
+
+  /// Snapshot store (inspection / persistence).
+  virtual const SnapshotStore& store() const = 0;
+
+  /// The engine's metrics registry: counters/gauges/latency histograms
+  /// for every instrumented stage (see docs/observability.md for the
+  /// catalog). Live -- collect at any time.
+  virtual obs::MetricsRegistry& metrics() = 0;
+  const obs::MetricsRegistry& metrics() const {
+    return const_cast<ClusteringEngine*>(this)->metrics();
+  }
+};
+
+/// Configuration of the sequential engine.
 struct EngineOptions {
   /// Online component configuration.
   UMicroOptions umicro;
-  /// Stream points between automatic snapshots.
-  std::size_t snapshot_every = 100;
-  /// Pyramidal geometric base alpha (>= 2).
-  std::size_t pyramid_alpha = 2;
-  /// Pyramidal precision l (>= 1): alpha^l + 1 snapshots kept per order.
-  std::size_t pyramid_l = 3;
+  /// Snapshot cadence and pyramidal retention.
+  SnapshotPolicy snapshot;
 };
 
 /// Online uncertain-stream clustering with historical horizon queries.
-class UMicroEngine {
+class UMicroEngine : public ClusteringEngine {
  public:
   /// Creates an engine for `dimensions`-dimensional streams.
   UMicroEngine(std::size_t dimensions, EngineOptions options);
 
-  /// Feeds the next stream record; snapshots automatically every
-  /// `snapshot_every` points.
-  void Process(const stream::UncertainPoint& point);
+  UMicroEngine(const UMicroEngine&) = delete;
+  UMicroEngine& operator=(const UMicroEngine&) = delete;
+
+  // StreamClusterer interface (delegating to the online component).
+  void Process(const stream::UncertainPoint& point) override;
+  std::string name() const override;
+  std::size_t points_processed() const override {
+    return online_.points_processed();
+  }
+  std::vector<stream::LabelHistogram> ClusterLabelHistograms()
+      const override {
+    return online_.ClusterLabelHistograms();
+  }
+  std::vector<std::vector<double>> ClusterCentroids() const override {
+    return online_.ClusterCentroids();
+  }
+
+  // ClusteringEngine interface.
+  std::optional<HorizonClustering> ClusterRecent(
+      double horizon, const MacroClusteringOptions& options) override;
+  void Flush() override {}
+  const SnapshotStore& store() const override { return store_; }
+  obs::MetricsRegistry& metrics() override { return metrics_; }
 
   /// Online component (current micro-clusters, diagnostics).
   const UMicro& online() const { return online_; }
 
-  /// Snapshot store (inspection / persistence).
-  const SnapshotStore& store() const { return store_; }
-
-  /// Clusters the most recent `horizon` time units into
-  /// `options.k` macro-clusters. Returns std::nullopt before the first
-  /// snapshot or when the window is empty.
-  std::optional<HorizonClustering> ClusterRecent(
-      double horizon, const MacroClusteringOptions& options) const;
-
-  /// Total records processed.
-  std::size_t points_processed() const { return online_.points_processed(); }
-
  private:
   EngineOptions options_;
+  obs::MetricsRegistry metrics_;
   UMicro online_;
   SnapshotStore store_;
+  obs::Histogram* snapshot_micros_;
+  obs::Counter* snapshots_taken_;
+  obs::Gauge* snapshots_stored_;
   std::uint64_t next_tick_ = 1;
   std::size_t since_snapshot_ = 0;
   double last_timestamp_ = 0.0;

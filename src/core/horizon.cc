@@ -1,22 +1,35 @@
 #include "core/horizon.h"
 
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 namespace umicro::core {
 
 std::optional<HorizonClustering> ClusterOverHorizon(
     const SnapshotStore& store, const Snapshot& current, double horizon,
-    const MacroClusteringOptions& options) {
+    const MacroClusteringOptions& options, obs::MetricsRegistry* metrics) {
   UMICRO_CHECK(horizon > 0.0);
+  if (metrics != nullptr) metrics->GetCounter("horizon.queries").Increment();
   const auto older = store.FindNearest(current.time - horizon);
   if (!older.has_value()) return std::nullopt;
   if (older->time > current.time) return std::nullopt;
 
   HorizonClustering result;
   result.realized_horizon = current.time - older->time;
-  result.window = SubtractSnapshot(current, *older);
+  {
+    const obs::ScopedTimer timer(
+        metrics != nullptr
+            ? &metrics->GetHistogram("snapshot.subtract_micros")
+            : nullptr);
+    result.window = SubtractSnapshot(current, *older);
+  }
   if (result.window.empty()) return std::nullopt;
-  result.macro = ClusterMicroClusters(result.window, options);
+  {
+    const obs::ScopedTimer timer(
+        metrics != nullptr ? &metrics->GetHistogram("horizon.macro_micros")
+                           : nullptr);
+    result.macro = ClusterMicroClusters(result.window, options);
+  }
   return result;
 }
 

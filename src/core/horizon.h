@@ -9,6 +9,7 @@
 
 #include "core/macro_cluster.h"
 #include "core/snapshot.h"
+#include "obs/metrics.h"
 
 namespace umicro::core {
 
@@ -26,10 +27,14 @@ struct HorizonClustering {
 /// finds the stored snapshot nearest to `current.time - horizon`,
 /// subtracts it from `current`, and macro-clusters the residual window.
 /// Returns std::nullopt when the store holds no usable snapshot or the
-/// window is empty.
+/// window is empty. With a registry attached, records the query count
+/// plus subtract and macro-clustering latency histograms
+/// ("horizon.queries", "snapshot.subtract_micros",
+/// "horizon.macro_micros").
 std::optional<HorizonClustering> ClusterOverHorizon(
     const SnapshotStore& store, const Snapshot& current, double horizon,
-    const MacroClusteringOptions& options);
+    const MacroClusteringOptions& options,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace umicro::core
 

@@ -25,6 +25,19 @@
 
 namespace umicro::core {
 
+/// Shared snapshot/pyramid configuration of the engines (sequential and
+/// sharded): how often to snapshot and how the pyramidal store retains.
+struct SnapshotPolicy {
+  /// Stream points between automatic snapshots; 0 disables automatic
+  /// snapshotting entirely (horizon queries then see only the live
+  /// state).
+  std::size_t snapshot_every = 100;
+  /// Pyramidal geometric base alpha (>= 2).
+  std::size_t pyramid_alpha = 2;
+  /// Pyramidal precision l (>= 1): alpha^l + 1 snapshots kept per order.
+  std::size_t pyramid_l = 3;
+};
+
 /// Frozen state of one micro-cluster inside a snapshot.
 struct MicroClusterState {
   std::uint64_t id = 0;

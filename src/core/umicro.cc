@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/expected_distance.h"
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 namespace umicro::core {
@@ -27,6 +28,28 @@ UMicro::UMicro(std::size_t dimensions, UMicroOptions options)
 
 std::string UMicro::name() const {
   return options_.decay_lambda > 0.0 ? "UMicro(decay)" : "UMicro";
+}
+
+void UMicro::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    process_micros_ = nullptr;
+    points_metric_ = nullptr;
+    kernel_scans_metric_ = nullptr;
+    absorbed_metric_ = nullptr;
+    created_metric_ = nullptr;
+    evicted_metric_ = nullptr;
+    merged_metric_ = nullptr;
+    live_clusters_metric_ = nullptr;
+    return;
+  }
+  process_micros_ = &registry->GetHistogram("umicro.process_micros");
+  points_metric_ = &registry->GetCounter("umicro.points");
+  kernel_scans_metric_ = &registry->GetCounter("umicro.kernel_scans");
+  absorbed_metric_ = &registry->GetCounter("umicro.absorbed");
+  created_metric_ = &registry->GetCounter("umicro.created");
+  evicted_metric_ = &registry->GetCounter("umicro.evicted");
+  merged_metric_ = &registry->GetCounter("umicro.merged");
+  live_clusters_metric_ = &registry->GetGauge("umicro.live_clusters");
 }
 
 void UMicro::ApplyDecay(double now) {
@@ -221,12 +244,19 @@ UMicro::ProcessOutcome UMicro::ProcessAndExplain(
   UMICRO_CHECK_MSG(point.dimensions() == dimensions_,
                    "point has %zu dimensions, algorithm expects %zu",
                    point.dimensions(), dimensions_);
+  const obs::ScopedTimer timer(process_micros_);
   ++points_processed_;
+  if (points_metric_ != nullptr) points_metric_->Increment();
   ApplyDecay(point.timestamp);
   UpdateGlobalVariances(point);
 
   ProcessOutcome outcome;
   if (!clusters_.empty()) {
+    // One similarity-kernel scan per live cluster: the per-point cost of
+    // the expected-distance kernel, in units of cluster comparisons.
+    if (kernel_scans_metric_ != nullptr) {
+      kernel_scans_metric_->Increment(clusters_.size());
+    }
     const std::size_t closest = FindClosest(point);
     outcome.expected_distance =
         std::sqrt(ExpectedSquaredDistance(point, clusters_[closest].ecf));
@@ -234,16 +264,21 @@ UMicro::ProcessOutcome UMicro::ProcessAndExplain(
       clusters_[closest].AddPoint(point);
       outcome.absorbed = true;
       outcome.cluster_id = clusters_[closest].id;
+      if (absorbed_metric_ != nullptr) absorbed_metric_->Increment();
       return outcome;
     }
   }
 
   clusters_.emplace_back(next_cluster_id_++, point);
   ++clusters_created_;
+  if (created_metric_ != nullptr) created_metric_->Increment();
   outcome.absorbed = false;
   outcome.cluster_id = clusters_.back().id;
   if (clusters_.size() > options_.num_micro_clusters) {
     RetireOneCluster(point.timestamp);
+  }
+  if (live_clusters_metric_ != nullptr) {
+    live_clusters_metric_->Set(static_cast<double>(clusters_.size()));
   }
   return outcome;
 }
@@ -266,6 +301,7 @@ void UMicro::RetireOneCluster(double now) {
       now - options_.eviction_horizon) {
     clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(lru));
     ++clusters_evicted_;
+    if (evicted_metric_ != nullptr) evicted_metric_->Increment();
     return;
   }
 
@@ -314,6 +350,7 @@ void UMicro::RetireOneCluster(double now) {
   }
   clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(best_b));
   ++clusters_merged_;
+  if (merged_metric_ != nullptr) merged_metric_->Increment();
 }
 
 UMicroState UMicro::ExportState() const {

@@ -22,6 +22,7 @@
 #include "core/expected_distance.h"
 #include "core/microcluster.h"
 #include "core/snapshot.h"
+#include "obs/metrics.h"
 #include "stream/clusterer.h"
 #include "stream/point.h"
 #include "util/math_utils.h"
@@ -171,6 +172,14 @@ class UMicro : public stream::StreamClusterer {
   /// Number of closest-pair merges performed to make room.
   std::size_t clusters_merged() const { return clusters_merged_; }
 
+  /// Attaches a metrics registry (nullptr detaches, the default). The
+  /// algorithm then records, under the "umicro." prefix: per-point
+  /// process latency, similarity-kernel cluster scans, and
+  /// absorb/create/evict/merge outcome counters. The registry must
+  /// outlive this instance; several instances (e.g. the shards of a
+  /// sharded pipeline) may share one registry, the cells are atomic.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   /// Index of the closest cluster under the configured similarity;
   /// clusters_ must be non-empty.
@@ -214,6 +223,17 @@ class UMicro : public stream::StreamClusterer {
   mutable std::vector<double> centroid_scratch_;
   /// Scratch for the per-point similarity precomputation (mask + base).
   mutable std::vector<double> similarity_scratch_;
+
+  // Metric handles resolved once by AttachMetrics; all null when no
+  // registry is attached (the hot path then costs one pointer test).
+  obs::Histogram* process_micros_ = nullptr;
+  obs::Counter* points_metric_ = nullptr;
+  obs::Counter* kernel_scans_metric_ = nullptr;
+  obs::Counter* absorbed_metric_ = nullptr;
+  obs::Counter* created_metric_ = nullptr;
+  obs::Counter* evicted_metric_ = nullptr;
+  obs::Counter* merged_metric_ = nullptr;
+  obs::Gauge* live_clusters_metric_ = nullptr;
 
   std::size_t points_processed_ = 0;
   std::uint64_t next_cluster_id_ = 0;

@@ -18,7 +18,8 @@ double PuritySeries::MeanPurity() const {
 
 PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
                                  const stream::Dataset& dataset,
-                                 std::size_t sample_interval) {
+                                 std::size_t sample_interval,
+                                 const ProgressFn& progress) {
   UMICRO_CHECK(sample_interval > 0);
   PuritySeries series;
   series.algorithm = clusterer.name();
@@ -35,6 +36,7 @@ PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
 
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     clusterer.Process(dataset[i]);
+    if (progress) progress(i + 1);
     if ((i + 1) % sample_interval == 0) take_sample(i + 1);
   }
   if (dataset.size() % sample_interval != 0) take_sample(dataset.size());
@@ -44,7 +46,8 @@ PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
 ThroughputSeries RunThroughputExperiment(stream::StreamClusterer& clusterer,
                                          const stream::Dataset& dataset,
                                          std::size_t sample_interval,
-                                         double window_seconds) {
+                                         double window_seconds,
+                                         const ProgressFn& progress) {
   UMICRO_CHECK(sample_interval > 0);
   ThroughputSeries series;
   series.algorithm = clusterer.name();
@@ -57,6 +60,7 @@ ThroughputSeries RunThroughputExperiment(stream::StreamClusterer& clusterer,
   std::size_t pending = 0;
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     clusterer.Process(dataset[i]);
+    if (progress) progress(i + 1);
     ++pending;
     if (pending == batch || i + 1 == dataset.size()) {
       meter.Record(stopwatch.ElapsedSeconds(), pending);

@@ -5,6 +5,7 @@
 #define UMICRO_EVAL_EXPERIMENT_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,13 @@
 #include "stream/dataset.h"
 
 namespace umicro::eval {
+
+/// Optional per-point hook of the experiment drivers, called with the
+/// number of points processed so far (1-based, after each Process).
+/// Used to tick periodic side effects -- e.g. MetricsExporter exports --
+/// at stream-position cadence. An empty function costs one branch per
+/// point.
+using ProgressFn = std::function<void(std::size_t points_processed)>;
 
 /// One sample of a purity-vs-progression run.
 struct PuritySample {
@@ -39,7 +47,8 @@ struct PuritySeries {
 /// the stream length).
 PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
                                  const stream::Dataset& dataset,
-                                 std::size_t sample_interval);
+                                 std::size_t sample_interval,
+                                 const ProgressFn& progress = {});
 
 /// One sample of a throughput-vs-progression run.
 struct ThroughputSample {
@@ -62,7 +71,8 @@ struct ThroughputSeries {
 ThroughputSeries RunThroughputExperiment(stream::StreamClusterer& clusterer,
                                          const stream::Dataset& dataset,
                                          std::size_t sample_interval,
-                                         double window_seconds = 2.0);
+                                         double window_seconds = 2.0,
+                                         const ProgressFn& progress = {});
 
 }  // namespace umicro::eval
 

@@ -1,0 +1,122 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv_writer.h"
+
+namespace umicro::obs {
+
+namespace {
+
+/// Shortest-faithful default numeric rendering (matches the CSV writer's
+/// 6-significant-digit convention).
+std::string FormatNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+const char* TypeName(MetricSnapshot::Type type) {
+  switch (type) {
+    case MetricSnapshot::Type::kCounter:
+      return "counter";
+    case MetricSnapshot::Type::kGauge:
+      return "gauge";
+    case MetricSnapshot::Type::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+std::string StripKnownExtension(std::string path) {
+  for (const char* ext : {".json", ".csv"}) {
+    const std::string suffix(ext);
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      path.resize(path.size() - suffix.size());
+      break;
+    }
+  }
+  return path;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << text;
+  return out.good();
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(const MetricsRegistry* registry,
+                                 std::string base_path,
+                                 std::size_t every_points)
+    : registry_(registry),
+      base_path_(StripKnownExtension(std::move(base_path))),
+      every_points_(every_points) {}
+
+std::string MetricsExporter::ToJson(const MetricsRegistry& registry) {
+  std::string json = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& metric : registry.Collect()) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n  {\"name\":\"" + metric.name + "\",\"type\":\"" +
+            TypeName(metric.type) + "\"";
+    if (metric.type == MetricSnapshot::Type::kHistogram) {
+      const HistogramSummary& h = metric.histogram;
+      json += ",\"count\":" + FormatNumber(static_cast<double>(h.count));
+      json += ",\"sum\":" + FormatNumber(h.sum);
+      json += ",\"min\":" + FormatNumber(h.min);
+      json += ",\"max\":" + FormatNumber(h.max);
+      json += ",\"p50\":" + FormatNumber(h.p50);
+      json += ",\"p95\":" + FormatNumber(h.p95);
+      json += ",\"p99\":" + FormatNumber(h.p99);
+    } else {
+      json += ",\"value\":" + FormatNumber(metric.value);
+    }
+    json += "}";
+  }
+  json += "\n]}\n";
+  return json;
+}
+
+std::string MetricsExporter::ToCsv(const MetricsRegistry& registry) {
+  util::CsvWriter csv({"name", "type", "count", "value", "sum", "min", "max",
+                       "p50", "p95", "p99"});
+  for (const MetricSnapshot& metric : registry.Collect()) {
+    if (metric.type == MetricSnapshot::Type::kHistogram) {
+      const HistogramSummary& h = metric.histogram;
+      csv.AddRow(std::vector<std::string>{
+          metric.name, TypeName(metric.type),
+          FormatNumber(static_cast<double>(h.count)), "", FormatNumber(h.sum),
+          FormatNumber(h.min), FormatNumber(h.max), FormatNumber(h.p50),
+          FormatNumber(h.p95), FormatNumber(h.p99)});
+    } else {
+      csv.AddRow(std::vector<std::string>{
+          metric.name, TypeName(metric.type), "", FormatNumber(metric.value),
+          "", "", "", "", "", ""});
+    }
+  }
+  return csv.ToString();
+}
+
+bool MetricsExporter::ExportNow() {
+  const bool json_ok =
+      WriteTextFile(base_path_ + ".json", ToJson(*registry_));
+  const bool csv_ok = WriteTextFile(base_path_ + ".csv", ToCsv(*registry_));
+  exports_written_ += 1;
+  return json_ok && csv_ok;
+}
+
+void MetricsExporter::TickPoints(std::size_t total_points) {
+  if (every_points_ == 0) return;
+  if (total_points - last_export_points_ < every_points_) return;
+  last_export_points_ = total_points;
+  ExportNow();
+}
+
+}  // namespace umicro::obs

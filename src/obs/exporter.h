@@ -1,0 +1,62 @@
+// MetricsExporter: renders a MetricsRegistry as JSON or CSV and writes
+// both next to each other, on demand or periodically (every N stream
+// points).
+//
+// Formats (one row/object per metric, sorted by name):
+//   JSON  {"metrics":[{"name":...,"type":"counter","value":...}, ...]}
+//   CSV   name,type,count,value,sum,min,max,p50,p95,p99
+// Histogram rows fill count/sum/min/max/p50/p95/p99; counter and gauge
+// rows fill value. Times are microseconds unless the metric name says
+// otherwise.
+
+#ifndef UMICRO_OBS_EXPORTER_H_
+#define UMICRO_OBS_EXPORTER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace umicro::obs {
+
+/// Dumps a registry as JSON + CSV files.
+class MetricsExporter {
+ public:
+  /// `base_path` is the output stem: ExportNow writes `<stem>.json` and
+  /// `<stem>.csv` (a trailing ".json" or ".csv" on `base_path` is
+  /// stripped first). `every_points` > 0 arms periodic export via
+  /// TickPoints.
+  MetricsExporter(const MetricsRegistry* registry, std::string base_path,
+                  std::size_t every_points = 0);
+
+  /// JSON rendering of the registry's current content.
+  static std::string ToJson(const MetricsRegistry& registry);
+
+  /// CSV rendering of the registry's current content.
+  static std::string ToCsv(const MetricsRegistry& registry);
+
+  /// Writes `<stem>.json` and `<stem>.csv` now. False on I/O failure.
+  bool ExportNow();
+
+  /// Periodic hook: call with the running stream position; re-exports
+  /// whenever another `every_points` points have passed. No-op when
+  /// `every_points` is 0.
+  void TickPoints(std::size_t total_points);
+
+  /// Output stem (after extension stripping).
+  const std::string& base_path() const { return base_path_; }
+
+  /// Exports performed so far (periodic + on-demand).
+  std::size_t exports_written() const { return exports_written_; }
+
+ private:
+  const MetricsRegistry* registry_;
+  std::string base_path_;
+  std::size_t every_points_;
+  std::size_t last_export_points_ = 0;
+  std::size_t exports_written_ = 0;
+};
+
+}  // namespace umicro::obs
+
+#endif  // UMICRO_OBS_EXPORTER_H_

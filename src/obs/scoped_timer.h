@@ -1,0 +1,46 @@
+// RAII latency probe: records the scope's wall-clock duration (in
+// microseconds) into a Histogram on destruction.
+//
+// A null histogram disables the probe entirely -- no clock reads -- so
+// instrumented code paths pay nothing when metrics are not attached.
+
+#ifndef UMICRO_OBS_SCOPED_TIMER_H_
+#define UMICRO_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace umicro::obs {
+
+/// Times its own lifetime into a latency histogram (microseconds).
+class ScopedTimer {
+ public:
+  /// Starts timing; `histogram` may be null (probe disabled).
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = Clock::now();
+  }
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(ElapsedMicros());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Microseconds since construction (0 when disabled).
+  double ElapsedMicros() const {
+    if (histogram_ == nullptr) return 0.0;
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+}  // namespace umicro::obs
+
+#endif  // UMICRO_OBS_SCOPED_TIMER_H_

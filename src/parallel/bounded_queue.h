@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 namespace umicro::parallel {
@@ -34,6 +36,21 @@ enum class BackpressurePolicy {
   kDropOldest,
   /// Reject the incoming item (bounded latency for what is queued).
   kDropNewest,
+};
+
+/// Optional registry-backed observability hooks of one queue. All
+/// pointers may be null (that probe is then skipped); the queue keeps its
+/// internal counters either way.
+struct QueueMetricsHooks {
+  /// Incremented per accepted Push.
+  obs::Counter* enqueued = nullptr;
+  /// Incremented per shed item (both drop policies).
+  obs::Counter* dropped = nullptr;
+  /// Raised to the highest occupancy observed (in queued items).
+  obs::Gauge* high_water = nullptr;
+  /// Full Push latency, including any kBlock backpressure stall --
+  /// the queue-pressure signal.
+  obs::Histogram* enqueue_micros = nullptr;
 };
 
 /// Point-in-time counters of one queue.
@@ -70,6 +87,7 @@ class BoundedQueue {
   /// non-null and kDropOldest evicted an item, the evicted item is moved
   /// into it; otherwise it is reset.
   bool Push(T value, std::optional<T>* displaced = nullptr) {
+    const obs::ScopedTimer timer(hooks_.enqueue_micros);
     std::unique_lock<std::mutex> lock(mu_);
     if (displaced != nullptr) displaced->reset();
     if (closed_) return false;
@@ -85,11 +103,13 @@ class BoundedQueue {
           head_ = (head_ + 1) % capacity_;
           --count_;
           ++dropped_oldest_;
+          if (hooks_.dropped != nullptr) hooks_.dropped->Increment();
           if (displaced != nullptr) *displaced = std::move(oldest);
           break;
         }
         case BackpressurePolicy::kDropNewest:
           ++dropped_newest_;
+          if (hooks_.dropped != nullptr) hooks_.dropped->Increment();
           return false;
       }
     }
@@ -97,6 +117,10 @@ class BoundedQueue {
     ++count_;
     ++pushed_;
     high_water_ = std::max(high_water_, count_);
+    if (hooks_.enqueued != nullptr) hooks_.enqueued->Increment();
+    if (hooks_.high_water != nullptr) {
+      hooks_.high_water->SetMax(static_cast<double>(count_));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -146,6 +170,10 @@ class BoundedQueue {
   /// Configured overflow policy.
   BackpressurePolicy policy() const { return policy_; }
 
+  /// Attaches registry-backed probes. Call before any concurrent use
+  /// (the hooks are copied without synchronization); pass {} to detach.
+  void SetMetricsHooks(const QueueMetricsHooks& hooks) { hooks_ = hooks; }
+
   /// Consistent snapshot of the counters.
   QueueStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -170,6 +198,7 @@ class BoundedQueue {
 
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
+  QueueMetricsHooks hooks_;
 
   mutable std::mutex mu_;
   std::condition_variable not_full_;

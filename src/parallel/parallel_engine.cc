@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 
 namespace umicro::parallel {
@@ -10,9 +11,11 @@ ParallelUMicroEngine::ParallelUMicroEngine(std::size_t dimensions,
                                            ParallelEngineOptions options)
     : options_(options),
       sharded_(dimensions, options.sharded),
-      store_(options.pyramid_alpha, options.pyramid_l) {
-  UMICRO_CHECK(options_.snapshot_every > 0);
-}
+      store_(options.snapshot.pyramid_alpha, options.snapshot.pyramid_l),
+      snapshot_micros_(
+          &sharded_.metrics().GetHistogram("snapshot.take_micros")),
+      snapshots_taken_(&sharded_.metrics().GetCounter("snapshot.taken")),
+      snapshots_stored_(&sharded_.metrics().GetGauge("snapshot.stored")) {}
 
 void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
   // Sharded replay can deliver out-of-order arrivals; the engine clock
@@ -20,21 +23,24 @@ void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
   // order and decay is anchored to the newest time seen).
   last_timestamp_ = std::max(last_timestamp_, point.timestamp);
   sharded_.Process(point);
-  if (++since_snapshot_ >= options_.snapshot_every) {
+  if (options_.snapshot.snapshot_every > 0 &&
+      ++since_snapshot_ >= options_.snapshot.snapshot_every) {
+    const obs::ScopedTimer timer(snapshot_micros_);
     sharded_.Flush();
     store_.Insert(next_tick_++, sharded_.GlobalSnapshot(last_timestamp_));
     since_snapshot_ = 0;
+    snapshots_taken_->Increment();
+    snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
   }
 }
-
-void ParallelUMicroEngine::Flush() { sharded_.Flush(); }
 
 std::optional<core::HorizonClustering> ParallelUMicroEngine::ClusterRecent(
     double horizon, const core::MacroClusteringOptions& options) {
   if (sharded_.points_processed() == 0) return std::nullopt;
   sharded_.Flush();
   const core::Snapshot current = sharded_.GlobalSnapshot(last_timestamp_);
-  return core::ClusterOverHorizon(store_, current, horizon, options);
+  return core::ClusterOverHorizon(store_, current, horizon, options,
+                                  &sharded_.metrics());
 }
 
 }  // namespace umicro::parallel

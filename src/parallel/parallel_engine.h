@@ -1,4 +1,4 @@
-// ParallelUMicroEngine: the sharded counterpart of UMicroEngine.
+// ParallelUMicroEngine: the sharded implementation of ClusteringEngine.
 //
 // Mirrors the sequential engine's facade -- feed points, get automatic
 // pyramidal snapshots and horizon queries -- but ingests through the
@@ -16,9 +16,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "core/engine.h"
 #include "core/horizon.h"
 #include "core/snapshot.h"
+#include "obs/metrics.h"
 #include "parallel/sharded_umicro.h"
 #include "stream/point.h"
 
@@ -28,54 +32,58 @@ namespace umicro::parallel {
 struct ParallelEngineOptions {
   /// Ingest pipeline configuration.
   ShardedUMicroOptions sharded;
-  /// Stream points between automatic global snapshots. Each snapshot
-  /// forces a drain + merge, so this should stay well above the
-  /// per-point cost you are willing to amortize (default trades ~one
-  /// merge per 8192 points).
-  std::size_t snapshot_every = 8192;
-  /// Pyramidal geometric base alpha (>= 2).
-  std::size_t pyramid_alpha = 2;
-  /// Pyramidal precision l (>= 1): alpha^l + 1 snapshots kept per order.
-  std::size_t pyramid_l = 3;
+  /// Snapshot cadence and pyramidal retention. Each snapshot forces a
+  /// drain + merge, so the cadence default (8192, vs the sequential
+  /// engine's 100) stays well above the per-point cost you are willing
+  /// to amortize.
+  core::SnapshotPolicy snapshot{/*snapshot_every=*/8192,
+                                /*pyramid_alpha=*/2, /*pyramid_l=*/3};
 };
 
 /// Sharded online clustering with historical horizon queries.
-class ParallelUMicroEngine {
+class ParallelUMicroEngine : public core::ClusteringEngine {
  public:
   /// Creates an engine for `dimensions`-dimensional streams.
   ParallelUMicroEngine(std::size_t dimensions, ParallelEngineOptions options);
 
-  /// Feeds the next stream record; merges + snapshots automatically
-  /// every `snapshot_every` points.
-  void Process(const stream::UncertainPoint& point);
+  ParallelUMicroEngine(const ParallelUMicroEngine&) = delete;
+  ParallelUMicroEngine& operator=(const ParallelUMicroEngine&) = delete;
 
-  /// Drains the pipeline and refreshes the merged global view.
-  void Flush();
-
-  /// Clusters the most recent `horizon` time units into `options.k`
-  /// macro-clusters (on a freshly merged view). Returns std::nullopt
-  /// before any data.
-  std::optional<core::HorizonClustering> ClusterRecent(
-      double horizon, const core::MacroClusteringOptions& options);
-
-  /// Ingest pipeline (merged clusters, parallel stats).
-  const ShardedUMicro& sharded() const { return sharded_; }
-
-  /// Snapshot store (inspection / persistence).
-  const core::SnapshotStore& store() const { return store_; }
-
-  /// Pipeline counters.
-  ParallelStats Stats() const { return sharded_.Stats(); }
-
-  /// Total records ingested.
-  std::size_t points_processed() const {
+  // StreamClusterer interface (delegating to the pipeline; the two read
+  // accessors force a fresh merge inside ShardedUMicro).
+  void Process(const stream::UncertainPoint& point) override;
+  std::string name() const override { return sharded_.name(); }
+  std::size_t points_processed() const override {
     return sharded_.points_processed();
   }
+  std::vector<stream::LabelHistogram> ClusterLabelHistograms()
+      const override {
+    return sharded_.ClusterLabelHistograms();
+  }
+  std::vector<std::vector<double>> ClusterCentroids() const override {
+    return sharded_.ClusterCentroids();
+  }
+
+  // ClusteringEngine interface.
+  std::optional<core::HorizonClustering> ClusterRecent(
+      double horizon, const core::MacroClusteringOptions& options) override;
+  /// Drains the pipeline and refreshes the merged global view.
+  void Flush() override { sharded_.Flush(); }
+  const core::SnapshotStore& store() const override { return store_; }
+  /// The pipeline's registry (engine-level snapshot metrics land in the
+  /// same registry, so one export covers the whole stack).
+  obs::MetricsRegistry& metrics() override { return sharded_.metrics(); }
+
+  /// Ingest pipeline (merged clusters, parallel metrics).
+  const ShardedUMicro& sharded() const { return sharded_; }
 
  private:
   ParallelEngineOptions options_;
   ShardedUMicro sharded_;
   core::SnapshotStore store_;
+  obs::Histogram* snapshot_micros_;
+  obs::Counter* snapshots_taken_;
+  obs::Gauge* snapshots_stored_;
   std::uint64_t next_tick_ = 1;
   std::size_t since_snapshot_ = 0;
   double last_timestamp_ = 0.0;

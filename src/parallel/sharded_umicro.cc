@@ -6,8 +6,8 @@
 #include <optional>
 #include <utility>
 
+#include "obs/scoped_timer.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
 
 namespace umicro::parallel {
 
@@ -80,16 +80,41 @@ ShardedUMicro::ShardedUMicro(std::size_t dimensions,
       options_(options),
       global_budget_(options.global_budget > 0
                          ? options.global_budget
-                         : options.umicro.num_micro_clusters) {
+                         : options.umicro.num_micro_clusters),
+      points_ingested_metric_(
+          &metrics_.GetCounter("parallel.points_ingested")),
+      points_dropped_metric_(&metrics_.GetCounter("parallel.points_dropped")),
+      merges_metric_(&metrics_.GetCounter("parallel.merges")),
+      reconcile_metric_(&metrics_.GetCounter("parallel.reconcile_merges")),
+      merge_micros_(&metrics_.GetHistogram("parallel.merge_micros")),
+      global_clusters_metric_(&metrics_.GetGauge("parallel.global_clusters")) {
   UMICRO_CHECK(options_.num_shards >= 1);
   UMICRO_CHECK(options_.producer_batch >= 1);
   UMICRO_CHECK(options_.queue_capacity >= 1);
   shards_.reserve(options_.num_shards);
   pending_batches_.resize(options_.num_shards);
   in_flight_.assign(options_.num_shards, 0);
+  // One shared enqueue-pressure histogram: only the coordinator pushes,
+  // so shard attribution adds nothing the per-shard counters don't give.
+  obs::Histogram& enqueue_micros =
+      metrics_.GetHistogram("parallel.queue.enqueue_micros");
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(dimensions_, options_));
     pending_batches_[i].reserve(options_.producer_batch);
+    Shard& shard = *shards_.back();
+    const std::string prefix = "parallel.shard" + std::to_string(i) + ".";
+    shard.points_processed = &metrics_.GetCounter(prefix + "points");
+    shard.batches_processed = &metrics_.GetCounter(prefix + "batches");
+    shard.points_dropped = &metrics_.GetCounter(prefix + "dropped");
+    shard.clusters_at_merge = &metrics_.GetGauge(prefix + "clusters");
+    QueueMetricsHooks hooks;
+    hooks.enqueued = &metrics_.GetCounter(prefix + "queue_batches");
+    hooks.high_water = &metrics_.GetGauge(prefix + "queue_high_water");
+    hooks.enqueue_micros = &enqueue_micros;
+    shard.queue.SetMetricsHooks(hooks);
+    // The shard algorithms share the pipeline registry: their "umicro."
+    // cells aggregate across workers (atomics, so TSan stays clean).
+    shard.algo.AttachMetrics(&metrics_);
   }
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
@@ -116,9 +141,9 @@ void ShardedUMicro::WorkerLoop(std::size_t index) {
     {
       std::lock_guard<std::mutex> lock(shard.state_mu);
       for (const auto& point : batch) shard.algo.Process(point);
-      shard.points_processed += n;
-      ++shard.batches_processed;
     }
+    shard.points_processed->Increment(n);
+    shard.batches_processed->Increment();
     {
       std::lock_guard<std::mutex> lock(done_mu_);
       in_flight_[index] -= n;
@@ -163,7 +188,8 @@ void ShardedUMicro::EnqueueBatch(std::size_t index) {
     dropped = displaced->size();
   }
   if (dropped > 0) {
-    shards_[index]->points_dropped += dropped;
+    shards_[index]->points_dropped->Increment(dropped);
+    points_dropped_metric_->Increment(dropped);
     std::lock_guard<std::mutex> lock(done_mu_);
     in_flight_[index] -= dropped;
     if (in_flight_[index] == 0) done_cv_.notify_all();
@@ -177,6 +203,7 @@ void ShardedUMicro::Process(const stream::UncertainPoint& point) {
   const std::size_t shard = PickShard(point);
   pending_batches_[shard].push_back(point);
   ++points_ingested_;
+  points_ingested_metric_->Increment();
   ++points_since_merge_;
   if (pending_batches_[shard].size() >= options_.producer_batch) {
     EnqueueBatch(shard);
@@ -200,7 +227,8 @@ void ShardedUMicro::RebuildGlobalView() {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
     std::lock_guard<std::mutex> lock(shard.state_mu);
-    shard.clusters_at_merge = shard.algo.clusters().size();
+    shard.clusters_at_merge->Set(
+        static_cast<double>(shard.algo.clusters().size()));
     for (const core::MicroCluster& cluster : shard.algo.clusters()) {
       merged.push_back(cluster);
       UMICRO_DCHECK(cluster.id < (1ull << kShardIdShift));
@@ -265,7 +293,7 @@ void ShardedUMicro::RebuildGlobalView() {
     if (ra == rb) continue;
     parent[rb] = ra;
     --components;
-    ++reconcile_merges_;
+    reconcile_metric_->Increment();
   }
 
   // Materialize one cluster per union-find component; the heaviest
@@ -296,13 +324,12 @@ void ShardedUMicro::RebuildGlobalView() {
 }
 
 void ShardedUMicro::MergeNow() {
-  util::Stopwatch watch;
+  const obs::ScopedTimer timer(merge_micros_);
   for (std::size_t i = 0; i < shards_.size(); ++i) EnqueueBatch(i);
   WaitDrained();
   RebuildGlobalView();
-  ++merges_;
-  last_merge_millis_ = watch.ElapsedMillis();
-  total_merge_millis_ += last_merge_millis_;
+  merges_metric_->Increment();
+  global_clusters_metric_->Set(static_cast<double>(global_clusters_.size()));
   points_since_merge_ = 0;
 }
 
@@ -344,31 +371,6 @@ core::Snapshot ShardedUMicro::GlobalSnapshot(double time) const {
     snapshot.clusters.push_back(std::move(state));
   }
   return snapshot;
-}
-
-ParallelStats ShardedUMicro::Stats() const {
-  ParallelStats stats;
-  stats.shards.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    ShardStats row;
-    {
-      std::lock_guard<std::mutex> lock(shard->state_mu);
-      row.points_processed = shard->points_processed;
-      row.batches_processed = shard->batches_processed;
-    }
-    row.queue_high_water = shard->queue.stats().high_water;
-    row.points_dropped = shard->points_dropped;
-    row.clusters = shard->clusters_at_merge;
-    stats.points_dropped += row.points_dropped;
-    stats.shards.push_back(row);
-  }
-  stats.points_ingested = points_ingested_;
-  stats.merges = merges_;
-  stats.reconcile_merges = reconcile_merges_;
-  stats.last_merge_millis = last_merge_millis_;
-  stats.total_merge_millis = total_merge_millis_;
-  stats.global_clusters = global_clusters_.size();
-  return stats;
 }
 
 }  // namespace umicro::parallel

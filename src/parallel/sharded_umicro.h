@@ -34,6 +34,7 @@
 #include "core/microcluster.h"
 #include "core/snapshot.h"
 #include "core/umicro.h"
+#include "obs/metrics.h"
 #include "parallel/bounded_queue.h"
 #include "stream/clusterer.h"
 #include "stream/point.h"
@@ -77,41 +78,14 @@ struct ShardedUMicroOptions {
   std::size_t global_budget = 0;
 };
 
-/// Per-shard counters (one row per worker).
-struct ShardStats {
-  /// Points folded into this shard's UMicro so far.
-  std::size_t points_processed = 0;
-  /// Batches dequeued by the worker.
-  std::size_t batches_processed = 0;
-  /// Highest queue occupancy observed, in batches.
-  std::size_t queue_high_water = 0;
-  /// Points shed at this shard's queue (both drop policies).
-  std::size_t points_dropped = 0;
-  /// Live micro-clusters at the last merge.
-  std::size_t clusters = 0;
-};
-
-/// Pipeline-wide counters.
-struct ParallelStats {
-  /// One entry per shard.
-  std::vector<ShardStats> shards;
-  /// Points offered to Process().
-  std::size_t points_ingested = 0;
-  /// Points shed across all shards.
-  std::size_t points_dropped = 0;
-  /// Global merges performed.
-  std::size_t merges = 0;
-  /// Pairwise reconciliations applied across all merges.
-  std::size_t reconcile_merges = 0;
-  /// Duration of the most recent merge (drain + collect + reconcile).
-  double last_merge_millis = 0.0;
-  /// Total time spent in merges.
-  double total_merge_millis = 0.0;
-  /// Clusters in the merged global view.
-  std::size_t global_clusters = 0;
-};
-
 /// Sharded parallel front-end over N private UMicro instances.
+///
+/// All pipeline observability lives in the embedded metrics registry
+/// (metrics()): per-shard ingest/queue counters under
+/// "parallel.shard<i>.", merge/reconcile counters and latency histograms
+/// under "parallel.", and the shard algorithms' own "umicro." metrics
+/// (shared cells, updated by every worker). See docs/observability.md
+/// for the catalog.
 class ShardedUMicro : public stream::StreamClusterer {
  public:
   /// Starts `options.num_shards` worker threads for `dimensions`-d
@@ -145,8 +119,9 @@ class ShardedUMicro : public stream::StreamClusterer {
   /// The merged view as a Snapshot at `time` (pyramidal-store input).
   core::Snapshot GlobalSnapshot(double time) const;
 
-  /// Current counters (merge stats are as of the last merge).
-  ParallelStats Stats() const;
+  /// The pipeline's metrics registry (live; collect at any time).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Dimensionality of the stream.
   std::size_t dimensions() const { return dimensions_; }
@@ -157,7 +132,8 @@ class ShardedUMicro : public stream::StreamClusterer {
  private:
   /// One worker: queue, private algorithm, and the mutex that hands the
   /// algorithm state between the worker (processing) and the coordinator
-  /// (collection after a drain).
+  /// (collection after a drain). The counters are registry cells
+  /// ("parallel.shard<i>." prefix), safe for worker-side updates.
   struct Shard {
     Shard(std::size_t dimensions, const ShardedUMicroOptions& options)
         : queue(options.queue_capacity, options.backpressure),
@@ -166,10 +142,10 @@ class ShardedUMicro : public stream::StreamClusterer {
     BoundedQueue<std::vector<stream::UncertainPoint>> queue;
     std::mutex state_mu;
     core::UMicro algo;  // guarded by state_mu
-    std::size_t points_processed = 0;   // guarded by state_mu
-    std::size_t batches_processed = 0;  // guarded by state_mu
-    std::size_t points_dropped = 0;     // coordinator thread only
-    std::size_t clusters_at_merge = 0;  // coordinator thread only
+    obs::Counter* points_processed = nullptr;  // worker increments
+    obs::Counter* batches_processed = nullptr;  // worker increments
+    obs::Counter* points_dropped = nullptr;  // coordinator increments
+    obs::Gauge* clusters_at_merge = nullptr;  // coordinator sets
     std::thread worker;
   };
 
@@ -196,6 +172,18 @@ class ShardedUMicro : public stream::StreamClusterer {
   const ShardedUMicroOptions options_;
   const std::size_t global_budget_;
 
+  /// Declared before the shards: shard construction resolves metric
+  /// handles out of this registry, and the shard algorithms keep writing
+  /// into it until their workers join.
+  obs::MetricsRegistry metrics_;
+  // Pipeline-wide metric handles (resolved once in the constructor).
+  obs::Counter* points_ingested_metric_;
+  obs::Counter* points_dropped_metric_;
+  obs::Counter* merges_metric_;
+  obs::Counter* reconcile_metric_;
+  obs::Histogram* merge_micros_;
+  obs::Gauge* global_clusters_metric_;
+
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Producer-side point buffers, one per shard (coordinator thread only).
   std::vector<std::vector<stream::UncertainPoint>> pending_batches_;
@@ -211,10 +199,6 @@ class ShardedUMicro : public stream::StreamClusterer {
   std::size_t points_since_merge_ = 0;
   std::size_t next_round_robin_ = 0;
   std::vector<core::MicroCluster> global_clusters_;
-  std::size_t merges_ = 0;
-  std::size_t reconcile_merges_ = 0;
-  double last_merge_millis_ = 0.0;
-  double total_merge_millis_ = 0.0;
   bool stopped_ = false;
 };
 

@@ -73,7 +73,7 @@ TEST(ClusterOverHorizonTest, RecoversWindowClustering) {
 
 TEST(UMicroEngineTest, ProcessesAndSnapshots) {
   EngineOptions options;
-  options.snapshot_every = 50;
+  options.snapshot.snapshot_every = 50;
   UMicroEngine engine(2, options);
   const stream::Dataset dataset = PhasedBlobs(1000, 5);
   for (const auto& point : dataset.points()) engine.Process(point);
@@ -82,6 +82,37 @@ TEST(UMicroEngineTest, ProcessesAndSnapshots) {
   // 1000/50 = 20 snapshot ticks; pyramidal retention keeps most of them
   // at this scale but never more.
   EXPECT_LE(engine.store().TotalStored(), 20u);
+}
+
+TEST(UMicroEngineTest, ProcessMetricsMatchPointsProcessed) {
+  EngineOptions options;
+  options.snapshot.snapshot_every = 50;
+  UMicroEngine engine(2, options);
+  const stream::Dataset dataset = PhasedBlobs(1000, 5);
+  for (const auto& point : dataset.points()) engine.Process(point);
+
+  obs::MetricsRegistry& metrics = engine.metrics();
+  EXPECT_EQ(metrics.GetCounter("umicro.points").value(),
+            engine.points_processed());
+  EXPECT_EQ(metrics.GetHistogram("umicro.process_micros").count(),
+            engine.points_processed());
+  // Every point is either absorbed into an existing cluster or creates
+  // a new one.
+  EXPECT_EQ(metrics.GetCounter("umicro.absorbed").value() +
+                metrics.GetCounter("umicro.created").value(),
+            engine.points_processed());
+  // 1000 points / 50 = 20 snapshot ticks.
+  EXPECT_EQ(metrics.GetCounter("snapshot.taken").value(), 20u);
+  EXPECT_EQ(metrics.GetHistogram("snapshot.take_micros").count(), 20u);
+  EXPECT_EQ(metrics.GetGauge("snapshot.stored").value(),
+            static_cast<double>(engine.store().TotalStored()));
+
+  // Horizon queries are counted too.
+  MacroClusteringOptions macro;
+  macro.k = 2;
+  (void)engine.ClusterRecent(500.0, macro);
+  EXPECT_EQ(metrics.GetCounter("horizon.queries").value(), 1u);
+  EXPECT_EQ(metrics.GetHistogram("horizon.macro_micros").count(), 1u);
 }
 
 TEST(UMicroEngineTest, ClusterRecentBeforeAnyDataIsNull) {
@@ -94,7 +125,7 @@ TEST(UMicroEngineTest, ClusterRecentSeesOnlyRecentRegime) {
   // Blob 1 exists only in the second half; a short-horizon query must
   // see it, and the window mass must be about the horizon length.
   EngineOptions options;
-  options.snapshot_every = 100;
+  options.snapshot.snapshot_every = 100;
   options.umicro.num_micro_clusters = 30;
   UMicroEngine engine(2, options);
   const stream::Dataset dataset = PhasedBlobs(8000, 7);
@@ -116,7 +147,7 @@ TEST(UMicroEngineTest, ClusterRecentSeesOnlyRecentRegime) {
 
 TEST(UMicroEngineTest, LongHorizonCoversWholeStream) {
   EngineOptions options;
-  options.snapshot_every = 25;
+  options.snapshot.snapshot_every = 25;
   UMicroEngine engine(1, options);
   util::Rng rng(11);
   for (int i = 0; i < 2000; ++i) {
@@ -139,7 +170,7 @@ TEST(UMicroEngineTest, OutOfOrderTimestampsDoNotRewindClock) {
   // current.time contract blew up. Sharded replay makes such arrival
   // patterns routine; the clock must be monotone.
   EngineOptions options;
-  options.snapshot_every = 10;
+  options.snapshot.snapshot_every = 10;
   options.umicro.num_micro_clusters = 10;
   options.umicro.decay_lambda = 0.01;
   UMicroEngine engine(1, options);

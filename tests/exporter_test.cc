@@ -1,0 +1,107 @@
+// Tests for MetricsExporter: golden JSON/CSV renderings of a fixed
+// registry, file output, extension stripping, and periodic export.
+
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace umicro::obs {
+namespace {
+
+/// Registry with one metric of each kind and fully deterministic values.
+void FillFixture(MetricsRegistry& registry) {
+  registry.GetCounter("engine.points").Increment(1200);
+  registry.GetGauge("engine.clusters").Set(37.5);
+  Histogram& latency = registry.GetHistogram("engine.latency", {2.0, 4.0});
+  latency.Record(1.0);
+  latency.Record(3.0);
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return "";
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(MetricsExporterTest, JsonGolden) {
+  MetricsRegistry registry;
+  FillFixture(registry);
+  // Histogram: count 2, sum 4, min 1, max 3. p50 interpolates to the
+  // first bucket's upper bound (2); p95/p99 land in the second bucket
+  // and clamp to the observed max (3).
+  const std::string expected =
+      "{\"metrics\":[\n"
+      "  {\"name\":\"engine.clusters\",\"type\":\"gauge\","
+      "\"value\":37.5},\n"
+      "  {\"name\":\"engine.latency\",\"type\":\"histogram\",\"count\":2,"
+      "\"sum\":4,\"min\":1,\"max\":3,\"p50\":2,\"p95\":3,\"p99\":3},\n"
+      "  {\"name\":\"engine.points\",\"type\":\"counter\",\"value\":1200}\n"
+      "]}\n";
+  EXPECT_EQ(MetricsExporter::ToJson(registry), expected);
+}
+
+TEST(MetricsExporterTest, CsvGolden) {
+  MetricsRegistry registry;
+  FillFixture(registry);
+  const std::string expected =
+      "name,type,count,value,sum,min,max,p50,p95,p99\n"
+      "engine.clusters,gauge,,37.5,,,,,,\n"
+      "engine.latency,histogram,2,,4,1,3,2,3,3\n"
+      "engine.points,counter,,1200,,,,,,\n";
+  EXPECT_EQ(MetricsExporter::ToCsv(registry), expected);
+}
+
+TEST(MetricsExporterTest, ExportNowWritesBothFilesAndStripsExtension) {
+  MetricsRegistry registry;
+  FillFixture(registry);
+  const std::string stem =
+      testing::TempDir() + "/exporter_test_out";
+  // A trailing .json on the base path must be stripped, not doubled.
+  MetricsExporter exporter(&registry, stem + ".json");
+  EXPECT_EQ(exporter.base_path(), stem);
+  ASSERT_TRUE(exporter.ExportNow());
+  EXPECT_EQ(exporter.exports_written(), 1u);
+
+  EXPECT_EQ(ReadFileOrEmpty(stem + ".json"),
+            MetricsExporter::ToJson(registry));
+  EXPECT_EQ(ReadFileOrEmpty(stem + ".csv"),
+            MetricsExporter::ToCsv(registry));
+  std::remove((stem + ".json").c_str());
+  std::remove((stem + ".csv").c_str());
+}
+
+TEST(MetricsExporterTest, TickPointsExportsAtCadence) {
+  MetricsRegistry registry;
+  FillFixture(registry);
+  const std::string stem = testing::TempDir() + "/exporter_tick_out";
+  MetricsExporter exporter(&registry, stem, /*every_points=*/100);
+  exporter.TickPoints(50);
+  EXPECT_EQ(exporter.exports_written(), 0u);
+  exporter.TickPoints(100);
+  EXPECT_EQ(exporter.exports_written(), 1u);
+  exporter.TickPoints(150);  // only 50 past the last export
+  EXPECT_EQ(exporter.exports_written(), 1u);
+  exporter.TickPoints(230);
+  EXPECT_EQ(exporter.exports_written(), 2u);
+  std::remove((stem + ".json").c_str());
+  std::remove((stem + ".csv").c_str());
+}
+
+TEST(MetricsExporterTest, ZeroCadenceNeverTickExports) {
+  MetricsRegistry registry;
+  MetricsExporter exporter(&registry, testing::TempDir() + "/exporter_off");
+  exporter.TickPoints(1000000);
+  EXPECT_EQ(exporter.exports_written(), 0u);
+}
+
+}  // namespace
+}  // namespace umicro::obs

@@ -4,9 +4,11 @@
 #include "parallel/parallel_engine.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "stream/dataset.h"
 #include "util/random.h"
 
@@ -38,7 +40,7 @@ ParallelEngineOptions TwoShardOptions() {
   // which keeps the subtractive horizon extraction sharp.
   options.sharded.global_budget = 60;
   options.sharded.merge_every = 0;  // snapshot cadence drives the merges
-  options.snapshot_every = 500;
+  options.snapshot.snapshot_every = 500;
   return options;
 }
 
@@ -86,16 +88,39 @@ TEST(ParallelEngineTest, ClusterRecentSeesRecentRegime) {
   EXPECT_LT(mass, 4000.0);
 }
 
-TEST(ParallelEngineTest, StatsReportMergesAndShards) {
+TEST(ParallelEngineTest, MetricsReportMergesAndShards) {
   ParallelUMicroEngine engine(2, TwoShardOptions());
   const stream::Dataset dataset = PhasedBlobs(2000, 9);
   for (const auto& point : dataset.points()) engine.Process(point);
   engine.Flush();
-  const ParallelStats stats = engine.Stats();
-  ASSERT_EQ(stats.shards.size(), 2u);
-  EXPECT_EQ(stats.points_ingested, 2000u);
-  EXPECT_GE(stats.merges, 4u);  // one per snapshot tick + final flush
-  EXPECT_GT(stats.global_clusters, 0u);
+  obs::MetricsRegistry& metrics = engine.metrics();
+  EXPECT_EQ(metrics.GetCounter("parallel.points_ingested").value(), 2000u);
+  // One merge per snapshot tick + the final flush.
+  EXPECT_GE(metrics.GetCounter("parallel.merges").value(), 4u);
+  EXPECT_GT(metrics.GetGauge("parallel.global_clusters").value(), 0.0);
+  EXPECT_GT(metrics.GetHistogram("parallel.merge_micros").count(), 0u);
+  // Both shards saw work, and together they saw every point.
+  const std::uint64_t shard_points =
+      metrics.GetCounter("parallel.shard0.points").value() +
+      metrics.GetCounter("parallel.shard1.points").value();
+  EXPECT_EQ(shard_points, 2000u);
+}
+
+TEST(ParallelEngineTest, ProcessMetricsMatchPointsProcessed) {
+  // The engine-level contract: the pipeline ingest counter and the
+  // shards' shared umicro.points counter both equal points_processed()
+  // once the pipeline is drained.
+  ParallelUMicroEngine engine(2, TwoShardOptions());
+  const stream::Dataset dataset = PhasedBlobs(1500, 11);
+  for (const auto& point : dataset.points()) engine.Process(point);
+  engine.Flush();
+  obs::MetricsRegistry& metrics = engine.metrics();
+  EXPECT_EQ(metrics.GetCounter("parallel.points_ingested").value(),
+            engine.points_processed());
+  EXPECT_EQ(metrics.GetCounter("umicro.points").value(),
+            engine.points_processed());
+  EXPECT_GT(metrics.GetHistogram("umicro.process_micros").count(), 0u);
+  EXPECT_GT(metrics.GetHistogram("snapshot.take_micros").count(), 0u);
 }
 
 }  // namespace

@@ -5,11 +5,14 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/umicro.h"
+#include "obs/metrics.h"
 #include "stream/dataset.h"
 #include "synth/workloads.h"
 
@@ -93,7 +96,8 @@ TEST(ShardedUMicroTest, OneShardIsBitIdenticalToSequential) {
       EXPECT_EQ(a.ecf.ef2()[j], b.ecf.ef2()[j]);
     }
   }
-  EXPECT_EQ(sharded.Stats().points_dropped, 0u);
+  EXPECT_EQ(sharded.metrics().GetCounter("parallel.points_dropped").value(),
+            0u);
 }
 
 TEST(ShardedUMicroTest, FourShardTotalsMatchSequentialExactly) {
@@ -153,10 +157,10 @@ TEST(ShardedUMicroTest, HashPartitionConservesTotals) {
   const EcfTotals par =
       TotalsOf(sharded.GlobalClusters(), dataset.dimensions());
   EXPECT_EQ(par.n, 4000.0);
-  EXPECT_EQ(sharded.Stats().merges, 1u);
+  EXPECT_EQ(sharded.metrics().GetCounter("parallel.merges").value(), 1u);
 }
 
-TEST(ShardedUMicroTest, StatsSurfaceIsConsistent) {
+TEST(ShardedUMicroTest, MetricsSurfaceIsConsistent) {
   const stream::Dataset dataset =
       synth::MakeSynDriftWorkload(5000, 0.5, 3);
 
@@ -170,21 +174,29 @@ TEST(ShardedUMicroTest, StatsSurfaceIsConsistent) {
   for (const auto& point : dataset.points()) sharded.Process(point);
   sharded.Flush();
 
-  const ParallelStats stats = sharded.Stats();
-  ASSERT_EQ(stats.shards.size(), 3u);
-  EXPECT_EQ(stats.points_ingested, 5000u);
-  EXPECT_EQ(stats.points_dropped, 0u);  // kBlock is lossless
-  std::size_t processed = 0;
-  for (const auto& shard : stats.shards) {
-    processed += shard.points_processed;
-    EXPECT_LE(shard.queue_high_water, 16u);
-    EXPECT_GT(shard.clusters, 0u);
+  obs::MetricsRegistry& metrics = sharded.metrics();
+  EXPECT_EQ(metrics.GetCounter("parallel.points_ingested").value(), 5000u);
+  EXPECT_EQ(metrics.GetCounter("parallel.points_dropped").value(),
+            0u);  // kBlock is lossless
+  std::uint64_t processed = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string prefix = "parallel.shard" + std::to_string(i) + ".";
+    processed += metrics.GetCounter(prefix + "points").value();
+    EXPECT_LE(metrics.GetGauge(prefix + "queue_high_water").value(), 16.0);
+    EXPECT_GT(metrics.GetGauge(prefix + "clusters").value(), 0.0);
   }
   EXPECT_EQ(processed, 5000u);
+  // The shards share the umicro.* cells: their aggregate point count is
+  // everything the workers processed.
+  EXPECT_EQ(metrics.GetCounter("umicro.points").value(), processed);
   // 5000 points at merge_every=1000 -> 5 automatic merges + final Flush.
-  EXPECT_GE(stats.merges, 5u);
-  EXPECT_GT(stats.global_clusters, 0u);
-  EXPECT_GE(stats.total_merge_millis, stats.last_merge_millis);
+  EXPECT_GE(metrics.GetCounter("parallel.merges").value(), 5u);
+  EXPECT_GT(metrics.GetGauge("parallel.global_clusters").value(), 0.0);
+  const obs::Histogram& merge_micros =
+      metrics.GetHistogram("parallel.merge_micros");
+  EXPECT_EQ(merge_micros.count(),
+            metrics.GetCounter("parallel.merges").value());
+  EXPECT_GT(merge_micros.sum(), 0.0);
 }
 
 TEST(ShardedUMicroTest, DropPoliciesKeepAccountingExact) {
@@ -206,13 +218,18 @@ TEST(ShardedUMicroTest, DropPoliciesKeepAccountingExact) {
     for (const auto& point : dataset.points()) sharded.Process(point);
     sharded.Flush();
 
-    const ParallelStats stats = sharded.Stats();
-    std::size_t processed = 0;
-    for (const auto& shard : stats.shards) {
-      processed += shard.points_processed;
+    obs::MetricsRegistry& metrics = sharded.metrics();
+    std::uint64_t processed = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      const std::string prefix = "parallel.shard" + std::to_string(i) + ".";
+      processed += metrics.GetCounter(prefix + "points").value();
     }
-    EXPECT_EQ(processed + stats.points_dropped, stats.points_ingested);
-    EXPECT_EQ(stats.points_ingested, 3000u);
+    const std::uint64_t dropped =
+        metrics.GetCounter("parallel.points_dropped").value();
+    const std::uint64_t ingested =
+        metrics.GetCounter("parallel.points_ingested").value();
+    EXPECT_EQ(processed + dropped, ingested);
+    EXPECT_EQ(ingested, 3000u);
 
     const EcfTotals totals =
         TotalsOf(sharded.GlobalClusters(), dataset.dimensions());

@@ -96,7 +96,7 @@ TEST(StressTest, InvariantsHoldOverAdversarialStream) {
 
 TEST(StressTest, EngineSurvivesLongRunWithSnapshots) {
   EngineOptions options;
-  options.snapshot_every = 64;
+  options.snapshot.snapshot_every = 64;
   options.umicro.num_micro_clusters = 25;
   UMicroEngine engine(3, options);
   util::Rng rng(2);

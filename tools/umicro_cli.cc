@@ -1,18 +1,27 @@
-// umicro_cli: cluster a CSV/ARFF file as a stream from the command line.
+// umicro_cli: cluster a CSV/ARFF file or synthetic workload as a stream.
 //
 //   umicro_cli --input=connections.csv [--algorithm=umicro]
 //              [--nmicro=100] [--boundary=3.0] [--thresh=3.0]
 //              [--decay=0.0] [--eta=0.0] [--impute]
 //              [--sample-interval=10000] [--max-rows=0]
 //              [--centroids-out=clusters.csv] [--no-header]
+//   umicro_cli --synthetic=syndrift --points=200000 --threads=4
+//              --metrics-out=run_metrics --metrics-every=50000
 //
 // The input may be headered CSV (columns: values..., optional err_*,
 // timestamp, label -- see io/csv_dataset.h), headerless CSV with a
-// trailing label column (--no-header), or ARFF (by .arff extension).
-// --eta applies the paper's noise model before clustering; --impute
-// runs the online mean imputer over missing (NaN / '?') entries. When
-// ground-truth labels exist, a purity series is printed.
+// trailing label column (--no-header), ARFF (by .arff extension), or one
+// of the built-in synthetic workloads (--synthetic). --eta applies the
+// paper's noise model before clustering; --impute runs the online mean
+// imputer over missing (NaN / '?') entries. When ground-truth labels
+// exist, a purity series is printed.
+//
+// The umicro algorithm (sequential or sharded via --threads) runs behind
+// the unified ClusteringEngine interface: pyramidal snapshots at the
+// --snapshot-every cadence and a metrics registry exported with
+// --metrics-out (JSON + CSV; --metrics-every re-exports periodically).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,21 +30,28 @@
 
 #include "baseline/clustream.h"
 #include "baseline/stream_kmeans.h"
+#include "core/engine.h"
 #include "core/summary.h"
 #include "core/umicro.h"
 #include "eval/experiment.h"
-#include "parallel/sharded_umicro.h"
 #include "io/arff_dataset.h"
 #include "io/csv_dataset.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_engine.h"
+#include "parallel/sharded_umicro.h"
 #include "stream/imputation.h"
 #include "stream/perturbation.h"
 #include "stream/stream_stats.h"
+#include "synth/workloads.h"
 #include "util/csv_writer.h"
 
 namespace {
 
 struct CliOptions {
   std::string input;
+  std::string synthetic;
+  std::size_t points = 100000;
   std::string algorithm = "umicro";
   std::size_t nmicro = 100;
   double boundary = 3.0;
@@ -52,6 +68,9 @@ struct CliOptions {
   std::size_t merge_every = 8192;
   std::string backpressure = "block";
   std::size_t queue_capacity = 1024;
+  std::size_t snapshot_every = 4096;
+  std::string metrics_out;
+  std::size_t metrics_every = 0;
 };
 
 bool ParseFlag(const std::string& arg, const char* name,
@@ -65,7 +84,9 @@ bool ParseFlag(const std::string& arg, const char* name,
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: umicro_cli --input=FILE [options]\n"
+      "usage: umicro_cli (--input=FILE | --synthetic=NAME) [options]\n"
+      "  --synthetic=NAME      syndrift|network|forest workload\n"
+      "  --points=N            synthetic stream length (default 100000)\n"
       "  --algorithm=umicro|clustream|stream-kmeans   (default umicro)\n"
       "  --nmicro=N            micro-cluster budget (default 100)\n"
       "  --boundary=T          uncertainty-boundary factor t (default 3)\n"
@@ -82,6 +103,10 @@ void PrintUsage() {
       "  --backpressure=P      block|drop_oldest|drop_newest (default "
       "block)\n"
       "  --queue-capacity=N    per-shard queue capacity in batches\n"
+      "  --snapshot-every=N    pyramidal snapshot cadence, 0 disables "
+      "(default 4096)\n"
+      "  --metrics-out=STEM    write STEM.json + STEM.csv metric dumps\n"
+      "  --metrics-every=N     re-export metrics every N points\n"
       "  --sample-interval=N   purity sample cadence (default 10000)\n"
       "  --max-rows=N          read at most N rows (default all)\n"
       "  --centroids-out=FILE  write final centroids as CSV\n");
@@ -102,6 +127,10 @@ int main(int argc, char** argv) {
     std::string value;
     if (ParseFlag(arg, "input", &value)) {
       cli.input = value;
+    } else if (ParseFlag(arg, "synthetic", &value)) {
+      cli.synthetic = value;
+    } else if (ParseFlag(arg, "points", &value)) {
+      cli.points = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "algorithm", &value)) {
       cli.algorithm = value;
     } else if (ParseFlag(arg, "nmicro", &value)) {
@@ -128,6 +157,12 @@ int main(int argc, char** argv) {
       cli.backpressure = value;
     } else if (ParseFlag(arg, "queue-capacity", &value)) {
       cli.queue_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "snapshot-every", &value)) {
+      cli.snapshot_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      cli.metrics_out = value;
+    } else if (ParseFlag(arg, "metrics-every", &value)) {
+      cli.metrics_every = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "sample-interval", &value)) {
       cli.sample_interval = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "max-rows", &value)) {
@@ -140,14 +175,37 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (cli.input.empty()) {
+  if (cli.input.empty() == cli.synthetic.empty()) {
+    std::fprintf(stderr,
+                 "exactly one of --input and --synthetic is required\n");
     PrintUsage();
     return 2;
   }
 
   // ---- Load ----------------------------------------------------------
   umicro::stream::Dataset dataset;
-  if (EndsWith(cli.input, ".arff")) {
+  if (!cli.synthetic.empty()) {
+    // The workloads already carry the eta perturbation; do not perturb
+    // a second time below.
+    const double eta = cli.eta;
+    cli.eta = 0.0;
+    std::size_t points = cli.points;
+    if (cli.max_rows != 0) points = std::min(points, cli.max_rows);
+    if (cli.synthetic == "syndrift") {
+      dataset = umicro::synth::MakeSynDriftWorkload(points, eta);
+    } else if (cli.synthetic == "network") {
+      dataset = umicro::synth::MakeNetworkWorkload(points, eta);
+    } else if (cli.synthetic == "forest") {
+      dataset = umicro::synth::MakeForestWorkload(points, eta);
+    } else {
+      std::fprintf(stderr, "unknown synthetic workload: %s\n",
+                   cli.synthetic.c_str());
+      return 2;
+    }
+    std::printf("generated %zu records x %zu dimensions (%s, eta=%.2f)\n",
+                dataset.size(), dataset.dimensions(), cli.synthetic.c_str(),
+                eta);
+  } else if (EndsWith(cli.input, ".arff")) {
     auto loaded = umicro::io::ReadArffDataset(cli.input);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "failed to load ARFF file %s\n",
@@ -162,6 +220,8 @@ int main(int argc, char** argv) {
       }
       dataset = std::move(truncated);
     }
+    std::printf("loaded %zu records x %zu dimensions from %s\n",
+                dataset.size(), dataset.dimensions(), cli.input.c_str());
   } else {
     umicro::io::CsvReadOptions read_options;
     read_options.has_header = !cli.no_header;
@@ -173,9 +233,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     dataset = std::move(loaded->dataset);
+    std::printf("loaded %zu records x %zu dimensions from %s\n",
+                dataset.size(), dataset.dimensions(), cli.input.c_str());
   }
-  std::printf("loaded %zu records x %zu dimensions from %s\n",
-              dataset.size(), dataset.dimensions(), cli.input.c_str());
 
   // ---- Optional imputation -------------------------------------------
   if (cli.impute) {
@@ -207,69 +267,99 @@ int main(int argc, char** argv) {
     std::printf("perturbed with eta=%.2f\n", cli.eta);
   }
 
-  // ---- Cluster --------------------------------------------------------
-  std::unique_ptr<umicro::stream::StreamClusterer> clusterer;
-  umicro::core::UMicro* umicro_ptr = nullptr;
-  umicro::parallel::ShardedUMicro* sharded_ptr = nullptr;
-  if (cli.algorithm == "umicro" && cli.threads > 0) {
-    umicro::parallel::ShardedUMicroOptions options;
-    options.umicro.num_micro_clusters = cli.nmicro;
-    options.umicro.boundary_factor = cli.boundary;
-    options.umicro.dimension_threshold = cli.thresh;
-    options.umicro.decay_lambda = cli.decay;
-    options.num_shards = cli.threads;
-    options.merge_every = cli.merge_every;
-    options.queue_capacity = cli.queue_capacity;
-    if (cli.backpressure == "block") {
-      options.backpressure = umicro::parallel::BackpressurePolicy::kBlock;
-    } else if (cli.backpressure == "drop_oldest") {
-      options.backpressure =
-          umicro::parallel::BackpressurePolicy::kDropOldest;
-    } else if (cli.backpressure == "drop_newest") {
-      options.backpressure =
-          umicro::parallel::BackpressurePolicy::kDropNewest;
+  // ---- Build the clusterer --------------------------------------------
+  // The umicro algorithm runs behind the unified engine interface --
+  // sequential and sharded are interchangeable here. The baselines only
+  // implement the plain StreamClusterer contract.
+  std::unique_ptr<umicro::core::ClusteringEngine> engine;
+  std::unique_ptr<umicro::stream::StreamClusterer> baseline;
+  const umicro::core::UMicro* umicro_ptr = nullptr;
+  if (cli.algorithm == "umicro") {
+    umicro::core::UMicroOptions umicro_options;
+    umicro_options.num_micro_clusters = cli.nmicro;
+    umicro_options.boundary_factor = cli.boundary;
+    umicro_options.dimension_threshold = cli.thresh;
+    umicro_options.decay_lambda = cli.decay;
+    umicro::core::SnapshotPolicy snapshot;
+    snapshot.snapshot_every = cli.snapshot_every;
+    if (cli.threads > 0) {
+      umicro::parallel::ParallelEngineOptions options;
+      options.sharded.umicro = umicro_options;
+      options.sharded.num_shards = cli.threads;
+      options.sharded.merge_every = cli.merge_every;
+      options.sharded.queue_capacity = cli.queue_capacity;
+      if (cli.backpressure == "block") {
+        options.sharded.backpressure =
+            umicro::parallel::BackpressurePolicy::kBlock;
+      } else if (cli.backpressure == "drop_oldest") {
+        options.sharded.backpressure =
+            umicro::parallel::BackpressurePolicy::kDropOldest;
+      } else if (cli.backpressure == "drop_newest") {
+        options.sharded.backpressure =
+            umicro::parallel::BackpressurePolicy::kDropNewest;
+      } else {
+        std::fprintf(stderr, "unknown backpressure policy: %s\n",
+                     cli.backpressure.c_str());
+        return 2;
+      }
+      options.snapshot = snapshot;
+      engine = std::make_unique<umicro::parallel::ParallelUMicroEngine>(
+          dataset.dimensions(), options);
+      std::printf("sharded ingest: %zu threads, merge every %zu points, "
+                  "%s backpressure\n",
+                  cli.threads, cli.merge_every, cli.backpressure.c_str());
     } else {
-      std::fprintf(stderr, "unknown backpressure policy: %s\n",
-                   cli.backpressure.c_str());
-      return 2;
+      umicro::core::EngineOptions options;
+      options.umicro = umicro_options;
+      options.snapshot = snapshot;
+      auto sequential = std::make_unique<umicro::core::UMicroEngine>(
+          dataset.dimensions(), options);
+      umicro_ptr = &sequential->online();
+      engine = std::move(sequential);
     }
-    auto sharded = std::make_unique<umicro::parallel::ShardedUMicro>(
-        dataset.dimensions(), options);
-    sharded_ptr = sharded.get();
-    clusterer = std::move(sharded);
-    std::printf("sharded ingest: %zu threads, merge every %zu points, "
-                "%s backpressure\n",
-                cli.threads, cli.merge_every, cli.backpressure.c_str());
-  } else if (cli.algorithm == "umicro") {
-    umicro::core::UMicroOptions options;
-    options.num_micro_clusters = cli.nmicro;
-    options.boundary_factor = cli.boundary;
-    options.dimension_threshold = cli.thresh;
-    options.decay_lambda = cli.decay;
-    auto umicro_algo = std::make_unique<umicro::core::UMicro>(
-        dataset.dimensions(), options);
-    umicro_ptr = umicro_algo.get();
-    clusterer = std::move(umicro_algo);
   } else if (cli.algorithm == "clustream") {
     umicro::baseline::CluStreamOptions options;
     options.num_micro_clusters = cli.nmicro;
     options.boundary_factor = cli.boundary;
-    clusterer = std::make_unique<umicro::baseline::CluStream>(
+    baseline = std::make_unique<umicro::baseline::CluStream>(
         dataset.dimensions(), options);
   } else if (cli.algorithm == "stream-kmeans") {
     umicro::baseline::StreamKMeansOptions options;
     options.k = cli.nmicro;
-    clusterer = std::make_unique<umicro::baseline::StreamKMeans>(
+    baseline = std::make_unique<umicro::baseline::StreamKMeans>(
         dataset.dimensions(), options);
   } else {
     std::fprintf(stderr, "unknown algorithm: %s\n", cli.algorithm.c_str());
     return 2;
   }
+  umicro::stream::StreamClusterer& clusterer =
+      engine != nullptr ? static_cast<umicro::stream::StreamClusterer&>(
+                              *engine)
+                        : *baseline;
 
+  // ---- Metrics export -------------------------------------------------
+  std::unique_ptr<umicro::obs::MetricsExporter> exporter;
+  umicro::eval::ProgressFn progress;
+  if (!cli.metrics_out.empty()) {
+    if (engine == nullptr) {
+      std::fprintf(stderr,
+                   "--metrics-out requires --algorithm=umicro (the "
+                   "baselines are uninstrumented)\n");
+      return 2;
+    }
+    exporter = std::make_unique<umicro::obs::MetricsExporter>(
+        &engine->metrics(), cli.metrics_out, cli.metrics_every);
+    if (cli.metrics_every > 0) {
+      umicro::obs::MetricsExporter* raw = exporter.get();
+      progress = [raw](std::size_t points) { raw->TickPoints(points); };
+    }
+  }
+
+  // ---- Cluster --------------------------------------------------------
   const bool labeled = !dataset.Labels().empty();
   if (labeled) {
     const auto series = umicro::eval::RunPurityExperiment(
-        *clusterer, dataset, cli.sample_interval);
+        clusterer, dataset, cli.sample_interval, progress);
     std::printf("\n%14s %10s %10s %8s\n", "points", "purity", "w-purity",
                 "clusters");
     for (const auto& sample : series.samples) {
@@ -278,49 +368,51 @@ int main(int argc, char** argv) {
                   sample.live_clusters);
     }
     std::printf("mean purity: %.4f (%s)\n", series.MeanPurity(),
-                clusterer->name().c_str());
+                clusterer.name().c_str());
   } else {
     const auto series = umicro::eval::RunThroughputExperiment(
-        *clusterer, dataset, cli.sample_interval);
+        clusterer, dataset, cli.sample_interval, 2.0, progress);
     std::printf("\nno labels: reporting throughput instead of purity\n");
     std::printf("overall rate: %.0f points/sec (%s)\n",
                 series.overall_points_per_second,
-                clusterer->name().c_str());
+                clusterer.name().c_str());
+  }
+
+  if (engine != nullptr) {
+    engine->Flush();
+    std::printf("snapshots stored: %zu\n", engine->store().TotalStored());
   }
 
   if (cli.describe && umicro_ptr != nullptr) {
     std::printf("\n%s",
                 umicro::core::SummarizeClusters(umicro_ptr->clusters())
                     .c_str());
-  }
-
-  if (sharded_ptr != nullptr) {
-    sharded_ptr->Flush();
-    if (cli.describe) {
+  } else if (cli.describe && engine != nullptr) {
+    auto* parallel = dynamic_cast<umicro::parallel::ParallelUMicroEngine*>(
+        engine.get());
+    if (parallel != nullptr) {
       std::printf("\n%s",
                   umicro::core::SummarizeClusters(
-                      sharded_ptr->GlobalClusters())
+                      parallel->sharded().GlobalClusters())
                       .c_str());
     }
-    const umicro::parallel::ParallelStats stats = sharded_ptr->Stats();
-    std::printf("\nparallel ingest stats:\n");
-    std::printf("%8s %14s %14s %12s %10s\n", "shard", "points",
-                "queue-peak", "dropped", "clusters");
-    for (std::size_t i = 0; i < stats.shards.size(); ++i) {
-      const auto& shard = stats.shards[i];
-      std::printf("%8zu %14zu %14zu %12zu %10zu\n", i,
-                  shard.points_processed, shard.queue_high_water,
-                  shard.points_dropped, shard.clusters);
+  }
+
+  // ---- Final metrics dump ---------------------------------------------
+  if (exporter != nullptr) {
+    if (exporter->ExportNow()) {
+      std::printf("metrics written to %s.json / %s.csv\n",
+                  exporter->base_path().c_str(),
+                  exporter->base_path().c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s.{json,csv}\n",
+                   exporter->base_path().c_str());
+      return 1;
     }
-    std::printf("merges: %zu (%zu pair reconciliations), last %.2f ms, "
-                "total %.2f ms; dropped %zu of %zu points\n",
-                stats.merges, stats.reconcile_merges,
-                stats.last_merge_millis, stats.total_merge_millis,
-                stats.points_dropped, stats.points_ingested);
   }
 
   // ---- Dump centroids --------------------------------------------------
-  const auto centroids = clusterer->ClusterCentroids();
+  const auto centroids = clusterer.ClusterCentroids();
   std::printf("final cluster count: %zu\n", centroids.size());
   if (!cli.centroids_out.empty() && !centroids.empty()) {
     std::vector<std::string> header;
