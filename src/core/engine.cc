@@ -36,6 +36,33 @@ void UMicroEngine::Process(const stream::UncertainPoint& point) {
   }
 }
 
+EngineState UMicroEngine::ExportEngineState() {
+  EngineState state;
+  state.engine_kind = "umicro";
+  state.dimensions = online_.dimensions();
+  state.shard_states.push_back(online_.ExportState());
+  state.store = store_.ExportState();
+  state.next_tick = next_tick_;
+  state.since_snapshot = since_snapshot_;
+  state.last_timestamp = last_timestamp_;
+  state.counters = metrics_.CounterCells();
+  state.gauges = metrics_.GaugeCells();
+  return state;
+}
+
+bool UMicroEngine::RestoreEngineState(const EngineState& state) {
+  if (state.engine_kind != "umicro") return false;
+  if (state.dimensions != online_.dimensions()) return false;
+  if (state.shard_states.size() != 1) return false;
+  online_.RestoreState(state.shard_states[0]);
+  store_.RestoreState(state.store);
+  next_tick_ = state.next_tick;
+  since_snapshot_ = static_cast<std::size_t>(state.since_snapshot);
+  last_timestamp_ = state.last_timestamp;
+  metrics_.RestoreCells(state.counters, state.gauges);
+  return true;
+}
+
 std::optional<HorizonClustering> UMicroEngine::ClusterRecent(
     double horizon, const MacroClusteringOptions& options) {
   if (online_.points_processed() == 0) return std::nullopt;

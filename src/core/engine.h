@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/horizon.h"
@@ -33,6 +34,44 @@
 #include "stream/point.h"
 
 namespace umicro::core {
+
+/// Complete serializable state of a running engine -- the unit of a
+/// crash-safe checkpoint (see io/state_io.h for the on-disk format and
+/// resilience/checkpoint.h for the write/recover machinery).
+///
+/// The ECF statistics inside are additive and carry no hidden process
+/// state, so restoring this into a freshly constructed, identically
+/// configured engine and replaying the stream from `points_processed()`
+/// onward reproduces the uninterrupted run exactly (the no-double-count
+/// invariant the crash-recovery suite asserts).
+struct EngineState {
+  /// Concrete engine tag ("umicro" or "sharded"); restore refuses a
+  /// mismatch.
+  std::string engine_kind;
+  /// Stream dimensionality the state was exported under.
+  std::size_t dimensions = 0;
+  /// Per-shard algorithm states; exactly one entry for the sequential
+  /// engine, one per worker for the sharded engine (its post-merge
+  /// residuals -- the shard-private statistics as of the flushed
+  /// checkpoint instant).
+  std::vector<UMicroState> shard_states;
+  /// Sharded only: the merged global view at checkpoint time.
+  std::vector<MicroCluster> global_clusters;
+  /// Sharded only: coordinator counters (ingest total, round-robin
+  /// cursor) so partitioning resumes exactly where it stopped.
+  std::uint64_t points_ingested = 0;
+  std::uint64_t next_round_robin = 0;
+  /// Pyramidal snapshot-store contents.
+  SnapshotStoreState store;
+  /// Engine stream clock.
+  std::uint64_t next_tick = 1;
+  std::uint64_t since_snapshot = 0;
+  double last_timestamp = 0.0;
+  /// Counter/gauge cells of the metrics registry at checkpoint time;
+  /// histograms are not restorable and restart empty after recovery.
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
 
 /// Abstract engine: one-pass stream clustering plus snapshots, horizon
 /// queries, and an observability surface. Implemented by UMicroEngine
@@ -52,6 +91,17 @@ class ClusteringEngine : public stream::StreamClusterer {
 
   /// Snapshot store (inspection / persistence).
   virtual const SnapshotStore& store() const = 0;
+
+  /// Captures the complete durable state (flushing in-flight work
+  /// first): algorithm statistics, snapshot store, stream clock, and the
+  /// counter/gauge metric cells.
+  virtual EngineState ExportEngineState() = 0;
+
+  /// Restores a previously exported state into this engine. Must be
+  /// called on a freshly constructed engine with the same configuration;
+  /// returns false (leaving the engine untouched) when the state's kind
+  /// or dimensionality does not match.
+  virtual bool RestoreEngineState(const EngineState& state) = 0;
 
   /// The engine's metrics registry: counters/gauges/latency histograms
   /// for every instrumented stage (see docs/observability.md for the
@@ -97,6 +147,8 @@ class UMicroEngine : public ClusteringEngine {
   std::optional<HorizonClustering> ClusterRecent(
       double horizon, const MacroClusteringOptions& options) override;
   void Flush() override {}
+  EngineState ExportEngineState() override;
+  bool RestoreEngineState(const EngineState& state) override;
   const SnapshotStore& store() const override { return store_; }
   obs::MetricsRegistry& metrics() override { return metrics_; }
 

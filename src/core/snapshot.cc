@@ -73,6 +73,25 @@ std::optional<Snapshot> SnapshotStore::FindNearest(double time) const {
   return *best;
 }
 
+SnapshotStoreState SnapshotStore::ExportState() const {
+  SnapshotStoreState state;
+  state.last_tick = last_tick_;
+  state.orders.reserve(orders_.size());
+  for (const auto& ring : orders_) {
+    state.orders.emplace_back(ring.begin(), ring.end());
+  }
+  return state;
+}
+
+void SnapshotStore::RestoreState(const SnapshotStoreState& state) {
+  last_tick_ = state.last_tick;
+  orders_.clear();
+  orders_.resize(state.orders.size());
+  for (std::size_t i = 0; i < state.orders.size(); ++i) {
+    orders_[i].assign(state.orders[i].begin(), state.orders[i].end());
+  }
+}
+
 std::size_t SnapshotStore::TotalStored() const {
   std::size_t total = 0;
   for (const auto& ring : orders_) total += ring.size();

@@ -53,6 +53,14 @@ struct Snapshot {
   std::vector<MicroClusterState> clusters;
 };
 
+/// Complete serializable state of a SnapshotStore (checkpoint/restore).
+/// `orders[i]` mirrors the store's order-i ring, oldest first; restoring
+/// it into a same-configured store reproduces retention exactly.
+struct SnapshotStoreState {
+  std::uint64_t last_tick = 0;
+  std::vector<std::vector<Snapshot>> orders;
+};
+
 /// Pyramidal retention store for snapshots.
 class SnapshotStore {
  public:
@@ -86,6 +94,14 @@ class SnapshotStore {
 
   /// Geometric base alpha.
   std::size_t alpha() const { return alpha_; }
+
+  /// Captures the complete retention state for checkpointing.
+  SnapshotStoreState ExportState() const;
+
+  /// Restores a previously exported state, replacing current contents.
+  /// The store must be configured with the same alpha/l the state was
+  /// exported under for retention to continue identically.
+  void RestoreState(const SnapshotStoreState& state);
 
  private:
   std::size_t alpha_;

@@ -149,20 +149,28 @@ std::optional<LoadedArff> ParseArffDataset(const std::string& text) {
       return std::nullopt;  // unknown header directive
     }
 
-    // Data row.
+    // Data row. Malformed rows are skipped and counted, not fatal --
+    // header-level problems are what reject the file.
     const std::vector<std::string> cells = SplitCommas(line);
-    if (cells.size() != attributes.size()) return std::nullopt;
+    if (cells.size() != attributes.size()) {
+      ++result.stats.short_rows;
+      continue;
+    }
     stream::UncertainPoint point;
     point.values.reserve(result.attribute_names.size());
     point.timestamp = static_cast<double>(row_index);
-    for (std::size_t a = 0; a < attributes.size(); ++a) {
+    bool row_ok = true;
+    for (std::size_t a = 0; row_ok && a < attributes.size(); ++a) {
       if (attributes[a].is_label) {
         if (cells[a] == "?") {
           point.label = stream::kUnlabeled;
           continue;
         }
         auto it = label_ids.find(Unquote(cells[a]));
-        if (it == label_ids.end()) return std::nullopt;
+        if (it == label_ids.end()) {
+          row_ok = false;
+          break;
+        }
         point.label = it->second;
       } else {
         if (cells[a] == "?") {
@@ -170,15 +178,23 @@ std::optional<LoadedArff> ParseArffDataset(const std::string& text) {
           continue;
         }
         double value = 0.0;
-        if (!ParseDouble(cells[a], &value)) return std::nullopt;
+        if (!ParseDouble(cells[a], &value)) {
+          row_ok = false;
+          break;
+        }
         point.values.push_back(value);
       }
+    }
+    if (!row_ok) {
+      ++result.stats.bad_numeric_rows;
+      continue;
     }
     result.dataset.Add(std::move(point));
     ++row_index;
   }
 
   if (!in_data || result.dataset.empty()) return std::nullopt;
+  result.stats.rows_loaded = result.dataset.size();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "io/load_stats.h"
 #include "stream/dataset.h"
 
 namespace umicro::io {
@@ -29,11 +30,14 @@ struct LoadedArff {
   std::vector<std::string> label_names;
   /// Relation name from @relation.
   std::string relation;
+  /// Malformed-row accounting.
+  DatasetLoadStats stats;
 };
 
-/// Parses ARFF text. Returns std::nullopt on structural errors
-/// (missing @data, unsupported attribute types, ragged or unparsable
-/// rows, more than one nominal attribute).
+/// Parses ARFF text. Returns std::nullopt on header-level errors
+/// (missing @data, unsupported attribute types, more than one nominal
+/// attribute) or when no data row is usable; ragged or unparsable data
+/// rows are skipped and counted in the returned stats.
 std::optional<LoadedArff> ParseArffDataset(const std::string& text);
 
 /// Reads and parses an ARFF file.

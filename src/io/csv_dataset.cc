@@ -106,30 +106,38 @@ std::optional<LoadedDataset> ParseCsvDataset(const std::string& text,
       plan_ready = true;
     }
     if (expected_cells == 0) expected_cells = cells.size();
-    if (cells.size() != expected_cells) return std::nullopt;
+    if (cells.size() != expected_cells) {
+      // Ragged row: skip it and keep loading -- real exports contain
+      // the occasional truncated line and one must not kill the file.
+      ++result.stats.short_rows;
+      continue;
+    }
 
     stream::UncertainPoint point;
     point.values.resize(plan.value_columns.size());
-    for (std::size_t v = 0; v < plan.value_columns.size(); ++v) {
-      if (!ParseDouble(cells[plan.value_columns[v]], &point.values[v])) {
-        return std::nullopt;
-      }
+    bool numeric_ok = true;
+    for (std::size_t v = 0; numeric_ok && v < plan.value_columns.size();
+         ++v) {
+      numeric_ok = ParseDouble(cells[plan.value_columns[v]], &point.values[v]);
     }
-    if (!plan.error_columns.empty()) {
+    if (numeric_ok && !plan.error_columns.empty()) {
       point.errors.resize(plan.error_columns.size());
-      for (std::size_t e = 0; e < plan.error_columns.size(); ++e) {
-        if (!ParseDouble(cells[plan.error_columns[e]], &point.errors[e])) {
-          return std::nullopt;
-        }
+      for (std::size_t e = 0; numeric_ok && e < plan.error_columns.size();
+           ++e) {
+        numeric_ok =
+            ParseDouble(cells[plan.error_columns[e]], &point.errors[e]);
       }
     }
-    if (plan.timestamp_column >= 0) {
-      if (!ParseDouble(cells[static_cast<std::size_t>(plan.timestamp_column)],
-                       &point.timestamp)) {
-        return std::nullopt;
-      }
-    } else {
+    if (numeric_ok && plan.timestamp_column >= 0) {
+      numeric_ok =
+          ParseDouble(cells[static_cast<std::size_t>(plan.timestamp_column)],
+                      &point.timestamp);
+    } else if (plan.timestamp_column < 0) {
       point.timestamp = static_cast<double>(row_index);
+    }
+    if (!numeric_ok) {
+      ++result.stats.bad_numeric_rows;
+      continue;
     }
     if (plan.label_column >= 0) {
       const std::string& raw =
@@ -146,6 +154,7 @@ std::optional<LoadedDataset> ParseCsvDataset(const std::string& text,
   }
 
   if (result.dataset.empty()) return std::nullopt;
+  result.stats.rows_loaded = result.dataset.size();
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "io/load_stats.h"
 #include "stream/dataset.h"
 
 namespace umicro::io {
@@ -33,14 +34,18 @@ struct CsvReadOptions {
   std::size_t max_rows = 0;
 };
 
-/// A loaded dataset plus the label-name dictionary (index = label id).
+/// A loaded dataset plus the label-name dictionary (index = label id)
+/// and the malformed-row accounting.
 struct LoadedDataset {
   stream::Dataset dataset;
   std::vector<std::string> label_names;
+  DatasetLoadStats stats;
 };
 
-/// Parses CSV text into a dataset. Returns std::nullopt on malformed
-/// input (ragged rows, unparsable numbers in value columns).
+/// Parses CSV text into a dataset. Malformed rows (ragged rows,
+/// unparsable numbers in value columns) are skipped and counted in the
+/// returned stats; std::nullopt is reserved for a file that yields no
+/// usable data at all (unreadable, bad header, zero valid rows).
 std::optional<LoadedDataset> ParseCsvDataset(const std::string& text,
                                              const CsvReadOptions& options);
 

@@ -1,0 +1,32 @@
+// Malformed-row accounting shared by the dataset loaders.
+//
+// Real exports (KDD'99 dumps, sensor logs) contain ragged and
+// non-numeric rows; the loaders skip those instead of rejecting the
+// whole file, and report exactly how much was skipped here so callers
+// (the CLI routes these into its metrics registry) can tell a clean
+// load from a degraded one.
+
+#ifndef UMICRO_IO_LOAD_STATS_H_
+#define UMICRO_IO_LOAD_STATS_H_
+
+#include <cstddef>
+
+namespace umicro::io {
+
+/// Per-load row accounting of one dataset file.
+struct DatasetLoadStats {
+  /// Rows successfully converted into points.
+  std::size_t rows_loaded = 0;
+  /// Rows skipped for a cell-count mismatch (ragged rows).
+  std::size_t short_rows = 0;
+  /// Rows skipped for an unparsable numeric cell (or, in ARFF, a label
+  /// value outside the declared nominal domain).
+  std::size_t bad_numeric_rows = 0;
+
+  /// Total rows skipped for any reason.
+  std::size_t rows_skipped() const { return short_rows + bad_numeric_rows; }
+};
+
+}  // namespace umicro::io
+
+#endif  // UMICRO_IO_LOAD_STATS_H_

@@ -1,23 +1,231 @@
 #include "io/state_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/failpoints.h"
+#include "util/paths.h"
 
 namespace umicro::io {
 
 namespace {
 constexpr int kFormatVersion = 1;
+constexpr int kCheckpointVersion = 2;
+
+// Hard caps on counts read from untrusted bytes: large enough for any
+// real deployment, small enough that a corrupted count can no longer
+// drive reserve/resize into an OOM before the parse fails.
+constexpr std::size_t kMaxDims = std::size_t{1} << 16;
+constexpr std::size_t kMaxClusters = std::size_t{1} << 20;
+constexpr std::size_t kMaxLabels = std::size_t{1} << 20;
+constexpr std::size_t kMaxIds = std::size_t{1} << 20;
+constexpr std::size_t kMaxShards = std::size_t{1} << 10;
+constexpr std::size_t kMaxOrders = 64;
+constexpr std::size_t kMaxSnapshotsPerOrder = std::size_t{1} << 20;
+constexpr std::size_t kMaxMetricCells = std::size_t{1} << 20;
 
 void AppendDouble(std::ostringstream& out, double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   out << buffer;
 }
-}  // namespace
 
-std::string UMicroStateToString(const core::UMicroState& state) {
-  std::ostringstream out;
+/// Extracts one double, rejecting NaN/Inf (no serialized state
+/// legitimately contains them, and downstream math assumes finiteness).
+bool ReadFinite(std::istream& in, double* out) {
+  double value = 0.0;
+  if (!(in >> value) || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+/// FNV-1a over the body bytes -- the checkpoint integrity checksum.
+std::uint64_t Fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char ch : text) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Writes `text` to `path` atomically: temp file + fsync + rename, then
+/// a best-effort fsync of the containing directory so the rename itself
+/// is durable. A crash at any instant leaves either the old file or the
+/// new one at `path`, never a torn mix.
+bool WriteTextFileAtomic(const std::string& text, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  const char* data = text.data();
+  std::size_t remaining = text.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  const std::string dir = util::ParentDirectory(path);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+std::optional<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+void AppendMicroCluster(std::ostringstream& out,
+                        const core::MicroCluster& cluster) {
+  out << cluster.id << ' ';
+  AppendDouble(out, cluster.creation_time);
+  out << ' ';
+  AppendDouble(out, cluster.ecf.weight());
+  out << ' ';
+  AppendDouble(out, cluster.ecf.last_update_time());
+  for (double v : cluster.ecf.cf1()) {
+    out << ' ';
+    AppendDouble(out, v);
+  }
+  for (double v : cluster.ecf.cf2()) {
+    out << ' ';
+    AppendDouble(out, v);
+  }
+  for (double v : cluster.ecf.ef2()) {
+    out << ' ';
+    AppendDouble(out, v);
+  }
+  out << " labels " << cluster.labels.size();
+  for (const auto& [label, weight] : cluster.labels) {
+    out << ' ' << label << ' ';
+    AppendDouble(out, weight);
+  }
+  out << "\n";
+}
+
+bool ParseMicroCluster(std::istream& in, std::size_t dims,
+                       core::MicroCluster* out) {
+  core::MicroCluster cluster;
+  double weight = 0.0;
+  double last_update = 0.0;
+  if (!(in >> cluster.id) || !ReadFinite(in, &cluster.creation_time) ||
+      !ReadFinite(in, &weight) || !ReadFinite(in, &last_update)) {
+    return false;
+  }
+  if (weight < 0.0) return false;
+  std::vector<double> cf1(dims), cf2(dims), ef2(dims);
+  for (double& v : cf1) {
+    if (!ReadFinite(in, &v)) return false;
+  }
+  for (double& v : cf2) {
+    if (!ReadFinite(in, &v)) return false;
+  }
+  for (double& v : ef2) {
+    if (!ReadFinite(in, &v)) return false;
+  }
+  cluster.ecf = core::ErrorClusterFeature::FromRaw(
+      std::move(cf1), std::move(cf2), std::move(ef2), weight, last_update);
+  std::string key;
+  std::size_t label_count = 0;
+  if (!(in >> key >> label_count) || key != "labels" ||
+      label_count > kMaxLabels) {
+    return false;
+  }
+  for (std::size_t l = 0; l < label_count; ++l) {
+    int label = 0;
+    double label_weight = 0.0;
+    if (!(in >> label) || !ReadFinite(in, &label_weight)) return false;
+    cluster.labels[label] = label_weight;
+  }
+  *out = std::move(cluster);
+  return true;
+}
+
+void AppendClusterState(std::ostringstream& out,
+                        const core::MicroClusterState& state) {
+  out << state.id << ' ';
+  AppendDouble(out, state.creation_time);
+  out << ' ';
+  AppendDouble(out, state.ecf.weight());
+  out << ' ';
+  AppendDouble(out, state.ecf.last_update_time());
+  for (double v : state.ecf.cf1()) {
+    out << ' ';
+    AppendDouble(out, v);
+  }
+  for (double v : state.ecf.cf2()) {
+    out << ' ';
+    AppendDouble(out, v);
+  }
+  for (double v : state.ecf.ef2()) {
+    out << ' ';
+    AppendDouble(out, v);
+  }
+  out << "\n";
+}
+
+bool ParseClusterState(std::istream& in, std::size_t dims,
+                       core::MicroClusterState* out) {
+  core::MicroClusterState state;
+  double weight = 0.0;
+  double last_update = 0.0;
+  if (!(in >> state.id) || !ReadFinite(in, &state.creation_time) ||
+      !ReadFinite(in, &weight) || !ReadFinite(in, &last_update)) {
+    return false;
+  }
+  if (weight < 0.0) return false;
+  std::vector<double> cf1(dims), cf2(dims), ef2(dims);
+  for (double& v : cf1) {
+    if (!ReadFinite(in, &v)) return false;
+  }
+  for (double& v : cf2) {
+    if (!ReadFinite(in, &v)) return false;
+  }
+  for (double& v : ef2) {
+    if (!ReadFinite(in, &v)) return false;
+  }
+  state.ecf = core::ErrorClusterFeature::FromRaw(
+      std::move(cf1), std::move(cf2), std::move(ef2), weight, last_update);
+  *out = std::move(state);
+  return true;
+}
+
+void AppendUMicroState(std::ostringstream& out,
+                       const core::UMicroState& state) {
   const std::size_t dims = state.welford.size();
   out << "ustate " << kFormatVersion << "\n";
   out << "dims " << dims << "\n";
@@ -42,130 +250,156 @@ std::string UMicroStateToString(const core::UMicroState& state) {
   out << "\n";
   out << "clusters " << state.clusters.size() << "\n";
   for (const auto& cluster : state.clusters) {
-    out << cluster.id << ' ';
-    AppendDouble(out, cluster.creation_time);
-    out << ' ';
-    AppendDouble(out, cluster.ecf.weight());
-    out << ' ';
-    AppendDouble(out, cluster.ecf.last_update_time());
-    for (double v : cluster.ecf.cf1()) {
-      out << ' ';
-      AppendDouble(out, v);
-    }
-    for (double v : cluster.ecf.cf2()) {
-      out << ' ';
-      AppendDouble(out, v);
-    }
-    for (double v : cluster.ecf.ef2()) {
-      out << ' ';
-      AppendDouble(out, v);
-    }
-    out << " labels " << cluster.labels.size();
-    for (const auto& [label, weight] : cluster.labels) {
-      out << ' ' << label << ' ';
-      AppendDouble(out, weight);
-    }
-    out << "\n";
+    AppendMicroCluster(out, cluster);
   }
-  return out.str();
 }
 
-std::optional<core::UMicroState> ParseUMicroState(const std::string& text) {
-  std::istringstream in(text);
+bool ParseUMicroStateBody(std::istream& in, core::UMicroState* out) {
   std::string magic;
   int version = 0;
   if (!(in >> magic >> version) || magic != "ustate" ||
       version != kFormatVersion) {
-    return std::nullopt;
+    return false;
   }
 
   core::UMicroState state;
   std::string key;
   std::size_t dims = 0;
-  if (!(in >> key >> dims) || key != "dims" || dims == 0) {
-    return std::nullopt;
+  if (!(in >> key >> dims) || key != "dims" || dims == 0 ||
+      dims > kMaxDims) {
+    return false;
   }
   if (!(in >> key >> state.next_cluster_id >> state.points_processed >>
         state.clusters_created >> state.clusters_evicted >>
         state.clusters_merged) ||
       key != "counters") {
-    return std::nullopt;
+    return false;
   }
   int started = 0;
-  if (!(in >> key >> state.last_decay_time >> started) || key != "decay") {
-    return std::nullopt;
+  if (!(in >> key) || key != "decay" ||
+      !ReadFinite(in, &state.last_decay_time) || !(in >> started)) {
+    return false;
   }
   state.decay_clock_started = started != 0;
 
   state.welford.resize(dims);
   for (auto& w : state.welford) {
-    if (!(in >> key >> w.count >> w.mean >> w.m2) || key != "welford") {
-      return std::nullopt;
+    if (!(in >> key >> w.count) || key != "welford" ||
+        !ReadFinite(in, &w.mean) || !ReadFinite(in, &w.m2)) {
+      return false;
     }
-    if (w.m2 < 0.0) return std::nullopt;
+    if (w.m2 < 0.0) return false;
   }
-  if (!(in >> key) || key != "variances") return std::nullopt;
+  if (!(in >> key) || key != "variances") return false;
   state.global_variances.resize(dims);
   for (double& v : state.global_variances) {
-    if (!(in >> v)) return std::nullopt;
+    if (!ReadFinite(in, &v) || v < 0.0) return false;
   }
 
   std::size_t cluster_count = 0;
-  if (!(in >> key >> cluster_count) || key != "clusters") {
-    return std::nullopt;
+  if (!(in >> key >> cluster_count) || key != "clusters" ||
+      cluster_count > kMaxClusters) {
+    return false;
   }
   state.clusters.reserve(cluster_count);
   for (std::size_t c = 0; c < cluster_count; ++c) {
     core::MicroCluster cluster;
-    double weight = 0.0;
-    double last_update = 0.0;
-    if (!(in >> cluster.id >> cluster.creation_time >> weight >>
-          last_update)) {
-      return std::nullopt;
-    }
-    if (weight < 0.0) return std::nullopt;
-    std::vector<double> cf1(dims), cf2(dims), ef2(dims);
-    for (double& v : cf1) {
-      if (!(in >> v)) return std::nullopt;
-    }
-    for (double& v : cf2) {
-      if (!(in >> v)) return std::nullopt;
-    }
-    for (double& v : ef2) {
-      if (!(in >> v)) return std::nullopt;
-    }
-    cluster.ecf = core::ErrorClusterFeature::FromRaw(
-        std::move(cf1), std::move(cf2), std::move(ef2), weight, last_update);
-    std::size_t label_count = 0;
-    if (!(in >> key >> label_count) || key != "labels") {
-      return std::nullopt;
-    }
-    for (std::size_t l = 0; l < label_count; ++l) {
-      int label = 0;
-      double label_weight = 0.0;
-      if (!(in >> label >> label_weight)) return std::nullopt;
-      cluster.labels[label] = label_weight;
-    }
+    if (!ParseMicroCluster(in, dims, &cluster)) return false;
     state.clusters.push_back(std::move(cluster));
   }
+  *out = std::move(state);
+  return true;
+}
+
+/// Everything after the checkpoint header line.
+std::string EngineCheckpointBody(const core::EngineState& state) {
+  std::ostringstream out;
+  out << "kind " << state.engine_kind << "\n";
+  out << "dims " << state.dimensions << "\n";
+  out << "ingest " << state.points_ingested << ' ' << state.next_round_robin
+      << "\n";
+  out << "clock " << state.next_tick << ' ' << state.since_snapshot << ' ';
+  AppendDouble(out, state.last_timestamp);
+  out << "\n";
+  out << "shards " << state.shard_states.size() << "\n";
+  for (const auto& shard : state.shard_states) {
+    AppendUMicroState(out, shard);
+  }
+  out << "global " << state.global_clusters.size() << "\n";
+  for (const auto& cluster : state.global_clusters) {
+    AppendMicroCluster(out, cluster);
+  }
+  out << "store " << state.store.last_tick << ' ' << state.store.orders.size()
+      << "\n";
+  for (const auto& order : state.store.orders) {
+    out << "order " << order.size() << "\n";
+    for (const auto& snapshot : order) {
+      out << "snapshot ";
+      AppendDouble(out, snapshot.time);
+      out << ' ' << snapshot.clusters.size() << "\n";
+      for (const auto& cluster : snapshot.clusters) {
+        AppendClusterState(out, cluster);
+      }
+    }
+  }
+  out << "counters " << state.counters.size() << "\n";
+  for (const auto& [name, value] : state.counters) {
+    out << name << ' ';
+    AppendDouble(out, value);
+    out << "\n";
+  }
+  out << "gauges " << state.gauges.size() << "\n";
+  for (const auto& [name, value] : state.gauges) {
+    out << name << ' ';
+    AppendDouble(out, value);
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool ParseMetricCells(std::istream& in, const std::string& expected_key,
+                      std::vector<std::pair<std::string, double>>* out) {
+  std::string key;
+  std::size_t count = 0;
+  if (!(in >> key >> count) || key != expected_key ||
+      count > kMaxMetricCells) {
+    return false;
+  }
+  out->reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    double value = 0.0;
+    if (!(in >> name) || !ReadFinite(in, &value)) return false;
+    out->emplace_back(std::move(name), value);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string UMicroStateToString(const core::UMicroState& state) {
+  std::ostringstream out;
+  AppendUMicroState(out, state);
+  return out.str();
+}
+
+std::optional<core::UMicroState> ParseUMicroState(const std::string& text) {
+  std::istringstream in(text);
+  core::UMicroState state;
+  if (!ParseUMicroStateBody(in, &state)) return std::nullopt;
   return state;
 }
 
 bool WriteUMicroStateFile(const core::UMicroState& state,
                           const std::string& path) {
-  std::ofstream file(path);
-  if (!file.is_open()) return false;
-  file << UMicroStateToString(state);
-  return file.good();
+  return WriteTextFileAtomic(UMicroStateToString(state), path);
 }
 
 std::optional<core::UMicroState> ReadUMicroStateFile(
     const std::string& path) {
-  std::ifstream file(path);
-  if (!file.is_open()) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseUMicroState(buffer.str());
+  const std::optional<std::string> text = ReadWholeFile(path);
+  if (!text.has_value()) return std::nullopt;
+  return ParseUMicroState(*text);
 }
 
 std::string CluStreamStateToString(const baseline::CluStreamState& state) {
@@ -221,14 +455,17 @@ std::optional<baseline::CluStreamState> ParseCluStreamState(
   baseline::CluStreamState state;
   std::string key;
   std::size_t dims = 0;
-  if (!(in >> key >> dims) || key != "dims") return std::nullopt;
+  if (!(in >> key >> dims) || key != "dims" || dims > kMaxDims) {
+    return std::nullopt;
+  }
   if (!(in >> key >> state.next_cluster_id >> state.points_processed >>
         state.clusters_deleted >> state.clusters_merged) ||
       key != "counters") {
     return std::nullopt;
   }
   std::size_t cluster_count = 0;
-  if (!(in >> key >> cluster_count) || key != "clusters") {
+  if (!(in >> key >> cluster_count) || key != "clusters" ||
+      cluster_count > kMaxClusters) {
     return std::nullopt;
   }
   if (cluster_count > 0 && dims == 0) return std::nullopt;
@@ -236,35 +473,39 @@ std::optional<baseline::CluStreamState> ParseCluStreamState(
   for (std::size_t c = 0; c < cluster_count; ++c) {
     baseline::CluStreamCluster cluster;
     std::size_t id_count = 0;
-    if (!(in >> key >> id_count) || key != "ids" || id_count == 0) {
+    if (!(in >> key >> id_count) || key != "ids" || id_count == 0 ||
+        id_count > kMaxIds) {
       return std::nullopt;
     }
     cluster.ids.resize(id_count);
     for (std::uint64_t& id : cluster.ids) {
       if (!(in >> id)) return std::nullopt;
     }
-    if (!(in >> cluster.creation_time >> cluster.cf1_time >>
-          cluster.cf2_time >> cluster.count >>
-          cluster.last_update_time)) {
+    if (!ReadFinite(in, &cluster.creation_time) ||
+        !ReadFinite(in, &cluster.cf1_time) ||
+        !ReadFinite(in, &cluster.cf2_time) ||
+        !ReadFinite(in, &cluster.count) ||
+        !ReadFinite(in, &cluster.last_update_time)) {
       return std::nullopt;
     }
     if (cluster.count <= 0.0) return std::nullopt;
     cluster.cf1.resize(dims);
     cluster.cf2.resize(dims);
     for (double& v : cluster.cf1) {
-      if (!(in >> v)) return std::nullopt;
+      if (!ReadFinite(in, &v)) return std::nullopt;
     }
     for (double& v : cluster.cf2) {
-      if (!(in >> v)) return std::nullopt;
+      if (!ReadFinite(in, &v)) return std::nullopt;
     }
     std::size_t label_count = 0;
-    if (!(in >> key >> label_count) || key != "labels") {
+    if (!(in >> key >> label_count) || key != "labels" ||
+        label_count > kMaxLabels) {
       return std::nullopt;
     }
     for (std::size_t l = 0; l < label_count; ++l) {
       int label = 0;
       double weight = 0.0;
-      if (!(in >> label >> weight)) return std::nullopt;
+      if (!(in >> label) || !ReadFinite(in, &weight)) return std::nullopt;
       cluster.labels[label] = weight;
     }
     state.clusters.push_back(std::move(cluster));
@@ -274,19 +515,142 @@ std::optional<baseline::CluStreamState> ParseCluStreamState(
 
 bool WriteCluStreamStateFile(const baseline::CluStreamState& state,
                              const std::string& path) {
-  std::ofstream file(path);
-  if (!file.is_open()) return false;
-  file << CluStreamStateToString(state);
-  return file.good();
+  return WriteTextFileAtomic(CluStreamStateToString(state), path);
 }
 
 std::optional<baseline::CluStreamState> ReadCluStreamStateFile(
     const std::string& path) {
-  std::ifstream file(path);
-  if (!file.is_open()) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseCluStreamState(buffer.str());
+  const std::optional<std::string> text = ReadWholeFile(path);
+  if (!text.has_value()) return std::nullopt;
+  return ParseCluStreamState(*text);
+}
+
+std::string EngineStateToString(const core::EngineState& state) {
+  const std::string body = EngineCheckpointBody(state);
+  char header[64];
+  std::snprintf(header, sizeof(header), "ucheckpoint %d %016llx\n",
+                kCheckpointVersion,
+                static_cast<unsigned long long>(Fnv1a(body)));
+  return std::string(header) + body;
+}
+
+std::optional<core::EngineState> ParseEngineState(const std::string& text) {
+  const std::size_t newline = text.find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  {
+    std::istringstream header(text.substr(0, newline));
+    std::string magic;
+    int version = 0;
+    std::string checksum_hex;
+    if (!(header >> magic >> version >> checksum_hex) ||
+        magic != "ucheckpoint" || version != kCheckpointVersion) {
+      return std::nullopt;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long checksum =
+        std::strtoull(checksum_hex.c_str(), &end, 16);
+    if (errno != 0 || end != checksum_hex.c_str() + checksum_hex.size()) {
+      return std::nullopt;
+    }
+    if (checksum != Fnv1a(text.substr(newline + 1))) return std::nullopt;
+  }
+
+  std::istringstream in(text.substr(newline + 1));
+  core::EngineState state;
+  std::string key;
+  if (!(in >> key >> state.engine_kind) || key != "kind" ||
+      state.engine_kind.empty()) {
+    return std::nullopt;
+  }
+  if (!(in >> key >> state.dimensions) || key != "dims" ||
+      state.dimensions == 0 || state.dimensions > kMaxDims) {
+    return std::nullopt;
+  }
+  if (!(in >> key >> state.points_ingested >> state.next_round_robin) ||
+      key != "ingest") {
+    return std::nullopt;
+  }
+  if (!(in >> key >> state.next_tick >> state.since_snapshot) ||
+      key != "clock" || !ReadFinite(in, &state.last_timestamp)) {
+    return std::nullopt;
+  }
+
+  std::size_t shard_count = 0;
+  if (!(in >> key >> shard_count) || key != "shards" || shard_count == 0 ||
+      shard_count > kMaxShards) {
+    return std::nullopt;
+  }
+  state.shard_states.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    core::UMicroState shard;
+    if (!ParseUMicroStateBody(in, &shard)) return std::nullopt;
+    if (shard.welford.size() != state.dimensions) return std::nullopt;
+    state.shard_states.push_back(std::move(shard));
+  }
+
+  std::size_t global_count = 0;
+  if (!(in >> key >> global_count) || key != "global" ||
+      global_count > kMaxClusters) {
+    return std::nullopt;
+  }
+  state.global_clusters.reserve(global_count);
+  for (std::size_t c = 0; c < global_count; ++c) {
+    core::MicroCluster cluster;
+    if (!ParseMicroCluster(in, state.dimensions, &cluster)) {
+      return std::nullopt;
+    }
+    state.global_clusters.push_back(std::move(cluster));
+  }
+
+  std::size_t order_count = 0;
+  if (!(in >> key >> state.store.last_tick >> order_count) ||
+      key != "store" || order_count > kMaxOrders) {
+    return std::nullopt;
+  }
+  state.store.orders.resize(order_count);
+  for (auto& order : state.store.orders) {
+    std::size_t snapshot_count = 0;
+    if (!(in >> key >> snapshot_count) || key != "order" ||
+        snapshot_count > kMaxSnapshotsPerOrder) {
+      return std::nullopt;
+    }
+    order.reserve(snapshot_count);
+    for (std::size_t s = 0; s < snapshot_count; ++s) {
+      core::Snapshot snapshot;
+      std::size_t cluster_count = 0;
+      if (!(in >> key) || key != "snapshot" ||
+          !ReadFinite(in, &snapshot.time) || !(in >> cluster_count) ||
+          cluster_count > kMaxClusters) {
+        return std::nullopt;
+      }
+      snapshot.clusters.reserve(cluster_count);
+      for (std::size_t c = 0; c < cluster_count; ++c) {
+        core::MicroClusterState cluster;
+        if (!ParseClusterState(in, state.dimensions, &cluster)) {
+          return std::nullopt;
+        }
+        snapshot.clusters.push_back(std::move(cluster));
+      }
+      order.push_back(std::move(snapshot));
+    }
+  }
+
+  if (!ParseMetricCells(in, "counters", &state.counters)) return std::nullopt;
+  if (!ParseMetricCells(in, "gauges", &state.gauges)) return std::nullopt;
+  return state;
+}
+
+bool WriteEngineStateFile(const core::EngineState& state,
+                          const std::string& path) {
+  if (UMICRO_FAILPOINT("checkpoint.write_fail")) return false;
+  return WriteTextFileAtomic(EngineStateToString(state), path);
+}
+
+std::optional<core::EngineState> ReadEngineStateFile(const std::string& path) {
+  const std::optional<std::string> text = ReadWholeFile(path);
+  if (!text.has_value()) return std::nullopt;
+  return ParseEngineState(*text);
 }
 
 }  // namespace umicro::io

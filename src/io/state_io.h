@@ -1,5 +1,19 @@
-// Text serialization of a running UMicro instance's state
+// Text serialization of running algorithm/engine state
 // (checkpoint/restore across process restarts).
+//
+// Three formats, all versioned, line-oriented, full double precision:
+//   "ustate 1"       -- one UMicro instance (algorithm state only).
+//   "csstate 1"      -- one CluStream baseline instance.
+//   "ucheckpoint 2"  -- a full engine (core::EngineState): algorithm
+//                       state(s), merged global view, snapshot store,
+//                       stream clock, and counter/gauge metric cells,
+//                       protected by an FNV-1a body checksum in the
+//                       header line.
+//
+// All parsers treat their input as hostile: truncation, bit flips,
+// huge counts, and non-numeric bytes yield std::nullopt -- never a
+// crash, CHECK failure, or unbounded allocation (untrusted counts are
+// capped before any reserve/resize).
 
 #ifndef UMICRO_IO_STATE_IO_H_
 #define UMICRO_IO_STATE_IO_H_
@@ -8,6 +22,7 @@
 #include <string>
 
 #include "baseline/clustream.h"
+#include "core/engine.h"
 #include "core/umicro.h"
 
 namespace umicro::io {
@@ -40,6 +55,24 @@ bool WriteCluStreamStateFile(const baseline::CluStreamState& state,
                              const std::string& path);
 std::optional<baseline::CluStreamState> ReadCluStreamStateFile(
     const std::string& path);
+
+/// Serializes a full-engine checkpoint ("ucheckpoint 2").
+std::string EngineStateToString(const core::EngineState& state);
+
+/// Parses text produced by EngineStateToString, verifying the header
+/// checksum against the body first (any corruption is rejected up
+/// front).
+std::optional<core::EngineState> ParseEngineState(const std::string& text);
+
+/// Atomically writes an engine checkpoint: the text lands in `path`.tmp,
+/// is fsync'd, and renamed over `path`, so a crash mid-write can never
+/// leave a torn file at `path`. Returns false on I/O failure or when the
+/// "checkpoint.write_fail" failpoint triggers.
+bool WriteEngineStateFile(const core::EngineState& state,
+                          const std::string& path);
+
+/// Reads and parses an engine checkpoint file.
+std::optional<core::EngineState> ReadEngineStateFile(const std::string& path);
 
 }  // namespace umicro::io
 

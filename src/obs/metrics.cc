@@ -179,6 +179,42 @@ std::vector<MetricSnapshot> MetricsRegistry::Collect() const {
   return snapshots;
 }
 
+std::vector<std::pair<std::string, double>> MetricsRegistry::CounterCells()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> cells;
+  cells.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    cells.emplace_back(name, static_cast<double>(counter->value()));
+  }
+  return cells;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeCells()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> cells;
+  cells.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    cells.emplace_back(name, gauge->value());
+  }
+  return cells;
+}
+
+void MetricsRegistry::RestoreCells(
+    const std::vector<std::pair<std::string, double>>& counters,
+    const std::vector<std::pair<std::string, double>>& gauges) {
+  for (const auto& [name, value] : counters) {
+    Counter& cell = GetCounter(name);
+    const auto target = static_cast<std::uint64_t>(value);
+    const std::uint64_t current = cell.value();
+    if (target > current) cell.Increment(target - current);
+  }
+  for (const auto& [name, value] : gauges) {
+    GetGauge(name).Set(value);
+  }
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();

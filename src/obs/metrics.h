@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace umicro::obs {
@@ -198,6 +199,22 @@ class MetricsRegistry {
 
   /// Point-in-time view of every metric, sorted by name.
   std::vector<MetricSnapshot> Collect() const;
+
+  /// Counter cells as (name, value) pairs, sorted by name
+  /// (checkpointing).
+  std::vector<std::pair<std::string, double>> CounterCells() const;
+
+  /// Gauge cells as (name, value) pairs, sorted by name (checkpointing).
+  std::vector<std::pair<std::string, double>> GaugeCells() const;
+
+  /// Restores checkpointed cells: each named counter is raised to at
+  /// least the stored tally (counters are monotone, so cells that
+  /// already moved past the checkpoint are left alone) and each gauge is
+  /// set to the stored level. Missing cells are created. Histograms are
+  /// not restorable and restart empty.
+  void RestoreCells(
+      const std::vector<std::pair<std::string, double>>& counters,
+      const std::vector<std::pair<std::string, double>>& gauges);
 
   /// Number of registered metrics.
   std::size_t size() const;

@@ -63,6 +63,10 @@ struct QueueStats {
   std::size_t dropped_oldest = 0;
   /// Items rejected under kDropNewest.
   std::size_t dropped_newest = 0;
+  /// Items rejected because the queue was (or became) closed -- including
+  /// kBlock producers woken mid-wait by Close(). Each rejected Push is
+  /// counted exactly once, here and in the `dropped` metric hook.
+  std::size_t rejected_closed = 0;
   /// Maximum occupancy ever observed.
   std::size_t high_water = 0;
   /// Current occupancy.
@@ -90,13 +94,13 @@ class BoundedQueue {
     const obs::ScopedTimer timer(hooks_.enqueue_micros);
     std::unique_lock<std::mutex> lock(mu_);
     if (displaced != nullptr) displaced->reset();
-    if (closed_) return false;
+    if (closed_) return RejectClosedLocked();
     if (count_ == capacity_) {
       switch (policy_) {
         case BackpressurePolicy::kBlock:
           not_full_.wait(lock,
                          [this] { return count_ < capacity_ || closed_; });
-          if (closed_) return false;
+          if (closed_) return RejectClosedLocked();
           break;
         case BackpressurePolicy::kDropOldest: {
           T oldest = std::move(slots_[head_]);
@@ -182,12 +186,23 @@ class BoundedQueue {
     stats.popped = popped_;
     stats.dropped_oldest = dropped_oldest_;
     stats.dropped_newest = dropped_newest_;
+    stats.rejected_closed = rejected_closed_;
     stats.high_water = high_water_;
     stats.size = count_;
     return stats;
   }
 
  private:
+  /// Accounts one Push rejected by a closed queue (mu_ held). A producer
+  /// that was blocked when Close() arrived and one that pushed after the
+  /// close both land here -- and only here -- so every rejected item is
+  /// counted exactly once.
+  bool RejectClosedLocked() {
+    ++rejected_closed_;
+    if (hooks_.dropped != nullptr) hooks_.dropped->Increment();
+    return false;
+  }
+
   void PopLocked(T* out) {
     *out = std::move(slots_[head_]);
     head_ = (head_ + 1) % capacity_;
@@ -211,6 +226,7 @@ class BoundedQueue {
   std::size_t popped_ = 0;
   std::size_t dropped_oldest_ = 0;
   std::size_t dropped_newest_ = 0;
+  std::size_t rejected_closed_ = 0;
   std::size_t high_water_ = 0;
 };
 

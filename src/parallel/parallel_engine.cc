@@ -1,6 +1,7 @@
 #include "parallel/parallel_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/scoped_timer.h"
 #include "util/check.h"
@@ -32,6 +33,43 @@ void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
     snapshots_taken_->Increment();
     snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
   }
+}
+
+core::EngineState ParallelUMicroEngine::ExportEngineState() {
+  core::EngineState state;
+  state.engine_kind = "sharded";
+  state.dimensions = sharded_.dimensions();
+  // ExportPipelineState drains + merges, so the shard residuals and the
+  // global view are consistent with the stream clock captured below.
+  ShardedPipelineState pipeline = sharded_.ExportPipelineState();
+  state.shard_states = std::move(pipeline.shard_states);
+  state.global_clusters = std::move(pipeline.global_clusters);
+  state.points_ingested = pipeline.points_ingested;
+  state.next_round_robin = pipeline.next_round_robin;
+  state.store = store_.ExportState();
+  state.next_tick = next_tick_;
+  state.since_snapshot = since_snapshot_;
+  state.last_timestamp = last_timestamp_;
+  state.counters = sharded_.metrics().CounterCells();
+  state.gauges = sharded_.metrics().GaugeCells();
+  return state;
+}
+
+bool ParallelUMicroEngine::RestoreEngineState(const core::EngineState& state) {
+  if (state.engine_kind != "sharded") return false;
+  if (state.dimensions != sharded_.dimensions()) return false;
+  ShardedPipelineState pipeline;
+  pipeline.shard_states = state.shard_states;
+  pipeline.global_clusters = state.global_clusters;
+  pipeline.points_ingested = state.points_ingested;
+  pipeline.next_round_robin = state.next_round_robin;
+  if (!sharded_.RestorePipelineState(pipeline)) return false;
+  store_.RestoreState(state.store);
+  next_tick_ = state.next_tick;
+  since_snapshot_ = static_cast<std::size_t>(state.since_snapshot);
+  last_timestamp_ = state.last_timestamp;
+  sharded_.metrics().RestoreCells(state.counters, state.gauges);
+  return true;
 }
 
 std::optional<core::HorizonClustering> ParallelUMicroEngine::ClusterRecent(

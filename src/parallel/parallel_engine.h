@@ -69,6 +69,8 @@ class ParallelUMicroEngine : public core::ClusteringEngine {
       double horizon, const core::MacroClusteringOptions& options) override;
   /// Drains the pipeline and refreshes the merged global view.
   void Flush() override { sharded_.Flush(); }
+  core::EngineState ExportEngineState() override;
+  bool RestoreEngineState(const core::EngineState& state) override;
   const core::SnapshotStore& store() const override { return store_; }
   /// The pipeline's registry (engine-level snapshot metrics land in the
   /// same registry, so one export covers the whole stack).

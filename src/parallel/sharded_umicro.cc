@@ -1,6 +1,7 @@
 #include "parallel/sharded_umicro.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <optional>
@@ -8,6 +9,7 @@
 
 #include "obs/scoped_timer.h"
 #include "util/check.h"
+#include "util/failpoints.h"
 
 namespace umicro::parallel {
 
@@ -87,7 +89,17 @@ ShardedUMicro::ShardedUMicro(std::size_t dimensions,
       merges_metric_(&metrics_.GetCounter("parallel.merges")),
       reconcile_metric_(&metrics_.GetCounter("parallel.reconcile_merges")),
       merge_micros_(&metrics_.GetHistogram("parallel.merge_micros")),
-      global_clusters_metric_(&metrics_.GetGauge("parallel.global_clusters")) {
+      global_clusters_metric_(&metrics_.GetGauge("parallel.global_clusters")),
+      degrade_activations_metric_(
+          &metrics_.GetCounter("parallel.degrade.activations")),
+      points_shed_metric_(
+          &metrics_.GetCounter("parallel.degrade.points_shed")),
+      batches_shed_metric_(
+          &metrics_.GetCounter("parallel.degrade.batches_shed")),
+      degrade_active_gauge_(&metrics_.GetGauge("parallel.degrade.active")),
+      worker_restarts_metric_(
+          &metrics_.GetCounter("parallel.worker_restarts")),
+      shed_rng_(options.degrade.seed) {
   UMICRO_CHECK(options_.num_shards >= 1);
   UMICRO_CHECK(options_.producer_batch >= 1);
   UMICRO_CHECK(options_.queue_capacity >= 1);
@@ -117,12 +129,20 @@ ShardedUMicro::ShardedUMicro(std::size_t dimensions,
     shard.algo.AttachMetrics(&metrics_);
   }
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_[i]->worker_alive.store(true, std::memory_order_release);
     shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+  if (options_.supervisor.enabled) {
+    supervisor_ = std::thread([this] { SupervisorLoop(); });
   }
 }
 
 ShardedUMicro::~ShardedUMicro() {
-  stopped_ = true;
+  // Silence the supervisor before closing anything so a worker exiting
+  // on queue-close is never mistaken for a death and "restarted".
+  stopped_.store(true, std::memory_order_release);
+  supervisor_stop_.store(true, std::memory_order_release);
+  if (supervisor_.joinable()) supervisor_.join();
   for (auto& shard : shards_) shard->queue.Close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -135,22 +155,117 @@ std::string ShardedUMicro::name() const {
 
 void ShardedUMicro::WorkerLoop(std::size_t index) {
   Shard& shard = *shards_[index];
-  std::vector<stream::UncertainPoint> batch;
-  while (shard.queue.Pop(&batch)) {
-    const std::size_t n = batch.size();
+  const std::string death_name =
+      "parallel.worker" + std::to_string(index) + ".death";
+  while (shard.queue.Pop(&shard.in_progress_batch)) {
+    if (UMICRO_FAILPOINT(death_name) ||
+        UMICRO_FAILPOINT("parallel.worker.death")) {
+      // Simulated death: exit with the popped batch still sitting in
+      // in_progress_batch and its points still counted in in_flight_,
+      // exactly the state a real crash would leave. The supervisor
+      // applies the batch itself, so no point is lost or double-counted.
+      shard.worker_alive.store(false, std::memory_order_release);
+      return;
+    }
+    if (util::FailpointRegistry::Instance().AnyArmed()) {
+      const std::size_t stall = util::FailpointRegistry::Instance()
+                                    .StallMillis("parallel.worker.stall");
+      if (stall > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+      }
+    }
+    const std::size_t n = shard.in_progress_batch.size();
     {
       std::lock_guard<std::mutex> lock(shard.state_mu);
-      for (const auto& point : batch) shard.algo.Process(point);
+      for (const auto& point : shard.in_progress_batch) {
+        shard.algo.Process(point);
+      }
     }
     shard.points_processed->Increment(n);
     shard.batches_processed->Increment();
+    shard.in_progress_batch.clear();
     {
       std::lock_guard<std::mutex> lock(done_mu_);
       in_flight_[index] -= n;
       if (in_flight_[index] == 0) done_cv_.notify_all();
     }
-    batch.clear();
   }
+  shard.worker_alive.store(false, std::memory_order_release);
+}
+
+void ShardedUMicro::SupervisorLoop() {
+  const auto poll = std::chrono::milliseconds(
+      std::max<std::size_t>(std::size_t{1}, options_.supervisor.poll_millis));
+  while (!supervisor_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    if (stopped_.load(std::memory_order_acquire)) continue;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (supervisor_stop_.load(std::memory_order_acquire)) return;
+      if (!shards_[i]->worker_alive.load(std::memory_order_acquire)) {
+        RestartShard(i);
+      }
+    }
+  }
+}
+
+void ShardedUMicro::RestartShard(std::size_t index) {
+  Shard& shard = *shards_[index];
+  if (shard.worker.joinable()) shard.worker.join();
+  // The join ordered the dead worker's writes: its orphaned batch (if
+  // any) is safe to take before the replacement starts popping into the
+  // same slot.
+  std::vector<stream::UncertainPoint> orphaned =
+      std::move(shard.in_progress_batch);
+  shard.in_progress_batch.clear();
+  worker_restarts_metric_->Increment();
+  // Apply the orphaned batch here, on the supervisor thread, BEFORE the
+  // replacement starts. Re-enqueueing instead can deadlock: if the
+  // queue filled while the shard was dead and the replacement dies on
+  // its very next pop, the supervisor is stuck in a kBlock Push with no
+  // consumer left and can never run another restart. Processing in
+  // place never touches the queue, and since the orphan was popped
+  // before everything still queued, shard-local order is preserved.
+  // The points stay counted in in_flight_ (the dead worker never
+  // decremented them), so they are only decremented, never re-added.
+  if (!orphaned.empty()) {
+    const std::size_t n = orphaned.size();
+    {
+      std::lock_guard<std::mutex> lock(shard.state_mu);
+      for (const auto& point : orphaned) shard.algo.Process(point);
+    }
+    shard.points_processed->Increment(n);
+    shard.batches_processed->Increment();
+    std::lock_guard<std::mutex> lock(done_mu_);
+    in_flight_[index] -= n;
+    if (in_flight_[index] == 0) done_cv_.notify_all();
+  }
+  shard.worker_alive.store(true, std::memory_order_release);
+  shard.worker = std::thread([this, index] { WorkerLoop(index); });
+}
+
+bool ShardedUMicro::ShouldShedBatch(std::size_t index) {
+  const DegradationOptions& degrade = options_.degrade;
+  if (!degrade.enabled) return false;
+  const double occupancy =
+      static_cast<double>(shards_[index]->queue.size()) /
+      static_cast<double>(shards_[index]->queue.capacity());
+  if (occupancy >= degrade.occupancy_trigger) {
+    ++pressured_streak_;
+    calm_streak_ = 0;
+  } else {
+    ++calm_streak_;
+    pressured_streak_ = 0;
+  }
+  if (!degraded_ && pressured_streak_ >= degrade.trigger_after) {
+    degraded_ = true;
+    degrade_activations_metric_->Increment();
+    degrade_active_gauge_->Set(1.0);
+  } else if (degraded_ && calm_streak_ >= degrade.recover_after) {
+    degraded_ = false;
+    degrade_active_gauge_->Set(0.0);
+  }
+  if (!degraded_) return false;
+  return shed_rng_.NextDouble() < degrade.shed_probability;
 }
 
 std::size_t ShardedUMicro::PickShard(const stream::UncertainPoint& point) {
@@ -171,6 +286,17 @@ void ShardedUMicro::EnqueueBatch(std::size_t index) {
   std::vector<stream::UncertainPoint>& batch = pending_batches_[index];
   if (batch.empty()) return;
   const std::size_t n = batch.size();
+  if (ShouldShedBatch(index)) {
+    // Shed before the in-flight accounting: a shed batch never enters
+    // the pipeline, so drain/exactness bookkeeping is untouched.
+    batches_shed_metric_->Increment();
+    points_shed_metric_->Increment(n);
+    shards_[index]->points_dropped->Increment(n);
+    points_dropped_metric_->Increment(n);
+    batch.clear();
+    batch.reserve(options_.producer_batch);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(done_mu_);
     in_flight_[index] += n;
@@ -208,8 +334,16 @@ void ShardedUMicro::Process(const stream::UncertainPoint& point) {
   if (pending_batches_[shard].size() >= options_.producer_batch) {
     EnqueueBatch(shard);
   }
-  if (options_.merge_every > 0 &&
-      points_since_merge_ >= options_.merge_every) {
+  // While degraded, merges (the costliest coordinator work) run at a
+  // stretched cadence so the coordinator sheds load too.
+  std::size_t effective_merge_every = options_.merge_every;
+  if (degraded_) {
+    const double stretch = std::max(1.0, options_.degrade.merge_stretch);
+    effective_merge_every = static_cast<std::size_t>(
+        static_cast<double>(options_.merge_every) * stretch);
+  }
+  if (effective_merge_every > 0 &&
+      points_since_merge_ >= effective_merge_every) {
     MergeNow();
   }
 }
@@ -325,6 +459,13 @@ void ShardedUMicro::RebuildGlobalView() {
 
 void ShardedUMicro::MergeNow() {
   const obs::ScopedTimer timer(merge_micros_);
+  if (util::FailpointRegistry::Instance().AnyArmed()) {
+    const std::size_t stall = util::FailpointRegistry::Instance()
+                                  .StallMillis("parallel.merge.stall");
+    if (stall > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
+  }
   for (std::size_t i = 0; i < shards_.size(); ++i) EnqueueBatch(i);
   WaitDrained();
   RebuildGlobalView();
@@ -371,6 +512,52 @@ core::Snapshot ShardedUMicro::GlobalSnapshot(double time) const {
     snapshot.clusters.push_back(std::move(state));
   }
   return snapshot;
+}
+
+ShardedPipelineState ShardedUMicro::ExportPipelineState() {
+  // Drain + merge first: afterwards no point is in a queue or a worker,
+  // so shard residuals + merged view + the partition cursor determine
+  // all future behavior exactly.
+  Flush();
+  ShardedPipelineState state;
+  state.shard_states.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->state_mu);
+    state.shard_states.push_back(shard->algo.ExportState());
+  }
+  state.global_clusters = global_clusters_;
+  state.points_ingested = points_ingested_;
+  state.next_round_robin = next_round_robin_;
+  return state;
+}
+
+bool ShardedUMicro::RestorePipelineState(const ShardedPipelineState& state) {
+  if (state.shard_states.size() != shards_.size()) return false;
+  for (const auto& shard_state : state.shard_states) {
+    if (shard_state.welford.size() != dimensions_) return false;
+    for (const auto& cluster : shard_state.clusters) {
+      if (cluster.ecf.dimensions() != dimensions_) return false;
+    }
+  }
+  for (const auto& cluster : state.global_clusters) {
+    if (cluster.ecf.dimensions() != dimensions_) return false;
+  }
+  Flush();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->state_mu);
+    shards_[i]->algo.RestoreState(state.shard_states[i]);
+  }
+  global_clusters_ = state.global_clusters;
+  points_ingested_ = static_cast<std::size_t>(state.points_ingested);
+  next_round_robin_ =
+      static_cast<std::size_t>(state.next_round_robin) % options_.num_shards;
+  points_since_merge_ = 0;
+  global_clusters_metric_->Set(static_cast<double>(global_clusters_.size()));
+  return true;
+}
+
+std::size_t ShardedUMicro::worker_restarts() const {
+  return static_cast<std::size_t>(worker_restarts_metric_->value());
 }
 
 }  // namespace umicro::parallel

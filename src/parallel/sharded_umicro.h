@@ -22,6 +22,7 @@
 #ifndef UMICRO_PARALLEL_SHARDED_UMICRO_H_
 #define UMICRO_PARALLEL_SHARDED_UMICRO_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -38,6 +39,7 @@
 #include "parallel/bounded_queue.h"
 #include "stream/clusterer.h"
 #include "stream/point.h"
+#include "util/random.h"
 
 namespace umicro::parallel {
 
@@ -48,6 +50,46 @@ enum class PartitionMode {
   /// Hash of the point's coordinates (stable point->shard mapping, so
   /// identical records always meet the same shard state).
   kHash,
+};
+
+/// Graceful overload degradation (resilience pillar 4). When enabled,
+/// the coordinator watches queue occupancy at every enqueue; after
+/// `trigger_after` consecutive pressured enqueues it enters degraded
+/// mode: pending batches are shed with probability `shed_probability`
+/// before they enter the queue (so a kBlock pipeline stays live instead
+/// of stalling the producer) and the global merge cadence is stretched
+/// by `merge_stretch`. After `recover_after` consecutive calm enqueues
+/// the pipeline returns to normal. Every shed point is counted in
+/// "parallel.degrade.points_shed"; docs/resilience.md has the catalog.
+struct DegradationOptions {
+  /// Master switch; off preserves the exact lossless (kBlock) behavior.
+  bool enabled = false;
+  /// Queue-occupancy fraction (of capacity) that counts as pressured.
+  double occupancy_trigger = 0.75;
+  /// Consecutive pressured enqueues before degraded mode activates.
+  std::size_t trigger_after = 8;
+  /// Consecutive calm enqueues before degraded mode deactivates.
+  std::size_t recover_after = 32;
+  /// Probability a pending batch is shed while degraded.
+  double shed_probability = 0.5;
+  /// Multiplier on merge_every while degraded (merges are the costliest
+  /// coordinator work, so stretching them sheds coordination load too).
+  double merge_stretch = 4.0;
+  /// Seed of the deterministic shed decisions.
+  std::uint64_t seed = 0x5eedu;
+};
+
+/// Worker supervision (resilience pillar 4). A supervisor thread polls
+/// worker liveness; a worker that died (only possible via the
+/// "parallel.worker*.death" failpoints -- the code has no exceptions) is
+/// joined, its in-flight batch applied by the supervisor itself, and a
+/// replacement spawned, so a dead shard can no longer wedge
+/// WaitDrained() forever.
+struct SupervisorOptions {
+  /// Master switch; off means no extra thread.
+  bool enabled = false;
+  /// Liveness poll interval.
+  std::size_t poll_millis = 20;
 };
 
 /// Configuration of the sharded ingest pipeline.
@@ -76,6 +118,25 @@ struct ShardedUMicroOptions {
   /// exceed it, near-duplicates are reconciled pairwise (most similar
   /// first) until the budget holds.
   std::size_t global_budget = 0;
+  /// Adaptive load shedding under sustained backpressure.
+  DegradationOptions degrade;
+  /// Worker liveness supervision.
+  SupervisorOptions supervisor;
+};
+
+/// Complete serializable state of the sharded pipeline as of a flushed
+/// instant (all queues drained): per-shard algorithm residuals, the
+/// merged global view, and the coordinator's partitioning cursor. The
+/// checkpoint unit of ParallelUMicroEngine.
+struct ShardedPipelineState {
+  /// One private-UMicro state per shard, in shard order.
+  std::vector<core::UMicroState> shard_states;
+  /// The merged global view at the flushed instant.
+  std::vector<core::MicroCluster> global_clusters;
+  /// Total points ingested so far.
+  std::uint64_t points_ingested = 0;
+  /// Round-robin cursor so partitioning resumes exactly.
+  std::uint64_t next_round_robin = 0;
 };
 
 /// Sharded parallel front-end over N private UMicro instances.
@@ -119,6 +180,21 @@ class ShardedUMicro : public stream::StreamClusterer {
   /// The merged view as a Snapshot at `time` (pyramidal-store input).
   core::Snapshot GlobalSnapshot(double time) const;
 
+  /// Captures the pipeline's complete durable state (drains + merges
+  /// first, so there are no in-flight points to lose).
+  ShardedPipelineState ExportPipelineState();
+
+  /// Restores a previously exported state into this freshly constructed,
+  /// identically configured pipeline. Returns false (pipeline untouched)
+  /// when the shard count does not match.
+  bool RestorePipelineState(const ShardedPipelineState& state);
+
+  /// True while the adaptive load-shed controller is degrading service.
+  bool degraded() const { return degraded_; }
+
+  /// Worker restarts performed by the supervisor so far.
+  std::size_t worker_restarts() const;
+
   /// The pipeline's metrics registry (live; collect at any time).
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
@@ -146,11 +222,31 @@ class ShardedUMicro : public stream::StreamClusterer {
     obs::Counter* batches_processed = nullptr;  // worker increments
     obs::Counter* points_dropped = nullptr;  // coordinator increments
     obs::Gauge* clusters_at_merge = nullptr;  // coordinator sets
+    /// True from just before the worker thread is spawned until its loop
+    /// exits; the supervisor restarts a shard whose flag dropped while
+    /// the pipeline is live.
+    std::atomic<bool> worker_alive{false};
+    /// The batch the worker is currently processing. Written by the
+    /// worker, read by the supervisor only after joining the dead thread
+    /// (join orders the accesses), so no lock is needed.
+    std::vector<stream::UncertainPoint> in_progress_batch;
     std::thread worker;
   };
 
   /// Worker thread body for shard `index`.
   void WorkerLoop(std::size_t index);
+
+  /// Supervisor thread body: polls worker liveness, restarts the dead.
+  void SupervisorLoop();
+
+  /// Joins a dead worker, applies its in-flight batch, and spawns a
+  /// replacement (supervisor thread only).
+  void RestartShard(std::size_t index);
+
+  /// Load-shed decision for shard `index`'s pending batch: updates the
+  /// pressure streaks, flips degraded mode, and returns true when the
+  /// batch should be shed before entering the queue (coordinator only).
+  bool ShouldShedBatch(std::size_t index);
 
   /// Shard assignment for one point.
   std::size_t PickShard(const stream::UncertainPoint& point);
@@ -183,6 +279,12 @@ class ShardedUMicro : public stream::StreamClusterer {
   obs::Counter* reconcile_metric_;
   obs::Histogram* merge_micros_;
   obs::Gauge* global_clusters_metric_;
+  // Degradation / supervision metric handles.
+  obs::Counter* degrade_activations_metric_;
+  obs::Counter* points_shed_metric_;
+  obs::Counter* batches_shed_metric_;
+  obs::Gauge* degrade_active_gauge_;
+  obs::Counter* worker_restarts_metric_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   /// Producer-side point buffers, one per shard (coordinator thread only).
@@ -199,7 +301,19 @@ class ShardedUMicro : public stream::StreamClusterer {
   std::size_t points_since_merge_ = 0;
   std::size_t next_round_robin_ = 0;
   std::vector<core::MicroCluster> global_clusters_;
-  bool stopped_ = false;
+  /// Set by the destructor before tearing anything down; read by the
+  /// supervisor to suppress restarts during shutdown.
+  std::atomic<bool> stopped_{false};
+
+  // Load-shed controller state (coordinator thread only).
+  bool degraded_ = false;
+  std::size_t pressured_streak_ = 0;
+  std::size_t calm_streak_ = 0;
+  util::Rng shed_rng_;
+
+  // Supervisor thread (started only when options.supervisor.enabled).
+  std::atomic<bool> supervisor_stop_{false};
+  std::thread supervisor_;
 };
 
 }  // namespace umicro::parallel

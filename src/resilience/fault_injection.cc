@@ -1,0 +1,108 @@
+#include "resilience/fault_injection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace umicro::resilience {
+
+FaultInjectingStream::FaultInjectingStream(stream::StreamSource* source,
+                                           FaultInjectionOptions options)
+    : source_(source), options_(options), rng_(options.seed) {}
+
+std::optional<stream::UncertainPoint> FaultInjectingStream::Next() {
+  if (!queued_.empty()) {
+    stream::UncertainPoint point = std::move(queued_.front());
+    queued_.pop_front();
+    return point;
+  }
+  std::optional<stream::UncertainPoint> point = PullRecord();
+  if (!point.has_value()) return std::nullopt;
+
+  if (options_.reorder_probability > 0.0 &&
+      rng_.NextDouble() < options_.reorder_probability) {
+    // Swap with the successor: deliver the next record first and queue
+    // this one behind it.
+    std::optional<stream::UncertainPoint> successor = PullRecord();
+    if (successor.has_value()) {
+      ++stats_.records_reordered;
+      queued_.push_back(std::move(*point));
+      return successor;
+    }
+    return point;  // nothing left to swap with
+  }
+  if (options_.duplicate_probability > 0.0 &&
+      rng_.NextDouble() < options_.duplicate_probability) {
+    ++stats_.records_duplicated;
+    queued_.push_back(*point);
+  }
+  return point;
+}
+
+bool FaultInjectingStream::Reset() {
+  if (!source_->Reset()) return false;
+  rng_ = util::Rng(options_.seed);
+  stats_ = FaultInjectionStats{};
+  queued_.clear();
+  return true;
+}
+
+std::optional<stream::UncertainPoint> FaultInjectingStream::PullRecord() {
+  if (options_.gap_probability > 0.0 &&
+      rng_.NextDouble() < options_.gap_probability) {
+    const std::size_t length =
+        1 + static_cast<std::size_t>(rng_.NextBounded(
+                std::max<std::uint64_t>(1, options_.max_gap_length)));
+    for (std::size_t i = 0; i < length; ++i) {
+      if (!source_->Next().has_value()) break;
+      ++stats_.records_gapped;
+    }
+  }
+  std::optional<stream::UncertainPoint> point = source_->Next();
+  if (!point.has_value()) return std::nullopt;
+  if (options_.corrupt_probability > 0.0 &&
+      rng_.NextDouble() < options_.corrupt_probability) {
+    ++stats_.records_corrupted;
+    Corrupt(&*point);
+  }
+  return point;
+}
+
+void FaultInjectingStream::Corrupt(stream::UncertainPoint* point) {
+  const std::size_t dims = point->values.size();
+  switch (rng_.NextBounded(5)) {
+    case 0:  // a value reading turns NaN
+      if (dims > 0) {
+        point->values[rng_.NextBounded(dims)] =
+            std::numeric_limits<double>::quiet_NaN();
+      }
+      break;
+    case 1:  // a value reading saturates to +-Inf
+      if (dims > 0) {
+        point->values[rng_.NextBounded(dims)] =
+            rng_.NextBounded(2) == 0
+                ? std::numeric_limits<double>::infinity()
+                : -std::numeric_limits<double>::infinity();
+      }
+      break;
+    case 2:  // an error stddev turns negative
+      if (point->errors.empty()) point->errors.assign(dims, 0.0);
+      if (!point->errors.empty()) {
+        double& e = point->errors[rng_.NextBounded(point->errors.size())];
+        e = -(std::fabs(e) + 1.0);
+      }
+      break;
+    case 3:  // the arrival timestamp turns NaN
+      point->timestamp = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 4:  // a dimension is lost in transit
+      if (dims > 0) {
+        point->values.pop_back();
+        if (!point->errors.empty()) point->errors.pop_back();
+      }
+      break;
+  }
+}
+
+}  // namespace umicro::resilience

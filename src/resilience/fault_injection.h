@@ -1,0 +1,96 @@
+// Deterministic stream-level fault injection for resilience testing.
+//
+// FaultInjectingStream decorates any StreamSource with seeded, replayable
+// faults of the kinds real feeds exhibit:
+//
+//   corruption  -- a value turns NaN/Inf, an error stddev turns negative,
+//                  the timestamp turns NaN, or a dimension is lost
+//                  (exactly the defect classes ValidatingStream handles);
+//   duplication -- a record is delivered twice in a row;
+//   reordering  -- two consecutive records swap places;
+//   burst gaps  -- a run of records disappears entirely.
+//
+// All decisions come from one util::Rng, so a given seed produces the
+// identical fault pattern on every run -- the crash-recovery and
+// input-hardening suites rely on that to assert exact counts. Process-
+// level faults (worker death, checkpoint-write failure, stalls) are
+// injected separately through util::FailpointRegistry.
+
+#ifndef UMICRO_RESILIENCE_FAULT_INJECTION_H_
+#define UMICRO_RESILIENCE_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "stream/point.h"
+#include "stream/stream_source.h"
+#include "util/random.h"
+
+namespace umicro::resilience {
+
+/// Fault mix of one FaultInjectingStream. All probabilities are per
+/// source record and independent; 0 disables that fault kind.
+struct FaultInjectionOptions {
+  /// Seed of the deterministic fault pattern.
+  std::uint64_t seed = 0xfa117u;
+  /// Probability a record is corrupted (one defect kind chosen
+  /// uniformly among value-NaN, value-Inf, negative error stddev,
+  /// NaN timestamp, lost dimension).
+  double corrupt_probability = 0.0;
+  /// Probability a record is delivered twice.
+  double duplicate_probability = 0.0;
+  /// Probability a record swaps places with its successor.
+  double reorder_probability = 0.0;
+  /// Probability a burst gap opens before a record: 1..max_gap_length
+  /// source records are consumed and discarded.
+  double gap_probability = 0.0;
+  /// Longest burst gap, in records (>= 1 when gap_probability > 0).
+  std::size_t max_gap_length = 16;
+};
+
+/// Injection tallies (deterministic given seed + source content).
+struct FaultInjectionStats {
+  std::uint64_t records_corrupted = 0;
+  std::uint64_t records_duplicated = 0;
+  std::uint64_t records_reordered = 0;
+  /// Source records swallowed by burst gaps.
+  std::uint64_t records_gapped = 0;
+};
+
+/// StreamSource decorator injecting the configured faults. Does not own
+/// the wrapped source.
+class FaultInjectingStream : public stream::StreamSource {
+ public:
+  FaultInjectingStream(stream::StreamSource* source,
+                       FaultInjectionOptions options);
+
+  std::optional<stream::UncertainPoint> Next() override;
+  std::size_t dimensions() const override { return source_->dimensions(); }
+
+  /// Resets the wrapped source, the RNG, and the tallies, so the same
+  /// fault pattern replays.
+  bool Reset() override;
+
+  const FaultInjectionStats& stats() const { return stats_; }
+
+ private:
+  /// Pulls one record from the source, applying gaps and corruption.
+  std::optional<stream::UncertainPoint> PullRecord();
+
+  /// Applies one randomly chosen defect to `point`.
+  void Corrupt(stream::UncertainPoint* point);
+
+  stream::StreamSource* const source_;
+  const FaultInjectionOptions options_;
+  util::Rng rng_;
+  FaultInjectionStats stats_;
+  /// Records scheduled for delivery before the source is consulted
+  /// again (duplicates and reorder leftovers).
+  std::deque<stream::UncertainPoint> queued_;
+};
+
+}  // namespace umicro::resilience
+
+#endif  // UMICRO_RESILIENCE_FAULT_INJECTION_H_

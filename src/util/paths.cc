@@ -1,0 +1,55 @@
+#include "util/paths.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace umicro::util {
+
+bool FileExists(const std::string& path) {
+  struct stat info;
+  return ::stat(path.c_str(), &info) == 0 && S_ISREG(info.st_mode);
+}
+
+bool DirectoryExists(const std::string& path) {
+  struct stat info;
+  return ::stat(path.c_str(), &info) == 0 && S_ISDIR(info.st_mode);
+}
+
+bool EnsureDirectory(const std::string& path) {
+  if (path.empty()) return false;
+  if (DirectoryExists(path)) return true;
+  // Create missing components left to right (mkdir -p).
+  std::string prefix;
+  prefix.reserve(path.size());
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      prefix += path[i];
+      continue;
+    }
+    if (!prefix.empty() && !DirectoryExists(prefix)) {
+      if (::mkdir(prefix.c_str(), 0777) != 0 && !DirectoryExists(prefix)) {
+        return false;
+      }
+    }
+    if (i < path.size()) prefix += '/';
+  }
+  return DirectoryExists(path);
+}
+
+std::string ParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool PathIsWritable(const std::string& path) {
+  if (path.empty()) return false;
+  if (::access(path.c_str(), W_OK) == 0) return true;
+  if (::access(path.c_str(), F_OK) == 0) return false;  // exists, read-only
+  const std::string parent = ParentDirectory(path);
+  return ::access(parent.c_str(), W_OK) == 0;
+}
+
+}  // namespace umicro::util

@@ -1,0 +1,35 @@
+// Small filesystem helpers for CLI/tool error paths.
+//
+// Tools validate their output destinations up front with these so a bad
+// --metrics-out or --checkpoint-dir fails with a one-line diagnostic
+// before any work is done, instead of a mid-run write failure (or a
+// CHECK backtrace).
+
+#ifndef UMICRO_UTIL_PATHS_H_
+#define UMICRO_UTIL_PATHS_H_
+
+#include <string>
+
+namespace umicro::util {
+
+/// True when `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+/// True when `path` names an existing directory.
+bool DirectoryExists(const std::string& path);
+
+/// Creates `path` (and missing parents) as a directory; true when the
+/// directory exists afterwards.
+bool EnsureDirectory(const std::string& path);
+
+/// Directory component of `path` ("." when there is no separator).
+std::string ParentDirectory(const std::string& path);
+
+/// True when a file at `path` could be created or overwritten: either
+/// the file exists and is writable, or its parent directory exists and
+/// is writable.
+bool PathIsWritable(const std::string& path);
+
+}  // namespace umicro::util
+
+#endif  // UMICRO_UTIL_PATHS_H_

@@ -101,11 +101,15 @@ TEST(ArffTest, RejectsUnsupportedTypes) {
   EXPECT_FALSE(ParseArffDataset(text).has_value());
 }
 
-TEST(ArffTest, RejectsRaggedRows) {
+TEST(ArffTest, SkipsAndCountsRaggedRows) {
   const std::string text =
       "@relation r\n@attribute a numeric\n@attribute b numeric\n"
-      "@data\n1,2\n3\n";
-  EXPECT_FALSE(ParseArffDataset(text).has_value());
+      "@data\n1,2\n3\n4,5\n";
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset.size(), 2u);
+  EXPECT_EQ(loaded->stats.rows_loaded, 2u);
+  EXPECT_EQ(loaded->stats.short_rows, 1u);
 }
 
 TEST(ArffTest, RejectsUnknownLabelValue) {
@@ -113,6 +117,16 @@ TEST(ArffTest, RejectsUnknownLabelValue) {
       "@relation r\n@attribute a numeric\n@attribute c {x,y}\n"
       "@data\n1,z\n";
   EXPECT_FALSE(ParseArffDataset(text).has_value());
+}
+
+TEST(ArffTest, CountsUnknownLabelRows) {
+  const std::string text =
+      "@relation r\n@attribute a numeric\n@attribute c {x,y}\n"
+      "@data\n1,x\n2,z\n";
+  const auto loaded = ParseArffDataset(text);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset.size(), 1u);
+  EXPECT_EQ(loaded->stats.bad_numeric_rows, 1u);
 }
 
 TEST(ArffTest, RejectsMissingDataSection) {

@@ -1,0 +1,170 @@
+// Error-path tests for the umicro_cli binary: every misuse prints one
+// diagnostic line on stderr and exits non-zero BEFORE any clustering
+// work starts. Usage errors (bad flags, bad combinations) exit 2;
+// environment errors (missing input, unwritable destinations) exit 1.
+//
+// These run the real binary (path injected by CMake as UMICRO_CLI_PATH)
+// so the exit status the shell sees is exactly what is asserted.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string stderr_text;
+};
+
+CliResult RunCli(const std::string& args) {
+  const std::string stderr_path = testing::TempDir() + "/cli_stderr.txt";
+  const std::string command = std::string(UMICRO_CLI_PATH) + " " + args +
+                              " >/dev/null 2>" + stderr_path;
+  const int status = std::system(command.c_str());
+  CliResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream file(stderr_path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  result.stderr_text = buffer.str();
+  std::remove(stderr_path.c_str());
+  return result;
+}
+
+std::size_t LineCount(const std::string& text) {
+  std::size_t lines = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+/// The common shape of a usage error: exit 2, a diagnostic mentioning
+/// the offending flag, exactly one line of it.
+void ExpectUsageError(const std::string& args, const std::string& needle) {
+  SCOPED_TRACE(args);
+  const CliResult result = RunCli(args);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find(needle), std::string::npos)
+      << "stderr was: " << result.stderr_text;
+  EXPECT_EQ(LineCount(result.stderr_text), 1u)
+      << "stderr was: " << result.stderr_text;
+}
+
+void ExpectEnvironmentError(const std::string& args,
+                            const std::string& needle) {
+  SCOPED_TRACE(args);
+  const CliResult result = RunCli(args);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.stderr_text.find(needle), std::string::npos)
+      << "stderr was: " << result.stderr_text;
+  EXPECT_EQ(LineCount(result.stderr_text), 1u)
+      << "stderr was: " << result.stderr_text;
+}
+
+TEST(CliErrorsTest, MissingInputSelectionPrintsUsage) {
+  const CliResult result = RunCli("--nmicro=10");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.stderr_text.find(
+                "exactly one of --input and --synthetic"),
+            std::string::npos);
+}
+
+TEST(CliErrorsTest, UnknownFlagPrintsUsage) {
+  const CliResult result = RunCli("--synthetic=syndrift --no-such-flag");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(CliErrorsTest, UnknownSyntheticWorkload) {
+  ExpectUsageError("--synthetic=bogus --points=100",
+                   "unknown synthetic workload");
+}
+
+TEST(CliErrorsTest, RecoverRequiresCheckpointDir) {
+  ExpectUsageError("--synthetic=syndrift --points=100 --recover",
+                   "--recover requires --checkpoint-dir");
+}
+
+TEST(CliErrorsTest, CheckpointCadenceRequiresCheckpointDir) {
+  ExpectUsageError(
+      "--synthetic=syndrift --points=100 --checkpoint-every=50",
+      "require --checkpoint-dir");
+}
+
+TEST(CliErrorsTest, CheckpointingRefusesBaselineAlgorithms) {
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--algorithm=clustream --checkpoint-dir=" +
+                       testing::TempDir() + "/cli_ckpt",
+                   "--checkpoint-dir requires --algorithm=umicro");
+}
+
+TEST(CliErrorsTest, DegradeRequiresThreads) {
+  ExpectUsageError("--synthetic=syndrift --points=100 --degrade",
+                   "--degrade requires --threads");
+}
+
+TEST(CliErrorsTest, QuarantineOutRequiresPolicy) {
+  ExpectUsageError("--synthetic=syndrift --points=100 --quarantine-out=" +
+                       testing::TempDir() + "/cli_quarantine.csv",
+                   "--quarantine-out requires --bad-record-policy");
+}
+
+TEST(CliErrorsTest, InjectFaultsRequiresPolicy) {
+  ExpectUsageError(
+      "--synthetic=syndrift --points=100 --inject-faults=corrupt=0.1",
+      "--inject-faults requires --bad-record-policy");
+}
+
+TEST(CliErrorsTest, UnknownBadRecordPolicy) {
+  ExpectUsageError(
+      "--synthetic=syndrift --points=100 --bad-record-policy=explode",
+      "unknown --bad-record-policy");
+}
+
+TEST(CliErrorsTest, MalformedFaultSpec) {
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--bad-record-policy=repair "
+                   "--inject-faults=corrupt=2.0",
+                   "malformed --inject-faults spec");
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--bad-record-policy=repair "
+                   "--inject-faults=frobnicate=0.1",
+                   "malformed --inject-faults spec");
+}
+
+TEST(CliErrorsTest, MissingInputFile) {
+  ExpectEnvironmentError("--input=/no/such/file.csv",
+                         "input file not found");
+}
+
+TEST(CliErrorsTest, UnwritableMetricsOut) {
+  ExpectEnvironmentError("--synthetic=syndrift --points=100 "
+                         "--metrics-out=/no/such/dir/metrics",
+                         "--metrics-out is not writable");
+}
+
+TEST(CliErrorsTest, UnwritableCentroidsOut) {
+  ExpectEnvironmentError("--synthetic=syndrift --points=100 "
+                         "--centroids-out=/no/such/dir/centroids.csv",
+                         "--centroids-out is not writable");
+}
+
+TEST(CliErrorsTest, UnusableCheckpointDir) {
+  // A checkpoint "directory" nested under a regular file can never be
+  // created.
+  const std::string blocker = testing::TempDir() + "/cli_blocker_file";
+  std::ofstream(blocker) << "x";
+  ExpectEnvironmentError("--synthetic=syndrift --points=100 "
+                         "--checkpoint-dir=" +
+                             blocker + "/nested",
+                         "--checkpoint-dir is not usable");
+  std::remove(blocker.c_str());
+}
+
+}  // namespace

@@ -84,12 +84,26 @@ TEST(CsvParseTest, MaxRowsCap) {
   EXPECT_EQ(loaded->dataset.size(), 3u);
 }
 
-TEST(CsvParseTest, RejectsRaggedRows) {
-  const std::string text = "v0,v1\n1,2\n3\n";
-  EXPECT_FALSE(ParseCsvDataset(text, CsvReadOptions{}).has_value());
+TEST(CsvParseTest, SkipsAndCountsRaggedRows) {
+  const std::string text = "v0,v1\n1,2\n3\n4,5\n";
+  const auto loaded = ParseCsvDataset(text, CsvReadOptions{});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset.size(), 2u);
+  EXPECT_EQ(loaded->stats.rows_loaded, 2u);
+  EXPECT_EQ(loaded->stats.short_rows, 1u);
+  EXPECT_EQ(loaded->stats.bad_numeric_rows, 0u);
 }
 
-TEST(CsvParseTest, RejectsNonNumericValues) {
+TEST(CsvParseTest, SkipsAndCountsNonNumericRows) {
+  const std::string text = "v0,v1\n1,abc\n3,4\n";
+  const auto loaded = ParseCsvDataset(text, CsvReadOptions{});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset.size(), 1u);
+  EXPECT_EQ(loaded->stats.bad_numeric_rows, 1u);
+  EXPECT_EQ(loaded->stats.rows_skipped(), 1u);
+}
+
+TEST(CsvParseTest, AllRowsMalformedIsError) {
   const std::string text = "v0,v1\n1,abc\n";
   EXPECT_FALSE(ParseCsvDataset(text, CsvReadOptions{}).has_value());
 }

@@ -126,6 +126,52 @@ TEST(BoundedQueueTest, CloseUnblocksConsumersAndRejectsProducers) {
   EXPECT_TRUE(queue.closed());
 }
 
+TEST(BoundedQueueTest, CloseUnderPressureCountsEachRejectionOnce) {
+  // Several producers blocked on a full kBlock queue when Close() lands:
+  // every blocked Push must return false and be counted exactly once in
+  // rejected_closed, and nothing may be lost or double-counted.
+  BoundedQueue<int> queue(2, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(0));
+  ASSERT_TRUE(queue.Push(1));  // queue now full
+
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int i = 0; i < kProducers; ++i) {
+    producers.emplace_back([&queue, &rejected, &accepted, i] {
+      if (queue.Push(100 + i)) {
+        ++accepted;
+      } else {
+        ++rejected;
+      }
+    });
+  }
+  // Let the producers reach the blocking wait, then close under pressure.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  for (auto& producer : producers) producer.join();
+
+  EXPECT_EQ(accepted.load(), 0);
+  EXPECT_EQ(rejected.load(), kProducers);
+  const QueueStats stats = queue.stats();
+  EXPECT_EQ(stats.rejected_closed, static_cast<std::size_t>(kProducers));
+  // A late push on the already-closed queue lands in the same count.
+  EXPECT_FALSE(queue.Push(999));
+  EXPECT_EQ(queue.stats().rejected_closed,
+            static_cast<std::size_t>(kProducers) + 1);
+  // The queued items survived the close and drain in order.
+  int out = -1;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_EQ(queue.stats().pushed, 2u);
+  EXPECT_EQ(queue.stats().popped, 2u);
+}
+
 TEST(BoundedQueueTest, CloseDrainsQueuedItemsFirst) {
   BoundedQueue<int> queue(4, BackpressurePolicy::kBlock);
   ASSERT_TRUE(queue.Push(7));

@@ -1,0 +1,200 @@
+// Randomized corruption and hostile-input property tests for the state
+// parsers. The contract under test is the one documented in
+// io/state_io.h: every parser treats its input as hostile -- truncation,
+// bit flips, random splices, and absurd counts yield std::nullopt, never
+// a crash, CHECK failure, or unbounded allocation. For the checksummed
+// "ucheckpoint 2" format the bar is higher: ANY single corrupted byte is
+// detected and rejected.
+
+#include "io/state_io.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/clustream.h"
+#include "core/engine.h"
+#include "core/umicro.h"
+#include "stream/dataset.h"
+#include "util/random.h"
+
+namespace umicro::io {
+namespace {
+
+stream::Dataset RandomStream(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  stream::Dataset dataset(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(3));
+    dataset.Add(stream::UncertainPoint(
+        {cls * 5.0 + rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5),
+         rng.Gaussian(0.0, 0.5)},
+        {rng.Uniform(0.0, 0.3), rng.Uniform(0.0, 0.3),
+         rng.Uniform(0.0, 0.3)},
+        static_cast<double>(i), cls));
+  }
+  return dataset;
+}
+
+std::string UMicroText() {
+  core::UMicroOptions options;
+  options.num_micro_clusters = 15;
+  core::UMicro algorithm(3, options);
+  const stream::Dataset dataset = RandomStream(600, 11);
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+  return UMicroStateToString(algorithm.ExportState());
+}
+
+std::string CluStreamText() {
+  baseline::CluStream algorithm(3, baseline::CluStreamOptions{});
+  const stream::Dataset dataset = RandomStream(600, 12);
+  for (const auto& point : dataset.points()) algorithm.Process(point);
+  return CluStreamStateToString(algorithm.ExportState());
+}
+
+std::string EngineText() {
+  core::EngineOptions options;
+  options.umicro.num_micro_clusters = 15;
+  options.snapshot.snapshot_every = 128;
+  core::UMicroEngine engine(3, options);
+  const stream::Dataset dataset = RandomStream(600, 13);
+  for (const auto& point : dataset.points()) engine.Process(point);
+  return EngineStateToString(engine.ExportEngineState());
+}
+
+std::string FlipOneByte(std::string text, std::size_t offset,
+                        util::Rng& rng) {
+  // XOR with a nonzero mask: the byte always changes.
+  text[offset] = static_cast<char>(
+      static_cast<unsigned char>(text[offset]) ^
+      static_cast<unsigned char>(1 + rng.NextBounded(255)));
+  return text;
+}
+
+std::string SpliceJunk(std::string text, util::Rng& rng) {
+  const std::size_t offset = rng.NextBounded(text.size());
+  const std::size_t length = 1 + rng.NextBounded(32);
+  std::string junk;
+  for (std::size_t i = 0; i < length; ++i) {
+    junk.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  text.replace(offset, std::min(length, text.size() - offset), junk);
+  return text;
+}
+
+/// Parsing must not crash; if the bytes happen to still parse (a digit
+/// flipped into another digit, say), the result is simply accepted.
+template <typename Parser>
+void MustSurvive(const Parser& parse, const std::string& text) {
+  (void)parse(text);
+}
+
+TEST(StateIoFuzzTest, UMicroParserSurvivesRandomCorruption) {
+  const std::string clean = UMicroText();
+  ASSERT_TRUE(ParseUMicroState(clean).has_value());
+  util::Rng rng(101);
+  const auto parse = [](const std::string& t) {
+    return ParseUMicroState(t);
+  };
+  for (int i = 0; i < 200; ++i) {
+    MustSurvive(parse, clean.substr(0, rng.NextBounded(clean.size())));
+    MustSurvive(parse, FlipOneByte(clean, rng.NextBounded(clean.size()),
+                                   rng));
+    MustSurvive(parse, SpliceJunk(clean, rng));
+  }
+}
+
+TEST(StateIoFuzzTest, CluStreamParserSurvivesRandomCorruption) {
+  const std::string clean = CluStreamText();
+  ASSERT_TRUE(ParseCluStreamState(clean).has_value());
+  util::Rng rng(102);
+  const auto parse = [](const std::string& t) {
+    return ParseCluStreamState(t);
+  };
+  for (int i = 0; i < 200; ++i) {
+    MustSurvive(parse, clean.substr(0, rng.NextBounded(clean.size())));
+    MustSurvive(parse, FlipOneByte(clean, rng.NextBounded(clean.size()),
+                                   rng));
+    MustSurvive(parse, SpliceJunk(clean, rng));
+  }
+}
+
+TEST(StateIoFuzzTest, ChecksumRejectsEverySingleByteFlip) {
+  const std::string clean = EngineText();
+  ASSERT_TRUE(ParseEngineState(clean).has_value());
+  util::Rng rng(103);
+  for (int i = 0; i < 400; ++i) {
+    const std::size_t offset = rng.NextBounded(clean.size());
+    const std::string corrupted = FlipOneByte(clean, offset, rng);
+    EXPECT_FALSE(ParseEngineState(corrupted).has_value())
+        << "flip at offset " << offset << " went undetected";
+  }
+}
+
+TEST(StateIoFuzzTest, ChecksumRejectsEveryTruncation) {
+  const std::string clean = EngineText();
+  util::Rng rng(104);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t keep = rng.NextBounded(clean.size());
+    EXPECT_FALSE(ParseEngineState(clean.substr(0, keep)).has_value())
+        << "truncation to " << keep << " bytes went undetected";
+  }
+  EXPECT_FALSE(ParseEngineState(clean + "trailing garbage").has_value());
+}
+
+TEST(StateIoFuzzTest, EngineParserSurvivesRandomSplices) {
+  const std::string clean = EngineText();
+  util::Rng rng(105);
+  for (int i = 0; i < 200; ++i) {
+    // Splices damage the body, so the checksum must reject them too --
+    // but the property that matters here is surviving arbitrary bytes.
+    EXPECT_FALSE(ParseEngineState(SpliceJunk(clean, rng)).has_value());
+  }
+}
+
+TEST(StateIoFuzzTest, HostileHandcraftedInputsAreRejected) {
+  const std::vector<std::string> hostile = {
+      "",
+      "\n",
+      "ustate",
+      "ustate one\n",
+      "ustate 1\n",
+      "ustate 1\ndims 0\n",
+      "ustate 1\ndims -3\n",
+      "csstate 1\ndims nan\n",
+      "ucheckpoint 2\n",
+      "ucheckpoint 2 zzzz\n",
+      "ucheckpoint 2 0000000000000000\n",
+      std::string(1 << 16, 'A'),
+      std::string("ustate 1\ndims 3\n") + std::string(4096, '\0'),
+  };
+  for (const std::string& text : hostile) {
+    EXPECT_FALSE(ParseUMicroState(text).has_value());
+    EXPECT_FALSE(ParseCluStreamState(text).has_value());
+    EXPECT_FALSE(ParseEngineState(text).has_value());
+  }
+}
+
+TEST(StateIoFuzzTest, HugeCountsFailFastWithoutAllocating) {
+  // A corrupted count field must be capped before any reserve/resize:
+  // these parses return nullopt quickly instead of attempting to
+  // allocate petabytes (an OOM here fails the test run outright).
+  const std::vector<std::string> bombs = {
+      "ustate 1\ndims 99999999999999999999\n",
+      "ustate 1\ndims 3\ncounters 1 0 0 0\ndecay 0 0\n"
+      "welford 0 0 0 0 0 0 0\nvariances 1 1 1\n"
+      "clusters 18446744073709551615\n",
+      "csstate 1\ndims 3\ncounters 1 0 0\n"
+      "clusters 4611686018427387904\n",
+  };
+  for (const std::string& text : bombs) {
+    EXPECT_FALSE(ParseUMicroState(text).has_value());
+    EXPECT_FALSE(ParseCluStreamState(text).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace umicro::io

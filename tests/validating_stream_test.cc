@@ -1,0 +1,268 @@
+// Tests for the input-hardening ValidatingStream decorator.
+
+#include "resilience/validating_stream.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "stream/dataset.h"
+#include "stream/vector_stream.h"
+
+namespace umicro::resilience {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A 2-d stream with one representative of every defect class in a known
+/// arrangement: records 0-1 clean, 2 = NaN value, 3 = +Inf value,
+/// 4 = negative error stddev, 5 = NaN error stddev, 6 = short record,
+/// 7 = regressing timestamp, 8 = NaN timestamp, 9 = clean.
+std::vector<stream::UncertainPoint> DefectStream() {
+  std::vector<stream::UncertainPoint> points;
+  points.emplace_back(std::vector<double>{1.0, 10.0},
+                      std::vector<double>{0.1, 0.1}, 0.0, 1);
+  points.emplace_back(std::vector<double>{3.0, 30.0},
+                      std::vector<double>{0.1, 0.1}, 1.0, 1);
+  points.emplace_back(std::vector<double>{kNaN, 20.0},
+                      std::vector<double>{0.1, 0.1}, 2.0, 1);
+  points.emplace_back(std::vector<double>{kInf, 20.0},
+                      std::vector<double>{0.1, 0.1}, 3.0, 1);
+  points.emplace_back(std::vector<double>{2.0, 20.0},
+                      std::vector<double>{-0.5, 0.1}, 4.0, 1);
+  points.emplace_back(std::vector<double>{2.0, 20.0},
+                      std::vector<double>{kNaN, 0.1}, 5.0, 1);
+  points.emplace_back(stream::UncertainPoint({2.0}, 6.0, 1));
+  points.emplace_back(std::vector<double>{2.0, 20.0},
+                      std::vector<double>{0.1, 0.1}, 1.5, 1);
+  points.emplace_back(std::vector<double>{2.0, 20.0},
+                      std::vector<double>{0.1, 0.1}, kNaN, 1);
+  points.emplace_back(std::vector<double>{5.0, 50.0},
+                      std::vector<double>{0.1, 0.1}, 9.0, 1);
+  return points;
+}
+
+stream::Dataset DefectDataset() {
+  stream::Dataset dataset(2);
+  // Dataset::Add enforces uniform dimensionality, so the short record
+  // cannot live in a Dataset; tests needing it use a custom source.
+  for (auto& point : DefectStream()) {
+    if (point.dimensions() == 2) dataset.Add(std::move(point));
+  }
+  return dataset;
+}
+
+/// Hands out an arbitrary (possibly ragged) point list.
+class ListStream : public stream::StreamSource {
+ public:
+  explicit ListStream(std::vector<stream::UncertainPoint> points)
+      : points_(std::move(points)) {}
+
+  std::optional<stream::UncertainPoint> Next() override {
+    if (position_ >= points_.size()) return std::nullopt;
+    return points_[position_++];
+  }
+  std::size_t dimensions() const override { return 2; }
+  bool Reset() override {
+    position_ = 0;
+    return true;
+  }
+
+ private:
+  std::vector<stream::UncertainPoint> points_;
+  std::size_t position_ = 0;
+};
+
+std::vector<stream::UncertainPoint> Drain(stream::StreamSource& source) {
+  std::vector<stream::UncertainPoint> out;
+  while (auto point = source.Next()) out.push_back(std::move(*point));
+  return out;
+}
+
+TEST(ValidatingStreamTest, CleanStreamPassesThroughUntouched) {
+  stream::Dataset dataset(2);
+  for (int i = 0; i < 5; ++i) {
+    dataset.Add(stream::UncertainPoint({1.0 * i, 2.0 * i}, {0.1, 0.1},
+                                       static_cast<double>(i), 0));
+  }
+  stream::VectorStream raw(dataset);
+  ValidatingStream validator(&raw, 2, ValidationOptions{});
+  const auto out = Drain(validator);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].values, dataset[i].values);
+    EXPECT_EQ(out[i].errors, dataset[i].errors);
+    EXPECT_EQ(out[i].timestamp, dataset[i].timestamp);
+  }
+  EXPECT_EQ(validator.stats().records_seen, 5u);
+  EXPECT_EQ(validator.stats().records_ok, 5u);
+  EXPECT_EQ(validator.stats().records_repaired, 0u);
+  EXPECT_EQ(validator.stats().records_quarantined, 0u);
+  EXPECT_EQ(validator.stats().records_dropped, 0u);
+}
+
+TEST(ValidatingStreamTest, RepairPolicyFixesEveryDefectClass) {
+  ListStream raw(DefectStream());
+  ValidationOptions options;
+  options.policies = ValidationPolicies::Uniform(BadRecordPolicy::kRepair);
+  ValidatingStream validator(&raw, 2, options);
+  const auto out = Drain(validator);
+
+  // Everything is delivered, and everything delivered is well-formed.
+  ASSERT_EQ(out.size(), 10u);
+  double last_ts = 0.0;
+  for (const auto& point : out) {
+    ASSERT_EQ(point.dimensions(), 2u);
+    for (double v : point.values) EXPECT_TRUE(std::isfinite(v));
+    for (double e : point.errors) {
+      EXPECT_TRUE(std::isfinite(e));
+      EXPECT_GE(e, 0.0);
+    }
+    ASSERT_TRUE(std::isfinite(point.timestamp));
+    EXPECT_GE(point.timestamp, last_ts);
+    last_ts = point.timestamp;
+  }
+  // NaN value imputed with the running mean of clean observations
+  // (records 0 and 1: mean of 1 and 3 is 2).
+  EXPECT_DOUBLE_EQ(out[2].values[0], 2.0);
+  // +Inf clamped to the observed maximum (3.0 so far).
+  EXPECT_DOUBLE_EQ(out[3].values[0], 3.0);
+  // Negative stddev folded to its magnitude; NaN stddev zeroed.
+  EXPECT_DOUBLE_EQ(out[4].errors[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[5].errors[0], 0.0);
+  // Regressing timestamp clamped to the newest delivered time.
+  EXPECT_DOUBLE_EQ(out[7].timestamp, 6.0);
+
+  const ValidationStats& stats = validator.stats();
+  EXPECT_EQ(stats.records_seen, 10u);
+  EXPECT_EQ(stats.records_ok, 3u);
+  EXPECT_EQ(stats.records_repaired, 7u);
+  EXPECT_EQ(stats.records_quarantined, 0u);
+  EXPECT_EQ(stats.records_dropped, 0u);
+  EXPECT_EQ(stats.non_finite_values, 2u);
+  EXPECT_EQ(stats.bad_errors, 2u);
+  EXPECT_EQ(stats.dimension_mismatches, 1u);
+  EXPECT_EQ(stats.bad_timestamps, 2u);
+}
+
+TEST(ValidatingStreamTest, DropPolicyWithholdsExactlyTheBadRecords) {
+  ListStream raw(DefectStream());
+  ValidationOptions options;
+  options.policies = ValidationPolicies::Uniform(BadRecordPolicy::kDrop);
+  ValidatingStream validator(&raw, 2, options);
+  const auto out = Drain(validator);
+
+  // Records 0, 1, 9 are clean outright. Record 7 (timestamp 1.5) is
+  // also delivered: monotonicity is judged against the newest DELIVERED
+  // timestamp, and with records 2-6 withheld that reference is still
+  // 1.0, so 1.5 does not regress.
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[2].values[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[3].values[0], 5.0);
+  const ValidationStats& stats = validator.stats();
+  EXPECT_EQ(stats.records_seen, 10u);
+  EXPECT_EQ(stats.records_ok, 4u);
+  EXPECT_EQ(stats.records_dropped, 6u);
+  EXPECT_EQ(stats.records_repaired, 0u);
+  EXPECT_EQ(stats.records_quarantined, 0u);
+}
+
+TEST(ValidatingStreamTest, QuarantinePolicyWritesTheSideFile) {
+  const std::string path =
+      testing::TempDir() + "/validating_stream_quarantine.csv";
+  std::remove(path.c_str());
+  {
+    ListStream raw(DefectStream());
+    ValidationOptions options;
+    options.policies =
+        ValidationPolicies::Uniform(BadRecordPolicy::kQuarantine);
+    options.quarantine_path = path;
+    ValidatingStream validator(&raw, 2, options);
+    const auto out = Drain(validator);
+    // Same delivery set as the drop policy (record 7 passes clean
+    // against the delivered-timestamp reference of 1.0).
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(validator.stats().records_quarantined, 6u);
+    EXPECT_EQ(validator.stats().records_dropped, 0u);
+    EXPECT_EQ(validator.stats().records_repaired, 0u);
+  }
+  // One CSV line per quarantined record.
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(file, line)) ++lines;
+  EXPECT_EQ(lines, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ValidatingStreamTest, MostSeverePolicyWinsOnMultiDefectRecords) {
+  // One record exhibits both a NaN value (repair) and a negative stddev
+  // (drop): the drop must win.
+  std::vector<stream::UncertainPoint> points;
+  points.emplace_back(std::vector<double>{1.0, 1.0},
+                      std::vector<double>{0.1, 0.1}, 0.0, 0);
+  points.emplace_back(std::vector<double>{kNaN, 1.0},
+                      std::vector<double>{-0.5, 0.1}, 1.0, 0);
+  ListStream raw(std::move(points));
+  ValidationOptions options;
+  options.policies.non_finite_value = BadRecordPolicy::kRepair;
+  options.policies.bad_error = BadRecordPolicy::kDrop;
+  ValidatingStream validator(&raw, 2, options);
+  const auto out = Drain(validator);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(validator.stats().records_dropped, 1u);
+  EXPECT_EQ(validator.stats().records_repaired, 0u);
+  // Both defect classes are still tallied.
+  EXPECT_EQ(validator.stats().non_finite_values, 1u);
+  EXPECT_EQ(validator.stats().bad_errors, 1u);
+}
+
+TEST(ValidatingStreamTest, MetricsRegistryMirrorsTheCounts) {
+  obs::MetricsRegistry metrics;
+  ListStream raw(DefectStream());
+  ValidationOptions options;
+  options.policies = ValidationPolicies::Uniform(BadRecordPolicy::kRepair);
+  ValidatingStream validator(&raw, 2, options, &metrics);
+  Drain(validator);
+  EXPECT_EQ(metrics.GetCounter("resilience.records_ok").value(), 3u);
+  EXPECT_EQ(metrics.GetCounter("resilience.records_repaired").value(), 7u);
+  EXPECT_EQ(metrics.GetCounter("resilience.records_quarantined").value(),
+            0u);
+  EXPECT_EQ(metrics.GetCounter("resilience.records_dropped").value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("resilience.bad.non_finite_value").value(),
+            2u);
+  EXPECT_EQ(metrics.GetCounter("resilience.bad.error_stddev").value(), 2u);
+  EXPECT_EQ(
+      metrics.GetCounter("resilience.bad.dimension_mismatch").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("resilience.bad.timestamp").value(), 2u);
+}
+
+TEST(ValidatingStreamTest, ResetReplaysWithFreshState) {
+  stream::Dataset dataset = DefectDataset();
+  stream::VectorStream raw(dataset);
+  ValidationOptions options;
+  options.policies = ValidationPolicies::Uniform(BadRecordPolicy::kRepair);
+  ValidatingStream validator(&raw, 2, options);
+  const auto first = Drain(validator);
+  ASSERT_TRUE(validator.Reset());
+  const auto second = Drain(validator);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].values, second[i].values);
+    EXPECT_EQ(first[i].timestamp, second[i].timestamp);
+  }
+  EXPECT_EQ(validator.stats().records_seen, dataset.size());
+}
+
+}  // namespace
+}  // namespace umicro::resilience

@@ -20,13 +20,26 @@
 // the unified ClusteringEngine interface: pyramidal snapshots at the
 // --snapshot-every cadence and a metrics registry exported with
 // --metrics-out (JSON + CSV; --metrics-every re-exports periodically).
+//
+// Resilience (docs/resilience.md): --checkpoint-dir enables crash-safe
+// checkpoints at the --checkpoint-every / --checkpoint-seconds cadence
+// and --recover restores the newest valid one, replaying only the
+// remainder of the input. --bad-record-policy runs the input through the
+// ValidatingStream hardener (with --quarantine-out as the side file);
+// --inject-faults corrupts the stream deterministically first, so the
+// hardener has something to catch. --degrade arms the sharded pipeline's
+// adaptive load shedding and worker supervision.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "baseline/clustream.h"
 #include "baseline/stream_kmeans.h"
@@ -36,15 +49,21 @@
 #include "eval/experiment.h"
 #include "io/arff_dataset.h"
 #include "io/csv_dataset.h"
+#include "io/load_stats.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_engine.h"
 #include "parallel/sharded_umicro.h"
+#include "resilience/checkpoint.h"
+#include "resilience/fault_injection.h"
+#include "resilience/validating_stream.h"
 #include "stream/imputation.h"
 #include "stream/perturbation.h"
 #include "stream/stream_stats.h"
+#include "stream/vector_stream.h"
 #include "synth/workloads.h"
 #include "util/csv_writer.h"
+#include "util/paths.h"
 
 namespace {
 
@@ -71,6 +90,15 @@ struct CliOptions {
   std::size_t snapshot_every = 4096;
   std::string metrics_out;
   std::size_t metrics_every = 0;
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every = 0;
+  double checkpoint_seconds = 0.0;
+  bool recover = false;
+  std::string bad_record_policy;
+  std::string quarantine_out;
+  std::string inject_faults;
+  std::uint64_t fault_seed = 0xfa117u;
+  bool degrade = false;
 };
 
 bool ParseFlag(const std::string& arg, const char* name,
@@ -109,7 +137,61 @@ void PrintUsage() {
       "  --metrics-every=N     re-export metrics every N points\n"
       "  --sample-interval=N   purity sample cadence (default 10000)\n"
       "  --max-rows=N          read at most N rows (default all)\n"
-      "  --centroids-out=FILE  write final centroids as CSV\n");
+      "  --centroids-out=FILE  write final centroids as CSV\n"
+      "  --checkpoint-dir=DIR  write crash-safe engine checkpoints here\n"
+      "  --checkpoint-every=N  checkpoint every N processed points\n"
+      "  --checkpoint-seconds=T  checkpoint every T wall-clock seconds\n"
+      "  --recover             restore the newest valid checkpoint and\n"
+      "                        replay only the remaining input\n"
+      "  --bad-record-policy=P repair|quarantine|drop malformed records\n"
+      "  --quarantine-out=FILE side CSV receiving quarantined records\n"
+      "  --inject-faults=SPEC  deterministic stream faults, e.g.\n"
+      "                        corrupt=0.01,duplicate=0.01,reorder=0.01,"
+      "gap=0.001,max-gap=16\n"
+      "  --fault-seed=N        fault-injection seed (default 0xfa117)\n"
+      "  --degrade             adaptive load shedding + worker\n"
+      "                        supervision (requires --threads)\n");
+}
+
+/// Parses the --inject-faults spec ("key=value,..." with keys corrupt,
+/// duplicate, reorder, gap, max-gap); std::nullopt on any malformed or
+/// out-of-range entry.
+std::optional<umicro::resilience::FaultInjectionOptions> ParseFaultSpec(
+    const std::string& spec, std::uint64_t seed) {
+  umicro::resilience::FaultInjectionOptions options;
+  options.seed = seed;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    const std::string key = item.substr(0, eq);
+    char* parse_end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &parse_end);
+    if (parse_end != item.c_str() + item.size()) return std::nullopt;
+    if (key == "max-gap") {
+      if (value < 1.0) return std::nullopt;
+      options.max_gap_length = static_cast<std::size_t>(value);
+      continue;
+    }
+    if (value < 0.0 || value > 1.0) return std::nullopt;
+    if (key == "corrupt") {
+      options.corrupt_probability = value;
+    } else if (key == "duplicate") {
+      options.duplicate_probability = value;
+    } else if (key == "reorder") {
+      options.reorder_probability = value;
+    } else if (key == "gap") {
+      options.gap_probability = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return options;
 }
 
 bool EndsWith(const std::string& text, const std::string& suffix) {
@@ -169,6 +251,24 @@ int main(int argc, char** argv) {
       cli.max_rows = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "centroids-out", &value)) {
       cli.centroids_out = value;
+    } else if (ParseFlag(arg, "checkpoint-dir", &value)) {
+      cli.checkpoint_dir = value;
+    } else if (ParseFlag(arg, "checkpoint-every", &value)) {
+      cli.checkpoint_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "checkpoint-seconds", &value)) {
+      cli.checkpoint_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--recover") {
+      cli.recover = true;
+    } else if (ParseFlag(arg, "bad-record-policy", &value)) {
+      cli.bad_record_policy = value;
+    } else if (ParseFlag(arg, "quarantine-out", &value)) {
+      cli.quarantine_out = value;
+    } else if (ParseFlag(arg, "inject-faults", &value)) {
+      cli.inject_faults = value;
+    } else if (ParseFlag(arg, "fault-seed", &value)) {
+      cli.fault_seed = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (arg == "--degrade") {
+      cli.degrade = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       PrintUsage();
@@ -182,8 +282,99 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // ---- Fail fast: flag combinations ----------------------------------
+  // Usage errors exit 2 before any work is done.
+  const bool checkpointing = !cli.checkpoint_dir.empty();
+  if (cli.recover && !checkpointing) {
+    std::fprintf(stderr, "--recover requires --checkpoint-dir\n");
+    return 2;
+  }
+  if ((cli.checkpoint_every > 0 || cli.checkpoint_seconds > 0.0) &&
+      !checkpointing) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--checkpoint-seconds require "
+                 "--checkpoint-dir\n");
+    return 2;
+  }
+  if (checkpointing && cli.algorithm != "umicro") {
+    std::fprintf(stderr,
+                 "--checkpoint-dir requires --algorithm=umicro (the "
+                 "baselines have no serializable engine state)\n");
+    return 2;
+  }
+  if (cli.degrade && cli.threads == 0) {
+    std::fprintf(stderr,
+                 "--degrade requires --threads (load shedding lives in "
+                 "the sharded pipeline)\n");
+    return 2;
+  }
+  if (!cli.quarantine_out.empty() && cli.bad_record_policy.empty()) {
+    std::fprintf(stderr,
+                 "--quarantine-out requires --bad-record-policy\n");
+    return 2;
+  }
+  if (!cli.inject_faults.empty() && cli.bad_record_policy.empty()) {
+    std::fprintf(stderr,
+                 "--inject-faults requires --bad-record-policy (an "
+                 "unhardened engine would abort on corrupt records)\n");
+    return 2;
+  }
+  std::optional<umicro::resilience::BadRecordPolicy> bad_record_policy;
+  if (!cli.bad_record_policy.empty()) {
+    bad_record_policy =
+        umicro::resilience::ParseBadRecordPolicy(cli.bad_record_policy);
+    if (!bad_record_policy.has_value()) {
+      std::fprintf(stderr,
+                   "unknown --bad-record-policy: %s (want repair, "
+                   "quarantine, or drop)\n",
+                   cli.bad_record_policy.c_str());
+      return 2;
+    }
+  }
+  std::optional<umicro::resilience::FaultInjectionOptions> fault_options;
+  if (!cli.inject_faults.empty()) {
+    fault_options = ParseFaultSpec(cli.inject_faults, cli.fault_seed);
+    if (!fault_options.has_value()) {
+      std::fprintf(stderr, "malformed --inject-faults spec: %s\n",
+                   cli.inject_faults.c_str());
+      return 2;
+    }
+  }
+
+  // ---- Fail fast: paths ----------------------------------------------
+  // Environment errors (missing input, unwritable destinations) exit 1
+  // with one line, before minutes of clustering work.
+  if (!cli.input.empty() && !umicro::util::FileExists(cli.input)) {
+    std::fprintf(stderr, "input file not found: %s\n", cli.input.c_str());
+    return 1;
+  }
+  if (!cli.metrics_out.empty() &&
+      !umicro::util::PathIsWritable(cli.metrics_out + ".json")) {
+    std::fprintf(stderr, "--metrics-out is not writable: %s\n",
+                 cli.metrics_out.c_str());
+    return 1;
+  }
+  if (!cli.centroids_out.empty() &&
+      !umicro::util::PathIsWritable(cli.centroids_out)) {
+    std::fprintf(stderr, "--centroids-out is not writable: %s\n",
+                 cli.centroids_out.c_str());
+    return 1;
+  }
+  if (!cli.quarantine_out.empty() &&
+      !umicro::util::PathIsWritable(cli.quarantine_out)) {
+    std::fprintf(stderr, "--quarantine-out is not writable: %s\n",
+                 cli.quarantine_out.c_str());
+    return 1;
+  }
+  if (checkpointing && !umicro::util::EnsureDirectory(cli.checkpoint_dir)) {
+    std::fprintf(stderr, "--checkpoint-dir is not usable: %s\n",
+                 cli.checkpoint_dir.c_str());
+    return 1;
+  }
+
   // ---- Load ----------------------------------------------------------
   umicro::stream::Dataset dataset;
+  umicro::io::DatasetLoadStats load_stats;
   if (!cli.synthetic.empty()) {
     // The workloads already carry the eta perturbation; do not perturb
     // a second time below.
@@ -213,6 +404,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     dataset = std::move(loaded->dataset);
+    load_stats = loaded->stats;
     if (cli.max_rows != 0 && dataset.size() > cli.max_rows) {
       umicro::stream::Dataset truncated(dataset.dimensions());
       for (std::size_t i = 0; i < cli.max_rows; ++i) {
@@ -233,8 +425,74 @@ int main(int argc, char** argv) {
       return 1;
     }
     dataset = std::move(loaded->dataset);
+    load_stats = loaded->stats;
     std::printf("loaded %zu records x %zu dimensions from %s\n",
                 dataset.size(), dataset.dimensions(), cli.input.c_str());
+  }
+  if (load_stats.rows_skipped() > 0) {
+    std::printf("skipped %zu malformed rows (%zu wrong arity, %zu bad "
+                "numerics)\n",
+                load_stats.rows_skipped(), load_stats.short_rows,
+                load_stats.bad_numeric_rows);
+  }
+
+  // ---- Fault injection + input hardening ------------------------------
+  // Both are StreamSource decorators; the CLI applies them as one
+  // deterministic pass over the loaded dataset, so a --recover rerun
+  // with the same seed replays the identical hardened stream.
+  umicro::resilience::FaultInjectionStats fault_stats;
+  umicro::resilience::ValidationStats validation_stats;
+  const bool validating = bad_record_policy.has_value();
+  if (validating) {
+    umicro::stream::VectorStream raw(dataset);
+    umicro::stream::StreamSource* tail = &raw;
+    std::unique_ptr<umicro::resilience::FaultInjectingStream> injector;
+    if (fault_options.has_value()) {
+      injector = std::make_unique<umicro::resilience::FaultInjectingStream>(
+          tail, *fault_options);
+      tail = injector.get();
+    }
+    umicro::resilience::ValidationOptions validation_options;
+    validation_options.policies =
+        umicro::resilience::ValidationPolicies::Uniform(*bad_record_policy);
+    validation_options.quarantine_path = cli.quarantine_out;
+    umicro::resilience::ValidatingStream validator(
+        tail, dataset.dimensions(), validation_options);
+    umicro::stream::Dataset hardened(dataset.dimensions());
+    while (std::optional<umicro::stream::UncertainPoint> point =
+               validator.Next()) {
+      hardened.Add(std::move(*point));
+    }
+    if (injector != nullptr) {
+      fault_stats = injector->stats();
+      std::printf("injected faults: %llu corrupted, %llu duplicated, "
+                  "%llu reordered, %llu lost to gaps (seed %llu)\n",
+                  static_cast<unsigned long long>(
+                      fault_stats.records_corrupted),
+                  static_cast<unsigned long long>(
+                      fault_stats.records_duplicated),
+                  static_cast<unsigned long long>(
+                      fault_stats.records_reordered),
+                  static_cast<unsigned long long>(fault_stats.records_gapped),
+                  static_cast<unsigned long long>(cli.fault_seed));
+    }
+    validation_stats = validator.stats();
+    std::printf("validated %llu records: %llu ok, %llu repaired, "
+                "%llu quarantined, %llu dropped\n",
+                static_cast<unsigned long long>(
+                    validation_stats.records_seen),
+                static_cast<unsigned long long>(validation_stats.records_ok),
+                static_cast<unsigned long long>(
+                    validation_stats.records_repaired),
+                static_cast<unsigned long long>(
+                    validation_stats.records_quarantined),
+                static_cast<unsigned long long>(
+                    validation_stats.records_dropped));
+    dataset = std::move(hardened);
+    if (dataset.empty()) {
+      std::fprintf(stderr, "no records survived validation\n");
+      return 1;
+    }
   }
 
   // ---- Optional imputation -------------------------------------------
@@ -274,6 +532,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<umicro::core::ClusteringEngine> engine;
   std::unique_ptr<umicro::stream::StreamClusterer> baseline;
   const umicro::core::UMicro* umicro_ptr = nullptr;
+  std::uint64_t resume_from = 0;
   if (cli.algorithm == "umicro") {
     umicro::core::UMicroOptions umicro_options;
     umicro_options.num_micro_clusters = cli.nmicro;
@@ -282,6 +541,9 @@ int main(int argc, char** argv) {
     umicro_options.decay_lambda = cli.decay;
     umicro::core::SnapshotPolicy snapshot;
     snapshot.snapshot_every = cli.snapshot_every;
+    // Recovery needs a factory: RecoverOrCreateEngine builds the engine
+    // fresh and restores the newest compatible checkpoint into it.
+    std::function<std::unique_ptr<umicro::core::ClusteringEngine>()> factory;
     if (cli.threads > 0) {
       umicro::parallel::ParallelEngineOptions options;
       options.sharded.umicro = umicro_options;
@@ -302,20 +564,52 @@ int main(int argc, char** argv) {
                      cli.backpressure.c_str());
         return 2;
       }
+      options.sharded.degrade.enabled = cli.degrade;
+      options.sharded.supervisor.enabled = cli.degrade;
       options.snapshot = snapshot;
-      engine = std::make_unique<umicro::parallel::ParallelUMicroEngine>(
-          dataset.dimensions(), options);
+      const std::size_t dims = dataset.dimensions();
+      factory = [dims, options]() {
+        return std::make_unique<umicro::parallel::ParallelUMicroEngine>(
+            dims, options);
+      };
       std::printf("sharded ingest: %zu threads, merge every %zu points, "
-                  "%s backpressure\n",
-                  cli.threads, cli.merge_every, cli.backpressure.c_str());
+                  "%s backpressure%s\n",
+                  cli.threads, cli.merge_every, cli.backpressure.c_str(),
+                  cli.degrade ? ", adaptive degradation armed" : "");
     } else {
       umicro::core::EngineOptions options;
       options.umicro = umicro_options;
       options.snapshot = snapshot;
-      auto sequential = std::make_unique<umicro::core::UMicroEngine>(
-          dataset.dimensions(), options);
+      const std::size_t dims = dataset.dimensions();
+      factory = [dims, options]() {
+        return std::make_unique<umicro::core::UMicroEngine>(dims, options);
+      };
+    }
+    if (cli.recover) {
+      umicro::resilience::RecoveredEngine recovered =
+          umicro::resilience::RecoverOrCreateEngine(cli.checkpoint_dir,
+                                                    factory);
+      engine = std::move(recovered.engine);
+      if (recovered.recovered) {
+        resume_from = recovered.resume_from;
+        std::printf("recovered from %s (%llu points already processed",
+                    recovered.checkpoint_path.c_str(),
+                    static_cast<unsigned long long>(resume_from));
+        if (recovered.corrupt_skipped > 0) {
+          std::printf(", %zu unusable checkpoints skipped",
+                      recovered.corrupt_skipped);
+        }
+        std::printf(")\n");
+      } else {
+        std::printf("no usable checkpoint in %s; starting fresh\n",
+                    cli.checkpoint_dir.c_str());
+      }
+    } else {
+      engine = factory();
+    }
+    if (auto* sequential =
+            dynamic_cast<umicro::core::UMicroEngine*>(engine.get())) {
       umicro_ptr = &sequential->online();
-      engine = std::move(sequential);
     }
   } else if (cli.algorithm == "clustream") {
     umicro::baseline::CluStreamOptions options;
@@ -337,6 +631,70 @@ int main(int argc, char** argv) {
                               *engine)
                         : *baseline;
 
+  // ---- Route ingest-side counts into the engine registry -------------
+  // The loader and the hardening pass ran before the engine existed, so
+  // their tallies are folded in here; the exported metrics then carry
+  // the full picture of what happened to the raw input.
+  if (engine != nullptr) {
+    umicro::obs::MetricsRegistry& metrics = engine->metrics();
+    if (load_stats.rows_skipped() > 0) {
+      metrics.GetCounter("io.rows_short").Increment(load_stats.short_rows);
+      metrics.GetCounter("io.rows_bad_numeric")
+          .Increment(load_stats.bad_numeric_rows);
+    }
+    if (validating) {
+      metrics.GetCounter("resilience.records_ok")
+          .Increment(validation_stats.records_ok);
+      metrics.GetCounter("resilience.records_repaired")
+          .Increment(validation_stats.records_repaired);
+      metrics.GetCounter("resilience.records_quarantined")
+          .Increment(validation_stats.records_quarantined);
+      metrics.GetCounter("resilience.records_dropped")
+          .Increment(validation_stats.records_dropped);
+      metrics.GetCounter("resilience.bad.non_finite_value")
+          .Increment(validation_stats.non_finite_values);
+      metrics.GetCounter("resilience.bad.error_stddev")
+          .Increment(validation_stats.bad_errors);
+      metrics.GetCounter("resilience.bad.dimension_mismatch")
+          .Increment(validation_stats.dimension_mismatches);
+      metrics.GetCounter("resilience.bad.timestamp")
+          .Increment(validation_stats.bad_timestamps);
+    }
+    if (fault_options.has_value()) {
+      metrics.GetCounter("resilience.fault.corrupted")
+          .Increment(fault_stats.records_corrupted);
+      metrics.GetCounter("resilience.fault.duplicated")
+          .Increment(fault_stats.records_duplicated);
+      metrics.GetCounter("resilience.fault.reordered")
+          .Increment(fault_stats.records_reordered);
+      metrics.GetCounter("resilience.fault.gapped")
+          .Increment(fault_stats.records_gapped);
+    }
+  }
+
+  // ---- Checkpointing --------------------------------------------------
+  std::unique_ptr<umicro::resilience::CheckpointManager> checkpointer;
+  if (checkpointing) {
+    umicro::resilience::CheckpointPolicy policy;
+    policy.every_points = cli.checkpoint_every;
+    policy.every_seconds = cli.checkpoint_seconds;
+    checkpointer = std::make_unique<umicro::resilience::CheckpointManager>(
+        cli.checkpoint_dir, policy);
+  }
+
+  // ---- Replay offset after recovery -----------------------------------
+  if (resume_from > 0) {
+    umicro::stream::Dataset replay(dataset.dimensions());
+    for (std::size_t i = static_cast<std::size_t>(resume_from);
+         i < dataset.size(); ++i) {
+      replay.Add(dataset[i]);
+    }
+    std::printf("replaying %zu of %zu records (the rest is in the "
+                "checkpoint)\n",
+                replay.size(), dataset.size());
+    dataset = std::move(replay);
+  }
+
   // ---- Metrics export -------------------------------------------------
   std::unique_ptr<umicro::obs::MetricsExporter> exporter;
   umicro::eval::ProgressFn progress;
@@ -349,9 +707,24 @@ int main(int argc, char** argv) {
     }
     exporter = std::make_unique<umicro::obs::MetricsExporter>(
         &engine->metrics(), cli.metrics_out, cli.metrics_every);
-    if (cli.metrics_every > 0) {
-      umicro::obs::MetricsExporter* raw = exporter.get();
-      progress = [raw](std::size_t points) { raw->TickPoints(points); };
+  }
+  {
+    umicro::obs::MetricsExporter* exporter_raw =
+        cli.metrics_every > 0 ? exporter.get() : nullptr;
+    umicro::resilience::CheckpointManager* checkpointer_raw =
+        (checkpointer != nullptr &&
+         (cli.checkpoint_every > 0 || cli.checkpoint_seconds > 0.0))
+            ? checkpointer.get()
+            : nullptr;
+    umicro::core::ClusteringEngine* engine_raw = engine.get();
+    if (exporter_raw != nullptr || checkpointer_raw != nullptr) {
+      progress = [exporter_raw, checkpointer_raw,
+                  engine_raw](std::size_t points) {
+        if (exporter_raw != nullptr) exporter_raw->TickPoints(points);
+        if (checkpointer_raw != nullptr) {
+          checkpointer_raw->MaybeCheckpoint(*engine_raw);
+        }
+      };
     }
   }
 
@@ -381,6 +754,33 @@ int main(int argc, char** argv) {
   if (engine != nullptr) {
     engine->Flush();
     std::printf("snapshots stored: %zu\n", engine->store().TotalStored());
+  }
+
+  // ---- Final checkpoint + resilience summary --------------------------
+  if (checkpointer != nullptr && engine != nullptr) {
+    if (!checkpointer->CheckpointNow(*engine)) {
+      std::fprintf(stderr, "failed to write final checkpoint in %s\n",
+                   cli.checkpoint_dir.c_str());
+      return 1;
+    }
+    std::printf("checkpoints: %zu written (%zu failed), newest %s\n",
+                checkpointer->checkpoints_written(),
+                checkpointer->write_failures(),
+                checkpointer->last_path().c_str());
+  }
+  if (cli.degrade && engine != nullptr) {
+    umicro::obs::MetricsRegistry& metrics = engine->metrics();
+    std::printf(
+        "degradation: %llu activations, %llu points shed in %llu "
+        "batches, %llu worker restarts\n",
+        static_cast<unsigned long long>(
+            metrics.GetCounter("parallel.degrade.activations").value()),
+        static_cast<unsigned long long>(
+            metrics.GetCounter("parallel.degrade.points_shed").value()),
+        static_cast<unsigned long long>(
+            metrics.GetCounter("parallel.degrade.batches_shed").value()),
+        static_cast<unsigned long long>(
+            metrics.GetCounter("parallel.worker_restarts").value()));
   }
 
   if (cli.describe && umicro_ptr != nullptr) {
