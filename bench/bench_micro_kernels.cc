@@ -7,16 +7,24 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
+
 #include "baseline/clustream.h"
 #include "core/cluster_feature.h"
 #include "core/expected_distance.h"
 #include "core/umicro.h"
+#include "kernels/cluster_table.h"
+#include "kernels/dispatch.h"
+#include "kernels/kernels.h"
 #include "stream/point.h"
 #include "util/random.h"
 
 namespace {
 
 using umicro::core::ErrorClusterFeature;
+using umicro::kernels::Backend;
+using umicro::kernels::ClusterTable;
+using umicro::kernels::PointContext;
 using umicro::stream::UncertainPoint;
 
 UncertainPoint MakePoint(umicro::util::Rng& rng, std::size_t dims) {
@@ -210,5 +218,165 @@ void BM_SnapshotSubtract(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SnapshotSubtract);
+
+// ---------------------------------------------------------------------
+// Batch kernels over the SoA cluster table (src/kernels). The benchmark
+// argument selects the tier: 0 = scalar, 1 = sse2, 2 = avx2. Tiers the
+// host CPU cannot run are not registered.
+// ---------------------------------------------------------------------
+
+void SupportedBackendArgs(benchmark::internal::Benchmark* bench) {
+  const int max_tier =
+      static_cast<int>(umicro::kernels::MaxSupportedBackend());
+  for (int tier = 0; tier <= max_tier; ++tier) bench->Arg(tier);
+}
+
+/// A table of q random clusters (50 points each) at the given dims.
+ClusterTable MakeTable(umicro::util::Rng& rng, std::size_t dims,
+                       std::size_t q) {
+  ClusterTable table(dims);
+  table.Reserve(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    const UncertainPoint seed_point = MakePoint(rng, dims);
+    table.PushPointRow(seed_point.values.data(), seed_point.errors.data(),
+                       1.0);
+    for (int p = 1; p < 50; ++p) {
+      const UncertainPoint point = MakePoint(rng, dims);
+      table.AddPoint(i, point.values.data(), point.errors.data(), 1.0);
+    }
+  }
+  return table;
+}
+
+void BM_KernelBatchVotes(benchmark::State& state) {
+  // Dimension-counting similarity of one point against all q=100
+  // clusters at the paper's d=20 -- the per-point cost that dominates
+  // Figures 8-10.
+  const std::size_t dims = 20;
+  const std::size_t q = 100;
+  const auto backend = static_cast<Backend>(state.range(0));
+  umicro::util::Rng rng(11);
+  const ClusterTable table = MakeTable(rng, dims, q);
+  const UncertainPoint x = MakePoint(rng, dims);
+  const std::vector<double> inv_scaled(dims, 1.0 / 1.5);
+  PointContext ctx;
+  std::vector<double> votes(q);
+  for (auto _ : state) {
+    ctx.Prepare(table, x.values.data(), x.errors.data(), inv_scaled.data());
+    umicro::kernels::BatchDimensionVotes(table, ctx, true, backend,
+                                         votes.data());
+    benchmark::DoNotOptimize(
+        umicro::kernels::ArgMax(votes.data(), votes.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelBatchVotes)->Apply(SupportedBackendArgs);
+
+void BM_KernelBatchDistances(benchmark::State& state) {
+  // Expected squared distance (Lemma 2.2) of one point to all q=100
+  // clusters at d=20: the assignment fallback scan.
+  const std::size_t dims = 20;
+  const std::size_t q = 100;
+  const auto backend = static_cast<Backend>(state.range(0));
+  umicro::util::Rng rng(12);
+  const ClusterTable table = MakeTable(rng, dims, q);
+  const UncertainPoint x = MakePoint(rng, dims);
+  PointContext ctx;
+  std::vector<double> distances(q);
+  for (auto _ : state) {
+    ctx.Prepare(table, x.values.data(), x.errors.data(), nullptr);
+    umicro::kernels::BatchSquaredDistances(
+        table, ctx, umicro::kernels::DistanceKind::kExpected, backend,
+        distances.data());
+    benchmark::DoNotOptimize(
+        umicro::kernels::ArgMin(distances.data(), distances.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelBatchDistances)->Apply(SupportedBackendArgs);
+
+void BM_KernelClosestPair(benchmark::State& state) {
+  // Cache-blocked q*(q-1)/2 centroid scan feeding maintenance merges.
+  const std::size_t dims = 20;
+  const std::size_t q = 100;
+  const auto backend = static_cast<Backend>(state.range(0));
+  umicro::util::Rng rng(13);
+  const ClusterTable table = MakeTable(rng, dims, q);
+  for (auto _ : state) {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    double d2 = 0.0;
+    umicro::kernels::ClosestCentroidPair(table, backend, &a, &b, &d2);
+    benchmark::DoNotOptimize(a + b);
+    benchmark::DoNotOptimize(d2);
+  }
+}
+BENCHMARK(BM_KernelClosestPair)->Apply(SupportedBackendArgs);
+
+void BM_KernelTableAddPoint(benchmark::State& state) {
+  // Fused ECF update + derived-row refresh (bit-identical across tiers).
+  const std::size_t dims = 20;
+  const auto backend = static_cast<Backend>(state.range(0));
+  umicro::util::Rng rng(14);
+  ClusterTable table = MakeTable(rng, dims, 8);
+  table.set_backend(backend);
+  const UncertainPoint x = MakePoint(rng, dims);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    table.AddPoint(row, x.values.data(), x.errors.data(), 1.0);
+    row = (row + 1) % table.rows();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelTableAddPoint)->Apply(SupportedBackendArgs);
+
+void BM_KernelTableScaleAll(benchmark::State& state) {
+  // Fused decay over all q=100 rows (bit-identical across tiers).
+  const std::size_t dims = 20;
+  const auto backend = static_cast<Backend>(state.range(0));
+  umicro::util::Rng rng(15);
+  ClusterTable table = MakeTable(rng, dims, 100);
+  table.set_backend(backend);
+  for (auto _ : state) {
+    table.ScaleAll(0.999999);
+    benchmark::DoNotOptimize(table.ef2n2_sum(0));
+  }
+}
+BENCHMARK(BM_KernelTableScaleAll)->Apply(SupportedBackendArgs);
+
+void BM_UMicroProcessBatch(benchmark::State& state) {
+  // End-to-end batched ingest at the paper's d=20 / q=100, through
+  // whatever tier DetectBackend() picked. Compare against
+  // BM_UMicroProcessPoint/100 for the batching win.
+  const std::size_t dims = 20;
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  umicro::core::UMicroOptions options;
+  options.num_micro_clusters = 100;
+  umicro::core::UMicro algorithm(dims, options);
+  umicro::util::Rng rng(16);
+  for (int i = 0; i < 2000; ++i) {
+    UncertainPoint p = MakePoint(rng, dims);
+    p.timestamp = i;
+    algorithm.Process(p);
+  }
+  double ts = 2000.0;
+  std::vector<UncertainPoint> points;
+  points.reserve(batch);
+  for (auto _ : state) {
+    state.PauseTiming();
+    points.clear();
+    for (std::size_t i = 0; i < batch; ++i) {
+      UncertainPoint p = MakePoint(rng, dims);
+      p.timestamp = ts;
+      ts += 1.0;
+      points.push_back(std::move(p));
+    }
+    state.ResumeTiming();
+    algorithm.ProcessBatch(std::span<const UncertainPoint>(points));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_UMicroProcessBatch)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace

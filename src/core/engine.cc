@@ -36,6 +36,32 @@ void UMicroEngine::Process(const stream::UncertainPoint& point) {
   }
 }
 
+void UMicroEngine::ProcessBatch(
+    std::span<const stream::UncertainPoint> points) {
+  const std::size_t every = options_.snapshot.snapshot_every;
+  std::size_t offset = 0;
+  while (offset < points.size()) {
+    std::size_t take = points.size() - offset;
+    if (every > 0) take = std::min(take, every - since_snapshot_);
+    const auto chunk = points.subspan(offset, take);
+    online_.ProcessBatch(chunk);
+    for (const auto& point : chunk) {
+      last_timestamp_ = std::max(last_timestamp_, point.timestamp);
+    }
+    offset += take;
+    if (every > 0) {
+      since_snapshot_ += take;
+      if (since_snapshot_ >= every) {
+        const obs::ScopedTimer timer(snapshot_micros_);
+        store_.Insert(next_tick_++, online_.TakeSnapshot(last_timestamp_));
+        since_snapshot_ = 0;
+        snapshots_taken_->Increment();
+        snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
+      }
+    }
+  }
+}
+
 EngineState UMicroEngine::ExportEngineState() {
   EngineState state;
   state.engine_kind = "umicro";

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -131,6 +132,11 @@ class UMicroEngine : public ClusteringEngine {
 
   // StreamClusterer interface (delegating to the online component).
   void Process(const stream::UncertainPoint& point) override;
+  /// Batched ingest: identical point-by-point semantics, but the batch
+  /// is chunked at snapshot-cadence boundaries so the online component
+  /// ingests each chunk in one amortized ProcessBatch call and every
+  /// due snapshot is still taken at exactly the right point count.
+  void ProcessBatch(std::span<const stream::UncertainPoint> points) override;
   std::string name() const override;
   std::size_t points_processed() const override {
     return online_.points_processed();

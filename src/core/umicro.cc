@@ -13,6 +13,7 @@ namespace umicro::core {
 UMicro::UMicro(std::size_t dimensions, UMicroOptions options)
     : dimensions_(dimensions),
       options_(options),
+      table_(dimensions),
       welford_(dimensions),
       global_variances_(dimensions, 0.0),
       scaled_inverse_variances_(dimensions, 0.0) {
@@ -24,6 +25,8 @@ UMicro::UMicro(std::size_t dimensions, UMicroOptions options)
   UMICRO_CHECK(options_.eviction_horizon >= 0.0);
   UMICRO_CHECK(options_.variance_refresh_interval > 0);
   clusters_.reserve(options_.num_micro_clusters + 1);
+  table_.Reserve(options_.num_micro_clusters + 1);
+  scores_scratch_.reserve(options_.num_micro_clusters + 1);
 }
 
 std::string UMicro::name() const {
@@ -33,6 +36,9 @@ std::string UMicro::name() const {
 void UMicro::AttachMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     process_micros_ = nullptr;
+    batch_micros_ = nullptr;
+    closest_pair_micros_ = nullptr;
+    kernel_tier_metric_ = nullptr;
     points_metric_ = nullptr;
     kernel_scans_metric_ = nullptr;
     absorbed_metric_ = nullptr;
@@ -43,6 +49,11 @@ void UMicro::AttachMetrics(obs::MetricsRegistry* registry) {
     return;
   }
   process_micros_ = &registry->GetHistogram("umicro.process_micros");
+  batch_micros_ = &registry->GetHistogram("umicro.batch_micros");
+  closest_pair_micros_ =
+      &registry->GetHistogram("umicro.closest_pair_micros");
+  kernel_tier_metric_ = &registry->GetGauge("umicro.kernel_tier");
+  kernel_tier_metric_->Set(static_cast<double>(table_.backend()));
   points_metric_ = &registry->GetCounter("umicro.points");
   kernel_scans_metric_ = &registry->GetCounter("umicro.kernel_scans");
   absorbed_metric_ = &registry->GetCounter("umicro.absorbed");
@@ -65,6 +76,8 @@ void UMicro::ApplyDecay(double now) {
   // (Section II-E); one factor therefore applies to every cluster.
   const double factor = std::exp2(-options_.decay_lambda * dt);
   for (auto& cluster : clusters_) cluster.Decay(factor);
+  // Mirror the decay in the SoA table (bit-identical scale kernel).
+  table_.ScaleAll(factor);
   last_decay_time_ = now;
 }
 
@@ -101,76 +114,37 @@ void UMicro::UpdateGlobalVariances(const stream::UncertainPoint& point) {
 
 std::size_t UMicro::FindClosest(const stream::UncertainPoint& point) const {
   UMICRO_DCHECK(!clusters_.empty());
-  if (options_.similarity == SimilarityMode::kDimensionCounting) {
-    // Inline replica of core::DimensionCountingSimilarity using the
-    // cached 1/(thresh*sigma^2) vector: this scan runs per point per
-    // cluster per dimension and is the algorithm's hottest loop, so it
-    // is written branchless (std::max instead of conditional adds; a
-    // zero-variance dimension has inv_scaled == 0 and must contribute
-    // nothing, handled by pre-folding the point-constant psi^2 term:
-    // psi2_scaled[j] == 0 there, and the vote reduces to
-    // max(0, 1*mask - geometric*0) with mask in {0,1}).
-    const double* x = point.values.data();
-    const double* inv_scaled = scaled_inverse_variances_.data();
-    const bool paper_form =
-        options_.distance_form == DistanceForm::kPaperExpected;
+  UMICRO_DCHECK(table_.rows() == clusters_.size());
+  const std::size_t q = table_.rows();
+  const bool counting =
+      options_.similarity == SimilarityMode::kDimensionCounting;
+  const bool paper_form =
+      options_.distance_form == DistanceForm::kPaperExpected;
+  const kernels::Backend backend = table_.backend();
+  const double* errors =
+      point.errors.empty() ? nullptr : point.errors.data();
 
-    // Per-point precomputation: mask[j] = 1 if the dimension counts,
-    // base[j] = mask[j] - psi_j^2 * inv_scaled[j] (the vote an exact
-    // centroid match would get). One pass of O(d), reused q times.
-    similarity_scratch_.resize(2 * dimensions_);
-    double* mask = similarity_scratch_.data();
-    double* base = similarity_scratch_.data() + dimensions_;
-    for (std::size_t j = 0; j < dimensions_; ++j) {
-      mask[j] = inv_scaled[j] > 0.0 ? 1.0 : 0.0;
-      const double psi = point.ErrorAt(j);
-      base[j] = mask[j] - psi * psi * inv_scaled[j];
-    }
-
-    double best_similarity = -1.0;
-    std::size_t best = 0;
-    for (std::size_t i = 0; i < clusters_.size(); ++i) {
-      const ErrorClusterFeature& ecf = clusters_[i].ecf;
-      const double inv_n = 1.0 / ecf.weight();
-      const double inv_n2 = inv_n * inv_n;
-      const double* cf1 = ecf.cf1().data();
-      const double* ef2 = ecf.ef2().data();
-      double s = 0.0;
-      if (paper_form) {
-        for (std::size_t j = 0; j < dimensions_; ++j) {
-          const double diff = x[j] - cf1[j] * inv_n;
-          const double dist2 = diff * diff + ef2[j] * inv_n2;
-          s += std::max(0.0, base[j] - dist2 * inv_scaled[j]);
-        }
-      } else {
-        for (std::size_t j = 0; j < dimensions_; ++j) {
-          const double diff = x[j] - cf1[j] * inv_n;
-          s += std::max(0.0, base[j] - diff * diff * inv_scaled[j]);
-        }
-      }
-      if (s > best_similarity) {
-        best_similarity = s;
-        best = i;
-      }
-    }
-    if (best_similarity > 0.0) return best;
+  // Stage the point once (O(d)), then scan all q rows through the
+  // batch kernels (kernels::BatchDimensionVotes mirrors the old inline
+  // similarity loop; its scalar tier reproduces it exactly).
+  point_ctx_.Prepare(table_, point.values.data(), errors,
+                     counting ? scaled_inverse_variances_.data() : nullptr);
+  scores_scratch_.resize(q);
+  if (counting) {
+    kernels::BatchDimensionVotes(table_, point_ctx_, paper_form, backend,
+                                 scores_scratch_.data());
+    const std::size_t best = kernels::ArgMax(scores_scratch_.data(), q);
+    if (scores_scratch_[best] > 0.0) return best;
     // Every dimension of every cluster was pruned (all expected
     // distances beyond thresh*sigma^2): the vote is uninformative, so
     // fall back to the distance to break the tie.
   }
-  double best_distance = std::numeric_limits<double>::infinity();
-  std::size_t best = 0;
-  for (std::size_t i = 0; i < clusters_.size(); ++i) {
-    const double v =
-        options_.distance_form == DistanceForm::kPaperExpected
-            ? ExpectedSquaredDistance(point, clusters_[i].ecf)
-            : GeometricSquaredDistance(point, clusters_[i].ecf);
-    if (v < best_distance) {
-      best_distance = v;
-      best = i;
-    }
-  }
-  return best;
+  kernels::BatchSquaredDistances(table_, point_ctx_,
+                                 paper_form
+                                     ? kernels::DistanceKind::kExpected
+                                     : kernels::DistanceKind::kGeometric,
+                                 backend, scores_scratch_.data());
+  return kernels::ArgMin(scores_scratch_.data(), q);
 }
 
 double UMicro::UncertaintyBoundary(std::size_t index) const {
@@ -239,48 +213,79 @@ void UMicro::Process(const stream::UncertainPoint& point) {
   ProcessAndExplain(point);
 }
 
+void UMicro::ProcessBatch(std::span<const stream::UncertainPoint> points) {
+  if (points.empty()) return;
+  const obs::ScopedTimer timer(batch_micros_);
+  BatchCounters counters;
+  for (const auto& point : points) ProcessOne(point, &counters);
+  FlushCounters(counters, points.size());
+}
+
 UMicro::ProcessOutcome UMicro::ProcessAndExplain(
     const stream::UncertainPoint& point) {
+  const obs::ScopedTimer timer(process_micros_);
+  BatchCounters counters;
+  const ProcessOutcome outcome = ProcessOne(point, &counters);
+  FlushCounters(counters, 1);
+  return outcome;
+}
+
+UMicro::ProcessOutcome UMicro::ProcessOne(const stream::UncertainPoint& point,
+                                          BatchCounters* counters) {
   UMICRO_CHECK_MSG(point.dimensions() == dimensions_,
                    "point has %zu dimensions, algorithm expects %zu",
                    point.dimensions(), dimensions_);
-  const obs::ScopedTimer timer(process_micros_);
   ++points_processed_;
-  if (points_metric_ != nullptr) points_metric_->Increment();
   ApplyDecay(point.timestamp);
   UpdateGlobalVariances(point);
 
+  const double* errors =
+      point.errors.empty() ? nullptr : point.errors.data();
   ProcessOutcome outcome;
   if (!clusters_.empty()) {
     // One similarity-kernel scan per live cluster: the per-point cost of
     // the expected-distance kernel, in units of cluster comparisons.
-    if (kernel_scans_metric_ != nullptr) {
-      kernel_scans_metric_->Increment(clusters_.size());
-    }
+    counters->scans += clusters_.size();
     const std::size_t closest = FindClosest(point);
     outcome.expected_distance =
         std::sqrt(ExpectedSquaredDistance(point, clusters_[closest].ecf));
     if (ShouldAbsorb(point, closest)) {
       clusters_[closest].AddPoint(point);
+      table_.AddPoint(closest, point.values.data(), errors, 1.0);
       outcome.absorbed = true;
       outcome.cluster_id = clusters_[closest].id;
-      if (absorbed_metric_ != nullptr) absorbed_metric_->Increment();
+      ++counters->absorbed;
       return outcome;
     }
   }
 
   clusters_.emplace_back(next_cluster_id_++, point);
+  table_.PushPointRow(point.values.data(), errors, 1.0);
   ++clusters_created_;
-  if (created_metric_ != nullptr) created_metric_->Increment();
+  ++counters->created;
   outcome.absorbed = false;
   outcome.cluster_id = clusters_.back().id;
   if (clusters_.size() > options_.num_micro_clusters) {
     RetireOneCluster(point.timestamp);
   }
-  if (live_clusters_metric_ != nullptr) {
+  return outcome;
+}
+
+void UMicro::FlushCounters(const BatchCounters& counters,
+                           std::size_t points) {
+  if (points_metric_ != nullptr) points_metric_->Increment(points);
+  if (kernel_scans_metric_ != nullptr && counters.scans > 0) {
+    kernel_scans_metric_->Increment(counters.scans);
+  }
+  if (absorbed_metric_ != nullptr && counters.absorbed > 0) {
+    absorbed_metric_->Increment(counters.absorbed);
+  }
+  if (created_metric_ != nullptr && counters.created > 0) {
+    created_metric_->Increment(counters.created);
+  }
+  if (live_clusters_metric_ != nullptr && counters.created > 0) {
     live_clusters_metric_->Set(static_cast<double>(clusters_.size()));
   }
-  return outcome;
 }
 
 void UMicro::RetireOneCluster(double now) {
@@ -300,39 +305,22 @@ void UMicro::RetireOneCluster(double now) {
   if (clusters_[lru].ecf.last_update_time() <
       now - options_.eviction_horizon) {
     clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(lru));
+    table_.RemoveRow(lru);
     ++clusters_evicted_;
     if (evicted_metric_ != nullptr) evicted_metric_->Increment();
     return;
   }
 
-  // Materialize all centroids once (q*d divisions) so the closest-pair
-  // search below is pure multiply-adds.
-  const std::size_t q = clusters_.size();
-  centroid_scratch_.resize(q * dimensions_);
-  for (std::size_t i = 0; i < q; ++i) {
-    const double inv_n = 1.0 / clusters_[i].ecf.weight();
-    const double* cf1 = clusters_[i].ecf.cf1().data();
-    double* row = &centroid_scratch_[i * dimensions_];
-    for (std::size_t j = 0; j < dimensions_; ++j) row[j] = cf1[j] * inv_n;
-  }
+  // Closest-pair search over the table's already-materialized centroid
+  // rows (cache-blocked kernel; previously an O(q^2 d) scalar scan over
+  // a freshly divided centroid matrix).
   std::size_t best_a = 0;
   std::size_t best_b = 1;
   double best_d2 = std::numeric_limits<double>::infinity();
-  for (std::size_t a = 0; a + 1 < q; ++a) {
-    const double* row_a = &centroid_scratch_[a * dimensions_];
-    for (std::size_t b = a + 1; b < q; ++b) {
-      const double* row_b = &centroid_scratch_[b * dimensions_];
-      double d2 = 0.0;
-      for (std::size_t j = 0; j < dimensions_; ++j) {
-        const double diff = row_a[j] - row_b[j];
-        d2 += diff * diff;
-      }
-      if (d2 < best_d2) {
-        best_d2 = d2;
-        best_a = a;
-        best_b = b;
-      }
-    }
+  {
+    const obs::ScopedTimer pair_timer(closest_pair_micros_);
+    kernels::ClosestCentroidPair(table_, table_.backend(), &best_a, &best_b,
+                                 &best_d2);
   }
   MicroCluster& into = clusters_[best_a];
   MicroCluster& from = clusters_[best_b];
@@ -345,10 +333,12 @@ void UMicro::RetireOneCluster(double now) {
   }
   into.creation_time = std::min(into.creation_time, from.creation_time);
   into.ecf.Merge(from.ecf);
+  table_.MergeRows(best_a, best_b);
   for (const auto& [label, weight] : from.labels) {
     into.labels[label] += weight;
   }
   clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(best_b));
+  table_.RemoveRow(best_b);
   ++clusters_merged_;
   if (merged_metric_ != nullptr) merged_metric_->Increment();
 }
@@ -380,6 +370,14 @@ void UMicro::RestoreState(const UMicroState& state) {
     UMICRO_CHECK(cluster.ecf.dimensions() == dimensions_);
   }
   clusters_ = state.clusters;
+  // Rebuild the SoA mirror from the restored structs (raw copies, so
+  // mirror and structs start out bit-identical again).
+  table_.Reset(dimensions_);
+  table_.Reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    table_.PushRow(cluster.ecf.cf1().data(), cluster.ecf.cf2().data(),
+                   cluster.ecf.ef2().data(), cluster.ecf.weight());
+  }
   welford_.clear();
   welford_.reserve(state.welford.size());
   for (const auto& raw : state.welford) {

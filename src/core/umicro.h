@@ -16,12 +16,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/expected_distance.h"
 #include "core/microcluster.h"
 #include "core/snapshot.h"
+#include "kernels/cluster_table.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "stream/clusterer.h"
 #include "stream/point.h"
@@ -130,6 +133,11 @@ class UMicro : public stream::StreamClusterer {
 
   // StreamClusterer interface.
   void Process(const stream::UncertainPoint& point) override;
+  /// Batched ingest: processes the points strictly in order with exactly
+  /// the per-point semantics of Process (each decision sees the state
+  /// left by its predecessors), but amortizes the timer and metric
+  /// traffic over the whole batch.
+  void ProcessBatch(std::span<const stream::UncertainPoint> points) override;
   std::string name() const override;
 
   /// Like Process, but reports what happened to the record.
@@ -180,7 +188,27 @@ class UMicro : public stream::StreamClusterer {
   /// sharded pipeline) may share one registry, the cells are atomic.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
+  /// The kernel tier the batch scans run on (CPUID-dispatched; the
+  /// UMICRO_KERNEL environment variable clamps it downward).
+  kernels::Backend kernel_backend() const { return table_.backend(); }
+
  private:
+  /// Per-batch tallies of metric events, flushed to the registry once
+  /// per Process/ProcessBatch call instead of per point.
+  struct BatchCounters {
+    std::size_t scans = 0;
+    std::size_t absorbed = 0;
+    std::size_t created = 0;
+  };
+
+  /// The full per-point pipeline (decay, variances, assign, maintain)
+  /// without any metric traffic; tallies events into `counters`.
+  ProcessOutcome ProcessOne(const stream::UncertainPoint& point,
+                            BatchCounters* counters);
+
+  /// Pushes a batch's tallied events to the attached registry.
+  void FlushCounters(const BatchCounters& counters, std::size_t points);
+
   /// Index of the closest cluster under the configured similarity;
   /// clusters_ must be non-empty.
   std::size_t FindClosest(const stream::UncertainPoint& point) const;
@@ -213,20 +241,26 @@ class UMicro : public stream::StreamClusterer {
   const UMicroOptions options_;
 
   std::vector<MicroCluster> clusters_;
+  /// SoA mirror of clusters_ (row i <-> clusters_[i]), kept bit-identical
+  /// through the fused update kernels; all batch scans read it.
+  kernels::ClusterTable table_;
   std::vector<util::WelfordAccumulator> welford_;
   std::vector<double> global_variances_;
   /// Cached 1/(thresh * sigma_j^2) (0 where sigma_j^2 == 0), refreshed
   /// together with global_variances_; turns the per-dimension division
   /// of the similarity scan into a multiplication.
   std::vector<double> scaled_inverse_variances_;
-  /// Scratch buffer for the closest-pair search (centroid matrix).
-  mutable std::vector<double> centroid_scratch_;
-  /// Scratch for the per-point similarity precomputation (mask + base).
-  mutable std::vector<double> similarity_scratch_;
+  /// Staged per-point buffers for the batch kernels.
+  mutable kernels::PointContext point_ctx_;
+  /// Per-cluster scores (votes or distances) of the current scan.
+  mutable std::vector<double> scores_scratch_;
 
   // Metric handles resolved once by AttachMetrics; all null when no
   // registry is attached (the hot path then costs one pointer test).
   obs::Histogram* process_micros_ = nullptr;
+  obs::Histogram* batch_micros_ = nullptr;
+  obs::Histogram* closest_pair_micros_ = nullptr;
+  obs::Gauge* kernel_tier_metric_ = nullptr;
   obs::Counter* points_metric_ = nullptr;
   obs::Counter* kernel_scans_metric_ = nullptr;
   obs::Counter* absorbed_metric_ = nullptr;

@@ -1,6 +1,7 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <span>
 
 #include "eval/purity.h"
 #include "eval/throughput.h"
@@ -16,11 +17,28 @@ double PuritySeries::MeanPurity() const {
   return sum / static_cast<double>(samples.size());
 }
 
+namespace {
+
+/// Largest run starting at `offset` that stays within `batch_size` and
+/// does not cross the next multiple of `sample_interval` (so samples
+/// land at exactly the same stream positions as a point-by-point run).
+std::size_t NextChunk(std::size_t offset, std::size_t total,
+                      std::size_t sample_interval, std::size_t batch_size) {
+  std::size_t take = std::min(batch_size, total - offset);
+  const std::size_t to_boundary =
+      sample_interval - (offset % sample_interval);
+  return std::min(take, to_boundary);
+}
+
+}  // namespace
+
 PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
                                  const stream::Dataset& dataset,
                                  std::size_t sample_interval,
-                                 const ProgressFn& progress) {
+                                 const ProgressFn& progress,
+                                 std::size_t batch_size) {
   UMICRO_CHECK(sample_interval > 0);
+  UMICRO_CHECK(batch_size > 0);
   PuritySeries series;
   series.algorithm = clusterer.name();
 
@@ -34,10 +52,23 @@ PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
     series.samples.push_back(sample);
   };
 
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    clusterer.Process(dataset[i]);
-    if (progress) progress(i + 1);
-    if ((i + 1) % sample_interval == 0) take_sample(i + 1);
+  if (batch_size == 1) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      clusterer.Process(dataset[i]);
+      if (progress) progress(i + 1);
+      if ((i + 1) % sample_interval == 0) take_sample(i + 1);
+    }
+  } else {
+    const std::span<const stream::UncertainPoint> all(dataset.points());
+    std::size_t offset = 0;
+    while (offset < all.size()) {
+      const std::size_t take =
+          NextChunk(offset, all.size(), sample_interval, batch_size);
+      clusterer.ProcessBatch(all.subspan(offset, take));
+      offset += take;
+      if (progress) progress(offset);
+      if (offset % sample_interval == 0) take_sample(offset);
+    }
   }
   if (dataset.size() % sample_interval != 0) take_sample(dataset.size());
   return series;
@@ -47,30 +78,51 @@ ThroughputSeries RunThroughputExperiment(stream::StreamClusterer& clusterer,
                                          const stream::Dataset& dataset,
                                          std::size_t sample_interval,
                                          double window_seconds,
-                                         const ProgressFn& progress) {
+                                         const ProgressFn& progress,
+                                         std::size_t batch_size) {
   UMICRO_CHECK(sample_interval > 0);
+  UMICRO_CHECK(batch_size > 0);
   ThroughputSeries series;
   series.algorithm = clusterer.name();
 
   ThroughputMeter meter(window_seconds);
   util::Stopwatch stopwatch;
-  // Record in small batches so the trailing window has resolution without
-  // paying a clock read per point.
-  const std::size_t batch = std::max<std::size_t>(1, sample_interval / 16);
-  std::size_t pending = 0;
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    clusterer.Process(dataset[i]);
-    if (progress) progress(i + 1);
-    ++pending;
-    if (pending == batch || i + 1 == dataset.size()) {
-      meter.Record(stopwatch.ElapsedSeconds(), pending);
-      pending = 0;
+  if (batch_size == 1) {
+    // Record in small batches so the trailing window has resolution
+    // without paying a clock read per point.
+    const std::size_t batch = std::max<std::size_t>(1, sample_interval / 16);
+    std::size_t pending = 0;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      clusterer.Process(dataset[i]);
+      if (progress) progress(i + 1);
+      ++pending;
+      if (pending == batch || i + 1 == dataset.size()) {
+        meter.Record(stopwatch.ElapsedSeconds(), pending);
+        pending = 0;
+      }
+      if ((i + 1) % sample_interval == 0 || i + 1 == dataset.size()) {
+        ThroughputSample sample;
+        sample.points_processed = i + 1;
+        sample.points_per_second = meter.Rate();
+        series.samples.push_back(sample);
+      }
     }
-    if ((i + 1) % sample_interval == 0 || i + 1 == dataset.size()) {
-      ThroughputSample sample;
-      sample.points_processed = i + 1;
-      sample.points_per_second = meter.Rate();
-      series.samples.push_back(sample);
+  } else {
+    const std::span<const stream::UncertainPoint> all(dataset.points());
+    std::size_t offset = 0;
+    while (offset < all.size()) {
+      const std::size_t take =
+          NextChunk(offset, all.size(), sample_interval, batch_size);
+      clusterer.ProcessBatch(all.subspan(offset, take));
+      offset += take;
+      if (progress) progress(offset);
+      meter.Record(stopwatch.ElapsedSeconds(), take);
+      if (offset % sample_interval == 0 || offset == all.size()) {
+        ThroughputSample sample;
+        sample.points_processed = offset;
+        sample.points_per_second = meter.Rate();
+        series.samples.push_back(sample);
+      }
     }
   }
   const double elapsed = stopwatch.ElapsedSeconds();

@@ -45,10 +45,16 @@ struct PuritySeries {
 /// Streams `dataset` through `clusterer`, sampling purity every
 /// `sample_interval` points (and once at the end if it does not divide
 /// the stream length).
+///
+/// `batch_size` > 1 drives the clusterer through ProcessBatch in runs of
+/// up to that many points (capped at every sample boundary, so the
+/// sampled series is identical to the point-by-point run); the progress
+/// hook then fires once per batch with the cumulative count.
 PuritySeries RunPurityExperiment(stream::StreamClusterer& clusterer,
                                  const stream::Dataset& dataset,
                                  std::size_t sample_interval,
-                                 const ProgressFn& progress = {});
+                                 const ProgressFn& progress = {},
+                                 std::size_t batch_size = 1);
 
 /// One sample of a throughput-vs-progression run.
 struct ThroughputSample {
@@ -67,12 +73,13 @@ struct ThroughputSeries {
 
 /// Streams `dataset` through `clusterer` as fast as possible, sampling
 /// the trailing-window rate (paper: 2 s window) every `sample_interval`
-/// points.
+/// points. `batch_size` as in RunPurityExperiment.
 ThroughputSeries RunThroughputExperiment(stream::StreamClusterer& clusterer,
                                          const stream::Dataset& dataset,
                                          std::size_t sample_interval,
                                          double window_seconds = 2.0,
-                                         const ProgressFn& progress = {});
+                                         const ProgressFn& progress = {},
+                                         std::size_t batch_size = 1);
 
 }  // namespace umicro::eval
 

@@ -1,0 +1,70 @@
+#include "kernels/dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace umicro::kernels {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+constexpr bool kIsX64 = true;
+#else
+constexpr bool kIsX64 = false;
+#endif
+
+Backend ProbeHardware() {
+  if (!kIsX64) return Backend::kScalar;
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(_M_X64))
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Backend::kAvx2;
+  }
+  return Backend::kSse2;  // SSE2 is the x86-64 baseline.
+#else
+  return Backend::kScalar;
+#endif
+}
+
+Backend ResolveBackend() {
+  const Backend hardware = ProbeHardware();
+  const char* override_name = std::getenv("UMICRO_KERNEL");
+  if (override_name == nullptr || override_name[0] == '\0') return hardware;
+  Backend requested = hardware;
+  if (std::strcmp(override_name, "scalar") == 0) {
+    requested = Backend::kScalar;
+  } else if (std::strcmp(override_name, "sse2") == 0) {
+    requested = Backend::kSse2;
+  } else if (std::strcmp(override_name, "avx2") == 0) {
+    requested = Backend::kAvx2;
+  }
+  // The override can only clamp downward: requesting a tier the CPU
+  // cannot execute would trap on the first vector instruction.
+  return requested <= hardware ? requested : hardware;
+}
+
+}  // namespace
+
+Backend DetectBackend() {
+  static const Backend backend = ResolveBackend();
+  return backend;
+}
+
+Backend MaxSupportedBackend() {
+  static const Backend backend = ProbeHardware();
+  return backend;
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace umicro::kernels

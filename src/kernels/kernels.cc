@@ -1,0 +1,295 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define UMICRO_KERNELS_X64 1
+#else
+#define UMICRO_KERNELS_X64 0
+#endif
+
+namespace umicro::kernels {
+
+namespace {
+
+// ---- Row reductions, scalar tier ------------------------------------
+// Exact left-to-right accumulation: the semantics reference, and the
+// same numbers the pre-kernel loops in core::UMicro produced.
+
+double VotesRowScalar(const double* x, const double* base,
+                      const double* inv_scaled, const double* centroid,
+                      const double* ef2n2, std::size_t stride) {
+  double s = 0.0;
+  if (ef2n2 != nullptr) {
+    for (std::size_t j = 0; j < stride; ++j) {
+      const double diff = x[j] - centroid[j];
+      const double dist2 = diff * diff + ef2n2[j];
+      s += std::max(0.0, base[j] - dist2 * inv_scaled[j]);
+    }
+  } else {
+    for (std::size_t j = 0; j < stride; ++j) {
+      const double diff = x[j] - centroid[j];
+      s += std::max(0.0, base[j] - diff * diff * inv_scaled[j]);
+    }
+  }
+  return s;
+}
+
+double Dist2RowScalar(const double* a, const double* b, std::size_t stride) {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < stride; ++j) {
+    const double diff = a[j] - b[j];
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+#if UMICRO_KERNELS_X64
+
+// ---- Row reductions, SSE2 tier (2 doubles/lane) ---------------------
+
+__attribute__((target("sse2"))) double HorizontalSum(__m128d v) {
+  const __m128d hi = _mm_unpackhi_pd(v, v);
+  return _mm_cvtsd_f64(_mm_add_sd(v, hi));
+}
+
+__attribute__((target("sse2"))) double VotesRowSse2(
+    const double* x, const double* base, const double* inv_scaled,
+    const double* centroid, const double* ef2n2, std::size_t stride) {
+  const __m128d zero = _mm_setzero_pd();
+  __m128d acc = zero;
+  if (ef2n2 != nullptr) {
+    for (std::size_t j = 0; j < stride; j += 2) {
+      const __m128d diff =
+          _mm_sub_pd(_mm_loadu_pd(x + j), _mm_loadu_pd(centroid + j));
+      const __m128d dist2 =
+          _mm_add_pd(_mm_mul_pd(diff, diff), _mm_loadu_pd(ef2n2 + j));
+      const __m128d vote =
+          _mm_sub_pd(_mm_loadu_pd(base + j),
+                     _mm_mul_pd(dist2, _mm_loadu_pd(inv_scaled + j)));
+      acc = _mm_add_pd(acc, _mm_max_pd(vote, zero));
+    }
+  } else {
+    for (std::size_t j = 0; j < stride; j += 2) {
+      const __m128d diff =
+          _mm_sub_pd(_mm_loadu_pd(x + j), _mm_loadu_pd(centroid + j));
+      const __m128d vote =
+          _mm_sub_pd(_mm_loadu_pd(base + j),
+                     _mm_mul_pd(_mm_mul_pd(diff, diff),
+                                _mm_loadu_pd(inv_scaled + j)));
+      acc = _mm_add_pd(acc, _mm_max_pd(vote, zero));
+    }
+  }
+  return HorizontalSum(acc);
+}
+
+__attribute__((target("sse2"))) double Dist2RowSse2(const double* a,
+                                                    const double* b,
+                                                    std::size_t stride) {
+  __m128d acc = _mm_setzero_pd();
+  for (std::size_t j = 0; j < stride; j += 2) {
+    const __m128d diff = _mm_sub_pd(_mm_loadu_pd(a + j), _mm_loadu_pd(b + j));
+    acc = _mm_add_pd(acc, _mm_mul_pd(diff, diff));
+  }
+  return HorizontalSum(acc);
+}
+
+// ---- Row reductions, AVX2+FMA tier (4 doubles/lane) -----------------
+
+__attribute__((target("avx2,fma"))) double HorizontalSum256(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d sum2 = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(sum2, sum2);
+  return _mm_cvtsd_f64(_mm_add_sd(sum2, swapped));
+}
+
+__attribute__((target("avx2,fma"))) double VotesRowAvx2(
+    const double* x, const double* base, const double* inv_scaled,
+    const double* centroid, const double* ef2n2, std::size_t stride) {
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc = zero;
+  if (ef2n2 != nullptr) {
+    for (std::size_t j = 0; j < stride; j += 4) {
+      const __m256d diff =
+          _mm256_sub_pd(_mm256_loadu_pd(x + j), _mm256_loadu_pd(centroid + j));
+      const __m256d dist2 =
+          _mm256_fmadd_pd(diff, diff, _mm256_loadu_pd(ef2n2 + j));
+      const __m256d vote = _mm256_fnmadd_pd(
+          dist2, _mm256_loadu_pd(inv_scaled + j), _mm256_loadu_pd(base + j));
+      acc = _mm256_add_pd(acc, _mm256_max_pd(vote, zero));
+    }
+  } else {
+    for (std::size_t j = 0; j < stride; j += 4) {
+      const __m256d diff =
+          _mm256_sub_pd(_mm256_loadu_pd(x + j), _mm256_loadu_pd(centroid + j));
+      const __m256d dist2 = _mm256_mul_pd(diff, diff);
+      const __m256d vote = _mm256_fnmadd_pd(
+          dist2, _mm256_loadu_pd(inv_scaled + j), _mm256_loadu_pd(base + j));
+      acc = _mm256_add_pd(acc, _mm256_max_pd(vote, zero));
+    }
+  }
+  return HorizontalSum256(acc);
+}
+
+__attribute__((target("avx2,fma"))) double Dist2RowAvx2(const double* a,
+                                                        const double* b,
+                                                        std::size_t stride) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t j = 0; j < stride; j += 4) {
+    const __m256d diff =
+        _mm256_sub_pd(_mm256_loadu_pd(a + j), _mm256_loadu_pd(b + j));
+    acc = _mm256_fmadd_pd(diff, diff, acc);
+  }
+  return HorizontalSum256(acc);
+}
+
+#endif  // UMICRO_KERNELS_X64
+
+double VotesRow(Backend backend, const double* x, const double* base,
+                const double* inv_scaled, const double* centroid,
+                const double* ef2n2, std::size_t stride) {
+  switch (backend) {
+#if UMICRO_KERNELS_X64
+    case Backend::kAvx2:
+      return VotesRowAvx2(x, base, inv_scaled, centroid, ef2n2, stride);
+    case Backend::kSse2:
+      return VotesRowSse2(x, base, inv_scaled, centroid, ef2n2, stride);
+#endif
+    default:
+      return VotesRowScalar(x, base, inv_scaled, centroid, ef2n2, stride);
+  }
+}
+
+double Dist2Row(Backend backend, const double* a, const double* b,
+                std::size_t stride) {
+  switch (backend) {
+#if UMICRO_KERNELS_X64
+    case Backend::kAvx2:
+      return Dist2RowAvx2(a, b, stride);
+    case Backend::kSse2:
+      return Dist2RowSse2(a, b, stride);
+#endif
+    default:
+      return Dist2RowScalar(a, b, stride);
+  }
+}
+
+}  // namespace
+
+void PointContext::Prepare(const ClusterTable& table, const double* values,
+                           const double* errors,
+                           const double* inv_scaled_variances) {
+  dims = table.dims();
+  stride = table.stride();
+  x.assign(stride, 0.0);
+  base.assign(stride, 0.0);
+  inv_scaled.assign(stride, 0.0);
+  psi2_sum = 0.0;
+  for (std::size_t j = 0; j < dims; ++j) {
+    x[j] = values[j];
+    const double psi = errors == nullptr ? 0.0 : errors[j];
+    psi2_sum += psi * psi;
+    if (inv_scaled_variances != nullptr) {
+      const double inv = inv_scaled_variances[j];
+      inv_scaled[j] = inv;
+      const double mask = inv > 0.0 ? 1.0 : 0.0;
+      base[j] = mask - psi * psi * inv;
+    }
+  }
+}
+
+void BatchDimensionVotes(const ClusterTable& table, const PointContext& ctx,
+                         bool include_cluster_error, Backend backend,
+                         double* out) {
+  UMICRO_DCHECK(ctx.stride == table.stride());
+  const std::size_t rows = table.rows();
+  for (std::size_t i = 0; i < rows; ++i) {
+    out[i] = VotesRow(backend, ctx.x.data(), ctx.base.data(),
+                      ctx.inv_scaled.data(), table.centroid_row(i),
+                      include_cluster_error ? table.ef2n2_row(i) : nullptr,
+                      ctx.stride);
+  }
+}
+
+void BatchSquaredDistances(const ClusterTable& table, const PointContext& ctx,
+                           DistanceKind kind, Backend backend, double* out) {
+  UMICRO_DCHECK(ctx.stride == table.stride());
+  const std::size_t rows = table.rows();
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double geometric =
+        Dist2Row(backend, ctx.x.data(), table.centroid_row(i), ctx.stride);
+    out[i] = kind == DistanceKind::kExpected
+                 ? std::max(0.0, geometric + table.ef2n2_sum(i) + ctx.psi2_sum)
+                 : geometric;
+  }
+}
+
+void ClosestCentroidPair(const ClusterTable& table, Backend backend,
+                         std::size_t* out_a, std::size_t* out_b,
+                         double* out_d2) {
+  const std::size_t q = table.rows();
+  UMICRO_CHECK(q >= 2);
+  const std::size_t stride = table.stride();
+  const double* centroids = table.centroid_data();
+
+  // Block the q x q upper triangle so each pass keeps one tile of
+  // centroid rows hot in L1/L2; 16 rows of up-to-64 padded dims are
+  // 8 KiB per tile, two tiles per pass.
+  constexpr std::size_t kBlock = 16;
+  std::size_t best_a = 0;
+  std::size_t best_b = 1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t a0 = 0; a0 < q; a0 += kBlock) {
+    const std::size_t a1 = std::min(a0 + kBlock, q);
+    for (std::size_t b0 = a0; b0 < q; b0 += kBlock) {
+      const std::size_t b1 = std::min(b0 + kBlock, q);
+      for (std::size_t a = a0; a < a1; ++a) {
+        const double* row_a = centroids + a * stride;
+        const std::size_t b_begin = std::max(b0, a + 1);
+        for (std::size_t b = b_begin; b < b1; ++b) {
+          const double d2 = Dist2Row(backend, row_a, centroids + b * stride,
+                                     stride);
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+    }
+  }
+  *out_a = best_a;
+  *out_b = best_b;
+  *out_d2 = best_d2;
+}
+
+std::size_t ArgMax(const double* values, std::size_t n) {
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i] > best_value) {
+      best_value = values[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t ArgMin(const double* values, std::size_t n) {
+  std::size_t best = 0;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (values[i] < best_value) {
+      best_value = values[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace umicro::kernels

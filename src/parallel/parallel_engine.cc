@@ -35,6 +35,11 @@ void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
   }
 }
 
+void ParallelUMicroEngine::ProcessBatch(
+    std::span<const stream::UncertainPoint> points) {
+  for (const auto& point : points) Process(point);
+}
+
 core::EngineState ParallelUMicroEngine::ExportEngineState() {
   core::EngineState state;
   state.engine_kind = "sharded";

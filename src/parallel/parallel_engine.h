@@ -52,6 +52,10 @@ class ParallelUMicroEngine : public core::ClusteringEngine {
   // StreamClusterer interface (delegating to the pipeline; the two read
   // accessors force a fresh merge inside ShardedUMicro).
   void Process(const stream::UncertainPoint& point) override;
+  /// Batched ingest. Partitioning, shedding, and merge cadence stay
+  /// per-point coordinator decisions; the throughput win comes from the
+  /// workers draining each enqueued batch through the batch kernels.
+  void ProcessBatch(std::span<const stream::UncertainPoint> points) override;
   std::string name() const override { return sharded_.name(); }
   std::size_t points_processed() const override {
     return sharded_.points_processed();

@@ -177,9 +177,9 @@ void ShardedUMicro::WorkerLoop(std::size_t index) {
     const std::size_t n = shard.in_progress_batch.size();
     {
       std::lock_guard<std::mutex> lock(shard.state_mu);
-      for (const auto& point : shard.in_progress_batch) {
-        shard.algo.Process(point);
-      }
+      // One amortized batch-kernel ingest per popped batch (the batch
+      // vector is contiguous, so it views directly as a span).
+      shard.algo.ProcessBatch(shard.in_progress_batch);
     }
     shard.points_processed->Increment(n);
     shard.batches_processed->Increment();
@@ -231,7 +231,7 @@ void ShardedUMicro::RestartShard(std::size_t index) {
     const std::size_t n = orphaned.size();
     {
       std::lock_guard<std::mutex> lock(shard.state_mu);
-      for (const auto& point : orphaned) shard.algo.Process(point);
+      shard.algo.ProcessBatch(orphaned);
     }
     shard.points_processed->Increment(n);
     shard.batches_processed->Increment();

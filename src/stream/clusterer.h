@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,14 @@ class StreamClusterer {
 
   /// Folds the next stream record into the clustering.
   virtual void Process(const UncertainPoint& point) = 0;
+
+  /// Folds a contiguous run of records, strictly in order, with the
+  /// same semantics as calling Process on each. Algorithms override
+  /// this to amortize per-point overhead (staging, timers, metrics)
+  /// across the batch; the default simply loops.
+  virtual void ProcessBatch(std::span<const UncertainPoint> points) {
+    for (const auto& point : points) Process(point);
+  }
 
   /// Human-readable algorithm name for reports.
   virtual std::string name() const = 0;

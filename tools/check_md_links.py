@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo docs resolves.
+
+Scans the top-level markdown files and docs/*.md for inline links and
+images (``[text](target)`` / ``![alt](target)``), resolves each
+relative target against the file that contains it, and fails with a
+per-link report if any target file is missing. External links
+(http/https/mailto), bare in-page anchors (``#section``), and autolinks
+are ignored; a ``target#anchor`` link is checked for the file part
+only.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+Exit status: 0 when all links resolve, 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline link or image: [text](target) — target ends at the first
+# unescaped ')' (no nested parens in our docs), optional "title" part.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: pathlib.Path):
+    for path in sorted(root.glob("*.md")):
+        yield path
+    for path in sorted((root / "docs").glob("*.md")):
+        yield path
+
+
+def strip_code(text: str) -> str:
+    """Drops fenced and inline code spans (flag tables quote literal
+    brackets there, and ``results/...`` paths in prose are not links)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    broken = []
+    checked = 0
+    for md_file in markdown_files(root):
+        text = strip_code(md_file.read_text(encoding="utf-8"))
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (md_file.parent / file_part).resolve()
+            checked += 1
+            if not resolved.exists():
+                broken.append(
+                    f"{md_file.relative_to(root)}: broken link "
+                    f"'{target}' -> {resolved}"
+                )
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,7 @@ struct CliOptions {
   bool impute = false;
   bool no_header = false;
   std::size_t sample_interval = 10000;
+  std::size_t batch = 1;
   std::size_t max_rows = 0;
   std::string centroids_out;
   bool describe = false;
@@ -136,6 +137,8 @@ void PrintUsage() {
       "  --metrics-out=STEM    write STEM.json + STEM.csv metric dumps\n"
       "  --metrics-every=N     re-export metrics every N points\n"
       "  --sample-interval=N   purity sample cadence (default 10000)\n"
+      "  --batch=N             ingest in batches of N points through the\n"
+      "                        vectorized kernels (default 1 = per-point)\n"
       "  --max-rows=N          read at most N rows (default all)\n"
       "  --centroids-out=FILE  write final centroids as CSV\n"
       "  --checkpoint-dir=DIR  write crash-safe engine checkpoints here\n"
@@ -247,6 +250,8 @@ int main(int argc, char** argv) {
       cli.metrics_every = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "sample-interval", &value)) {
       cli.sample_interval = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "batch", &value)) {
+      cli.batch = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "max-rows", &value)) {
       cli.max_rows = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "centroids-out", &value)) {
@@ -311,6 +316,10 @@ int main(int argc, char** argv) {
   if (!cli.quarantine_out.empty() && cli.bad_record_policy.empty()) {
     std::fprintf(stderr,
                  "--quarantine-out requires --bad-record-policy\n");
+    return 2;
+  }
+  if (cli.batch == 0) {
+    std::fprintf(stderr, "--batch must be at least 1\n");
     return 2;
   }
   if (!cli.inject_faults.empty() && cli.bad_record_policy.empty()) {
@@ -732,7 +741,7 @@ int main(int argc, char** argv) {
   const bool labeled = !dataset.Labels().empty();
   if (labeled) {
     const auto series = umicro::eval::RunPurityExperiment(
-        clusterer, dataset, cli.sample_interval, progress);
+        clusterer, dataset, cli.sample_interval, progress, cli.batch);
     std::printf("\n%14s %10s %10s %8s\n", "points", "purity", "w-purity",
                 "clusters");
     for (const auto& sample : series.samples) {
@@ -744,7 +753,7 @@ int main(int argc, char** argv) {
                 clusterer.name().c_str());
   } else {
     const auto series = umicro::eval::RunThroughputExperiment(
-        clusterer, dataset, cli.sample_interval, 2.0, progress);
+        clusterer, dataset, cli.sample_interval, 2.0, progress, cli.batch);
     std::printf("\nno labels: reporting throughput instead of purity\n");
     std::printf("overall rate: %.0f points/sec (%s)\n",
                 series.overall_points_per_second,
