@@ -47,13 +47,23 @@ void ErrorClusterFeature::Merge(const ErrorClusterFeature& other) {
 
 void ErrorClusterFeature::Subtract(const ErrorClusterFeature& other) {
   UMICRO_CHECK(other.dimensions() == dimensions());
+  weight_ -= other.weight_;
+  if (weight_ <= 0.0) {
+    // An over-subtracted cluster is empty. Clamping only the weight
+    // while leaving cf1 nonzero used to hand Centroid() a near-zero
+    // divisor and inject huge coordinates downstream; all statistics
+    // are zeroed together so the clamp is self-consistent.
+    weight_ = 0.0;
+    std::fill(cf1_.begin(), cf1_.end(), 0.0);
+    std::fill(cf2_.begin(), cf2_.end(), 0.0);
+    std::fill(ef2_.begin(), ef2_.end(), 0.0);
+    return;
+  }
   for (std::size_t j = 0; j < dimensions(); ++j) {
     cf1_[j] -= other.cf1_[j];
     cf2_[j] = std::max(0.0, cf2_[j] - other.cf2_[j]);
     ef2_[j] = std::max(0.0, ef2_[j] - other.ef2_[j]);
   }
-  weight_ -= other.weight_;
-  if (weight_ < 0.0) weight_ = 0.0;
 }
 
 void ErrorClusterFeature::Scale(double factor) {

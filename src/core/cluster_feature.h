@@ -45,7 +45,9 @@ class ErrorClusterFeature {
 
   /// Subtractivity: removes `other`'s contribution (used by the pyramidal
   /// time frame to recover horizon-specific statistics). `other` must
-  /// describe a subset of this cluster's points.
+  /// describe a subset of this cluster's points. If the subtraction
+  /// drives the weight to (or past) zero, the whole feature vector is
+  /// zeroed -- a cluster with no weight has no statistics.
   void Subtract(const ErrorClusterFeature& other);
 
   /// Multiplies every additive statistic by `factor` (exponential time

@@ -19,6 +19,19 @@ UMicroEngine::UMicroEngine(std::size_t dimensions, EngineOptions options)
 
 std::string UMicroEngine::name() const { return online_.name(); }
 
+void UMicroEngine::TakeCadenceSnapshot() {
+  const obs::ScopedTimer timer(snapshot_micros_);
+  const std::uint64_t tick = next_tick_++;
+  Snapshot snapshot = online_.TakeSnapshot(last_timestamp_);
+  if (sink_ != nullptr) {
+    sink_->PublishSnapshot(store_.OrderOf(tick), snapshot);
+  }
+  store_.Insert(tick, std::move(snapshot));
+  since_snapshot_ = 0;
+  snapshots_taken_->Increment();
+  snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
+}
+
 void UMicroEngine::Process(const stream::UncertainPoint& point) {
   online_.Process(point);
   // Out-of-order arrivals (merged shard replays, log replays) must not
@@ -28,11 +41,7 @@ void UMicroEngine::Process(const stream::UncertainPoint& point) {
   last_timestamp_ = std::max(last_timestamp_, point.timestamp);
   if (options_.snapshot.snapshot_every > 0 &&
       ++since_snapshot_ >= options_.snapshot.snapshot_every) {
-    const obs::ScopedTimer timer(snapshot_micros_);
-    store_.Insert(next_tick_++, online_.TakeSnapshot(last_timestamp_));
-    since_snapshot_ = 0;
-    snapshots_taken_->Increment();
-    snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
+    TakeCadenceSnapshot();
   }
 }
 
@@ -51,14 +60,25 @@ void UMicroEngine::ProcessBatch(
     offset += take;
     if (every > 0) {
       since_snapshot_ += take;
-      if (since_snapshot_ >= every) {
-        const obs::ScopedTimer timer(snapshot_micros_);
-        store_.Insert(next_tick_++, online_.TakeSnapshot(last_timestamp_));
-        since_snapshot_ = 0;
-        snapshots_taken_->Increment();
-        snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
-      }
+      if (since_snapshot_ >= every) TakeCadenceSnapshot();
     }
+  }
+}
+
+void UMicroEngine::Flush() {
+  if (sink_ != nullptr && online_.points_processed() > 0) {
+    sink_->PublishCurrent(online_.TakeSnapshot(last_timestamp_));
+  }
+}
+
+void UMicroEngine::AttachSnapshotSink(SnapshotSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  store_.ForEach([this](std::size_t order, const Snapshot& snapshot) {
+    sink_->PublishSnapshot(order, snapshot);
+  });
+  if (online_.points_processed() > 0) {
+    sink_->PublishCurrent(online_.TakeSnapshot(last_timestamp_));
   }
 }
 
@@ -93,7 +113,8 @@ std::optional<HorizonClustering> UMicroEngine::ClusterRecent(
     double horizon, const MacroClusteringOptions& options) {
   if (online_.points_processed() == 0) return std::nullopt;
   const Snapshot current = online_.TakeSnapshot(last_timestamp_);
-  return ClusterOverHorizon(store_, current, horizon, options, &metrics_);
+  return ClusterOverHorizon(store_, current, horizon, options, &metrics_,
+                            options_.umicro.decay_lambda);
 }
 
 }  // namespace umicro::core

@@ -86,9 +86,18 @@ class ClusteringEngine : public stream::StreamClusterer {
   virtual std::optional<HorizonClustering> ClusterRecent(
       double horizon, const MacroClusteringOptions& options) = 0;
 
-  /// Completes all in-flight work so reads see current state (no-op for
-  /// a sequential engine; drains + merges for a sharded one).
+  /// Completes all in-flight work so reads see current state (drains +
+  /// merges for a sharded engine) and, with a snapshot sink attached,
+  /// publishes a fresh "current" view to it.
   virtual void Flush() = 0;
+
+  /// Attaches a snapshot sink (the serve layer's read replica; nullptr
+  /// detaches). The engine immediately primes the sink with every
+  /// retained pyramidal snapshot plus the live state, then keeps
+  /// publishing on snapshot cadence and on Flush(). The sink must
+  /// outlive the engine or be detached first; publications happen on
+  /// the engine's coordinator thread.
+  virtual void AttachSnapshotSink(SnapshotSink* sink) = 0;
 
   /// Snapshot store (inspection / persistence).
   virtual const SnapshotStore& store() const = 0;
@@ -152,7 +161,8 @@ class UMicroEngine : public ClusteringEngine {
   // ClusteringEngine interface.
   std::optional<HorizonClustering> ClusterRecent(
       double horizon, const MacroClusteringOptions& options) override;
-  void Flush() override {}
+  void Flush() override;
+  void AttachSnapshotSink(SnapshotSink* sink) override;
   EngineState ExportEngineState() override;
   bool RestoreEngineState(const EngineState& state) override;
   const SnapshotStore& store() const override { return store_; }
@@ -162,10 +172,14 @@ class UMicroEngine : public ClusteringEngine {
   const UMicro& online() const { return online_; }
 
  private:
+  /// Takes the cadence snapshot: stores it, publishes it to the sink.
+  void TakeCadenceSnapshot();
+
   EngineOptions options_;
   obs::MetricsRegistry metrics_;
   UMicro online_;
   SnapshotStore store_;
+  SnapshotSink* sink_ = nullptr;
   obs::Histogram* snapshot_micros_;
   obs::Counter* snapshots_taken_;
   obs::Gauge* snapshots_stored_;

@@ -5,23 +5,36 @@
 
 namespace umicro::core {
 
-std::optional<HorizonClustering> ClusterOverHorizon(
-    const SnapshotStore& store, const Snapshot& current, double horizon,
-    const MacroClusteringOptions& options, obs::MetricsRegistry* metrics) {
+namespace {
+
+/// Bucket bounds for the realized-horizon fidelity histogram: ratios
+/// cluster tightly around 1.0, so the resolution sits there.
+std::vector<double> RealizedRatioBounds() {
+  return {0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0};
+}
+
+}  // namespace
+
+std::optional<HorizonClustering> ClusterWindow(
+    const Snapshot& current, const Snapshot& older, double horizon,
+    double decay_lambda, const MacroClusteringOptions& options,
+    obs::MetricsRegistry* metrics) {
   UMICRO_CHECK(horizon > 0.0);
-  if (metrics != nullptr) metrics->GetCounter("horizon.queries").Increment();
-  const auto older = store.FindNearest(current.time - horizon);
-  if (!older.has_value()) return std::nullopt;
-  if (older->time > current.time) return std::nullopt;
+  UMICRO_CHECK(older.time <= current.time);
 
   HorizonClustering result;
-  result.realized_horizon = current.time - older->time;
+  result.realized_horizon = current.time - older.time;
+  result.realized_ratio = result.realized_horizon / horizon;
+  if (metrics != nullptr) {
+    metrics->GetHistogram("horizon.realized_ratio", RealizedRatioBounds())
+        .Record(result.realized_ratio);
+  }
   {
     const obs::ScopedTimer timer(
         metrics != nullptr
             ? &metrics->GetHistogram("snapshot.subtract_micros")
             : nullptr);
-    result.window = SubtractSnapshot(current, *older);
+    result.window = SubtractSnapshot(current, older, decay_lambda);
   }
   if (result.window.empty()) return std::nullopt;
   {
@@ -31,6 +44,26 @@ std::optional<HorizonClustering> ClusterOverHorizon(
     result.macro = ClusterMicroClusters(result.window, options);
   }
   return result;
+}
+
+std::optional<HorizonClustering> ClusterOverHorizon(
+    const SnapshotStore& store, const Snapshot& current, double horizon,
+    const MacroClusteringOptions& options, obs::MetricsRegistry* metrics,
+    double decay_lambda) {
+  UMICRO_CHECK(horizon > 0.0);
+  if (metrics != nullptr) metrics->GetCounter("horizon.queries").Increment();
+  // Prefer the snapshot at or before t_c - h: its window covers at least
+  // the requested horizon. FindNearest could return a snapshot newer
+  // than t_c - h -- arbitrarily close to t_c -- silently collapsing the
+  // realized horizon; it remains only as the fallback when the horizon
+  // predates everything retained (where "nearest" is the earliest
+  // stored snapshot and the shortfall is unavoidable).
+  auto older = store.FindAtOrBefore(current.time - horizon);
+  if (!older.has_value()) older = store.FindNearest(current.time - horizon);
+  if (!older.has_value()) return std::nullopt;
+  if (older->time > current.time) return std::nullopt;
+  return ClusterWindow(current, *older, horizon, decay_lambda, options,
+                       metrics);
 }
 
 }  // namespace umicro::core

@@ -15,26 +15,48 @@ namespace umicro::core {
 
 /// Result of a horizon query.
 struct HorizonClustering {
-  /// The horizon actually realized, h' (closest stored snapshot).
+  /// The horizon actually realized, h' (distance to the chosen stored
+  /// snapshot). With at-or-before selection h' >= h; only the fallback
+  /// (no snapshot at or before t - h, e.g. a horizon longer than the
+  /// retained history) realizes a shorter window.
   double realized_horizon = 0.0;
+  /// realized_horizon / requested horizon. 1.0 is an exact hit; values
+  /// below 1.0 mean the window silently covers less than asked for.
+  double realized_ratio = 0.0;
   /// Micro-cluster statistics covering exactly (t_c - h', t_c].
   std::vector<MicroClusterState> window;
   /// Macro-clustering of the window (k centroids + assignment).
   MacroClustering macro;
 };
 
+/// Subtracts `older` from `current` (decay-corrected by `decay_lambda`,
+/// see SubtractSnapshot) and macro-clusters the residual window. This is
+/// the snapshot-selection-free half of a horizon query, shared by
+/// ClusterOverHorizon and the serve layer's read replica (which selects
+/// the older snapshot from its own published history). Returns
+/// std::nullopt when the window is empty. With a registry attached,
+/// records "snapshot.subtract_micros", "horizon.macro_micros", and the
+/// "horizon.realized_ratio" histogram.
+std::optional<HorizonClustering> ClusterWindow(
+    const Snapshot& current, const Snapshot& older, double horizon,
+    double decay_lambda, const MacroClusteringOptions& options,
+    obs::MetricsRegistry* metrics = nullptr);
+
 /// Answers "cluster the last `horizon` time units into `k` groups":
-/// finds the stored snapshot nearest to `current.time - horizon`,
-/// subtracts it from `current`, and macro-clusters the residual window.
-/// Returns std::nullopt when the store holds no usable snapshot or the
-/// window is empty. With a registry attached, records the query count
-/// plus subtract and macro-clustering latency histograms
-/// ("horizon.queries", "snapshot.subtract_micros",
-/// "horizon.macro_micros").
+/// finds the stored snapshot at or before `current.time - horizon`
+/// (falling back to the nearest stored snapshot only when none exists at
+/// or before that instant -- i.e. the horizon predates retention),
+/// subtracts it from `current` with decay correction, and macro-clusters
+/// the residual window. Returns std::nullopt when the store holds no
+/// usable snapshot or the window is empty. With a registry attached,
+/// records the query count plus subtract and macro-clustering latency
+/// histograms and the realized-horizon fidelity ("horizon.queries",
+/// "snapshot.subtract_micros", "horizon.macro_micros",
+/// "horizon.realized_ratio").
 std::optional<HorizonClustering> ClusterOverHorizon(
     const SnapshotStore& store, const Snapshot& current, double horizon,
     const MacroClusteringOptions& options,
-    obs::MetricsRegistry* metrics = nullptr);
+    obs::MetricsRegistry* metrics = nullptr, double decay_lambda = 0.0);
 
 }  // namespace umicro::core
 

@@ -9,8 +9,12 @@
 namespace umicro::core {
 
 namespace {
-/// Weight below which a subtracted cluster is considered empty.
+/// Absolute weight floor below which a subtracted cluster is empty.
 constexpr double kMinResidualWeight = 1e-9;
+/// Relative floor: a residual lighter than this fraction of the weight
+/// that was subtracted from it is floating-point cancellation noise,
+/// not window mass (its centroid would be noise divided by noise).
+constexpr double kMinResidualFraction = 1e-6;
 }  // namespace
 
 SnapshotStore::SnapshotStore(std::size_t alpha, std::size_t l)
@@ -99,8 +103,17 @@ std::size_t SnapshotStore::TotalStored() const {
 }
 
 std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
-                                                const Snapshot& older) {
+                                                const Snapshot& older,
+                                                double decay_lambda) {
   UMICRO_CHECK(older.time <= current.time);
+  UMICRO_CHECK(decay_lambda >= 0.0);
+  // Live ECFs have been decayed to current.time while the stored ones
+  // froze at older.time; bring the older statistics forward to the same
+  // reference instant before subtracting.
+  const double decay_factor =
+      decay_lambda > 0.0
+          ? std::exp2(-decay_lambda * (current.time - older.time))
+          : 1.0;
   std::unordered_map<std::uint64_t, const MicroClusterState*> older_by_id;
   older_by_id.reserve(older.clusters.size());
   for (const auto& state : older.clusters) {
@@ -117,8 +130,12 @@ std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
       continue;
     }
     MicroClusterState window = state;
-    window.ecf.Subtract(it->second->ecf);
-    if (window.ecf.weight() > kMinResidualWeight) {
+    ErrorClusterFeature scaled = it->second->ecf;
+    if (decay_factor != 1.0) scaled.Scale(decay_factor);
+    window.ecf.Subtract(scaled);
+    const double floor = std::max(kMinResidualWeight,
+                                  kMinResidualFraction * scaled.weight());
+    if (window.ecf.weight() > floor) {
       result.push_back(std::move(window));
     }
   }

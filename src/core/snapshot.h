@@ -61,6 +61,26 @@ struct SnapshotStoreState {
   std::vector<std::vector<Snapshot>> orders;
 };
 
+/// Receiver of snapshot publications (the serve layer's read replica).
+///
+/// Engines call this on the ingest/coordinator thread, never
+/// concurrently with itself; implementations make the published state
+/// visible to readers on other threads (see serve/replica.h).
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+
+  /// A pyramidal-cadence snapshot was just stored at ring `order`
+  /// (SnapshotStore::OrderOf of its tick). Entering the same order with
+  /// the same retention reproduces the store's ring contents exactly.
+  virtual void PublishSnapshot(std::size_t order, const Snapshot& snapshot) = 0;
+
+  /// A fresh off-cadence view of the live state (attach / flush /
+  /// quiesce): becomes the replica's "current" snapshot but does not
+  /// enter pyramidal retention.
+  virtual void PublishCurrent(const Snapshot& snapshot) = 0;
+};
+
 /// Pyramidal retention store for snapshots.
 class SnapshotStore {
  public:
@@ -85,6 +105,15 @@ class SnapshotStore {
 
   /// Total number of snapshots currently retained (storage-cost metric).
   std::size_t TotalStored() const;
+
+  /// Visits every retained snapshot as (order, snapshot), oldest first
+  /// within each order ring (replica priming after recovery/attach).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t order = 0; order < orders_.size(); ++order) {
+      for (const auto& snapshot : orders_[order]) fn(order, snapshot);
+    }
+  }
 
   /// Number of order levels currently in use.
   std::size_t NumOrders() const { return orders_.size(); }
@@ -117,10 +146,24 @@ class SnapshotStore {
 /// Clusters present in both snapshots have the older statistics
 /// subtracted; clusters created after the older snapshot are retained in
 /// their current form; clusters that vanished in between are discarded
-/// (they live only in `older`). Entries whose subtracted weight drops to
-/// (near) zero are dropped.
+/// (they live only in `older`).
+///
+/// With exponential time decay enabled (`decay_lambda` > 0, Definition
+/// 2.3), the live statistics at current.time have been scaled by
+/// 2^(-lambda * dt) since the older snapshot was taken; the older ECFs
+/// are therefore scaled by the same elapsed factor before subtracting,
+/// so the residual is exactly the decayed window mass. Subtracting the
+/// older snapshot raw (the pre-fix behaviour) over-subtracts fresh mass
+/// and retains stale mass.
+///
+/// Residuals whose weight is negligible -- below an absolute floor or
+/// below a small fraction of the (scaled) subtracted weight, i.e. pure
+/// floating-point cancellation noise -- are dropped; keeping them used
+/// to hand macro-clustering centroids at noise/noise coordinates far
+/// outside the data bounding box.
 std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
-                                                const Snapshot& older);
+                                                const Snapshot& older,
+                                                double decay_lambda = 0.0);
 
 }  // namespace umicro::core
 

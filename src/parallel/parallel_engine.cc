@@ -28,10 +28,34 @@ void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
       ++since_snapshot_ >= options_.snapshot.snapshot_every) {
     const obs::ScopedTimer timer(snapshot_micros_);
     sharded_.Flush();
-    store_.Insert(next_tick_++, sharded_.GlobalSnapshot(last_timestamp_));
+    const std::uint64_t tick = next_tick_++;
+    core::Snapshot snapshot = sharded_.GlobalSnapshot(last_timestamp_);
+    if (sink_ != nullptr) {
+      sink_->PublishSnapshot(store_.OrderOf(tick), snapshot);
+    }
+    store_.Insert(tick, std::move(snapshot));
     since_snapshot_ = 0;
     snapshots_taken_->Increment();
     snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
+  }
+}
+
+void ParallelUMicroEngine::Flush() {
+  sharded_.Flush();
+  if (sink_ != nullptr && sharded_.points_processed() > 0) {
+    sink_->PublishCurrent(sharded_.GlobalSnapshot(last_timestamp_));
+  }
+}
+
+void ParallelUMicroEngine::AttachSnapshotSink(core::SnapshotSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  store_.ForEach([this](std::size_t order, const core::Snapshot& snapshot) {
+    sink_->PublishSnapshot(order, snapshot);
+  });
+  if (sharded_.points_processed() > 0) {
+    sharded_.Flush();
+    sink_->PublishCurrent(sharded_.GlobalSnapshot(last_timestamp_));
   }
 }
 
@@ -83,7 +107,8 @@ std::optional<core::HorizonClustering> ParallelUMicroEngine::ClusterRecent(
   sharded_.Flush();
   const core::Snapshot current = sharded_.GlobalSnapshot(last_timestamp_);
   return core::ClusterOverHorizon(store_, current, horizon, options,
-                                  &sharded_.metrics());
+                                  &sharded_.metrics(),
+                                  options_.sharded.umicro.decay_lambda);
 }
 
 }  // namespace umicro::parallel

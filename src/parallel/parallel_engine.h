@@ -71,8 +71,10 @@ class ParallelUMicroEngine : public core::ClusteringEngine {
   // ClusteringEngine interface.
   std::optional<core::HorizonClustering> ClusterRecent(
       double horizon, const core::MacroClusteringOptions& options) override;
-  /// Drains the pipeline and refreshes the merged global view.
-  void Flush() override { sharded_.Flush(); }
+  /// Drains the pipeline, refreshes the merged global view, and
+  /// publishes it to an attached snapshot sink.
+  void Flush() override;
+  void AttachSnapshotSink(core::SnapshotSink* sink) override;
   core::EngineState ExportEngineState() override;
   bool RestoreEngineState(const core::EngineState& state) override;
   const core::SnapshotStore& store() const override { return store_; }
@@ -87,6 +89,7 @@ class ParallelUMicroEngine : public core::ClusteringEngine {
   ParallelEngineOptions options_;
   ShardedUMicro sharded_;
   core::SnapshotStore store_;
+  core::SnapshotSink* sink_ = nullptr;
   obs::Histogram* snapshot_micros_;
   obs::Counter* snapshots_taken_;
   obs::Gauge* snapshots_stored_;

@@ -1,0 +1,239 @@
+#include "serve/query_broker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "obs/scoped_timer.h"
+#include "util/check.h"
+
+namespace umicro::serve {
+
+QueryBroker::QueryBroker(const SnapshotReadReplica* replica,
+                         QueryBrokerOptions options,
+                         obs::MetricsRegistry* metrics)
+    : replica_(replica), options_(options), metrics_(metrics) {
+  UMICRO_CHECK(replica != nullptr);
+  UMICRO_CHECK(options_.num_threads >= 1);
+  UMICRO_CHECK(options_.max_queue >= 1);
+  if (metrics_ != nullptr) {
+    queries_ = &metrics_->GetCounter("serve.queries");
+    errors_ = &metrics_->GetCounter("serve.errors");
+    query_micros_ = &metrics_->GetHistogram("serve.query_micros");
+    queue_depth_gauge_ = &metrics_->GetGauge("serve.queue_depth");
+    queue_depth_peak_ = &metrics_->GetGauge("serve.queue_depth_peak");
+  }
+  workers_.reserve(options_.num_threads);
+  for (std::size_t i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryBroker::~QueryBroker() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_nonempty_.notify_all();
+  queue_nonfull_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<QueryResponse> QueryBroker::Submit(QueryRequest request) {
+  PendingQuery pending;
+  pending.request = std::move(request);
+  std::future<QueryResponse> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_nonfull_.wait(lock, [this] {
+      return queue_.size() < options_.max_queue || shutdown_;
+    });
+    if (shutdown_) {
+      pending.promise.set_value(
+          {false, "broker shutting down", 0, {}, {}, false, 0.0, {}});
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      queue_depth_peak_->SetMax(static_cast<double>(queue_.size()));
+    }
+  }
+  queue_nonempty_.notify_one();
+  return future;
+}
+
+void QueryBroker::WorkerLoop() {
+  for (;;) {
+    PendingQuery pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_nonempty_.wait(lock,
+                           [this] { return !queue_.empty() || shutdown_; });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      }
+    }
+    queue_nonfull_.notify_one();
+    pending.promise.set_value(Execute(pending.request));
+  }
+}
+
+std::size_t QueryBroker::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+QueryResponse QueryBroker::Execute(const QueryRequest& request) const {
+  const obs::ScopedTimer timer(query_micros_);
+  if (queries_ != nullptr) {
+    queries_->Increment();
+  } else {
+    served_fallback_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::shared_ptr<const ReplicaState> state = replica_->Acquire();
+  QueryResponse response;
+  switch (request.kind) {
+    case QueryRequest::Kind::kClusterRecent:
+      response = ExecuteClusterRecent(request, *state);
+      break;
+    case QueryRequest::Kind::kNearest:
+      response = ExecuteNearest(request, *state);
+      break;
+    case QueryRequest::Kind::kAnomaly:
+      response = ExecuteAnomaly(request, *state);
+      break;
+    case QueryRequest::Kind::kStats:
+      response = ExecuteStats(*state);
+      break;
+  }
+  if (!response.ok && errors_ != nullptr) errors_->Increment();
+  return response;
+}
+
+QueryResponse QueryBroker::ExecuteClusterRecent(
+    const QueryRequest& request, const ReplicaState& state) const {
+  QueryResponse response;
+  response.publish_seq = state.publish_seq;
+  if (request.horizon <= 0.0) {
+    response.error = "horizon must be positive";
+    return response;
+  }
+  response.ok = true;
+  if (state.current == nullptr) return response;  // nothing published yet
+  // Mirror ClusterOverHorizon's selection over the replica history:
+  // at-or-before preferred, nearest as the predates-retention fallback.
+  const core::Snapshot* older = SnapshotReadReplica::FindAtOrBefore(
+      state, state.current->time - request.horizon);
+  if (older == nullptr) {
+    older = SnapshotReadReplica::FindNearest(
+        state, state.current->time - request.horizon);
+  }
+  if (older == nullptr || older->time > state.current->time) return response;
+  core::MacroClusteringOptions macro = options_.macro;
+  if (request.k > 0) macro.k = request.k;
+  response.clustering =
+      core::ClusterWindow(*state.current, *older, request.horizon,
+                          replica_->decay_lambda(), macro, metrics_);
+  return response;
+}
+
+QueryResponse QueryBroker::ExecuteNearest(const QueryRequest& request,
+                                          const ReplicaState& state) const {
+  QueryResponse response;
+  response.publish_seq = state.publish_seq;
+  if (state.current != nullptr && !state.current->clusters.empty() &&
+      request.values.size() != state.current->clusters[0].ecf.dimensions()) {
+    response.error = "probe dimensionality mismatch";
+    return response;
+  }
+  response.ok = true;
+  if (state.current == nullptr) return response;
+  const NearestResult* found = nullptr;
+  NearestResult best;
+  for (const auto& cluster : state.current->clusters) {
+    if (cluster.ecf.empty()) continue;
+    double dist2 = 0.0;
+    for (std::size_t j = 0; j < request.values.size(); ++j) {
+      const double delta = request.values[j] - cluster.ecf.CentroidAt(j);
+      dist2 += delta * delta;
+    }
+    if (found == nullptr || dist2 < best.distance) {
+      best.cluster_id = cluster.id;
+      best.distance = dist2;
+      best.weight = cluster.ecf.weight();
+      found = &best;
+    }
+  }
+  if (found != nullptr) {
+    best.distance = std::sqrt(best.distance);
+    for (const auto& cluster : state.current->clusters) {
+      if (cluster.id == best.cluster_id) {
+        best.centroid = cluster.ecf.Centroid();
+        break;
+      }
+    }
+    response.nearest = std::move(best);
+  }
+  return response;
+}
+
+QueryResponse QueryBroker::ExecuteAnomaly(const QueryRequest& request,
+                                          const ReplicaState& state) const {
+  QueryResponse response = ExecuteNearest(request, state);
+  if (!response.ok || !response.nearest.has_value()) return response;
+  // Figure 1's novelty rule against the published state: a probe is
+  // anomalous when no cluster could absorb it, i.e. it sits beyond
+  // t standard deviations of the uncertain radius of every mature
+  // cluster. A (near-)singleton's radius is uninformative (zero), so
+  // singletons never vouch for a probe; before any mature cluster
+  // exists everything reads as novel, matching the algorithm's
+  // cold-start behaviour.
+  response.anomalous = true;
+  response.boundary = 0.0;
+  for (const auto& cluster : state.current->clusters) {
+    if (cluster.ecf.empty() || cluster.ecf.weight() < 2.0) continue;
+    double dist2 = 0.0;
+    for (std::size_t j = 0; j < request.values.size(); ++j) {
+      const double delta = request.values[j] - cluster.ecf.CentroidAt(j);
+      dist2 += delta * delta;
+    }
+    const double boundary =
+        options_.boundary_factor * cluster.ecf.UncertainRadius();
+    if (cluster.id == response.nearest->cluster_id ||
+        boundary > response.boundary) {
+      response.boundary = boundary;
+    }
+    if (std::sqrt(dist2) <= boundary) {
+      response.anomalous = false;
+      response.boundary = boundary;
+      break;
+    }
+  }
+  return response;
+}
+
+QueryResponse QueryBroker::ExecuteStats(const ReplicaState& state) const {
+  QueryResponse response;
+  response.ok = true;
+  response.publish_seq = state.publish_seq;
+  ServeStats stats;
+  stats.publish_seq = state.publish_seq;
+  stats.published_time =
+      state.current != nullptr ? state.current->time : 0.0;
+  stats.live_clusters =
+      state.current != nullptr ? state.current->clusters.size() : 0;
+  stats.snapshots_retained = state.history.size();
+  stats.queries_served = queries_served();
+  stats.queue_depth = queue_depth();
+  response.stats = stats;
+  return response;
+}
+
+}  // namespace umicro::serve

@@ -1,0 +1,175 @@
+// QueryBroker: concurrent query answering over a SnapshotReadReplica.
+//
+// N worker threads drain a bounded queue of queries; every query runs
+// against an Acquire()d immutable ReplicaState, so nothing a query does
+// can stall Process/ProcessBatch on the engine thread. Submit() hands
+// back a future; Execute() answers synchronously on the caller's thread
+// through the identical code path (the quiesced-equality tests use it).
+//
+// Query kinds (the paper's interactive analysis, Section II-D, served):
+//   kClusterRecent -- "cluster the last h time units into k groups"
+//                     via decay-corrected snapshot subtraction;
+//   kNearest       -- closest micro-cluster to a probe point;
+//   kAnomaly       -- is the probe outside the nearest cluster's
+//                     critical uncertainty boundary (t standard
+//                     deviations of the uncertain radius)?
+//   kStats         -- replica/broker health.
+//
+// Metrics (in the registry passed at construction, usually the
+// engine's): serve.queries, serve.errors, serve.query_micros,
+// serve.queue_depth (live gauge), serve.queue_depth_peak.
+
+#ifndef UMICRO_SERVE_QUERY_BROKER_H_
+#define UMICRO_SERVE_QUERY_BROKER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/horizon.h"
+#include "core/macro_cluster.h"
+#include "obs/metrics.h"
+#include "serve/replica.h"
+
+namespace umicro::serve {
+
+/// Broker configuration.
+struct QueryBrokerOptions {
+  /// Worker threads answering queries (>= 1).
+  std::size_t num_threads = 4;
+  /// Submit() blocks when this many queries are already queued
+  /// (backpressure toward the front end, never toward ingest).
+  std::size_t max_queue = 1024;
+  /// Uncertainty-boundary width for kAnomaly (the paper's t).
+  double boundary_factor = 3.0;
+  /// Macro-clustering defaults for kClusterRecent; a request's k
+  /// overrides options.macro.k when nonzero.
+  core::MacroClusteringOptions macro;
+};
+
+/// One query.
+struct QueryRequest {
+  enum class Kind { kClusterRecent, kNearest, kAnomaly, kStats };
+  Kind kind = Kind::kStats;
+  /// kClusterRecent: horizon h in stream time units (> 0).
+  double horizon = 0.0;
+  /// kClusterRecent: macro-cluster count; 0 = broker default.
+  std::size_t k = 0;
+  /// kNearest / kAnomaly: the probe point's coordinates.
+  std::vector<double> values;
+};
+
+/// kNearest payload.
+struct NearestResult {
+  std::uint64_t cluster_id = 0;
+  double distance = 0.0;
+  double weight = 0.0;
+  std::vector<double> centroid;
+};
+
+/// kStats payload.
+struct ServeStats {
+  std::uint64_t publish_seq = 0;
+  double published_time = 0.0;
+  std::size_t live_clusters = 0;
+  std::size_t snapshots_retained = 0;
+  std::uint64_t queries_served = 0;
+  std::size_t queue_depth = 0;
+};
+
+/// One answer. `ok` is false only for malformed requests (wrong arity,
+/// nonpositive horizon); an empty replica yields ok with empty payloads.
+struct QueryResponse {
+  bool ok = false;
+  std::string error;
+  /// Publication the answer was computed against (0 = nothing published).
+  std::uint64_t publish_seq = 0;
+  /// kClusterRecent: nullopt when the replica holds no usable window.
+  std::optional<core::HorizonClustering> clustering;
+  /// kNearest / kAnomaly: nullopt when no clusters are published.
+  std::optional<NearestResult> nearest;
+  /// kAnomaly verdict + the boundary it was judged against.
+  bool anomalous = false;
+  double boundary = 0.0;
+  /// kStats payload.
+  std::optional<ServeStats> stats;
+};
+
+/// Concurrent query front end over the replica.
+class QueryBroker {
+ public:
+  /// `replica` must outlive the broker. `metrics` (optional) receives
+  /// the serve.* instruments; pass the engine's registry so one export
+  /// covers ingest and serving.
+  QueryBroker(const SnapshotReadReplica* replica, QueryBrokerOptions options,
+              obs::MetricsRegistry* metrics = nullptr);
+
+  QueryBroker(const QueryBroker&) = delete;
+  QueryBroker& operator=(const QueryBroker&) = delete;
+
+  /// Drains the queue and joins the workers.
+  ~QueryBroker();
+
+  /// Enqueues a query for the worker pool; blocks while the queue is at
+  /// max_queue. The future resolves when a worker answers.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Answers synchronously on the calling thread (same code path the
+  /// workers run).
+  QueryResponse Execute(const QueryRequest& request) const;
+
+  /// Queries currently waiting for a worker.
+  std::size_t queue_depth() const;
+
+  /// Queries answered so far (workers + Execute).
+  std::uint64_t queries_served() const {
+    return queries_ != nullptr
+               ? queries_->value()
+               : served_fallback_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PendingQuery {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+  };
+
+  void WorkerLoop();
+
+  QueryResponse ExecuteClusterRecent(const QueryRequest& request,
+                                     const ReplicaState& state) const;
+  QueryResponse ExecuteNearest(const QueryRequest& request,
+                               const ReplicaState& state) const;
+  QueryResponse ExecuteAnomaly(const QueryRequest& request,
+                               const ReplicaState& state) const;
+  QueryResponse ExecuteStats(const ReplicaState& state) const;
+
+  const SnapshotReadReplica* replica_;
+  const QueryBrokerOptions options_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* queries_ = nullptr;
+  obs::Counter* errors_ = nullptr;
+  obs::Histogram* query_micros_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* queue_depth_peak_ = nullptr;
+  /// Served tally when no registry is attached.
+  mutable std::atomic<std::uint64_t> served_fallback_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_nonempty_;
+  std::condition_variable queue_nonfull_;
+  std::deque<PendingQuery> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace umicro::serve
+
+#endif  // UMICRO_SERVE_QUERY_BROKER_H_

@@ -1,0 +1,96 @@
+#include "serve/replica.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace umicro::serve {
+
+namespace {
+
+std::size_t CapacityPerOrder(const core::SnapshotPolicy& policy) {
+  UMICRO_CHECK(policy.pyramid_alpha >= 2);
+  UMICRO_CHECK(policy.pyramid_l >= 1);
+  double capacity = 1.0;
+  for (std::size_t i = 0; i < policy.pyramid_l; ++i) {
+    capacity *= static_cast<double>(policy.pyramid_alpha);
+  }
+  UMICRO_CHECK_MSG(capacity <= 1e9, "alpha^l too large to retain");
+  return static_cast<std::size_t>(capacity) + 1;
+}
+
+}  // namespace
+
+SnapshotReadReplica::SnapshotReadReplica(const core::SnapshotPolicy& policy,
+                                         double decay_lambda)
+    : capacity_per_order_(CapacityPerOrder(policy)),
+      decay_lambda_(decay_lambda),
+      state_(std::make_shared<const ReplicaState>()) {
+  UMICRO_CHECK(decay_lambda >= 0.0);
+}
+
+void SnapshotReadReplica::PublishSnapshot(std::size_t order,
+                                          const core::Snapshot& snapshot) {
+  auto shared = std::make_shared<const core::Snapshot>(snapshot);
+  if (order >= orders_.size()) orders_.resize(order + 1);
+  auto& ring = orders_[order];
+  ring.push_back(shared);
+  if (ring.size() > capacity_per_order_) ring.pop_front();
+  // A cadence snapshot is also the freshest view of the live state.
+  current_ = std::move(shared);
+  InstallState();
+}
+
+void SnapshotReadReplica::PublishCurrent(const core::Snapshot& snapshot) {
+  current_ = std::make_shared<const core::Snapshot>(snapshot);
+  InstallState();
+}
+
+void SnapshotReadReplica::InstallState() {
+  auto next = std::make_shared<ReplicaState>();
+  next->publish_seq = ++publish_seq_;
+  next->current = current_;
+  std::size_t total = 0;
+  for (const auto& ring : orders_) total += ring.size();
+  next->history.reserve(total);
+  for (const auto& ring : orders_) {
+    next->history.insert(next->history.end(), ring.begin(), ring.end());
+  }
+  std::sort(next->history.begin(), next->history.end(),
+            [](const auto& a, const auto& b) { return a->time < b->time; });
+  std::shared_ptr<const ReplicaState> installed(std::move(next));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  state_.swap(installed);
+}
+
+std::shared_ptr<const ReplicaState> SnapshotReadReplica::Acquire() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+const core::Snapshot* SnapshotReadReplica::FindAtOrBefore(
+    const ReplicaState& state, double time) {
+  const core::Snapshot* best = nullptr;
+  for (const auto& snapshot : state.history) {
+    if (snapshot->time > time) break;  // history is ascending by time
+    best = snapshot.get();
+  }
+  return best;
+}
+
+const core::Snapshot* SnapshotReadReplica::FindNearest(
+    const ReplicaState& state, double time) {
+  const core::Snapshot* best = nullptr;
+  double best_diff = 0.0;
+  for (const auto& snapshot : state.history) {
+    const double diff = std::abs(snapshot->time - time);
+    if (best == nullptr || diff < best_diff) {
+      best = snapshot.get();
+      best_diff = diff;
+    }
+  }
+  return best;
+}
+
+}  // namespace umicro::serve

@@ -1,0 +1,102 @@
+// SnapshotReadReplica: the immutable published view query threads read.
+//
+// The engine (one coordinator thread) publishes on snapshot cadence via
+// the core::SnapshotSink interface; each publication builds a fresh
+// ReplicaState -- a copy-on-publish value that shares the unchanged
+// Snapshot objects with its predecessors through shared_ptr -- and
+// swaps it in under a pointer-sized critical section. Readers Acquire()
+// a shared_ptr copy and keep a consistent view for as long as they hold
+// it, no matter how many publications happen meanwhile. No lock is ever
+// held across a query or across snapshot construction; the only point
+// where ingest and readers can touch is the one-pointer swap/copy.
+//
+// The replica mirrors the engine store's pyramidal retention exactly
+// (same per-order rings, same capacity), so the snapshot a replica
+// query selects is the same one an in-process ClusterRecent would
+// select -- the quiesced-equality guarantee the serve tests assert.
+
+#ifndef UMICRO_SERVE_REPLICA_H_
+#define UMICRO_SERVE_REPLICA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace umicro::serve {
+
+/// One published, immutable view of the engine's snapshot state.
+struct ReplicaState {
+  /// Monotone publication sequence number (0 = never published).
+  std::uint64_t publish_seq = 0;
+  /// The freshest view of the live micro-cluster set; null before any
+  /// data has been published.
+  std::shared_ptr<const core::Snapshot> current;
+  /// Pyramid-retained snapshot history, ascending by time. Entries are
+  /// shared with earlier/later states; only the vector is per-state.
+  std::vector<std::shared_ptr<const core::Snapshot>> history;
+};
+
+/// Copy-on-publish snapshot replica behind a guarded shared_ptr swap.
+class SnapshotReadReplica : public core::SnapshotSink {
+ public:
+  /// `policy` must match the engine's snapshot policy (alpha / l drive
+  /// the mirrored retention); `decay_lambda` is the engine's decay rate,
+  /// threaded into horizon subtraction by the query broker.
+  SnapshotReadReplica(const core::SnapshotPolicy& policy,
+                      double decay_lambda);
+
+  // core::SnapshotSink (engine thread only).
+  void PublishSnapshot(std::size_t order,
+                       const core::Snapshot& snapshot) override;
+  void PublishCurrent(const core::Snapshot& snapshot) override;
+
+  /// The current published state (never null; publish_seq == 0 and a
+  /// null `current` before the first publication). Safe from any thread;
+  /// the returned state never mutates.
+  std::shared_ptr<const ReplicaState> Acquire() const;
+
+  /// The engine's decay rate lambda (horizon subtraction correction).
+  double decay_lambda() const { return decay_lambda_; }
+
+  /// Publications so far.
+  std::uint64_t publish_seq() const { return publish_seq_; }
+
+  /// Latest history snapshot at or before `time`; nullptr if none.
+  static const core::Snapshot* FindAtOrBefore(const ReplicaState& state,
+                                              double time);
+
+  /// History snapshot nearest to `time`; nullptr on empty history.
+  static const core::Snapshot* FindNearest(const ReplicaState& state,
+                                           double time);
+
+ private:
+  /// Rebuilds and atomically installs a new ReplicaState from the
+  /// writer-side rings + current pointer.
+  void InstallState();
+
+  const std::size_t capacity_per_order_;
+  const double decay_lambda_;
+  /// Writer-side retention rings (engine thread only), mirroring
+  /// SnapshotStore: orders_[i] holds order-i snapshots, oldest first.
+  std::vector<std::deque<std::shared_ptr<const core::Snapshot>>> orders_;
+  std::shared_ptr<const core::Snapshot> current_;
+  std::uint64_t publish_seq_ = 0;
+  /// Guards only the `state_` pointer itself. Held for one shared_ptr
+  /// copy (Acquire) or swap (publish) -- never across a query, never
+  /// across snapshot construction -- so ingest can stall behind a
+  /// reader for at most a refcount bump. (std::atomic<shared_ptr>
+  /// would drop even that, but libstdc++'s lock-free protocol is
+  /// opaque to TSan; a pointer-sized critical section keeps the
+  /// concurrency tests sanitizer-clean.)
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ReplicaState> state_;
+};
+
+}  // namespace umicro::serve
+
+#endif  // UMICRO_SERVE_REPLICA_H_

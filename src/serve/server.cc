@@ -1,0 +1,228 @@
+#include "serve/server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace umicro::serve {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+/// Parses a strict double; false on trailing garbage.
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size() && !text.empty();
+}
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string FormatClusterResponse(const QueryResponse& response) {
+  std::ostringstream out;
+  if (!response.clustering.has_value()) {
+    out << "OK CLUSTER seq=" << response.publish_seq
+        << " centroids=0 empty=1\nEND";
+    return out.str();
+  }
+  const core::HorizonClustering& clustering = *response.clustering;
+  out << "OK CLUSTER seq=" << response.publish_seq
+      << " realized=" << FormatDouble(clustering.realized_horizon)
+      << " ratio=" << FormatDouble(clustering.realized_ratio)
+      << " window=" << clustering.window.size()
+      << " centroids=" << clustering.macro.centroids.size() << "\n";
+  // Per-macro-cluster weight: the window mass assigned to it.
+  std::vector<double> weights(clustering.macro.centroids.size(), 0.0);
+  for (std::size_t i = 0; i < clustering.macro.assignment.size(); ++i) {
+    const int target = clustering.macro.assignment[i];
+    if (target >= 0 && static_cast<std::size_t>(target) < weights.size()) {
+      weights[target] += clustering.window[i].ecf.weight();
+    }
+  }
+  for (std::size_t i = 0; i < clustering.macro.centroids.size(); ++i) {
+    out << "C " << FormatDouble(weights[i]);
+    for (const double coordinate : clustering.macro.centroids[i]) {
+      out << ' ' << FormatDouble(coordinate);
+    }
+    out << '\n';
+  }
+  out << "END";
+  return out.str();
+}
+
+std::string FormatResponse(const QueryRequest& request,
+                           const QueryResponse& response) {
+  if (!response.ok) return "ERR " + response.error;
+  switch (request.kind) {
+    case QueryRequest::Kind::kClusterRecent:
+      return FormatClusterResponse(response);
+    case QueryRequest::Kind::kNearest: {
+      if (!response.nearest.has_value()) {
+        return "OK NEAREST seq=" + std::to_string(response.publish_seq) +
+               " empty=1";
+      }
+      std::ostringstream out;
+      out << "OK NEAREST seq=" << response.publish_seq
+          << " id=" << response.nearest->cluster_id
+          << " dist=" << FormatDouble(response.nearest->distance)
+          << " weight=" << FormatDouble(response.nearest->weight);
+      return out.str();
+    }
+    case QueryRequest::Kind::kAnomaly: {
+      if (!response.nearest.has_value()) {
+        return "OK ANOMALY seq=" + std::to_string(response.publish_seq) +
+               " empty=1";
+      }
+      std::ostringstream out;
+      out << "OK ANOMALY seq=" << response.publish_seq
+          << " novel=" << (response.anomalous ? 1 : 0)
+          << " dist=" << FormatDouble(response.nearest->distance)
+          << " boundary=" << FormatDouble(response.boundary);
+      return out.str();
+    }
+    case QueryRequest::Kind::kStats: {
+      const ServeStats& stats = response.stats.value();
+      std::ostringstream out;
+      out << "OK STATS seq=" << stats.publish_seq
+          << " time=" << FormatDouble(stats.published_time)
+          << " clusters=" << stats.live_clusters
+          << " snapshots=" << stats.snapshots_retained
+          << " served=" << stats.queries_served
+          << " queue=" << stats.queue_depth;
+      return out.str();
+    }
+  }
+  return "ERR internal";
+}
+
+/// Parses one request line. Returns false with `error` set on a
+/// malformed line; QUIT parses as true with `quit` set.
+bool ParseRequest(const std::vector<std::string>& tokens,
+                  QueryRequest* request, bool* quit, std::string* error) {
+  *quit = false;
+  if (tokens.empty()) {
+    *error = "empty request";
+    return false;
+  }
+  const std::string& verb = tokens[0];
+  if (verb == "QUIT") {
+    *quit = true;
+    return true;
+  }
+  if (verb == "STATS") {
+    request->kind = QueryRequest::Kind::kStats;
+    return true;
+  }
+  if (verb == "CLUSTER") {
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      *error = "usage: CLUSTER <horizon> [<k>]";
+      return false;
+    }
+    request->kind = QueryRequest::Kind::kClusterRecent;
+    if (!ParseDouble(tokens[1], &request->horizon) ||
+        request->horizon <= 0.0) {
+      *error = "horizon must be a positive number";
+      return false;
+    }
+    if (tokens.size() == 3) {
+      double k = 0.0;
+      if (!ParseDouble(tokens[2], &k) || k < 1.0) {
+        *error = "k must be a positive integer";
+        return false;
+      }
+      request->k = static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+  if (verb == "NEAREST" || verb == "ANOMALY") {
+    if (tokens.size() < 2) {
+      *error = "usage: " + verb + " <v0> <v1> ...";
+      return false;
+    }
+    request->kind = verb == "NEAREST" ? QueryRequest::Kind::kNearest
+                                      : QueryRequest::Kind::kAnomaly;
+    request->values.reserve(tokens.size() - 1);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      double value = 0.0;
+      if (!ParseDouble(tokens[i], &value)) {
+        *error = "malformed coordinate: " + tokens[i];
+        return false;
+      }
+      request->values.push_back(value);
+    }
+    return true;
+  }
+  *error = "unknown request: " + verb;
+  return false;
+}
+
+struct InFlight {
+  QueryRequest request;
+  std::future<QueryResponse> future;
+};
+
+}  // namespace
+
+std::size_t ServeLineProtocol(QueryBroker& broker, std::istream& in,
+                              std::ostream& out,
+                              const ServerOptions& options) {
+  std::size_t served = 0;
+  std::deque<InFlight> pipeline;
+  const auto drain_one = [&] {
+    InFlight& oldest = pipeline.front();
+    out << FormatResponse(oldest.request, oldest.future.get()) << '\n';
+    pipeline.pop_front();
+    ++served;
+  };
+
+  std::string line;
+  bool quit = false;
+  while (!quit && std::getline(in, line)) {
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;  // blank line: keepalive, no response
+    QueryRequest request;
+    std::string error;
+    if (!ParseRequest(tokens, &request, &quit, &error)) {
+      // Errors must come back in request order too: flush everything
+      // submitted before this line first.
+      while (!pipeline.empty()) drain_one();
+      out << "ERR " << error << '\n';
+      out.flush();
+      ++served;
+      continue;
+    }
+    if (quit) break;
+    InFlight flight;
+    flight.request = request;
+    flight.future = broker.Submit(std::move(request));
+    pipeline.push_back(std::move(flight));
+    while (pipeline.size() >= options.max_pipeline) drain_one();
+    // Answer eagerly once the stream has no buffered input, so an
+    // interactive session sees its response immediately.
+    if (in.rdbuf()->in_avail() <= 0) {
+      while (!pipeline.empty()) drain_one();
+      out.flush();
+    }
+  }
+  while (!pipeline.empty()) drain_one();
+  if (quit) out << "OK BYE\n";
+  out.flush();
+  return served;
+}
+
+}  // namespace umicro::serve

@@ -1,0 +1,50 @@
+// LineProtocolServer: a minimal text front end over the QueryBroker.
+//
+// Reads newline-terminated requests from an std::istream and writes
+// newline-terminated responses to an std::ostream, in request order.
+// Wired to stdin/stdout by `umicro_cli --serve`; any socket wrapper
+// that exposes iostreams (socat, inetd, a netcat pipe) turns it into a
+// network service without further code.
+//
+// Requests (case-sensitive, whitespace-separated):
+//   CLUSTER <horizon> [<k>]   horizon clustering; multi-line response
+//   NEAREST <v0> <v1> ...     nearest micro-cluster to the probe point
+//   ANOMALY <v0> <v1> ...     novelty verdict for the probe point
+//   STATS                     replica/broker health
+//   QUIT                      close the session
+//
+// Responses start with "OK <KIND> ..." or "ERR <message>". CLUSTER is
+// the only multi-line response: a header line, one "C <weight> <c0>
+// <c1> ..." line per macro-centroid, then "END".
+//
+// Requests are submitted to the broker asynchronously and pipelined up
+// to `max_pipeline` deep, so a burst of queries is answered by all
+// broker workers in parallel while responses still come back in order.
+
+#ifndef UMICRO_SERVE_SERVER_H_
+#define UMICRO_SERVE_SERVER_H_
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+
+#include "serve/query_broker.h"
+
+namespace umicro::serve {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Maximum in-flight (submitted, unanswered) requests before the
+  /// reader blocks on the oldest response.
+  std::size_t max_pipeline = 64;
+};
+
+/// Runs the line protocol over `in`/`out` until EOF or QUIT; returns
+/// the number of requests served. `broker` must outlive the call.
+std::size_t ServeLineProtocol(QueryBroker& broker, std::istream& in,
+                              std::ostream& out,
+                              const ServerOptions& options = {});
+
+}  // namespace umicro::serve
+
+#endif  // UMICRO_SERVE_SERVER_H_

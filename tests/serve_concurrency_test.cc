@@ -1,0 +1,346 @@
+// Concurrency and correctness tests for the query-serving layer
+// (src/serve): the copy-on-publish read replica, the broker worker
+// pool, and the line-protocol front end.
+//
+// The load-bearing assertions:
+//   * quiesced equality -- after Flush(), a broker ClusterRecent answer
+//     is bit-identical to the engine's own ClusterRecent (same snapshot
+//     selection, same decay correction, same deterministic k-means);
+//   * queries racing ingest never crash, never block ingest, and every
+//     answer is internally consistent (run under TSan in CI);
+//   * the replica state a reader holds never mutates, no matter how
+//     many publications happen meanwhile.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "parallel/parallel_engine.h"
+#include "serve/query_broker.h"
+#include "serve/replica.h"
+#include "serve/server.h"
+#include "stream/point.h"
+#include "util/random.h"
+
+namespace umicro::serve {
+namespace {
+
+using stream::UncertainPoint;
+
+std::vector<UncertainPoint> MakeStream(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<UncertainPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    points.emplace_back(
+        std::vector<double>{rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0)},
+        std::vector<double>{rng.Uniform(0.0, 0.3), rng.Uniform(0.0, 0.3)},
+        static_cast<double>(i));
+  }
+  return points;
+}
+
+core::EngineOptions SmallEngineOptions(double decay) {
+  core::EngineOptions options;
+  options.umicro.num_micro_clusters = 32;
+  options.umicro.decay_lambda = decay;
+  options.snapshot.snapshot_every = 64;
+  return options;
+}
+
+/// After Flush(), the broker must answer ClusterRecent bit-identically
+/// to the engine's in-process ClusterRecent: same realized horizon,
+/// same window mass, same macro-centroids to the last bit.
+TEST(ServeQuiescedEqualityTest, BrokerMatchesEngineBitForBit) {
+  for (const double decay : {0.0, 0.01}) {
+    core::EngineOptions options = SmallEngineOptions(decay);
+    core::UMicroEngine engine(2, options);
+    SnapshotReadReplica replica(options.snapshot, decay);
+    engine.AttachSnapshotSink(&replica);
+
+    const auto points = MakeStream(640, 99);
+    engine.ProcessBatch(points);
+    engine.Flush();
+
+    QueryBrokerOptions broker_options;
+    broker_options.num_threads = 2;
+    QueryBroker broker(&replica, broker_options, &engine.metrics());
+
+    for (const double horizon : {50.0, 130.0, 400.0, 1e5}) {
+      core::MacroClusteringOptions macro = broker_options.macro;
+      const auto engine_answer = engine.ClusterRecent(horizon, macro);
+      QueryRequest request;
+      request.kind = QueryRequest::Kind::kClusterRecent;
+      request.horizon = horizon;
+      const QueryResponse served = broker.Execute(request);
+      ASSERT_TRUE(served.ok);
+      ASSERT_EQ(served.clustering.has_value(), engine_answer.has_value())
+          << "decay " << decay << " horizon " << horizon;
+      if (!engine_answer.has_value()) continue;
+      // Bit-identical, not approximately equal: the broker runs the
+      // identical selection + ClusterWindow + seeded k-means.
+      EXPECT_EQ(served.clustering->realized_horizon,
+                engine_answer->realized_horizon);
+      EXPECT_EQ(served.clustering->realized_ratio,
+                engine_answer->realized_ratio);
+      ASSERT_EQ(served.clustering->window.size(),
+                engine_answer->window.size());
+      EXPECT_EQ(served.clustering->macro.centroids,
+                engine_answer->macro.centroids);
+      EXPECT_EQ(served.clustering->macro.weighted_ssq,
+                engine_answer->macro.weighted_ssq);
+    }
+  }
+}
+
+/// Same guarantee through the sharded engine: attach primes the replica
+/// from the already-stored snapshots, Flush publishes the merged global
+/// view, and the broker answer matches the engine's.
+TEST(ServeQuiescedEqualityTest, ParallelEngineAttachAndMatch) {
+  parallel::ParallelEngineOptions options;
+  options.sharded.umicro.num_micro_clusters = 32;
+  options.sharded.num_shards = 2;
+  options.snapshot.snapshot_every = 64;
+  parallel::ParallelUMicroEngine engine(2, options);
+
+  const auto points = MakeStream(512, 17);
+  // Ingest BEFORE attaching: the sink must be primed with everything
+  // the store already retains (the CLI recovery path does this).
+  engine.ProcessBatch(points);
+
+  SnapshotReadReplica replica(options.snapshot, 0.0);
+  engine.AttachSnapshotSink(&replica);
+  ASSERT_GT(replica.publish_seq(), 0u);
+
+  QueryBroker broker(&replica, {});
+  const double horizon = 150.0;
+  const auto engine_answer =
+      engine.ClusterRecent(horizon, core::MacroClusteringOptions{});
+  QueryRequest request;
+  request.kind = QueryRequest::Kind::kClusterRecent;
+  request.horizon = horizon;
+  const QueryResponse served = broker.Execute(request);
+  ASSERT_TRUE(served.ok);
+  ASSERT_TRUE(served.clustering.has_value());
+  ASSERT_TRUE(engine_answer.has_value());
+  EXPECT_EQ(served.clustering->macro.centroids,
+            engine_answer->macro.centroids);
+}
+
+/// Queries race ingest: one thread streams points through the engine
+/// while query threads hammer the broker. Nothing crashes, every
+/// response is well-formed, and the view a query used is internally
+/// consistent (monotone publish_seq). This is the test CI runs under
+/// TSan -- the replica swap and Acquire are the racy surface.
+TEST(ServeConcurrencyTest, QueriesRaceIngestSafely) {
+  core::EngineOptions options = SmallEngineOptions(0.005);
+  core::UMicroEngine engine(2, options);
+  SnapshotReadReplica replica(options.snapshot, 0.005);
+  engine.AttachSnapshotSink(&replica);
+
+  QueryBrokerOptions broker_options;
+  broker_options.num_threads = 3;
+  QueryBroker broker(&replica, broker_options, &engine.metrics());
+
+  const auto points = MakeStream(4096, 7);
+  std::atomic<bool> done{false};
+
+  std::thread ingest([&] {
+    constexpr std::size_t kBatch = 128;
+    for (std::size_t i = 0; i < points.size(); i += kBatch) {
+      const std::size_t n = std::min(kBatch, points.size() - i);
+      engine.ProcessBatch({points.data() + i, n});
+    }
+    done.store(true);
+  });
+
+  std::vector<std::thread> queriers;
+  std::atomic<std::uint64_t> answered{0};
+  for (int q = 0; q < 2; ++q) {
+    queriers.emplace_back([&, q] {
+      std::uint64_t last_seq = 0;
+      while (!done.load()) {
+        QueryRequest request;
+        if (q == 0) {
+          request.kind = QueryRequest::Kind::kClusterRecent;
+          request.horizon = 200.0;
+        } else {
+          request.kind = QueryRequest::Kind::kAnomaly;
+          request.values = {0.0, 0.0};
+        }
+        QueryResponse response = broker.Submit(request).get();
+        EXPECT_TRUE(response.ok);
+        // Publications are monotone from any single reader's view.
+        EXPECT_GE(response.publish_seq, last_seq);
+        last_seq = response.publish_seq;
+        answered.fetch_add(1);
+      }
+    });
+  }
+  ingest.join();
+  for (auto& t : queriers) t.join();
+  EXPECT_GT(answered.load(), 0u);
+
+  // After the race, quiesce and re-check exact equality end to end.
+  engine.Flush();
+  QueryRequest request;
+  request.kind = QueryRequest::Kind::kClusterRecent;
+  request.horizon = 300.0;
+  const QueryResponse served = broker.Execute(request);
+  const auto engine_answer =
+      engine.ClusterRecent(300.0, broker_options.macro);
+  ASSERT_TRUE(served.ok);
+  ASSERT_TRUE(served.clustering.has_value());
+  ASSERT_TRUE(engine_answer.has_value());
+  EXPECT_EQ(served.clustering->macro.centroids,
+            engine_answer->macro.centroids);
+  EXPECT_GT(broker.queries_served(), 0u);
+}
+
+/// A reader's acquired state never changes under further publications.
+TEST(ReplicaTest, AcquiredStateIsImmutableAcrossPublishes) {
+  core::SnapshotPolicy policy;
+  policy.snapshot_every = 10;
+  SnapshotReadReplica replica(policy, 0.0);
+
+  core::Snapshot first;
+  first.time = 10.0;
+  core::ErrorClusterFeature ecf(1);
+  ecf.AddPoint(UncertainPoint(std::vector<double>{1.0},
+                              std::vector<double>{0.1}, 10.0));
+  first.clusters.push_back({1, 0.0, ecf});
+  replica.PublishSnapshot(1, first);
+  replica.PublishCurrent(first);
+
+  const auto held = replica.Acquire();
+  const std::uint64_t held_seq = held->publish_seq;
+  const std::size_t held_history = held->history.size();
+  const double held_time = held->current->time;
+
+  for (int i = 2; i <= 40; ++i) {
+    core::Snapshot next;
+    next.time = 10.0 * i;
+    next.clusters.push_back({1, 0.0, ecf});
+    replica.PublishSnapshot(static_cast<std::size_t>(i % 3), next);
+    replica.PublishCurrent(next);
+  }
+
+  EXPECT_EQ(held->publish_seq, held_seq);
+  EXPECT_EQ(held->history.size(), held_history);
+  EXPECT_EQ(held->current->time, held_time);
+  EXPECT_GT(replica.Acquire()->publish_seq, held_seq);
+}
+
+/// Replica retention mirrors the engine store: same per-order capacity,
+/// so the at-or-before pick equals the store's for any time.
+TEST(ReplicaTest, RetentionMirrorsSnapshotStore) {
+  core::SnapshotPolicy policy;
+  policy.snapshot_every = 1;
+  core::SnapshotStore store(policy.pyramid_alpha, policy.pyramid_l);
+  SnapshotReadReplica replica(policy, 0.0);
+
+  core::ErrorClusterFeature ecf(1);
+  ecf.AddPoint(UncertainPoint(std::vector<double>{0.5},
+                              std::vector<double>{0.1}, 1.0));
+  for (std::uint64_t tick = 1; tick <= 500; ++tick) {
+    core::Snapshot snapshot;
+    snapshot.time = static_cast<double>(tick);
+    snapshot.clusters.push_back({1, 0.0, ecf});
+    replica.PublishSnapshot(store.OrderOf(tick), snapshot);
+    store.Insert(tick, std::move(snapshot));
+  }
+
+  const auto state = replica.Acquire();
+  EXPECT_EQ(state->history.size(), store.TotalStored());
+  for (const double t : {3.0, 77.5, 200.0, 444.0, 499.0}) {
+    const auto from_store = store.FindAtOrBefore(t);
+    const core::Snapshot* from_replica =
+        SnapshotReadReplica::FindAtOrBefore(*state, t);
+    ASSERT_EQ(from_store.has_value(), from_replica != nullptr) << t;
+    if (from_store.has_value()) {
+      EXPECT_EQ(from_store->time, from_replica->time) << t;
+    }
+  }
+}
+
+/// The line protocol end to end over string streams: pipelined
+/// requests, in-order responses, ERR for malformed input, QUIT ends.
+TEST(ServerTest, LineProtocolAnswersInOrder) {
+  core::EngineOptions options = SmallEngineOptions(0.0);
+  core::UMicroEngine engine(2, options);
+  SnapshotReadReplica replica(options.snapshot, 0.0);
+  engine.AttachSnapshotSink(&replica);
+  engine.ProcessBatch(MakeStream(256, 3));
+  engine.Flush();
+
+  QueryBroker broker(&replica, {});
+  std::istringstream in(
+      "STATS\n"
+      "CLUSTER 100 3\n"
+      "NEAREST 0.5 0.5\n"
+      "ANOMALY 50 50\n"
+      "CLUSTER -4\n"
+      "BOGUS\n"
+      "QUIT\n");
+  std::ostringstream out;
+  const std::size_t served = ServeLineProtocol(broker, in, out);
+  EXPECT_EQ(served, 6u);  // 4 answered + 2 protocol errors
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("OK STATS", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("OK CLUSTER", 0), 0u) << line;
+  // Centroid lines until END.
+  std::size_t centroid_lines = 0;
+  while (std::getline(lines, line) && line != "END") {
+    EXPECT_EQ(line.rfind("C ", 0), 0u) << line;
+    ++centroid_lines;
+  }
+  EXPECT_EQ(line, "END");
+  EXPECT_GT(centroid_lines, 0u);
+  EXPECT_LE(centroid_lines, 3u);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("OK NEAREST", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("OK ANOMALY", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK BYE");
+}
+
+/// An empty replica answers honestly instead of crashing or blocking.
+TEST(ServerTest, EmptyReplicaAnswersGracefully) {
+  core::SnapshotPolicy policy;
+  SnapshotReadReplica replica(policy, 0.0);
+  QueryBroker broker(&replica, {});
+
+  QueryRequest cluster;
+  cluster.kind = QueryRequest::Kind::kClusterRecent;
+  cluster.horizon = 10.0;
+  const QueryResponse response = broker.Execute(cluster);
+  EXPECT_TRUE(response.ok);
+  EXPECT_FALSE(response.clustering.has_value());
+  EXPECT_EQ(response.publish_seq, 0u);
+
+  QueryRequest nearest;
+  nearest.kind = QueryRequest::Kind::kNearest;
+  nearest.values = {0.0};
+  EXPECT_FALSE(broker.Execute(nearest).nearest.has_value());
+}
+
+}  // namespace
+}  // namespace umicro::serve

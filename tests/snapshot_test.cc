@@ -132,6 +132,40 @@ TEST(SnapshotStoreTest, HorizonApproximationBound) {
   }
 }
 
+TEST(SnapshotStoreTest, AtOrBeforeHorizonGuaranteeProperty) {
+  // Property behind the horizon-collapse fix: with at-or-before
+  // selection the realized horizon h' never undershoots (h' >= h), and
+  // its relative overshoot is bounded by the pyramid's provable
+  // fidelity 2/alpha^(l-1) (see the header comment; CluStream
+  // Property 1) for every horizon the retention still covers. Checked
+  // exhaustively over several (alpha, l) configurations.
+  struct Config {
+    std::size_t alpha, l;
+  };
+  for (const Config config : {Config{2, 3}, Config{2, 2}, Config{3, 2}}) {
+    SnapshotStore store(config.alpha, config.l);
+    const std::uint64_t now = 4096;
+    for (std::uint64_t tick = 1; tick <= now; ++tick) {
+      store.Insert(tick, MakeSnapshot(static_cast<double>(tick), {1}));
+    }
+    const double bound =
+        2.0 / std::pow(static_cast<double>(config.alpha),
+                       static_cast<double>(config.l) - 1.0);
+    for (std::uint64_t h = 1; h <= now / 2; ++h) {
+      const double target = static_cast<double>(now - h);
+      const auto found = store.FindAtOrBefore(target);
+      ASSERT_TRUE(found.has_value())
+          << "alpha " << config.alpha << " l " << config.l << " h " << h;
+      const double realized = static_cast<double>(now) - found->time;
+      EXPECT_GE(realized, static_cast<double>(h));
+      EXPECT_LE((realized - static_cast<double>(h)) / static_cast<double>(h),
+                bound + 1e-9)
+          << "alpha " << config.alpha << " l " << config.l << " h " << h
+          << " realized " << realized;
+    }
+  }
+}
+
 TEST(SubtractSnapshotTest, SubtractsMatchingIds) {
   Snapshot older = MakeSnapshot(10.0, {1, 2}, 5.0);
   Snapshot current = MakeSnapshot(20.0, {1, 2}, 8.0);

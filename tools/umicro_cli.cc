@@ -36,6 +36,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -57,6 +58,9 @@
 #include "resilience/checkpoint.h"
 #include "resilience/fault_injection.h"
 #include "resilience/validating_stream.h"
+#include "serve/query_broker.h"
+#include "serve/replica.h"
+#include "serve/server.h"
 #include "stream/imputation.h"
 #include "stream/perturbation.h"
 #include "stream/stream_stats.h"
@@ -100,6 +104,8 @@ struct CliOptions {
   std::string inject_faults;
   std::uint64_t fault_seed = 0xfa117u;
   bool degrade = false;
+  bool serve = false;
+  std::size_t serve_threads = 4;
 };
 
 bool ParseFlag(const std::string& arg, const char* name,
@@ -153,7 +159,13 @@ void PrintUsage() {
       "gap=0.001,max-gap=16\n"
       "  --fault-seed=N        fault-injection seed (default 0xfa117)\n"
       "  --degrade             adaptive load shedding + worker\n"
-      "                        supervision (requires --threads)\n");
+      "                        supervision (requires --threads)\n"
+      "  --serve               after ingest, answer CLUSTER/NEAREST/\n"
+      "                        ANOMALY/STATS queries on stdin/stdout\n"
+      "                        (docs/serving.md; requires "
+      "--algorithm=umicro)\n"
+      "  --serve-threads=N     query worker threads for --serve "
+      "(default 4)\n");
 }
 
 /// Parses the --inject-faults spec ("key=value,..." with keys corrupt,
@@ -274,6 +286,10 @@ int main(int argc, char** argv) {
       cli.fault_seed = std::strtoull(value.c_str(), nullptr, 0);
     } else if (arg == "--degrade") {
       cli.degrade = true;
+    } else if (arg == "--serve") {
+      cli.serve = true;
+    } else if (ParseFlag(arg, "serve-threads", &value)) {
+      cli.serve_threads = std::strtoull(value.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       PrintUsage();
@@ -326,6 +342,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--inject-faults requires --bad-record-policy (an "
                  "unhardened engine would abort on corrupt records)\n");
+    return 2;
+  }
+  if (cli.serve && cli.algorithm != "umicro") {
+    std::fprintf(stderr,
+                 "--serve requires --algorithm=umicro (the baselines "
+                 "publish no snapshot replica)\n");
+    return 2;
+  }
+  if (cli.serve && cli.serve_threads == 0) {
+    std::fprintf(stderr, "--serve-threads must be at least 1\n");
     return 2;
   }
   std::optional<umicro::resilience::BadRecordPolicy> bad_record_policy;
@@ -640,6 +666,18 @@ int main(int argc, char** argv) {
                               *engine)
                         : *baseline;
 
+  // ---- Query-serving replica ------------------------------------------
+  // Attached before any point flows, so every cadence snapshot is
+  // mirrored into the read replica as it is taken (docs/serving.md).
+  std::unique_ptr<umicro::serve::SnapshotReadReplica> replica;
+  if (cli.serve) {
+    umicro::core::SnapshotPolicy serve_policy;
+    serve_policy.snapshot_every = cli.snapshot_every;
+    replica = std::make_unique<umicro::serve::SnapshotReadReplica>(
+        serve_policy, cli.decay);
+    engine->AttachSnapshotSink(replica.get());
+  }
+
   // ---- Route ingest-side counts into the engine registry -------------
   // The loader and the hardening pass ran before the engine existed, so
   // their tallies are folded in here; the exported metrics then carry
@@ -790,6 +828,25 @@ int main(int argc, char** argv) {
             metrics.GetCounter("parallel.degrade.batches_shed").value()),
         static_cast<unsigned long long>(
             metrics.GetCounter("parallel.worker_restarts").value()));
+  }
+
+  // ---- Serve queries ---------------------------------------------------
+  // Runs after Flush() (which published the freshest current snapshot),
+  // so the first query already sees the full ingested stream. Blocks
+  // until stdin closes or a QUIT arrives; the final metrics dump below
+  // then includes the serve.* instruments.
+  if (cli.serve && engine != nullptr) {
+    umicro::serve::QueryBrokerOptions broker_options;
+    broker_options.num_threads = cli.serve_threads;
+    umicro::serve::QueryBroker broker(replica.get(), broker_options,
+                                      &engine->metrics());
+    std::printf("serving on stdin/stdout with %zu query threads "
+                "(CLUSTER/NEAREST/ANOMALY/STATS/QUIT)\n",
+                cli.serve_threads);
+    std::fflush(stdout);
+    const std::size_t served =
+        umicro::serve::ServeLineProtocol(broker, std::cin, std::cout);
+    std::printf("served %zu queries\n", served);
   }
 
   if (cli.describe && umicro_ptr != nullptr) {
