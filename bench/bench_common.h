@@ -12,7 +12,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/clustream.h"
@@ -53,6 +55,29 @@ struct BenchArgs {
     return args;
   }
 };
+
+/// Hardware threads visible to this process (>= 1). Recorded into every
+/// timing CSV so single-core artifacts (speedup < 1, scheduler
+/// time-slicing) are attributable without knowing the original host.
+inline std::size_t HostCores() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  return cores > 0 ? cores : 1;
+}
+
+/// CPU model string from /proc/cpuinfo ("unknown" when unavailable).
+inline std::string HostCpuModel() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "unknown";
+}
 
 /// Dumps `registry` to `<stem>.json` + `<stem>.csv`; no-op on empty stem.
 inline void MaybeExportMetrics(const obs::MetricsRegistry& registry,

@@ -131,7 +131,9 @@ void RunSweep(const std::string& workload,
                 std::to_string(sequential_pps), std::to_string(pps),
                 std::to_string(speedup), n_exact ? "1" : "0",
                 Scientific(cf1_dev), Scientific(ef2_dev),
-                std::to_string(merges), std::to_string(dropped)});
+                std::to_string(merges), std::to_string(dropped),
+                std::to_string(umicro::bench::HostCores()),
+                umicro::bench::HostCpuModel()});
   }
   std::printf("\n");
 }
@@ -151,7 +153,7 @@ int main(int argc, char** argv) {
   umicro::util::CsvWriter csv(
       {"workload", "shards", "points", "sequential_pps", "parallel_pps",
        "speedup", "n_exact", "cf1_max_rel_dev", "ef2_max_rel_dev",
-       "merges", "dropped_points"});
+       "merges", "dropped_points", "host_cores", "cpu_model"});
 
   const umicro::stream::Dataset syndrift = MakeSynDrift(points, eta);
   RunSweep("SynDrift", syndrift, nmicro, merge_every, csv);

@@ -134,7 +134,8 @@ int main(int argc, char** argv) {
 
   umicro::util::CsvWriter csv({"queriers", "ingest_pps", "loss_pct",
                                "queries", "qps", "query_mean_micros",
-                               "query_p99_micros"});
+                               "query_p99_micros", "host_cores",
+                               "cpu_model"});
   // Discarded warmup: the first run pays allocator/page-cache warmup
   // that would otherwise be billed to the query-free baseline.
   (void)RunOnce(dataset, 0, query_interval_ms, horizon);
@@ -168,9 +169,17 @@ int main(int argc, char** argv) {
                 queriers, run.ingest_pps, loss_pct,
                 static_cast<unsigned long long>(run.queries), qps,
                 run.query_mean_micros, run.query_p99_micros);
-    csv.AddRow({static_cast<double>(queriers), run.ingest_pps, loss_pct,
-                static_cast<double>(run.queries), qps,
-                run.query_mean_micros, run.query_p99_micros});
+    const auto cell = [](double value) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+      return std::string(buffer);
+    };
+    csv.AddRow({cell(static_cast<double>(queriers)), cell(run.ingest_pps),
+                cell(loss_pct), cell(static_cast<double>(run.queries)),
+                cell(qps), cell(run.query_mean_micros),
+                cell(run.query_p99_micros),
+                std::to_string(umicro::bench::HostCores()),
+                umicro::bench::HostCpuModel()});
   }
   if (csv.WriteFile(csv_path)) {
     std::printf("results written to %s\n", csv_path.c_str());

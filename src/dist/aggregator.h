@@ -1,0 +1,191 @@
+// Aggregator: root of the distributed merge tree.
+//
+// One TCP listener serves both planes of the tier on a single port,
+// sniffed by the first byte of each accepted connection:
+//
+//   0xD7 (frame magic)  -> framed leaf session: HELLO, then
+//                          sequence-numbered state-replacement DELTAs,
+//                          each answered with an ACK;
+//   anything else       -> text query session: the connection is wrapped
+//                          in a net::SocketStream and handed to the
+//                          PR 5 serve::ServeLineProtocol loop unchanged.
+//
+// Delta application is state replacement keyed by leaf id: the newest
+// state per leaf is kept, the merged global view is rebuilt through
+// parallel::MergeShardClusterSets -- the *same* routine the in-process
+// sharded engine uses -- and published to the SnapshotReadReplica the
+// query broker reads. Because the merge is stateless over the current
+// leaf states, re-applied or re-ordered deltas cannot corrupt anything:
+// a delta with seq <= the last applied one is acked and ignored, and
+// the final view depends only on each leaf's final state (which is what
+// makes the multi-process topology bit-identical to a single-process
+// sharded run over the same round-robin partitioning).
+//
+// Metrics: dist.agg.deltas_applied, dist.agg.deltas_duplicate,
+// dist.agg.bytes, dist.agg.merges, dist.agg.merge_micros,
+// dist.agg.merge_lag_points (max-min leaf progress), dist.agg.leaves,
+// dist.agg.sessions, dist.agg.query_sessions, dist.agg.protocol_errors.
+
+#ifndef UMICRO_DIST_AGGREGATOR_H_
+#define UMICRO_DIST_AGGREGATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/microcluster.h"
+#include "core/snapshot.h"
+#include "dist/protocol.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "serve/query_broker.h"
+#include "serve/replica.h"
+
+namespace umicro::dist {
+
+/// Aggregator configuration.
+struct AggregatorOptions {
+  /// Bind address; port 0 picks an ephemeral port (re-read via port()).
+  net::SocketAddress listen{"127.0.0.1", 0};
+  /// Stream dimensionality (leaf HELLOs must match).
+  std::size_t dimensions = 0;
+  /// Reconciliation knob of the shard merge (must equal the leaves' /
+  /// reference run's dimension_threshold for bit-identity).
+  double dimension_threshold = 3.0;
+  /// Micro-cluster budget of the merged view (must equal the reference
+  /// sharded run's global budget).
+  std::size_t global_budget = 100;
+  /// Replica retention mirror + decay rate for horizon queries.
+  core::SnapshotPolicy snapshot;
+  double decay_lambda = 0.0;
+  /// Query broker sizing.
+  serve::QueryBrokerOptions broker;
+  /// Per-read timeout of leaf sessions' poll slices and of query
+  /// sessions' blocking reads (a silent query peer is hung up on after
+  /// this long).
+  int io_timeout_ms = 60000;
+};
+
+/// Multi-leaf delta merge + query serving behind one listener.
+class Aggregator {
+ public:
+  /// `metrics` (optional) receives the dist.agg.* instruments.
+  explicit Aggregator(AggregatorOptions options,
+                      obs::MetricsRegistry* metrics = nullptr);
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Binds, listens, and starts the accept loop. False on bind failure.
+  bool Start();
+
+  /// Closes the listener and every live session, then joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (after Start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Sum of the newest `points` figure over all known leaves.
+  std::uint64_t total_points() const;
+
+  /// Blocks until total_points() >= n; false on timeout or Stop().
+  bool WaitForPoints(std::uint64_t n, int timeout_ms);
+
+  /// Copy of the current merged global view.
+  std::vector<core::MicroCluster> MergedClusters() const;
+
+  /// Newest stream timestamp across leaf states (the merged view's
+  /// publication time).
+  double merged_time() const;
+
+  /// Leaves that have applied at least one delta.
+  std::size_t leaves_known() const;
+
+  /// Deltas applied (non-duplicate) so far.
+  std::uint64_t deltas_applied() const;
+
+  /// The query broker (same answers in-process callers would get).
+  serve::QueryBroker& broker() { return *broker_; }
+
+ private:
+  /// One accepted connection's lifetime, owned by the session table so
+  /// Stop() can shut the socket down under a live session thread.
+  struct Session {
+    net::Socket socket;
+    std::thread thread;
+    /// Set by the session thread on exit; the accept loop joins and
+    /// frees finished sessions so long-lived aggregators don't
+    /// accumulate dead sockets across leaf reconnects.
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  /// Joins and frees sessions whose threads have finished.
+  void ReapFinishedSessions();
+  void RunSession(Session* session);
+  /// Framed leaf plane (first byte was the frame magic).
+  void LeafSession(net::Socket& socket);
+  /// Text query plane.
+  void QuerySession(net::Socket& socket);
+  /// Applies one delta (or dedups it); true when an ACK should be sent.
+  bool ApplyDelta(const DeltaMessage& delta);
+  /// Rebuilds merged view + replica publication. Caller holds state_mu_.
+  void RebuildMergedViewLocked();
+
+  const AggregatorOptions options_;
+
+  obs::Counter* deltas_applied_metric_ = nullptr;
+  obs::Counter* deltas_duplicate_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Counter* merges_metric_ = nullptr;
+  obs::Histogram* merge_micros_ = nullptr;
+  obs::Gauge* merge_lag_gauge_ = nullptr;
+  obs::Gauge* leaves_gauge_ = nullptr;
+  obs::Counter* sessions_metric_ = nullptr;
+  obs::Counter* query_sessions_metric_ = nullptr;
+  obs::Counter* protocol_errors_metric_ = nullptr;
+
+  serve::SnapshotReadReplica replica_;
+  std::unique_ptr<serve::QueryBroker> broker_;
+
+  std::optional<net::TcpListener> listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  /// Guards the session table (accept thread inserts, Stop() walks).
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  /// Newest state of one leaf.
+  struct LeafEntry {
+    std::uint64_t seq = 0;
+    std::uint64_t points = 0;
+    double last_timestamp = 0.0;
+    std::vector<core::MicroCluster> clusters;
+  };
+
+  /// Guards everything below; also serializes replica publications
+  /// (SnapshotSink requires a single logical publisher).
+  mutable std::mutex state_mu_;
+  std::condition_variable points_cv_;
+  std::map<std::uint64_t, LeafEntry> leaves_;
+  std::vector<core::MicroCluster> merged_;
+  double merged_time_ = 0.0;
+  std::uint64_t deltas_applied_ = 0;
+};
+
+}  // namespace umicro::dist
+
+#endif  // UMICRO_DIST_AGGREGATOR_H_

@@ -1,0 +1,192 @@
+#include "dist/leaf.h"
+
+#include <chrono>
+#include <utility>
+
+#include "dist/protocol.h"
+#include "net/frame.h"
+#include "obs/scoped_timer.h"
+
+namespace umicro::dist {
+
+LeafShipper::LeafShipper(net::SocketAddress aggregator,
+                         LeafShipperOptions options,
+                         obs::MetricsRegistry* metrics)
+    : aggregator_(std::move(aggregator)),
+      options_(options),
+      backoff_(options.backoff) {
+  if (metrics != nullptr) {
+    deltas_metric_ = &metrics->GetCounter("dist.leaf.deltas");
+    bytes_metric_ = &metrics->GetCounter("dist.leaf.bytes");
+    acks_metric_ = &metrics->GetCounter("dist.leaf.acks");
+    resends_metric_ = &metrics->GetCounter("dist.leaf.resends");
+    reconnects_metric_ = &metrics->GetCounter("dist.leaf.reconnects");
+    ship_micros_ = &metrics->GetHistogram("dist.leaf.ship_micros");
+  }
+}
+
+LeafShipper::~LeafShipper() { Stop(); }
+
+bool LeafShipper::InterruptibleSleep(int ms) {
+  std::unique_lock<std::mutex> lock(sleep_mu_);
+  sleep_cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                     [this] { return stop_.load(); });
+  return !stop_.load();
+}
+
+bool LeafShipper::EnsureConnected() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (socket_.valid()) return true;
+  }
+  while (!stop_.load()) {
+    std::optional<net::Socket> socket =
+        net::TcpConnect(aggregator_, options_.connect_timeout_ms);
+    if (!socket.has_value()) {
+      if (!InterruptibleSleep(backoff_.NextDelayMs())) return false;
+      continue;
+    }
+    HelloMessage hello;
+    hello.leaf_id = options_.leaf_id;
+    hello.dimensions = options_.dimensions;
+    const std::string frame =
+        net::EncodeFrame(net::FrameType::kHello, EncodeHello(hello));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      socket_ = std::move(*socket);
+      sender_ = std::make_unique<net::PeerSender>(&socket_, options_.sender);
+    }
+    if (!sender_->Enqueue(frame) || !sender_->Drain()) {
+      DropConnection();
+      if (!InterruptibleSleep(backoff_.NextDelayMs())) return false;
+      continue;
+    }
+    backoff_.Reset();
+    connects_.fetch_add(1, std::memory_order_relaxed);
+    if (reconnects_metric_ != nullptr &&
+        connects_.load(std::memory_order_relaxed) > 1) {
+      reconnects_metric_->Increment();
+    }
+    return true;
+  }
+  return false;
+}
+
+void LeafShipper::DropConnection() {
+  std::lock_guard<std::mutex> lock(mu_);
+  socket_.ShutdownBoth();  // unblocks a writer stuck in send first
+  if (sender_ != nullptr) sender_->Stop();
+  sender_.reset();
+  socket_.Close();
+}
+
+bool LeafShipper::ShipState(std::uint64_t seq, std::uint64_t points,
+                            const std::string& state_text) {
+  DeltaMessage delta;
+  delta.leaf_id = options_.leaf_id;
+  delta.seq = seq;
+  delta.points = points;
+  delta.state_text = state_text;
+  const std::string frame =
+      net::EncodeFrame(net::FrameType::kDelta, EncodeDelta(delta));
+  if (frame.empty()) return false;  // state larger than a frame allows
+
+  const obs::ScopedTimer timer(ship_micros_);
+  std::size_t attempts = 0;
+  bool first_attempt = true;
+  while (!stop_.load()) {
+    if (options_.max_attempts > 0 && attempts >= options_.max_attempts) {
+      return false;
+    }
+    ++attempts;
+    if (!first_attempt) {
+      resends_.fetch_add(1, std::memory_order_relaxed);
+      if (resends_metric_ != nullptr) resends_metric_->Increment();
+    }
+    first_attempt = false;
+    if (!EnsureConnected()) return false;
+    if (!sender_->Enqueue(frame) || !sender_->Drain()) {
+      DropConnection();
+      continue;
+    }
+    if (deltas_metric_ != nullptr) deltas_metric_->Increment();
+    if (bytes_metric_ != nullptr) bytes_metric_->Increment(frame.size());
+
+    // Wait for the matching ACK; any hiccup (timeout, corruption, EOF)
+    // drops the link and re-sends. A stale ACK from a previous attempt
+    // of an *earlier* delta is skipped, not fatal: acks arrive in
+    // order, so the matching one is still behind it.
+    net::FrameDecoder decoder;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(options_.ack_timeout_ms);
+    bool acked = false;
+    bool link_ok = true;
+    while (!acked && link_ok && !stop_.load()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        link_ok = false;  // straggler: re-send over a fresh connection
+        break;
+      }
+      const int remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count());
+      char buffer[4096];
+      bool timed_out = false;
+      const long n = socket_.RecvSome(buffer, sizeof(buffer),
+                                      std::min(remaining_ms, 200),
+                                      &timed_out);
+      if (n < 0 || (n == 0 && !timed_out)) {
+        link_ok = false;
+        break;
+      }
+      if (n > 0) decoder.Feed(buffer, static_cast<std::size_t>(n));
+      if (decoder.corrupted()) {
+        link_ok = false;
+        break;
+      }
+      while (std::optional<net::Frame> reply = decoder.Next()) {
+        if (reply->type != net::FrameType::kAck) continue;
+        const std::optional<AckMessage> ack = ParseAck(reply->payload);
+        if (ack.has_value() && ack->leaf_id == options_.leaf_id &&
+            ack->seq == seq) {
+          acked = true;
+          break;
+        }
+      }
+    }
+    if (acked) {
+      acked_.fetch_add(1, std::memory_order_relaxed);
+      if (acks_metric_ != nullptr) acks_metric_->Increment();
+      return true;
+    }
+    DropConnection();
+  }
+  return false;
+}
+
+void LeafShipper::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sender_ != nullptr && socket_.valid()) {
+    sender_->Enqueue(net::EncodeFrame(net::FrameType::kBye, ""));
+    sender_->Drain();
+    sender_->Stop();
+  }
+  sender_.reset();
+  socket_.Close();
+}
+
+void LeafShipper::Stop() {
+  stop_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  // Shutdown (not close) unblocks the shipping thread's recv/send
+  // without yanking the fd out from under it; the shipping thread then
+  // observes stop_ and closes the socket itself via DropConnection().
+  std::lock_guard<std::mutex> lock(mu_);
+  socket_.ShutdownBoth();
+}
+
+}  // namespace umicro::dist

@@ -1,0 +1,127 @@
+// LeafShipper: the leaf side of the merge tree's delta plane.
+//
+// A leaf ingester runs an ordinary engine on its substream and, every
+// `--delta-every` points, hands the engine's exported state here.
+// ShipState() is synchronous and at-least-once: it (re)connects to the
+// aggregator with capped exponential backoff, sends HELLO + the framed
+// delta through a net::PeerSender, and waits for the matching ACK. A
+// straggling aggregator (no ACK within `ack_timeout_ms`) or a dead link
+// triggers a reconnect and a re-send of the same delta; replacement
+// semantics plus the sequence number make every re-send idempotent on
+// the aggregator, so at-least-once delivery yields exactly-once
+// application.
+//
+// Metrics (in the registry passed at construction): dist.leaf.deltas,
+// dist.leaf.bytes, dist.leaf.acks, dist.leaf.resends,
+// dist.leaf.reconnects, dist.leaf.ship_micros.
+
+#ifndef UMICRO_DIST_LEAF_H_
+#define UMICRO_DIST_LEAF_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/peer.h"
+#include "net/reconnect.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace umicro::dist {
+
+/// Shipper configuration.
+struct LeafShipperOptions {
+  /// This leaf's identity = its shard slot in the merged view (dense,
+  /// starting at 0).
+  std::uint64_t leaf_id = 0;
+  /// Stream dimensionality (announced in HELLO; the aggregator refuses
+  /// a mismatch).
+  std::size_t dimensions = 0;
+  /// Straggler timeout: no ACK within this window tears the link down
+  /// and re-sends the delta over a fresh connection.
+  int ack_timeout_ms = 5000;
+  /// Per-connect timeout.
+  int connect_timeout_ms = 2000;
+  /// Send attempts per delta; 0 retries until Stop().
+  std::size_t max_attempts = 0;
+  /// Reconnect backoff ladder.
+  net::BackoffOptions backoff;
+  /// Outgoing queue bounds.
+  net::PeerSenderOptions sender;
+};
+
+/// Synchronous, at-least-once delta shipper over one aggregator link.
+class LeafShipper {
+ public:
+  /// `metrics` (optional) receives the dist.leaf.* instruments.
+  LeafShipper(net::SocketAddress aggregator, LeafShipperOptions options,
+              obs::MetricsRegistry* metrics = nullptr);
+  ~LeafShipper();
+
+  LeafShipper(const LeafShipper&) = delete;
+  LeafShipper& operator=(const LeafShipper&) = delete;
+
+  /// Ships the state as delta `seq` (per-leaf monotone, 1-based) and
+  /// blocks until the aggregator acks it. Returns false only when
+  /// stopped or `max_attempts` is exhausted.
+  bool ShipState(std::uint64_t seq, std::uint64_t points,
+                 const std::string& state_text);
+
+  /// Sends an orderly BYE (best effort) and closes the link.
+  void Finish();
+
+  /// Aborts any in-flight ShipState (it returns false) and closes.
+  void Stop();
+
+  /// Deltas acked so far.
+  std::uint64_t deltas_acked() const {
+    return acked_.load(std::memory_order_relaxed);
+  }
+  /// Successful (re)connections so far.
+  std::uint64_t connects() const {
+    return connects_.load(std::memory_order_relaxed);
+  }
+  /// Straggler-timeout re-sends so far.
+  std::uint64_t resends() const {
+    return resends_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Connects (with backoff sleeps between failures) and sends HELLO.
+  /// False when stopped.
+  bool EnsureConnected();
+  /// Tears the current link down (next ShipState reconnects).
+  void DropConnection();
+  /// Sleeps `ms`, waking early on Stop(); false when stopped.
+  bool InterruptibleSleep(int ms);
+
+  const net::SocketAddress aggregator_;
+  const LeafShipperOptions options_;
+
+  obs::Counter* deltas_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Counter* acks_metric_ = nullptr;
+  obs::Counter* resends_metric_ = nullptr;
+  obs::Counter* reconnects_metric_ = nullptr;
+  obs::Histogram* ship_micros_ = nullptr;
+
+  std::mutex mu_;  // guards socket_/sender_ teardown vs Stop()
+  net::Socket socket_;
+  std::unique_ptr<net::PeerSender> sender_;
+  net::Backoff backoff_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+
+  std::atomic<std::uint64_t> acked_{0};
+  std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> resends_{0};
+};
+
+}  // namespace umicro::dist
+
+#endif  // UMICRO_DIST_LEAF_H_

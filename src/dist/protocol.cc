@@ -1,0 +1,74 @@
+#include "dist/protocol.h"
+
+#include <sstream>
+
+namespace umicro::dist {
+
+namespace {
+
+/// Parses "<keyword> <version> ..." and returns the stream positioned
+/// after the version; false on keyword/version mismatch.
+bool ReadHeader(std::istringstream& in, const std::string& keyword) {
+  std::string word;
+  int version = 0;
+  return (in >> word >> version) && word == keyword &&
+         version == kDistProtocolVersion;
+}
+
+}  // namespace
+
+std::string EncodeHello(const HelloMessage& hello) {
+  std::ostringstream out;
+  out << "uhello " << kDistProtocolVersion << ' ' << hello.leaf_id << ' '
+      << hello.dimensions;
+  return out.str();
+}
+
+std::optional<HelloMessage> ParseHello(const std::string& payload) {
+  std::istringstream in(payload);
+  if (!ReadHeader(in, "uhello")) return std::nullopt;
+  HelloMessage hello;
+  if (!(in >> hello.leaf_id >> hello.dimensions)) return std::nullopt;
+  if (hello.leaf_id > kMaxLeafId) return std::nullopt;
+  return hello;
+}
+
+std::string EncodeDelta(const DeltaMessage& delta) {
+  std::ostringstream out;
+  out << "udelta " << kDistProtocolVersion << ' ' << delta.leaf_id << ' '
+      << delta.seq << ' ' << delta.points << "\n";
+  out << delta.state_text;
+  return out.str();
+}
+
+std::optional<DeltaMessage> ParseDelta(const std::string& payload) {
+  const std::size_t newline = payload.find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  std::istringstream in(payload.substr(0, newline));
+  if (!ReadHeader(in, "udelta")) return std::nullopt;
+  DeltaMessage delta;
+  if (!(in >> delta.leaf_id >> delta.seq >> delta.points)) {
+    return std::nullopt;
+  }
+  if (delta.leaf_id > kMaxLeafId || delta.seq == 0) return std::nullopt;
+  delta.state_text = payload.substr(newline + 1);
+  if (delta.state_text.empty()) return std::nullopt;
+  return delta;
+}
+
+std::string EncodeAck(const AckMessage& ack) {
+  std::ostringstream out;
+  out << "uack " << kDistProtocolVersion << ' ' << ack.leaf_id << ' '
+      << ack.seq;
+  return out.str();
+}
+
+std::optional<AckMessage> ParseAck(const std::string& payload) {
+  std::istringstream in(payload);
+  if (!ReadHeader(in, "uack")) return std::nullopt;
+  AckMessage ack;
+  if (!(in >> ack.leaf_id >> ack.seq)) return std::nullopt;
+  return ack;
+}
+
+}  // namespace umicro::dist

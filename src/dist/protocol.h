@@ -1,0 +1,74 @@
+// Payload schemas of the distributed merge tree's framed peer plane.
+//
+// net/frame.h moves opaque payloads; this header gives the three control
+// payloads their (versioned, line-oriented, text) shape:
+//
+//   HELLO  "uhello 1 <leaf_id> <dimensions>"
+//   DELTA  "udelta 1 <leaf_id> <seq> <points>\n" + "ucheckpoint 2" text
+//   ACK    "uack 1 <leaf_id> <seq>"
+//
+// A delta carries the leaf's complete engine state (state-replacement
+// semantics): the aggregator keeps only the newest state per leaf and
+// rebuilds its merged view from scratch, so applying the same delta
+// twice -- or skipping straight to a newer one after a reconnect -- is
+// idempotent by construction. `seq` is a per-leaf monotone counter; the
+// aggregator ignores (but still acks) anything at or below the last
+// applied sequence, which is what makes crash/replay re-sends harmless.
+//
+// All parsers treat input as hostile and return std::nullopt on any
+// structural error (the codec caps inside io/state_io.h bound the
+// embedded checkpoint itself).
+
+#ifndef UMICRO_DIST_PROTOCOL_H_
+#define UMICRO_DIST_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace umicro::dist {
+
+/// Version of the payload schemas below.
+inline constexpr int kDistProtocolVersion = 1;
+
+/// Leaf ids tag shard slots in the merged view, so they must be dense
+/// [0, leaves); this cap just bounds hostile input.
+inline constexpr std::uint64_t kMaxLeafId = 4096;
+
+/// First frame of a leaf session: identity + stream dimensionality (the
+/// aggregator refuses a dimension mismatch up front).
+struct HelloMessage {
+  std::uint64_t leaf_id = 0;
+  std::uint64_t dimensions = 0;
+};
+
+/// One state-replacement delta.
+struct DeltaMessage {
+  std::uint64_t leaf_id = 0;
+  /// Per-leaf monotone sequence number (1-based).
+  std::uint64_t seq = 0;
+  /// Points the leaf had ingested when the state was captured (drives
+  /// the aggregator's progress accounting and merge-lag gauge).
+  std::uint64_t points = 0;
+  /// The leaf's full engine state, in the "ucheckpoint 2" codec.
+  std::string state_text;
+};
+
+/// Aggregator's receipt for one delta (applied or deduplicated).
+struct AckMessage {
+  std::uint64_t leaf_id = 0;
+  std::uint64_t seq = 0;
+};
+
+std::string EncodeHello(const HelloMessage& hello);
+std::optional<HelloMessage> ParseHello(const std::string& payload);
+
+std::string EncodeDelta(const DeltaMessage& delta);
+std::optional<DeltaMessage> ParseDelta(const std::string& payload);
+
+std::string EncodeAck(const AckMessage& ack);
+std::optional<AckMessage> ParseAck(const std::string& payload);
+
+}  // namespace umicro::dist
+
+#endif  // UMICRO_DIST_PROTOCOL_H_

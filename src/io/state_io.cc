@@ -525,6 +525,22 @@ std::optional<baseline::CluStreamState> ReadCluStreamStateFile(
   return ParseCluStreamState(*text);
 }
 
+std::string MicroClustersToString(
+    const std::vector<core::MicroCluster>& clusters, std::size_t dimensions) {
+  std::ostringstream out;
+  out << "uclusters 1 " << dimensions << ' ' << clusters.size() << "\n";
+  for (const core::MicroCluster& cluster : clusters) {
+    AppendMicroCluster(out, cluster);
+  }
+  return out.str();
+}
+
+bool WriteMicroClustersFile(const std::vector<core::MicroCluster>& clusters,
+                            std::size_t dimensions, const std::string& path) {
+  return WriteTextFileAtomic(MicroClustersToString(clusters, dimensions),
+                             path);
+}
+
 std::string EngineStateToString(const core::EngineState& state) {
   const std::string body = EngineCheckpointBody(state);
   char header[64];

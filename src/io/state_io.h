@@ -56,6 +56,17 @@ bool WriteCluStreamStateFile(const baseline::CluStreamState& state,
 std::optional<baseline::CluStreamState> ReadCluStreamStateFile(
     const std::string& path);
 
+/// Canonical text dump of a micro-cluster set ("uclusters 1"): one line
+/// per cluster in the codec's full-precision format. Two cluster sets
+/// are bitwise equal iff their dumps are byte-equal, which is how the
+/// distributed tier proves its merged view matches a single-process run.
+std::string MicroClustersToString(
+    const std::vector<core::MicroCluster>& clusters, std::size_t dimensions);
+
+/// Atomically writes the canonical dump to `path` (tmp + fsync + rename).
+bool WriteMicroClustersFile(const std::vector<core::MicroCluster>& clusters,
+                            std::size_t dimensions, const std::string& path);
+
 /// Serializes a full-engine checkpoint ("ucheckpoint 2").
 std::string EngineStateToString(const core::EngineState& state);
 

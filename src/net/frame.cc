@@ -1,0 +1,108 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace umicro::net {
+
+namespace {
+
+void AppendBigEndian32(std::string* out, std::uint32_t value) {
+  out->push_back(static_cast<char>((value >> 24) & 0xff));
+  out->push_back(static_cast<char>((value >> 16) & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+  out->push_back(static_cast<char>(value & 0xff));
+}
+
+void AppendBigEndian64(std::string* out, std::uint64_t value) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+std::uint32_t ReadBigEndian32(const char* data) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
+  return (static_cast<std::uint32_t>(bytes[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+         static_cast<std::uint32_t>(bytes[3]);
+}
+
+std::uint64_t ReadBigEndian64(const char* data) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | static_cast<std::uint64_t>(bytes[i]);
+  }
+  return value;
+}
+
+bool ValidFrameType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         type <= static_cast<std::uint8_t>(FrameType::kBye);
+}
+
+}  // namespace
+
+std::uint64_t FrameChecksum(const std::string& payload) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char ch : payload) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) return std::string();
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.push_back(static_cast<char>(kFrameMagic));
+  out.push_back(static_cast<char>(type));
+  AppendBigEndian32(&out, static_cast<std::uint32_t>(payload.size()));
+  AppendBigEndian64(&out, FrameChecksum(payload));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Feed(const char* data, std::size_t size) {
+  if (corrupted_ || size == 0) return;
+  buffer_.append(data, size);
+  for (;;) {
+    if (buffer_.size() < kFrameHeaderSize) return;
+    if (static_cast<unsigned char>(buffer_[0]) != kFrameMagic) {
+      corrupted_ = true;
+      return;
+    }
+    const std::uint8_t type = static_cast<std::uint8_t>(buffer_[1]);
+    if (!ValidFrameType(type)) {
+      corrupted_ = true;
+      return;
+    }
+    const std::uint32_t length = ReadBigEndian32(buffer_.data() + 2);
+    if (length > kMaxFramePayload) {
+      corrupted_ = true;
+      return;
+    }
+    if (buffer_.size() < kFrameHeaderSize + length) return;
+    const std::uint64_t expected = ReadBigEndian64(buffer_.data() + 6);
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload = buffer_.substr(kFrameHeaderSize, length);
+    if (FrameChecksum(frame.payload) != expected) {
+      corrupted_ = true;
+      return;
+    }
+    buffer_.erase(0, kFrameHeaderSize + length);
+    ready_.push_back(std::move(frame));
+    ++frames_decoded_;
+  }
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame frame = std::move(ready_.front());
+  ready_.pop_front();
+  return frame;
+}
+
+}  // namespace umicro::net

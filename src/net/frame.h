@@ -1,0 +1,92 @@
+// Length-prefixed frame codec for the distributed merge tree's peer
+// links (docs/distributed.md has the wire catalog).
+//
+// One frame on the wire:
+//
+//   magic(1)=0xD7 | type(1) | payload_len(4, big-endian)
+//   | fnv1a64(payload)(8, big-endian) | payload bytes
+//
+// The magic byte doubles as the protocol sniff: the aggregator peeks the
+// first byte of every accepted connection and treats 0xD7 as a framed
+// peer session, anything else as a text line-protocol query session
+// (no printable ASCII command starts with 0xD7). The checksum guards
+// the small control frames; DELTA payloads additionally self-verify
+// through the "ucheckpoint 2" body checksum they carry.
+//
+// The decoder is incremental and treats its input as hostile: a bad
+// magic, an oversized length, or a checksum mismatch poisons the
+// decoder (corrupted() becomes true) and the session layer drops the
+// connection -- resynchronizing inside a corrupt TCP stream is not
+// attempted.
+
+#ifndef UMICRO_NET_FRAME_H_
+#define UMICRO_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace umicro::net {
+
+/// First byte of every frame.
+inline constexpr unsigned char kFrameMagic = 0xD7;
+
+/// Frames larger than this are rejected by encoder and decoder alike
+/// (a corrupt length can then no longer drive an OOM allocation).
+inline constexpr std::size_t kMaxFramePayload = std::size_t{64} << 20;
+
+/// Bytes of header before the payload.
+inline constexpr std::size_t kFrameHeaderSize = 1 + 1 + 4 + 8;
+
+/// Frame types of the dist protocol (dist/protocol.h builds payloads).
+enum class FrameType : std::uint8_t {
+  kHello = 1,  ///< leaf -> agg: identity + dimensionality
+  kDelta = 2,  ///< leaf -> agg: sequence-numbered engine-state delta
+  kAck = 3,    ///< agg -> leaf: delta applied (or deduplicated)
+  kBye = 4,    ///< either: orderly session end
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kBye;
+  std::string payload;
+};
+
+/// FNV-1a 64 over arbitrary bytes (the frame payload checksum; the same
+/// hash the checkpoint codec uses).
+std::uint64_t FrameChecksum(const std::string& payload);
+
+/// Encodes one frame; empty string when the payload exceeds
+/// kMaxFramePayload.
+std::string EncodeFrame(FrameType type, const std::string& payload);
+
+/// Incremental frame decoder: feed raw socket bytes, pop whole frames.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes and decodes as many whole frames as they
+  /// complete. Ignored once corrupted.
+  void Feed(const char* data, std::size_t size);
+
+  /// Pops the next decoded frame, FIFO; std::nullopt when none is
+  /// complete yet.
+  std::optional<Frame> Next();
+
+  /// True after a malformed header or checksum mismatch; the connection
+  /// should be dropped.
+  bool corrupted() const { return corrupted_; }
+
+  /// Whole frames decoded so far.
+  std::uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  std::string buffer_;
+  std::deque<Frame> ready_;
+  bool corrupted_ = false;
+  std::uint64_t frames_decoded_ = 0;
+};
+
+}  // namespace umicro::net
+
+#endif  // UMICRO_NET_FRAME_H_

@@ -1,0 +1,107 @@
+#include "net/peer.h"
+
+#include <utility>
+
+namespace umicro::net {
+
+PeerSender::PeerSender(Socket* socket, PeerSenderOptions options)
+    : socket_(socket), options_(options) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+PeerSender::~PeerSender() { Stop(); }
+
+bool PeerSender::Enqueue(std::string encoded_frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queued_bytes_ + encoded_frame.size() > options_.max_queue_bytes &&
+      !stop_ && !broken_) {
+    ++enqueue_blocks_;
+    queue_changed_.wait(lock, [this, &encoded_frame] {
+      return stop_ || broken_ ||
+             queued_bytes_ + encoded_frame.size() <=
+                 options_.max_queue_bytes;
+    });
+  }
+  if (stop_ || broken_) return false;
+  queued_bytes_ += encoded_frame.size();
+  queue_.push_back(std::move(encoded_frame));
+  queue_nonempty_.notify_one();
+  return true;
+}
+
+bool PeerSender::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_changed_.wait(lock, [this] {
+    return broken_ || stop_ || (queue_.empty() && !writing_);
+  });
+  return !broken_ && !stop_;
+}
+
+void PeerSender::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Already stopped; the writer may have been joined by a previous
+      // call.
+    }
+    stop_ = true;
+    queue_nonempty_.notify_all();
+    queue_changed_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+}
+
+bool PeerSender::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+std::uint64_t PeerSender::frames_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_sent_;
+}
+
+std::uint64_t PeerSender::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_sent_;
+}
+
+std::uint64_t PeerSender::enqueue_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueue_blocks_;
+}
+
+void PeerSender::WriterLoop() {
+  for (;;) {
+    std::string frame;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_nonempty_.wait(lock,
+                           [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      frame = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= frame.size();
+      writing_ = true;
+    }
+    const bool ok =
+        socket_->SendAll(frame.data(), frame.size(), options_.send_timeout_ms);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writing_ = false;
+      if (ok) {
+        ++frames_sent_;
+        bytes_sent_ += frame.size();
+      } else {
+        broken_ = true;
+      }
+      queue_changed_.notify_all();
+      if (!ok) {
+        queue_nonempty_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace umicro::net

@@ -1,0 +1,96 @@
+// PeerSender: per-peer outgoing frame queue with backpressure.
+//
+// Every peer link in the merge tree (leaf->aggregator delta plane,
+// aggregator->leaf ack plane) sends through one of these: callers
+// enqueue encoded frames, a dedicated writer thread drains them onto
+// the socket in order. The queue is bounded by a byte budget; Enqueue
+// blocks while the budget is exhausted (backpressure toward the
+// producer -- a leaf that outruns a slow aggregator link stalls its
+// shipper, never the ingest path, and never queues unbounded memory).
+//
+// The sender never owns the socket. On a send error it marks itself
+// broken and drains blocked producers; the owning session tears the
+// connection down and (leaf side) reconnects with backoff.
+
+#ifndef UMICRO_NET_PEER_H_
+#define UMICRO_NET_PEER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+
+namespace umicro::net {
+
+/// PeerSender configuration.
+struct PeerSenderOptions {
+  /// Enqueue blocks while this many payload bytes are already queued.
+  std::size_t max_queue_bytes = std::size_t{16} << 20;
+  /// Per-chunk socket send timeout; a peer stuck longer than this
+  /// breaks the link (the leaf's straggler/reconnect machinery takes
+  /// over from there).
+  int send_timeout_ms = 10000;
+};
+
+/// Ordered, bounded, threaded sender over one socket.
+class PeerSender {
+ public:
+  /// `socket` must outlive the sender (or outlive Stop()).
+  PeerSender(Socket* socket, PeerSenderOptions options);
+
+  /// Stops the writer (pending frames are dropped) and joins it.
+  ~PeerSender();
+
+  PeerSender(const PeerSender&) = delete;
+  PeerSender& operator=(const PeerSender&) = delete;
+
+  /// Enqueues one already-encoded frame, blocking while the byte budget
+  /// is exhausted. Returns false (frame dropped) once the link is
+  /// broken or stopped.
+  bool Enqueue(std::string encoded_frame);
+
+  /// Blocks until the queue is empty or the link broke; true when
+  /// everything enqueued so far reached the socket.
+  bool Drain();
+
+  /// Signals the writer to stop and joins it.
+  void Stop();
+
+  /// True after a socket send failed (link is dead).
+  bool broken() const;
+
+  /// Frames / bytes handed to the socket so far.
+  std::uint64_t frames_sent() const;
+  std::uint64_t bytes_sent() const;
+  /// Enqueue calls that had to block on the byte budget.
+  std::uint64_t enqueue_blocks() const;
+
+ private:
+  void WriterLoop();
+
+  Socket* const socket_;
+  const PeerSenderOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_nonempty_;
+  std::condition_variable queue_changed_;
+  std::deque<std::string> queue_;
+  std::size_t queued_bytes_ = 0;
+  bool stop_ = false;
+  bool broken_ = false;
+  bool writing_ = false;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t enqueue_blocks_ = 0;
+
+  std::thread writer_;
+};
+
+}  // namespace umicro::net
+
+#endif  // UMICRO_NET_PEER_H_

@@ -1,0 +1,60 @@
+// Capped exponential backoff for reconnecting peer links.
+//
+// A leaf whose aggregator link drops retries with delays
+// base, 2*base, 4*base, ... capped at `max` (no jitter: the merge tree
+// is a handful of long-lived peers, not a thundering herd, and
+// determinism keeps the reconnect tests exact). A successful connection
+// resets the ladder.
+
+#ifndef UMICRO_NET_RECONNECT_H_
+#define UMICRO_NET_RECONNECT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace umicro::net {
+
+/// Backoff ladder configuration.
+struct BackoffOptions {
+  /// First retry delay.
+  int base_ms = 50;
+  /// Ceiling for the doubled delays.
+  int max_ms = 2000;
+};
+
+/// Capped exponential backoff state machine.
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions options = {}) : options_(options) {
+    Reset();
+  }
+
+  /// Delay to sleep before the next attempt, then advances the ladder.
+  int NextDelayMs() {
+    const int delay = next_ms_;
+    next_ms_ = std::min(options_.max_ms, next_ms_ * 2);
+    ++attempts_;
+    return delay;
+  }
+
+  /// Back to the base delay (call after a successful connect).
+  void Reset() {
+    next_ms_ = std::max(1, options_.base_ms);
+    attempts_ = 0;
+  }
+
+  /// Attempts since the last Reset().
+  std::uint64_t attempts() const { return attempts_; }
+
+  /// The delay the next NextDelayMs() will return.
+  int peek_delay_ms() const { return next_ms_; }
+
+ private:
+  BackoffOptions options_;
+  int next_ms_ = 0;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace umicro::net
+
+#endif  // UMICRO_NET_RECONNECT_H_

@@ -1,0 +1,223 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace umicro::net {
+
+std::string SocketAddress::ToString() const {
+  return host + ":" + std::to_string(port);
+}
+
+std::optional<SocketAddress> ParseHostPort(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  SocketAddress address;
+  address.host = text.substr(0, colon);
+  if (address.host == "localhost") address.host = "127.0.0.1";
+  const std::string port_text = text.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end != port_text.c_str() + port_text.size() || port > 65535) {
+    return std::nullopt;
+  }
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, address.host.c_str(), &parsed) != 1) {
+    return std::nullopt;
+  }
+  address.port = static_cast<std::uint16_t>(port);
+  return address;
+}
+
+namespace {
+
+bool FillSockaddr(const SocketAddress& address, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(address.port);
+  return ::inet_pton(AF_INET, address.host.c_str(), &out->sin_addr) == 1;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::Wait(bool want_read, int timeout_ms) const {
+  if (fd_ < 0) return false;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = want_read ? POLLIN : POLLOUT;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return false;
+    return (pfd.revents & (pfd.events | POLLHUP | POLLERR)) != 0;
+  }
+}
+
+bool Socket::SendAll(const void* data, std::size_t size, int timeout_ms) {
+  const char* bytes = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    if (!Wait(/*want_read=*/false, timeout_ms)) return false;
+    const ssize_t n =
+        ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long Socket::RecvSome(void* data, std::size_t size, int timeout_ms,
+                      bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (!Wait(/*want_read=*/true, timeout_ms)) {
+    if (timed_out != nullptr) *timed_out = true;
+    return 0;
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (timed_out != nullptr) *timed_out = true;
+      return 0;
+    }
+    return static_cast<long>(n);
+  }
+}
+
+long Socket::PeekSome(void* data, std::size_t size, int timeout_ms,
+                      bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
+  if (!Wait(/*want_read=*/true, timeout_ms)) {
+    if (timed_out != nullptr) *timed_out = true;
+    return 0;
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, MSG_PEEK);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (timed_out != nullptr) *timed_out = true;
+      return 0;
+    }
+    return static_cast<long>(n);
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<TcpListener> TcpListener::Listen(
+    const SocketAddress& address) {
+  sockaddr_in addr{};
+  if (!FillSockaddr(address, &addr)) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  Socket socket(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    return std::nullopt;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  std::uint16_t port = address.port;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port = ntohs(bound.sin_port);
+  }
+  return TcpListener(std::move(socket), port);
+}
+
+std::optional<Socket> TcpListener::Accept(int timeout_ms) {
+  if (!socket_.valid()) return std::nullopt;
+  pollfd pfd{};
+  pfd.fd = socket_.fd();
+  pfd.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return std::nullopt;
+    break;
+  }
+  const int fd = ::accept4(socket_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return std::nullopt;
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+std::optional<Socket> TcpConnect(const SocketAddress& address,
+                                 int timeout_ms) {
+  sockaddr_in addr{};
+  if (!FillSockaddr(address, &addr)) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  Socket socket(fd);
+  // Connect with a deadline: switch to non-blocking for the handshake,
+  // then back to blocking for the steady-state send/recv paths.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return std::nullopt;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready <= 0) return std::nullopt;
+    int error = 0;
+    socklen_t error_len = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_len) != 0 ||
+        error != 0) {
+      return std::nullopt;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  SetNoDelay(fd);
+  return socket;
+}
+
+}  // namespace umicro::net

@@ -1,0 +1,120 @@
+// Minimal POSIX TCP wrappers for the distributed tier (docs/distributed.md).
+//
+// Everything here is loopback/LAN plumbing, not a general networking
+// library: RAII sockets, a listener with a non-blocking (poll-based)
+// accept loop, and timeout-bounded connect/send/recv so no thread in the
+// merge tree can block forever on a dead peer. All calls are safe under
+// TSan-instrumented concurrent use as long as at most one thread reads
+// and one thread writes a given socket at a time (the contract the
+// net::PeerSender / dist session threads follow).
+
+#ifndef UMICRO_NET_SOCKET_H_
+#define UMICRO_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace umicro::net {
+
+/// An IPv4 host:port pair.
+struct SocketAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string ToString() const;
+};
+
+/// Parses "host:port" (IPv4 literal or name resolvable by inet_pton;
+/// names other than "localhost" are not resolved). Returns std::nullopt
+/// on malformed input or an out-of-range port.
+std::optional<SocketAddress> ParseHostPort(const std::string& text);
+
+/// RAII wrapper over one connected (or accepted) TCP socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends the whole buffer, waiting up to `timeout_ms` for writability
+  /// at each step. False on error/timeout/peer close.
+  bool SendAll(const void* data, std::size_t size, int timeout_ms);
+
+  /// Receives up to `size` bytes. Returns bytes read (>0), 0 on orderly
+  /// peer close or timeout with no data (distinguish via `*timed_out`),
+  /// -1 on error.
+  long RecvSome(void* data, std::size_t size, int timeout_ms,
+                bool* timed_out = nullptr);
+
+  /// Like RecvSome but leaves the bytes in the socket (MSG_PEEK).
+  long PeekSome(void* data, std::size_t size, int timeout_ms,
+                bool* timed_out = nullptr);
+
+  /// Half/full shutdown; unblocks a peer (or sibling thread) blocked in
+  /// recv on this socket.
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  /// Waits for readability (`want_read`) or writability; true when ready.
+  bool Wait(bool want_read, int timeout_ms) const;
+
+  int fd_ = -1;
+};
+
+/// Listening TCP socket with a poll-based accept loop.
+class TcpListener {
+ public:
+  /// Binds and listens on `address` (port 0 picks an ephemeral port,
+  /// re-readable via port()). std::nullopt on bind/listen failure.
+  static std::optional<TcpListener> Listen(const SocketAddress& address);
+
+  TcpListener(TcpListener&&) = default;
+  TcpListener& operator=(TcpListener&&) = default;
+
+  /// Waits up to `timeout_ms` for one incoming connection; std::nullopt
+  /// on timeout or when the listener has been closed from another
+  /// thread. The accepted socket is blocking with TCP_NODELAY set.
+  std::optional<Socket> Accept(int timeout_ms);
+
+  /// The bound port (resolves port 0 to the kernel's pick).
+  std::uint16_t port() const { return port_; }
+
+  /// Wakes a concurrent Accept (poll reports the shutdown and accept
+  /// fails), which then returns std::nullopt. Only reads the fd, so it
+  /// is safe against a racing Accept; Close() is not -- call it only
+  /// after the accepting thread has been joined.
+  void Shutdown() { socket_.ShutdownBoth(); }
+
+  /// Closes the listening socket. Not safe against a concurrent
+  /// Accept: Shutdown() and join the accept thread first.
+  void Close() { socket_.Close(); }
+
+ private:
+  TcpListener(Socket socket, std::uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to `address`, waiting up to `timeout_ms`. The returned
+/// socket is blocking with TCP_NODELAY set. std::nullopt on
+/// failure/timeout.
+std::optional<Socket> TcpConnect(const SocketAddress& address,
+                                 int timeout_ms);
+
+}  // namespace umicro::net
+
+#endif  // UMICRO_NET_SOCKET_H_

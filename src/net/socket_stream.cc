@@ -1,0 +1,47 @@
+#include "net/socket_stream.h"
+
+namespace umicro::net {
+
+SocketStreamBuf::SocketStreamBuf(Socket* socket, int read_timeout_ms)
+    : socket_(socket), read_timeout_ms_(read_timeout_ms) {
+  setg(in_buffer_.data(), in_buffer_.data(), in_buffer_.data());
+  setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+}
+
+SocketStreamBuf::int_type SocketStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  // Responses for everything read so far must be on the wire before the
+  // session blocks waiting for the peer's next request.
+  if (!FlushBuffer()) return traits_type::eof();
+  const long n =
+      socket_->RecvSome(in_buffer_.data(), in_buffer_.size(),
+                        read_timeout_ms_);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buffer_.data(), in_buffer_.data(),
+       in_buffer_.data() + static_cast<std::size_t>(n));
+  return traits_type::to_int_type(*gptr());
+}
+
+SocketStreamBuf::int_type SocketStreamBuf::overflow(int_type ch) {
+  if (!FlushBuffer()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int SocketStreamBuf::sync() { return FlushBuffer() ? 0 : -1; }
+
+bool SocketStreamBuf::FlushBuffer() {
+  const std::size_t pending = static_cast<std::size_t>(pptr() - pbase());
+  if (pending > 0) {
+    if (!socket_->SendAll(pbase(), pending, /*timeout_ms=*/10000)) {
+      return false;
+    }
+    setp(out_buffer_.data(), out_buffer_.data() + out_buffer_.size());
+  }
+  return true;
+}
+
+}  // namespace umicro::net

@@ -1,0 +1,57 @@
+// SocketStream: std::iostream over a connected socket.
+//
+// Turns one TCP connection into the istream/ostream pair
+// serve::ServeLineProtocol expects, which is what makes the PR 5 line
+// protocol network-reachable without a second parser: the aggregator
+// wraps each accepted query connection in a SocketStream and hands it
+// straight to the existing server loop. Reads are bounded by a poll
+// timeout so a silent peer cannot pin a session thread forever; a
+// timeout surfaces as EOF (the session ends, the protocol state cannot
+// desync because responses are only written between whole lines).
+
+#ifndef UMICRO_NET_SOCKET_STREAM_H_
+#define UMICRO_NET_SOCKET_STREAM_H_
+
+#include <array>
+#include <cstddef>
+#include <istream>
+#include <streambuf>
+
+#include "net/socket.h"
+
+namespace umicro::net {
+
+/// streambuf bridging a Socket; used via SocketStream below.
+class SocketStreamBuf : public std::streambuf {
+ public:
+  /// `socket` must outlive the stream. `read_timeout_ms` bounds every
+  /// refill; expiry reads as EOF.
+  SocketStreamBuf(Socket* socket, int read_timeout_ms);
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool FlushBuffer();
+
+  Socket* const socket_;
+  const int read_timeout_ms_;
+  std::array<char, 4096> in_buffer_;
+  std::array<char, 4096> out_buffer_;
+};
+
+/// iostream facade over one socket.
+class SocketStream : public std::iostream {
+ public:
+  explicit SocketStream(Socket* socket, int read_timeout_ms = 60000)
+      : std::iostream(&buf_), buf_(socket, read_timeout_ms) {}
+
+ private:
+  SocketStreamBuf buf_;
+};
+
+}  // namespace umicro::net
+
+#endif  // UMICRO_NET_SOCKET_STREAM_H_

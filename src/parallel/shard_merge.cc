@@ -1,0 +1,149 @@
+#include "parallel/shard_merge.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/check.h"
+
+namespace umicro::parallel {
+
+namespace {
+
+/// Path-compressing union-find root lookup.
+std::size_t FindRoot(std::vector<std::size_t>& parent, std::size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];
+    i = parent[i];
+  }
+  return i;
+}
+
+}  // namespace
+
+double ClusterSimilarity(const core::ErrorClusterFeature& a,
+                         const core::ErrorClusterFeature& b,
+                         const std::vector<double>& inv_scaled,
+                         double* centroid_dist2) {
+  const double inv_na = 1.0 / a.weight();
+  const double inv_nb = 1.0 / b.weight();
+  const double inv_na2 = inv_na * inv_na;
+  const double inv_nb2 = inv_nb * inv_nb;
+  double vote = 0.0;
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < a.dimensions(); ++j) {
+    const double diff = a.cf1()[j] * inv_na - b.cf1()[j] * inv_nb;
+    const double geometric = diff * diff;
+    d2 += geometric;
+    if (inv_scaled[j] > 0.0) {
+      const double expected =
+          geometric + a.ef2()[j] * inv_na2 + b.ef2()[j] * inv_nb2;
+      vote += std::max(0.0, 1.0 - expected * inv_scaled[j]);
+    }
+  }
+  *centroid_dist2 = d2;
+  return vote;
+}
+
+std::vector<core::MicroCluster> MergeShardClusterSets(
+    std::vector<std::vector<core::MicroCluster>> shard_sets,
+    const ShardMergeOptions& options, std::size_t* reconciliations) {
+  if (reconciliations != nullptr) *reconciliations = 0;
+  std::vector<core::MicroCluster> merged;
+  for (std::size_t i = 0; i < shard_sets.size(); ++i) {
+    for (core::MicroCluster& cluster : shard_sets[i]) {
+      merged.push_back(std::move(cluster));
+      UMICRO_DCHECK(merged.back().id < (1ull << kShardIdShift));
+      merged.back().id =
+          (static_cast<std::uint64_t>(i) << kShardIdShift) | merged.back().id;
+    }
+  }
+
+  const std::size_t q = merged.size();
+  if (q <= options.global_budget) {
+    // Under budget (always the case with one shard): the shard view IS
+    // the global view, untouched -- no reconciliation, exact statistics.
+    return merged;
+  }
+
+  // Over budget: near-duplicate clusters -- the same stream region
+  // discovered independently by several shards -- are reconciled by
+  // greedily uniting the most similar pairs (dimension-counting vote,
+  // centroid distance as tie-break) until the budget holds. The ECF
+  // additions below are exact, so reconciliation changes granularity,
+  // never statistics.
+  core::ErrorClusterFeature aggregate(options.dimensions);
+  for (const auto& cluster : merged) aggregate.Merge(cluster.ecf);
+  std::vector<double> inv_scaled(options.dimensions, 0.0);
+  for (std::size_t j = 0; j < options.dimensions; ++j) {
+    const double scaled =
+        options.dimension_threshold * aggregate.VarianceAt(j);
+    inv_scaled[j] = scaled > 0.0 ? 1.0 / scaled : 0.0;
+  }
+
+  struct CandidatePair {
+    double similarity;
+    double dist2;
+    std::size_t a;
+    std::size_t b;
+  };
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(q * (q - 1) / 2);
+  for (std::size_t a = 0; a + 1 < q; ++a) {
+    for (std::size_t b = a + 1; b < q; ++b) {
+      double d2 = 0.0;
+      const double sim =
+          ClusterSimilarity(merged[a].ecf, merged[b].ecf, inv_scaled, &d2);
+      pairs.push_back({sim, d2, a, b});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const CandidatePair& x, const CandidatePair& y) {
+              if (x.similarity != y.similarity)
+                return x.similarity > y.similarity;
+              return x.dist2 < y.dist2;
+            });
+
+  std::vector<std::size_t> parent(q);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::size_t components = q;
+  std::size_t unions = 0;
+  for (const CandidatePair& pair : pairs) {
+    if (components <= options.global_budget) break;
+    const std::size_t ra = FindRoot(parent, pair.a);
+    const std::size_t rb = FindRoot(parent, pair.b);
+    if (ra == rb) continue;
+    parent[rb] = ra;
+    --components;
+    ++unions;
+  }
+  if (reconciliations != nullptr) *reconciliations = unions;
+
+  // Materialize one cluster per union-find component; the heaviest
+  // member donates identity and the earliest member the creation time
+  // (mirroring the sequential closest-pair merge rule).
+  std::vector<core::MicroCluster> reconciled;
+  reconciled.reserve(components);
+  std::vector<std::size_t> root_slot(q, q);
+  for (std::size_t i = 0; i < q; ++i) {
+    const std::size_t root = FindRoot(parent, i);
+    if (root_slot[root] == q) {
+      root_slot[root] = reconciled.size();
+      reconciled.push_back(std::move(merged[i]));
+      continue;
+    }
+    core::MicroCluster& into = reconciled[root_slot[root]];
+    core::MicroCluster& from = merged[i];
+    if (from.ecf.weight() > into.ecf.weight()) {
+      std::swap(into.id, from.id);
+    }
+    into.creation_time = std::min(into.creation_time, from.creation_time);
+    into.ecf.Merge(from.ecf);
+    for (const auto& [label, weight] : from.labels) {
+      into.labels[label] += weight;
+    }
+  }
+  return reconciled;
+}
+
+}  // namespace umicro::parallel

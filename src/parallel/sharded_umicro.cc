@@ -8,18 +8,13 @@
 #include <utility>
 
 #include "obs/scoped_timer.h"
+#include "parallel/shard_merge.h"
 #include "util/check.h"
 #include "util/failpoints.h"
 
 namespace umicro::parallel {
 
 namespace {
-
-/// Shard index is tagged into the high bits of the global cluster id so
-/// ids stay unique and stable across shards (shard 0 keeps its local ids
-/// verbatim, which is what makes the 1-shard pipeline bit-identical to
-/// the sequential algorithm).
-constexpr unsigned kShardIdShift = 48;
 
 /// FNV-1a over the coordinate bytes: a stable point->shard mapping.
 std::uint64_t HashPointValues(const stream::UncertainPoint& point) {
@@ -31,47 +26,6 @@ std::uint64_t HashPointValues(const stream::UncertainPoint& point) {
     h *= 1099511628211ull;
   }
   return h;
-}
-
-/// Dimension-counting similarity between two micro-clusters (the paper's
-/// Section II-B vote, lifted from point-vs-cluster to cluster-vs-cluster):
-/// each cluster's centroid is an uncertain observation whose per-dimension
-/// error mass is EF2_j/n^2 (Lemma 2.1), so the expected squared centroid
-/// gap along dimension j is (mu_a - mu_b)^2 + EF2a_j/na^2 + EF2b_j/nb^2,
-/// and dimension j votes max{0, 1 - gap_j/(thresh*sigma_j^2)}.
-/// `inv_scaled[j]` caches 1/(thresh*sigma_j^2) (0 for dead dimensions).
-/// Also reports the plain squared centroid distance for tie-breaking.
-double ClusterSimilarity(const core::ErrorClusterFeature& a,
-                         const core::ErrorClusterFeature& b,
-                         const std::vector<double>& inv_scaled,
-                         double* centroid_dist2) {
-  const double inv_na = 1.0 / a.weight();
-  const double inv_nb = 1.0 / b.weight();
-  const double inv_na2 = inv_na * inv_na;
-  const double inv_nb2 = inv_nb * inv_nb;
-  double vote = 0.0;
-  double d2 = 0.0;
-  for (std::size_t j = 0; j < a.dimensions(); ++j) {
-    const double diff = a.cf1()[j] * inv_na - b.cf1()[j] * inv_nb;
-    const double geometric = diff * diff;
-    d2 += geometric;
-    if (inv_scaled[j] > 0.0) {
-      const double expected =
-          geometric + a.ef2()[j] * inv_na2 + b.ef2()[j] * inv_nb2;
-      vote += std::max(0.0, 1.0 - expected * inv_scaled[j]);
-    }
-  }
-  *centroid_dist2 = d2;
-  return vote;
-}
-
-/// Path-compressing union-find root lookup.
-std::size_t FindRoot(std::vector<std::size_t>& parent, std::size_t i) {
-  while (parent[i] != i) {
-    parent[i] = parent[parent[i]];
-    i = parent[i];
-  }
-  return i;
 }
 
 }  // namespace
@@ -357,104 +311,24 @@ void ShardedUMicro::WaitDrained() {
 }
 
 void ShardedUMicro::RebuildGlobalView() {
-  std::vector<core::MicroCluster> merged;
+  std::vector<std::vector<core::MicroCluster>> shard_sets(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
     std::lock_guard<std::mutex> lock(shard.state_mu);
     shard.clusters_at_merge->Set(
         static_cast<double>(shard.algo.clusters().size()));
-    for (const core::MicroCluster& cluster : shard.algo.clusters()) {
-      merged.push_back(cluster);
-      UMICRO_DCHECK(cluster.id < (1ull << kShardIdShift));
-      merged.back().id =
-          (static_cast<std::uint64_t>(i) << kShardIdShift) | cluster.id;
-    }
+    shard_sets[i] = shard.algo.clusters();
   }
-
-  const std::size_t q = merged.size();
-  if (q <= global_budget_) {
-    // Under budget (always the case with one shard): the shard view IS
-    // the global view, untouched -- no reconciliation, exact statistics.
-    global_clusters_ = std::move(merged);
-    return;
-  }
-
-  // Over budget: near-duplicate clusters -- the same stream region
-  // discovered independently by several shards -- are reconciled by
-  // greedily uniting the most similar pairs (dimension-counting vote,
-  // centroid distance as tie-break) until the budget holds. The ECF
-  // additions below are exact, so reconciliation changes granularity,
-  // never statistics.
-  core::ErrorClusterFeature aggregate(dimensions_);
-  for (const auto& cluster : merged) aggregate.Merge(cluster.ecf);
-  std::vector<double> inv_scaled(dimensions_, 0.0);
-  for (std::size_t j = 0; j < dimensions_; ++j) {
-    const double scaled =
-        options_.umicro.dimension_threshold * aggregate.VarianceAt(j);
-    inv_scaled[j] = scaled > 0.0 ? 1.0 / scaled : 0.0;
-  }
-
-  struct CandidatePair {
-    double similarity;
-    double dist2;
-    std::size_t a;
-    std::size_t b;
-  };
-  std::vector<CandidatePair> pairs;
-  pairs.reserve(q * (q - 1) / 2);
-  for (std::size_t a = 0; a + 1 < q; ++a) {
-    for (std::size_t b = a + 1; b < q; ++b) {
-      double d2 = 0.0;
-      const double sim =
-          ClusterSimilarity(merged[a].ecf, merged[b].ecf, inv_scaled, &d2);
-      pairs.push_back({sim, d2, a, b});
-    }
-  }
-  std::sort(pairs.begin(), pairs.end(),
-            [](const CandidatePair& x, const CandidatePair& y) {
-              if (x.similarity != y.similarity)
-                return x.similarity > y.similarity;
-              return x.dist2 < y.dist2;
-            });
-
-  std::vector<std::size_t> parent(q);
-  std::iota(parent.begin(), parent.end(), 0);
-  std::size_t components = q;
-  for (const CandidatePair& pair : pairs) {
-    if (components <= global_budget_) break;
-    const std::size_t ra = FindRoot(parent, pair.a);
-    const std::size_t rb = FindRoot(parent, pair.b);
-    if (ra == rb) continue;
-    parent[rb] = ra;
-    --components;
+  ShardMergeOptions merge_options;
+  merge_options.dimensions = dimensions_;
+  merge_options.dimension_threshold = options_.umicro.dimension_threshold;
+  merge_options.global_budget = global_budget_;
+  std::size_t reconciliations = 0;
+  global_clusters_ = MergeShardClusterSets(std::move(shard_sets),
+                                           merge_options, &reconciliations);
+  for (std::size_t n = 0; n < reconciliations; ++n) {
     reconcile_metric_->Increment();
   }
-
-  // Materialize one cluster per union-find component; the heaviest
-  // member donates identity and the earliest member the creation time
-  // (mirroring the sequential closest-pair merge rule).
-  std::vector<core::MicroCluster> reconciled;
-  reconciled.reserve(components);
-  std::vector<std::size_t> root_slot(q, q);
-  for (std::size_t i = 0; i < q; ++i) {
-    const std::size_t root = FindRoot(parent, i);
-    if (root_slot[root] == q) {
-      root_slot[root] = reconciled.size();
-      reconciled.push_back(std::move(merged[i]));
-      continue;
-    }
-    core::MicroCluster& into = reconciled[root_slot[root]];
-    core::MicroCluster& from = merged[i];
-    if (from.ecf.weight() > into.ecf.weight()) {
-      std::swap(into.id, from.id);
-    }
-    into.creation_time = std::min(into.creation_time, from.creation_time);
-    into.ecf.Merge(from.ecf);
-    for (const auto& [label, weight] : from.labels) {
-      into.labels[label] += weight;
-    }
-  }
-  global_clusters_ = std::move(reconciled);
 }
 
 void ShardedUMicro::MergeNow() {

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -11,6 +12,51 @@
 namespace umicro::serve {
 
 namespace {
+
+/// Echoes client input back safely inside an ERR line: non-printable
+/// bytes are masked and the length capped, so hostile bytes (NULs,
+/// control codes, megabyte tokens) can never desync the line protocol
+/// through their own error message.
+std::string SanitizeToken(const std::string& token) {
+  constexpr std::size_t kEchoCap = 32;
+  std::string safe;
+  const std::size_t limit = std::min(token.size(), kEchoCap);
+  safe.reserve(limit);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const unsigned char byte = static_cast<unsigned char>(token[i]);
+    safe.push_back(byte >= 0x20 && byte < 0x7F ? static_cast<char>(byte)
+                                               : '?');
+  }
+  if (token.size() > kEchoCap) safe += "...";
+  return safe;
+}
+
+/// Reads one '\n'-terminated line of at most `limit` bytes (a trailing
+/// '\r' is stripped for CRLF clients). Returns false at EOF with
+/// nothing read. A longer line sets *overflow and is discarded through
+/// its newline without ever being buffered whole.
+bool ReadLineBounded(std::istream& in, std::string* line,
+                     std::size_t limit, bool* overflow) {
+  line->clear();
+  *overflow = false;
+  int ch;
+  bool any = false;
+  while ((ch = in.get()) != std::char_traits<char>::eof()) {
+    any = true;
+    if (ch == '\n') break;
+    if (line->size() >= limit) {
+      *overflow = true;
+      while ((ch = in.get()) != std::char_traits<char>::eof() &&
+             ch != '\n') {
+      }
+      break;
+    }
+    line->push_back(static_cast<char>(ch));
+  }
+  if (!any) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
 
 std::vector<std::string> Tokenize(const std::string& line) {
   std::vector<std::string> tokens;
@@ -160,14 +206,14 @@ bool ParseRequest(const std::vector<std::string>& tokens,
     for (std::size_t i = 1; i < tokens.size(); ++i) {
       double value = 0.0;
       if (!ParseDouble(tokens[i], &value)) {
-        *error = "malformed coordinate: " + tokens[i];
+        *error = "malformed coordinate: " + SanitizeToken(tokens[i]);
         return false;
       }
       request->values.push_back(value);
     }
     return true;
   }
-  *error = "unknown request: " + verb;
+  *error = "unknown request: " + SanitizeToken(verb);
   return false;
 }
 
@@ -192,7 +238,16 @@ std::size_t ServeLineProtocol(QueryBroker& broker, std::istream& in,
 
   std::string line;
   bool quit = false;
-  while (!quit && std::getline(in, line)) {
+  bool overflow = false;
+  while (!quit &&
+         ReadLineBounded(in, &line, options.max_line_bytes, &overflow)) {
+    if (overflow) {
+      while (!pipeline.empty()) drain_one();
+      out << "ERR request line too long\n";
+      out.flush();
+      ++served;
+      continue;
+    }
     const std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) continue;  // blank line: keepalive, no response
     QueryRequest request;

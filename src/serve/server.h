@@ -37,6 +37,10 @@ struct ServerOptions {
   /// Maximum in-flight (submitted, unanswered) requests before the
   /// reader blocks on the oldest response.
   std::size_t max_pipeline = 64;
+  /// Longest accepted request line. Anything longer is answered with an
+  /// ERR line and discarded through its newline (the reader never
+  /// buffers more than this much of a hostile line).
+  std::size_t max_line_bytes = std::size_t{1} << 20;
 };
 
 /// Runs the line protocol over `in`/`out` until EOF or QUIT; returns

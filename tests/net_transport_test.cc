@@ -1,0 +1,303 @@
+// Transport-layer tests for src/net: address parsing, the frame codec
+// under clean and hostile input, loopback socket plumbing (timeouts,
+// peeks, orderly close), the PeerSender queue, and the reconnect
+// backoff ladder.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+#include "net/peer.h"
+#include "net/reconnect.h"
+#include "net/socket.h"
+#include "net/socket_stream.h"
+
+namespace umicro::net {
+namespace {
+
+TEST(ParseHostPortTest, AcceptsIpv4AndLocalhost) {
+  const auto a = ParseHostPort("127.0.0.1:9000");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->host, "127.0.0.1");
+  EXPECT_EQ(a->port, 9000);
+
+  const auto b = ParseHostPort("localhost:1");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->host, "127.0.0.1");
+  EXPECT_EQ(b->port, 1);
+}
+
+TEST(ParseHostPortTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", ":", "127.0.0.1", "127.0.0.1:", ":9000", "127.0.0.1:65536",
+        "127.0.0.1:-1", "127.0.0.1:12x", "not-an-ip:80",
+        "127.0.0.1:99999999999999999999"}) {
+    EXPECT_FALSE(ParseHostPort(bad).has_value()) << bad;
+  }
+}
+
+TEST(FrameCodecTest, RoundTripsAllTypes) {
+  for (const FrameType type : {FrameType::kHello, FrameType::kDelta,
+                               FrameType::kAck, FrameType::kBye}) {
+    const std::string payload("payload with\nnewlines and \0 nul bytes", 37);
+    const std::string wire = EncodeFrame(type, payload);
+    ASSERT_GE(wire.size(), kFrameHeaderSize);
+    EXPECT_EQ(static_cast<unsigned char>(wire[0]), kFrameMagic);
+
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), wire.size());
+    const std::optional<Frame> frame = decoder.Next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_FALSE(decoder.corrupted());
+    EXPECT_FALSE(decoder.Next().has_value());
+  }
+}
+
+TEST(FrameCodecTest, DecodesByteAtATimeAndBackToBack) {
+  const std::string one = EncodeFrame(FrameType::kHello, "first");
+  const std::string two = EncodeFrame(FrameType::kDelta, "second");
+  const std::string wire = one + two;
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char byte : wire) {
+    decoder.Feed(&byte, 1);
+    while (auto frame = decoder.Next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "first");
+  EXPECT_EQ(frames[1].payload, "second");
+  EXPECT_EQ(decoder.frames_decoded(), 2u);
+}
+
+TEST(FrameCodecTest, BadMagicPoisonsDecoder) {
+  std::string wire = EncodeFrame(FrameType::kAck, "x");
+  wire[0] = 'G';  // e.g. an HTTP GET aimed at the wrong port
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  EXPECT_TRUE(decoder.corrupted());
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameCodecTest, FlippedPayloadBitFailsChecksum) {
+  std::string wire = EncodeFrame(FrameType::kDelta, "important state");
+  wire.back() ^= 0x01;
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  EXPECT_TRUE(decoder.corrupted());
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+TEST(FrameCodecTest, OversizedLengthRejectedWithoutAllocation) {
+  // Hand-build a header whose length field claims 1 GiB.
+  std::string wire;
+  wire.push_back(static_cast<char>(kFrameMagic));
+  wire.push_back(static_cast<char>(FrameType::kDelta));
+  const std::uint32_t huge = 1u << 30;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    wire.push_back(static_cast<char>((huge >> shift) & 0xFF));
+  }
+  wire.append(8, '\0');  // checksum never reached
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  EXPECT_TRUE(decoder.corrupted());
+}
+
+TEST(FrameCodecTest, EncoderRefusesOversizedPayload) {
+  std::string payload;
+  payload.resize(kMaxFramePayload + 1, 'x');
+  EXPECT_TRUE(EncodeFrame(FrameType::kDelta, payload).empty());
+}
+
+TEST(FrameCodecTest, FeedAfterCorruptionIsIgnored) {
+  std::string bad = EncodeFrame(FrameType::kAck, "y");
+  bad[0] = 0x00;
+  FrameDecoder decoder;
+  decoder.Feed(bad.data(), bad.size());
+  ASSERT_TRUE(decoder.corrupted());
+  const std::string good = EncodeFrame(FrameType::kAck, "z");
+  decoder.Feed(good.data(), good.size());
+  EXPECT_FALSE(decoder.Next().has_value());  // no resync inside the stream
+}
+
+TEST(BackoffTest, GrowsToCapAndResets) {
+  BackoffOptions options;
+  options.base_ms = 50;
+  options.max_ms = 400;
+  Backoff backoff(options);
+  EXPECT_EQ(backoff.NextDelayMs(), 50);
+  EXPECT_EQ(backoff.NextDelayMs(), 100);
+  EXPECT_EQ(backoff.NextDelayMs(), 200);
+  EXPECT_EQ(backoff.NextDelayMs(), 400);
+  EXPECT_EQ(backoff.NextDelayMs(), 400);  // capped
+  backoff.Reset();
+  EXPECT_EQ(backoff.NextDelayMs(), 50);
+}
+
+/// Listener + connected client pair on an ephemeral loopback port.
+struct LoopbackPair {
+  TcpListener listener;
+  Socket client;
+  Socket server;
+};
+
+std::optional<LoopbackPair> MakeLoopback() {
+  auto listener = TcpListener::Listen({"127.0.0.1", 0});
+  if (!listener.has_value()) return std::nullopt;
+  auto client = TcpConnect({"127.0.0.1", listener->port()}, 2000);
+  if (!client.has_value()) return std::nullopt;
+  auto server = listener->Accept(2000);
+  if (!server.has_value()) return std::nullopt;
+  LoopbackPair pair{std::move(*listener), std::move(*client),
+                    std::move(*server)};
+  return std::optional<LoopbackPair>(std::move(pair));
+}
+
+TEST(SocketTest, SendAllRecvSomeRoundTrip) {
+  auto pair = MakeLoopback();
+  ASSERT_TRUE(pair.has_value());
+  const std::string message = "hello over loopback";
+  ASSERT_TRUE(pair->client.SendAll(message.data(), message.size(), 2000));
+
+  std::string received;
+  while (received.size() < message.size()) {
+    char buffer[64];
+    const long n = pair->server.RecvSome(buffer, sizeof(buffer), 2000);
+    ASSERT_GT(n, 0);
+    received.append(buffer, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(received, message);
+}
+
+TEST(SocketTest, RecvTimeoutIsDistinguishedFromClose) {
+  auto pair = MakeLoopback();
+  ASSERT_TRUE(pair.has_value());
+
+  char byte = 0;
+  bool timed_out = false;
+  EXPECT_EQ(pair->server.RecvSome(&byte, 1, 50, &timed_out), 0);
+  EXPECT_TRUE(timed_out);
+
+  pair->client.Close();
+  timed_out = true;
+  EXPECT_EQ(pair->server.RecvSome(&byte, 1, 2000, &timed_out), 0);
+  EXPECT_FALSE(timed_out);  // orderly close, not a timeout
+}
+
+TEST(SocketTest, PeekLeavesBytesInTheStream) {
+  auto pair = MakeLoopback();
+  ASSERT_TRUE(pair.has_value());
+  ASSERT_TRUE(pair->client.SendAll("AB", 2, 2000));
+
+  char peeked = 0;
+  ASSERT_EQ(pair->server.PeekSome(&peeked, 1, 2000), 1);
+  EXPECT_EQ(peeked, 'A');
+  char buffer[4];
+  ASSERT_EQ(pair->server.RecvSome(buffer, sizeof(buffer), 2000), 2);
+  EXPECT_EQ(buffer[0], 'A');
+  EXPECT_EQ(buffer[1], 'B');
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, then close the listener so nothing accepts.
+  auto listener = TcpListener::Listen({"127.0.0.1", 0});
+  ASSERT_TRUE(listener.has_value());
+  const std::uint16_t port = listener->port();
+  listener->Close();
+  EXPECT_FALSE(TcpConnect({"127.0.0.1", port}, 500).has_value());
+}
+
+TEST(PeerSenderTest, DeliversFramesInOrder) {
+  auto pair = MakeLoopback();
+  ASSERT_TRUE(pair.has_value());
+
+  PeerSender sender(&pair->client, PeerSenderOptions{});
+  std::vector<std::string> wires;
+  for (int i = 0; i < 16; ++i) {
+    wires.push_back(
+        EncodeFrame(FrameType::kDelta, "frame #" + std::to_string(i)));
+    ASSERT_TRUE(sender.Enqueue(wires.back()));
+  }
+  ASSERT_TRUE(sender.Drain());
+  EXPECT_EQ(sender.frames_sent(), 16u);
+  EXPECT_FALSE(sender.broken());
+
+  FrameDecoder decoder;
+  std::size_t decoded = 0;
+  while (decoded < 16) {
+    char buffer[4096];
+    const long n = pair->server.RecvSome(buffer, sizeof(buffer), 2000);
+    ASSERT_GT(n, 0);
+    decoder.Feed(buffer, static_cast<std::size_t>(n));
+    while (auto frame = decoder.Next()) {
+      EXPECT_EQ(frame->payload, "frame #" + std::to_string(decoded));
+      ++decoded;
+    }
+  }
+  sender.Stop();
+}
+
+TEST(PeerSenderTest, BreaksWhenPeerDisappears) {
+  auto pair = MakeLoopback();
+  ASSERT_TRUE(pair.has_value());
+  pair->server.Close();
+  pair->client.ShutdownBoth();
+
+  PeerSenderOptions options;
+  options.send_timeout_ms = 500;
+  PeerSender sender(&pair->client, options);
+  const std::string wire = EncodeFrame(FrameType::kHello, "h");
+  // The first enqueue may land in kernel buffers; keep pushing until the
+  // broken pipe is observed. Bounded by the queue budget + timeout.
+  bool broke = false;
+  for (int i = 0; i < 64 && !broke; ++i) {
+    if (!sender.Enqueue(wire)) {
+      broke = true;
+      break;
+    }
+    sender.Drain();
+    broke = sender.broken();
+  }
+  EXPECT_TRUE(broke);
+  sender.Stop();
+}
+
+TEST(SocketStreamTest, RoundTripsLineProtocolTraffic) {
+  auto pair = MakeLoopback();
+  ASSERT_TRUE(pair.has_value());
+
+  std::thread echo([&pair] {
+    SocketStream stream(&pair->server, 2000);
+    std::string line;
+    while (std::getline(stream, line)) {
+      stream << "echo " << line << "\n";
+      stream.flush();
+      if (line == "last") break;
+    }
+  });
+
+  SocketStream client(&pair->client, 2000);
+  client << "first\n";
+  client.flush();
+  std::string reply;
+  ASSERT_TRUE(static_cast<bool>(std::getline(client, reply)));
+  EXPECT_EQ(reply, "echo first");
+
+  // Unflushed output must be pushed out by a read (request/response
+  // usage never deadlocks on a buffered request).
+  client << "last\n";
+  ASSERT_TRUE(static_cast<bool>(std::getline(client, reply)));
+  EXPECT_EQ(reply, "echo last");
+  echo.join();
+}
+
+}  // namespace
+}  // namespace umicro::net

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Multi-process distributed e2e over loopback (docs/distributed.md).
+#
+#   tools/dist_e2e.sh [BUILD_DIR] [WORK_DIR]
+#
+# Three legs, all against one single-process reference state:
+#   1. reference  -- sharded 2-way run in one process, canonical dump
+#   2. healthy    -- real agg process + 2 real leaf processes; the merged
+#                    dump must be BYTE-identical to the reference, and
+#                    remote line-protocol queries must answer
+#   3. crash      -- leaf 0's first incarnation stops after 12000 of the
+#                    20000 stream rows (a deterministic crash point: the
+#                    aggregator is left holding a mid-stream delta and a
+#                    checkpoint is on disk); its restart recovers from
+#                    the checkpoint, replays the remainder, and the
+#                    final merged dump must again be byte-identical
+#
+# Exits 0 and prints DIST_E2E_PASS only if every leg holds. Safe under
+# sanitizers (generous timeouts, ephemeral ports).
+set -u
+
+BUILD_DIR=${1:-build}
+WORK_DIR=${2:-$(mktemp -d /tmp/dist_e2e.XXXXXX)}
+CLI=$BUILD_DIR/tools/umicro_cli
+POINTS=20000
+DIMS=20
+NMICRO=100
+CRASH_ROWS=12000
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+fail() {
+  echo "DIST_E2E_FAIL: $*" >&2
+  for log in "$WORK_DIR"/*.log; do
+    echo "---- $log ----" >&2
+    tail -20 "$log" >&2 || true
+  done
+  exit 1
+}
+
+[ -x "$CLI" ] || fail "umicro_cli not found at $CLI"
+mkdir -p "$WORK_DIR"
+
+# Waits for "aggregator listening on HOST:PORT" and echoes the port.
+scrape_port() {
+  local log=$1
+  for _ in $(seq 1 100); do
+    local port
+    port=$(sed -n 's/^aggregator listening on [^:]*:\([0-9]*\)$/\1/p' \
+               "$log" 2>/dev/null | head -1)
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  return 1
+}
+
+wait_for_file() {
+  local file=$1 tries=$2
+  for _ in $(seq 1 "$tries"); do
+    [ -s "$file" ] && return 0
+    sleep 0.5
+  done
+  return 1
+}
+
+start_agg() {
+  local state=$1 log=$2
+  "$CLI" --role=agg --listen=127.0.0.1:0 --dims=$DIMS --nmicro=$NMICRO \
+      --expect-points=$POINTS --expect-timeout=240 \
+      --state-out="$state" --linger-seconds=120 >"$log" 2>&1 &
+  PIDS+=($!)
+  echo $!
+}
+
+run_leaf() {  # run_leaf PORT OFFSET LOG [extra flags...]
+  local port=$1 offset=$2 log=$3
+  shift 3
+  "$CLI" --role=leaf --leaf-id="$offset" --stride=2 --offset="$offset" \
+      --connect=127.0.0.1:"$port" --synthetic=syndrift --points=$POINTS \
+      --nmicro=$NMICRO --snapshot-every=0 "$@" >"$log" 2>&1
+}
+
+# ---- Leg 1: single-process reference --------------------------------
+echo "[1/3] single-process sharded reference"
+"$CLI" --synthetic=syndrift --points=$POINTS --threads=2 --batch=1 \
+    --merge-every=0 --snapshot-every=0 --nmicro=$NMICRO \
+    --state-out="$WORK_DIR/ref.state" >"$WORK_DIR/ref.log" 2>&1 \
+  || fail "reference run failed"
+[ -s "$WORK_DIR/ref.state" ] || fail "reference state missing"
+
+# ---- Leg 2: healthy 2-leaf topology + remote queries ----------------
+echo "[2/3] healthy topology: 2 leaf processes + 1 aggregator"
+AGG_PID=$(start_agg "$WORK_DIR/agg.state" "$WORK_DIR/agg.log")
+PORT=$(scrape_port "$WORK_DIR/agg.log") || fail "no aggregator port"
+run_leaf "$PORT" 0 "$WORK_DIR/leaf0.log" &
+L0=$!; PIDS+=($L0)
+run_leaf "$PORT" 1 "$WORK_DIR/leaf1.log" &
+L1=$!; PIDS+=($L1)
+wait $L0 || fail "leaf 0 exited nonzero"
+wait $L1 || fail "leaf 1 exited nonzero"
+wait_for_file "$WORK_DIR/agg.state" 240 || fail "aggregator never merged"
+printf 'STATS\nCLUSTER 50000 3\nQUIT\n' | \
+    "$CLI" --role=query --connect=127.0.0.1:"$PORT" \
+    >"$WORK_DIR/query.out" 2>&1 || fail "query client failed"
+grep -q '^OK STATS' "$WORK_DIR/query.out" || fail "no STATS answer"
+grep -q '^OK BYE' "$WORK_DIR/query.out" || fail "no BYE answer"
+kill "$AGG_PID" 2>/dev/null
+cmp -s "$WORK_DIR/ref.state" "$WORK_DIR/agg.state" \
+  || fail "healthy topology state differs from reference"
+echo "      merged state byte-identical; remote queries answered"
+
+# ---- Leg 3: leaf crash at a checkpoint, recovery, replay ------------
+echo "[3/3] crash topology: leaf 0 dies at row $CRASH_ROWS, recovers"
+AGG2_PID=$(start_agg "$WORK_DIR/agg2.state" "$WORK_DIR/agg2.log")
+PORT2=$(scrape_port "$WORK_DIR/agg2.log") || fail "no aggregator port (2)"
+run_leaf "$PORT2" 1 "$WORK_DIR/leaf1b.log" &
+L1B=$!; PIDS+=($L1B)
+run_leaf "$PORT2" 0 "$WORK_DIR/leaf0-crash.log" \
+    --max-rows=$CRASH_ROWS \
+    --checkpoint-dir="$WORK_DIR/ckpt0" --checkpoint-every=2000 \
+  || fail "leaf 0 (pre-crash) exited nonzero"
+grep -q 'checkpoint' "$WORK_DIR/leaf0-crash.log" || true
+run_leaf "$PORT2" 0 "$WORK_DIR/leaf0-recover.log" \
+    --recover --checkpoint-dir="$WORK_DIR/ckpt0" \
+  || fail "leaf 0 (recovered) exited nonzero"
+grep -q 'recovered from' "$WORK_DIR/leaf0-recover.log" \
+  || fail "leaf 0 restart did not recover a checkpoint"
+wait $L1B || fail "leaf 1 exited nonzero (crash leg)"
+wait_for_file "$WORK_DIR/agg2.state" 240 || fail "aggregator (2) never merged"
+kill "$AGG2_PID" 2>/dev/null
+cmp -s "$WORK_DIR/ref.state" "$WORK_DIR/agg2.state" \
+  || fail "post-recovery state differs from reference"
+echo "      recovered topology byte-identical to reference"
+
+echo "DIST_E2E_PASS"

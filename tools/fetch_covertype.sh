@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Fetches the UCI Forest CoverType dataset (the paper's third data set)
+# as numeric CSV with the class label last — already the shape the CSV
+# loader accepts headerless (docs/data_formats.md §1), so the only
+# preparation is decompression.
+#
+#   tools/fetch_covertype.sh [DEST_DIR]     # default: data/
+#
+# Produces DEST_DIR/covertype.csv (581,012 rows x 54 features + class).
+# Network access is required; nothing in the build or tests depends on
+# this — it is the opt-in on-ramp for tools/run_real_experiments.sh.
+set -euo pipefail
+
+DEST_DIR="${1:-data}"
+URL_PRIMARY="https://archive.ics.uci.edu/ml/machine-learning-databases/covtype/covtype.data.gz"
+URL_FALLBACK="https://kdd.ics.uci.edu/databases/covertype/covtype.data.gz"
+RAW="$DEST_DIR/covtype.data.gz"
+OUT="$DEST_DIR/covertype.csv"
+
+mkdir -p "$DEST_DIR"
+
+if [ -s "$OUT" ]; then
+  echo "$OUT already exists ($(wc -l < "$OUT") rows); delete it to re-fetch."
+  exit 0
+fi
+
+fetch() {
+  local url="$1" dest="$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -fL --retry 3 -o "$dest" "$url"
+  elif command -v wget >/dev/null 2>&1; then
+    wget -O "$dest" "$url"
+  else
+    echo "error: neither curl nor wget available" >&2
+    return 1
+  fi
+}
+
+if [ ! -s "$RAW" ]; then
+  echo "fetching $URL_PRIMARY"
+  fetch "$URL_PRIMARY" "$RAW" || {
+    echo "primary mirror failed; trying $URL_FALLBACK"
+    fetch "$URL_FALLBACK" "$RAW"
+  }
+fi
+
+gzip -dc "$RAW" > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+
+echo "wrote $OUT ($(wc -l < "$OUT") rows)"
+echo "run: build/tools/umicro_cli --input=$OUT --no-header --eta=0.5"

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Fetches the KDD Cup 1999 network-intrusion dataset (10% subset, the
+# one the paper's Network experiments correspond to) and converts it to
+# the numeric CSV form the loaders accept (docs/data_formats.md §1):
+# symbolic columns mapped to dense integer ids in first-appearance
+# order, class label last with its trailing '.' stripped.
+#
+#   tools/fetch_kdd99.sh [DEST_DIR]     # default: data/
+#
+# Produces DEST_DIR/kdd99.csv (~490k rows x 41 features + label).
+# Network access is required; nothing in the build or tests depends on
+# this — it is the opt-in on-ramp for tools/run_real_experiments.sh.
+set -euo pipefail
+
+DEST_DIR="${1:-data}"
+URL_PRIMARY="https://kdd.ics.uci.edu/databases/kddcup99/kddcup.data_10_percent.gz"
+URL_FALLBACK="https://archive.ics.uci.edu/ml/machine-learning-databases/kddcup99-mld/kddcup.data_10_percent.gz"
+RAW="$DEST_DIR/kddcup.data_10_percent.gz"
+OUT="$DEST_DIR/kdd99.csv"
+
+mkdir -p "$DEST_DIR"
+
+if [ -s "$OUT" ]; then
+  echo "$OUT already exists ($(wc -l < "$OUT") rows); delete it to re-fetch."
+  exit 0
+fi
+
+fetch() {
+  local url="$1" dest="$2"
+  if command -v curl >/dev/null 2>&1; then
+    curl -fL --retry 3 -o "$dest" "$url"
+  elif command -v wget >/dev/null 2>&1; then
+    wget -O "$dest" "$url"
+  else
+    echo "error: neither curl nor wget available" >&2
+    return 1
+  fi
+}
+
+if [ ! -s "$RAW" ]; then
+  echo "fetching $URL_PRIMARY"
+  fetch "$URL_PRIMARY" "$RAW" || {
+    echo "primary mirror failed; trying $URL_FALLBACK"
+    fetch "$URL_FALLBACK" "$RAW"
+  }
+fi
+
+# Columns 2,3,4 (protocol_type, service, flag) and the label are
+# symbolic; everything else is already numeric. Map each symbolic value
+# to a dense id in first-appearance order — the same scheme the CSV
+# loader applies to string labels.
+gzip -dc "$RAW" | awk -F',' -v OFS=',' '
+  {
+    for (c = 2; c <= 4; ++c) {
+      if (!(($c, c) in id)) { id[$c, c] = count[c]++ }
+      $c = id[$c, c]
+    }
+    sub(/\.$/, "", $NF)
+    print
+  }' > "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+
+echo "wrote $OUT ($(wc -l < "$OUT") rows)"
+echo "run: build/tools/umicro_cli --input=$OUT --no-header --eta=0.5"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Opt-in experiment runner over the REAL KDD'99 / Forest CoverType
+# datasets (the bench/ figures use synthetic stand-ins; see
+# EXPERIMENTS.md). Fetch the data first — this script never touches the
+# network:
+#
+#   tools/fetch_kdd99.sh && tools/fetch_covertype.sh
+#   tools/run_real_experiments.sh [BUILD_DIR] [DATA_DIR] [OUT_DIR]
+#
+# Defaults: build/, data/, results/. For each dataset present it runs
+# the paper's configuration (q=100 micro-clusters, eta=0.5 perturbation)
+# through umicro_cli and leaves metrics + centroid dumps in OUT_DIR
+# (results/real_<dataset>.{json,csv} and
+# results/real_<dataset>_centroids.csv). Missing datasets are skipped
+# with a hint, so partial fetches still work.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+DATA_DIR="${2:-data}"
+OUT_DIR="${3:-results}"
+CLI="$BUILD_DIR/tools/umicro_cli"
+
+if [ ! -x "$CLI" ]; then
+  echo "error: $CLI not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+ran=0
+run_one() {
+  local name="$1" csv="$2"
+  if [ ! -s "$csv" ]; then
+    echo "skipping $name: $csv not found (run tools/fetch_${name}.sh first)"
+    return 0
+  fi
+  echo "== $name ($(wc -l < "$csv") rows)"
+  "$CLI" --input="$csv" --no-header --eta=0.5 --nmicro=100 \
+    --metrics-out="$OUT_DIR/real_$name" \
+    --centroids-out="$OUT_DIR/real_${name}_centroids.csv"
+  ran=$((ran + 1))
+}
+
+run_one kdd99 "$DATA_DIR/kdd99.csv"
+run_one covertype "$DATA_DIR/covertype.csv"
+
+if [ "$ran" -eq 0 ]; then
+  echo "no real datasets present; nothing ran." >&2
+  exit 1
+fi
+echo "done: $ran dataset(s), outputs under $OUT_DIR/real_*"

@@ -31,6 +31,7 @@
 // adaptive load shedding and worker supervision.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "baseline/clustream.h"
@@ -47,10 +49,15 @@
 #include "core/engine.h"
 #include "core/summary.h"
 #include "core/umicro.h"
+#include "dist/aggregator.h"
+#include "dist/leaf.h"
 #include "eval/experiment.h"
 #include "io/arff_dataset.h"
 #include "io/csv_dataset.h"
 #include "io/load_stats.h"
+#include "io/state_io.h"
+#include "net/socket.h"
+#include "net/socket_stream.h"
 #include "obs/exporter.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_engine.h"
@@ -106,6 +113,19 @@ struct CliOptions {
   bool degrade = false;
   bool serve = false;
   std::size_t serve_threads = 4;
+  // Distributed merge tree (docs/distributed.md).
+  std::string role;  // "" (standalone) | leaf | agg | query
+  std::string connect;
+  std::string listen;
+  std::size_t dims = 0;
+  std::uint64_t leaf_id = 0;
+  std::size_t delta_every = 4096;
+  std::size_t stride = 1;
+  std::size_t offset = 0;
+  std::uint64_t expect_points = 0;
+  double expect_timeout = 300.0;
+  std::string state_out;
+  double linger_seconds = 0.0;
 };
 
 bool ParseFlag(const std::string& arg, const char* name,
@@ -165,7 +185,29 @@ void PrintUsage() {
       "                        (docs/serving.md; requires "
       "--algorithm=umicro)\n"
       "  --serve-threads=N     query worker threads for --serve "
-      "(default 4)\n");
+      "(default 4)\n"
+      "distributed merge tree (docs/distributed.md):\n"
+      "  --role=leaf|agg|query leaf ingester, aggregator, or query "
+      "client\n"
+      "  --connect=HOST:PORT   aggregator address (leaf and query "
+      "roles)\n"
+      "  --listen=HOST:PORT    bind address (agg role; port 0 = "
+      "ephemeral)\n"
+      "  --dims=D              stream dimensionality (agg role)\n"
+      "  --leaf-id=N           this leaf's shard slot, dense from 0\n"
+      "  --delta-every=N       ship a state delta every N points "
+      "(default 4096,\n"
+      "                        0 = only the final one)\n"
+      "  --stride=N --offset=K ingest rows with index %% N == K (the\n"
+      "                        round-robin substream of shard K of N)\n"
+      "  --expect-points=N     agg: write --state-out once N points "
+      "merged\n"
+      "  --expect-timeout=T    agg: give up waiting after T seconds "
+      "(default 300)\n"
+      "  --state-out=FILE      canonical micro-cluster dump (agg and\n"
+      "                        standalone; byte-comparable)\n"
+      "  --linger-seconds=T    agg: keep serving T seconds after "
+      "--state-out\n");
 }
 
 /// Parses the --inject-faults spec ("key=value,..." with keys corrupt,
@@ -213,6 +255,134 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
              0;
+}
+
+/// --role=agg: listen, merge leaf deltas, serve queries. No dataset is
+/// loaded; everything arrives over the socket.
+int RunAggregatorRole(const CliOptions& cli) {
+  const std::optional<umicro::net::SocketAddress> listen =
+      umicro::net::ParseHostPort(cli.listen);
+  if (!listen.has_value()) {
+    std::fprintf(stderr, "malformed --listen address: %s\n",
+                 cli.listen.c_str());
+    return 2;
+  }
+  umicro::obs::MetricsRegistry metrics;
+  umicro::dist::AggregatorOptions options;
+  options.listen = *listen;
+  options.dimensions = cli.dims;
+  options.dimension_threshold = cli.thresh;
+  options.global_budget = cli.nmicro;
+  options.snapshot.snapshot_every = cli.snapshot_every;
+  options.decay_lambda = cli.decay;
+  options.broker.num_threads = cli.serve_threads;
+  options.broker.boundary_factor = cli.boundary;
+  umicro::dist::Aggregator aggregator(options, &metrics);
+  if (!aggregator.Start()) {
+    std::fprintf(stderr, "failed to listen on %s\n", cli.listen.c_str());
+    return 1;
+  }
+  // The e2e harness scrapes this line for the resolved (ephemeral) port.
+  std::printf("aggregator listening on %s:%u\n", listen->host.c_str(),
+              static_cast<unsigned>(aggregator.port()));
+  std::fflush(stdout);
+
+  if (cli.expect_points > 0) {
+    const int timeout_ms =
+        static_cast<int>(std::max(1.0, cli.expect_timeout * 1000.0));
+    if (!aggregator.WaitForPoints(cli.expect_points, timeout_ms)) {
+      std::fprintf(stderr,
+                   "timed out waiting for %llu points (%llu merged from "
+                   "%zu leaves)\n",
+                   static_cast<unsigned long long>(cli.expect_points),
+                   static_cast<unsigned long long>(
+                       aggregator.total_points()),
+                   aggregator.leaves_known());
+      aggregator.Stop();
+      return 1;
+    }
+    std::printf("merged %llu points from %zu leaves (%llu deltas "
+                "applied)\n",
+                static_cast<unsigned long long>(aggregator.total_points()),
+                aggregator.leaves_known(),
+                static_cast<unsigned long long>(
+                    aggregator.deltas_applied()));
+    if (!cli.state_out.empty()) {
+      if (!umicro::io::WriteMicroClustersFile(aggregator.MergedClusters(),
+                                              cli.dims, cli.state_out)) {
+        std::fprintf(stderr, "failed to write %s\n", cli.state_out.c_str());
+        aggregator.Stop();
+        return 1;
+      }
+      std::printf("state written to %s\n", cli.state_out.c_str());
+    }
+    std::fflush(stdout);
+    if (cli.linger_seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          cli.linger_seconds));
+    }
+  } else {
+    // No point target: serve until stdin closes (the operator's or the
+    // harness's hangup signal).
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+  }
+  aggregator.Stop();
+  if (!cli.metrics_out.empty()) {
+    umicro::obs::MetricsExporter exporter(&metrics, cli.metrics_out, 0);
+    if (!exporter.ExportNow()) {
+      std::fprintf(stderr, "failed to write metrics to %s.{json,csv}\n",
+                   cli.metrics_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// --role=query: a line-protocol client. Requests come from stdin, one
+/// per line; responses are echoed to stdout in order.
+int RunQueryRole(const CliOptions& cli) {
+  const std::optional<umicro::net::SocketAddress> address =
+      umicro::net::ParseHostPort(cli.connect);
+  if (!address.has_value()) {
+    std::fprintf(stderr, "malformed --connect address: %s\n",
+                 cli.connect.c_str());
+    return 2;
+  }
+  std::optional<umicro::net::Socket> socket =
+      umicro::net::TcpConnect(*address, 5000);
+  if (!socket.has_value()) {
+    std::fprintf(stderr, "failed to connect to %s\n", cli.connect.c_str());
+    return 1;
+  }
+  umicro::net::SocketStream stream(&socket.value(), 30000);
+  std::string line;
+  bool quit_sent = false;
+  while (std::getline(std::cin, line)) {
+    stream << line << "\n" << std::flush;
+    if (line == "QUIT") {
+      quit_sent = true;
+      break;
+    }
+    // One request, one response -- except CLUSTER, whose response runs
+    // through the END marker.
+    std::string reply;
+    if (!std::getline(stream, reply)) break;
+    std::printf("%s\n", reply.c_str());
+    if (reply.rfind("OK CLUSTER", 0) == 0) {
+      while (std::getline(stream, reply)) {
+        std::printf("%s\n", reply.c_str());
+        if (reply == "END") break;
+      }
+    }
+  }
+  if (!quit_sent) stream << "QUIT\n" << std::flush;
+  std::string reply;
+  while (std::getline(stream, reply)) {
+    std::printf("%s\n", reply.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -290,12 +460,91 @@ int main(int argc, char** argv) {
       cli.serve = true;
     } else if (ParseFlag(arg, "serve-threads", &value)) {
       cli.serve_threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "role", &value)) {
+      cli.role = value;
+    } else if (ParseFlag(arg, "connect", &value)) {
+      cli.connect = value;
+    } else if (ParseFlag(arg, "listen", &value)) {
+      cli.listen = value;
+    } else if (ParseFlag(arg, "dims", &value)) {
+      cli.dims = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "leaf-id", &value)) {
+      cli.leaf_id = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "delta-every", &value)) {
+      cli.delta_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "stride", &value)) {
+      cli.stride = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "offset", &value)) {
+      cli.offset = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "expect-points", &value)) {
+      cli.expect_points = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "expect-timeout", &value)) {
+      cli.expect_timeout = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "state-out", &value)) {
+      cli.state_out = value;
+    } else if (ParseFlag(arg, "linger-seconds", &value)) {
+      cli.linger_seconds = std::strtod(value.c_str(), nullptr);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       PrintUsage();
       return 2;
     }
   }
+  // ---- Distributed roles ---------------------------------------------
+  // agg and query never load a dataset; they are dispatched before the
+  // standalone/leaf validation below.
+  if (!cli.role.empty() && cli.role != "leaf" && cli.role != "agg" &&
+      cli.role != "query") {
+    std::fprintf(stderr, "unknown --role: %s (want leaf, agg, or query)\n",
+                 cli.role.c_str());
+    return 2;
+  }
+  if (cli.role == "agg") {
+    if (cli.listen.empty() || cli.dims == 0) {
+      std::fprintf(stderr, "--role=agg requires --listen and --dims\n");
+      return 2;
+    }
+    if (!cli.state_out.empty() &&
+        !umicro::util::PathIsWritable(cli.state_out)) {
+      std::fprintf(stderr, "--state-out is not writable: %s\n",
+                   cli.state_out.c_str());
+      return 1;
+    }
+    return RunAggregatorRole(cli);
+  }
+  if (cli.role == "query") {
+    if (cli.connect.empty()) {
+      std::fprintf(stderr, "--role=query requires --connect\n");
+      return 2;
+    }
+    return RunQueryRole(cli);
+  }
+  const bool leaf_role = cli.role == "leaf";
+  if (leaf_role) {
+    if (cli.connect.empty()) {
+      std::fprintf(stderr, "--role=leaf requires --connect\n");
+      return 2;
+    }
+    if (cli.algorithm != "umicro" || cli.threads > 0 || cli.serve) {
+      std::fprintf(stderr,
+                   "--role=leaf requires --algorithm=umicro without "
+                   "--threads or --serve (the leaf IS one shard; the "
+                   "aggregator serves)\n");
+      return 2;
+    }
+    if (cli.stride == 0 || cli.offset >= cli.stride) {
+      std::fprintf(stderr,
+                   "--role=leaf needs --stride >= 1 and --offset < "
+                   "--stride\n");
+      return 2;
+    }
+    if (!umicro::net::ParseHostPort(cli.connect).has_value()) {
+      std::fprintf(stderr, "malformed --connect address: %s\n",
+                   cli.connect.c_str());
+      return 2;
+    }
+  }
+
   if (cli.input.empty() == cli.synthetic.empty()) {
     std::fprintf(stderr,
                  "exactly one of --input and --synthetic is required\n");
@@ -399,6 +648,12 @@ int main(int argc, char** argv) {
       !umicro::util::PathIsWritable(cli.quarantine_out)) {
     std::fprintf(stderr, "--quarantine-out is not writable: %s\n",
                  cli.quarantine_out.c_str());
+    return 1;
+  }
+  if (!cli.state_out.empty() &&
+      !umicro::util::PathIsWritable(cli.state_out)) {
+    std::fprintf(stderr, "--state-out is not writable: %s\n",
+                 cli.state_out.c_str());
     return 1;
   }
   if (checkpointing && !umicro::util::EnsureDirectory(cli.checkpoint_dir)) {
@@ -558,6 +813,26 @@ int main(int argc, char** argv) {
     umicro::stream::Perturber perturber(stats.Stddevs(), perturb);
     perturber.PerturbDataset(dataset);
     std::printf("perturbed with eta=%.2f\n", cli.eta);
+  }
+
+  // ---- Leaf substream --------------------------------------------------
+  // The filter runs after every deterministic transform above, so each
+  // leaf sees exactly the rows shard `offset` of a `stride`-way
+  // round-robin partition would see -- the bit-identity precondition of
+  // the distributed merge (docs/distributed.md).
+  if (leaf_role && cli.stride > 1) {
+    umicro::stream::Dataset substream(dataset.dimensions());
+    for (std::size_t i = cli.offset; i < dataset.size(); i += cli.stride) {
+      substream.Add(dataset[i]);
+    }
+    std::printf("leaf substream: %zu of %zu rows (stride %zu, offset "
+                "%zu)\n",
+                substream.size(), dataset.size(), cli.stride, cli.offset);
+    dataset = std::move(substream);
+    if (dataset.empty()) {
+      std::fprintf(stderr, "substream is empty\n");
+      return 1;
+    }
   }
 
   // ---- Build the clusterer --------------------------------------------
@@ -777,7 +1052,45 @@ int main(int argc, char** argv) {
 
   // ---- Cluster --------------------------------------------------------
   const bool labeled = !dataset.Labels().empty();
-  if (labeled) {
+  std::optional<umicro::dist::LeafShipper> shipper;
+  if (leaf_role) {
+    // Leaf ingest: per-point Process (matching the reference sharded
+    // run's per-shard sequences) with a state delta shipped to the
+    // aggregator every --delta-every points. seq = points_processed, so
+    // a restarted leaf replaying the same prefix re-ships deltas the
+    // aggregator already holds -- which it acks and ignores.
+    umicro::dist::LeafShipperOptions ship_options;
+    ship_options.leaf_id = cli.leaf_id;
+    ship_options.dimensions = dataset.dimensions();
+    shipper.emplace(*umicro::net::ParseHostPort(cli.connect), ship_options,
+                    &engine->metrics());
+    std::printf("leaf %llu: shipping to %s every %zu points\n",
+                static_cast<unsigned long long>(cli.leaf_id),
+                cli.connect.c_str(), cli.delta_every);
+    std::fflush(stdout);
+    const auto started = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      engine->Process(dataset[i]);
+      const std::size_t done = engine->points_processed();
+      if (progress) progress(done);
+      if (cli.delta_every > 0 && done % cli.delta_every == 0) {
+        const std::string text =
+            umicro::io::EngineStateToString(engine->ExportEngineState());
+        if (!shipper->ShipState(done, done, text)) {
+          std::fprintf(stderr, "delta shipping failed at %zu points\n",
+                       done);
+          return 1;
+        }
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    std::printf("leaf ingested %zu points (%.0f points/sec)\n",
+                dataset.size(),
+                elapsed > 0.0 ? dataset.size() / elapsed : 0.0);
+  } else if (labeled) {
     const auto series = umicro::eval::RunPurityExperiment(
         clusterer, dataset, cli.sample_interval, progress, cli.batch);
     std::printf("\n%14s %10s %10s %8s\n", "points", "purity", "w-purity",
@@ -801,6 +1114,43 @@ int main(int argc, char** argv) {
   if (engine != nullptr) {
     engine->Flush();
     std::printf("snapshots stored: %zu\n", engine->store().TotalStored());
+  }
+
+  // ---- Final delta ship ------------------------------------------------
+  if (leaf_role && shipper.has_value()) {
+    const std::uint64_t done = engine->points_processed();
+    const std::string text =
+        umicro::io::EngineStateToString(engine->ExportEngineState());
+    if (!shipper->ShipState(done, done, text)) {
+      std::fprintf(stderr, "final delta ship failed\n");
+      return 1;
+    }
+    shipper->Finish();
+    std::printf("leaf deltas: %llu acked, %llu resends, %llu connects\n",
+                static_cast<unsigned long long>(shipper->deltas_acked()),
+                static_cast<unsigned long long>(shipper->resends()),
+                static_cast<unsigned long long>(shipper->connects()));
+  }
+
+  // ---- Canonical state dump --------------------------------------------
+  // The merged (sharded) or live (sequential) micro-cluster set in the
+  // codec's full-precision text form: the byte-comparable artifact the
+  // distributed e2e check diffs against an aggregator's dump.
+  if (!cli.state_out.empty() && !leaf_role && engine != nullptr) {
+    std::vector<umicro::core::MicroCluster> clusters;
+    if (auto* parallel =
+            dynamic_cast<umicro::parallel::ParallelUMicroEngine*>(
+                engine.get())) {
+      clusters = parallel->sharded().GlobalClusters();
+    } else if (umicro_ptr != nullptr) {
+      clusters = umicro_ptr->clusters();
+    }
+    if (!umicro::io::WriteMicroClustersFile(clusters, dataset.dimensions(),
+                                            cli.state_out)) {
+      std::fprintf(stderr, "failed to write %s\n", cli.state_out.c_str());
+      return 1;
+    }
+    std::printf("state written to %s\n", cli.state_out.c_str());
   }
 
   // ---- Final checkpoint + resilience summary --------------------------
