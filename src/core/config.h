@@ -1,0 +1,142 @@
+// EngineConfig: the one configuration object of the whole stack.
+//
+// Before this header, every subsystem grew its own option struct and
+// callers (the CLI above all) threaded them around piecemeal:
+// UMicroOptions + SnapshotPolicy into the engines, checkpoint cadence
+// into resilience, queue/merge knobs into parallel, broker knobs into
+// serve. EngineConfig consolidates them: one value with per-field
+// defaults describes an engine, a sharded pipeline, a checkpointer, a
+// query broker, and a tenant fleet. Subsystems accept it directly
+// (UMicroEngine, ParallelUMicroEngine, CheckpointManager, QueryBroker
+// options, EngineFleet all have EngineConfig entry points); the old
+// per-subsystem constructors remain as thin deprecated shims so
+// existing code compiles unchanged.
+//
+// Layering: this header lives in core and therefore only names types
+// core already owns plus plain scalars. Subsystems that keep richer
+// option structs (parallel's BackpressurePolicy, resilience's
+// CheckpointPolicy, serve's QueryBrokerOptions) provide their own
+// EngineConfig converters next to those structs.
+
+#ifndef UMICRO_CORE_CONFIG_H_
+#define UMICRO_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/snapshot.h"
+#include "core/umicro.h"
+
+namespace umicro::core {
+
+/// Configuration of the sequential engine. Deprecated shim: new code
+/// should carry a full EngineConfig and let subsystems slice it; this
+/// struct survives because every existing constructor and test names
+/// it.
+struct EngineOptions {
+  /// Online component configuration.
+  UMicroOptions umicro;
+  /// Snapshot cadence and pyramidal retention.
+  SnapshotPolicy snapshot;
+};
+
+/// Core-level mirror of parallel::BackpressurePolicy (defined here so
+/// EngineConfig does not depend on the parallel subsystem; the
+/// parallel engine maps it onto its own enum).
+enum class QueueFullPolicy {
+  kBlock,
+  kDropOldest,
+  kDropNewest,
+};
+
+/// Sharded-ingest knobs (parallel subsystem).
+struct ParallelConfig {
+  /// Worker threads; 0 selects the sequential engine.
+  std::size_t threads = 0;
+  /// Points between global merges.
+  std::size_t merge_every = 8192;
+  /// Per-shard queue capacity, in producer batches.
+  std::size_t queue_capacity = 1024;
+  /// Points buffered per shard before an enqueue.
+  std::size_t producer_batch = 64;
+  /// Reaction to a full shard queue.
+  QueueFullPolicy backpressure = QueueFullPolicy::kBlock;
+  /// Adaptive load shedding + worker supervision.
+  bool degrade = false;
+};
+
+/// Crash-safe checkpointing knobs (resilience subsystem).
+struct CheckpointConfig {
+  /// Checkpoint directory; empty disables checkpointing.
+  std::string dir;
+  /// Checkpoint after this many newly processed points (0 = never by
+  /// count).
+  std::size_t every_points = 0;
+  /// Checkpoint after this much wall-clock time (0 = never by time).
+  double every_seconds = 0.0;
+  /// Keep only the newest N checkpoints/manifests (0 = keep all).
+  std::size_t keep_last = 4;
+};
+
+/// Query-serving knobs (serve subsystem).
+struct ServeConfig {
+  /// Broker worker threads.
+  std::size_t threads = 4;
+  /// Broker queue bound (backpressure toward the front end).
+  std::size_t max_queue = 1024;
+  /// Uncertainty-boundary width for ANOMALY queries.
+  double boundary_factor = 3.0;
+  /// Line-protocol pipeline depth.
+  std::size_t max_pipeline = 64;
+};
+
+/// Multi-tenant fleet knobs (fleet subsystem; docs/fleet.md).
+struct FleetConfig {
+  /// Tenant engines to pre-create; 0 disables fleet mode. Tenants can
+  /// also be created lazily through EngineFleet::EnsureTenant.
+  std::size_t tenants = 0;
+  /// Ingest worker threads shared by all tenants (tenant -> worker by
+  /// hash).
+  std::size_t workers = 4;
+  /// Per-worker queue capacity, in tenant batches.
+  std::size_t queue_capacity = 1024;
+  /// Points buffered per tenant before the batch is routed to its
+  /// worker (drained through the batched kernel path).
+  std::size_t tenant_batch = 64;
+  /// Per-tenant pyramidal store, sized down from the single-engine
+  /// default: a fleet of 10^5 tenants cannot afford alpha^l + 1 deep
+  /// rings per order each, so l shrinks by one and snapshots come at a
+  /// coarser cadence.
+  SnapshotPolicy snapshot{/*snapshot_every=*/256, /*pyramid_alpha=*/2,
+                          /*pyramid_l=*/2};
+};
+
+/// The consolidated configuration. Every field group has working
+/// defaults; a default-constructed EngineConfig describes the same
+/// sequential engine `UMicroEngine(dims, EngineOptions{})` builds.
+struct EngineConfig {
+  /// Online algorithm tunables (shared by every engine and tenant).
+  UMicroOptions umicro;
+  /// Snapshot cadence / pyramidal retention of a single engine.
+  SnapshotPolicy snapshot;
+  /// Sharded-ingest pipeline.
+  ParallelConfig parallel;
+  /// Crash-safe checkpointing.
+  CheckpointConfig checkpoint;
+  /// Query serving.
+  ServeConfig serve;
+  /// Multi-tenant fleet.
+  FleetConfig fleet;
+
+  /// The core slice: what a sequential engine (or one fleet tenant with
+  /// the single-engine store) consumes.
+  EngineOptions CoreOptions() const { return {umicro, snapshot}; }
+
+  /// The per-tenant slice: same algorithm, fleet-sized pyramidal store.
+  EngineOptions TenantOptions() const { return {umicro, fleet.snapshot}; }
+};
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_CONFIG_H_

@@ -1,120 +1,23 @@
 #include "core/engine.h"
 
-#include <algorithm>
-
-#include "obs/scoped_timer.h"
-#include "util/check.h"
-
 namespace umicro::core {
 
 UMicroEngine::UMicroEngine(std::size_t dimensions, EngineOptions options)
-    : options_(options),
-      online_(dimensions, options.umicro),
-      store_(options.snapshot.pyramid_alpha, options.snapshot.pyramid_l),
-      snapshot_micros_(&metrics_.GetHistogram("snapshot.take_micros")),
-      snapshots_taken_(&metrics_.GetCounter("snapshot.taken")),
-      snapshots_stored_(&metrics_.GetGauge("snapshot.stored")) {
-  online_.AttachMetrics(&metrics_);
-}
-
-std::string UMicroEngine::name() const { return online_.name(); }
-
-void UMicroEngine::TakeCadenceSnapshot() {
-  const obs::ScopedTimer timer(snapshot_micros_);
-  const std::uint64_t tick = next_tick_++;
-  Snapshot snapshot = online_.TakeSnapshot(last_timestamp_);
-  if (sink_ != nullptr) {
-    sink_->PublishSnapshot(store_.OrderOf(tick), snapshot);
-  }
-  store_.Insert(tick, std::move(snapshot));
-  since_snapshot_ = 0;
-  snapshots_taken_->Increment();
-  snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
-}
-
-void UMicroEngine::Process(const stream::UncertainPoint& point) {
-  online_.Process(point);
-  // Out-of-order arrivals (merged shard replays, log replays) must not
-  // rewind the engine clock: SnapshotStore::Insert requires increasing
-  // tick times and the decay anchor is the newest time seen, so the
-  // timestamp is clamped to be monotone.
-  last_timestamp_ = std::max(last_timestamp_, point.timestamp);
-  if (options_.snapshot.snapshot_every > 0 &&
-      ++since_snapshot_ >= options_.snapshot.snapshot_every) {
-    TakeCadenceSnapshot();
-  }
-}
-
-void UMicroEngine::ProcessBatch(
-    std::span<const stream::UncertainPoint> points) {
-  const std::size_t every = options_.snapshot.snapshot_every;
-  std::size_t offset = 0;
-  while (offset < points.size()) {
-    std::size_t take = points.size() - offset;
-    if (every > 0) take = std::min(take, every - since_snapshot_);
-    const auto chunk = points.subspan(offset, take);
-    online_.ProcessBatch(chunk);
-    for (const auto& point : chunk) {
-      last_timestamp_ = std::max(last_timestamp_, point.timestamp);
-    }
-    offset += take;
-    if (every > 0) {
-      since_snapshot_ += take;
-      if (since_snapshot_ >= every) TakeCadenceSnapshot();
-    }
-  }
-}
-
-void UMicroEngine::Flush() {
-  if (sink_ != nullptr && online_.points_processed() > 0) {
-    sink_->PublishCurrent(online_.TakeSnapshot(last_timestamp_));
-  }
-}
-
-void UMicroEngine::AttachSnapshotSink(SnapshotSink* sink) {
-  sink_ = sink;
-  if (sink_ == nullptr) return;
-  store_.ForEach([this](std::size_t order, const Snapshot& snapshot) {
-    sink_->PublishSnapshot(order, snapshot);
-  });
-  if (online_.points_processed() > 0) {
-    sink_->PublishCurrent(online_.TakeSnapshot(last_timestamp_));
-  }
+    : core_(dimensions, options) {
+  core_.AttachMetrics(&metrics_);
 }
 
 EngineState UMicroEngine::ExportEngineState() {
-  EngineState state;
-  state.engine_kind = "umicro";
-  state.dimensions = online_.dimensions();
-  state.shard_states.push_back(online_.ExportState());
-  state.store = store_.ExportState();
-  state.next_tick = next_tick_;
-  state.since_snapshot = since_snapshot_;
-  state.last_timestamp = last_timestamp_;
+  EngineState state = core_.ExportState();
   state.counters = metrics_.CounterCells();
   state.gauges = metrics_.GaugeCells();
   return state;
 }
 
 bool UMicroEngine::RestoreEngineState(const EngineState& state) {
-  if (state.engine_kind != "umicro") return false;
-  if (state.dimensions != online_.dimensions()) return false;
-  if (state.shard_states.size() != 1) return false;
-  online_.RestoreState(state.shard_states[0]);
-  store_.RestoreState(state.store);
-  next_tick_ = state.next_tick;
-  since_snapshot_ = static_cast<std::size_t>(state.since_snapshot);
-  last_timestamp_ = state.last_timestamp;
+  if (!core_.RestoreState(state)) return false;
   metrics_.RestoreCells(state.counters, state.gauges);
   return true;
-}
-
-std::optional<HorizonClustering> UMicroEngine::ClusterRecent(
-    double horizon, const MacroClusteringOptions& options) {
-  if (online_.points_processed() == 0) return std::nullopt;
-  const Snapshot current = online_.TakeSnapshot(last_timestamp_);
-  return ClusterOverHorizon(store_, current, horizon, options, &metrics_,
-                            options_.umicro.decay_lambda);
 }
 
 }  // namespace umicro::core

@@ -10,11 +10,12 @@
 // UMicroEngine is the paper's full online/interactive analysis stack in
 // one object. Section II-D: "as in [CluStream], the approach can be used
 // to perform interactive and online clustering in a data stream
-// environment". The engine owns the UMicro online component and the
-// pyramidal snapshot store, takes snapshots automatically at the
-// SnapshotPolicy cadence, and answers horizon queries ("what did the
-// stream look like over the last h time units, as k clusters?") at any
-// moment.
+// environment". All of its algorithm state -- the UMicro online
+// component, the pyramidal snapshot store, and the stream clock -- lives
+// in one handle-owned core::EngineCore (engine_core.h); the engine adds
+// the metrics registry and the virtual facade. The fleet layer
+// (src/fleet) owns thousands of the same EngineCore objects directly,
+// one per tenant, without this facade.
 
 #ifndef UMICRO_CORE_ENGINE_H_
 #define UMICRO_CORE_ENGINE_H_
@@ -27,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/config.h"
+#include "core/engine_core.h"
 #include "core/horizon.h"
 #include "core/snapshot.h"
 #include "core/umicro.h"
@@ -35,44 +38,6 @@
 #include "stream/point.h"
 
 namespace umicro::core {
-
-/// Complete serializable state of a running engine -- the unit of a
-/// crash-safe checkpoint (see io/state_io.h for the on-disk format and
-/// resilience/checkpoint.h for the write/recover machinery).
-///
-/// The ECF statistics inside are additive and carry no hidden process
-/// state, so restoring this into a freshly constructed, identically
-/// configured engine and replaying the stream from `points_processed()`
-/// onward reproduces the uninterrupted run exactly (the no-double-count
-/// invariant the crash-recovery suite asserts).
-struct EngineState {
-  /// Concrete engine tag ("umicro" or "sharded"); restore refuses a
-  /// mismatch.
-  std::string engine_kind;
-  /// Stream dimensionality the state was exported under.
-  std::size_t dimensions = 0;
-  /// Per-shard algorithm states; exactly one entry for the sequential
-  /// engine, one per worker for the sharded engine (its post-merge
-  /// residuals -- the shard-private statistics as of the flushed
-  /// checkpoint instant).
-  std::vector<UMicroState> shard_states;
-  /// Sharded only: the merged global view at checkpoint time.
-  std::vector<MicroCluster> global_clusters;
-  /// Sharded only: coordinator counters (ingest total, round-robin
-  /// cursor) so partitioning resumes exactly where it stopped.
-  std::uint64_t points_ingested = 0;
-  std::uint64_t next_round_robin = 0;
-  /// Pyramidal snapshot-store contents.
-  SnapshotStoreState store;
-  /// Engine stream clock.
-  std::uint64_t next_tick = 1;
-  std::uint64_t since_snapshot = 0;
-  double last_timestamp = 0.0;
-  /// Counter/gauge cells of the metrics registry at checkpoint time;
-  /// histograms are not restorable and restart empty after recovery.
-  std::vector<std::pair<std::string, double>> counters;
-  std::vector<std::pair<std::string, double>> gauges;
-};
 
 /// Abstract engine: one-pass stream clustering plus snapshots, horizon
 /// queries, and an observability surface. Implemented by UMicroEngine
@@ -94,9 +59,10 @@ class ClusteringEngine : public stream::StreamClusterer {
   /// Attaches a snapshot sink (the serve layer's read replica; nullptr
   /// detaches). The engine immediately primes the sink with every
   /// retained pyramidal snapshot plus the live state, then keeps
-  /// publishing on snapshot cadence and on Flush(). The sink must
-  /// outlive the engine or be detached first; publications happen on
-  /// the engine's coordinator thread.
+  /// publishing on snapshot cadence and on Flush(). Re-attaching the
+  /// sink that is already attached is a no-op (never double-primes).
+  /// The sink must outlive the engine or be detached first;
+  /// publications happen on the engine's coordinator thread.
   virtual void AttachSnapshotSink(SnapshotSink* sink) = 0;
 
   /// Snapshot store (inspection / persistence).
@@ -122,70 +88,62 @@ class ClusteringEngine : public stream::StreamClusterer {
   }
 };
 
-/// Configuration of the sequential engine.
-struct EngineOptions {
-  /// Online component configuration.
-  UMicroOptions umicro;
-  /// Snapshot cadence and pyramidal retention.
-  SnapshotPolicy snapshot;
-};
-
 /// Online uncertain-stream clustering with historical horizon queries.
 class UMicroEngine : public ClusteringEngine {
  public:
   /// Creates an engine for `dimensions`-dimensional streams.
   UMicroEngine(std::size_t dimensions, EngineOptions options);
 
+  /// Creates an engine from the consolidated configuration (the umicro
+  /// + snapshot slices; see core/config.h).
+  UMicroEngine(std::size_t dimensions, const EngineConfig& config)
+      : UMicroEngine(dimensions, config.CoreOptions()) {}
+
   UMicroEngine(const UMicroEngine&) = delete;
   UMicroEngine& operator=(const UMicroEngine&) = delete;
 
-  // StreamClusterer interface (delegating to the online component).
-  void Process(const stream::UncertainPoint& point) override;
-  /// Batched ingest: identical point-by-point semantics, but the batch
-  /// is chunked at snapshot-cadence boundaries so the online component
-  /// ingests each chunk in one amortized ProcessBatch call and every
-  /// due snapshot is still taken at exactly the right point count.
-  void ProcessBatch(std::span<const stream::UncertainPoint> points) override;
-  std::string name() const override;
+  // StreamClusterer interface (delegating to the handle-owned core).
+  void Process(const stream::UncertainPoint& point) override {
+    core_.Process(point);
+  }
+  void ProcessBatch(std::span<const stream::UncertainPoint> points) override {
+    core_.ProcessBatch(points);
+  }
+  std::string name() const override { return core_.online().name(); }
   std::size_t points_processed() const override {
-    return online_.points_processed();
+    return core_.points_processed();
   }
   std::vector<stream::LabelHistogram> ClusterLabelHistograms()
       const override {
-    return online_.ClusterLabelHistograms();
+    return core_.online().ClusterLabelHistograms();
   }
   std::vector<std::vector<double>> ClusterCentroids() const override {
-    return online_.ClusterCentroids();
+    return core_.online().ClusterCentroids();
   }
 
   // ClusteringEngine interface.
   std::optional<HorizonClustering> ClusterRecent(
-      double horizon, const MacroClusteringOptions& options) override;
-  void Flush() override;
-  void AttachSnapshotSink(SnapshotSink* sink) override;
+      double horizon, const MacroClusteringOptions& options) override {
+    return core_.ClusterRecent(horizon, options);
+  }
+  void Flush() override { core_.Flush(); }
+  void AttachSnapshotSink(SnapshotSink* sink) override {
+    core_.AttachSnapshotSink(sink);
+  }
   EngineState ExportEngineState() override;
   bool RestoreEngineState(const EngineState& state) override;
-  const SnapshotStore& store() const override { return store_; }
+  const SnapshotStore& store() const override { return core_.store(); }
   obs::MetricsRegistry& metrics() override { return metrics_; }
 
   /// Online component (current micro-clusters, diagnostics).
-  const UMicro& online() const { return online_; }
+  const UMicro& online() const { return core_.online(); }
+
+  /// The handle-owned algorithm state.
+  const EngineCore& core() const { return core_; }
 
  private:
-  /// Takes the cadence snapshot: stores it, publishes it to the sink.
-  void TakeCadenceSnapshot();
-
-  EngineOptions options_;
   obs::MetricsRegistry metrics_;
-  UMicro online_;
-  SnapshotStore store_;
-  SnapshotSink* sink_ = nullptr;
-  obs::Histogram* snapshot_micros_;
-  obs::Counter* snapshots_taken_;
-  obs::Gauge* snapshots_stored_;
-  std::uint64_t next_tick_ = 1;
-  std::size_t since_snapshot_ = 0;
-  double last_timestamp_ = 0.0;
+  EngineCore core_;
 };
 
 }  // namespace umicro::core

@@ -1,0 +1,173 @@
+// EngineCore: one engine's complete algorithm state behind one compact
+// object -- the umappp Status pattern (all mutable state of a run owned
+// by a single movable handle with a driver API).
+//
+// Everything that used to live inline in UMicroEngine -- the online
+// UMicro component, the pyramidal snapshot store, the stream clock, the
+// snapshot-cadence bookkeeping, and the optional snapshot-sink hookup --
+// is extracted here so that two very different owners can drive it:
+//
+//   * UMicroEngine wraps one EngineCore plus a metrics registry and
+//     keeps the public ClusteringEngine contract unchanged;
+//   * the fleet's TenantHandle owns one EngineCore per tenant --
+//     hundreds of thousands of them in one process -- with no
+//     per-tenant registry, virtual dispatch, or facade overhead.
+//
+// EngineCore itself is deliberately registry-free: AttachMetrics wires
+// the optional instruments (the sequential engine attaches its own
+// registry; fleet tenants leave it detached and the fleet records
+// batch-level fleet.* metrics instead). Exported state therefore never
+// includes metric cells; owners that persist them add them on top.
+
+#ifndef UMICRO_CORE_ENGINE_CORE_H_
+#define UMICRO_CORE_ENGINE_CORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/horizon.h"
+#include "core/snapshot.h"
+#include "core/umicro.h"
+#include "obs/metrics.h"
+#include "stream/point.h"
+
+namespace umicro::core {
+
+/// Complete serializable state of a running engine -- the unit of a
+/// crash-safe checkpoint (see io/state_io.h for the on-disk format and
+/// resilience/checkpoint.h for the write/recover machinery).
+///
+/// The ECF statistics inside are additive and carry no hidden process
+/// state, so restoring this into a freshly constructed, identically
+/// configured engine and replaying the stream from `points_processed()`
+/// onward reproduces the uninterrupted run exactly (the no-double-count
+/// invariant the crash-recovery suite asserts).
+struct EngineState {
+  /// Concrete engine tag ("umicro" or "sharded"); restore refuses a
+  /// mismatch.
+  std::string engine_kind;
+  /// Stream dimensionality the state was exported under.
+  std::size_t dimensions = 0;
+  /// Per-shard algorithm states; exactly one entry for the sequential
+  /// engine, one per worker for the sharded engine (its post-merge
+  /// residuals -- the shard-private statistics as of the flushed
+  /// checkpoint instant).
+  std::vector<UMicroState> shard_states;
+  /// Sharded only: the merged global view at checkpoint time.
+  std::vector<MicroCluster> global_clusters;
+  /// Sharded only: coordinator counters (ingest total, round-robin
+  /// cursor) so partitioning resumes exactly where it stopped.
+  std::uint64_t points_ingested = 0;
+  std::uint64_t next_round_robin = 0;
+  /// Pyramidal snapshot-store contents.
+  SnapshotStoreState store;
+  /// Engine stream clock.
+  std::uint64_t next_tick = 1;
+  std::uint64_t since_snapshot = 0;
+  double last_timestamp = 0.0;
+  /// Counter/gauge cells of the owner's metrics registry at checkpoint
+  /// time; empty for registry-free owners (fleet tenants). Histograms
+  /// are not restorable and restart empty after recovery.
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+/// The handle-owned sequential engine state: online component +
+/// pyramidal store + stream clock, with the cadence-snapshot driver.
+///
+/// Single-threaded: all calls must come from one thread at a time (an
+/// owner that hands the core between threads -- the fleet's workers and
+/// coordinator -- provides its own exclusion).
+class EngineCore {
+ public:
+  /// Creates the state for `dimensions`-dimensional streams.
+  EngineCore(std::size_t dimensions, const EngineOptions& options);
+
+  EngineCore(const EngineCore&) = delete;
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  /// Ingests one point, taking the cadence snapshot when due.
+  void Process(const stream::UncertainPoint& point);
+
+  /// Batched ingest: identical point-by-point semantics, but the batch
+  /// is chunked at snapshot-cadence boundaries so the online component
+  /// ingests each chunk in one amortized ProcessBatch call and every
+  /// due snapshot is still taken at exactly the right point count.
+  void ProcessBatch(std::span<const stream::UncertainPoint> points);
+
+  /// Clusters the most recent `horizon` time units into `options.k`
+  /// macro-clusters. Returns std::nullopt before any data or when the
+  /// window is empty.
+  std::optional<HorizonClustering> ClusterRecent(
+      double horizon, const MacroClusteringOptions& options);
+
+  /// With a sink attached, publishes a fresh "current" view of the live
+  /// state (no-op before any data).
+  void Flush();
+
+  /// Attaches a snapshot sink (nullptr detaches): primes it with every
+  /// retained snapshot plus the live state, then keeps publishing on
+  /// cadence and on Flush(). Attaching the sink that is already
+  /// attached is a no-op (idempotent -- the fleet's serve path relies
+  /// on this to never double-prime a replica's retention rings).
+  void AttachSnapshotSink(SnapshotSink* sink);
+
+  /// The currently attached sink (nullptr when detached).
+  SnapshotSink* sink() const { return sink_; }
+
+  /// Attaches a metrics registry (nullptr detaches, the default): the
+  /// online component's "umicro." instruments plus the engine-level
+  /// "snapshot." take counters/timers. The registry must outlive this
+  /// core.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  /// Captures the complete durable state. Metric cells are left empty
+  /// (EngineCore is registry-free); owners append their own.
+  EngineState ExportState() const;
+
+  /// Restores a previously exported state into this freshly
+  /// constructed, same-configured core. Returns false (core untouched)
+  /// when the state's kind or dimensionality does not match.
+  bool RestoreState(const EngineState& state);
+
+  /// Online component (current micro-clusters, diagnostics).
+  const UMicro& online() const { return online_; }
+
+  /// Snapshot store (inspection / persistence).
+  const SnapshotStore& store() const { return store_; }
+
+  /// Points ingested so far.
+  std::size_t points_processed() const { return online_.points_processed(); }
+
+  /// Newest timestamp seen (the engine clock's decay anchor).
+  double last_timestamp() const { return last_timestamp_; }
+
+  /// Configured options.
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  /// Takes the cadence snapshot: stores it, publishes it to the sink.
+  void TakeCadenceSnapshot();
+
+  EngineOptions options_;
+  UMicro online_;
+  SnapshotStore store_;
+  SnapshotSink* sink_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Histogram* snapshot_micros_ = nullptr;
+  obs::Counter* snapshots_taken_ = nullptr;
+  obs::Gauge* snapshots_stored_ = nullptr;
+  std::uint64_t next_tick_ = 1;
+  std::size_t since_snapshot_ = 0;
+  double last_timestamp_ = 0.0;
+};
+
+}  // namespace umicro::core
+
+#endif  // UMICRO_CORE_ENGINE_CORE_H_

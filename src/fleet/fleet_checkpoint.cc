@@ -1,0 +1,377 @@
+#include "fleet/fleet_checkpoint.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "io/state_io.h"
+#include "util/failpoints.h"
+#include "util/paths.h"
+
+namespace umicro::fleet {
+
+namespace {
+
+constexpr char kManifestPrefix[] = "manifest-";
+constexpr char kManifestSuffix[] = ".ufm";
+constexpr char kTenantSuffix[] = ".uckpt";
+
+std::string ManifestName(std::uint64_t seq) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s%08llu%s", kManifestPrefix,
+                static_cast<unsigned long long>(seq), kManifestSuffix);
+  return buffer;
+}
+
+std::string TenantFileName(std::uint64_t tenant, std::uint64_t seq) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "tenant-%llu-%08llu%s",
+                static_cast<unsigned long long>(tenant),
+                static_cast<unsigned long long>(seq), kTenantSuffix);
+  return buffer;
+}
+
+/// Sequence of a manifest-<seq>.ufm name; std::nullopt otherwise.
+std::optional<std::uint64_t> ManifestSequenceOf(const std::string& name) {
+  const std::size_t prefix_len = sizeof(kManifestPrefix) - 1;
+  const std::size_t suffix_len = sizeof(kManifestSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  if (name.compare(0, prefix_len, kManifestPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix_len, suffix_len, kManifestSuffix) !=
+      0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long seq = std::strtoull(digits.c_str(), &end, 10);
+  if (errno != 0 || end != digits.c_str() + digits.size()) {
+    return std::nullopt;
+  }
+  return seq;
+}
+
+/// (sequence, filename) of every manifest in `dir`, unsorted.
+std::vector<std::pair<std::uint64_t, std::string>> ScanManifests(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return found;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    const std::optional<std::uint64_t> seq = ManifestSequenceOf(name);
+    if (seq.has_value()) found.emplace_back(*seq, name);
+  }
+  ::closedir(handle);
+  return found;
+}
+
+/// Every tenant-*.uckpt filename in `dir`.
+std::vector<std::string> ScanTenantFiles(const std::string& dir) {
+  std::vector<std::string> found;
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return found;
+  const std::size_t suffix_len = sizeof(kTenantSuffix) - 1;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() > suffix_len + 7 && name.compare(0, 7, "tenant-") == 0 &&
+        name.compare(name.size() - suffix_len, suffix_len, kTenantSuffix) ==
+            0) {
+      found.push_back(name);
+    }
+  }
+  ::closedir(handle);
+  return found;
+}
+
+struct ManifestRecord {
+  std::uint64_t tenant = 0;
+  std::string file;
+  std::uint64_t points = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct Manifest {
+  std::uint64_t seq = 0;
+  std::size_t dimensions = 0;
+  std::vector<ManifestRecord> records;
+};
+
+std::string ManifestToString(const Manifest& manifest) {
+  std::ostringstream body;
+  body << "seq " << manifest.seq << "\n";
+  body << "dimensions " << manifest.dimensions << "\n";
+  body << "tenants " << manifest.records.size() << "\n";
+  for (const ManifestRecord& record : manifest.records) {
+    body << "T " << record.tenant << ' ' << record.file << ' '
+         << record.points << ' ' << record.checksum << "\n";
+  }
+  std::ostringstream out;
+  out << "ufleetmanifest 1 "
+      << static_cast<unsigned long long>(io::Fnv1a(body.str())) << "\n"
+      << body.str();
+  return out.str();
+}
+
+/// Parses manifest text, verifying the header checksum over the body.
+/// Hostile input (truncation, flips, bogus counts) yields std::nullopt.
+std::optional<Manifest> ParseManifest(const std::string& text) {
+  constexpr std::size_t kMaxTenants = std::size_t{1} << 24;
+  const std::size_t newline = text.find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  {
+    std::istringstream header(text.substr(0, newline));
+    std::string magic;
+    int version = 0;
+    std::uint64_t checksum = 0;
+    if (!(header >> magic >> version >> checksum)) return std::nullopt;
+    if (magic != "ufleetmanifest" || version != 1) return std::nullopt;
+    if (checksum != io::Fnv1a(text.substr(newline + 1))) return std::nullopt;
+  }
+  std::istringstream in(text.substr(newline + 1));
+  std::string key;
+  Manifest manifest;
+  std::size_t count = 0;
+  if (!(in >> key >> manifest.seq) || key != "seq") return std::nullopt;
+  if (!(in >> key >> manifest.dimensions) || key != "dimensions") {
+    return std::nullopt;
+  }
+  if (!(in >> key >> count) || key != "tenants" || count > kMaxTenants) {
+    return std::nullopt;
+  }
+  manifest.records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ManifestRecord record;
+    if (!(in >> key >> record.tenant >> record.file >> record.points >>
+          record.checksum) ||
+        key != "T") {
+      return std::nullopt;
+    }
+    // Defense against path traversal through a corrupted manifest: the
+    // file must be a plain name inside the checkpoint directory.
+    if (record.file.empty() ||
+        record.file.find('/') != std::string::npos) {
+      return std::nullopt;
+    }
+    manifest.records.push_back(std::move(record));
+  }
+  return manifest;
+}
+
+/// Reads + validates the manifest at `path`.
+std::optional<Manifest> ReadManifestFile(const std::string& path) {
+  const std::optional<std::string> text = io::ReadWholeFile(path);
+  if (!text.has_value()) return std::nullopt;
+  return ParseManifest(*text);
+}
+
+}  // namespace
+
+FleetCheckpointer::FleetCheckpointer(std::string dir,
+                                     core::CheckpointConfig config,
+                                     obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)),
+      config_(std::move(config)),
+      last_checkpoint_time_(std::chrono::steady_clock::now()) {
+  util::EnsureDirectory(dir_);
+  if (metrics != nullptr) {
+    dirty_ratio_gauge_ = &metrics->GetGauge("fleet.checkpoint.dirty_ratio");
+    passes_ = &metrics->GetCounter("fleet.checkpoint.passes");
+    tenants_written_ =
+        &metrics->GetCounter("fleet.checkpoint.tenants_written");
+    failures_ = &metrics->GetCounter("fleet.checkpoint.write_failures");
+  }
+  // Continue the sequence past anything on disk, and seed the image
+  // from the newest valid manifest so the first pass after a restart
+  // rewrites only tenants that moved since it.
+  std::vector<std::pair<std::uint64_t, std::string>> manifests =
+      ScanManifests(dir_);
+  std::sort(manifests.begin(), manifests.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [seq, name] : manifests) {
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+  for (const auto& [seq, name] : manifests) {
+    const std::optional<Manifest> manifest =
+        ReadManifestFile(dir_ + "/" + name);
+    if (!manifest.has_value()) continue;
+    for (const ManifestRecord& record : manifest->records) {
+      latest_[record.tenant] = {record.file, record.points, record.checksum};
+    }
+    last_seq_ = manifest->seq;
+    break;
+  }
+}
+
+bool FleetCheckpointer::MaybeCheckpoint(EngineFleet& fleet) {
+  bool due = false;
+  if (config_.every_points > 0) {
+    const std::uint64_t points = fleet.Stats().points_ingested;
+    due = points >= last_checkpoint_points_ + config_.every_points;
+  }
+  if (!due && config_.every_seconds > 0.0) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - last_checkpoint_time_;
+    due = elapsed.count() >= config_.every_seconds;
+  }
+  if (!due) return false;
+  return CheckpointNow(fleet);
+}
+
+bool FleetCheckpointer::CheckpointNow(EngineFleet& fleet) {
+  fleet.Flush();
+  const std::uint64_t total_points = fleet.Stats().points_ingested;
+  const auto fail = [this, total_points] {
+    ++write_failures_;
+    if (failures_ != nullptr) failures_->Increment();
+    // The cadence still advances -- a failed pass must not retry on
+    // every subsequent point.
+    last_checkpoint_points_ = total_points;
+    last_checkpoint_time_ = std::chrono::steady_clock::now();
+    return false;
+  };
+  const std::uint64_t seq = next_seq_;
+  Manifest manifest;
+  manifest.seq = seq;
+  manifest.dimensions = fleet.dimensions();
+  std::map<std::uint64_t, TenantRecord> image;
+  std::size_t dirty = 0;
+  for (const std::uint64_t tenant : fleet.TenantIds()) {
+    const std::uint64_t points = fleet.TenantPoints(tenant);
+    const auto it = latest_.find(tenant);
+    TenantRecord record;
+    if (it != latest_.end() && it->second.points == points) {
+      record = it->second;  // clean: reference the existing file
+    } else {
+      ++dirty;
+      const core::EngineState state = fleet.ExportTenantState(tenant);
+      const std::string text = io::EngineStateToString(state);
+      record.file = TenantFileName(tenant, seq);
+      record.points = points;
+      record.checksum = io::Fnv1a(text);
+      if (UMICRO_FAILPOINT("checkpoint.write_fail") ||
+          !io::WriteTextFileAtomic(text, dir_ + "/" + record.file)) {
+        return fail();
+      }
+      if (tenants_written_ != nullptr) tenants_written_->Increment();
+    }
+    image[tenant] = record;
+    manifest.records.push_back(
+        {tenant, record.file, record.points, record.checksum});
+  }
+  if (UMICRO_FAILPOINT("fleet.manifest.write_fail") ||
+      !io::WriteTextFileAtomic(ManifestToString(manifest),
+                               dir_ + "/" + ManifestName(seq))) {
+    return fail();
+  }
+  ++next_seq_;
+  ++checkpoints_written_;
+  last_seq_ = seq;
+  latest_ = std::move(image);
+  last_dirty_count_ = dirty;
+  last_dirty_ratio_ =
+      manifest.records.empty()
+          ? 0.0
+          : static_cast<double>(dirty) /
+                static_cast<double>(manifest.records.size());
+  if (dirty_ratio_gauge_ != nullptr) {
+    dirty_ratio_gauge_->Set(last_dirty_ratio_);
+  }
+  if (passes_ != nullptr) passes_->Increment();
+  last_checkpoint_points_ = total_points;
+  last_checkpoint_time_ = std::chrono::steady_clock::now();
+  PruneOld();
+  return true;
+}
+
+void FleetCheckpointer::PruneOld() {
+  if (config_.keep_last == 0) return;
+  std::vector<std::pair<std::uint64_t, std::string>> manifests =
+      ScanManifests(dir_);
+  std::sort(manifests.begin(), manifests.end());  // oldest first
+  if (manifests.size() > config_.keep_last) {
+    const std::size_t excess = manifests.size() - config_.keep_last;
+    for (std::size_t i = 0; i < excess; ++i) {
+      std::remove((dir_ + "/" + manifests[i].second).c_str());
+    }
+    manifests.erase(manifests.begin(),
+                    manifests.begin() + static_cast<std::ptrdiff_t>(excess));
+  }
+  // Tenant files are shared between manifests (clean tenants); remove
+  // only those no surviving manifest references.
+  std::set<std::string> referenced;
+  for (const auto& [seq, name] : manifests) {
+    const std::optional<Manifest> manifest =
+        ReadManifestFile(dir_ + "/" + name);
+    if (!manifest.has_value()) continue;
+    for (const ManifestRecord& record : manifest->records) {
+      referenced.insert(record.file);
+    }
+  }
+  for (const std::string& name : ScanTenantFiles(dir_)) {
+    if (referenced.find(name) == referenced.end()) {
+      std::remove((dir_ + "/" + name).c_str());
+    }
+  }
+}
+
+std::vector<std::string> ListFleetManifestFiles(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found =
+      ScanManifests(dir);
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (const auto& [seq, name] : found) paths.push_back(dir + "/" + name);
+  return paths;
+}
+
+RecoveredFleet RecoverOrCreateFleet(const std::string& checkpoint_dir,
+                                    std::size_t dimensions,
+                                    const core::EngineConfig& config) {
+  RecoveredFleet result;
+  result.fleet = std::make_unique<EngineFleet>(dimensions, config);
+  for (const std::string& path : ListFleetManifestFiles(checkpoint_dir)) {
+    const std::optional<Manifest> manifest = ReadManifestFile(path);
+    if (!manifest.has_value() || manifest->dimensions != dimensions) {
+      ++result.manifests_skipped;
+      continue;
+    }
+    result.recovered = true;
+    result.manifest_seq = manifest->seq;
+    for (const ManifestRecord& record : manifest->records) {
+      // The tenant exists either way; only a fully validated state is
+      // restored into it. A bad record costs one tenant's history, not
+      // the fleet.
+      result.fleet->EnsureTenant(record.tenant);
+      const std::optional<std::string> text =
+          io::ReadWholeFile(checkpoint_dir + "/" + record.file);
+      if (!text.has_value() || io::Fnv1a(*text) != record.checksum) {
+        ++result.corrupt_skipped;
+        continue;
+      }
+      const std::optional<core::EngineState> state =
+          io::ParseEngineState(*text);
+      if (!state.has_value() ||
+          !result.fleet->RestoreTenantState(record.tenant, *state)) {
+        ++result.corrupt_skipped;
+        continue;
+      }
+      ++result.tenants_restored;
+      result.resume_from[record.tenant] = record.points;
+    }
+    break;
+  }
+  return result;
+}
+
+}  // namespace umicro::fleet

@@ -48,7 +48,8 @@ bool ReadFinite(std::istream& in, double* out) {
   return true;
 }
 
-/// FNV-1a over the body bytes -- the checkpoint integrity checksum.
+}  // namespace
+
 std::uint64_t Fnv1a(const std::string& text) {
   std::uint64_t h = 1469598103934665603ull;
   for (const char ch : text) {
@@ -58,10 +59,6 @@ std::uint64_t Fnv1a(const std::string& text) {
   return h;
 }
 
-/// Writes `text` to `path` atomically: temp file + fsync + rename, then
-/// a best-effort fsync of the containing directory so the rename itself
-/// is durable. A crash at any instant leaves either the old file or the
-/// new one at `path`, never a torn mix.
 bool WriteTextFileAtomic(const std::string& text, const std::string& path) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
@@ -108,6 +105,8 @@ std::optional<std::string> ReadWholeFile(const std::string& path) {
   buffer << file.rdbuf();
   return buffer.str();
 }
+
+namespace {
 
 void AppendMicroCluster(std::ostringstream& out,
                         const core::MicroCluster& cluster) {

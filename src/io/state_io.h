@@ -18,6 +18,7 @@
 #ifndef UMICRO_IO_STATE_IO_H_
 #define UMICRO_IO_STATE_IO_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -26,6 +27,20 @@
 #include "core/umicro.h"
 
 namespace umicro::io {
+
+/// FNV-1a over `text` -- the integrity checksum every versioned format
+/// here embeds in its header (and the fleet manifest reuses per tenant
+/// record).
+std::uint64_t Fnv1a(const std::string& text);
+
+/// Writes `text` to `path` atomically: temp file + fsync + rename, then
+/// a best-effort fsync of the containing directory so the rename itself
+/// is durable. A crash at any instant leaves either the old file or the
+/// new one at `path`, never a torn mix.
+bool WriteTextFileAtomic(const std::string& text, const std::string& path);
+
+/// Reads a whole file; std::nullopt when it cannot be opened.
+std::optional<std::string> ReadWholeFile(const std::string& path);
 
 /// Serializes a checkpoint (versioned, line-oriented, full double
 /// precision; round-trips exactly).

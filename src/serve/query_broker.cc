@@ -9,11 +9,10 @@
 
 namespace umicro::serve {
 
-QueryBroker::QueryBroker(const SnapshotReadReplica* replica,
-                         QueryBrokerOptions options,
+QueryBroker::QueryBroker(ReplicaResolver resolver, QueryBrokerOptions options,
                          obs::MetricsRegistry* metrics)
-    : replica_(replica), options_(options), metrics_(metrics) {
-  UMICRO_CHECK(replica != nullptr);
+    : resolver_(std::move(resolver)), options_(options), metrics_(metrics) {
+  UMICRO_CHECK(resolver_ != nullptr);
   UMICRO_CHECK(options_.num_threads >= 1);
   UMICRO_CHECK(options_.max_queue >= 1);
   if (metrics_ != nullptr) {
@@ -27,6 +26,24 @@ QueryBroker::QueryBroker(const SnapshotReadReplica* replica,
   for (std::size_t i = 0; i < options_.num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+QueryBroker::QueryBroker(const SnapshotReadReplica* replica,
+                         QueryBrokerOptions options,
+                         obs::MetricsRegistry* metrics)
+    : QueryBroker(
+          [replica](std::uint64_t tenant) {
+            // Non-owning alias: the shim keeps the old lifetime contract
+            // (caller guarantees the replica outlives the broker).
+            return tenant == 0
+                       ? std::shared_ptr<const SnapshotReadReplica>(
+                             std::shared_ptr<const SnapshotReadReplica>(),
+                             replica)
+                       : std::shared_ptr<const SnapshotReadReplica>();
+          },
+          options, metrics) {
+  UMICRO_CHECK(replica != nullptr);
+  multi_tenant_ = false;
 }
 
 QueryBroker::~QueryBroker() {
@@ -97,11 +114,19 @@ QueryResponse QueryBroker::Execute(const QueryRequest& request) const {
   } else {
     served_fallback_.fetch_add(1, std::memory_order_relaxed);
   }
-  const std::shared_ptr<const ReplicaState> state = replica_->Acquire();
+  const std::shared_ptr<const SnapshotReadReplica> replica =
+      resolver_(request.tenant);
+  if (replica == nullptr) {
+    QueryResponse response;
+    response.error = "unknown tenant";
+    if (errors_ != nullptr) errors_->Increment();
+    return response;
+  }
+  const std::shared_ptr<const ReplicaState> state = replica->Acquire();
   QueryResponse response;
   switch (request.kind) {
     case QueryRequest::Kind::kClusterRecent:
-      response = ExecuteClusterRecent(request, *state);
+      response = ExecuteClusterRecent(request, *replica, *state);
       break;
     case QueryRequest::Kind::kNearest:
       response = ExecuteNearest(request, *state);
@@ -118,7 +143,8 @@ QueryResponse QueryBroker::Execute(const QueryRequest& request) const {
 }
 
 QueryResponse QueryBroker::ExecuteClusterRecent(
-    const QueryRequest& request, const ReplicaState& state) const {
+    const QueryRequest& request, const SnapshotReadReplica& replica,
+    const ReplicaState& state) const {
   QueryResponse response;
   response.publish_seq = state.publish_seq;
   if (request.horizon <= 0.0) {
@@ -140,7 +166,7 @@ QueryResponse QueryBroker::ExecuteClusterRecent(
   if (request.k > 0) macro.k = request.k;
   response.clustering =
       core::ClusterWindow(*state.current, *older, request.horizon,
-                          replica_->decay_lambda(), macro, metrics_);
+                          replica.decay_lambda(), macro, metrics_);
   return response;
 }
 

@@ -26,13 +26,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/config.h"
 #include "core/horizon.h"
 #include "core/macro_cluster.h"
 #include "obs/metrics.h"
@@ -52,12 +55,31 @@ struct QueryBrokerOptions {
   /// Macro-clustering defaults for kClusterRecent; a request's k
   /// overrides options.macro.k when nonzero.
   core::MacroClusteringOptions macro;
+
+  /// The serve slice of the consolidated EngineConfig (core/config.h).
+  static QueryBrokerOptions FromConfig(const core::EngineConfig& config) {
+    QueryBrokerOptions options;
+    options.num_threads = config.serve.threads;
+    options.max_queue = config.serve.max_queue;
+    options.boundary_factor = config.serve.boundary_factor;
+    return options;
+  }
 };
+
+/// Maps a tenant id to its read replica (nullptr = unknown tenant).
+/// Must be callable from any broker worker thread concurrently with
+/// tenant creation/removal on the owner's side; the returned shared_ptr
+/// keeps the replica alive for the duration of the query.
+using ReplicaResolver =
+    std::function<std::shared_ptr<const SnapshotReadReplica>(std::uint64_t)>;
 
 /// One query.
 struct QueryRequest {
   enum class Kind { kClusterRecent, kNearest, kAnomaly, kStats };
   Kind kind = Kind::kStats;
+  /// Tenant the query targets; 0 is the implicit single-tenant default
+  /// (the old single-replica constructor serves only tenant 0).
+  std::uint64_t tenant = 0;
   /// kClusterRecent: horizon h in stream time units (> 0).
   double horizon = 0.0;
   /// kClusterRecent: macro-cluster count; 0 = broker default.
@@ -102,12 +124,19 @@ struct QueryResponse {
   std::optional<ServeStats> stats;
 };
 
-/// Concurrent query front end over the replica.
+/// Concurrent query front end over one replica or a tenant fleet.
 class QueryBroker {
  public:
-  /// `replica` must outlive the broker. `metrics` (optional) receives
-  /// the serve.* instruments; pass the engine's registry so one export
-  /// covers ingest and serving.
+  /// Tenant-aware broker: every query's tenant id is resolved to a
+  /// replica through `resolver` (see EngineFleet::Resolver()). An
+  /// unresolvable tenant answers ok=false "unknown tenant". `metrics`
+  /// (optional) receives the serve.* instruments.
+  QueryBroker(ReplicaResolver resolver, QueryBrokerOptions options,
+              obs::MetricsRegistry* metrics = nullptr);
+
+  /// Single-tenant shim: serves `replica` as tenant 0 (any other tenant
+  /// id is unknown). `replica` must outlive the broker. Pass the
+  /// engine's registry so one export covers ingest and serving.
   QueryBroker(const SnapshotReadReplica* replica, QueryBrokerOptions options,
               obs::MetricsRegistry* metrics = nullptr);
 
@@ -128,6 +157,10 @@ class QueryBroker {
   /// Queries currently waiting for a worker.
   std::size_t queue_depth() const;
 
+  /// True when this broker routes by tenant id (resolver-constructed);
+  /// the serve protocol's HELLO capability line reports it.
+  bool multi_tenant() const { return multi_tenant_; }
+
   /// Queries answered so far (workers + Execute).
   std::uint64_t queries_served() const {
     return queries_ != nullptr
@@ -144,6 +177,7 @@ class QueryBroker {
   void WorkerLoop();
 
   QueryResponse ExecuteClusterRecent(const QueryRequest& request,
+                                     const SnapshotReadReplica& replica,
                                      const ReplicaState& state) const;
   QueryResponse ExecuteNearest(const QueryRequest& request,
                                const ReplicaState& state) const;
@@ -151,7 +185,8 @@ class QueryBroker {
                                const ReplicaState& state) const;
   QueryResponse ExecuteStats(const ReplicaState& state) const;
 
-  const SnapshotReadReplica* replica_;
+  ReplicaResolver resolver_;
+  bool multi_tenant_ = true;
   const QueryBrokerOptions options_;
   obs::MetricsRegistry* metrics_;
   obs::Counter* queries_ = nullptr;

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
@@ -71,6 +72,18 @@ bool ParseDouble(const std::string& text, double* out) {
   char* end = nullptr;
   *out = std::strtod(text.c_str(), &end);
   return end == text.c_str() + text.size() && !text.empty();
+}
+
+/// Parses a strict decimal tenant id; false on sign, trailing garbage,
+/// or overflow.
+bool ParseTenantId(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::uint64_t>(value);
+  return true;
 }
 
 std::string FormatDouble(double value) {
@@ -175,19 +188,31 @@ bool ParseRequest(const std::vector<std::string>& tokens,
     return true;
   }
   if (verb == "CLUSTER") {
-    if (tokens.size() < 2 || tokens.size() > 3) {
-      *error = "usage: CLUSTER <horizon> [<k>]";
+    // Grammar (docs/serving.md): 1-2 args is the v1 single-tenant form
+    // (session tenant); exactly 3 args is the v2 tenant-qualified form
+    // CLUSTER <tenant> <horizon> <k>.
+    if (tokens.size() < 2 || tokens.size() > 4) {
+      *error = "usage: CLUSTER [<tenant>] <horizon> <k>";
       return false;
     }
     request->kind = QueryRequest::Kind::kClusterRecent;
-    if (!ParseDouble(tokens[1], &request->horizon) ||
+    std::size_t arg = 1;
+    if (tokens.size() == 4) {
+      if (!ParseTenantId(tokens[arg], &request->tenant)) {
+        *error = "tenant must be a nonnegative integer";
+        return false;
+      }
+      ++arg;
+    }
+    if (!ParseDouble(tokens[arg], &request->horizon) ||
         request->horizon <= 0.0) {
       *error = "horizon must be a positive number";
       return false;
     }
-    if (tokens.size() == 3) {
+    ++arg;
+    if (arg < tokens.size()) {
       double k = 0.0;
-      if (!ParseDouble(tokens[2], &k) || k < 1.0) {
+      if (!ParseDouble(tokens[arg], &k) || k < 1.0) {
         *error = "k must be a positive integer";
         return false;
       }
@@ -239,6 +264,9 @@ std::size_t ServeLineProtocol(QueryBroker& broker, std::istream& in,
   std::string line;
   bool quit = false;
   bool overflow = false;
+  // Per-session default tenant (v2 TENANT command); every session
+  // starts on tenant 0, which is what a v1 client always talks to.
+  std::uint64_t session_tenant = 0;
   while (!quit &&
          ReadLineBounded(in, &line, options.max_line_bytes, &overflow)) {
     if (overflow) {
@@ -250,7 +278,36 @@ std::size_t ServeLineProtocol(QueryBroker& broker, std::istream& in,
     }
     const std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) continue;  // blank line: keepalive, no response
+    // Session commands are answered inline by the protocol loop (never
+    // by the broker); responses must still come back in request order,
+    // so everything submitted before them drains first.
+    if (tokens[0] == "HELLO") {
+      while (!pipeline.empty()) drain_one();
+      out << "OK HELLO proto=2 tenants="
+          << (broker.multi_tenant() ? 1 : 0)
+          << " pipeline=" << options.max_pipeline
+          << " commands=HELLO,TENANT,CLUSTER,NEAREST,ANOMALY,STATS,QUIT\n";
+      out.flush();
+      ++served;
+      continue;
+    }
+    if (tokens[0] == "TENANT") {
+      while (!pipeline.empty()) drain_one();
+      std::uint64_t tenant = 0;
+      if (tokens.size() != 2 || !ParseTenantId(tokens[1], &tenant)) {
+        out << "ERR usage: TENANT <id>\n";
+      } else if (!broker.multi_tenant() && tenant != 0) {
+        out << "ERR single-tenant broker: only tenant 0 exists\n";
+      } else {
+        session_tenant = tenant;
+        out << "OK TENANT " << tenant << '\n';
+      }
+      out.flush();
+      ++served;
+      continue;
+    }
     QueryRequest request;
+    request.tenant = session_tenant;
     std::string error;
     if (!ParseRequest(tokens, &request, &quit, &error)) {
       // Errors must come back in request order too: flush everything

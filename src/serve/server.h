@@ -6,20 +6,16 @@
 // that exposes iostreams (socat, inetd, a netcat pipe) turns it into a
 // network service without further code.
 //
-// Requests (case-sensitive, whitespace-separated):
-//   CLUSTER <horizon> [<k>]   horizon clustering; multi-line response
-//   NEAREST <v0> <v1> ...     nearest micro-cluster to the probe point
-//   ANOMALY <v0> <v1> ...     novelty verdict for the probe point
-//   STATS                     replica/broker health
-//   QUIT                      close the session
-//
-// Responses start with "OK <KIND> ..." or "ERR <message>". CLUSTER is
-// the only multi-line response: a header line, one "C <weight> <c0>
-// <c1> ..." line per macro-centroid, then "END".
+// The request/response grammar (protocol version 2: HELLO capability
+// negotiation, per-session TENANT selection, tenant-qualified CLUSTER)
+// is documented in ONE place: docs/serving.md. Do not restate it here
+// or in the CLI help; change the grammar there first.
 //
 // Requests are submitted to the broker asynchronously and pipelined up
 // to `max_pipeline` deep, so a burst of queries is answered by all
 // broker workers in parallel while responses still come back in order.
+// HELLO and TENANT are session commands answered inline (in order) by
+// the protocol loop itself, never by the broker.
 
 #ifndef UMICRO_SERVE_SERVER_H_
 #define UMICRO_SERVE_SERVER_H_

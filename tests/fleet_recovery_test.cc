@@ -1,0 +1,305 @@
+// Fleet crash-recovery suite (the fleet counterpart of
+// tests/crash_recovery_test.cc, reusing its kill-point machinery).
+//
+// A fleet killed mid-stream and recovered from its newest manifest must
+// end bit-identical to a fleet that was never interrupted: the "crash"
+// destroys the fleet object, recovery rebuilds it through the
+// production RecoverOrCreateFleet path, and each tenant replays only
+// the points past its own resume offset. The suite also pins down the
+// incremental contract -- a pass that touches a subset of tenants
+// rewrites ONLY those tenants (dirty ratio < 1) -- and the degraded
+// paths: corrupt tenant files are skipped without failing the fleet,
+// and write failures (tenant file or manifest, via failpoints) leave
+// the previous pass authoritative.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "fleet/engine_fleet.h"
+#include "fleet/fleet_checkpoint.h"
+#include "io/state_io.h"
+#include "stream/dataset.h"
+#include "util/failpoints.h"
+#include "util/random.h"
+
+namespace umicro::fleet {
+namespace {
+
+constexpr std::size_t kDims = 4;
+constexpr std::size_t kStreamLength = 4096;
+
+stream::Dataset RandomStream(std::uint64_t seed) {
+  util::Rng rng(seed);
+  stream::Dataset dataset(kDims);
+  for (std::size_t i = 0; i < kStreamLength; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(4));
+    std::vector<double> values(kDims);
+    std::vector<double> errors(kDims);
+    for (std::size_t j = 0; j < kDims; ++j) {
+      values[j] = cls * 4.0 + rng.Gaussian(0.0, 0.6);
+      errors[j] = rng.Uniform(0.0, 0.4);
+    }
+    dataset.Add(stream::UncertainPoint(std::move(values), std::move(errors),
+                                       static_cast<double>(i), cls));
+  }
+  return dataset;
+}
+
+core::EngineConfig FleetConfigOf(std::size_t tenants) {
+  core::EngineConfig config;
+  config.umicro.num_micro_clusters = 10;
+  config.fleet.tenants = tenants;
+  config.fleet.workers = 4;
+  return config;
+}
+
+std::uint64_t TenantOf(std::size_t row, std::size_t tenants) {
+  return static_cast<std::uint64_t>(row % tenants);
+}
+
+/// Every tenant's canonical state text, keyed by tenant id.
+std::map<std::uint64_t, std::string> AllStates(EngineFleet& fleet) {
+  std::map<std::uint64_t, std::string> states;
+  for (std::uint64_t tenant : fleet.TenantIds()) {
+    states[tenant] =
+        io::EngineStateToString(fleet.ExportTenantState(tenant));
+  }
+  return states;
+}
+
+class FleetRecoveryTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::FailpointRegistry::Instance().DisarmAll();
+    std::remove(dir_.c_str());
+  }
+
+  std::string MakeDir(const std::string& name) {
+    dir_ = ::testing::TempDir() + "fleet_recovery_" + name + "_" +
+           std::to_string(::getpid());
+    for (const std::string& file : ListFleetManifestFiles(dir_)) {
+      std::remove((dir_ + "/" + file).c_str());
+    }
+    return dir_;
+  }
+
+  std::string dir_;
+};
+
+// ---- Kill points -------------------------------------------------------
+
+TEST_F(FleetRecoveryTest, KillAndRecoverIsExactAtThreeStreamPositions) {
+  const stream::Dataset dataset = RandomStream(0xdead);
+  constexpr std::size_t kTenants = 50;
+
+  // The uninterrupted reference run.
+  const core::EngineConfig config = FleetConfigOf(kTenants);
+  std::map<std::uint64_t, std::string> reference;
+  {
+    EngineFleet uninterrupted(kDims, config);
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      uninterrupted.Ingest(TenantOf(i, kTenants), dataset[i]);
+    }
+    uninterrupted.Flush();
+    reference = AllStates(uninterrupted);
+  }
+
+  for (const std::size_t kill_at : {911u, 2048u, 3777u}) {
+    const std::string dir =
+        MakeDir("kill" + std::to_string(kill_at));
+    {
+      auto doomed = std::make_unique<EngineFleet>(kDims, config);
+      FleetCheckpointer checkpointer(dir, config.checkpoint);
+      for (std::size_t i = 0; i < kill_at; ++i) {
+        doomed->Ingest(TenantOf(i, kTenants), dataset[i]);
+      }
+      ASSERT_TRUE(checkpointer.CheckpointNow(*doomed));
+      // A little post-checkpoint work that the crash destroys.
+      for (std::size_t i = kill_at; i < kill_at + 64; ++i) {
+        doomed->Ingest(TenantOf(i, kTenants), dataset[i]);
+      }
+      doomed.reset();  // the crash: only the checkpoint survives
+    }
+
+    RecoveredFleet recovered = RecoverOrCreateFleet(dir, kDims, config);
+    ASSERT_TRUE(recovered.recovered) << "kill at " << kill_at;
+    EXPECT_EQ(recovered.corrupt_skipped, 0u);
+    EXPECT_EQ(recovered.tenants_restored, kTenants);
+
+    // Replay: each tenant skips exactly what its checkpoint holds.
+    std::map<std::uint64_t, std::uint64_t> routed;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      const std::uint64_t tenant = TenantOf(i, kTenants);
+      const std::uint64_t position = routed[tenant]++;
+      const auto offset = recovered.resume_from.find(tenant);
+      if (offset != recovered.resume_from.end() &&
+          position < offset->second) {
+        continue;
+      }
+      recovered.fleet->Ingest(tenant, dataset[i]);
+    }
+    recovered.fleet->Flush();
+    EXPECT_EQ(AllStates(*recovered.fleet), reference)
+        << "kill at " << kill_at;
+  }
+}
+
+// ---- Incremental passes ------------------------------------------------
+
+TEST_F(FleetRecoveryTest, ThousandTenantPassRewritesOnlyDirtyTenants) {
+  const stream::Dataset dataset = RandomStream(0xd1e7);
+  constexpr std::size_t kTenants = 1000;
+  const core::EngineConfig config = FleetConfigOf(kTenants);
+  const std::string dir = MakeDir("dirty");
+
+  std::map<std::uint64_t, std::string> reference;
+  {
+    EngineFleet fleet(kDims, config);
+    FleetCheckpointer checkpointer(dir, config.checkpoint);
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      fleet.Ingest(TenantOf(i, kTenants), dataset[i]);
+    }
+    ASSERT_TRUE(checkpointer.CheckpointNow(fleet));
+    EXPECT_DOUBLE_EQ(checkpointer.last_dirty_ratio(), 1.0);
+
+    // Second pass: only 25 of the 1000 tenants move.
+    constexpr std::size_t kDirty = 25;
+    for (std::size_t i = 0; i < kDirty; ++i) {
+      fleet.Ingest(static_cast<std::uint64_t>(i), dataset[i]);
+    }
+    fleet.Flush();
+    ASSERT_TRUE(checkpointer.CheckpointNow(fleet));
+    EXPECT_EQ(checkpointer.last_dirty_count(), kDirty);
+    EXPECT_LT(checkpointer.last_dirty_ratio(), 1.0);
+    EXPECT_NEAR(checkpointer.last_dirty_ratio(),
+                static_cast<double>(kDirty) / kTenants, 1e-12);
+    reference = AllStates(fleet);
+  }  // the crash
+
+  RecoveredFleet recovered = RecoverOrCreateFleet(dir, kDims, config);
+  ASSERT_TRUE(recovered.recovered);
+  EXPECT_EQ(recovered.tenants_restored, kTenants);
+  EXPECT_EQ(recovered.corrupt_skipped, 0u);
+  EXPECT_EQ(AllStates(*recovered.fleet), reference);
+
+  // A restarted checkpointer seeds from the manifest on disk: with no
+  // new points, the next pass rewrites nothing.
+  EngineFleet& fleet = *recovered.fleet;
+  FleetCheckpointer restarted(dir, config.checkpoint);
+  ASSERT_TRUE(restarted.CheckpointNow(fleet));
+  EXPECT_EQ(restarted.last_dirty_count(), 0u);
+  EXPECT_DOUBLE_EQ(restarted.last_dirty_ratio(), 0.0);
+}
+
+// ---- Degraded recovery -------------------------------------------------
+
+TEST_F(FleetRecoveryTest, CorruptTenantFileIsSkippedNotFatal) {
+  const stream::Dataset dataset = RandomStream(0xc0de);
+  constexpr std::size_t kTenants = 8;
+  const core::EngineConfig config = FleetConfigOf(kTenants);
+  const std::string dir = MakeDir("corrupt");
+  {
+    EngineFleet fleet(kDims, config);
+    FleetCheckpointer checkpointer(dir, config.checkpoint);
+    for (std::size_t i = 0; i < 1024; ++i) {
+      fleet.Ingest(TenantOf(i, kTenants), dataset[i]);
+    }
+    ASSERT_TRUE(checkpointer.CheckpointNow(fleet));
+  }
+  // Flip bytes in tenant 3's checkpoint file.
+  const std::string victim = dir + "/tenant-3-00000001.uckpt";
+  std::FILE* file = std::fopen(victim.c_str(), "r+b");
+  ASSERT_NE(file, nullptr) << victim;
+  std::fputs("garbage", file);
+  std::fclose(file);
+
+  RecoveredFleet recovered = RecoverOrCreateFleet(dir, kDims, config);
+  ASSERT_TRUE(recovered.recovered);
+  EXPECT_EQ(recovered.corrupt_skipped, 1u);
+  EXPECT_EQ(recovered.tenants_restored, kTenants - 1);
+  // The corrupt tenant exists but starts empty (replay from scratch).
+  EXPECT_TRUE(recovered.fleet->HasTenant(3));
+  EXPECT_EQ(recovered.fleet->TenantPoints(3), 0u);
+  EXPECT_EQ(recovered.resume_from.count(3), 0u);
+  EXPECT_GT(recovered.fleet->TenantPoints(2), 0u);
+}
+
+TEST_F(FleetRecoveryTest, TenantWriteFailureLeavesThePreviousPassIntact) {
+  const stream::Dataset dataset = RandomStream(0xfa11);
+  constexpr std::size_t kTenants = 8;
+  const core::EngineConfig config = FleetConfigOf(kTenants);
+  const std::string dir = MakeDir("writefail");
+
+  EngineFleet fleet(kDims, config);
+  FleetCheckpointer checkpointer(dir, config.checkpoint);
+  for (std::size_t i = 0; i < 512; ++i) {
+    fleet.Ingest(TenantOf(i, kTenants), dataset[i]);
+  }
+  ASSERT_TRUE(checkpointer.CheckpointNow(fleet));
+  const std::uint64_t good_seq = checkpointer.last_seq();
+
+  for (std::size_t i = 512; i < 1024; ++i) {
+    fleet.Ingest(TenantOf(i, kTenants), dataset[i]);
+  }
+  util::FailpointRegistry::Instance().Arm("checkpoint.write_fail");
+  EXPECT_FALSE(checkpointer.CheckpointNow(fleet));
+  EXPECT_EQ(checkpointer.write_failures(), 1u);
+  EXPECT_EQ(checkpointer.last_seq(), good_seq);
+  util::FailpointRegistry::Instance().DisarmAll();
+
+  // Recovery sees the pass-1 image: 64 points per tenant, not 128.
+  RecoveredFleet recovered = RecoverOrCreateFleet(dir, kDims, config);
+  ASSERT_TRUE(recovered.recovered);
+  EXPECT_EQ(recovered.manifest_seq, good_seq);
+  for (std::uint64_t tenant = 0; tenant < kTenants; ++tenant) {
+    EXPECT_EQ(recovered.fleet->TenantPoints(tenant), 64u);
+  }
+}
+
+TEST_F(FleetRecoveryTest, ManifestWriteFailureLeavesThePreviousPassIntact) {
+  const stream::Dataset dataset = RandomStream(0xab1e);
+  constexpr std::size_t kTenants = 8;
+  const core::EngineConfig config = FleetConfigOf(kTenants);
+  const std::string dir = MakeDir("manifestfail");
+
+  EngineFleet fleet(kDims, config);
+  FleetCheckpointer checkpointer(dir, config.checkpoint);
+  for (std::size_t i = 0; i < 512; ++i) {
+    fleet.Ingest(TenantOf(i, kTenants), dataset[i]);
+  }
+  ASSERT_TRUE(checkpointer.CheckpointNow(fleet));
+  const std::uint64_t good_seq = checkpointer.last_seq();
+
+  for (std::size_t i = 512; i < 1024; ++i) {
+    fleet.Ingest(TenantOf(i, kTenants), dataset[i]);
+  }
+  util::FailpointRegistry::Instance().Arm("fleet.manifest.write_fail");
+  EXPECT_FALSE(checkpointer.CheckpointNow(fleet));
+  util::FailpointRegistry::Instance().DisarmAll();
+
+  RecoveredFleet recovered = RecoverOrCreateFleet(dir, kDims, config);
+  ASSERT_TRUE(recovered.recovered);
+  EXPECT_EQ(recovered.manifest_seq, good_seq);
+}
+
+TEST_F(FleetRecoveryTest, EmptyDirectoryYieldsAFreshFleet) {
+  const core::EngineConfig config = FleetConfigOf(4);
+  const std::string dir = MakeDir("fresh");
+  RecoveredFleet recovered = RecoverOrCreateFleet(dir, kDims, config);
+  EXPECT_FALSE(recovered.recovered);
+  EXPECT_EQ(recovered.manifest_seq, 0u);
+  ASSERT_NE(recovered.fleet, nullptr);
+  EXPECT_EQ(recovered.fleet->tenant_count(), 4u);
+}
+
+}  // namespace
+}  // namespace umicro::fleet

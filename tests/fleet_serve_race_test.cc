@@ -1,0 +1,126 @@
+// Fleet serve/attach race suite -- written for TSan.
+//
+// The bug this pins down: attaching a tenant's read replica used to be
+// racy under the fleet (a re-attach could double-prime the replica's
+// retention rings while a broker thread was resolving it). The fix is
+// two-fold: EngineCore::AttachSnapshotSink is idempotent, and the fleet
+// publishes a replica to the resolver only after priming completed,
+// under the fleet mutex. This suite hammers exactly that seam: a
+// coordinator ingests and toggles EnsureServing/StopServing while
+// broker threads run STATS and CLUSTER queries through the
+// Resolver()-backed QueryBroker. TSan must stay silent and every
+// response must be either a valid answer or a clean "unknown tenant".
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "fleet/engine_fleet.h"
+#include "serve/query_broker.h"
+#include "stream/point.h"
+#include "util/random.h"
+
+namespace umicro::fleet {
+namespace {
+
+constexpr std::size_t kDims = 3;
+constexpr std::size_t kTenants = 6;
+
+stream::UncertainPoint MakePoint(util::Rng& rng, double timestamp) {
+  std::vector<double> values(kDims);
+  std::vector<double> errors(kDims);
+  for (std::size_t j = 0; j < kDims; ++j) {
+    values[j] = rng.Gaussian(0.0, 1.0);
+    errors[j] = rng.Uniform(0.0, 0.3);
+  }
+  return {std::move(values), std::move(errors), timestamp};
+}
+
+TEST(FleetServeRaceTest, QueriesRaceIngestAndAttachDetach) {
+  core::EngineConfig config;
+  config.umicro.num_micro_clusters = 8;
+  config.fleet.tenants = kTenants;
+  config.fleet.workers = 3;
+  config.fleet.tenant_batch = 16;
+  config.fleet.snapshot.snapshot_every = 32;
+  EngineFleet fleet(kDims, config);
+
+  serve::QueryBrokerOptions broker_options;
+  broker_options.num_threads = 2;
+  serve::QueryBroker broker(fleet.Resolver(), broker_options,
+                            &fleet.metrics());
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> unknown{0};
+
+  // Broker-side load: STATS and CLUSTER against rotating tenants,
+  // including one id that never exists.
+  std::vector<std::thread> queriers;
+  for (std::size_t t = 0; t < 2; ++t) {
+    queriers.emplace_back([&broker, &done, &answered, &unknown, t] {
+      std::uint64_t i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        serve::QueryRequest request;
+        request.tenant = (i + t) % (kTenants + 1);  // kTenants = unknown
+        if (i % 2 == 0) {
+          request.kind = serve::QueryRequest::Kind::kStats;
+        } else {
+          request.kind = serve::QueryRequest::Kind::kClusterRecent;
+          request.horizon = 50.0;
+          request.k = 2;
+        }
+        const serve::QueryResponse response = broker.Execute(request);
+        if (response.ok) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_EQ(response.error, "unknown tenant");
+          unknown.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+
+  // Coordinator: ingest while repeatedly attaching/detaching replicas
+  // (the seam the idempotent-attach fix guards).
+  util::Rng rng(0xace);
+  for (std::size_t i = 0; i < 20000; ++i) {
+    fleet.Ingest(i % kTenants, MakePoint(rng, static_cast<double>(i)));
+    if (i % 512 == 0) {
+      const std::uint64_t tenant = (i / 512) % kTenants;
+      fleet.EnsureServing(tenant);
+      fleet.EnsureServing(tenant);  // re-attach must be a no-op
+    }
+    if (i % 1777 == 0 && i > 0) {
+      fleet.StopServing((i / 1777) % kTenants);
+    }
+  }
+  for (std::uint64_t tenant = 0; tenant < kTenants; ++tenant) {
+    fleet.EnsureServing(tenant);
+  }
+  fleet.Flush();
+
+  // Let the queriers observe the fully-served steady state too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  done.store(true, std::memory_order_release);
+  for (std::thread& thread : queriers) thread.join();
+
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_GT(unknown.load(), 0u);
+  EXPECT_GT(broker.queries_served(), 0u);
+
+  // After the dust settles every tenant serves, exactly once primed.
+  for (std::uint64_t tenant = 0; tenant < kTenants; ++tenant) {
+    ASSERT_NE(fleet.Replica(tenant), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace umicro::fleet

@@ -38,6 +38,7 @@
 #include <cstring>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -46,12 +47,15 @@
 
 #include "baseline/clustream.h"
 #include "baseline/stream_kmeans.h"
+#include "core/config.h"
 #include "core/engine.h"
 #include "core/summary.h"
 #include "core/umicro.h"
 #include "dist/aggregator.h"
 #include "dist/leaf.h"
 #include "eval/experiment.h"
+#include "fleet/engine_fleet.h"
+#include "fleet/fleet_checkpoint.h"
 #include "io/arff_dataset.h"
 #include "io/csv_dataset.h"
 #include "io/load_stats.h"
@@ -113,6 +117,9 @@ struct CliOptions {
   bool degrade = false;
   bool serve = false;
   std::size_t serve_threads = 4;
+  // Multi-tenant fleet (docs/fleet.md).
+  std::size_t tenants = 0;
+  std::string tenant_key = "round_robin";
   // Distributed merge tree (docs/distributed.md).
   std::string role;  // "" (standalone) | leaf | agg | query
   std::string connect;
@@ -186,6 +193,12 @@ void PrintUsage() {
       "--algorithm=umicro)\n"
       "  --serve-threads=N     query worker threads for --serve "
       "(default 4)\n"
+      "multi-tenant fleet (docs/fleet.md):\n"
+      "  --tenants=N           run N independent tenant engines behind\n"
+      "                        one fleet (requires --algorithm=umicro;\n"
+      "                        --threads sets the shared worker count)\n"
+      "  --tenant-key=K        record-to-tenant routing: round_robin|\n"
+      "                        hash|label (default round_robin)\n"
       "distributed merge tree (docs/distributed.md):\n"
       "  --role=leaf|agg|query leaf ingester, aggregator, or query "
       "client\n"
@@ -385,6 +398,184 @@ int RunQueryRole(const CliOptions& cli) {
   return 0;
 }
 
+// ---- Fleet mode (docs/fleet.md) --------------------------------------
+
+/// Deterministic record -> tenant routing for --tenants. Every key
+/// depends only on the record and its original row index, so a
+/// --recover rerun assigns each record to the same tenant and the
+/// per-tenant replay offsets line up exactly.
+std::uint64_t AssignTenant(const umicro::stream::UncertainPoint& point,
+                           std::size_t row, const CliOptions& cli) {
+  if (cli.tenant_key == "hash") {
+    // FNV-1a over the value bytes: stable across runs and hosts.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (double v : point.values) {
+      unsigned char bytes[sizeof v];
+      std::memcpy(bytes, &v, sizeof v);
+      for (unsigned char b : bytes) {
+        hash ^= b;
+        hash *= 1099511628211ull;
+      }
+    }
+    return hash % cli.tenants;
+  }
+  if (cli.tenant_key == "label") {
+    const std::uint64_t label =
+        point.label < 0 ? 0u : static_cast<std::uint64_t>(point.label);
+    return label % cli.tenants;
+  }
+  return static_cast<std::uint64_t>(row) % cli.tenants;  // round_robin
+}
+
+/// The --tenants path: one EngineFleet instead of one engine. The
+/// dataset arrives already hardened/imputed/perturbed, so fleet runs
+/// see exactly the stream a single-engine run would.
+int RunFleetMode(const CliOptions& cli,
+                 const umicro::stream::Dataset& dataset) {
+  umicro::core::EngineConfig config;
+  config.umicro.num_micro_clusters = cli.nmicro;
+  config.umicro.boundary_factor = cli.boundary;
+  config.umicro.dimension_threshold = cli.thresh;
+  config.umicro.decay_lambda = cli.decay;
+  config.fleet.tenants = cli.tenants;
+  if (cli.threads > 0) config.fleet.workers = cli.threads;
+  config.fleet.queue_capacity = cli.queue_capacity;
+  config.serve.threads = cli.serve_threads;
+  config.checkpoint.dir = cli.checkpoint_dir;
+  config.checkpoint.every_points = cli.checkpoint_every;
+  config.checkpoint.every_seconds = cli.checkpoint_seconds;
+
+  std::unique_ptr<umicro::fleet::EngineFleet> fleet;
+  std::map<std::uint64_t, std::uint64_t> resume_from;
+  if (cli.recover) {
+    umicro::fleet::RecoveredFleet recovered =
+        umicro::fleet::RecoverOrCreateFleet(cli.checkpoint_dir,
+                                            dataset.dimensions(), config);
+    fleet = std::move(recovered.fleet);
+    if (recovered.recovered) {
+      resume_from = std::move(recovered.resume_from);
+      std::printf("recovered fleet manifest %llu: %zu tenants restored, "
+                  "%zu corrupt skipped, %zu manifests passed over\n",
+                  static_cast<unsigned long long>(recovered.manifest_seq),
+                  recovered.tenants_restored, recovered.corrupt_skipped,
+                  recovered.manifests_skipped);
+    } else {
+      std::printf("no usable fleet manifest in %s; starting fresh\n",
+                  cli.checkpoint_dir.c_str());
+    }
+  } else {
+    fleet = std::make_unique<umicro::fleet::EngineFleet>(
+        dataset.dimensions(), config);
+  }
+  std::printf("fleet: %zu tenants on %zu workers (%s routing)\n",
+              cli.tenants,
+              cli.threads > 0 ? cli.threads : config.fleet.workers,
+              cli.tenant_key.c_str());
+
+  std::unique_ptr<umicro::fleet::FleetCheckpointer> checkpointer;
+  if (!cli.checkpoint_dir.empty()) {
+    checkpointer = std::make_unique<umicro::fleet::FleetCheckpointer>(
+        cli.checkpoint_dir, config.checkpoint, &fleet->metrics());
+  }
+  std::unique_ptr<umicro::obs::MetricsExporter> exporter;
+  if (!cli.metrics_out.empty()) {
+    exporter = std::make_unique<umicro::obs::MetricsExporter>(
+        &fleet->metrics(), cli.metrics_out, cli.metrics_every);
+  }
+  if (cli.serve) {
+    // Attach every tenant's read replica before any point flows, the
+    // same ordering the single-engine path uses (docs/serving.md).
+    for (std::uint64_t tenant : fleet->TenantIds()) {
+      fleet->EnsureServing(tenant);
+    }
+  }
+
+  // Ingest. Routing is deterministic, so each tenant's substream is
+  // reproducible; after recovery the first resume_from[tenant] records
+  // of that substream are exactly what its checkpoint already holds.
+  const auto started = std::chrono::steady_clock::now();
+  std::map<std::uint64_t, std::uint64_t> routed;  // tenant -> seen
+  std::uint64_t ingested = 0;
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const std::uint64_t tenant = AssignTenant(dataset[i], i, cli);
+    const std::uint64_t position = routed[tenant]++;
+    const auto offset = resume_from.find(tenant);
+    if (offset != resume_from.end() && position < offset->second) {
+      ++skipped;
+      continue;
+    }
+    fleet->Ingest(tenant, dataset[i]);
+    ++ingested;
+    // Cadence checks batched: Stats() walks every worker counter.
+    if ((ingested & 255u) == 0) {
+      if (exporter != nullptr && cli.metrics_every > 0) {
+        exporter->TickPoints(static_cast<std::size_t>(ingested));
+      }
+      if (checkpointer != nullptr) checkpointer->MaybeCheckpoint(*fleet);
+    }
+  }
+  fleet->Flush();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  const umicro::fleet::FleetStats stats = fleet->Stats();
+  std::printf("fleet ingested %llu points",
+              static_cast<unsigned long long>(ingested));
+  if (skipped > 0) {
+    std::printf(" (%llu already checkpointed)",
+                static_cast<unsigned long long>(skipped));
+  }
+  std::printf(": skew %.3f, %.0f points/sec\n", stats.ingest_skew,
+              elapsed > 0.0 ? static_cast<double>(ingested) / elapsed
+                            : 0.0);
+
+  if (checkpointer != nullptr) {
+    if (!checkpointer->CheckpointNow(*fleet)) {
+      std::fprintf(stderr, "failed to write final fleet checkpoint in "
+                   "%s\n",
+                   cli.checkpoint_dir.c_str());
+      return 1;
+    }
+    std::printf("fleet checkpoints: %zu passes, last pass rewrote "
+                "%zu/%zu tenants (dirty ratio %.3f), manifest seq "
+                "%llu\n",
+                checkpointer->checkpoints_written(),
+                checkpointer->last_dirty_count(), fleet->tenant_count(),
+                checkpointer->last_dirty_ratio(),
+                static_cast<unsigned long long>(checkpointer->last_seq()));
+  }
+
+  if (cli.serve) {
+    umicro::serve::QueryBrokerOptions broker_options =
+        umicro::serve::QueryBrokerOptions::FromConfig(config);
+    umicro::serve::QueryBroker broker(fleet->Resolver(), broker_options,
+                                      &fleet->metrics());
+    std::printf("serving %zu tenants on stdin/stdout with %zu query "
+                "threads (HELLO/TENANT/CLUSTER/NEAREST/ANOMALY/STATS/"
+                "QUIT)\n",
+                fleet->tenant_count(), cli.serve_threads);
+    std::fflush(stdout);
+    const std::size_t served =
+        umicro::serve::ServeLineProtocol(broker, std::cin, std::cout);
+    std::printf("served %zu queries\n", served);
+  }
+
+  if (exporter != nullptr) {
+    if (exporter->ExportNow()) {
+      std::printf("metrics written to %s.json / %s.csv\n",
+                  exporter->base_path().c_str(),
+                  exporter->base_path().c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s.{json,csv}\n",
+                   exporter->base_path().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -460,6 +651,10 @@ int main(int argc, char** argv) {
       cli.serve = true;
     } else if (ParseFlag(arg, "serve-threads", &value)) {
       cli.serve_threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "tenants", &value)) {
+      cli.tenants = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "tenant-key", &value)) {
+      cli.tenant_key = value;
     } else if (ParseFlag(arg, "role", &value)) {
       cli.role = value;
     } else if (ParseFlag(arg, "connect", &value)) {
@@ -602,6 +797,42 @@ int main(int argc, char** argv) {
   if (cli.serve && cli.serve_threads == 0) {
     std::fprintf(stderr, "--serve-threads must be at least 1\n");
     return 2;
+  }
+  if (cli.tenant_key != "round_robin" && cli.tenant_key != "hash" &&
+      cli.tenant_key != "label") {
+    std::fprintf(stderr,
+                 "unknown --tenant-key: %s (want round_robin, hash, or "
+                 "label)\n",
+                 cli.tenant_key.c_str());
+    return 2;
+  }
+  if (cli.tenants > 0) {
+    if (cli.algorithm != "umicro") {
+      std::fprintf(stderr,
+                   "--tenants requires --algorithm=umicro (the fleet "
+                   "hosts umicro tenant engines)\n");
+      return 2;
+    }
+    if (!cli.role.empty()) {
+      std::fprintf(stderr,
+                   "--tenants is incompatible with --role (the fleet is "
+                   "a single-process multi-tenant host)\n");
+      return 2;
+    }
+    if (cli.degrade) {
+      std::fprintf(stderr,
+                   "--degrade applies to the sharded pipeline, not the "
+                   "fleet\n");
+      return 2;
+    }
+    if (!cli.state_out.empty() || !cli.centroids_out.empty() ||
+        cli.describe) {
+      std::fprintf(stderr,
+                   "--state-out/--centroids-out/--describe are "
+                   "single-engine outputs; a fleet has one state per "
+                   "tenant (query it via --serve)\n");
+      return 2;
+    }
   }
   std::optional<umicro::resilience::BadRecordPolicy> bad_record_policy;
   if (!cli.bad_record_policy.empty()) {
@@ -834,6 +1065,12 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  // ---- Fleet mode -----------------------------------------------------
+  // Dispatched after every deterministic input transform, so tenant
+  // substreams match what a single-engine run over the same flags would
+  // have ingested.
+  if (cli.tenants > 0) return RunFleetMode(cli, dataset);
 
   // ---- Build the clusterer --------------------------------------------
   // The umicro algorithm runs behind the unified engine interface --
