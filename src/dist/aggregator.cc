@@ -26,6 +26,7 @@ Aggregator::Aggregator(AggregatorOptions options,
                        obs::MetricsRegistry* metrics)
     : options_(std::move(options)),
       replica_(options_.snapshot, options_.decay_lambda) {
+  primary_.store(!options_.start_as_standby, std::memory_order_relaxed);
   broker_ = std::make_unique<serve::QueryBroker>(&replica_, options_.broker,
                                                  metrics);
   if (metrics != nullptr) {
@@ -41,6 +42,8 @@ Aggregator::Aggregator(AggregatorOptions options,
     query_sessions_metric_ = &metrics->GetCounter("dist.agg.query_sessions");
     protocol_errors_metric_ =
         &metrics->GetCounter("dist.agg.protocol_errors");
+    promotions_metric_ = &metrics->GetCounter("dist.agg.promotions");
+    stale_gauge_ = &metrics->GetGauge("dist.agg.leaf_stale");
   }
 }
 
@@ -91,6 +94,7 @@ void Aggregator::AcceptLoop() {
   while (!stop_.load()) {
     std::optional<net::Socket> accepted = listener_->Accept(kPollSliceMs);
     ReapFinishedSessions();
+    RefreshLiveness();
     if (!accepted.has_value()) continue;
     if (sessions_metric_ != nullptr) sessions_metric_->Increment();
     auto session = std::make_unique<Session>();
@@ -124,9 +128,14 @@ void Aggregator::ReapFinishedSessions() {
 
 void Aggregator::RunSession(Session* session) {
   // Sniff the first byte: the frame magic marks a leaf's framed delta
-  // session, anything else a text query session.
+  // session, anything else a text query session. A peer that connects
+  // and never sends anything is hung up on after io_timeout_ms -- the
+  // slow-loris variant that would otherwise pin a session thread.
   unsigned char first = 0;
   bool sniffed = false;
+  const auto sniff_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.io_timeout_ms);
   while (!stop_.load()) {
     bool timed_out = false;
     const long n = session->socket.PeekSome(&first, 1, kPollSliceMs,
@@ -136,6 +145,12 @@ void Aggregator::RunSession(Session* session) {
       break;
     }
     if (n < 0 || !timed_out) break;  // error or orderly close
+    if (std::chrono::steady_clock::now() >= sniff_deadline) {
+      if (protocol_errors_metric_ != nullptr) {
+        protocol_errors_metric_->Increment();
+      }
+      break;
+    }
   }
   if (sniffed && !stop_.load()) {
     if (first == net::kFrameMagic) {
@@ -158,6 +173,7 @@ void Aggregator::RunSession(Session* session) {
 void Aggregator::LeafSession(net::Socket& socket) {
   net::FrameDecoder decoder;
   bool greeted = false;
+  std::uint64_t session_leaf_id = 0;
   char buffer[16384];
   while (!stop_.load()) {
     bool timed_out = false;
@@ -188,6 +204,7 @@ void Aggregator::LeafSession(net::Socket& socket) {
             return;
           }
           greeted = true;
+          session_leaf_id = hello->leaf_id;
           break;
         }
         case net::FrameType::kDelta: {
@@ -211,6 +228,7 @@ void Aggregator::LeafSession(net::Socket& socket) {
           break;
         }
         case net::FrameType::kBye:
+          if (greeted) MarkLeafFinished(session_leaf_id);
           return;
         case net::FrameType::kAck:
           // A leaf never sends ACKs; tolerate and ignore.
@@ -222,19 +240,35 @@ void Aggregator::LeafSession(net::Socket& socket) {
 
 void Aggregator::QuerySession(net::Socket& socket) {
   net::SocketStream stream(&socket, options_.io_timeout_ms);
-  serve::ServeLineProtocol(*broker_, stream, stream);
+  serve::ServerOptions serve_options;
+  serve_options.status = [this] { return StatusSnapshot(); };
+  serve::ServeLineProtocol(*broker_, stream, stream, serve_options);
   stream.flush();
+  // A slow-loris peer (connected, then silent past io_timeout_ms) ends
+  // the session through a read timeout, not an orderly close; count it.
+  if (stream.timed_out() && protocol_errors_metric_ != nullptr) {
+    protocol_errors_metric_->Increment();
+  }
 }
 
 bool Aggregator::ApplyDelta(const DeltaMessage& delta) {
   if (delta.leaf_id > kMaxLeafId) return false;
+  // A primary-flagged delta is the leaves' failover signal: they now
+  // await this node's ACKs, so a standby promotes itself -- even when
+  // the delta itself deduplicates (the warm-shipped copy got here
+  // first, which is the common case right after a failover).
+  if (delta.primary &&
+      !primary_.exchange(true, std::memory_order_relaxed)) {
+    if (promotions_metric_ != nullptr) promotions_metric_->Increment();
+  }
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     const auto it = leaves_.find(delta.leaf_id);
     if (it != leaves_.end() && delta.seq <= it->second.seq) {
       // Replay of an already-applied delta (leaf retry after a lost
       // ACK, or a restarted leaf catching up): ack it again, apply
-      // nothing -- idempotence.
+      // nothing -- idempotence. It still proves the leaf is alive.
+      it->second.last_delta = std::chrono::steady_clock::now();
       if (deltas_duplicate_metric_ != nullptr) {
         deltas_duplicate_metric_->Increment();
       }
@@ -254,6 +288,7 @@ bool Aggregator::ApplyDelta(const DeltaMessage& delta) {
   entry.seq = delta.seq;
   entry.points = delta.points;
   entry.last_timestamp = state->last_timestamp;
+  entry.last_delta = std::chrono::steady_clock::now();
   // A sequential leaf's live set is its single shard state; a sharded
   // leaf ships its merged view.
   if (state->shard_states.size() == 1 && state->global_clusters.empty()) {
@@ -279,8 +314,50 @@ bool Aggregator::ApplyDelta(const DeltaMessage& delta) {
   return true;
 }
 
+void Aggregator::MarkLeafFinished(std::uint64_t leaf_id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const auto it = leaves_.find(leaf_id);
+  if (it == leaves_.end()) return;
+  it->second.finished = true;
+  if (it->second.stale) RebuildMergedViewLocked();  // no longer excluded
+}
+
+void Aggregator::RefreshLiveness() {
+  if (options_.stale_after_ms <= 0) return;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (leaves_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.stale_after_ms);
+  bool changed = false;
+  for (const auto& [leaf_id, entry] : leaves_) {
+    const bool stale = !entry.finished && now - entry.last_delta > limit;
+    if (stale != entry.stale) {
+      changed = true;
+      break;
+    }
+  }
+  // The rebuild recomputes every flag and republishes the degraded (or
+  // recovered) view; nothing to do while membership is unchanged.
+  if (changed) RebuildMergedViewLocked();
+}
+
 void Aggregator::RebuildMergedViewLocked() {
   const obs::ScopedTimer timer(merge_micros_);
+  // Re-evaluate staleness first: a stale leaf keeps its progress
+  // accounting (total_points, merge lag) but is left out of the merged
+  // view, so queries answer from the live part of the fleet.
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(
+      options_.stale_after_ms > 0 ? options_.stale_after_ms : 0);
+  stale_count_ = 0;
+  for (auto& [leaf_id, entry] : leaves_) {
+    entry.stale = options_.stale_after_ms > 0 && !entry.finished &&
+                  now - entry.last_delta > limit;
+    if (entry.stale) ++stale_count_;
+  }
+  if (stale_gauge_ != nullptr) {
+    stale_gauge_->Set(static_cast<double>(stale_count_));
+  }
   // Shard slot = leaf id (dense ids), so the merged view's id tagging is
   // exactly the in-process sharded engine's regardless of which leaves
   // have reported yet.
@@ -293,11 +370,12 @@ void Aggregator::RebuildMergedViewLocked() {
   std::uint64_t min_points = 0, max_points = 0;
   bool first = true;
   for (const auto& [leaf_id, entry] : leaves_) {
-    shard_sets[leaf_id] = entry.clusters;
-    newest = std::max(newest, entry.last_timestamp);
     min_points = first ? entry.points : std::min(min_points, entry.points);
     max_points = std::max(max_points, entry.points);
     first = false;
+    if (entry.stale) continue;
+    shard_sets[leaf_id] = entry.clusters;
+    newest = std::max(newest, entry.last_timestamp);
   }
   parallel::ShardMergeOptions merge_options;
   merge_options.dimensions = options_.dimensions;
@@ -369,6 +447,27 @@ std::size_t Aggregator::leaves_known() const {
 std::uint64_t Aggregator::deltas_applied() const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return deltas_applied_;
+}
+
+std::size_t Aggregator::stale_leaves() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return stale_count_;
+}
+
+bool Aggregator::degraded() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return stale_count_ > 0;
+}
+
+serve::ServeStatus Aggregator::StatusSnapshot() const {
+  serve::ServeStatus status;
+  status.role = role();
+  std::lock_guard<std::mutex> lock(state_mu_);
+  status.degraded = stale_count_ > 0;
+  status.leaves = leaves_.size();
+  status.stale_leaves = stale_count_;
+  status.deltas_applied = deltas_applied_;
+  return status;
 }
 
 }  // namespace umicro::dist

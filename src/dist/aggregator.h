@@ -21,15 +21,27 @@
 // makes the multi-process topology bit-identical to a single-process
 // sharded run over the same round-robin partitioning).
 //
+// Failover (docs/distributed.md): an aggregator started with
+// `start_as_standby` merges warm-shipped deltas exactly like a primary
+// (so its replica stays current) but reports role "standby" until a
+// delta arrives with the primary flag set -- the leaves' signal that
+// they have failed over to it -- at which point it promotes itself.
+// With `stale_after_ms` > 0 the accept loop tracks per-leaf delta
+// staleness and rebuilds the merged view *without* stale leaves: a
+// degraded answer from the live part of the fleet, surfaced through
+// the HEALTH verb and the STATS stale/degraded fields.
+//
 // Metrics: dist.agg.deltas_applied, dist.agg.deltas_duplicate,
 // dist.agg.bytes, dist.agg.merges, dist.agg.merge_micros,
 // dist.agg.merge_lag_points (max-min leaf progress), dist.agg.leaves,
-// dist.agg.sessions, dist.agg.query_sessions, dist.agg.protocol_errors.
+// dist.agg.sessions, dist.agg.query_sessions, dist.agg.protocol_errors,
+// dist.agg.promotions, dist.agg.leaf_stale.
 
 #ifndef UMICRO_DIST_AGGREGATOR_H_
 #define UMICRO_DIST_AGGREGATOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -48,6 +60,7 @@
 #include "obs/metrics.h"
 #include "serve/query_broker.h"
 #include "serve/replica.h"
+#include "serve/server.h"
 
 namespace umicro::dist {
 
@@ -70,8 +83,15 @@ struct AggregatorOptions {
   serve::QueryBrokerOptions broker;
   /// Per-read timeout of leaf sessions' poll slices and of query
   /// sessions' blocking reads (a silent query peer is hung up on after
-  /// this long).
+  /// this long, and counted in dist.agg.protocol_errors).
   int io_timeout_ms = 60000;
+  /// Start in the standby role: merge warm deltas, serve queries, but
+  /// report "standby" until a primary-flagged delta promotes this node.
+  bool start_as_standby = false;
+  /// When > 0, a leaf whose newest delta is older than this (and that
+  /// has not sent BYE) is considered stale and excluded from the merged
+  /// view until it reports again. 0 disables liveness tracking.
+  int stale_after_ms = 0;
 };
 
 /// Multi-leaf delta merge + query serving behind one listener.
@@ -114,6 +134,25 @@ class Aggregator {
   /// Deltas applied (non-duplicate) so far.
   std::uint64_t deltas_applied() const;
 
+  /// "primary" or "standby" (promotion is one-way).
+  std::string role() const {
+    return primary_.load(std::memory_order_relaxed) ? "primary" : "standby";
+  }
+
+  /// True once this node is (or was promoted to) the primary.
+  bool is_primary() const {
+    return primary_.load(std::memory_order_relaxed);
+  }
+
+  /// Leaves currently excluded from the merged view as stale.
+  std::size_t stale_leaves() const;
+
+  /// True when the merged view omits at least one stale leaf.
+  bool degraded() const;
+
+  /// Control-plane snapshot behind the ROLE/HEALTH serve verbs.
+  serve::ServeStatus StatusSnapshot() const;
+
   /// The query broker (same answers in-process callers would get).
   serve::QueryBroker& broker() { return *broker_; }
 
@@ -139,6 +178,11 @@ class Aggregator {
   void QuerySession(net::Socket& socket);
   /// Applies one delta (or dedups it); true when an ACK should be sent.
   bool ApplyDelta(const DeltaMessage& delta);
+  /// Records a leaf's orderly BYE (an exhausted leaf is never stale).
+  void MarkLeafFinished(std::uint64_t leaf_id);
+  /// Re-evaluates per-leaf staleness from the accept loop; rebuilds the
+  /// merged view when membership changed. No-op unless stale_after_ms.
+  void RefreshLiveness();
   /// Rebuilds merged view + replica publication. Caller holds state_mu_.
   void RebuildMergedViewLocked();
 
@@ -154,6 +198,8 @@ class Aggregator {
   obs::Counter* sessions_metric_ = nullptr;
   obs::Counter* query_sessions_metric_ = nullptr;
   obs::Counter* protocol_errors_metric_ = nullptr;
+  obs::Counter* promotions_metric_ = nullptr;
+  obs::Gauge* stale_gauge_ = nullptr;
 
   serve::SnapshotReadReplica replica_;
   std::unique_ptr<serve::QueryBroker> broker_;
@@ -174,7 +220,16 @@ class Aggregator {
     std::uint64_t points = 0;
     double last_timestamp = 0.0;
     std::vector<core::MicroCluster> clusters;
+    /// When the newest delta arrived (drives staleness).
+    std::chrono::steady_clock::time_point last_delta{};
+    /// Leaf sent BYE: its stream is complete, never stale.
+    bool finished = false;
+    /// Currently excluded from the merged view as stale.
+    bool stale = false;
   };
+
+  /// Promotion flag: standby -> primary, one-way.
+  std::atomic<bool> primary_{true};
 
   /// Guards everything below; also serializes replica publications
   /// (SnapshotSink requires a single logical publisher).
@@ -184,6 +239,7 @@ class Aggregator {
   std::vector<core::MicroCluster> merged_;
   double merged_time_ = 0.0;
   std::uint64_t deltas_applied_ = 0;
+  std::size_t stale_count_ = 0;
 };
 
 }  // namespace umicro::dist

@@ -1,6 +1,6 @@
 #include "dist/leaf.h"
 
-#include <chrono>
+#include <algorithm>
 #include <utility>
 
 #include "dist/protocol.h"
@@ -12,9 +12,15 @@ namespace umicro::dist {
 LeafShipper::LeafShipper(net::SocketAddress aggregator,
                          LeafShipperOptions options,
                          obs::MetricsRegistry* metrics)
-    : aggregator_(std::move(aggregator)),
-      options_(options),
-      backoff_(options.backoff) {
+    : options_(std::move(options)) {
+  endpoints_.push_back(
+      std::make_unique<Endpoint>(std::move(aggregator), options_.backoff));
+  for (const net::SocketAddress& standby : options_.standbys) {
+    endpoints_.push_back(
+        std::make_unique<Endpoint>(standby, options_.backoff));
+  }
+  order_.resize(endpoints_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
   if (metrics != nullptr) {
     deltas_metric_ = &metrics->GetCounter("dist.leaf.deltas");
     bytes_metric_ = &metrics->GetCounter("dist.leaf.bytes");
@@ -22,10 +28,19 @@ LeafShipper::LeafShipper(net::SocketAddress aggregator,
     resends_metric_ = &metrics->GetCounter("dist.leaf.resends");
     reconnects_metric_ = &metrics->GetCounter("dist.leaf.reconnects");
     ship_micros_ = &metrics->GetHistogram("dist.leaf.ship_micros");
+    backoff_gauge_ = &metrics->GetGauge("dist.leaf.backoff_ms");
+    exhausted_metric_ =
+        &metrics->GetCounter("dist.leaf.attempts_exhausted");
+    promotions_metric_ = &metrics->GetCounter("dist.leaf.promotions");
   }
 }
 
 LeafShipper::~LeafShipper() { Stop(); }
+
+net::SocketAddress LeafShipper::current_primary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_[order_.front()]->address;
+}
 
 bool LeafShipper::InterruptibleSleep(int ms) {
   std::unique_lock<std::mutex> lock(sleep_mu_);
@@ -34,18 +49,33 @@ bool LeafShipper::InterruptibleSleep(int ms) {
   return !stop_.load();
 }
 
-bool LeafShipper::EnsureConnected() {
+void LeafShipper::TeardownEndpoint(Endpoint& endpoint, bool gate) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (socket_.valid()) return true;
+    endpoint.socket.ShutdownBoth();  // unblocks a writer stuck in send
+    if (endpoint.sender != nullptr) endpoint.sender->Stop();
+    endpoint.sender.reset();
+    endpoint.socket.Close();
   }
-  while (!stop_.load()) {
-    std::optional<net::Socket> socket =
-        net::TcpConnect(aggregator_, options_.connect_timeout_ms);
-    if (!socket.has_value()) {
-      if (!InterruptibleSleep(backoff_.NextDelayMs())) return false;
-      continue;
+  if (gate) {
+    const int delay = endpoint.backoff.NextDelayMs();
+    endpoint.retry_after = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(delay);
+    if (backoff_gauge_ != nullptr) {
+      backoff_gauge_->Set(static_cast<double>(delay));
     }
+  }
+}
+
+bool LeafShipper::EndpointReady(Endpoint& endpoint) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (endpoint.socket.valid()) return true;
+  }
+  if (std::chrono::steady_clock::now() < endpoint.retry_after) return false;
+  std::optional<net::Socket> socket =
+      net::TcpConnect(endpoint.address, options_.connect_timeout_ms);
+  if (socket.has_value()) {
     HelloMessage hello;
     hello.leaf_id = options_.leaf_id;
     hello.dimensions = options_.dimensions;
@@ -53,31 +83,102 @@ bool LeafShipper::EnsureConnected() {
         net::EncodeFrame(net::FrameType::kHello, EncodeHello(hello));
     {
       std::lock_guard<std::mutex> lock(mu_);
-      socket_ = std::move(*socket);
-      sender_ = std::make_unique<net::PeerSender>(&socket_, options_.sender);
+      endpoint.socket = std::move(*socket);
+      endpoint.sender =
+          std::make_unique<net::PeerSender>(&endpoint.socket,
+                                            options_.sender);
     }
-    if (!sender_->Enqueue(frame) || !sender_->Drain()) {
-      DropConnection();
-      if (!InterruptibleSleep(backoff_.NextDelayMs())) return false;
-      continue;
+    if (endpoint.sender->Enqueue(frame) && endpoint.sender->Drain()) {
+      endpoint.backoff.Reset();
+      endpoint.retry_after = {};
+      connects_.fetch_add(1, std::memory_order_relaxed);
+      if (reconnects_metric_ != nullptr &&
+          connects_.load(std::memory_order_relaxed) > 1) {
+        reconnects_metric_->Increment();
+      }
+      return true;
     }
-    backoff_.Reset();
-    connects_.fetch_add(1, std::memory_order_relaxed);
-    if (reconnects_metric_ != nullptr &&
-        connects_.load(std::memory_order_relaxed) > 1) {
-      reconnects_metric_->Increment();
+  }
+  TeardownEndpoint(endpoint, /*gate=*/true);
+  return false;
+}
+
+bool LeafShipper::AwaitAck(Endpoint& endpoint, std::uint64_t seq) {
+  // Any hiccup (timeout, corruption, EOF) fails the wait; the caller
+  // drops the link and re-sends. A stale ACK from a previous attempt of
+  // an *earlier* delta is skipped, not fatal: acks arrive in order, so
+  // the matching one is still behind it.
+  net::FrameDecoder decoder;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.ack_timeout_ms);
+  while (!stop_.load()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;  // straggler
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    char buffer[4096];
+    bool timed_out = false;
+    const long n = endpoint.socket.RecvSome(buffer, sizeof(buffer),
+                                            std::min(remaining_ms, 200),
+                                            &timed_out);
+    if (n < 0 || (n == 0 && !timed_out)) return false;
+    if (n > 0) decoder.Feed(buffer, static_cast<std::size_t>(n));
+    if (decoder.corrupted()) return false;
+    while (std::optional<net::Frame> reply = decoder.Next()) {
+      if (reply->type != net::FrameType::kAck) continue;
+      const std::optional<AckMessage> ack = ParseAck(reply->payload);
+      if (ack.has_value() && ack->leaf_id == options_.leaf_id &&
+          ack->seq == seq) {
+        return true;
+      }
     }
-    return true;
   }
   return false;
 }
 
-void LeafShipper::DropConnection() {
-  std::lock_guard<std::mutex> lock(mu_);
-  socket_.ShutdownBoth();  // unblocks a writer stuck in send first
-  if (sender_ != nullptr) sender_->Stop();
-  sender_.reset();
-  socket_.Close();
+void LeafShipper::PromoteToFront(std::size_t pos) {
+  if (pos == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t index = order_[pos];
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+    order_.insert(order_.begin(), index);
+  }
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  if (promotions_metric_ != nullptr) promotions_metric_->Increment();
+}
+
+void LeafShipper::WarmShipStandbys(const std::string& frame) {
+  std::vector<std::size_t> order;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    order = order_;
+  }
+  for (std::size_t pos = 1; pos < order.size() && !stop_.load(); ++pos) {
+    Endpoint& endpoint = *endpoints_[order[pos]];
+    if (!EndpointReady(endpoint)) continue;
+    // Fire-and-forget: the standby's ACKs sit unread until a promotion
+    // makes it the primary path (AwaitAck then skips the stale ones).
+    if (!endpoint.sender->Enqueue(frame) || !endpoint.sender->Drain()) {
+      TeardownEndpoint(endpoint, /*gate=*/true);
+      continue;
+    }
+    if (bytes_metric_ != nullptr) bytes_metric_->Increment(frame.size());
+  }
+}
+
+int LeafShipper::NextRetryDelayMs() const {
+  const auto now = std::chrono::steady_clock::now();
+  long long earliest = options_.backoff.max_ms;
+  for (const auto& endpoint : endpoints_) {
+    const long long remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            endpoint->retry_after - now)
+            .count();
+    earliest = std::min(earliest, std::max(1ll, remaining));
+  }
+  return static_cast<int>(std::max(1ll, earliest));
 }
 
 bool LeafShipper::ShipState(std::uint64_t seq, std::uint64_t points,
@@ -86,94 +187,84 @@ bool LeafShipper::ShipState(std::uint64_t seq, std::uint64_t points,
   delta.leaf_id = options_.leaf_id;
   delta.seq = seq;
   delta.points = points;
+  delta.primary = true;
   delta.state_text = state_text;
-  const std::string frame =
+  const std::string primary_frame =
       net::EncodeFrame(net::FrameType::kDelta, EncodeDelta(delta));
-  if (frame.empty()) return false;  // state larger than a frame allows
+  if (primary_frame.empty()) return false;  // state larger than a frame
+  delta.primary = false;
+  const std::string standby_frame =
+      net::EncodeFrame(net::FrameType::kDelta, EncodeDelta(delta));
 
   const obs::ScopedTimer timer(ship_micros_);
-  std::size_t attempts = 0;
-  bool first_attempt = true;
+  std::size_t send_attempts = 0;
   while (!stop_.load()) {
-    if (options_.max_attempts > 0 && attempts >= options_.max_attempts) {
+    if (options_.max_attempts > 0 &&
+        send_attempts >= options_.max_attempts) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      if (exhausted_metric_ != nullptr) exhausted_metric_->Increment();
       return false;
     }
-    ++attempts;
-    if (!first_attempt) {
-      resends_.fetch_add(1, std::memory_order_relaxed);
-      if (resends_metric_ != nullptr) resends_metric_->Increment();
+    std::vector<std::size_t> order;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      order = order_;
     }
-    first_attempt = false;
-    if (!EnsureConnected()) return false;
-    if (!sender_->Enqueue(frame) || !sender_->Drain()) {
-      DropConnection();
-      continue;
-    }
-    if (deltas_metric_ != nullptr) deltas_metric_->Increment();
-    if (bytes_metric_ != nullptr) bytes_metric_->Increment(frame.size());
-
-    // Wait for the matching ACK; any hiccup (timeout, corruption, EOF)
-    // drops the link and re-sends. A stale ACK from a previous attempt
-    // of an *earlier* delta is skipped, not fatal: acks arrive in
-    // order, so the matching one is still behind it.
-    net::FrameDecoder decoder;
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::milliseconds(options_.ack_timeout_ms);
-    bool acked = false;
-    bool link_ok = true;
-    while (!acked && link_ok && !stop_.load()) {
-      const auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) {
-        link_ok = false;  // straggler: re-send over a fresh connection
+    bool sent = false;
+    for (std::size_t pos = 0; pos < order.size() && !stop_.load(); ++pos) {
+      if (options_.max_attempts > 0 &&
+          send_attempts >= options_.max_attempts) {
         break;
       }
-      const int remaining_ms = static_cast<int>(
-          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
-                                                                now)
-              .count());
-      char buffer[4096];
-      bool timed_out = false;
-      const long n = socket_.RecvSome(buffer, sizeof(buffer),
-                                      std::min(remaining_ms, 200),
-                                      &timed_out);
-      if (n < 0 || (n == 0 && !timed_out)) {
-        link_ok = false;
-        break;
+      Endpoint& endpoint = *endpoints_[order[pos]];
+      if (!EndpointReady(endpoint)) continue;
+      ++send_attempts;
+      sent = true;
+      if (send_attempts > 1) {
+        resends_.fetch_add(1, std::memory_order_relaxed);
+        if (resends_metric_ != nullptr) resends_metric_->Increment();
       }
-      if (n > 0) decoder.Feed(buffer, static_cast<std::size_t>(n));
-      if (decoder.corrupted()) {
-        link_ok = false;
-        break;
+      if (!endpoint.sender->Enqueue(primary_frame) ||
+          !endpoint.sender->Drain()) {
+        TeardownEndpoint(endpoint, /*gate=*/false);
+        continue;
       }
-      while (std::optional<net::Frame> reply = decoder.Next()) {
-        if (reply->type != net::FrameType::kAck) continue;
-        const std::optional<AckMessage> ack = ParseAck(reply->payload);
-        if (ack.has_value() && ack->leaf_id == options_.leaf_id &&
-            ack->seq == seq) {
-          acked = true;
-          break;
-        }
+      if (deltas_metric_ != nullptr) deltas_metric_->Increment();
+      if (bytes_metric_ != nullptr) {
+        bytes_metric_->Increment(primary_frame.size());
       }
+      if (AwaitAck(endpoint, seq)) {
+        acked_.fetch_add(1, std::memory_order_relaxed);
+        if (acks_metric_ != nullptr) acks_metric_->Increment();
+        PromoteToFront(pos);
+        WarmShipStandbys(standby_frame);
+        return true;
+      }
+      // Straggler or broken link: fail over to the next endpoint in
+      // order right away (the promotion happens when one acks).
+      TeardownEndpoint(endpoint, /*gate=*/false);
     }
-    if (acked) {
-      acked_.fetch_add(1, std::memory_order_relaxed);
-      if (acks_metric_ != nullptr) acks_metric_->Increment();
-      return true;
+    if (!sent) {
+      // Every endpoint is down and gated: sleep until the earliest
+      // backoff gate opens (the single-endpoint reconnect cadence).
+      if (!InterruptibleSleep(NextRetryDelayMs())) return false;
     }
-    DropConnection();
   }
   return false;
 }
 
 void LeafShipper::Finish() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (sender_ != nullptr && socket_.valid()) {
-    sender_->Enqueue(net::EncodeFrame(net::FrameType::kBye, ""));
-    sender_->Drain();
-    sender_->Stop();
+  for (const auto& endpoint : endpoints_) {
+    if (endpoint->sender != nullptr && endpoint->socket.valid()) {
+      endpoint->sender->Enqueue(
+          net::EncodeFrame(net::FrameType::kBye, ""));
+      endpoint->sender->Drain();
+      endpoint->sender->Stop();
+    }
+    endpoint->sender.reset();
+    endpoint->socket.Close();
   }
-  sender_.reset();
-  socket_.Close();
 }
 
 void LeafShipper::Stop() {
@@ -184,9 +275,9 @@ void LeafShipper::Stop() {
   sleep_cv_.notify_all();
   // Shutdown (not close) unblocks the shipping thread's recv/send
   // without yanking the fd out from under it; the shipping thread then
-  // observes stop_ and closes the socket itself via DropConnection().
+  // observes stop_ and closes the sockets itself via TeardownEndpoint.
   std::lock_guard<std::mutex> lock(mu_);
-  socket_.ShutdownBoth();
+  for (const auto& endpoint : endpoints_) endpoint->socket.ShutdownBoth();
 }
 
 }  // namespace umicro::dist

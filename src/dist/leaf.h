@@ -2,7 +2,7 @@
 //
 // A leaf ingester runs an ordinary engine on its substream and, every
 // `--delta-every` points, hands the engine's exported state here.
-// ShipState() is synchronous and at-least-once: it (re)connects to the
+// ShipState() is synchronous and at-least-once: it (re)connects to an
 // aggregator with capped exponential backoff, sends HELLO + the framed
 // delta through a net::PeerSender, and waits for the matching ACK. A
 // straggling aggregator (no ACK within `ack_timeout_ms`) or a dead link
@@ -11,19 +11,32 @@
 // the aggregator, so at-least-once delivery yields exactly-once
 // application.
 //
+// Failover (docs/distributed.md): the shipper holds an ordered endpoint
+// list -- the primary aggregator first, then `standbys`. Each delta is
+// acked by the first endpoint that answers (tried in order), and after
+// the ack it is warm-shipped best-effort to the remaining endpoints so
+// a standby converges to the same merged view. When the head endpoint
+// dies, the first standby that acks is promoted to the front of the
+// shipping order; the delta it acked carries the primary flag, which
+// tells a standby aggregator to promote itself. State replacement makes
+// any warm-ship gap harmless: the next acked delta replaces everything.
+//
 // Metrics (in the registry passed at construction): dist.leaf.deltas,
 // dist.leaf.bytes, dist.leaf.acks, dist.leaf.resends,
-// dist.leaf.reconnects, dist.leaf.ship_micros.
+// dist.leaf.reconnects, dist.leaf.ship_micros, dist.leaf.backoff_ms,
+// dist.leaf.attempts_exhausted, dist.leaf.promotions.
 
 #ifndef UMICRO_DIST_LEAF_H_
 #define UMICRO_DIST_LEAF_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "net/peer.h"
 #include "net/reconnect.h"
@@ -47,13 +60,16 @@ struct LeafShipperOptions {
   int connect_timeout_ms = 2000;
   /// Send attempts per delta; 0 retries until Stop().
   std::size_t max_attempts = 0;
-  /// Reconnect backoff ladder.
+  /// Reconnect backoff ladder (per endpoint).
   net::BackoffOptions backoff;
   /// Outgoing queue bounds.
   net::PeerSenderOptions sender;
+  /// Standby aggregator endpoints, tried in order after the primary.
+  std::vector<net::SocketAddress> standbys;
 };
 
-/// Synchronous, at-least-once delta shipper over one aggregator link.
+/// Synchronous, at-least-once delta shipper over a primary + standby
+/// aggregator endpoint list.
 class LeafShipper {
  public:
   /// `metrics` (optional) receives the dist.leaf.* instruments.
@@ -65,12 +81,13 @@ class LeafShipper {
   LeafShipper& operator=(const LeafShipper&) = delete;
 
   /// Ships the state as delta `seq` (per-leaf monotone, 1-based) and
-  /// blocks until the aggregator acks it. Returns false only when
+  /// blocks until some endpoint acks it. Returns false only when
   /// stopped or `max_attempts` is exhausted.
   bool ShipState(std::uint64_t seq, std::uint64_t points,
                  const std::string& state_text);
 
-  /// Sends an orderly BYE (best effort) and closes the link.
+  /// Sends an orderly BYE (best effort) to every connected endpoint and
+  /// closes the links.
   void Finish();
 
   /// Aborts any in-flight ShipState (it returns false) and closes.
@@ -80,7 +97,7 @@ class LeafShipper {
   std::uint64_t deltas_acked() const {
     return acked_.load(std::memory_order_relaxed);
   }
-  /// Successful (re)connections so far.
+  /// Successful (re)connections so far, over all endpoints.
   std::uint64_t connects() const {
     return connects_.load(std::memory_order_relaxed);
   }
@@ -88,17 +105,50 @@ class LeafShipper {
   std::uint64_t resends() const {
     return resends_.load(std::memory_order_relaxed);
   }
+  /// Shipping-order rotations (a standby took over the front).
+  std::uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  /// ShipState calls that gave up after `max_attempts`.
+  std::uint64_t attempts_exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  /// Address currently first in the shipping order.
+  net::SocketAddress current_primary() const;
 
  private:
-  /// Connects (with backoff sleeps between failures) and sends HELLO.
-  /// False when stopped.
-  bool EnsureConnected();
-  /// Tears the current link down (next ShipState reconnects).
-  void DropConnection();
+  /// One aggregator endpoint's link state. Sockets/senders are guarded
+  /// by mu_ for creation/teardown; only the shipping thread reads them.
+  struct Endpoint {
+    Endpoint(net::SocketAddress a, net::BackoffOptions b)
+        : address(std::move(a)), backoff(b) {}
+    net::SocketAddress address;
+    net::Socket socket;
+    std::unique_ptr<net::PeerSender> sender;
+    net::Backoff backoff;
+    /// Connect attempts are gated until this instant after a failure.
+    std::chrono::steady_clock::time_point retry_after{};
+  };
+
+  /// True when the endpoint has a live link (connecting + HELLO now if
+  /// its backoff gate allows). Never sleeps.
+  bool EndpointReady(Endpoint& endpoint);
+  /// Tears the endpoint's link down; `gate` additionally arms its
+  /// backoff gate so reconnect probes don't hot-loop.
+  void TeardownEndpoint(Endpoint& endpoint, bool gate);
+  /// Reads frames off the endpoint until the matching ACK, a hiccup, or
+  /// the ack deadline.
+  bool AwaitAck(Endpoint& endpoint, std::uint64_t seq);
+  /// Moves order_[pos] to the front of the shipping order.
+  void PromoteToFront(std::size_t pos);
+  /// Best-effort delivery of the standby-flagged frame to every
+  /// endpoint behind the front one.
+  void WarmShipStandbys(const std::string& frame);
+  /// Milliseconds until the earliest endpoint's backoff gate opens.
+  int NextRetryDelayMs() const;
   /// Sleeps `ms`, waking early on Stop(); false when stopped.
   bool InterruptibleSleep(int ms);
 
-  const net::SocketAddress aggregator_;
   const LeafShipperOptions options_;
 
   obs::Counter* deltas_metric_ = nullptr;
@@ -107,11 +157,16 @@ class LeafShipper {
   obs::Counter* resends_metric_ = nullptr;
   obs::Counter* reconnects_metric_ = nullptr;
   obs::Histogram* ship_micros_ = nullptr;
+  obs::Gauge* backoff_gauge_ = nullptr;
+  obs::Counter* exhausted_metric_ = nullptr;
+  obs::Counter* promotions_metric_ = nullptr;
 
-  std::mutex mu_;  // guards socket_/sender_ teardown vs Stop()
-  net::Socket socket_;
-  std::unique_ptr<net::PeerSender> sender_;
-  net::Backoff backoff_;
+  /// Guards endpoint socket/sender creation + teardown and order_
+  /// against Stop()/accessors on other threads.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  /// Shipping order; order_[0] is the current primary path.
+  std::vector<std::size_t> order_;
 
   std::atomic<bool> stop_{false};
   std::mutex sleep_mu_;
@@ -120,6 +175,8 @@ class LeafShipper {
   std::atomic<std::uint64_t> acked_{0};
   std::atomic<std::uint64_t> connects_{0};
   std::atomic<std::uint64_t> resends_{0};
+  std::atomic<std::uint64_t> promotions_{0};
+  std::atomic<std::uint64_t> exhausted_{0};
 };
 
 }  // namespace umicro::dist

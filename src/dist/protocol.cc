@@ -36,7 +36,8 @@ std::optional<HelloMessage> ParseHello(const std::string& payload) {
 std::string EncodeDelta(const DeltaMessage& delta) {
   std::ostringstream out;
   out << "udelta " << kDistProtocolVersion << ' ' << delta.leaf_id << ' '
-      << delta.seq << ' ' << delta.points << "\n";
+      << delta.seq << ' ' << delta.points << ' ' << (delta.primary ? 1 : 0)
+      << "\n";
   out << delta.state_text;
   return out.str();
 }
@@ -49,6 +50,12 @@ std::optional<DeltaMessage> ParseDelta(const std::string& payload) {
   DeltaMessage delta;
   if (!(in >> delta.leaf_id >> delta.seq >> delta.points)) {
     return std::nullopt;
+  }
+  // Optional trailing primary flag (absent in pre-failover senders).
+  int primary = 1;
+  if (in >> primary) {
+    if (primary != 0 && primary != 1) return std::nullopt;
+    delta.primary = primary != 0;
   }
   if (delta.leaf_id > kMaxLeafId || delta.seq == 0) return std::nullopt;
   delta.state_text = payload.substr(newline + 1);

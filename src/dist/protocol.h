@@ -4,7 +4,8 @@
 // payloads their (versioned, line-oriented, text) shape:
 //
 //   HELLO  "uhello 1 <leaf_id> <dimensions>"
-//   DELTA  "udelta 1 <leaf_id> <seq> <points>\n" + "ucheckpoint 2" text
+//   DELTA  "udelta 1 <leaf_id> <seq> <points> [<primary>]\n"
+//          + "ucheckpoint 2" text
 //   ACK    "uack 1 <leaf_id> <seq>"
 //
 // A delta carries the leaf's complete engine state (state-replacement
@@ -50,6 +51,12 @@ struct DeltaMessage {
   /// Points the leaf had ingested when the state was captured (drives
   /// the aggregator's progress accounting and merge-lag gauge).
   std::uint64_t points = 0;
+  /// True when the leaf shipped this delta down its primary path (the
+  /// endpoint it awaits an ACK from). A standby aggregator that sees a
+  /// primary delta promotes itself: the leaves have failed over to it.
+  /// Encoded as an optional trailing header field, so version-1 parsers
+  /// (which ignore trailing tokens) interoperate; absent means primary.
+  bool primary = true;
   /// The leaf's full engine state, in the "ucheckpoint 2" codec.
   std::string state_text;
 };

@@ -1,0 +1,143 @@
+#include "net/chaos.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace umicro::net {
+
+std::optional<ChaosOptions> ParseChaosSpec(const std::string& spec,
+                                           std::uint64_t seed) {
+  ChaosOptions options;
+  options.seed = seed;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      return std::nullopt;  // "key", "=v", and "key=" are all malformed
+    }
+    const std::string key = item.substr(0, eq);
+    char* parse_end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &parse_end);
+    if (parse_end != item.c_str() + item.size()) return std::nullopt;
+    if (key == "delay-ms" || key == "partition-ms") {
+      if (value < 1.0) return std::nullopt;
+      (key == "delay-ms" ? options.delay_ms : options.partition_ms) =
+          static_cast<int>(value);
+      continue;
+    }
+    if (value < 0.0 || value > 1.0) return std::nullopt;
+    if (key == "drop") {
+      options.drop_probability = value;
+    } else if (key == "delay") {
+      options.delay_probability = value;
+    } else if (key == "truncate") {
+      options.truncate_probability = value;
+    } else if (key == "bitflip") {
+      options.bitflip_probability = value;
+    } else if (key == "partition") {
+      options.partition_probability = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+ChaosTransport& ChaosTransport::Instance() {
+  static ChaosTransport* instance = new ChaosTransport();
+  return *instance;
+}
+
+void ChaosTransport::Enable(const ChaosOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  rng_ = util::Rng(options.seed);
+  stats_ = ChaosStats{};
+  partitioned_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void ChaosTransport::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  partitioned_.clear();
+}
+
+ChaosTransport::SendPlan ChaosTransport::PlanSend(int fd, std::size_t size) {
+  (void)fd;
+  SendPlan plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed) || size == 0) return plan;
+  if (options_.delay_probability > 0.0 &&
+      rng_.NextDouble() < options_.delay_probability) {
+    plan.delay_ms = options_.delay_ms;
+    ++stats_.sends_delayed;
+  }
+  // At most one destructive fault per send, chosen in fixed order so a
+  // seed replays the identical pattern.
+  if (options_.drop_probability > 0.0 &&
+      rng_.NextDouble() < options_.drop_probability) {
+    plan.drop = true;
+    ++stats_.sends_dropped;
+    return plan;
+  }
+  if (options_.truncate_probability > 0.0 &&
+      rng_.NextDouble() < options_.truncate_probability) {
+    plan.truncate_to =
+        static_cast<std::size_t>(rng_.NextBounded(size));  // proper prefix
+    ++stats_.sends_truncated;
+    return plan;
+  }
+  if (options_.bitflip_probability > 0.0 &&
+      rng_.NextDouble() < options_.bitflip_probability) {
+    plan.flip_bit = static_cast<std::size_t>(rng_.NextBounded(size * 8));
+    ++stats_.sends_bitflipped;
+  }
+  return plan;
+}
+
+int ChaosTransport::RecvBlackholeMs(int fd, int timeout_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return 0;
+  const auto it = partitioned_.find(fd);
+  if (it == partitioned_.end()) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= it->second) {
+    partitioned_.erase(it);
+    return 0;
+  }
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::milliseconds>(it->second - now)
+          .count();
+  return std::min<int>(timeout_ms, static_cast<int>(std::max<long long>(
+                                       1, remaining)));
+}
+
+void ChaosTransport::OnConnect(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (options_.partition_probability > 0.0 &&
+      rng_.NextDouble() < options_.partition_probability) {
+    partitioned_[fd] =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.partition_ms);
+    ++stats_.connects_partitioned;
+  }
+}
+
+void ChaosTransport::OnClose(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_.erase(fd);
+}
+
+ChaosStats ChaosTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace umicro::net

@@ -1,0 +1,137 @@
+// ChaosTransport: deterministic, seeded network fault injection for the
+// distributed merge tree (docs/distributed.md).
+//
+// PR 3's FaultInjectingStream corrupts *records*; this layer corrupts
+// the *wire*. When enabled (--net-chaos), every Socket send/recv/connect
+// consults the process-wide ChaosTransport, which draws from one seeded
+// util::Rng and may
+//
+//   drop       -- abort a send and tear the connection down, as if the
+//                 peer vanished mid-write;
+//   delay      -- sleep before a send (stale ACKs, straggler links);
+//   truncate   -- deliver only a prefix of a send, then drop the link
+//                 (the peer's frame decoder must reject the stump);
+//   bitflip    -- flip one bit of a delivered send (the frame checksum
+//                 must catch it);
+//   partition  -- one-way partition a fresh connection: its reads
+//                 black-hole for a window while its writes still flow.
+//
+// All decisions come from the one Rng, so a given seed replays the
+// identical fault pattern -- the failover tests rely on that. Disabled
+// (the default), every hook is a single relaxed atomic load, mirroring
+// util::FailpointRegistry's disarmed fast path; the hooks stay compiled
+// into release binaries at zero measurable cost (bench_dist_throughput).
+//
+// Surgical single-fault injection (tests that want exactly one dropped
+// send rather than a probabilistic storm) goes through the failpoints
+// "net.send_fail" and "net.recv_blackhole" instead.
+
+#ifndef UMICRO_NET_CHAOS_H_
+#define UMICRO_NET_CHAOS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/random.h"
+
+namespace umicro::net {
+
+/// Fault mix of the chaos layer. All probabilities are independent and
+/// per operation (per send for drop/delay/truncate/bitflip, per connect
+/// for partition); 0 disables that fault kind.
+struct ChaosOptions {
+  /// Seed of the deterministic fault pattern.
+  std::uint64_t seed = 0xc4a05u;
+  /// Probability a send is dropped and the link torn down.
+  double drop_probability = 0.0;
+  /// Probability a send is delayed by `delay_ms` first.
+  double delay_probability = 0.0;
+  int delay_ms = 20;
+  /// Probability a send delivers only a random proper prefix, then the
+  /// link is torn down.
+  double truncate_probability = 0.0;
+  /// Probability one random bit of a send is flipped in flight.
+  double bitflip_probability = 0.0;
+  /// Probability a fresh connection starts one-way partitioned: reads
+  /// black-hole for `partition_ms` while writes still flow.
+  double partition_probability = 0.0;
+  int partition_ms = 300;
+};
+
+/// Parses a --net-chaos spec ("key=value,..." with keys drop, delay,
+/// delay-ms, truncate, bitflip, partition, partition-ms); std::nullopt
+/// on any malformed or out-of-range entry.
+std::optional<ChaosOptions> ParseChaosSpec(const std::string& spec,
+                                           std::uint64_t seed);
+
+/// Injection tallies (deterministic given seed + operation sequence).
+struct ChaosStats {
+  std::uint64_t sends_dropped = 0;
+  std::uint64_t sends_delayed = 0;
+  std::uint64_t sends_truncated = 0;
+  std::uint64_t sends_bitflipped = 0;
+  std::uint64_t connects_partitioned = 0;
+};
+
+/// Process-wide wire-fault injector consulted by net::Socket. Enable()
+/// is test/CLI setup; the hot-path guard is enabled().
+class ChaosTransport {
+ public:
+  /// The process-wide instance.
+  static ChaosTransport& Instance();
+
+  /// Arms the fault mix (resets the Rng and the tallies).
+  void Enable(const ChaosOptions& options);
+
+  /// Back to the zero-cost pass-through (test teardown).
+  void Disable();
+
+  /// Hot-path guard: one relaxed atomic load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// What Socket::SendAll should do to this send. Fields are applied in
+  /// declaration order; at most one of drop/truncate/bitflip fires.
+  struct SendPlan {
+    int delay_ms = 0;
+    bool drop = false;
+    /// < size: deliver only this prefix, then fail the send.
+    std::size_t truncate_to = std::numeric_limits<std::size_t>::max();
+    /// < size * 8: flip this bit of the delivered bytes.
+    std::size_t flip_bit = std::numeric_limits<std::size_t>::max();
+  };
+  SendPlan PlanSend(int fd, std::size_t size);
+
+  /// Milliseconds Socket::RecvSome on `fd` should black-hole (one-way
+  /// partition), bounded by `timeout_ms`; 0 = read normally.
+  int RecvBlackholeMs(int fd, int timeout_ms);
+
+  /// Called on every successful connect; may start a partition window.
+  void OnConnect(int fd);
+
+  /// Forgets per-fd state (called from Socket::Close while enabled).
+  void OnClose(int fd);
+
+  ChaosStats stats() const;
+
+ private:
+  ChaosTransport() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  ChaosOptions options_;
+  util::Rng rng_{0xc4a05u};
+  ChaosStats stats_;
+  /// fd -> end of its one-way partition window.
+  std::map<int, std::chrono::steady_clock::time_point> partitioned_;
+};
+
+}  // namespace umicro::net
+
+#endif  // UMICRO_NET_CHAOS_H_

@@ -9,9 +9,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
 #include <utility>
+
+#include "net/chaos.h"
+#include "util/failpoints.h"
 
 namespace umicro::net {
 
@@ -80,7 +86,7 @@ bool Socket::Wait(bool want_read, int timeout_ms) const {
   }
 }
 
-bool Socket::SendAll(const void* data, std::size_t size, int timeout_ms) {
+bool Socket::SendRaw(const void* data, std::size_t size, int timeout_ms) {
   const char* bytes = static_cast<const char*>(data);
   std::size_t sent = 0;
   while (sent < size) {
@@ -98,9 +104,53 @@ bool Socket::SendAll(const void* data, std::size_t size, int timeout_ms) {
   return true;
 }
 
+bool Socket::SendAll(const void* data, std::size_t size, int timeout_ms) {
+  if (UMICRO_FAILPOINT("net.send_fail")) {
+    ShutdownBoth();
+    return false;
+  }
+  ChaosTransport& chaos = ChaosTransport::Instance();
+  if (chaos.enabled()) {
+    const ChaosTransport::SendPlan plan = chaos.PlanSend(fd_, size);
+    if (plan.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+    }
+    if (plan.drop) {
+      ShutdownBoth();
+      return false;
+    }
+    if (plan.truncate_to < size) {
+      SendRaw(data, plan.truncate_to, timeout_ms);
+      ShutdownBoth();
+      return false;
+    }
+    if (plan.flip_bit < size * 8) {
+      std::string mangled(static_cast<const char*>(data), size);
+      mangled[plan.flip_bit / 8] ^=
+          static_cast<char>(1u << (plan.flip_bit % 8));
+      return SendRaw(mangled.data(), mangled.size(), timeout_ms);
+    }
+  }
+  return SendRaw(data, size, timeout_ms);
+}
+
 long Socket::RecvSome(void* data, std::size_t size, int timeout_ms,
                       bool* timed_out) {
   if (timed_out != nullptr) *timed_out = false;
+  if (UMICRO_FAILPOINT("net.recv_blackhole")) {
+    if (timed_out != nullptr) *timed_out = true;
+    return 0;
+  }
+  ChaosTransport& chaos = ChaosTransport::Instance();
+  if (chaos.enabled()) {
+    // One-way partition: writes flow, reads see nothing for a window.
+    const int hole = chaos.RecvBlackholeMs(fd_, timeout_ms);
+    if (hole > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(hole));
+      if (timed_out != nullptr) *timed_out = true;
+      return 0;
+    }
+  }
   if (!Wait(/*want_read=*/true, timeout_ms)) {
     if (timed_out != nullptr) *timed_out = true;
     return 0;
@@ -140,6 +190,8 @@ void Socket::ShutdownBoth() {
 
 void Socket::Close() {
   if (fd_ >= 0) {
+    ChaosTransport& chaos = ChaosTransport::Instance();
+    if (chaos.enabled()) chaos.OnClose(fd_);
     ::close(fd_);
     fd_ = -1;
   }
@@ -217,6 +269,8 @@ std::optional<Socket> TcpConnect(const SocketAddress& address,
   }
   ::fcntl(fd, F_SETFL, flags);
   SetNoDelay(fd);
+  ChaosTransport& chaos = ChaosTransport::Instance();
+  if (chaos.enabled()) chaos.OnConnect(fd);
   return socket;
 }
 

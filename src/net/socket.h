@@ -47,7 +47,9 @@ class Socket {
   int fd() const { return fd_; }
 
   /// Sends the whole buffer, waiting up to `timeout_ms` for writability
-  /// at each step. False on error/timeout/peer close.
+  /// at each step. False on error/timeout/peer close. When the chaos
+  /// layer (net/chaos.h) is enabled, the send may be delayed, dropped,
+  /// truncated, or bit-flipped per its seeded plan.
   bool SendAll(const void* data, std::size_t size, int timeout_ms);
 
   /// Receives up to `size` bytes. Returns bytes read (>0), 0 on orderly
@@ -69,6 +71,9 @@ class Socket {
  private:
   /// Waits for readability (`want_read`) or writability; true when ready.
   bool Wait(bool want_read, int timeout_ms) const;
+
+  /// The undisturbed send loop SendAll wraps (chaos applies above it).
+  bool SendRaw(const void* data, std::size_t size, int timeout_ms);
 
   int fd_ = -1;
 };

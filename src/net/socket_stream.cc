@@ -13,10 +13,14 @@ SocketStreamBuf::int_type SocketStreamBuf::underflow() {
   // Responses for everything read so far must be on the wire before the
   // session blocks waiting for the peer's next request.
   if (!FlushBuffer()) return traits_type::eof();
+  bool timed_out = false;
   const long n =
       socket_->RecvSome(in_buffer_.data(), in_buffer_.size(),
-                        read_timeout_ms_);
-  if (n <= 0) return traits_type::eof();
+                        read_timeout_ms_, &timed_out);
+  if (n <= 0) {
+    timed_out_ = timed_out;
+    return traits_type::eof();
+  }
   setg(in_buffer_.data(), in_buffer_.data(),
        in_buffer_.data() + static_cast<std::size_t>(n));
   return traits_type::to_int_type(*gptr());

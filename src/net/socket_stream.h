@@ -28,6 +28,11 @@ class SocketStreamBuf : public std::streambuf {
   /// refill; expiry reads as EOF.
   SocketStreamBuf(Socket* socket, int read_timeout_ms);
 
+  /// True when the last EOF came from the read timeout rather than an
+  /// orderly peer close -- how the aggregator tells a slow-loris query
+  /// session apart from a client that hung up.
+  bool timed_out() const { return timed_out_; }
+
  protected:
   int_type underflow() override;
   int_type overflow(int_type ch) override;
@@ -38,6 +43,7 @@ class SocketStreamBuf : public std::streambuf {
 
   Socket* const socket_;
   const int read_timeout_ms_;
+  bool timed_out_ = false;
   std::array<char, 4096> in_buffer_;
   std::array<char, 4096> out_buffer_;
 };
@@ -47,6 +53,9 @@ class SocketStream : public std::iostream {
  public:
   explicit SocketStream(Socket* socket, int read_timeout_ms = 60000)
       : std::iostream(&buf_), buf_(socket, read_timeout_ms) {}
+
+  /// See SocketStreamBuf::timed_out().
+  bool timed_out() const { return buf_.timed_out(); }
 
  private:
   SocketStreamBuf buf_;

@@ -125,7 +125,8 @@ std::string FormatClusterResponse(const QueryResponse& response) {
 }
 
 std::string FormatResponse(const QueryRequest& request,
-                           const QueryResponse& response) {
+                           const QueryResponse& response,
+                           const ServerOptions& options) {
   if (!response.ok) return "ERR " + response.error;
   switch (request.kind) {
     case QueryRequest::Kind::kClusterRecent:
@@ -163,6 +164,11 @@ std::string FormatResponse(const QueryRequest& request,
           << " snapshots=" << stats.snapshots_retained
           << " served=" << stats.queries_served
           << " queue=" << stats.queue_depth;
+      if (options.status) {
+        const ServeStatus status = options.status();
+        out << " stale=" << status.stale_leaves
+            << " degraded=" << (status.degraded ? 1 : 0);
+      }
       return out.str();
     }
   }
@@ -256,7 +262,8 @@ std::size_t ServeLineProtocol(QueryBroker& broker, std::istream& in,
   std::deque<InFlight> pipeline;
   const auto drain_one = [&] {
     InFlight& oldest = pipeline.front();
-    out << FormatResponse(oldest.request, oldest.future.get()) << '\n';
+    out << FormatResponse(oldest.request, oldest.future.get(), options)
+        << '\n';
     pipeline.pop_front();
     ++served;
   };
@@ -286,7 +293,25 @@ std::size_t ServeLineProtocol(QueryBroker& broker, std::istream& in,
       out << "OK HELLO proto=2 tenants="
           << (broker.multi_tenant() ? 1 : 0)
           << " pipeline=" << options.max_pipeline
-          << " commands=HELLO,TENANT,CLUSTER,NEAREST,ANOMALY,STATS,QUIT\n";
+          << " commands=HELLO,TENANT,ROLE,HEALTH,CLUSTER,NEAREST,"
+             "ANOMALY,STATS,QUIT\n";
+      out.flush();
+      ++served;
+      continue;
+    }
+    if (tokens[0] == "ROLE" || tokens[0] == "HEALTH") {
+      while (!pipeline.empty()) drain_one();
+      const ServeStatus status =
+          options.status ? options.status() : ServeStatus{};
+      if (tokens[0] == "ROLE") {
+        out << "OK ROLE " << status.role << '\n';
+      } else {
+        out << "OK HEALTH role=" << status.role
+            << " degraded=" << (status.degraded ? 1 : 0)
+            << " leaves=" << status.leaves
+            << " stale=" << status.stale_leaves
+            << " deltas=" << status.deltas_applied << '\n';
+      }
       out.flush();
       ++served;
       continue;

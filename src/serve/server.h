@@ -21,12 +21,29 @@
 #define UMICRO_SERVE_SERVER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "serve/query_broker.h"
 
 namespace umicro::serve {
+
+/// Control-plane view behind the ROLE/HEALTH verbs (and the STATS
+/// stale/degraded suffix). A distributed aggregator provides one via
+/// ServerOptions::status; standalone serving leaves it unset and
+/// answers with these defaults.
+struct ServeStatus {
+  /// "primary" | "standby" for an aggregator, "standalone" otherwise.
+  std::string role = "standalone";
+  /// True when stale leaves are excluded from the served merged view.
+  bool degraded = false;
+  std::size_t leaves = 0;
+  std::size_t stale_leaves = 0;
+  std::uint64_t deltas_applied = 0;
+};
 
 /// Server configuration.
 struct ServerOptions {
@@ -37,6 +54,9 @@ struct ServerOptions {
   /// ERR line and discarded through its newline (the reader never
   /// buffers more than this much of a hostile line).
   std::size_t max_line_bytes = std::size_t{1} << 20;
+  /// When set, ROLE/HEALTH answer from this snapshot and STATS gains
+  /// the stale/degraded fields. Called on the protocol thread.
+  std::function<ServeStatus()> status;
 };
 
 /// Runs the line protocol over `in`/`out` until EOF or QUIT; returns

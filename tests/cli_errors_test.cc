@@ -138,6 +138,74 @@ TEST(CliErrorsTest, MalformedFaultSpec) {
                    "malformed --inject-faults spec");
 }
 
+TEST(CliErrorsTest, StandbyRequiresLeafRole) {
+  ExpectUsageError("--role=agg --listen=127.0.0.1:0 --dims=4 "
+                   "--standby=127.0.0.1:9100",
+                   "--standby requires --role=leaf");
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--standby=127.0.0.1:9100",
+                   "--standby requires --role=leaf");
+}
+
+TEST(CliErrorsTest, LeafOnlyShardingFlagsRejectOtherRoles) {
+  ExpectUsageError("--role=agg --listen=127.0.0.1:0 --dims=4 "
+                   "--delta-every=100",
+                   "require --role=leaf");
+  ExpectUsageError("--role=query --connect=127.0.0.1:9100 --stride=2",
+                   "require --role=leaf");
+  ExpectUsageError("--synthetic=syndrift --points=100 --offset=1",
+                   "require --role=leaf");
+}
+
+TEST(CliErrorsTest, StartAsStandbyRequiresAggRole) {
+  ExpectUsageError("--role=leaf --connect=127.0.0.1:9100 "
+                   "--synthetic=syndrift --points=100 --start-as-standby",
+                   "--start-as-standby requires --role=agg");
+}
+
+TEST(CliErrorsTest, StaleAfterRequiresAggRole) {
+  ExpectUsageError("--role=query --connect=127.0.0.1:9100 "
+                   "--stale-after=2",
+                   "--stale-after requires --role=agg");
+}
+
+TEST(CliErrorsTest, NegativeStaleAfter) {
+  ExpectUsageError("--role=agg --listen=127.0.0.1:0 --dims=4 "
+                   "--stale-after=-1",
+                   "--stale-after must be >= 0");
+}
+
+TEST(CliErrorsTest, NetChaosRequiresDistRole) {
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--net-chaos=drop=0.1",
+                   "--net-chaos requires --role=leaf or --role=agg");
+  ExpectUsageError("--role=query --connect=127.0.0.1:9100 "
+                   "--net-chaos=drop=0.1",
+                   "--net-chaos requires --role=leaf or --role=agg");
+}
+
+TEST(CliErrorsTest, MalformedNetChaosSpec) {
+  ExpectUsageError("--role=leaf --connect=127.0.0.1:9100 "
+                   "--synthetic=syndrift --points=100 "
+                   "--net-chaos=frob=1",
+                   "malformed --net-chaos spec");
+  ExpectUsageError("--role=leaf --connect=127.0.0.1:9100 "
+                   "--synthetic=syndrift --points=100 "
+                   "--net-chaos=drop=1.5",
+                   "malformed --net-chaos spec");
+}
+
+TEST(CliErrorsTest, MalformedStandbyList) {
+  ExpectUsageError("--role=leaf --connect=127.0.0.1:9100 "
+                   "--synthetic=syndrift --points=100 "
+                   "--standby=nonsense",
+                   "malformed --standby list");
+  ExpectUsageError("--role=leaf --connect=127.0.0.1:9100 "
+                   "--synthetic=syndrift --points=100 "
+                   "--standby=127.0.0.1:9100,,127.0.0.1:9101",
+                   "malformed --standby list");
+}
+
 TEST(CliErrorsTest, MissingInputFile) {
   ExpectEnvironmentError("--input=/no/such/file.csv",
                          "input file not found");

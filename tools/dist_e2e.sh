@@ -3,7 +3,7 @@
 #
 #   tools/dist_e2e.sh [BUILD_DIR] [WORK_DIR]
 #
-# Three legs, all against one single-process reference state:
+# Four legs, all against one single-process reference state:
 #   1. reference  -- sharded 2-way run in one process, canonical dump
 #   2. healthy    -- real agg process + 2 real leaf processes; the merged
 #                    dump must be BYTE-identical to the reference, and
@@ -14,6 +14,11 @@
 #                    checkpoint is on disk); its restart recovers from
 #                    the checkpoint, replays the remainder, and the
 #                    final merged dump must again be byte-identical
+#   4. failover   -- primary + standby aggregator; both leaves run with
+#                    seeded --net-chaos mangling their wire and ship
+#                    warm copies to the standby; the primary is SIGKILLed
+#                    mid-stream, the leaves promote the standby, and the
+#                    standby's final dump must STILL be byte-identical
 #
 # Exits 0 and prints DIST_E2E_PASS only if every leg holds. Safe under
 # sanitizers (generous timeouts, ephemeral ports).
@@ -67,13 +72,33 @@ wait_for_file() {
   return 1
 }
 
-start_agg() {
+start_agg() {  # start_agg STATE LOG [extra flags...]
   local state=$1 log=$2
+  shift 2
   "$CLI" --role=agg --listen=127.0.0.1:0 --dims=$DIMS --nmicro=$NMICRO \
       --expect-points=$POINTS --expect-timeout=240 \
-      --state-out="$state" --linger-seconds=120 >"$log" 2>&1 &
+      --state-out="$state" --linger-seconds=120 "$@" >"$log" 2>&1 &
   PIDS+=($!)
   echo $!
+}
+
+# Polls a background job with a deadline; SIGKILLs it on expiry so a
+# wedged process fails the leg instead of hanging CI.
+wait_with_watchdog() {  # wait_with_watchdog PID SECONDS
+  local pid=$1 secs=$2
+  for _ in $(seq 1 $((secs * 2))); do
+    kill -0 "$pid" 2>/dev/null || { wait "$pid"; return $?; }
+    sleep 0.5
+  done
+  kill -9 "$pid" 2>/dev/null
+  return 124
+}
+
+# Echoes the aggregator's applied-delta count from its HEALTH answer.
+scrape_health_deltas() {  # scrape_health_deltas PORT
+  printf 'HEALTH\nQUIT\n' | \
+      "$CLI" --role=query --connect=127.0.0.1:"$1" 2>/dev/null | \
+      sed -n 's/^OK HEALTH .*deltas=\([0-9]*\)$/\1/p'
 }
 
 run_leaf() {  # run_leaf PORT OFFSET LOG [extra flags...]
@@ -85,7 +110,7 @@ run_leaf() {  # run_leaf PORT OFFSET LOG [extra flags...]
 }
 
 # ---- Leg 1: single-process reference --------------------------------
-echo "[1/3] single-process sharded reference"
+echo "[1/4] single-process sharded reference"
 "$CLI" --synthetic=syndrift --points=$POINTS --threads=2 --batch=1 \
     --merge-every=0 --snapshot-every=0 --nmicro=$NMICRO \
     --state-out="$WORK_DIR/ref.state" >"$WORK_DIR/ref.log" 2>&1 \
@@ -93,7 +118,7 @@ echo "[1/3] single-process sharded reference"
 [ -s "$WORK_DIR/ref.state" ] || fail "reference state missing"
 
 # ---- Leg 2: healthy 2-leaf topology + remote queries ----------------
-echo "[2/3] healthy topology: 2 leaf processes + 1 aggregator"
+echo "[2/4] healthy topology: 2 leaf processes + 1 aggregator"
 AGG_PID=$(start_agg "$WORK_DIR/agg.state" "$WORK_DIR/agg.log")
 PORT=$(scrape_port "$WORK_DIR/agg.log") || fail "no aggregator port"
 run_leaf "$PORT" 0 "$WORK_DIR/leaf0.log" &
@@ -114,7 +139,7 @@ cmp -s "$WORK_DIR/ref.state" "$WORK_DIR/agg.state" \
 echo "      merged state byte-identical; remote queries answered"
 
 # ---- Leg 3: leaf crash at a checkpoint, recovery, replay ------------
-echo "[3/3] crash topology: leaf 0 dies at row $CRASH_ROWS, recovers"
+echo "[3/4] crash topology: leaf 0 dies at row $CRASH_ROWS, recovers"
 AGG2_PID=$(start_agg "$WORK_DIR/agg2.state" "$WORK_DIR/agg2.log")
 PORT2=$(scrape_port "$WORK_DIR/agg2.log") || fail "no aggregator port (2)"
 run_leaf "$PORT2" 1 "$WORK_DIR/leaf1b.log" &
@@ -135,5 +160,49 @@ kill "$AGG2_PID" 2>/dev/null
 cmp -s "$WORK_DIR/ref.state" "$WORK_DIR/agg2.state" \
   || fail "post-recovery state differs from reference"
 echo "      recovered topology byte-identical to reference"
+
+# ---- Leg 4: primary SIGKILL under chaos, standby promotion ----------
+echo "[4/4] failover: primary killed under --net-chaos, standby takes over"
+CHAOS='drop=0.02,delay=0.05,delay-ms=5,truncate=0.02,bitflip=0.02'
+STANDBY_PID=$(start_agg "$WORK_DIR/standby.state" "$WORK_DIR/standby.log" \
+    --start-as-standby)
+SPORT=$(scrape_port "$WORK_DIR/standby.log") || fail "no standby port"
+grep -q '^aggregator role: standby$' "$WORK_DIR/standby.log" \
+  || fail "standby did not announce the standby role"
+PRIMARY_PID=$(start_agg "$WORK_DIR/primary.state" "$WORK_DIR/primary.log")
+PPORT=$(scrape_port "$WORK_DIR/primary.log") || fail "no primary port"
+run_leaf "$PPORT" 0 "$WORK_DIR/leaf0-ha.log" \
+    --standby=127.0.0.1:"$SPORT" --delta-every=2000 \
+    --net-chaos="$CHAOS" --net-chaos-seed=11 &
+L0H=$!; PIDS+=($L0H)
+run_leaf "$PPORT" 1 "$WORK_DIR/leaf1-ha.log" \
+    --standby=127.0.0.1:"$SPORT" --delta-every=2000 \
+    --net-chaos="$CHAOS" --net-chaos-seed=22 &
+L1H=$!; PIDS+=($L1H)
+# Let the primary apply a few deltas (warm copies are reaching the
+# standby too), then kill it the hard way mid-stream.
+PRIMARY_DELTAS=0
+for _ in $(seq 1 240); do
+  PRIMARY_DELTAS=$(scrape_health_deltas "$PPORT")
+  [ "${PRIMARY_DELTAS:-0}" -ge 3 ] 2>/dev/null && break
+  sleep 0.25
+done
+[ "${PRIMARY_DELTAS:-0}" -ge 3 ] 2>/dev/null \
+  || fail "primary never applied 3 deltas"
+kill -9 "$PRIMARY_PID" 2>/dev/null
+wait_with_watchdog $L0H 240 || fail "leaf 0 (failover) exited nonzero"
+wait_with_watchdog $L1H 240 || fail "leaf 1 (failover) exited nonzero"
+grep -q 'promotions' "$WORK_DIR/leaf0-ha.log" || true
+wait_for_file "$WORK_DIR/standby.state" 240 \
+  || fail "standby never completed the merge"
+printf 'ROLE\nQUIT\n' | \
+    "$CLI" --role=query --connect=127.0.0.1:"$SPORT" \
+    >"$WORK_DIR/role.out" 2>&1 || fail "ROLE query failed"
+grep -q '^OK ROLE primary$' "$WORK_DIR/role.out" \
+  || fail "standby did not promote itself to primary"
+kill "$STANDBY_PID" 2>/dev/null
+cmp -s "$WORK_DIR/ref.state" "$WORK_DIR/standby.state" \
+  || fail "post-failover standby state differs from reference"
+echo "      standby promoted; its state byte-identical to reference"
 
 echo "DIST_E2E_PASS"

@@ -60,6 +60,7 @@
 #include "io/csv_dataset.h"
 #include "io/load_stats.h"
 #include "io/state_io.h"
+#include "net/chaos.h"
 #include "net/socket.h"
 #include "net/socket_stream.h"
 #include "obs/exporter.h"
@@ -133,6 +134,18 @@ struct CliOptions {
   double expect_timeout = 300.0;
   std::string state_out;
   double linger_seconds = 0.0;
+  // Failover + chaos (docs/distributed.md).
+  std::string standby;  // comma-separated HOST:PORT list (leaf role)
+  bool start_as_standby = false;
+  double stale_after = 0.0;  // seconds; 0 disables liveness tracking
+  std::string net_chaos;
+  std::uint64_t net_chaos_seed = 0xc4a05u;
+  // Leaf-only flags remember whether they were given explicitly so the
+  // role validation can reject them on non-leaf roles (their defaults
+  // are not sentinels).
+  bool delta_every_set = false;
+  bool stride_set = false;
+  bool offset_set = false;
 };
 
 bool ParseFlag(const std::string& arg, const char* name,
@@ -220,7 +233,19 @@ void PrintUsage() {
       "  --state-out=FILE      canonical micro-cluster dump (agg and\n"
       "                        standalone; byte-comparable)\n"
       "  --linger-seconds=T    agg: keep serving T seconds after "
-      "--state-out\n");
+      "--state-out\n"
+      "  --standby=H:P[,H:P]   leaf: standby aggregator endpoints, tried\n"
+      "                        in order when the primary stops acking\n"
+      "  --start-as-standby    agg: merge warm deltas but report role\n"
+      "                        standby until the leaves fail over here\n"
+      "  --stale-after=T       agg: exclude a leaf silent for T seconds\n"
+      "                        from the merged view (degraded answers)\n"
+      "  --net-chaos=SPEC      deterministic network fault injection,\n"
+      "                        e.g. drop=0.05,delay=0.1,delay-ms=20,"
+      "truncate=0.01,\n"
+      "                        bitflip=0.01,partition=0.02,partition-ms="
+      "300\n"
+      "  --net-chaos-seed=N    chaos seed (default 0xc4a05)\n");
 }
 
 /// Parses the --inject-faults spec ("key=value,..." with keys corrupt,
@@ -264,6 +289,25 @@ std::optional<umicro::resilience::FaultInjectionOptions> ParseFaultSpec(
   return options;
 }
 
+/// Parses the comma-separated --standby endpoint list; std::nullopt on
+/// any malformed HOST:PORT entry (or an empty list).
+std::optional<std::vector<umicro::net::SocketAddress>> ParseStandbyList(
+    const std::string& spec) {
+  std::vector<umicro::net::SocketAddress> endpoints;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::optional<umicro::net::SocketAddress> address =
+        umicro::net::ParseHostPort(spec.substr(start, end - start));
+    if (!address.has_value()) return std::nullopt;
+    endpoints.push_back(*address);
+    start = end + 1;
+  }
+  if (endpoints.empty()) return std::nullopt;
+  return endpoints;
+}
+
 bool EndsWith(const std::string& text, const std::string& suffix) {
   return text.size() >= suffix.size() &&
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
@@ -290,14 +334,19 @@ int RunAggregatorRole(const CliOptions& cli) {
   options.decay_lambda = cli.decay;
   options.broker.num_threads = cli.serve_threads;
   options.broker.boundary_factor = cli.boundary;
+  options.start_as_standby = cli.start_as_standby;
+  options.stale_after_ms =
+      static_cast<int>(cli.stale_after * 1000.0 + 0.5);
   umicro::dist::Aggregator aggregator(options, &metrics);
   if (!aggregator.Start()) {
     std::fprintf(stderr, "failed to listen on %s\n", cli.listen.c_str());
     return 1;
   }
-  // The e2e harness scrapes this line for the resolved (ephemeral) port.
+  // The e2e harness scrapes this line for the resolved (ephemeral)
+  // port; keep its exact shape.
   std::printf("aggregator listening on %s:%u\n", listen->host.c_str(),
               static_cast<unsigned>(aggregator.port()));
+  std::printf("aggregator role: %s\n", aggregator.role().c_str());
   std::fflush(stdout);
 
   if (cli.expect_points > 0) {
@@ -667,10 +716,23 @@ int main(int argc, char** argv) {
       cli.leaf_id = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "delta-every", &value)) {
       cli.delta_every = std::strtoull(value.c_str(), nullptr, 10);
+      cli.delta_every_set = true;
     } else if (ParseFlag(arg, "stride", &value)) {
       cli.stride = std::strtoull(value.c_str(), nullptr, 10);
+      cli.stride_set = true;
     } else if (ParseFlag(arg, "offset", &value)) {
       cli.offset = std::strtoull(value.c_str(), nullptr, 10);
+      cli.offset_set = true;
+    } else if (ParseFlag(arg, "standby", &value)) {
+      cli.standby = value;
+    } else if (arg == "--start-as-standby") {
+      cli.start_as_standby = true;
+    } else if (ParseFlag(arg, "stale-after", &value)) {
+      cli.stale_after = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "net-chaos", &value)) {
+      cli.net_chaos = value;
+    } else if (ParseFlag(arg, "net-chaos-seed", &value)) {
+      cli.net_chaos_seed = std::strtoull(value.c_str(), nullptr, 0);
     } else if (ParseFlag(arg, "expect-points", &value)) {
       cli.expect_points = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "expect-timeout", &value)) {
@@ -693,6 +755,70 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown --role: %s (want leaf, agg, or query)\n",
                  cli.role.c_str());
     return 2;
+  }
+  // Role/flag combinations fail fast (exit 2) before any socket or
+  // dataset work: a misconfigured process in a multi-host topology
+  // should die at launch, not half-participate.
+  if (cli.role != "leaf") {
+    if (!cli.standby.empty()) {
+      std::fprintf(stderr,
+                   "--standby requires --role=leaf (the leaf owns the "
+                   "failover order; an aggregator is an endpoint, not a "
+                   "chooser)\n");
+      return 2;
+    }
+    if (cli.delta_every_set || cli.stride_set || cli.offset_set) {
+      std::fprintf(stderr,
+                   "--delta-every/--stride/--offset require --role=leaf\n");
+      return 2;
+    }
+  }
+  if (cli.role != "agg") {
+    if (cli.start_as_standby) {
+      std::fprintf(stderr, "--start-as-standby requires --role=agg\n");
+      return 2;
+    }
+    if (cli.stale_after != 0.0) {
+      std::fprintf(stderr, "--stale-after requires --role=agg\n");
+      return 2;
+    }
+  }
+  if (cli.stale_after < 0.0) {
+    std::fprintf(stderr, "--stale-after must be >= 0 seconds\n");
+    return 2;
+  }
+  std::optional<umicro::net::ChaosOptions> chaos_options;
+  if (!cli.net_chaos.empty()) {
+    if (cli.role != "leaf" && cli.role != "agg") {
+      std::fprintf(stderr,
+                   "--net-chaos requires --role=leaf or --role=agg (it "
+                   "wraps the merge tree's sockets)\n");
+      return 2;
+    }
+    chaos_options =
+        umicro::net::ParseChaosSpec(cli.net_chaos, cli.net_chaos_seed);
+    if (!chaos_options.has_value()) {
+      std::fprintf(stderr, "malformed --net-chaos spec: %s\n",
+                   cli.net_chaos.c_str());
+      return 2;
+    }
+  }
+  std::vector<umicro::net::SocketAddress> standby_endpoints;
+  if (!cli.standby.empty()) {
+    std::optional<std::vector<umicro::net::SocketAddress>> parsed =
+        ParseStandbyList(cli.standby);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "malformed --standby list: %s\n",
+                   cli.standby.c_str());
+      return 2;
+    }
+    standby_endpoints = std::move(*parsed);
+  }
+  if (chaos_options.has_value()) {
+    umicro::net::ChaosTransport::Instance().Enable(*chaos_options);
+    std::fprintf(stderr, "net chaos enabled: %s (seed %llu)\n",
+                 cli.net_chaos.c_str(),
+                 static_cast<unsigned long long>(cli.net_chaos_seed));
   }
   if (cli.role == "agg") {
     if (cli.listen.empty() || cli.dims == 0) {
@@ -1299,11 +1425,15 @@ int main(int argc, char** argv) {
     umicro::dist::LeafShipperOptions ship_options;
     ship_options.leaf_id = cli.leaf_id;
     ship_options.dimensions = dataset.dimensions();
+    ship_options.standbys = standby_endpoints;
     shipper.emplace(*umicro::net::ParseHostPort(cli.connect), ship_options,
                     &engine->metrics());
-    std::printf("leaf %llu: shipping to %s every %zu points\n",
+    std::printf("leaf %llu: shipping to %s every %zu points"
+                " (%zu standby%s)\n",
                 static_cast<unsigned long long>(cli.leaf_id),
-                cli.connect.c_str(), cli.delta_every);
+                cli.connect.c_str(), cli.delta_every,
+                standby_endpoints.size(),
+                standby_endpoints.size() == 1 ? "" : "s");
     std::fflush(stdout);
     const auto started = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < dataset.size(); ++i) {
@@ -1363,10 +1493,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     shipper->Finish();
-    std::printf("leaf deltas: %llu acked, %llu resends, %llu connects\n",
+    std::printf("leaf deltas: %llu acked, %llu resends, %llu connects, "
+                "%llu promotions\n",
                 static_cast<unsigned long long>(shipper->deltas_acked()),
                 static_cast<unsigned long long>(shipper->resends()),
-                static_cast<unsigned long long>(shipper->connects()));
+                static_cast<unsigned long long>(shipper->connects()),
+                static_cast<unsigned long long>(shipper->promotions()));
   }
 
   // ---- Canonical state dump --------------------------------------------
