@@ -27,6 +27,13 @@ UMicro::UMicro(std::size_t dimensions, UMicroOptions options)
   clusters_.reserve(options_.num_micro_clusters + 1);
   table_.Reserve(options_.num_micro_clusters + 1);
   scores_scratch_.reserve(options_.num_micro_clusters + 1);
+  // The candidate index serves only the expected-distance similarity:
+  // the dimension-counting vote has no safe Euclidean pruning bound (a
+  // vote-pruned dimension absorbs unbounded distance at zero vote cost;
+  // docs/indexing.md), so counting instances keep the flat scan.
+  if (options_.similarity == SimilarityMode::kExpectedDistance) {
+    assign_index_ = index::MakeCentroidIndex(options_.assign_index);
+  }
 }
 
 std::string UMicro::name() const {
@@ -46,6 +53,10 @@ void UMicro::AttachMetrics(obs::MetricsRegistry* registry) {
     evicted_metric_ = nullptr;
     merged_metric_ = nullptr;
     live_clusters_metric_ = nullptr;
+    index_queries_metric_ = nullptr;
+    index_candidates_metric_ = nullptr;
+    index_rebuilds_metric_ = nullptr;
+    index_prune_ratio_metric_ = nullptr;
     return;
   }
   process_micros_ = &registry->GetHistogram("umicro.process_micros");
@@ -61,6 +72,17 @@ void UMicro::AttachMetrics(obs::MetricsRegistry* registry) {
   evicted_metric_ = &registry->GetCounter("umicro.evicted");
   merged_metric_ = &registry->GetCounter("umicro.merged");
   live_clusters_metric_ = &registry->GetGauge("umicro.live_clusters");
+  // Index metrics only exist for instances that can actually index
+  // (expected-distance similarity + non-flat kind), so flat/counting
+  // runs keep their metric exports unchanged.
+  if (assign_index_ != nullptr) {
+    index_queries_metric_ = &registry->GetCounter("umicro.index.queries");
+    index_candidates_metric_ =
+        &registry->GetCounter("umicro.index.candidates");
+    index_rebuilds_metric_ = &registry->GetCounter("umicro.index.rebuilds");
+    index_prune_ratio_metric_ =
+        &registry->GetGauge("umicro.index.prune_ratio");
+  }
 }
 
 void UMicro::ApplyDecay(double now) {
@@ -78,6 +100,9 @@ void UMicro::ApplyDecay(double now) {
   for (auto& cluster : clusters_) cluster.Decay(factor);
   // Mirror the decay in the SoA table (bit-identical scale kernel).
   table_.ScaleAll(factor);
+  // Centroids are scale-invariant in real arithmetic; the index accounts
+  // the few-ulp re-derivation wobble per scale event.
+  if (assign_index_ != nullptr) assign_index_->NoteScale();
   last_decay_time_ = now;
 }
 
@@ -139,11 +164,30 @@ std::size_t UMicro::FindClosest(const stream::UncertainPoint& point) const {
     // distances beyond thresh*sigma^2): the vote is uninformative, so
     // fall back to the distance to break the tie.
   }
-  kernels::BatchSquaredDistances(table_, point_ctx_,
-                                 paper_form
-                                     ? kernels::DistanceKind::kExpected
-                                     : kernels::DistanceKind::kGeometric,
-                                 backend, scores_scratch_.data());
+  const kernels::DistanceKind kind = paper_form
+                                         ? kernels::DistanceKind::kExpected
+                                         : kernels::DistanceKind::kGeometric;
+  if (assign_index_ != nullptr &&
+      assign_index_->Collect(
+          table_, point_ctx_.x.data(),
+          /*include_cluster_error=*/kind == kernels::DistanceKind::kExpected,
+          kind == kernels::DistanceKind::kExpected ? point_ctx_.psi2_sum
+                                                   : 0.0,
+          &candidates_scratch_)) {
+    // Exact refinement on the shortlist: the gathered kernel computes
+    // the same per-row values as the full scan, and the shortlist is
+    // ascending and provably contains the full scan's winner, so the
+    // first-wins ArgMin maps back to the identical row.
+    kernels::GatherSquaredDistances(table_, point_ctx_, kind, backend,
+                                    candidates_scratch_.data(),
+                                    candidates_scratch_.size(),
+                                    scores_scratch_.data());
+    const std::size_t best =
+        kernels::ArgMin(scores_scratch_.data(), candidates_scratch_.size());
+    return candidates_scratch_[best];
+  }
+  kernels::BatchSquaredDistances(table_, point_ctx_, kind, backend,
+                                 scores_scratch_.data());
   return kernels::ArgMin(scores_scratch_.data(), q);
 }
 
@@ -250,6 +294,20 @@ UMicro::ProcessOutcome UMicro::ProcessOne(const stream::UncertainPoint& point,
     outcome.expected_distance =
         std::sqrt(ExpectedSquaredDistance(point, clusters_[closest].ecf));
     if (ShouldAbsorb(point, closest)) {
+      if (assign_index_ != nullptr) {
+        // Folding a unit-weight point moves the centroid by exactly
+        // ||x - c_old|| / (n + 1) (real arithmetic); report it before
+        // the table mutates so the index's drift bound stays true.
+        const double* c_old = table_.centroid_row(closest);
+        double d2 = 0.0;
+        for (std::size_t j = 0; j < dimensions_; ++j) {
+          const double diff = point.values[j] - c_old[j];
+          d2 += diff * diff;
+        }
+        assign_index_->NoteDrift(closest,
+                                 std::sqrt(d2) /
+                                     (table_.weight(closest) + 1.0));
+      }
       clusters_[closest].AddPoint(point);
       table_.AddPoint(closest, point.values.data(), errors, 1.0);
       outcome.absorbed = true;
@@ -261,6 +319,7 @@ UMicro::ProcessOutcome UMicro::ProcessOne(const stream::UncertainPoint& point,
 
   clusters_.emplace_back(next_cluster_id_++, point);
   table_.PushPointRow(point.values.data(), errors, 1.0);
+  if (assign_index_ != nullptr) assign_index_->NoteAppend();
   ++clusters_created_;
   ++counters->created;
   outcome.absorbed = false;
@@ -286,6 +345,27 @@ void UMicro::FlushCounters(const BatchCounters& counters,
   if (live_clusters_metric_ != nullptr && counters.created > 0) {
     live_clusters_metric_->Set(static_cast<double>(clusters_.size()));
   }
+  if (assign_index_ != nullptr && index_queries_metric_ != nullptr) {
+    const index::IndexStats& stats = assign_index_->stats();
+    if (stats.queries > flushed_index_stats_.queries) {
+      index_queries_metric_->Increment(stats.queries -
+                                       flushed_index_stats_.queries);
+    }
+    if (stats.candidates > flushed_index_stats_.candidates) {
+      index_candidates_metric_->Increment(stats.candidates -
+                                          flushed_index_stats_.candidates);
+    }
+    if (stats.rebuilds > flushed_index_stats_.rebuilds) {
+      index_rebuilds_metric_->Increment(stats.rebuilds -
+                                        flushed_index_stats_.rebuilds);
+    }
+    if (stats.scanned_rows > 0) {
+      index_prune_ratio_metric_->Set(
+          1.0 - static_cast<double>(stats.candidates) /
+                    static_cast<double>(stats.scanned_rows));
+    }
+    flushed_index_stats_ = stats;
+  }
 }
 
 void UMicro::RetireOneCluster(double now) {
@@ -306,6 +386,8 @@ void UMicro::RetireOneCluster(double now) {
       now - options_.eviction_horizon) {
     clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(lru));
     table_.RemoveRow(lru);
+    // Row ids shifted: the index snapshot is stale, rebuild lazily.
+    if (assign_index_ != nullptr) assign_index_->Invalidate();
     ++clusters_evicted_;
     if (evicted_metric_ != nullptr) evicted_metric_->Increment();
     return;
@@ -339,6 +421,8 @@ void UMicro::RetireOneCluster(double now) {
   }
   clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(best_b));
   table_.RemoveRow(best_b);
+  // The merged row jumped position and the rest shifted: rebuild lazily.
+  if (assign_index_ != nullptr) assign_index_->Invalidate();
   ++clusters_merged_;
   if (merged_metric_ != nullptr) merged_metric_->Increment();
 }
@@ -378,6 +462,8 @@ void UMicro::RestoreState(const UMicroState& state) {
     table_.PushRow(cluster.ecf.cf1().data(), cluster.ecf.cf2().data(),
                    cluster.ecf.ef2().data(), cluster.ecf.weight());
   }
+  // Whatever the index had mirrored is gone with the old table.
+  if (assign_index_ != nullptr) assign_index_->Invalidate();
   welford_.clear();
   welford_.reserve(state.welford.size());
   for (const auto& raw : state.welford) {

@@ -16,11 +16,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/expected_distance.h"
+#include "index/centroid_index.h"
 #include "core/microcluster.h"
 #include "core/snapshot.h"
 #include "kernels/cluster_table.h"
@@ -78,6 +80,14 @@ struct UMicroOptions {
   /// 0 disables decay (Definition 2.1 statistics); > 0 enables the
   /// weighted statistics of Definition 2.3. Half-life is 1/lambda.
   double decay_lambda = 0.0;
+  /// Candidate index for the closest-cluster scan (src/index,
+  /// docs/indexing.md): prunes the O(q) expected-distance scan to a
+  /// provably-safe shortlist the exact SIMD kernels refine. Only the
+  /// expected-distance similarity is indexable (the dimension-counting
+  /// vote admits no safe Euclidean bound; counting-mode instances always
+  /// run the full scan, whatever this is set to). kAuto engages a
+  /// kd-tree once the live cluster count reaches 64.
+  index::IndexKind assign_index = index::IndexKind::kAuto;
   /// Staleness horizon for making room: when a new micro-cluster must be
   /// created past the budget, the least-recently-updated cluster is
   /// evicted if it has not been touched for this many time units (the
@@ -192,6 +202,12 @@ class UMicro : public stream::StreamClusterer {
   /// UMICRO_KERNEL environment variable clamps it downward).
   kernels::Backend kernel_backend() const { return table_.backend(); }
 
+  /// The candidate index behind the assignment scan, or nullptr when
+  /// this instance runs flat scans (flat kind, or counting similarity).
+  const index::CentroidIndex* assign_index() const {
+    return assign_index_.get();
+  }
+
  private:
   /// Per-batch tallies of metric events, flushed to the registry once
   /// per Process/ProcessBatch call instead of per point.
@@ -254,6 +270,15 @@ class UMicro : public stream::StreamClusterer {
   mutable kernels::PointContext point_ctx_;
   /// Per-cluster scores (votes or distances) of the current scan.
   mutable std::vector<double> scores_scratch_;
+  /// Candidate index over table_'s centroids (null = always full scan).
+  /// Mutable: Collect lazily rebuilds and tallies stats inside the
+  /// logically-const FindClosest.
+  mutable std::unique_ptr<index::CentroidIndex> assign_index_;
+  /// Shortlist of the current indexed scan.
+  mutable std::vector<std::uint32_t> candidates_scratch_;
+  /// Index stats already pushed to the registry (FlushCounters ships
+  /// the delta since this watermark).
+  index::IndexStats flushed_index_stats_;
 
   // Metric handles resolved once by AttachMetrics; all null when no
   // registry is attached (the hot path then costs one pointer test).
@@ -268,6 +293,10 @@ class UMicro : public stream::StreamClusterer {
   obs::Counter* evicted_metric_ = nullptr;
   obs::Counter* merged_metric_ = nullptr;
   obs::Gauge* live_clusters_metric_ = nullptr;
+  obs::Counter* index_queries_metric_ = nullptr;
+  obs::Counter* index_candidates_metric_ = nullptr;
+  obs::Counter* index_rebuilds_metric_ = nullptr;
+  obs::Gauge* index_prune_ratio_metric_ = nullptr;
 
   std::size_t points_processed_ = 0;
   std::uint64_t next_cluster_id_ = 0;

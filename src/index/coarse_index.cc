@@ -1,0 +1,153 @@
+#include "index/coarse_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kernels/kernels.h"
+#include "util/check.h"
+
+namespace umicro::index {
+
+void CoarseIndex::BuildStructure() {
+  const std::size_t q = built_rows();
+  const std::size_t stride = snap_stride();
+  num_groups_ = std::max<std::size_t>(
+      1, std::min(q, static_cast<std::size_t>(
+                         std::sqrt(static_cast<double>(q)))));
+
+  // Coarse centers: a deterministic stride sample of the snapshot rows,
+  // kept stride-padded so the SIMD row reduction applies.
+  centers_.resize(num_groups_ * stride);
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    const std::size_t row = g * q / num_groups_;
+    const double* c = snap_centroid(row);
+    std::copy(c, c + stride,
+              centers_.begin() + static_cast<std::ptrdiff_t>(g * stride));
+  }
+
+  // Assign every row to its nearest center (ties to the lowest group).
+  group_of_row_.assign(q, 0);
+  std::vector<std::uint32_t> counts(num_groups_, 0);
+  member_radius_.assign(q, 0.0);
+  group_radius_.assign(num_groups_, 0.0);
+  group_drift_.assign(num_groups_, 0.0);
+  group_norm_.assign(num_groups_, 0.0);
+  for (std::size_t i = 0; i < q; ++i) {
+    const double* c = snap_centroid(i);
+    std::size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t g = 0; g < num_groups_; ++g) {
+      const double d2 = kernels::RowSquaredDistance(
+          snap_backend(), c, &centers_[g * stride], stride);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = g;
+      }
+    }
+    group_of_row_[i] = static_cast<std::uint32_t>(best);
+    ++counts[best];
+    member_radius_[i] = std::sqrt(best_d2) * (1.0 + kRelMargin);
+    group_radius_[best] = std::max(group_radius_[best], member_radius_[i]);
+    group_norm_[best] = std::max(group_norm_[best], row_norm(i));
+  }
+
+  group_begin_.assign(num_groups_ + 1, 0);
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    group_begin_[g + 1] = group_begin_[g] + counts[g];
+  }
+  perm_.resize(q);
+  std::vector<std::uint32_t> cursor(group_begin_.begin(),
+                                    group_begin_.end() - 1);
+  for (std::size_t i = 0; i < q; ++i) {
+    perm_[cursor[group_of_row_[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  group_dist_.resize(num_groups_);
+  group_order_.resize(num_groups_);
+}
+
+void CoarseIndex::DriftUpdated(std::size_t row) {
+  if (row >= group_of_row_.size()) return;  // snapshot pending rebuild
+  const std::size_t g = group_of_row_[row];
+  group_drift_[g] = std::max(group_drift_[g], row_drift(row));
+}
+
+double CoarseIndex::CenterDist2(std::size_t group, const double* x) const {
+  return kernels::RowSquaredDistance(snap_backend(), x,
+                                     &centers_[group * snap_stride()],
+                                     snap_stride());
+}
+
+void CoarseIndex::CollectImpl(const kernels::ClusterTable& table,
+                              const double* x, bool include_cluster_error,
+                              double point_error2, double upper,
+                              std::vector<std::uint32_t>* out) {
+  UMICRO_DCHECK(num_groups_ > 0);
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    group_dist_[g] = std::sqrt(CenterDist2(g, x));
+    group_order_[g] = static_cast<std::uint32_t>(g);
+  }
+  // Nearest groups first: their members seed a tight bound that prunes
+  // the far groups wholesale.
+  std::sort(group_order_.begin(), group_order_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (group_dist_[a] != group_dist_[b]) {
+                return group_dist_[a] < group_dist_[b];
+              }
+              return a < b;
+            });
+
+  // Once the ascending center distance alone beats every group's radius
+  // plus slack, all remaining groups are pruned -- break, don't scan.
+  double max_reach = 0.0;
+  const double ulp = query_scale_ulp();
+  for (std::size_t g = 0; g < num_groups_; ++g) {
+    max_reach = std::max(max_reach, group_radius_[g] + group_drift_[g] +
+                                        ulp * group_norm_[g]);
+  }
+
+  double effective = EffectiveUpper(upper, point_error2);
+  for (const std::uint32_t g : group_order_) {
+    const double dist_lo = group_dist_[g] * (1.0 - kRelMargin);
+    double stop = dist_lo - max_reach;
+    if (stop > 0.0 && stop * stop > effective) break;
+
+    const std::uint32_t begin = group_begin_[g];
+    const std::uint32_t end = group_begin_[g + 1];
+    if (begin == end) continue;
+    const double group_slack =
+        group_drift_[g] + ulp * group_norm_[g];
+    double glo = dist_lo - group_radius_[g] - group_slack;
+    if (glo < 0.0) glo = 0.0;
+    if (glo * glo > effective) continue;
+
+    const double dist_hi = group_dist_[g] * (1.0 + kRelMargin);
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const std::uint32_t row = perm_[k];
+      const double s = RowErrorTerm(table, row, include_cluster_error);
+      // Two-sided triangle bound: the row is member_radius from the
+      // center, so its snapshot distance is at least the gap between
+      // the query-center distance and that radius, whichever side.
+      double mlo = std::max(dist_lo - member_radius_[row],
+                            member_radius_[row] * (1.0 - kRelMargin) -
+                                dist_hi) -
+                   QueryDrift(row);
+      if (mlo < 0.0) mlo = 0.0;
+      if (mlo * mlo + s > effective) continue;
+      // The triangle test is only a prefilter; the exact snapshot
+      // distance (one SIMD row reduction) decides candidacy and
+      // tightens the bound so later (farther) groups prune harder.
+      const double dist = std::sqrt(SnapDist2(row, x));
+      if (RowLower(row, dist, s) > effective) continue;
+      out->push_back(row);
+      const double ub = RowUpper(row, dist, s);
+      if (ub < upper) {
+        upper = ub;
+        effective = EffectiveUpper(ub, point_error2);
+      }
+    }
+  }
+}
+
+}  // namespace umicro::index

@@ -1,0 +1,56 @@
+// Quantized-coarse-centroid backend of CentroidIndex (docs/indexing.md).
+//
+// IVF-style: ~sqrt(q) coarse centers sampled from the snapshot, every
+// snapshot centroid assigned to its nearest center with its distance to
+// that center recorded as a per-member radius. A query measures the
+// point against every coarse center (O(sqrt(q) d)) and keeps the rows
+// whose triangle-inequality lower bound
+//   D(x, center) - member_radius - drift
+// stays within the effective upper bound; whole groups prune in one
+// comparison through the group's max radius.
+
+#ifndef UMICRO_INDEX_COARSE_INDEX_H_
+#define UMICRO_INDEX_COARSE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/centroid_index.h"
+
+namespace umicro::index {
+
+class CoarseIndex final : public CentroidIndex {
+ public:
+  explicit CoarseIndex(Options options) : CentroidIndex(options) {}
+
+  const char* name() const override { return "coarse"; }
+
+ protected:
+  void BuildStructure() override;
+  void CollectImpl(const kernels::ClusterTable& table, const double* x,
+                   bool include_cluster_error, double point_error2,
+                   double upper, std::vector<std::uint32_t>* out) override;
+
+ private:
+  void DriftUpdated(std::size_t row) override;
+
+  double CenterDist2(std::size_t group, const double* x) const;
+
+  std::size_t num_groups_ = 0;
+  std::vector<double> centers_;             // num_groups_ * snap_stride()
+  std::vector<std::uint32_t> perm_;         // rows, grouped
+  std::vector<std::uint32_t> group_begin_;  // num_groups_ + 1 offsets
+  std::vector<std::uint32_t> group_of_row_; // by row id
+  std::vector<double> member_radius_;       // by row id, margin-inflated
+  std::vector<double> group_radius_;        // max member radius per group
+  std::vector<double> group_drift_;         // max row drift per group
+  std::vector<double> group_norm_;          // max row norm per group
+  // Per-query scratch (Collect is single-threaded per index owner).
+  std::vector<double> group_dist_;
+  std::vector<std::uint32_t> group_order_;
+};
+
+}  // namespace umicro::index
+
+#endif  // UMICRO_INDEX_COARSE_INDEX_H_

@@ -1,0 +1,82 @@
+// Median-split kd-tree backend of CentroidIndex (docs/indexing.md).
+//
+// Built over the snapshot centroids: recursive median split on the
+// widest dimension down to leaf_size rows (a node whose bounding box
+// has zero extent becomes a leaf, so identical centroids terminate).
+// A query greedily descends to the nearest leaf to seed the winner's
+// upper bound, then depth-first collects every row whose drift-deflated
+// bounding-box / snapshot-distance lower bound stays within the
+// effective upper bound.
+
+#ifndef UMICRO_INDEX_KDTREE_INDEX_H_
+#define UMICRO_INDEX_KDTREE_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/centroid_index.h"
+
+namespace umicro::index {
+
+class KdTreeIndex final : public CentroidIndex {
+ public:
+  explicit KdTreeIndex(Options options) : CentroidIndex(options) {}
+
+  const char* name() const override { return "kdtree"; }
+
+ protected:
+  void BuildStructure() override;
+  void CollectImpl(const kernels::ClusterTable& table, const double* x,
+                   bool include_cluster_error, double point_error2,
+                   double upper, std::vector<std::uint32_t>* out) override;
+
+ private:
+  struct Node {
+    std::uint32_t begin = 0;  // range [begin, end) of perm_
+    std::uint32_t end = 0;
+    std::int32_t left = -1;  // -1 = leaf
+    std::int32_t right = -1;
+  };
+
+  std::int32_t BuildNode(std::uint32_t begin, std::uint32_t end,
+                         std::int32_t parent);
+
+  void DriftUpdated(std::size_t row) override;
+
+  /// Squared distance of x to node `n`'s bounding box (0 inside).
+  double NodeDist2(std::size_t n, const double* x) const;
+
+  /// Worst drift-plus-ulp slack over the rows of node `n`'s subtree
+  /// (kept current by DriftUpdated), mirroring QueryDrift per row.
+  double NodeQueryDrift(std::size_t n) const {
+    return node_drift_[n] + query_scale_ulp() * node_norm_[n];
+  }
+
+  /// Tightens `upper` over the rows of the leaf nearest to x.
+  void SeedFromNearestLeaf(const kernels::ClusterTable& table,
+                           const double* x, bool include_cluster_error,
+                           double* upper) const;
+
+  void CollectNode(std::size_t n, double node_dist2,
+                   const kernels::ClusterTable& table, const double* x,
+                   bool include_cluster_error, double point_error2,
+                   double* upper, double* effective,
+                   std::vector<std::uint32_t>* out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> perm_;
+  // Per-node bounding boxes, dims() doubles each.
+  std::vector<double> bbox_min_;
+  std::vector<double> bbox_max_;
+  // Subtree maxima for the node-level prune slack.
+  std::vector<std::int32_t> parent_;
+  std::vector<double> node_drift_;
+  std::vector<double> node_norm_;
+  // Row -> owning leaf (drift bubbles leaf-to-root).
+  std::vector<std::uint32_t> leaf_of_row_;
+};
+
+}  // namespace umicro::index
+
+#endif  // UMICRO_INDEX_KDTREE_INDEX_H_

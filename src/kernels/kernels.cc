@@ -39,6 +39,21 @@ double VotesRowScalar(const double* x, const double* base,
   return s;
 }
 
+double BoxDist2RowScalar(const double* x, const double* lo, const double* hi,
+                         std::size_t stride) {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < stride; ++j) {
+    double e = 0.0;
+    if (x[j] < lo[j]) {
+      e = lo[j] - x[j];
+    } else if (x[j] > hi[j]) {
+      e = x[j] - hi[j];
+    }
+    d2 += e * e;
+  }
+  return d2;
+}
+
 double Dist2RowScalar(const double* a, const double* b, std::size_t stride) {
   double d2 = 0.0;
   for (std::size_t j = 0; j < stride; ++j) {
@@ -83,6 +98,22 @@ __attribute__((target("sse2"))) double VotesRowSse2(
                                 _mm_loadu_pd(inv_scaled + j)));
       acc = _mm_add_pd(acc, _mm_max_pd(vote, zero));
     }
+  }
+  return HorizontalSum(acc);
+}
+
+__attribute__((target("sse2"))) double BoxDist2RowSse2(const double* x,
+                                                       const double* lo,
+                                                       const double* hi,
+                                                       std::size_t stride) {
+  const __m128d zero = _mm_setzero_pd();
+  __m128d acc = zero;
+  for (std::size_t j = 0; j < stride; j += 2) {
+    const __m128d xv = _mm_loadu_pd(x + j);
+    const __m128d below = _mm_sub_pd(_mm_loadu_pd(lo + j), xv);
+    const __m128d above = _mm_sub_pd(xv, _mm_loadu_pd(hi + j));
+    const __m128d e = _mm_max_pd(_mm_max_pd(below, above), zero);
+    acc = _mm_add_pd(acc, _mm_mul_pd(e, e));
   }
   return HorizontalSum(acc);
 }
@@ -132,6 +163,20 @@ __attribute__((target("avx2,fma"))) double VotesRowAvx2(
           dist2, _mm256_loadu_pd(inv_scaled + j), _mm256_loadu_pd(base + j));
       acc = _mm256_add_pd(acc, _mm256_max_pd(vote, zero));
     }
+  }
+  return HorizontalSum256(acc);
+}
+
+__attribute__((target("avx2,fma"))) double BoxDist2RowAvx2(
+    const double* x, const double* lo, const double* hi, std::size_t stride) {
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc = zero;
+  for (std::size_t j = 0; j < stride; j += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + j);
+    const __m256d below = _mm256_sub_pd(_mm256_loadu_pd(lo + j), xv);
+    const __m256d above = _mm256_sub_pd(xv, _mm256_loadu_pd(hi + j));
+    const __m256d e = _mm256_max_pd(_mm256_max_pd(below, above), zero);
+    acc = _mm256_fmadd_pd(e, e, acc);
   }
   return HorizontalSum256(acc);
 }
@@ -226,6 +271,41 @@ void BatchSquaredDistances(const ClusterTable& table, const PointContext& ctx,
     out[i] = kind == DistanceKind::kExpected
                  ? std::max(0.0, geometric + table.ef2n2_sum(i) + ctx.psi2_sum)
                  : geometric;
+  }
+}
+
+void GatherSquaredDistances(const ClusterTable& table, const PointContext& ctx,
+                            DistanceKind kind, Backend backend,
+                            const std::uint32_t* rows, std::size_t count,
+                            double* out) {
+  UMICRO_DCHECK(ctx.stride == table.stride());
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = rows[k];
+    UMICRO_DCHECK(i < table.rows());
+    const double geometric =
+        Dist2Row(backend, ctx.x.data(), table.centroid_row(i), ctx.stride);
+    out[k] = kind == DistanceKind::kExpected
+                 ? std::max(0.0, geometric + table.ef2n2_sum(i) + ctx.psi2_sum)
+                 : geometric;
+  }
+}
+
+double RowSquaredDistance(Backend backend, const double* a, const double* b,
+                          std::size_t stride) {
+  return Dist2Row(backend, a, b, stride);
+}
+
+double BoxSquaredDistance(Backend backend, const double* x, const double* lo,
+                          const double* hi, std::size_t stride) {
+  switch (backend) {
+#if UMICRO_KERNELS_X64
+    case Backend::kAvx2:
+      return BoxDist2RowAvx2(x, lo, hi, stride);
+    case Backend::kSse2:
+      return BoxDist2RowSse2(x, lo, hi, stride);
+#endif
+    default:
+      return BoxDist2RowScalar(x, lo, hi, stride);
   }
 }
 

@@ -16,6 +16,7 @@
 #define UMICRO_KERNELS_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "kernels/cluster_table.h"
@@ -72,6 +73,29 @@ void BatchDimensionVotes(const ClusterTable& table, const PointContext& ctx,
 /// table.rows() doubles.
 void BatchSquaredDistances(const ClusterTable& table, const PointContext& ctx,
                            DistanceKind kind, Backend backend, double* out);
+
+/// Squared distance of the staged point to each of the `count` listed
+/// rows (an index shortlist; see index/centroid_index.h): out[k] is the
+/// value BatchSquaredDistances would write for row rows[k], computed by
+/// the identical per-row reduction -- bit-identical, so ArgMin over a
+/// strictly ascending shortlist that contains the full scan's winner
+/// reproduces the full scan's first-wins choice exactly.
+void GatherSquaredDistances(const ClusterTable& table, const PointContext& ctx,
+                            DistanceKind kind, Backend backend,
+                            const std::uint32_t* rows, std::size_t count,
+                            double* out);
+
+/// Squared Euclidean distance between two stride-length padded rows on
+/// the requested tier (the single-row reduction behind the batch scans;
+/// exported for the index layer's snapshot geometry).
+double RowSquaredDistance(Backend backend, const double* a, const double* b,
+                          std::size_t stride);
+
+/// Squared Euclidean distance from point `x` to the axis-aligned box
+/// [lo, hi] (0 inside), over stride-length padded rows; padded lanes
+/// must carry lo = hi = 0 so a zero-padded point contributes nothing.
+double BoxSquaredDistance(Backend backend, const double* x, const double* lo,
+                          const double* hi, std::size_t stride);
 
 /// Cache-blocked search for the pair of rows with minimal squared
 /// centroid distance (the maintenance-merge candidate). Requires at

@@ -56,6 +56,7 @@
 #include "eval/experiment.h"
 #include "fleet/engine_fleet.h"
 #include "fleet/fleet_checkpoint.h"
+#include "index/centroid_index.h"
 #include "io/arff_dataset.h"
 #include "io/csv_dataset.h"
 #include "io/load_stats.h"
@@ -92,6 +93,8 @@ struct CliOptions {
   double boundary = 3.0;
   double thresh = 3.0;
   double decay = 0.0;
+  std::string similarity = "counting";
+  std::string assign_index = "auto";
   double eta = 0.0;
   bool impute = false;
   bool no_header = false;
@@ -167,6 +170,12 @@ void PrintUsage() {
       "  --boundary=T          uncertainty-boundary factor t (default 3)\n"
       "  --thresh=T            dimension-counting threshold (default 3)\n"
       "  --decay=LAMBDA        exponential decay rate (default 0 = off)\n"
+      "  --similarity=S        closest-cluster criterion: counting|\n"
+      "                        distance (default counting)\n"
+      "  --assign-index=K      candidate index for the closest-cluster\n"
+      "                        scan: flat|kdtree|coarse|auto (default\n"
+      "                        auto; distance similarity only --\n"
+      "                        docs/indexing.md)\n"
       "  --eta=E               perturb input with the paper's noise model\n"
       "  --impute              impute missing entries (online mean)\n"
       "  --no-header           headerless CSV, last column is the label\n"
@@ -476,6 +485,34 @@ std::uint64_t AssignTenant(const umicro::stream::UncertainPoint& point,
   return static_cast<std::uint64_t>(row) % cli.tenants;  // round_robin
 }
 
+/// Applies --similarity and --assign-index to a UMicroOptions (shared
+/// by the standalone/sharded/leaf path and the fleet path). Returns
+/// false (with a diagnostic) on an unknown value.
+bool ApplyAssignOptions(const CliOptions& cli,
+                        umicro::core::UMicroOptions* options) {
+  if (cli.similarity == "counting") {
+    options->similarity = umicro::core::SimilarityMode::kDimensionCounting;
+  } else if (cli.similarity == "distance") {
+    options->similarity = umicro::core::SimilarityMode::kExpectedDistance;
+  } else {
+    std::fprintf(stderr,
+                 "unknown similarity: %s (expected counting|distance)\n",
+                 cli.similarity.c_str());
+    return false;
+  }
+  const std::optional<umicro::index::IndexKind> kind =
+      umicro::index::ParseIndexKind(cli.assign_index);
+  if (!kind.has_value()) {
+    std::fprintf(
+        stderr,
+        "unknown assign index: %s (expected flat|kdtree|coarse|auto)\n",
+        cli.assign_index.c_str());
+    return false;
+  }
+  options->assign_index = *kind;
+  return true;
+}
+
 /// The --tenants path: one EngineFleet instead of one engine. The
 /// dataset arrives already hardened/imputed/perturbed, so fleet runs
 /// see exactly the stream a single-engine run would.
@@ -486,6 +523,7 @@ int RunFleetMode(const CliOptions& cli,
   config.umicro.boundary_factor = cli.boundary;
   config.umicro.dimension_threshold = cli.thresh;
   config.umicro.decay_lambda = cli.decay;
+  if (!ApplyAssignOptions(cli, &config.umicro)) return 2;
   config.fleet.tenants = cli.tenants;
   if (cli.threads > 0) config.fleet.workers = cli.threads;
   config.fleet.queue_capacity = cli.queue_capacity;
@@ -648,6 +686,10 @@ int main(int argc, char** argv) {
       cli.thresh = std::strtod(value.c_str(), nullptr);
     } else if (ParseFlag(arg, "decay", &value)) {
       cli.decay = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "similarity", &value)) {
+      cli.similarity = value;
+    } else if (ParseFlag(arg, "assign-index", &value)) {
+      cli.assign_index = value;
     } else if (ParseFlag(arg, "eta", &value)) {
       cli.eta = std::strtod(value.c_str(), nullptr);
     } else if (arg == "--impute") {
@@ -1212,6 +1254,7 @@ int main(int argc, char** argv) {
     umicro_options.boundary_factor = cli.boundary;
     umicro_options.dimension_threshold = cli.thresh;
     umicro_options.decay_lambda = cli.decay;
+    if (!ApplyAssignOptions(cli, &umicro_options)) return 2;
     umicro::core::SnapshotPolicy snapshot;
     snapshot.snapshot_every = cli.snapshot_every;
     // Recovery needs a factory: RecoverOrCreateEngine builds the engine
