@@ -107,9 +107,17 @@ struct FleetConfig {
   /// Per-tenant pyramidal store, sized down from the single-engine
   /// default: a fleet of 10^5 tenants cannot afford alpha^l + 1 deep
   /// rings per order each, so l shrinks by one and snapshots come at a
-  /// coarser cadence.
-  SnapshotPolicy snapshot{/*snapshot_every=*/256, /*pyramid_alpha=*/2,
-                          /*pyramid_l=*/2};
+  /// coarser cadence. Frames are delta-encoded by default -- the fleet
+  /// is exactly the context where per-tenant store bytes dominate, and
+  /// delta frames are lossless (bit-identical materialization).
+  SnapshotPolicy snapshot = [] {
+    SnapshotPolicy policy;
+    policy.snapshot_every = 256;
+    policy.pyramid_alpha = 2;
+    policy.pyramid_l = 2;
+    policy.tiering.mode = SnapshotStoreMode::kDelta;
+    return policy;
+  }();
 };
 
 /// The consolidated configuration. Every field group has working

@@ -1,6 +1,7 @@
 #include "core/engine_core.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "obs/scoped_timer.h"
 
@@ -9,7 +10,8 @@ namespace umicro::core {
 EngineCore::EngineCore(std::size_t dimensions, const EngineOptions& options)
     : options_(options),
       online_(dimensions, options.umicro),
-      store_(options.snapshot.pyramid_alpha, options.snapshot.pyramid_l) {}
+      store_(options.snapshot.pyramid_alpha, options.snapshot.pyramid_l,
+             options.snapshot.tiering) {}
 
 void EngineCore::AttachMetrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
@@ -18,10 +20,37 @@ void EngineCore::AttachMetrics(obs::MetricsRegistry* registry) {
     snapshot_micros_ = &registry->GetHistogram("snapshot.take_micros");
     snapshots_taken_ = &registry->GetCounter("snapshot.taken");
     snapshots_stored_ = &registry->GetGauge("snapshot.stored");
+    snapshot_bytes_ = &registry->GetGauge("snapshot.bytes");
+    snapshot_frames_ = &registry->GetGauge("snapshot.frames");
+    snapshot_delta_ratio_ = &registry->GetGauge("snapshot.delta_ratio");
+    snapshot_reconstructions_ = &registry->GetCounter("snapshot.reconstructions");
+    snapshot_spills_ = &registry->GetCounter("snapshot.spills");
   } else {
     snapshot_micros_ = nullptr;
     snapshots_taken_ = nullptr;
     snapshots_stored_ = nullptr;
+    snapshot_bytes_ = nullptr;
+    snapshot_frames_ = nullptr;
+    snapshot_delta_ratio_ = nullptr;
+    snapshot_reconstructions_ = nullptr;
+    snapshot_spills_ = nullptr;
+  }
+}
+
+void EngineCore::PublishStoreMetrics() {
+  if (snapshot_bytes_ == nullptr) return;
+  const SnapshotTierStats stats = store_.TierStats();
+  snapshot_bytes_->Set(static_cast<double>(stats.approx_bytes));
+  snapshot_frames_->Set(static_cast<double>(stats.frames));
+  snapshot_delta_ratio_->Set(stats.delta_ratio);
+  if (stats.reconstructions > published_reconstructions_) {
+    snapshot_reconstructions_->Increment(stats.reconstructions -
+                                         published_reconstructions_);
+    published_reconstructions_ = stats.reconstructions;
+  }
+  if (stats.spills > published_spills_) {
+    snapshot_spills_->Increment(stats.spills - published_spills_);
+    published_spills_ = stats.spills;
   }
 }
 
@@ -38,6 +67,7 @@ void EngineCore::TakeCadenceSnapshot() {
   if (snapshots_stored_ != nullptr) {
     snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
   }
+  PublishStoreMetrics();
 }
 
 void EngineCore::Process(const stream::UncertainPoint& point) {
@@ -77,8 +107,12 @@ std::optional<HorizonClustering> EngineCore::ClusterRecent(
     double horizon, const MacroClusteringOptions& options) {
   if (online_.points_processed() == 0) return std::nullopt;
   const Snapshot current = online_.TakeSnapshot(last_timestamp_);
-  return ClusterOverHorizon(store_, current, horizon, options, metrics_,
-                            options_.umicro.decay_lambda);
+  auto result = ClusterOverHorizon(store_, current, horizon, options, metrics_,
+                                   options_.umicro.decay_lambda);
+  // Horizon queries materialize frames (delta walks, spill loads);
+  // surface the store counters they advanced.
+  PublishStoreMetrics();
+  return result;
 }
 
 void EngineCore::Flush() {
@@ -115,8 +149,16 @@ bool EngineCore::RestoreState(const EngineState& state) {
   if (state.engine_kind != "umicro") return false;
   if (state.dimensions != online_.dimensions()) return false;
   if (state.shard_states.size() != 1) return false;
+  // Validate and restore the store first: a geometry mismatch
+  // (alpha/l drift between writer and reader) must leave the whole core
+  // untouched, not just the retention rings.
+  std::string store_error;
+  if (!store_.RestoreState(state.store, &store_error)) {
+    std::fprintf(stderr, "engine restore rejected: %s\n",
+                 store_error.c_str());
+    return false;
+  }
   online_.RestoreState(state.shard_states[0]);
-  store_.RestoreState(state.store);
   next_tick_ = state.next_tick;
   since_snapshot_ = static_cast<std::size_t>(state.since_snapshot);
   last_timestamp_ = state.last_timestamp;

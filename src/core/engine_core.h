@@ -155,6 +155,11 @@ class EngineCore {
   /// Takes the cadence snapshot: stores it, publishes it to the sink.
   void TakeCadenceSnapshot();
 
+  /// Refreshes the snapshot.{bytes,frames,delta_ratio} gauges and feeds
+  /// the cumulative store counters (reconstructions, spills) into the
+  /// registry as deltas since the last publication.
+  void PublishStoreMetrics();
+
   EngineOptions options_;
   UMicro online_;
   SnapshotStore store_;
@@ -163,6 +168,13 @@ class EngineCore {
   obs::Histogram* snapshot_micros_ = nullptr;
   obs::Counter* snapshots_taken_ = nullptr;
   obs::Gauge* snapshots_stored_ = nullptr;
+  obs::Gauge* snapshot_bytes_ = nullptr;
+  obs::Gauge* snapshot_frames_ = nullptr;
+  obs::Gauge* snapshot_delta_ratio_ = nullptr;
+  obs::Counter* snapshot_reconstructions_ = nullptr;
+  obs::Counter* snapshot_spills_ = nullptr;
+  std::uint64_t published_reconstructions_ = 0;
+  std::uint64_t published_spills_ = 0;
   std::uint64_t next_tick_ = 1;
   std::size_t since_snapshot_ = 0;
   double last_timestamp_ = 0.0;

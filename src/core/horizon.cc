@@ -59,7 +59,16 @@ std::optional<HorizonClustering> ClusterOverHorizon(
   // predates everything retained (where "nearest" is the earliest
   // stored snapshot and the shortfall is unavoidable).
   auto older = store.FindAtOrBefore(current.time - horizon);
-  if (!older.has_value()) older = store.FindNearest(current.time - horizon);
+  if (!older.has_value()) {
+    // The horizon predates every retained frame: the answer is clamped
+    // to the oldest window we can realize. Degraded, and observable --
+    // the caller sees realized_ratio < 1 and the counter flags it even
+    // when nobody inspects the ratio.
+    older = store.FindNearest(current.time - horizon);
+    if (older.has_value() && metrics != nullptr) {
+      metrics->GetCounter("snapshot.horizon_clamped").Increment();
+    }
+  }
   if (!older.has_value()) return std::nullopt;
   if (older->time > current.time) return std::nullopt;
   return ClusterWindow(current, *older, horizon, decay_lambda, options,

@@ -1,7 +1,11 @@
 #include "core/snapshot.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
 #include <unordered_map>
 
 #include "util/check.h"
@@ -15,10 +19,133 @@ constexpr double kMinResidualWeight = 1e-9;
 /// that was subtracted from it is floating-point cancellation noise,
 /// not window mass (its centroid would be noise divided by noise).
 constexpr double kMinResidualFraction = 1e-6;
+
+/// Fixed per-frame overhead charged by the byte accounting (container
+/// headers, tick/time/encoding metadata).
+constexpr std::size_t kFrameOverheadBytes = 64;
+
+/// Per-cluster bookkeeping outside the three statistic vectors:
+/// id + creation_time + weight + last_update_time.
+constexpr std::size_t kClusterHeaderBytes = 32;
+
+/// Process-wide serial for spill file names: stores sharing one spill
+/// directory (a tenant fleet) must not collide.
+std::atomic<std::uint64_t> g_spill_serial{0};
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Bitwise equality of two frozen micro-clusters. Deliberately not
+/// operator== on doubles: -0.0 vs 0.0 and NaN payloads must count as
+/// changes for reconstruction to be bit-identical.
+bool BitIdentical(const MicroClusterState& a, const MicroClusterState& b) {
+  return a.id == b.id && SameBits(a.creation_time, b.creation_time) &&
+         SameBits(a.ecf.weight(), b.ecf.weight()) &&
+         SameBits(a.ecf.last_update_time(), b.ecf.last_update_time()) &&
+         SameBits(a.ecf.cf1(), b.ecf.cf1()) &&
+         SameBits(a.ecf.cf2(), b.ecf.cf2()) &&
+         SameBits(a.ecf.ef2(), b.ecf.ef2());
+}
+
+bool IsCold(const EncodedFrame& frame) {
+  return frame.encoding == FrameEncoding::kQuantized ||
+         frame.encoding == FrameEncoding::kSpilled;
+}
+
+std::size_t ExactClusterBytes(std::size_t dims) {
+  return kClusterHeaderBytes + 3 * dims * sizeof(double);
+}
+
+QuantizedClusters Quantize(const Snapshot& snapshot) {
+  QuantizedClusters q;
+  const std::size_t n = snapshot.clusters.size();
+  q.dims = n == 0 ? 0 : snapshot.clusters.front().ecf.dimensions();
+  q.ids.reserve(n);
+  q.creation_times.reserve(n);
+  q.weights.reserve(n);
+  q.last_updates.reserve(n);
+  q.values.reserve(n * 3 * q.dims);
+  for (const auto& state : snapshot.clusters) {
+    UMICRO_CHECK_MSG(state.ecf.dimensions() == q.dims,
+                     "mixed dimensionality inside one snapshot frame");
+    q.ids.push_back(state.id);
+    q.creation_times.push_back(state.creation_time);
+    q.weights.push_back(static_cast<float>(state.ecf.weight()));
+    q.last_updates.push_back(static_cast<float>(state.ecf.last_update_time()));
+    for (double v : state.ecf.cf1()) q.values.push_back(static_cast<float>(v));
+    for (double v : state.ecf.cf2()) q.values.push_back(static_cast<float>(v));
+    for (double v : state.ecf.ef2()) q.values.push_back(static_cast<float>(v));
+  }
+  return q;
+}
+
+Snapshot Widen(const EncodedFrame& frame) {
+  const QuantizedClusters& q = frame.quant;
+  Snapshot out;
+  out.time = frame.time;
+  out.clusters.reserve(q.ids.size());
+  const std::size_t d = q.dims;
+  for (std::size_t i = 0; i < q.ids.size(); ++i) {
+    MicroClusterState state;
+    state.id = q.ids[i];
+    state.creation_time = q.creation_times[i];
+    std::vector<double> cf1(d), cf2(d), ef2(d);
+    const float* base = q.values.data() + i * 3 * d;
+    for (std::size_t j = 0; j < d; ++j) cf1[j] = static_cast<double>(base[j]);
+    for (std::size_t j = 0; j < d; ++j)
+      cf2[j] = static_cast<double>(base[d + j]);
+    for (std::size_t j = 0; j < d; ++j)
+      ef2[j] = static_cast<double>(base[2 * d + j]);
+    state.ecf = ErrorClusterFeature::FromRaw(
+        std::move(cf1), std::move(cf2), std::move(ef2),
+        static_cast<double>(q.weights[i]),
+        static_cast<double>(q.last_updates[i]));
+    out.clusters.push_back(std::move(state));
+  }
+  return out;
+}
+
+/// Reconstructs a delta frame on top of its materialized parent. nullopt
+/// on structural corruption (an id with no donor entry anywhere).
+std::optional<Snapshot> ApplyDelta(const EncodedFrame& frame,
+                                   const Snapshot& parent) {
+  std::unordered_map<std::uint64_t, const MicroClusterState*> changed_by_id;
+  changed_by_id.reserve(frame.changed.size());
+  for (const auto& state : frame.changed) changed_by_id.emplace(state.id, &state);
+  std::unordered_map<std::uint64_t, const MicroClusterState*> parent_by_id;
+  parent_by_id.reserve(parent.clusters.size());
+  for (const auto& state : parent.clusters) parent_by_id.emplace(state.id, &state);
+
+  Snapshot out;
+  out.time = frame.time;
+  out.clusters.reserve(frame.ids.size());
+  for (std::uint64_t id : frame.ids) {
+    auto it = changed_by_id.find(id);
+    if (it != changed_by_id.end()) {
+      out.clusters.push_back(*it->second);
+      continue;
+    }
+    auto pit = parent_by_id.find(id);
+    if (pit == parent_by_id.end()) return std::nullopt;
+    out.clusters.push_back(*pit->second);
+  }
+  return out;
+}
 }  // namespace
 
 SnapshotStore::SnapshotStore(std::size_t alpha, std::size_t l)
-    : alpha_(alpha) {
+    : SnapshotStore(alpha, l, SnapshotTiering{}) {}
+
+SnapshotStore::SnapshotStore(std::size_t alpha, std::size_t l,
+                             SnapshotTiering tiering)
+    : alpha_(alpha), l_(l), tiering_(std::move(tiering)) {
   UMICRO_CHECK(alpha >= 2);
   UMICRO_CHECK(l >= 1);
   double capacity = 1.0;
@@ -37,49 +164,320 @@ std::size_t SnapshotStore::OrderOf(std::uint64_t tick) const {
   return order;
 }
 
+void SnapshotStore::EncodeDelta(EncodedFrame& frame, const Snapshot& parent) {
+  UMICRO_CHECK(frame.encoding == FrameEncoding::kFull);
+  std::unordered_map<std::uint64_t, const MicroClusterState*> parent_by_id;
+  parent_by_id.reserve(parent.clusters.size());
+  for (const auto& state : parent.clusters) parent_by_id.emplace(state.id, &state);
+
+  frame.ids.reserve(frame.full.size());
+  for (auto& state : frame.full) {
+    frame.ids.push_back(state.id);
+    auto it = parent_by_id.find(state.id);
+    if (it == parent_by_id.end() || !BitIdentical(state, *it->second)) {
+      frame.changed.push_back(std::move(state));
+    }
+  }
+  frame.full.clear();
+  frame.full.shrink_to_fit();
+  frame.encoding = FrameEncoding::kDelta;
+}
+
 void SnapshotStore::Insert(std::uint64_t tick, Snapshot snapshot) {
   UMICRO_CHECK_MSG(tick > last_tick_, "ticks must be strictly increasing");
   last_tick_ = tick;
   const std::size_t order = OrderOf(tick);
   if (order >= orders_.size()) orders_.resize(order + 1);
   auto& ring = orders_[order];
-  ring.push_back(std::move(snapshot));
-  if (ring.size() > capacity_per_order_) ring.pop_front();
+
+  // The new frame becomes the ring head; in delta/tiered modes the
+  // previous head turns warm and keeps only what differs from it.
+  if (tiering_.mode != SnapshotStoreMode::kFull && !ring.empty() &&
+      ring.back().encoding == FrameEncoding::kFull) {
+    EncodeDelta(ring.back(), snapshot);
+  }
+
+  EncodedFrame frame;
+  frame.tick = tick;
+  frame.time = snapshot.time;
+  frame.encoding = FrameEncoding::kFull;
+  frame.cluster_count = snapshot.clusters.size();
+  frame.dims = snapshot.clusters.empty()
+                   ? 0
+                   : snapshot.clusters.front().ecf.dimensions();
+  frame.full = std::move(snapshot.clusters);
+  ring.push_back(std::move(frame));
+  if (ring.size() > capacity_per_order_) EvictFront(ring);
+  EnforceBudget();
+}
+
+void SnapshotStore::EvictFront(std::deque<EncodedFrame>& ring) {
+  if (ring.front().encoding == FrameEncoding::kSpilled) {
+    std::remove(ring.front().spill_path.c_str());
+  }
+  ring.pop_front();
+}
+
+std::optional<Snapshot> SnapshotStore::MaterializeSelfContained(
+    const EncodedFrame& frame) const {
+  switch (frame.encoding) {
+    case FrameEncoding::kFull: {
+      Snapshot out;
+      out.time = frame.time;
+      out.clusters = frame.full;
+      return out;
+    }
+    case FrameEncoding::kQuantized:
+      ++reconstructions_;
+      return Widen(frame);
+    case FrameEncoding::kSpilled: {
+      if (!tiering_.codec.valid()) {
+        ++spill_failures_;
+        return std::nullopt;
+      }
+      std::optional<Snapshot> loaded = tiering_.codec.read(frame.spill_path);
+      if (!loaded.has_value()) {
+        ++spill_failures_;
+        return std::nullopt;
+      }
+      ++spill_loads_;
+      ++reconstructions_;
+      loaded->time = frame.time;
+      return loaded;
+    }
+    case FrameEncoding::kDelta:
+      break;
+  }
+  return std::nullopt;
+}
+
+std::optional<Snapshot> SnapshotStore::MaterializeIndex(
+    const std::deque<EncodedFrame>& ring, std::size_t index) const {
+  // Delta chains resolve rightwards: each warm frame's parent is the
+  // next-newer frame in the same ring, and the chain ends at the ring's
+  // self-contained head.
+  std::size_t base_index = index;
+  while (base_index < ring.size() &&
+         ring[base_index].encoding == FrameEncoding::kDelta) {
+    ++base_index;
+  }
+  if (base_index >= ring.size()) return std::nullopt;
+  std::optional<Snapshot> snapshot =
+      MaterializeSelfContained(ring[base_index]);
+  while (snapshot.has_value() && base_index > index) {
+    --base_index;
+    snapshot = ApplyDelta(ring[base_index], *snapshot);
+    ++reconstructions_;
+  }
+  return snapshot;
+}
+
+std::optional<Snapshot> SnapshotStore::MaterializeFrame(
+    std::size_t order, std::size_t index) const {
+  return MaterializeIndex(orders_[order], index);
 }
 
 std::optional<Snapshot> SnapshotStore::FindAtOrBefore(double time) const {
-  const Snapshot* best = nullptr;
-  for (const auto& ring : orders_) {
-    for (const auto& snapshot : ring) {
-      if (snapshot.time <= time &&
-          (best == nullptr || snapshot.time > best->time)) {
-        best = &snapshot;
-      }
+  struct Candidate {
+    double time;
+    std::size_t order;
+    std::size_t index;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t order = 0; order < orders_.size(); ++order) {
+    const auto& ring = orders_[order];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (ring[i].time <= time) candidates.push_back({ring[i].time, order, i});
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return *best;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.time > b.time;
+            });
+  // Skip-and-degrade: a frame whose spill file is gone is not an error,
+  // the next-best retained frame answers instead.
+  for (const Candidate& c : candidates) {
+    std::optional<Snapshot> snapshot = MaterializeIndex(orders_[c.order], c.index);
+    if (snapshot.has_value()) return snapshot;
+  }
+  return std::nullopt;
 }
 
 std::optional<Snapshot> SnapshotStore::FindNearest(double time) const {
-  const Snapshot* best = nullptr;
-  double best_diff = 0.0;
-  for (const auto& ring : orders_) {
-    for (const auto& snapshot : ring) {
-      const double diff = std::abs(snapshot.time - time);
-      if (best == nullptr || diff < best_diff) {
-        best = &snapshot;
-        best_diff = diff;
-      }
+  struct Candidate {
+    double diff;
+    double time;
+    std::size_t order;
+    std::size_t index;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t order = 0; order < orders_.size(); ++order) {
+    const auto& ring = orders_[order];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      candidates.push_back(
+          {std::abs(ring[i].time - time), ring[i].time, order, i});
     }
   }
-  if (best == nullptr) return std::nullopt;
-  return *best;
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.diff != b.diff) return a.diff < b.diff;
+              return a.time > b.time;
+            });
+  for (const Candidate& c : candidates) {
+    std::optional<Snapshot> snapshot = MaterializeIndex(orders_[c.order], c.index);
+    if (snapshot.has_value()) return snapshot;
+  }
+  return std::nullopt;
+}
+
+void SnapshotStore::ForEach(
+    const std::function<void(std::size_t, const Snapshot&)>& fn) const {
+  for (std::size_t order = 0; order < orders_.size(); ++order) {
+    const auto& ring = orders_[order];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      std::optional<Snapshot> snapshot = MaterializeIndex(ring, i);
+      if (snapshot.has_value()) fn(order, *snapshot);
+    }
+  }
+}
+
+bool SnapshotStore::DemoteOldestToCold() {
+  // The first non-cold frame of each ring (excluding the head) is the
+  // only candidate: demoting it keeps the cold tier a contiguous prefix,
+  // so no delta chain ever has to resolve through a lossy frame.
+  const EncodedFrame* best = nullptr;
+  std::size_t best_order = 0;
+  std::size_t best_index = 0;
+  for (std::size_t order = 0; order < orders_.size(); ++order) {
+    const auto& ring = orders_[order];
+    if (ring.size() < 2) continue;  // never demote a ring head
+    for (std::size_t i = 0; i + 1 < ring.size(); ++i) {
+      if (IsCold(ring[i])) continue;
+      if (best == nullptr || ring[i].tick < best->tick) {
+        best = &ring[i];
+        best_order = order;
+        best_index = i;
+      }
+      break;
+    }
+  }
+  if (best == nullptr) return false;
+
+  std::optional<Snapshot> exact = MaterializeIndex(orders_[best_order], best_index);
+  // Warm chains resolve through warm/hot frames only, which always
+  // materialize; a failure here means internal corruption.
+  if (!exact.has_value()) return false;
+
+  EncodedFrame cold;
+  cold.tick = best->tick;
+  cold.time = best->time;
+  cold.cluster_count = exact->clusters.size();
+  cold.dims = exact->clusters.empty()
+                  ? 0
+                  : exact->clusters.front().ecf.dimensions();
+  bool spilled = false;
+  if (!tiering_.spill_dir.empty() && tiering_.codec.valid()) {
+    std::string path = tiering_.spill_dir + "/frame-" +
+                       std::to_string(++g_spill_serial) + "-t" +
+                       std::to_string(cold.tick) + ".usnapf";
+    if (tiering_.codec.write(*exact, path)) {
+      cold.encoding = FrameEncoding::kSpilled;
+      cold.spill_path = std::move(path);
+      ++spills_;
+      spilled = true;
+    }
+  }
+  if (!spilled) {
+    cold.encoding = FrameEncoding::kQuantized;
+    cold.quant = Quantize(*exact);
+  }
+  orders_[best_order][best_index] = std::move(cold);
+  return true;
+}
+
+void SnapshotStore::EnforceBudget() {
+  if (tiering_.mode != SnapshotStoreMode::kTiered ||
+      tiering_.budget_bytes == 0) {
+    return;
+  }
+  while (ApproxBytes() > tiering_.budget_bytes) {
+    if (!DemoteOldestToCold()) break;
+  }
+}
+
+std::size_t SnapshotStore::FrameBytes(const EncodedFrame& frame) {
+  std::size_t bytes = kFrameOverheadBytes;
+  switch (frame.encoding) {
+    case FrameEncoding::kFull:
+      for (const auto& state : frame.full) {
+        bytes += ExactClusterBytes(state.ecf.dimensions());
+      }
+      break;
+    case FrameEncoding::kDelta:
+      bytes += frame.ids.size() * sizeof(std::uint64_t);
+      for (const auto& state : frame.changed) {
+        bytes += ExactClusterBytes(state.ecf.dimensions());
+      }
+      break;
+    case FrameEncoding::kQuantized:
+      bytes += frame.quant.ids.size() * sizeof(std::uint64_t);
+      bytes += frame.quant.creation_times.size() * sizeof(double);
+      bytes += frame.quant.weights.size() * sizeof(float);
+      bytes += frame.quant.last_updates.size() * sizeof(float);
+      bytes += frame.quant.values.size() * sizeof(float);
+      break;
+    case FrameEncoding::kSpilled:
+      bytes += frame.spill_path.size();
+      break;
+  }
+  return bytes;
+}
+
+std::size_t SnapshotStore::FullEquivalentBytes(const EncodedFrame& frame) {
+  return kFrameOverheadBytes +
+         frame.cluster_count * ExactClusterBytes(frame.dims);
+}
+
+std::size_t SnapshotStore::ApproxBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& ring : orders_) {
+    for (const auto& frame : ring) bytes += FrameBytes(frame);
+  }
+  return bytes;
+}
+
+SnapshotTierStats SnapshotStore::TierStats() const {
+  SnapshotTierStats stats;
+  for (const auto& ring : orders_) {
+    for (const auto& frame : ring) {
+      ++stats.frames;
+      switch (frame.encoding) {
+        case FrameEncoding::kFull: ++stats.full_frames; break;
+        case FrameEncoding::kDelta: ++stats.delta_frames; break;
+        case FrameEncoding::kQuantized: ++stats.quantized_frames; break;
+        case FrameEncoding::kSpilled: ++stats.spilled_frames; break;
+      }
+      stats.approx_bytes += FrameBytes(frame);
+      stats.full_equivalent_bytes += FullEquivalentBytes(frame);
+    }
+  }
+  stats.delta_ratio =
+      stats.full_equivalent_bytes == 0
+          ? 1.0
+          : static_cast<double>(stats.approx_bytes) /
+                static_cast<double>(stats.full_equivalent_bytes);
+  stats.reconstructions = reconstructions_;
+  stats.spills = spills_;
+  stats.spill_loads = spill_loads_;
+  stats.spill_failures = spill_failures_;
+  return stats;
 }
 
 SnapshotStoreState SnapshotStore::ExportState() const {
   SnapshotStoreState state;
   state.last_tick = last_tick_;
+  state.alpha = alpha_;
+  state.l = l_;
   state.orders.reserve(orders_.size());
   for (const auto& ring : orders_) {
     state.orders.emplace_back(ring.begin(), ring.end());
@@ -87,13 +485,105 @@ SnapshotStoreState SnapshotStore::ExportState() const {
   return state;
 }
 
-void SnapshotStore::RestoreState(const SnapshotStoreState& state) {
+bool SnapshotStore::RestoreState(const SnapshotStoreState& state,
+                                 std::string* error) {
+  auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (state.alpha != alpha_ || state.l != l_) {
+    return fail("snapshot store geometry mismatch: state written under alpha=" +
+                std::to_string(state.alpha) + " l=" + std::to_string(state.l) +
+                " but store is configured with alpha=" +
+                std::to_string(alpha_) + " l=" + std::to_string(l_) +
+                "; refusing to restore (order rings would be silently "
+                "truncated or overfilled)");
+  }
+  for (std::size_t order = 0; order < state.orders.size(); ++order) {
+    const auto& ring = state.orders[order];
+    if (ring.size() > capacity_per_order_) {
+      return fail("order " + std::to_string(order) + " ring holds " +
+                  std::to_string(ring.size()) + " frames, capacity is " +
+                  std::to_string(capacity_per_order_));
+    }
+    std::uint64_t prev_tick = 0;
+    bool saw_warm = false;
+    for (const auto& frame : ring) {
+      if (frame.tick == 0 || frame.tick <= prev_tick) {
+        return fail("order " + std::to_string(order) +
+                    " frame ticks are not strictly increasing");
+      }
+      prev_tick = frame.tick;
+      if (frame.tick > state.last_tick) {
+        return fail("frame tick " + std::to_string(frame.tick) +
+                    " is newer than the store's last tick " +
+                    std::to_string(state.last_tick));
+      }
+      if (OrderOf(frame.tick) != order) {
+        return fail("tick " + std::to_string(frame.tick) +
+                    " classifies at order " +
+                    std::to_string(OrderOf(frame.tick)) +
+                    " but was stored in ring " + std::to_string(order));
+      }
+      if (IsCold(frame)) {
+        if (saw_warm) {
+          return fail("cold frame after a warm frame in order " +
+                      std::to_string(order) +
+                      " (the cold tier must be a ring prefix)");
+        }
+      } else {
+        saw_warm = true;
+      }
+      switch (frame.encoding) {
+        case FrameEncoding::kFull:
+          if (frame.full.size() != frame.cluster_count) {
+            return fail("full frame at tick " + std::to_string(frame.tick) +
+                        " has inconsistent cluster count");
+          }
+          break;
+        case FrameEncoding::kDelta:
+          if (frame.ids.size() != frame.cluster_count ||
+              frame.changed.size() > frame.ids.size()) {
+            return fail("delta frame at tick " + std::to_string(frame.tick) +
+                        " has inconsistent id/changed counts");
+          }
+          break;
+        case FrameEncoding::kQuantized: {
+          const auto& q = frame.quant;
+          if (q.ids.size() != frame.cluster_count ||
+              q.creation_times.size() != frame.cluster_count ||
+              q.weights.size() != frame.cluster_count ||
+              q.last_updates.size() != frame.cluster_count ||
+              q.values.size() != frame.cluster_count * 3 * q.dims ||
+              q.dims != frame.dims) {
+            return fail("quantized frame at tick " +
+                        std::to_string(frame.tick) +
+                        " has inconsistent array sizes");
+          }
+          break;
+        }
+        case FrameEncoding::kSpilled:
+          if (frame.spill_path.empty()) {
+            return fail("spilled frame at tick " + std::to_string(frame.tick) +
+                        " has no spill path");
+          }
+          break;
+      }
+    }
+    if (!ring.empty() && ring.back().encoding == FrameEncoding::kDelta) {
+      return fail("order " + std::to_string(order) +
+                  " ring head is a delta frame with no parent to resolve "
+                  "against");
+    }
+  }
+
   last_tick_ = state.last_tick;
   orders_.clear();
   orders_.resize(state.orders.size());
   for (std::size_t i = 0; i < state.orders.size(); ++i) {
     orders_[i].assign(state.orders[i].begin(), state.orders[i].end());
   }
+  return true;
 }
 
 std::size_t SnapshotStore::TotalStored() const {
@@ -110,10 +600,14 @@ std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
   // Live ECFs have been decayed to current.time while the stored ones
   // froze at older.time; bring the older statistics forward to the same
   // reference instant before subtracting.
-  const double decay_factor =
+  double decay_factor =
       decay_lambda > 0.0
           ? std::exp2(-decay_lambda * (current.time - older.time))
           : 1.0;
+  // A factor that underflowed to the denormal range carries no usable
+  // mass; flush it to zero so the scaled statistics below are exact
+  // zeros rather than denormal noise.
+  if (decay_factor < std::numeric_limits<double>::min()) decay_factor = 0.0;
   std::unordered_map<std::uint64_t, const MicroClusterState*> older_by_id;
   older_by_id.reserve(older.clusters.size());
   for (const auto& state : older.clusters) {
@@ -132,9 +626,17 @@ std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
     MicroClusterState window = state;
     ErrorClusterFeature scaled = it->second->ecf;
     if (decay_factor != 1.0) scaled.Scale(decay_factor);
-    window.ecf.Subtract(scaled);
+    const double subtracted_weight = scaled.weight();
+    if (subtracted_weight > kMinResidualWeight) {
+      window.ecf.Subtract(scaled);
+    }
+    // When the older contribution has fully decayed (zero/denormal
+    // weight), nothing is subtracted: whatever mass the live cluster
+    // still has is genuine window mass -- but it must itself clear the
+    // absolute floor, otherwise the "window" is just the decayed husk of
+    // pre-horizon points and belongs to the empty window.
     const double floor = std::max(kMinResidualWeight,
-                                  kMinResidualFraction * scaled.weight());
+                                  kMinResidualFraction * subtracted_weight);
     if (window.ecf.weight() > floor) {
       result.push_back(std::move(window));
     }

@@ -11,6 +11,16 @@
 // holding for alpha = 2 and empirically for small alpha), and the
 // additive/subtractive ECF properties recover the statistics of exactly
 // the window (t_c - h', t_c].
+//
+// Storage tiers (docs/snapshots.md): each order ring holds its newest
+// frame ("hot") as a verbatim micro-cluster array. In delta/tiered modes
+// older frames in the ring ("warm") keep only the clusters whose bits
+// differ from the next-newer frame -- reconstruction re-reads unchanged
+// clusters from the parent, so a materialized warm frame is bit-identical
+// to what the full store would have returned. In tiered mode the oldest
+// frames ("cold") beyond a byte budget are either spilled to disk through
+// an injected codec (exact) or quantized to float32 in memory (bounded
+// error, measured by bench_snapshot_memory).
 
 #ifndef UMICRO_CORE_SNAPSHOT_H_
 #define UMICRO_CORE_SNAPSHOT_H_
@@ -18,25 +28,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/cluster_feature.h"
 
 namespace umicro::core {
-
-/// Shared snapshot/pyramid configuration of the engines (sequential and
-/// sharded): how often to snapshot and how the pyramidal store retains.
-struct SnapshotPolicy {
-  /// Stream points between automatic snapshots; 0 disables automatic
-  /// snapshotting entirely (horizon queries then see only the live
-  /// state).
-  std::size_t snapshot_every = 100;
-  /// Pyramidal geometric base alpha (>= 2).
-  std::size_t pyramid_alpha = 2;
-  /// Pyramidal precision l (>= 1): alpha^l + 1 snapshots kept per order.
-  std::size_t pyramid_l = 3;
-};
 
 /// Frozen state of one micro-cluster inside a snapshot.
 struct MicroClusterState {
@@ -53,12 +52,132 @@ struct Snapshot {
   std::vector<MicroClusterState> clusters;
 };
 
+/// How the store represents retained frames.
+enum class SnapshotStoreMode : std::uint8_t {
+  /// Every frame is a verbatim micro-cluster array (the classic store).
+  kFull = 0,
+  /// Ring heads stay verbatim; older frames are delta-encoded against
+  /// their pyramid parent. Lossless: materialization is bit-identical.
+  kDelta = 1,
+  /// Delta encoding plus a byte budget: the oldest frames beyond the
+  /// budget are spilled to disk (exact) or quantized (bounded error).
+  kTiered = 2,
+};
+
+/// Disk codec for cold-frame spills, injected by the io layer (core must
+/// not depend on io). `write` persists a snapshot at `path` and returns
+/// false on any failure; `read` returns nullopt when the file is
+/// missing, corrupt, or fails its checksum.
+struct SnapshotSpillCodec {
+  std::function<bool(const Snapshot&, const std::string& path)> write;
+  std::function<std::optional<Snapshot>(const std::string& path)> read;
+
+  bool valid() const { return static_cast<bool>(write) && static_cast<bool>(read); }
+};
+
+/// Tiering configuration carried inside SnapshotPolicy.
+struct SnapshotTiering {
+  SnapshotStoreMode mode = SnapshotStoreMode::kFull;
+  /// Approximate in-memory budget for kTiered; frames are demoted to the
+  /// cold tier (oldest first) while the encoded footprint exceeds it.
+  /// 0 means "no budget": kTiered then behaves like kDelta.
+  std::size_t budget_bytes = 0;
+  /// Directory for cold-frame spill files. Empty (or an invalid codec)
+  /// keeps cold frames in memory as quantized arrays instead.
+  std::string spill_dir;
+  /// Injected disk codec (io::MakeSnapshotSpillCodec). Unset codec with a
+  /// non-empty spill_dir degrades to in-memory quantization.
+  SnapshotSpillCodec codec;
+};
+
+/// Shared snapshot/pyramid configuration of the engines (sequential and
+/// sharded): how often to snapshot and how the pyramidal store retains.
+struct SnapshotPolicy {
+  /// Stream points between automatic snapshots; 0 disables automatic
+  /// snapshotting entirely (horizon queries then see only the live
+  /// state).
+  std::size_t snapshot_every = 100;
+  /// Pyramidal geometric base alpha (>= 2).
+  std::size_t pyramid_alpha = 2;
+  /// Pyramidal precision l (>= 1): alpha^l + 1 snapshots kept per order.
+  std::size_t pyramid_l = 3;
+  /// Storage-tier configuration (full / delta / tiered).
+  SnapshotTiering tiering;
+};
+
+/// On-disk / in-memory representation of one retained frame.
+enum class FrameEncoding : std::uint8_t {
+  kFull = 0,       ///< verbatim micro-cluster array
+  kDelta = 1,      ///< ids + clusters whose bits differ from the parent
+  kQuantized = 2,  ///< float32 statistics, in memory
+  kSpilled = 3,    ///< exact frame on disk; only the header stays resident
+};
+
+/// Quantized (float32) micro-cluster arrays of one cold frame. Ids and
+/// creation times stay exact (they are identity, not statistics); every
+/// additive statistic is narrowed to float.
+struct QuantizedClusters {
+  std::size_t dims = 0;
+  std::vector<std::uint64_t> ids;
+  std::vector<double> creation_times;
+  std::vector<float> weights;
+  std::vector<float> last_updates;
+  /// Per cluster: cf1[0..d), cf2[0..d), ef2[0..d), flattened.
+  std::vector<float> values;
+};
+
+/// One retained frame in encoded form. Exactly one payload member is
+/// populated, selected by `encoding`.
+struct EncodedFrame {
+  std::uint64_t tick = 0;
+  double time = 0.0;
+  FrameEncoding encoding = FrameEncoding::kFull;
+  /// Number of micro-clusters in the materialized frame (all encodings).
+  std::size_t cluster_count = 0;
+  /// Point dimensionality of the frame's clusters (0 when empty).
+  std::size_t dims = 0;
+  /// kFull payload.
+  std::vector<MicroClusterState> full;
+  /// kDelta payload: the frame's full id sequence plus the entries whose
+  /// bit pattern differs from the parent frame's same-id entry.
+  std::vector<std::uint64_t> ids;
+  std::vector<MicroClusterState> changed;
+  /// kQuantized payload.
+  QuantizedClusters quant;
+  /// kSpilled payload: file written by the injected codec.
+  std::string spill_path;
+};
+
 /// Complete serializable state of a SnapshotStore (checkpoint/restore).
-/// `orders[i]` mirrors the store's order-i ring, oldest first; restoring
-/// it into a same-configured store reproduces retention exactly.
+/// `orders[i]` mirrors the store's order-i ring, oldest first, in encoded
+/// form; restoring into a store configured with the same alpha/l
+/// reproduces retention exactly (restore rejects a mismatch).
 struct SnapshotStoreState {
   std::uint64_t last_tick = 0;
-  std::vector<std::vector<Snapshot>> orders;
+  std::size_t alpha = 0;
+  std::size_t l = 0;
+  std::vector<std::vector<EncodedFrame>> orders;
+};
+
+/// Storage-tier accounting, queried by engines for snapshot.* metrics.
+struct SnapshotTierStats {
+  std::size_t frames = 0;
+  std::size_t full_frames = 0;
+  std::size_t delta_frames = 0;
+  std::size_t quantized_frames = 0;
+  std::size_t spilled_frames = 0;
+  /// Approximate resident bytes of the encoded frames.
+  std::size_t approx_bytes = 0;
+  /// What the same retention would occupy in the full-array store.
+  std::size_t full_equivalent_bytes = 0;
+  /// approx_bytes / full_equivalent_bytes (1.0 when empty).
+  double delta_ratio = 1.0;
+  /// Cumulative materializations of non-full frames.
+  std::uint64_t reconstructions = 0;
+  /// Cumulative frames written to / read back from / lost on disk.
+  std::uint64_t spills = 0;
+  std::uint64_t spill_loads = 0;
+  std::uint64_t spill_failures = 0;
 };
 
 /// Receiver of snapshot publications (the serve layer's read replica).
@@ -81,16 +200,19 @@ class SnapshotSink {
   virtual void PublishCurrent(const Snapshot& snapshot) = 0;
 };
 
-/// Pyramidal retention store for snapshots.
+/// Pyramidal retention store for snapshots, with tiered frame storage.
 class SnapshotStore {
  public:
   /// `alpha` >= 2 is the geometric base; `l` >= 1 controls precision:
   /// each order keeps alpha^l + 1 snapshots and horizons are then
-  /// approximable within a factor 1/alpha^l.
+  /// approximable within a factor 1/alpha^l. Default tiering keeps every
+  /// frame verbatim (the classic store).
   SnapshotStore(std::size_t alpha, std::size_t l);
+  SnapshotStore(std::size_t alpha, std::size_t l, SnapshotTiering tiering);
 
   /// Stores `snapshot`, which was taken at integer clock `tick` >= 1.
-  /// Ticks must be inserted in increasing order.
+  /// Ticks must be inserted in increasing order. In delta/tiered modes
+  /// the ring's previous head is re-encoded against the new frame.
   void Insert(std::uint64_t tick, Snapshot snapshot);
 
   /// Highest-order snapshot classification of `tick` (largest i with
@@ -98,9 +220,12 @@ class SnapshotStore {
   std::size_t OrderOf(std::uint64_t tick) const;
 
   /// Snapshot whose time is closest to `time` from below (<= time).
+  /// Frames whose spill file is missing/corrupt are skipped (the next
+  /// best candidate answers instead) and counted as spill_failures.
   std::optional<Snapshot> FindAtOrBefore(double time) const;
 
-  /// Snapshot whose time is nearest to `time` in absolute difference.
+  /// Snapshot whose time is nearest to `time` in absolute difference,
+  /// with the same skip-and-degrade behaviour on spill failures.
   std::optional<Snapshot> FindNearest(double time) const;
 
   /// Total number of snapshots currently retained (storage-cost metric).
@@ -108,15 +233,28 @@ class SnapshotStore {
 
   /// Visits every retained snapshot as (order, snapshot), oldest first
   /// within each order ring (replica priming after recovery/attach).
-  template <typename Fn>
-  void ForEach(Fn&& fn) const {
-    for (std::size_t order = 0; order < orders_.size(); ++order) {
-      for (const auto& snapshot : orders_[order]) fn(order, snapshot);
-    }
-  }
+  /// Frames that fail to materialize (lost spill files) are skipped.
+  void ForEach(
+      const std::function<void(std::size_t, const Snapshot&)>& fn) const;
 
   /// Number of order levels currently in use.
   std::size_t NumOrders() const { return orders_.size(); }
+
+  /// Frames retained in order ring `order`.
+  std::size_t OrderSize(std::size_t order) const {
+    return orders_[order].size();
+  }
+
+  /// Encoded form of frame `index` (oldest first) of ring `order`;
+  /// exposed for tests and byte accounting.
+  const EncodedFrame& FrameAt(std::size_t order, std::size_t index) const {
+    return orders_[order][index];
+  }
+
+  /// Materializes frame `index` of ring `order`. nullopt only when the
+  /// frame is spilled and its file is missing or corrupt.
+  std::optional<Snapshot> MaterializeFrame(std::size_t order,
+                                           std::size_t index) const;
 
   /// Per-order retention capacity: alpha^l + 1.
   std::size_t CapacityPerOrder() const { return capacity_per_order_; }
@@ -124,20 +262,76 @@ class SnapshotStore {
   /// Geometric base alpha.
   std::size_t alpha() const { return alpha_; }
 
-  /// Captures the complete retention state for checkpointing.
+  /// Pyramidal precision l.
+  std::size_t l() const { return l_; }
+
+  /// Active tiering configuration.
+  const SnapshotTiering& tiering() const { return tiering_; }
+
+  /// Storage-tier accounting (byte totals recomputed on call; counters
+  /// are cumulative since construction/restore).
+  SnapshotTierStats TierStats() const;
+
+  /// Captures the complete retention state for checkpointing. Frames are
+  /// exported in their encoded form (deltas stay deltas).
   SnapshotStoreState ExportState() const;
 
   /// Restores a previously exported state, replacing current contents.
-  /// The store must be configured with the same alpha/l the state was
-  /// exported under for retention to continue identically.
-  void RestoreState(const SnapshotStoreState& state);
+  /// Fails fast (returning false, with a diagnostic in `*error` when
+  /// non-null) if the state was exported under a different alpha/l or
+  /// violates ring invariants -- restoring such a state would silently
+  /// truncate or overfill the order rings. On failure the store is left
+  /// unchanged.
+  [[nodiscard]] bool RestoreState(const SnapshotStoreState& state,
+                                  std::string* error = nullptr);
 
  private:
+  /// Re-encodes the given kFull frame as a delta against `parent` (the
+  /// next-newer frame's materialized contents).
+  static void EncodeDelta(EncodedFrame& frame, const Snapshot& parent);
+
+  /// Materializes a frame that does not depend on a parent (kFull,
+  /// kQuantized, kSpilled). nullopt on spill read failure.
+  std::optional<Snapshot> MaterializeSelfContained(
+      const EncodedFrame& frame) const;
+
+  /// Materializes frame `index` of `ring`, resolving delta chains
+  /// rightwards (towards newer frames).
+  std::optional<Snapshot> MaterializeIndex(const std::deque<EncodedFrame>& ring,
+                                           std::size_t index) const;
+
+  /// Demotes the globally oldest warm/hot (non-head) frame to the cold
+  /// tier; returns false when no frame is eligible.
+  bool DemoteOldestToCold();
+
+  /// Enforces tiering_.budget_bytes by repeated demotion.
+  void EnforceBudget();
+
+  /// Drops the oldest frame of `ring`, deleting its spill file if any.
+  void EvictFront(std::deque<EncodedFrame>& ring);
+
+  /// Approximate resident bytes of one encoded frame.
+  static std::size_t FrameBytes(const EncodedFrame& frame);
+
+  /// Bytes the frame would occupy in the full-array store.
+  static std::size_t FullEquivalentBytes(const EncodedFrame& frame);
+
+  std::size_t ApproxBytes() const;
+
   std::size_t alpha_;
+  std::size_t l_;
   std::size_t capacity_per_order_;
+  SnapshotTiering tiering_;
   std::uint64_t last_tick_ = 0;
+  std::uint64_t spill_serial_ = 0;
   /// orders_[i] holds the most recent snapshots of order i, oldest first.
-  std::vector<std::deque<Snapshot>> orders_;
+  std::vector<std::deque<EncodedFrame>> orders_;
+  /// Cumulative tier counters (mutated on const query paths; the store
+  /// has a single-threaded ownership contract).
+  mutable std::uint64_t reconstructions_ = 0;
+  mutable std::uint64_t spills_ = 0;
+  mutable std::uint64_t spill_loads_ = 0;
+  mutable std::uint64_t spill_failures_ = 0;
 };
 
 /// Horizon extraction via subtractivity: returns the micro-cluster
@@ -160,7 +354,11 @@ class SnapshotStore {
 /// below a small fraction of the (scaled) subtracted weight, i.e. pure
 /// floating-point cancellation noise -- are dropped; keeping them used
 /// to hand macro-clustering centroids at noise/noise coordinates far
-/// outside the data bounding box.
+/// outside the data bounding box. When the gap is long enough that the
+/// older snapshot's mass has fully decayed (zero or denormal scaled
+/// weight), nothing is subtracted and clusters whose own weight has also
+/// decayed away are dropped, so the window comes back empty instead of
+/// populated with denormal-noise centroids.
 std::vector<MicroClusterState> SubtractSnapshot(const Snapshot& current,
                                                 const Snapshot& older,
                                                 double decay_lambda = 0.0);

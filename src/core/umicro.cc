@@ -97,6 +97,18 @@ void UMicro::ApplyDecay(double now) {
   // All statistics decay at the shared rate 2^(-lambda) per time unit
   // (Section II-E); one factor therefore applies to every cluster.
   const double factor = std::exp2(-options_.decay_lambda * dt);
+  if (factor < std::numeric_limits<double>::min()) {
+    // The gap was long enough to underflow the factor to zero or
+    // denormal: every statistic is fully decayed. Scaling by such a
+    // factor would leave denormal dust (or trip the scale kernel's
+    // positivity contract), so the cluster set is dropped outright --
+    // the stream effectively restarts after the gap.
+    clusters_.clear();
+    table_.Reset(dimensions_);
+    if (assign_index_ != nullptr) assign_index_->Invalidate();
+    last_decay_time_ = now;
+    return;
+  }
   for (auto& cluster : clusters_) cluster.Decay(factor);
   // Mirror the decay in the SoA table (bit-identical scale kernel).
   table_.ScaleAll(factor);

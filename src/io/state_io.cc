@@ -310,6 +310,193 @@ bool ParseUMicroStateBody(std::istream& in, core::UMicroState* out) {
   return true;
 }
 
+const char* FrameEncodingTag(core::FrameEncoding encoding) {
+  switch (encoding) {
+    case core::FrameEncoding::kFull: return "full";
+    case core::FrameEncoding::kDelta: return "delta";
+    case core::FrameEncoding::kQuantized: return "quant";
+    case core::FrameEncoding::kSpilled: return "spill";
+  }
+  return "full";
+}
+
+/// Floats are printed with 9 significant digits, which round-trips
+/// float32 exactly through the double-typed text parse.
+void AppendFloat(std::ostringstream& out, float value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", static_cast<double>(value));
+  out << buffer;
+}
+
+/// Serializes the tiered store: per-frame lines carrying the frame's
+/// tick, time, encoding, cluster count, and dimensionality, with an
+/// encoding-specific payload. Delta frames ship only their changed
+/// clusters, which is what shrinks per-tenant checkpoint bytes.
+void AppendSnapshotStoreState(std::ostringstream& out,
+                              const core::SnapshotStoreState& store) {
+  out << "store " << store.last_tick << ' ' << store.alpha << ' ' << store.l
+      << ' ' << store.orders.size() << "\n";
+  for (const auto& order : store.orders) {
+    out << "order " << order.size() << "\n";
+    for (const auto& frame : order) {
+      out << "frame " << frame.tick << ' ';
+      AppendDouble(out, frame.time);
+      out << ' ' << FrameEncodingTag(frame.encoding) << ' '
+          << frame.cluster_count << ' ' << frame.dims << "\n";
+      switch (frame.encoding) {
+        case core::FrameEncoding::kFull:
+          for (const auto& cluster : frame.full) {
+            AppendClusterState(out, cluster);
+          }
+          break;
+        case core::FrameEncoding::kDelta: {
+          out << "ids";
+          for (std::uint64_t id : frame.ids) out << ' ' << id;
+          out << "\n";
+          out << "changed " << frame.changed.size() << "\n";
+          for (const auto& cluster : frame.changed) {
+            AppendClusterState(out, cluster);
+          }
+          break;
+        }
+        case core::FrameEncoding::kQuantized: {
+          const auto& q = frame.quant;
+          for (std::size_t i = 0; i < q.ids.size(); ++i) {
+            out << q.ids[i] << ' ';
+            AppendDouble(out, q.creation_times[i]);
+            out << ' ';
+            AppendFloat(out, q.weights[i]);
+            out << ' ';
+            AppendFloat(out, q.last_updates[i]);
+            for (std::size_t v = 0; v < 3 * q.dims; ++v) {
+              out << ' ';
+              AppendFloat(out, q.values[i * 3 * q.dims + v]);
+            }
+            out << "\n";
+          }
+          break;
+        }
+        case core::FrameEncoding::kSpilled:
+          out << "path " << frame.spill_path << "\n";
+          break;
+      }
+    }
+  }
+}
+
+/// Parses one encoded frame (after the "frame" keyword was consumed).
+bool ParseEncodedFrame(std::istream& in, std::size_t engine_dims,
+                       core::EncodedFrame* out) {
+  core::EncodedFrame frame;
+  std::string tag;
+  if (!(in >> frame.tick) || frame.tick == 0 ||
+      !ReadFinite(in, &frame.time) || !(in >> tag) ||
+      !(in >> frame.cluster_count) || frame.cluster_count > kMaxClusters ||
+      !(in >> frame.dims) || frame.dims > kMaxDims) {
+    return false;
+  }
+  // A frame's clusters share the engine's dimensionality (empty frames
+  // carry dims 0); anything else cannot have come from our writer.
+  if (frame.cluster_count > 0 && frame.dims != engine_dims) return false;
+  if (frame.cluster_count == 0 && frame.dims != 0 &&
+      frame.dims != engine_dims) {
+    return false;
+  }
+  if (tag == "full") {
+    frame.encoding = core::FrameEncoding::kFull;
+    frame.full.reserve(frame.cluster_count);
+    for (std::size_t c = 0; c < frame.cluster_count; ++c) {
+      core::MicroClusterState cluster;
+      if (!ParseClusterState(in, frame.dims, &cluster)) return false;
+      frame.full.push_back(std::move(cluster));
+    }
+  } else if (tag == "delta") {
+    frame.encoding = core::FrameEncoding::kDelta;
+    std::string key;
+    if (!(in >> key) || key != "ids") return false;
+    frame.ids.resize(frame.cluster_count);
+    for (std::uint64_t& id : frame.ids) {
+      if (!(in >> id)) return false;
+    }
+    std::size_t changed_count = 0;
+    if (!(in >> key >> changed_count) || key != "changed" ||
+        changed_count > frame.cluster_count) {
+      return false;
+    }
+    frame.changed.reserve(changed_count);
+    for (std::size_t c = 0; c < changed_count; ++c) {
+      core::MicroClusterState cluster;
+      if (!ParseClusterState(in, frame.dims, &cluster)) return false;
+      frame.changed.push_back(std::move(cluster));
+    }
+  } else if (tag == "quant") {
+    frame.encoding = core::FrameEncoding::kQuantized;
+    auto& q = frame.quant;
+    q.dims = frame.dims;
+    q.ids.resize(frame.cluster_count);
+    q.creation_times.resize(frame.cluster_count);
+    q.weights.resize(frame.cluster_count);
+    q.last_updates.resize(frame.cluster_count);
+    q.values.resize(frame.cluster_count * 3 * q.dims);
+    for (std::size_t i = 0; i < frame.cluster_count; ++i) {
+      double weight = 0.0;
+      double last_update = 0.0;
+      if (!(in >> q.ids[i]) || !ReadFinite(in, &q.creation_times[i]) ||
+          !ReadFinite(in, &weight) || weight < 0.0 ||
+          !ReadFinite(in, &last_update)) {
+        return false;
+      }
+      q.weights[i] = static_cast<float>(weight);
+      q.last_updates[i] = static_cast<float>(last_update);
+      for (std::size_t v = 0; v < 3 * q.dims; ++v) {
+        double value = 0.0;
+        if (!ReadFinite(in, &value)) return false;
+        q.values[i * 3 * q.dims + v] = static_cast<float>(value);
+      }
+    }
+  } else if (tag == "spill") {
+    frame.encoding = core::FrameEncoding::kSpilled;
+    std::string key;
+    if (!(in >> key) || key != "path") return false;
+    std::string path;
+    std::getline(in, path);
+    if (!path.empty() && path.front() == ' ') path.erase(0, 1);
+    if (path.empty()) return false;
+    frame.spill_path = std::move(path);
+  } else {
+    return false;
+  }
+  *out = std::move(frame);
+  return true;
+}
+
+/// Parses the store section written by AppendSnapshotStoreState.
+bool ParseSnapshotStoreState(std::istream& in, std::size_t engine_dims,
+                             core::SnapshotStoreState* out) {
+  std::string key;
+  std::size_t order_count = 0;
+  if (!(in >> key >> out->last_tick >> out->alpha >> out->l >> order_count) ||
+      key != "store" || order_count > kMaxOrders) {
+    return false;
+  }
+  out->orders.resize(order_count);
+  for (auto& order : out->orders) {
+    std::size_t frame_count = 0;
+    if (!(in >> key >> frame_count) || key != "order" ||
+        frame_count > kMaxSnapshotsPerOrder) {
+      return false;
+    }
+    order.reserve(frame_count);
+    for (std::size_t f = 0; f < frame_count; ++f) {
+      if (!(in >> key) || key != "frame") return false;
+      core::EncodedFrame frame;
+      if (!ParseEncodedFrame(in, engine_dims, &frame)) return false;
+      order.push_back(std::move(frame));
+    }
+  }
+  return true;
+}
+
 /// Everything after the checkpoint header line.
 std::string EngineCheckpointBody(const core::EngineState& state) {
   std::ostringstream out;
@@ -328,19 +515,7 @@ std::string EngineCheckpointBody(const core::EngineState& state) {
   for (const auto& cluster : state.global_clusters) {
     AppendMicroCluster(out, cluster);
   }
-  out << "store " << state.store.last_tick << ' ' << state.store.orders.size()
-      << "\n";
-  for (const auto& order : state.store.orders) {
-    out << "order " << order.size() << "\n";
-    for (const auto& snapshot : order) {
-      out << "snapshot ";
-      AppendDouble(out, snapshot.time);
-      out << ' ' << snapshot.clusters.size() << "\n";
-      for (const auto& cluster : snapshot.clusters) {
-        AppendClusterState(out, cluster);
-      }
-    }
-  }
+  AppendSnapshotStoreState(out, state.store);
   out << "counters " << state.counters.size() << "\n";
   for (const auto& [name, value] : state.counters) {
     out << name << ' ';
@@ -618,37 +793,8 @@ std::optional<core::EngineState> ParseEngineState(const std::string& text) {
     state.global_clusters.push_back(std::move(cluster));
   }
 
-  std::size_t order_count = 0;
-  if (!(in >> key >> state.store.last_tick >> order_count) ||
-      key != "store" || order_count > kMaxOrders) {
+  if (!ParseSnapshotStoreState(in, state.dimensions, &state.store)) {
     return std::nullopt;
-  }
-  state.store.orders.resize(order_count);
-  for (auto& order : state.store.orders) {
-    std::size_t snapshot_count = 0;
-    if (!(in >> key >> snapshot_count) || key != "order" ||
-        snapshot_count > kMaxSnapshotsPerOrder) {
-      return std::nullopt;
-    }
-    order.reserve(snapshot_count);
-    for (std::size_t s = 0; s < snapshot_count; ++s) {
-      core::Snapshot snapshot;
-      std::size_t cluster_count = 0;
-      if (!(in >> key) || key != "snapshot" ||
-          !ReadFinite(in, &snapshot.time) || !(in >> cluster_count) ||
-          cluster_count > kMaxClusters) {
-        return std::nullopt;
-      }
-      snapshot.clusters.reserve(cluster_count);
-      for (std::size_t c = 0; c < cluster_count; ++c) {
-        core::MicroClusterState cluster;
-        if (!ParseClusterState(in, state.dimensions, &cluster)) {
-          return std::nullopt;
-        }
-        snapshot.clusters.push_back(std::move(cluster));
-      }
-      order.push_back(std::move(snapshot));
-    }
   }
 
   if (!ParseMetricCells(in, "counters", &state.counters)) return std::nullopt;

@@ -1,6 +1,7 @@
 #include "parallel/parallel_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "obs/scoped_timer.h"
@@ -12,11 +13,35 @@ ParallelUMicroEngine::ParallelUMicroEngine(std::size_t dimensions,
                                            ParallelEngineOptions options)
     : options_(options),
       sharded_(dimensions, options.sharded),
-      store_(options.snapshot.pyramid_alpha, options.snapshot.pyramid_l),
+      store_(options.snapshot.pyramid_alpha, options.snapshot.pyramid_l,
+             options.snapshot.tiering),
       snapshot_micros_(
           &sharded_.metrics().GetHistogram("snapshot.take_micros")),
       snapshots_taken_(&sharded_.metrics().GetCounter("snapshot.taken")),
-      snapshots_stored_(&sharded_.metrics().GetGauge("snapshot.stored")) {}
+      snapshots_stored_(&sharded_.metrics().GetGauge("snapshot.stored")),
+      snapshot_bytes_(&sharded_.metrics().GetGauge("snapshot.bytes")),
+      snapshot_frames_(&sharded_.metrics().GetGauge("snapshot.frames")),
+      snapshot_delta_ratio_(
+          &sharded_.metrics().GetGauge("snapshot.delta_ratio")),
+      snapshot_reconstructions_(
+          &sharded_.metrics().GetCounter("snapshot.reconstructions")),
+      snapshot_spills_(&sharded_.metrics().GetCounter("snapshot.spills")) {}
+
+void ParallelUMicroEngine::PublishStoreMetrics() {
+  const core::SnapshotTierStats stats = store_.TierStats();
+  snapshot_bytes_->Set(static_cast<double>(stats.approx_bytes));
+  snapshot_frames_->Set(static_cast<double>(stats.frames));
+  snapshot_delta_ratio_->Set(stats.delta_ratio);
+  if (stats.reconstructions > published_reconstructions_) {
+    snapshot_reconstructions_->Increment(stats.reconstructions -
+                                         published_reconstructions_);
+    published_reconstructions_ = stats.reconstructions;
+  }
+  if (stats.spills > published_spills_) {
+    snapshot_spills_->Increment(stats.spills - published_spills_);
+    published_spills_ = stats.spills;
+  }
+}
 
 void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
   // Sharded replay can deliver out-of-order arrivals; the engine clock
@@ -37,6 +62,7 @@ void ParallelUMicroEngine::Process(const stream::UncertainPoint& point) {
     since_snapshot_ = 0;
     snapshots_taken_->Increment();
     snapshots_stored_->Set(static_cast<double>(store_.TotalStored()));
+    PublishStoreMetrics();
   }
 }
 
@@ -92,8 +118,15 @@ bool ParallelUMicroEngine::RestoreEngineState(const core::EngineState& state) {
   pipeline.global_clusters = state.global_clusters;
   pipeline.points_ingested = state.points_ingested;
   pipeline.next_round_robin = state.next_round_robin;
+  // Validate the store first: a retention-geometry mismatch must reject
+  // the whole restore before any pipeline state is overwritten.
+  std::string store_error;
+  if (!store_.RestoreState(state.store, &store_error)) {
+    std::fprintf(stderr, "engine restore rejected: %s\n",
+                 store_error.c_str());
+    return false;
+  }
   if (!sharded_.RestorePipelineState(pipeline)) return false;
-  store_.RestoreState(state.store);
   next_tick_ = state.next_tick;
   since_snapshot_ = static_cast<std::size_t>(state.since_snapshot);
   last_timestamp_ = state.last_timestamp;
@@ -106,9 +139,11 @@ std::optional<core::HorizonClustering> ParallelUMicroEngine::ClusterRecent(
   if (sharded_.points_processed() == 0) return std::nullopt;
   sharded_.Flush();
   const core::Snapshot current = sharded_.GlobalSnapshot(last_timestamp_);
-  return core::ClusterOverHorizon(store_, current, horizon, options,
-                                  &sharded_.metrics(),
-                                  options_.sharded.umicro.decay_lambda);
+  auto result = core::ClusterOverHorizon(store_, current, horizon, options,
+                                         &sharded_.metrics(),
+                                         options_.sharded.umicro.decay_lambda);
+  PublishStoreMetrics();
+  return result;
 }
 
 }  // namespace umicro::parallel

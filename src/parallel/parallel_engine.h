@@ -36,8 +36,13 @@ struct ParallelEngineOptions {
   /// drain + merge, so the cadence default (8192, vs the sequential
   /// engine's 100) stays well above the per-point cost you are willing
   /// to amortize.
-  core::SnapshotPolicy snapshot{/*snapshot_every=*/8192,
-                                /*pyramid_alpha=*/2, /*pyramid_l=*/3};
+  core::SnapshotPolicy snapshot = [] {
+    core::SnapshotPolicy policy;
+    policy.snapshot_every = 8192;
+    policy.pyramid_alpha = 2;
+    policy.pyramid_l = 3;
+    return policy;
+  }();
 };
 
 /// Sharded online clustering with historical horizon queries.
@@ -90,9 +95,20 @@ class ParallelUMicroEngine : public core::ClusteringEngine {
   ShardedUMicro sharded_;
   core::SnapshotStore store_;
   core::SnapshotSink* sink_ = nullptr;
+  /// Refreshes the snapshot.{bytes,frames,delta_ratio} gauges and feeds
+  /// the store's cumulative counters into the registry as deltas.
+  void PublishStoreMetrics();
+
   obs::Histogram* snapshot_micros_;
   obs::Counter* snapshots_taken_;
   obs::Gauge* snapshots_stored_;
+  obs::Gauge* snapshot_bytes_;
+  obs::Gauge* snapshot_frames_;
+  obs::Gauge* snapshot_delta_ratio_;
+  obs::Counter* snapshot_reconstructions_;
+  obs::Counter* snapshot_spills_;
+  std::uint64_t published_reconstructions_ = 0;
+  std::uint64_t published_spills_ = 0;
   std::uint64_t next_tick_ = 1;
   std::size_t since_snapshot_ = 0;
   double last_timestamp_ = 0.0;

@@ -160,6 +160,11 @@ QueryResponse QueryBroker::ExecuteClusterRecent(
   if (older == nullptr) {
     older = SnapshotReadReplica::FindNearest(
         state, state.current->time - request.horizon);
+    // Horizon predates the replica's retention: flag the clamped answer
+    // (mirrors the engine-side snapshot.horizon_clamped counter).
+    if (older != nullptr && metrics_ != nullptr) {
+      metrics_->GetCounter("snapshot.horizon_clamped").Increment();
+    }
   }
   if (older == nullptr || older->time > state.current->time) return response;
   core::MacroClusteringOptions macro = options_.macro;

@@ -152,6 +152,31 @@ TEST_F(CheckpointTest, RecoverySkipsIncompatibleCheckpoint) {
   EXPECT_EQ(recovered.engine->points_processed(), 0u);
 }
 
+TEST_F(CheckpointTest, RecoveryRefusesMismatchedPyramidGeometry) {
+  const std::string dir = FreshDir("checkpoint_pyramid_mismatch");
+  const auto dataset = RandomStream(1000, 9);
+  auto engine = MakeEngine();  // pyramid defaults: alpha=2, l=3
+  for (const auto& point : dataset.points()) engine->Process(point);
+  CheckpointManager manager(dir, CheckpointPolicy{});
+  ASSERT_TRUE(manager.CheckpointNow(*engine));
+
+  // Same kind and dimensions, different pyramid precision: restoring
+  // would silently truncate/overfill the order rings, so the store's
+  // geometry check must refuse the state and recovery must fall back to
+  // a fresh engine instead of a half-restored one.
+  const RecoveredEngine recovered = RecoverOrCreateEngine(dir, [] {
+    core::EngineOptions options;
+    options.umicro.num_micro_clusters = 20;
+    options.snapshot.snapshot_every = 256;
+    options.snapshot.pyramid_l = 2;
+    return std::make_unique<core::UMicroEngine>(3, options);
+  });
+  ASSERT_NE(recovered.engine, nullptr);
+  EXPECT_FALSE(recovered.recovered);
+  EXPECT_EQ(recovered.corrupt_skipped, 1u);
+  EXPECT_EQ(recovered.engine->points_processed(), 0u);
+}
+
 TEST_F(CheckpointTest, SequenceContinuesAcrossManagers) {
   const std::string dir = FreshDir("checkpoint_sequence");
   const auto dataset = RandomStream(100, 5);

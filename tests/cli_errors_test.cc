@@ -206,6 +206,34 @@ TEST(CliErrorsTest, MalformedStandbyList) {
                    "malformed --standby list");
 }
 
+TEST(CliErrorsTest, UnknownSnapshotStoreMode) {
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--snapshot-store=bogus",
+                   "unknown --snapshot-store");
+}
+
+TEST(CliErrorsTest, SnapshotBudgetRequiresTieredStore) {
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--snapshot-budget-mb=8",
+                   "require --snapshot-store=tiered");
+  ExpectUsageError("--synthetic=syndrift --points=100 "
+                   "--snapshot-store=delta --snapshot-budget-mb=8",
+                   "require --snapshot-store=tiered");
+  ExpectUsageError("--synthetic=syndrift --points=100 --snapshot-spill-dir=" +
+                       testing::TempDir() + "/cli_spill",
+                   "require --snapshot-store=tiered");
+}
+
+TEST(CliErrorsTest, UnusableSnapshotSpillDir) {
+  const std::string blocker = testing::TempDir() + "/cli_spill_blocker";
+  std::ofstream(blocker) << "x";
+  ExpectEnvironmentError("--synthetic=syndrift --points=100 "
+                         "--snapshot-store=tiered --snapshot-spill-dir=" +
+                             blocker + "/nested",
+                         "cannot create --snapshot-spill-dir");
+  std::remove(blocker.c_str());
+}
+
 TEST(CliErrorsTest, MissingInputFile) {
   ExpectEnvironmentError("--input=/no/such/file.csv",
                          "input file not found");

@@ -21,6 +21,7 @@
 #include "core/engine.h"
 #include "core/horizon.h"
 #include "core/snapshot.h"
+#include "obs/metrics.h"
 #include "stream/point.h"
 #include "util/random.h"
 
@@ -292,6 +293,105 @@ TEST(HorizonBoundingBoxTest, MacroCentroidsStayInsideDataBounds) {
       }
     }
   }
+}
+
+/// Long-gap regression: when the stream pauses long enough that the
+/// elapsed decay factor underflows to denormal or zero, the older
+/// snapshot's mass is fully gone. Pre-fix, the denormal-scaled
+/// subtraction left denormal-dust residuals whose centroids (dust/dust)
+/// were numeric noise; the window must instead come back empty.
+TEST(SubtractSnapshotTest, FullyDecayedGapYieldsEmptyWindowNotNoise) {
+  const std::size_t dims = 2;
+  ErrorClusterFeature old_mass(dims);
+  old_mass.AddPoint(UncertainPoint({1.0, 2.0}, {0.1, 0.1}, 10.0));
+  Snapshot older;
+  older.time = 10.0;
+  older.clusters.push_back({1, 0.0, old_mass});
+
+  // Gaps chosen so 2^(-lambda dt) is denormal (2^-1050) and exactly
+  // zero (2^-2000): both count as fully decayed.
+  for (const double gap : {1050.0 / 0.01, 2000.0 / 0.01}) {
+    Snapshot current;
+    current.time = older.time + gap;
+    ErrorClusterFeature live(old_mass);
+    live.Scale(std::exp2(-0.01 * gap));  // what global decay did live
+    current.clusters.push_back({1, 0.0, live});
+
+    const auto window = SubtractSnapshot(current, older, 0.01);
+    EXPECT_TRUE(window.empty()) << "gap " << gap;
+  }
+}
+
+/// The same gap end-to-end: after a full-decay pause, a horizon window
+/// contains exactly the fresh post-gap mass, never ghost centroids from
+/// the decayed-away era.
+TEST(HorizonLongGapTest, WindowAfterFullDecayGapIsFreshMassOnly) {
+  const std::size_t dims = 2;
+  EngineOptions options;
+  options.umicro.num_micro_clusters = 32;
+  options.umicro.decay_lambda = 0.05;
+  options.snapshot.snapshot_every = 10;
+  UMicroEngine engine(dims, options);
+
+  util::Rng rng(99);
+  for (std::size_t i = 1; i <= 300; ++i) {
+    engine.Process(UncertainPoint(
+        {rng.Uniform(-1.0, 1.0), rng.Uniform(-1.0, 1.0)},
+        {rng.Uniform(0.0, 0.2), rng.Uniform(0.0, 0.2)},
+        static_cast<double>(i)));
+  }
+  // The pause: 2^(-0.05 * ~200000) underflows far past denormals.
+  const double resume = 200000.0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    engine.Process(UncertainPoint(
+        {50.0 + rng.Uniform(-0.5, 0.5), 50.0 + rng.Uniform(-0.5, 0.5)},
+        {0.1, 0.1}, resume + static_cast<double>(i)));
+  }
+
+  MacroClusteringOptions macro;
+  macro.k = 1;
+  for (const double horizon : {100.0, 10000.0, 1e6}) {
+    const auto result = engine.ClusterRecent(horizon, macro);
+    ASSERT_TRUE(result.has_value()) << "horizon " << horizon;
+    ASSERT_EQ(result->macro.centroids.size(), 1u);
+    for (std::size_t j = 0; j < dims; ++j) {
+      EXPECT_NEAR(result->macro.centroids[0][j], 50.0, 1.0)
+          << "horizon " << horizon;
+    }
+  }
+}
+
+/// Satellite of the clamped-fallback fix: a horizon that predates all
+/// retained frames falls back to the nearest (oldest) snapshot, and the
+/// clamp is surfaced twice -- realized_ratio < 1 on the result and the
+/// snapshot.horizon_clamped counter in the engine registry.
+TEST(HorizonSelectionTest, ClampedFallbackIncrementsCounter) {
+  const std::size_t dims = 1;
+  EngineOptions options;
+  options.umicro.num_micro_clusters = 8;
+  options.snapshot.snapshot_every = 10;
+  UMicroEngine engine(dims, options);
+  for (std::size_t i = 1; i <= 200; ++i) {
+    engine.Process(UncertainPoint(std::vector<double>{i % 5 * 1.0},
+                                  std::vector<double>{0.1},
+                                  static_cast<double>(i)));
+  }
+  MacroClusteringOptions macro;
+  macro.k = 2;
+  const obs::Counter& clamped =
+      engine.metrics().GetCounter("snapshot.horizon_clamped");
+
+  // Well-covered horizon: no clamp.
+  ASSERT_TRUE(engine.ClusterRecent(50.0, macro).has_value());
+  EXPECT_EQ(clamped.value(), 0u);
+
+  // Horizon beyond retention: clamped, counted, honestly reported.
+  const auto over = engine.ClusterRecent(1e6, macro);
+  ASSERT_TRUE(over.has_value());
+  EXPECT_LT(over->realized_ratio, 1.0);
+  EXPECT_EQ(clamped.value(), 1u);
+  ASSERT_TRUE(engine.ClusterRecent(5e5, macro).has_value());
+  EXPECT_EQ(clamped.value(), 2u);
 }
 
 /// Selection policy: at-or-before preferred (realized >= requested);

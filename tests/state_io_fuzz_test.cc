@@ -17,7 +17,9 @@
 
 #include "baseline/clustream.h"
 #include "core/engine.h"
+#include "core/snapshot.h"
 #include "core/umicro.h"
+#include "io/snapshot_io.h"
 #include "stream/dataset.h"
 #include "util/random.h"
 
@@ -152,6 +154,87 @@ TEST(StateIoFuzzTest, EngineParserSurvivesRandomSplices) {
     // Splices damage the body, so the checksum must reject them too --
     // but the property that matters here is surviving arbitrary bytes.
     EXPECT_FALSE(ParseEngineState(SpliceJunk(clean, rng)).has_value());
+  }
+}
+
+std::string TieredEngineText(core::SnapshotStoreMode mode) {
+  core::EngineOptions options;
+  options.umicro.num_micro_clusters = 15;
+  options.snapshot.snapshot_every = 16;
+  options.snapshot.pyramid_l = 2;
+  options.snapshot.tiering.mode = mode;
+  if (mode == core::SnapshotStoreMode::kTiered) {
+    // A small budget with no codec: cold frames quantize in memory, so
+    // the serialized state carries all three frame grammars.
+    options.snapshot.tiering.budget_bytes = 2048;
+  }
+  core::UMicroEngine engine(3, options);
+  const stream::Dataset dataset = RandomStream(600, 14);
+  for (const auto& point : dataset.points()) engine.Process(point);
+  return EngineStateToString(engine.ExportEngineState());
+}
+
+TEST(StateIoFuzzTest, ChecksumRejectsCorruptionOfDeltaAndTieredStates) {
+  for (const core::SnapshotStoreMode mode :
+       {core::SnapshotStoreMode::kDelta, core::SnapshotStoreMode::kTiered}) {
+    const std::string clean = TieredEngineText(mode);
+    ASSERT_TRUE(ParseEngineState(clean).has_value());
+    // The state really exercises the new frame grammars -- otherwise
+    // this fuzz pass proves nothing new. In tiered mode the tiny budget
+    // demotes every warm frame, so the text carries quantized frames;
+    // in delta mode it carries delta frames.
+    if (mode == core::SnapshotStoreMode::kTiered) {
+      ASSERT_NE(clean.find(" quant "), std::string::npos);
+    } else {
+      ASSERT_NE(clean.find(" delta "), std::string::npos);
+    }
+    util::Rng rng(106);
+    for (int i = 0; i < 300; ++i) {
+      const std::size_t offset = rng.NextBounded(clean.size());
+      EXPECT_FALSE(ParseEngineState(FlipOneByte(clean, offset, rng))
+                       .has_value())
+          << "flip at offset " << offset << " went undetected";
+    }
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_FALSE(
+          ParseEngineState(clean.substr(0, rng.NextBounded(clean.size())))
+              .has_value());
+      EXPECT_FALSE(ParseEngineState(SpliceJunk(clean, rng)).has_value());
+    }
+  }
+}
+
+TEST(StateIoFuzzTest, SpillFrameRejectsEveryByteFlipAndHostileInput) {
+  core::Snapshot snapshot;
+  snapshot.time = 7.5;
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    core::MicroClusterState state;
+    state.id = id;
+    state.creation_time = 1.0;
+    state.ecf = core::ErrorClusterFeature::FromPoint(
+        stream::UncertainPoint({1.0 + id, 2.0, 3.0}, {0.1, 0.1, 0.1}, 7.0),
+        2.0);
+    snapshot.clusters.push_back(std::move(state));
+  }
+  const std::string clean = SpillFrameToString(snapshot);
+  ASSERT_TRUE(ParseSpillFrame(clean).has_value());
+
+  util::Rng rng(107);
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t offset = rng.NextBounded(clean.size());
+    EXPECT_FALSE(ParseSpillFrame(FlipOneByte(clean, offset, rng))
+                     .has_value())
+        << "flip at offset " << offset << " went undetected";
+    EXPECT_FALSE(
+        ParseSpillFrame(clean.substr(0, rng.NextBounded(clean.size())))
+            .has_value());
+  }
+  for (const std::string& hostile :
+       {std::string(""), std::string("usnapf"), std::string("usnapf 1\n"),
+        std::string("usnapf 1 zzzz\nusnap 1\n"),
+        std::string("usnapf 2 0000000000000000\n"),
+        std::string("usnapf 1 0000000000000000\nusnap 1\n")}) {
+    EXPECT_FALSE(ParseSpillFrame(hostile).has_value());
   }
 }
 

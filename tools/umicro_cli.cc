@@ -60,6 +60,7 @@
 #include "io/arff_dataset.h"
 #include "io/csv_dataset.h"
 #include "io/load_stats.h"
+#include "io/snapshot_io.h"
 #include "io/state_io.h"
 #include "net/chaos.h"
 #include "net/socket.h"
@@ -108,6 +109,13 @@ struct CliOptions {
   std::string backpressure = "block";
   std::size_t queue_capacity = 1024;
   std::size_t snapshot_every = 4096;
+  // Pyramidal store encoding (docs/snapshots.md). Empty keeps each
+  // context's own default: full for standalone engines, delta in the
+  // fleet.
+  std::string snapshot_store;
+  std::size_t snapshot_budget_mb = 64;
+  bool snapshot_budget_set = false;
+  std::string snapshot_spill_dir;
   std::string metrics_out;
   std::size_t metrics_every = 0;
   std::string checkpoint_dir;
@@ -159,6 +167,25 @@ bool ParseFlag(const std::string& arg, const char* name,
   return true;
 }
 
+/// Maps the --snapshot-store flags onto the store's tiering
+/// configuration. Call only after the fail-fast validation accepted the
+/// combination; an empty --snapshot-store yields the full-store default.
+umicro::core::SnapshotTiering MakeTiering(const CliOptions& cli) {
+  umicro::core::SnapshotTiering tiering;
+  if (cli.snapshot_store == "delta") {
+    tiering.mode = umicro::core::SnapshotStoreMode::kDelta;
+  } else if (cli.snapshot_store == "tiered") {
+    tiering.mode = umicro::core::SnapshotStoreMode::kTiered;
+    tiering.budget_bytes =
+        cli.snapshot_budget_mb * std::size_t{1024} * std::size_t{1024};
+    if (!cli.snapshot_spill_dir.empty()) {
+      tiering.spill_dir = cli.snapshot_spill_dir;
+      tiering.codec = umicro::io::MakeSnapshotSpillCodec();
+    }
+  }
+  return tiering;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
@@ -189,6 +216,15 @@ void PrintUsage() {
       "  --queue-capacity=N    per-shard queue capacity in batches\n"
       "  --snapshot-every=N    pyramidal snapshot cadence, 0 disables "
       "(default 4096)\n"
+      "  --snapshot-store=M    store encoding: full|delta|tiered\n"
+      "                        (default full; --tenants fleets default to\n"
+      "                        delta -- docs/snapshots.md)\n"
+      "  --snapshot-budget-mb=N  tiered-store byte budget before cold\n"
+      "                        demotion (default 64; requires\n"
+      "                        --snapshot-store=tiered)\n"
+      "  --snapshot-spill-dir=DIR  spill demoted frames to checksummed\n"
+      "                        files here instead of quantizing them\n"
+      "                        (requires --snapshot-store=tiered)\n"
       "  --metrics-out=STEM    write STEM.json + STEM.csv metric dumps\n"
       "  --metrics-every=N     re-export metrics every N points\n"
       "  --sample-interval=N   purity sample cadence (default 10000)\n"
@@ -340,6 +376,7 @@ int RunAggregatorRole(const CliOptions& cli) {
   options.dimension_threshold = cli.thresh;
   options.global_budget = cli.nmicro;
   options.snapshot.snapshot_every = cli.snapshot_every;
+  options.snapshot.tiering = MakeTiering(cli);
   options.decay_lambda = cli.decay;
   options.broker.num_threads = cli.serve_threads;
   options.broker.boundary_factor = cli.boundary;
@@ -525,6 +562,12 @@ int RunFleetMode(const CliOptions& cli,
   config.umicro.decay_lambda = cli.decay;
   if (!ApplyAssignOptions(cli, &config.umicro)) return 2;
   config.fleet.tenants = cli.tenants;
+  // The fleet's per-tenant store defaults to delta encoding; an explicit
+  // --snapshot-store overrides it (full for debugging, tiered to cap the
+  // fleet's snapshot bytes).
+  if (!cli.snapshot_store.empty()) {
+    config.fleet.snapshot.tiering = MakeTiering(cli);
+  }
   if (cli.threads > 0) config.fleet.workers = cli.threads;
   config.fleet.queue_capacity = cli.queue_capacity;
   config.serve.threads = cli.serve_threads;
@@ -708,6 +751,13 @@ int main(int argc, char** argv) {
       cli.queue_capacity = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "snapshot-every", &value)) {
       cli.snapshot_every = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "snapshot-store", &value)) {
+      cli.snapshot_store = value;
+    } else if (ParseFlag(arg, "snapshot-budget-mb", &value)) {
+      cli.snapshot_budget_mb = std::strtoull(value.c_str(), nullptr, 10);
+      cli.snapshot_budget_set = true;
+    } else if (ParseFlag(arg, "snapshot-spill-dir", &value)) {
+      cli.snapshot_spill_dir = value;
     } else if (ParseFlag(arg, "metrics-out", &value)) {
       cli.metrics_out = value;
     } else if (ParseFlag(arg, "metrics-every", &value)) {
@@ -788,6 +838,30 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+  // Snapshot-store flags are validated before the role dispatch: every
+  // role that owns a pyramidal store honors them.
+  if (!cli.snapshot_store.empty() && cli.snapshot_store != "full" &&
+      cli.snapshot_store != "delta" && cli.snapshot_store != "tiered") {
+    std::fprintf(stderr,
+                 "unknown --snapshot-store: %s (want full, delta, or "
+                 "tiered)\n",
+                 cli.snapshot_store.c_str());
+    return 2;
+  }
+  if ((cli.snapshot_budget_set || !cli.snapshot_spill_dir.empty()) &&
+      cli.snapshot_store != "tiered") {
+    std::fprintf(stderr,
+                 "--snapshot-budget-mb/--snapshot-spill-dir require "
+                 "--snapshot-store=tiered (full and delta stores never "
+                 "demote frames)\n");
+    return 2;
+  }
+  if (!cli.snapshot_spill_dir.empty() &&
+      !umicro::util::EnsureDirectory(cli.snapshot_spill_dir)) {
+    std::fprintf(stderr, "cannot create --snapshot-spill-dir: %s\n",
+                 cli.snapshot_spill_dir.c_str());
+    return 1;
   }
   // ---- Distributed roles ---------------------------------------------
   // agg and query never load a dataset; they are dispatched before the
@@ -1257,6 +1331,7 @@ int main(int argc, char** argv) {
     if (!ApplyAssignOptions(cli, &umicro_options)) return 2;
     umicro::core::SnapshotPolicy snapshot;
     snapshot.snapshot_every = cli.snapshot_every;
+    snapshot.tiering = MakeTiering(cli);
     // Recovery needs a factory: RecoverOrCreateEngine builds the engine
     // fresh and restores the newest compatible checkpoint into it.
     std::function<std::unique_ptr<umicro::core::ClusteringEngine>()> factory;
@@ -1354,6 +1429,7 @@ int main(int argc, char** argv) {
   if (cli.serve) {
     umicro::core::SnapshotPolicy serve_policy;
     serve_policy.snapshot_every = cli.snapshot_every;
+    serve_policy.tiering = MakeTiering(cli);
     replica = std::make_unique<umicro::serve::SnapshotReadReplica>(
         serve_policy, cli.decay);
     engine->AttachSnapshotSink(replica.get());
